@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+All benches share one :class:`~repro.experiments.ExperimentContext` so the
+characterization bundle and scenario traces are built once per session.
+``REPRO_BENCH_SCALE`` (default 1.0 = paper-scale scenarios) and
+``REPRO_BENCH_VALIDATION`` (default 800 samples) trade fidelity for speed.
+
+Each bench prints the regenerated table and writes it to
+``benchmarks/out/<name>.txt`` so results survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    validation = int(os.environ.get("REPRO_BENCH_VALIDATION", "800"))
+    context = ExperimentContext(scale=scale, validation_size=validation)
+    # Warm the shared artifacts so individual benches time their own work,
+    # not the common setup.
+    context.bundle
+    context.graph
+    return context
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    out = pathlib.Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    return out
+
+
+@pytest.fixture(scope="session")
+def report(artifact_dir):
+    """Callable that prints a rendered table and persists it to disk."""
+
+    def _report(name: str, text: str) -> None:
+        (artifact_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print("\n" + text)
+
+    return _report

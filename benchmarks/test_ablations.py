@@ -1,0 +1,95 @@
+"""Bench: ablations of SHIFT's design choices (DESIGN.md §ablations).
+
+Each ablation disables one mechanism and re-runs SHIFT on the
+multi-context scenario, quantifying the mechanism's contribution:
+
+1. confidence graph off  -> cross-model prediction replaced by raw scores,
+2. context gate off      -> reschedule every frame (overheads: swaps),
+3. momentum 1 vs 30      -> prediction smoothing,
+4. naive loading         -> no warm-engine cache (cold load per change),
+5. GPU-only platform     -> the value of heterogeneity.
+"""
+
+import pytest
+
+from repro.core import ShiftConfig, ShiftPipeline
+from repro.experiments import TableData, render_table
+from repro.runtime import aggregate, run_policy
+from repro.sim import gpu_only_soc
+
+SCENARIO = "s1_multi_background_varying_distance"
+
+
+@pytest.fixture(scope="module")
+def scenario_trace(ctx):
+    return ctx.cache.get(ctx.scenario(SCENARIO))
+
+
+def _run(ctx, trace, config=None, soc=None):
+    pipeline = ShiftPipeline(ctx.bundle, config=config or ShiftConfig(), graph=ctx.graph)
+    result = run_policy(pipeline, trace, soc=soc, engine_seed=ctx.engine_seed)
+    metrics = aggregate(result)
+    rescheduled_share = sum(1 for r in result.records if r.rescheduled) / len(result.records)
+    return metrics, rescheduled_share
+
+
+def test_ablation_benchmark(benchmark, ctx, scenario_trace, report):
+    def run_all():
+        return {
+            "full system": _run(ctx, scenario_trace),
+            "no confidence graph": _run(
+                ctx, scenario_trace, ShiftConfig(use_confidence_graph=False)
+            ),
+            "no context gate": _run(ctx, scenario_trace, ShiftConfig(context_gate=False)),
+            "momentum=1": _run(ctx, scenario_trace, ShiftConfig(momentum=1)),
+            "naive loading": _run(ctx, scenario_trace, ShiftConfig(naive_loading=True)),
+            "gpu-only SoC": _run(ctx, scenario_trace, soc=gpu_only_soc()),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = TableData(
+        title=f"Ablations of SHIFT on {SCENARIO}",
+        headers=["Variant", "IoU", "Time (s)", "Energy (J)", "Swaps", "Cold Loads",
+                 "Non-GPU", "Rescheduled"],
+    )
+    for variant, (metrics, rescheduled_share) in results.items():
+        table.add_row(
+            variant,
+            round(metrics.mean_iou, 3),
+            round(metrics.mean_latency_s, 4),
+            round(metrics.mean_energy_j, 3),
+            metrics.swaps,
+            metrics.cold_loads,
+            f"{metrics.non_gpu_share * 100:.1f}%",
+            f"{rescheduled_share * 100:.1f}%",
+        )
+    report("ablations", render_table(table))
+
+    full, full_rescheduled = results["full system"]
+
+    # (1) The CG matters: without cross-model prediction the scheduler
+    # cannot see when another model would do better; accuracy drops or the
+    # system burns more energy for the same accuracy.
+    no_cg, _ = results["no confidence graph"]
+    assert (no_cg.mean_iou < full.mean_iou + 0.01) or (
+        no_cg.mean_energy_j > full.mean_energy_j
+    )
+
+    # (2) The context gate's job is skipping the full Algorithm-1 pass on
+    # stable frames; without it every frame reschedules.
+    no_gate, no_gate_rescheduled = results["no context gate"]
+    assert no_gate_rescheduled == 1.0
+    assert full_rescheduled < 1.0
+
+    # (4) Naive loading turns every model change into a cold load.
+    naive, _ = results["naive loading"]
+    assert naive.cold_loads >= naive.swaps
+    assert naive.cold_loads > full.cold_loads
+    assert naive.mean_latency_s >= full.mean_latency_s
+
+    # (5) Heterogeneity is the energy story: GPU-only SHIFT cannot reach
+    # the full platform's energy point.
+    gpu_only, _ = results["gpu-only SoC"]
+    assert gpu_only.non_gpu_share == 0.0
+    assert gpu_only.mean_energy_j > full.mean_energy_j

@@ -1,0 +1,44 @@
+"""Bench: regenerate Fig. 1 (e-a-l triangles, single-family vs multi-model).
+
+Paper shape: shrinking a single family trades accuracy for energy/latency
+*monotonically*; a heterogeneous model set breaks the monotonicity (some
+models are strictly dominated on one axis but win on another).
+"""
+
+from repro.experiments import figure1, render_table
+
+
+def _is_monotone(values, increasing):
+    pairs = zip(values, values[1:])
+    if increasing:
+        return all(a <= b + 1e-9 for a, b in pairs)
+    return all(a >= b - 1e-9 for a, b in pairs)
+
+
+def test_figure1_benchmark(benchmark, ctx, report):
+    result = benchmark.pedantic(lambda: figure1(ctx), rounds=1, iterations=1)
+    report("figure1", render_table(result.table))
+
+    # (a) The YOLOv7 ladder, largest to smallest: energy and latency scores
+    # improve monotonically as the model shrinks.
+    single_energy = [p.energy for p in result.single_family]
+    single_latency = [p.latency for p in result.single_family]
+    assert _is_monotone(single_energy, increasing=True)
+    assert _is_monotone(single_latency, increasing=True)
+    # Accuracy peaks at the base YoloV7, not at the largest variant —
+    # the non-trivial part of Table IV the figure leans on.
+    accs = {p.model_name: p.accuracy for p in result.single_family}
+    assert accs["yolov7"] == max(accs.values())
+
+    # (b) The multi-model set is non-monotonic in at least one cost axis.
+    multi_energy = [p.energy for p in result.multi_model]
+    multi_latency = [p.latency for p in result.multi_model]
+    assert not (
+        _is_monotone(multi_energy, increasing=True)
+        and _is_monotone(multi_latency, increasing=True)
+    )
+
+    # All scores are normalized to [0, 1].
+    for point in result.single_family + result.multi_model:
+        for value in (point.accuracy, point.energy, point.latency):
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 2 (single-model efficiency timelines on GPU).
+
+Paper shape: efficiency (IoU per joule) varies strongly over the stream;
+small models dominate efficiency on easy stretches by an order of
+magnitude and collapse on hard ones — the motivation for model switching.
+"""
+
+from repro.experiments import figure2, render_table
+
+
+def test_figure2_benchmark(benchmark, ctx, report):
+    result = benchmark.pedantic(lambda: figure2(ctx), rounds=1, iterations=1)
+    report("figure2", render_table(result.table, precision=2))
+
+    series = result.series
+    assert set(series) == set(ctx.zoo.names())
+    lengths = {len(values) for values in series.values()}
+    assert len(lengths) == 1  # all models share the same timeline
+
+    # Efficiency must vary across the stream for the flagship models:
+    # peak window >= 3x the worst window (context changes matter).
+    for model in ("yolov7", "yolov7-tiny"):
+        values = series[model]
+        assert max(values) > 3.0 * max(min(values), 1e-6), model
+
+    # On its best window, the tiny model's efficiency dwarfs YoloV7's
+    # (the paper observes order-of-magnitude gaps).
+    assert max(series["yolov7-tiny"]) > 4.0 * max(series["yolov7"])
+
+    # Efficiency is non-negative everywhere.
+    assert all(v >= 0.0 for values in series.values() for v in values)

@@ -1,0 +1,50 @@
+"""Bench: regenerate Fig. 4 (scenario 2 timeline: fixed-distance crossing).
+
+Paper shape: the drone enters, crosses, and leaves the view; SHIFT's IoU
+is high through the crossing, the policy reacts to the entry with a model
+change, and nothing is detected once the target is gone (the paper notes
+SHIFT reports no UAV past the exit).
+"""
+
+from repro.experiments import figure4, render_table
+
+
+def test_figure4_benchmark(benchmark, ctx, report):
+    result = benchmark.pedantic(lambda: figure4(ctx), rounds=1, iterations=1)
+    report("figure4", render_table(result.table, precision=2))
+
+    segments = result.segments
+    frames = len(segments)
+    # Scenario structure: target absent at both ends.
+    assert segments[0] == "empty_sky"
+    assert segments[-1] == "gone"
+
+    def segment_mean_iou(names):
+        values = [
+            iou for iou, seg in zip(result.shift_frame_iou, segments) if seg in names
+        ]
+        return sum(values) / len(values)
+
+    # IoU is substantial through the crossing.
+    assert segment_mean_iou({"cross_sky", "cross_lot"}) > 0.4
+
+    # SHIFT reacts to the entry: the scheduler runs its full pass within
+    # the enter/cross portion of the stream (reactionary response, as the
+    # paper notes).  On paper-length streams the reaction also materializes
+    # as a model swap.
+    enter_start = segments.index("enter")
+    cross_end = frames - 1 - segments[::-1].index("cross_lot")
+    assert any(result.shift_frame_rescheduled[enter_start : cross_end + 1])
+    if frames >= 300:
+        assert any(enter_start <= f <= cross_end for f in result.shift_swap_frames)
+
+    # After the exit there is no target: detections (if any) are false
+    # positives and rare.
+    gone = [d for d, seg in zip(result.shift_frame_detected, segments) if seg == "gone"]
+    assert sum(gone) <= 0.5 * len(gone)
+
+    # On paper-length streams the timeline is not flat: windows overlapping
+    # the empty stretches sit well below the crossing windows.  (With fewer
+    # windows than segments the comparison is meaningless, so gate on it.)
+    if len(result.shift_iou) >= 4:
+        assert max(result.shift_iou) > min(result.shift_iou) + 0.2

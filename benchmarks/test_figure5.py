@@ -1,0 +1,45 @@
+"""Bench: regenerate Fig. 5 (sensitivity of SHIFT's parameters).
+
+Paper shape (§V-B): the energy/latency knobs correlate negatively with the
+achieved energy/latency; the accuracy knob correlates positively with
+accuracy (and with cost — accurate models are expensive); raising the
+accuracy goal degrades the cost metrics; the distance threshold correlates
+with *reduced* latency.
+
+Set REPRO_BENCH_FULL_GRID=1 to sweep the paper-sized (~1,900 configuration)
+grid instead of the quick grid.
+"""
+
+import os
+
+from repro.experiments import figure5, render_table
+
+
+def test_figure5_benchmark(benchmark, ctx, report):
+    full = os.environ.get("REPRO_BENCH_FULL_GRID", "0") == "1"
+    # Each configuration is a full SHIFT run; sweep a shortened scenario.
+    scenario_scale = 0.15 if ctx.scale >= 0.5 else None
+    result = benchmark.pedantic(
+        lambda: figure5(ctx, full_grid=full, scenario_scale=scenario_scale),
+        rounds=1,
+        iterations=1,
+    )
+    report("figure5", render_table(result.table))
+
+    assert len(result.points) >= 300
+
+    # Knob directions (correlation signs as in the paper).
+    assert result.correlation("knob_energy", "energy") < 0
+    assert result.correlation("knob_latency", "latency") < 0
+    assert result.correlation("knob_accuracy", "accuracy") > 0
+    # The accuracy knob buys accuracy with cost.
+    assert result.correlation("knob_accuracy", "energy") > 0
+    assert result.correlation("knob_accuracy", "latency") > 0
+    # Raising the goal degrades the cost metrics (unmet goals collapse to
+    # knob-only optimization).
+    assert result.correlation("accuracy_goal", "energy") > 0
+    assert result.correlation("accuracy_goal", "latency") > 0
+    # The distance threshold reduces average latency (more models in play).
+    assert result.correlation("distance_threshold", "latency") < 0
+    # Momentum stays a second-order effect on accuracy.
+    assert abs(result.correlation("momentum", "accuracy")) < 0.5

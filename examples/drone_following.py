@@ -1,0 +1,77 @@
+"""Drone following: a timeline view of SHIFT reacting to context changes.
+
+Reproduces the situation of the paper's Fig. 3 as a terminal report: a
+drone crosses several backgrounds at varying distance, and SHIFT swaps
+models as the context hardens and eases.  The script prints, per segment
+of the flight, which models SHIFT ran, the achieved accuracy, and the
+energy spent — alongside the single-model reference.
+
+Run with::
+
+    python examples/drone_following.py
+"""
+
+from collections import Counter
+
+from repro import (
+    ShiftPipeline,
+    SingleModelPolicy,
+    TraceCache,
+    characterize,
+    default_zoo,
+    run_policy,
+    scenario_by_name,
+    xavier_nx_with_oakd,
+)
+
+
+def per_segment(records, frames):
+    """Group frame records by scenario segment, preserving order."""
+    segments: dict[str, list] = {}
+    for record, frame in zip(records, frames):
+        segments.setdefault(frame.segment, []).append(record)
+    return segments
+
+
+def main() -> None:
+    zoo = default_zoo()
+    soc = xavier_nx_with_oakd()
+    bundle = characterize(zoo, soc, validation_size=400)
+
+    scenario = scenario_by_name("s1_multi_background_varying_distance").scaled(0.5)
+    trace = TraceCache(zoo).get(scenario)
+    print(f"scenario: {scenario.description} ({trace.frame_count} frames)")
+
+    shift_run = run_policy(ShiftPipeline(bundle), trace)
+    single_run = run_policy(SingleModelPolicy("yolov7", "gpu"), trace)
+
+    print(f"\n{'segment':<18s}{'frames':>7s}  {'SHIFT models (share)':<44s}"
+          f"{'IoU':>6s}{'mJ/frame':>10s}{'single IoU':>12s}")
+    shift_segments = per_segment(shift_run.records, trace.frames)
+    single_segments = per_segment(single_run.records, trace.frames)
+    for segment, records in shift_segments.items():
+        with_truth = [r for r in records if r.ground_truth_present]
+        iou = sum(r.iou for r in with_truth) / len(with_truth) if with_truth else 0.0
+        energy = sum(r.energy_j for r in records) / len(records)
+        single_records = [r for r in single_segments[segment] if r.ground_truth_present]
+        single_iou = (
+            sum(r.iou for r in single_records) / len(single_records) if single_records else 0.0
+        )
+        counts = Counter(r.model_name for r in records)
+        mix = ", ".join(
+            f"{model} ({count * 100 // len(records)}%)" for model, count in counts.most_common(3)
+        )
+        print(f"{segment:<18s}{len(records):>7d}  {mix:<44s}{iou:>6.2f}"
+              f"{energy * 1000:>9.0f}m{single_iou:>12.2f}")
+
+    swaps = [r.frame_index for r in shift_run.records if r.swap]
+    print(f"\nSHIFT swapped {len(swaps)} times at frames {swaps}")
+    print(f"segment boundaries at {scenario.segment_boundaries()}")
+    total_shift = sum(r.energy_j for r in shift_run.records)
+    total_single = sum(r.energy_j for r in single_run.records)
+    print(f"total energy: SHIFT {total_shift:.1f} J vs YoloV7@GPU {total_single:.1f} J "
+          f"({total_single / total_shift:.1f}x saving)")
+
+
+if __name__ == "__main__":
+    main()

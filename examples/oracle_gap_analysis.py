@@ -1,0 +1,55 @@
+"""Oracle gap analysis: how far is SHIFT from the clairvoyant ceilings?
+
+The paper evaluates SHIFT against three Oracles that know every model's
+result on every frame in advance (free switching, perfect accuracy
+prediction).  This example quantifies the gap on each evaluation scenario
+and attributes it: prediction error (confidence graph vs truth) and
+switching cost (loads SHIFT pays that Oracles do not).
+
+Run with::
+
+    python examples/oracle_gap_analysis.py
+"""
+
+from repro import (
+    ShiftPipeline,
+    TraceCache,
+    aggregate,
+    characterize,
+    default_zoo,
+    evaluation_scenarios,
+    oracle_energy,
+    run_policy,
+    xavier_nx_with_oakd,
+)
+
+
+def main() -> None:
+    zoo = default_zoo()
+    soc = xavier_nx_with_oakd()
+    bundle = characterize(zoo, soc, validation_size=400)
+    cache = TraceCache(zoo)
+
+    print(f"{'scenario':<38s}{'SHIFT J':>9s}{'Oracle-E J':>11s}{'gap':>7s}"
+          f"{'SHIFT IoU':>11s}{'Oracle IoU':>11s}")
+    total_shift, total_oracle = 0.0, 0.0
+    for scenario in [s.scaled(0.3) for s in evaluation_scenarios()]:
+        trace = cache.get(scenario)
+        shift = aggregate(run_policy(ShiftPipeline(bundle), trace))
+        oracle = aggregate(run_policy(oracle_energy(), trace))
+        gap = shift.mean_energy_j / oracle.mean_energy_j
+        total_shift += shift.total_energy_j
+        total_oracle += oracle.total_energy_j
+        print(f"{scenario.name:<38s}{shift.mean_energy_j:>9.3f}"
+              f"{oracle.mean_energy_j:>11.3f}{gap:>6.1f}x"
+              f"{shift.mean_iou:>11.3f}{oracle.mean_iou:>11.3f}")
+
+    print(f"\noverall energy gap to the clairvoyant minimum: "
+          f"{total_shift / total_oracle:.2f}x")
+    print("The gap is the price of prediction (the confidence graph sees\n"
+          "only the running model's score) and of real model-switching\n"
+          "costs (the Oracle holds every engine in memory for free).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: characterize, build SHIFT, run one scenario, print metrics.
+
+This is the 60-second tour of the library:
+
+1. build the simulated platform (Xavier NX + OAK-D) and the eight-model zoo,
+2. run the offline characterization (paper §III-A),
+3. run the SHIFT pipeline over an evaluation scenario,
+4. compare against the conventional single-model deployment.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ShiftPipeline,
+    SingleModelPolicy,
+    TraceCache,
+    aggregate,
+    characterize,
+    default_zoo,
+    run_policy,
+    scenario_by_name,
+    xavier_nx_with_oakd,
+)
+
+
+def main() -> None:
+    # The substrates: platform + model zoo.
+    zoo = default_zoo()
+    soc = xavier_nx_with_oakd()
+    print(f"platform: {soc.name} with accelerators "
+          f"{[a.name for a in soc.accelerators]}")
+    print(f"zoo: {', '.join(zoo.names())}")
+
+    # Offline phase: run every model over a validation set, measure
+    # latency/power per accelerator, record load costs.
+    print("\ncharacterizing models (offline phase)...")
+    bundle = characterize(zoo, soc, validation_size=400)
+    for name in ("yolov7", "yolov7-tiny"):
+        trait = bundle.accuracy[name]
+        print(f"  {name:<14s} mean IoU {trait.mean_iou:.3f}  "
+              f"success {trait.success_rate * 100:.1f}%")
+
+    # Online phase: run SHIFT over a scenario (use a shortened scenario so
+    # the quickstart finishes in seconds; drop .scaled() for full length).
+    scenario = scenario_by_name("s1_multi_background_varying_distance").scaled(0.3)
+    trace = TraceCache(zoo).get(scenario)
+    print(f"\nrunning policies over {scenario.name} ({trace.frame_count} frames)...")
+
+    shift = aggregate(run_policy(ShiftPipeline(bundle), trace))
+    single = aggregate(run_policy(SingleModelPolicy("yolov7", "gpu"), trace))
+
+    print(f"\n{'policy':<16s}{'IoU':>8s}{'time/frame':>12s}{'energy/frame':>14s}{'non-GPU':>9s}")
+    for metrics in (shift, single):
+        print(f"{metrics.policy_name:<16s}{metrics.mean_iou:>8.3f}"
+              f"{metrics.mean_latency_s:>11.3f}s{metrics.mean_energy_j:>13.3f}J"
+              f"{metrics.non_gpu_share * 100:>8.1f}%")
+
+    print(f"\nSHIFT vs YoloV7@GPU: "
+          f"{single.mean_energy_j / shift.mean_energy_j:.1f}x energy, "
+          f"{single.mean_latency_s / shift.mean_latency_s:.1f}x latency, "
+          f"{shift.mean_iou / single.mean_iou:.2f}x IoU "
+          f"(paper: 7.5x / 2.8x / 0.97x)")
+
+
+if __name__ == "__main__":
+    main()

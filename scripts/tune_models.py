@@ -1,0 +1,53 @@
+"""Fit skill-curve peaks (break points fixed by design) to Table IV.
+
+Break points are *designed* to preserve the structural property that
+heavier models survive further into hard contexts; peaks are fitted so
+validation averages match the paper's Table IV.  Fitted values are
+hardcoded in repro/models/families.py.
+"""
+import numpy as np
+from dataclasses import replace
+from repro.data import build_validation_set
+from repro.models import default_zoo, detect
+
+TARGETS = {
+    "yolov7-e6e": (0.564, 0.658), "yolov7-x": (0.593, 0.711),
+    "yolov7": (0.618, 0.741), "yolov7-tiny": (0.533, 0.640),
+    "ssd-resnet50": (0.480, 0.589), "ssd-mobilenet-v1": (0.452, 0.554),
+    "ssd-mobilenet-v2": (0.401, 0.513), "ssd-mobilenet-v2-320": (0.304, 0.362),
+}
+BREAKS = {
+    "yolov7-e6e": 0.62, "yolov7-x": 0.58, "yolov7": 0.54, "yolov7-tiny": 0.45,
+    "ssd-resnet50": 0.37, "ssd-mobilenet-v1": 0.345, "ssd-mobilenet-v2": 0.305,
+    "ssd-mobilenet-v2-320": 0.255,
+}
+
+def measure(spec, samples):
+    ious, succ = [], []
+    for s in samples:
+        if s.ground_truth is None:
+            continue
+        o = detect(spec, s.scene, (7151, s.index))
+        ious.append(o.iou)
+        succ.append(o.iou >= 0.5)
+    return float(np.mean(ious)), float(np.mean(succ))
+
+def main():
+    samples = build_validation_set(800)
+    zoo = default_zoo()
+    for spec in zoo.specs():
+        t_iou, t_succ = TARGETS[spec.name]
+        current = replace(spec, skill=replace(spec.skill, break_point=BREAKS[spec.name]))
+        for _ in range(14):
+            m_iou, m_succ = measure(current, samples)
+            err = t_iou - m_iou
+            if abs(err) < 0.003:
+                break
+            peak = float(np.clip(current.skill.peak + 0.8 * err, 0.25, 1.0))
+            current = replace(current, skill=replace(current.skill, peak=peak))
+        m_iou, m_succ = measure(current, samples)
+        print("%-22s peak=%.3f bp=%.3f  iou %.3f (tgt %.3f)  succ %.3f (tgt %.3f)" % (
+            spec.name, current.skill.peak, current.skill.break_point, m_iou, t_iou, m_succ, t_succ))
+
+if __name__ == "__main__":
+    main()

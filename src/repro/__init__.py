@@ -1,0 +1,130 @@
+"""SHIFT: context-aware multi-model object detection for heterogeneous SoCs.
+
+A full reproduction of Davis & Belviranli, *"Context-aware Multi-Model
+Object Detection for Diversely Heterogeneous Compute Systems"* (DATE 2024),
+including the simulated substrates (heterogeneous SoC, object-detection
+model zoo, drone-video scenarios) the paper's testbed provided in hardware.
+
+Quickstart::
+
+    from repro import (
+        default_zoo, xavier_nx_with_oakd, characterize,
+        ShiftPipeline, TraceCache, run_policy, aggregate, scenario_by_name,
+    )
+
+    zoo = default_zoo()
+    soc = xavier_nx_with_oakd()
+    bundle = characterize(zoo, soc)           # offline phase (paper SIII-A)
+    shift = ShiftPipeline(bundle)             # the runtime (SIII-B/C)
+    trace = TraceCache(zoo).get(scenario_by_name("s2_fixed_distance_crossing"))
+    metrics = aggregate(run_policy(shift, trace, soc=soc))
+    print(metrics.mean_iou, metrics.mean_energy_j)
+"""
+
+from .baselines import (
+    MarlinPolicy,
+    OracleObjective,
+    OraclePolicy,
+    SingleModelPolicy,
+    oracle_accuracy,
+    oracle_energy,
+    oracle_latency,
+)
+from .characterization import CharacterizationBundle, characterize
+from .core import (
+    PAPER_CONFIG,
+    ConfidenceGraph,
+    ContextDetector,
+    DynamicModelLoader,
+    ShiftConfig,
+    ShiftPipeline,
+    ShiftScheduler,
+    TraitTable,
+)
+from .data import (
+    Scenario,
+    Segment,
+    build_validation_set,
+    evaluation_scenarios,
+    render_scenario,
+    scenario_by_name,
+)
+from .models import ModelSpec, ModelZoo, default_zoo, detect
+from .runtime import (
+    FrameRecord,
+    Policy,
+    RunMetrics,
+    RunResult,
+    ScenarioTrace,
+    TraceCache,
+    aggregate,
+    average_metrics,
+    run_policy,
+    run_policy_on_scenarios,
+)
+from .sim import (
+    AcceleratorClass,
+    ExecutionEngine,
+    SoC,
+    gpu_only_soc,
+    xavier_nx_with_oakd,
+)
+from .vision import BoundingBox, iou
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # baselines
+    "MarlinPolicy",
+    "OraclePolicy",
+    "OracleObjective",
+    "SingleModelPolicy",
+    "oracle_energy",
+    "oracle_accuracy",
+    "oracle_latency",
+    # characterization
+    "CharacterizationBundle",
+    "characterize",
+    # core
+    "ConfidenceGraph",
+    "ContextDetector",
+    "DynamicModelLoader",
+    "ShiftConfig",
+    "PAPER_CONFIG",
+    "ShiftPipeline",
+    "ShiftScheduler",
+    "TraitTable",
+    # data
+    "Scenario",
+    "Segment",
+    "build_validation_set",
+    "evaluation_scenarios",
+    "render_scenario",
+    "scenario_by_name",
+    # models
+    "ModelSpec",
+    "ModelZoo",
+    "default_zoo",
+    "detect",
+    # runtime
+    "FrameRecord",
+    "Policy",
+    "RunMetrics",
+    "RunResult",
+    "ScenarioTrace",
+    "TraceCache",
+    "aggregate",
+    "average_metrics",
+    "run_policy",
+    "run_policy_on_scenarios",
+    # sim
+    "AcceleratorClass",
+    "ExecutionEngine",
+    "SoC",
+    "xavier_nx_with_oakd",
+    "gpu_only_soc",
+    # vision
+    "BoundingBox",
+    "iou",
+]

@@ -1,0 +1,33 @@
+"""Baseline policies: single-model, Marlin, and the Oracles."""
+
+from .marlin import (
+    DEFAULT_REDETECT_INTERVAL,
+    DEFAULT_SCENE_CHANGE_NCC,
+    TRACKER_LATENCY_S,
+    TRACKER_POWER_W,
+    MarlinPolicy,
+)
+from .oracle import (
+    ORACLE_IOU_THRESHOLD,
+    OracleObjective,
+    OraclePolicy,
+    oracle_accuracy,
+    oracle_energy,
+    oracle_latency,
+)
+from .single_model import SingleModelPolicy
+
+__all__ = [
+    "MarlinPolicy",
+    "DEFAULT_REDETECT_INTERVAL",
+    "DEFAULT_SCENE_CHANGE_NCC",
+    "TRACKER_LATENCY_S",
+    "TRACKER_POWER_W",
+    "OraclePolicy",
+    "OracleObjective",
+    "oracle_energy",
+    "oracle_accuracy",
+    "oracle_latency",
+    "ORACLE_IOU_THRESHOLD",
+    "SingleModelPolicy",
+]

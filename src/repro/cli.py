@@ -1,0 +1,199 @@
+"""Command-line interface: regenerate experiments and run policies.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table 3                      # regenerate Table III
+    python -m repro figure 5 --full-grid         # paper-sized sensitivity sweep
+    python -m repro run shift s2_fixed_distance_crossing --scale 0.5
+    python -m repro run marlin s1_multi_background_varying_distance
+    python -m repro characterize --out bundle.json
+    python -m repro headline
+
+Every experiment honours ``--scale`` (scenario length multiplier) and
+``--validation`` (characterization sample count) so results can be traded
+against wall-clock time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines import (
+    MarlinPolicy,
+    SingleModelPolicy,
+    oracle_accuracy,
+    oracle_energy,
+    oracle_latency,
+)
+from .characterization import save_bundle
+from .core import ShiftPipeline, config_for_objective, objective_names
+from .experiments import (
+    ExperimentContext,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    headline_claims,
+    render_table,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from .runtime import aggregate, run_policy
+
+
+def _context(args: argparse.Namespace) -> ExperimentContext:
+    return ExperimentContext(scale=args.scale, validation_size=args.validation)
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    if args.number == 1:
+        print(render_table(table1(ctx)))
+    elif args.number == 2:
+        print(render_table(table2()))
+    elif args.number == 3:
+        print(render_table(table3(ctx).table))
+    elif args.number == 4:
+        print(render_table(table4(ctx)))
+    else:
+        print(f"no table {args.number}; the paper has tables 1-4", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    if args.number == 1:
+        print(render_table(figure1(ctx).table))
+    elif args.number == 2:
+        print(render_table(figure2(ctx).table, precision=2))
+    elif args.number == 3:
+        print(render_table(figure3(ctx).table, precision=2))
+    elif args.number == 4:
+        print(render_table(figure4(ctx).table, precision=2))
+    elif args.number == 5:
+        result = figure5(ctx, full_grid=args.full_grid, scenario_scale=args.sweep_scale)
+        print(render_table(result.table))
+    else:
+        print(f"no figure {args.number}; the paper has figures 1-5", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _build_policy(name: str, ctx: ExperimentContext, objective: str):
+    if name == "shift":
+        config = config_for_objective(objective)
+        return ShiftPipeline(ctx.bundle, config=config, graph=ctx.graph)
+    if name == "marlin":
+        return MarlinPolicy("yolov7")
+    if name == "marlin-tiny":
+        return MarlinPolicy("yolov7-tiny")
+    if name == "oracle-e":
+        return oracle_energy()
+    if name == "oracle-a":
+        return oracle_accuracy()
+    if name == "oracle-l":
+        return oracle_latency()
+    if name.startswith("single:"):
+        _, _, rest = name.partition(":")
+        model, _, accel = rest.partition("@")
+        return SingleModelPolicy(model, accel or "gpu")
+    raise KeyError(
+        f"unknown policy {name!r}; try shift, marlin, marlin-tiny, oracle-e, "
+        "oracle-a, oracle-l, or single:<model>[@<accelerator>]"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    try:
+        policy = _build_policy(args.policy, ctx, args.objective)
+        scenario = ctx.scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    trace = ctx.cache.get(scenario)
+    metrics = aggregate(run_policy(policy, trace, engine_seed=ctx.engine_seed))
+    print(f"policy       {metrics.policy_name}")
+    print(f"scenario     {metrics.scenario_name} ({metrics.frames} frames)")
+    print(f"mean IoU     {metrics.mean_iou:.3f}")
+    print(f"success      {metrics.success_rate * 100:.1f}%")
+    print(f"time/frame   {metrics.mean_latency_s:.4f} s")
+    print(f"energy/frame {metrics.mean_energy_j:.4f} J")
+    print(f"total energy {metrics.total_energy_j:.1f} J")
+    print(f"non-GPU      {metrics.non_gpu_share * 100:.1f}%")
+    print(f"swaps        {metrics.swaps}")
+    print(f"pairs used   {metrics.pairs_used}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    bundle = ctx.bundle
+    save_bundle(bundle, args.out)
+    print(f"characterized {len(bundle.accuracy)} models over "
+          f"{len(bundle.observations)} samples -> {args.out}")
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    print(render_table(headline_claims(ctx).table))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SHIFT reproduction: regenerate the paper's experiments",
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="scenario length multiplier (default 1.0 = paper scale)")
+    parser.add_argument("--validation", type=int, default=800,
+                        help="characterization sample count (default 800)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table_cmd = commands.add_parser("table", help="regenerate a paper table")
+    table_cmd.add_argument("number", type=int, help="table number (1-4)")
+    table_cmd.set_defaults(func=_cmd_table)
+
+    figure_cmd = commands.add_parser("figure", help="regenerate a paper figure")
+    figure_cmd.add_argument("number", type=int, help="figure number (1-5)")
+    figure_cmd.add_argument("--full-grid", action="store_true",
+                            help="figure 5: paper-sized (~1,900-config) sweep")
+    figure_cmd.add_argument("--sweep-scale", type=float, default=0.15,
+                            help="figure 5: extra scenario shortening (default 0.15)")
+    figure_cmd.set_defaults(func=_cmd_figure)
+
+    run_cmd = commands.add_parser("run", help="run one policy on one scenario")
+    run_cmd.add_argument("policy", help="shift | marlin | marlin-tiny | oracle-{e,a,l} "
+                                        "| single:<model>[@<accel>]")
+    run_cmd.add_argument("scenario", help="evaluation scenario name")
+    run_cmd.add_argument("--objective", default="paper", choices=objective_names(),
+                         help="knob preset for the shift policy (default: paper)")
+    run_cmd.set_defaults(func=_cmd_run)
+
+    char_cmd = commands.add_parser("characterize", help="run the offline phase, save a bundle")
+    char_cmd.add_argument("--out", default="characterization.json",
+                          help="output JSON path (default characterization.json)")
+    char_cmd.set_defaults(func=_cmd_characterize)
+
+    headline_cmd = commands.add_parser("headline", help="the abstract's headline comparison")
+    headline_cmd.set_defaults(func=_cmd_headline)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

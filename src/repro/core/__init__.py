@@ -1,0 +1,35 @@
+"""SHIFT core: confidence graph, scheduler, loader, pipeline."""
+
+from .confidence_graph import (
+    DEFAULT_BIN_WIDTH,
+    DEFAULT_DISTANCE_THRESHOLD,
+    ConfidenceGraph,
+    Prediction,
+)
+from .config import PAPER_CONFIG, ShiftConfig
+from .context import ContextDetector
+from .loader import DynamicModelLoader, LoadOutcome
+from .pipeline import ShiftPipeline
+from .presets import config_for_objective, objective_names
+from .scheduler import SchedulingDecision, ShiftScheduler
+from .traits import Pair, PairTraits, TraitTable
+
+__all__ = [
+    "config_for_objective",
+    "objective_names",
+    "ConfidenceGraph",
+    "Prediction",
+    "DEFAULT_BIN_WIDTH",
+    "DEFAULT_DISTANCE_THRESHOLD",
+    "ShiftConfig",
+    "PAPER_CONFIG",
+    "ContextDetector",
+    "DynamicModelLoader",
+    "LoadOutcome",
+    "ShiftPipeline",
+    "ShiftScheduler",
+    "SchedulingDecision",
+    "TraitTable",
+    "PairTraits",
+    "Pair",
+]

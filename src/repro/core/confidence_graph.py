@@ -1,0 +1,257 @@
+"""Confidence graphs: fast cross-model accuracy prediction (paper §III-A).
+
+The confidence graph (CG) converts the confidence score of the *currently
+running* model into accuracy predictions for *every* model, without running
+them.  Construction follows the paper's six steps:
+
+1. **Nodes** — one per (model, confidence-score range); each node stores the
+   model's expected accuracy (mean IoU) inside that range.
+2. **Edges** — for every validation image, connect the nodes each model's
+   confidence landed in; repeated co-occurrence increments the edge weight.
+3. **Normalize + invert** — weights are normalized *per node* (so globally
+   popular edges don't dominate) and inverted into traversal costs: strongly
+   correlated score ranges become cheap to traverse.
+4. **Bounded search** — from every node, collect neighbours within a
+   distance threshold (Dijkstra bounded by the threshold; the paper says
+   BFS, which on a weighted graph is exactly a bounded shortest-path pass).
+5. **Consolidate** — multiple reachable nodes of the same model collapse
+   into a single prediction by distance-weighted averaging.
+6. **Map** — the result is stored as a plain lookup: node -> {model ->
+   (predicted accuracy, distance)}.  Runtime prediction is a dict lookup.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from ..characterization.profiler import ConfidenceObservation
+
+DEFAULT_BIN_WIDTH = 0.1
+DEFAULT_DISTANCE_THRESHOLD = 0.5
+
+# Weight used when consolidating a node reached at distance d; close nodes
+# dominate, but even the threshold-edge nodes retain influence.
+_CONSOLIDATION_EPSILON = 0.1
+
+NodeKey = tuple[str, int]  # (model name, confidence bin index)
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Predicted accuracy of one model, from the CG lookup."""
+
+    model_name: str
+    accuracy: float
+    distance: float
+
+
+@dataclass
+class _Node:
+    key: NodeKey
+    expected_accuracy: float
+    observation_count: int
+    edges: dict[NodeKey, float] = field(default_factory=dict)  # neighbour -> raw weight
+
+
+class ConfidenceGraph:
+    """The built graph plus its prediction map.
+
+    Build once from characterization observations with :meth:`build`; the
+    distance threshold can be re-applied cheaply via
+    :meth:`with_distance_threshold` (the graph structure is reused, only
+    the bounded search and consolidation re-run) — the sensitivity analysis
+    sweeps this parameter.
+    """
+
+    def __init__(
+        self,
+        nodes: dict[NodeKey, _Node],
+        bin_width: float,
+        distance_threshold: float,
+    ) -> None:
+        if not nodes:
+            raise ValueError("a confidence graph needs at least one node")
+        self._nodes = nodes
+        self.bin_width = bin_width
+        self.distance_threshold = distance_threshold
+        self._prediction_map = self._build_prediction_map()
+
+    # ------------------------------------------------------------- build
+
+    @classmethod
+    def build(
+        cls,
+        observations: list[ConfidenceObservation],
+        bin_width: float = DEFAULT_BIN_WIDTH,
+        distance_threshold: float = DEFAULT_DISTANCE_THRESHOLD,
+    ) -> "ConfidenceGraph":
+        """Construct the CG from per-image confidence/IoU observations."""
+        if not observations:
+            raise ValueError("cannot build a confidence graph from zero observations")
+        if not 0.0 < bin_width <= 1.0:
+            raise ValueError(f"bin_width must be within (0, 1], got {bin_width}")
+        if distance_threshold < 0.0:
+            raise ValueError("distance_threshold must be non-negative")
+
+        # Step 1: nodes with expected accuracy per (model, bin).
+        sums: dict[NodeKey, float] = {}
+        counts: dict[NodeKey, int] = {}
+        for obs in observations:
+            for model, (confidence, iou) in obs.readings.items():
+                key = (model, cls.bin_index_static(confidence, bin_width))
+                sums[key] = sums.get(key, 0.0) + iou
+                counts[key] = counts.get(key, 0) + 1
+        nodes = {
+            key: _Node(
+                key=key,
+                expected_accuracy=sums[key] / counts[key],
+                observation_count=counts[key],
+            )
+            for key in sums
+        }
+
+        # Step 2: co-occurrence edges between different models' nodes.
+        for obs in observations:
+            keys = [
+                (model, cls.bin_index_static(confidence, bin_width))
+                for model, (confidence, _iou) in obs.readings.items()
+            ]
+            for i in range(len(keys)):
+                for j in range(i + 1, len(keys)):
+                    a, b = keys[i], keys[j]
+                    if a[0] == b[0]:
+                        continue
+                    nodes[a].edges[b] = nodes[a].edges.get(b, 0.0) + 1.0
+                    nodes[b].edges[a] = nodes[b].edges.get(a, 0.0) + 1.0
+
+        return cls(nodes=nodes, bin_width=bin_width, distance_threshold=distance_threshold)
+
+    @staticmethod
+    def bin_index_static(confidence: float, bin_width: float) -> int:
+        """Bin index of a confidence score; 1.0 folds into the top bin."""
+        clamped = min(max(confidence, 0.0), 1.0)
+        index = int(clamped / bin_width)
+        top = int(math.ceil(1.0 / bin_width)) - 1
+        return min(index, top)
+
+    def bin_index(self, confidence: float) -> int:
+        """Bin index under this graph's bin width."""
+        return self.bin_index_static(confidence, self.bin_width)
+
+    # --------------------------------------------------------- traversal
+
+    def _edge_cost(self, source: NodeKey, target: NodeKey) -> float:
+        """Step 3: per-node normalized, inverted edge weight."""
+        node = self._nodes[source]
+        max_weight = max(node.edges.values())
+        return 1.0 - node.edges[target] / max_weight
+
+    def _bounded_search(self, start: NodeKey) -> dict[NodeKey, float]:
+        """Step 4: all nodes within ``distance_threshold`` of ``start``."""
+        distances: dict[NodeKey, float] = {start: 0.0}
+        frontier: list[tuple[float, NodeKey]] = [(0.0, start)]
+        while frontier:
+            dist, key = heapq.heappop(frontier)
+            if dist > distances.get(key, math.inf):
+                continue
+            node = self._nodes[key]
+            if not node.edges:
+                continue
+            for neighbour in node.edges:
+                cost = self._edge_cost(key, neighbour)
+                candidate = dist + cost
+                if candidate > self.distance_threshold:
+                    continue
+                if candidate < distances.get(neighbour, math.inf):
+                    distances[neighbour] = candidate
+                    heapq.heappush(frontier, (candidate, neighbour))
+        return distances
+
+    def _consolidate(self, reachable: dict[NodeKey, float]) -> dict[str, Prediction]:
+        """Step 5: distance-weighted average per model."""
+        weight_sum: dict[str, float] = {}
+        acc_sum: dict[str, float] = {}
+        dist_sum: dict[str, float] = {}
+        for key, distance in reachable.items():
+            model = key[0]
+            weight = 1.0 / (_CONSOLIDATION_EPSILON + distance)
+            weight_sum[model] = weight_sum.get(model, 0.0) + weight
+            acc_sum[model] = acc_sum.get(model, 0.0) + weight * self._nodes[key].expected_accuracy
+            dist_sum[model] = dist_sum.get(model, 0.0) + weight * distance
+        return {
+            model: Prediction(
+                model_name=model,
+                accuracy=acc_sum[model] / weight_sum[model],
+                distance=dist_sum[model] / weight_sum[model],
+            )
+            for model in weight_sum
+        }
+
+    def _build_prediction_map(self) -> dict[NodeKey, dict[str, Prediction]]:
+        """Step 6: the runtime lookup map."""
+        return {key: self._consolidate(self._bounded_search(key)) for key in self._nodes}
+
+    # ------------------------------------------------------------ lookup
+
+    def predict(self, model_name: str, confidence: float) -> list[Prediction]:
+        """Accuracy predictions for all reachable models (runtime hot path).
+
+        When the exact (model, bin) node was never observed during
+        characterization, the nearest populated bin of the same model is
+        used — the runtime must stay total over unseen confidence values.
+        """
+        key = (model_name, self.bin_index(confidence))
+        if key not in self._prediction_map:
+            fallback = self._nearest_populated_bin(model_name, key[1])
+            if fallback is None:
+                return []
+            key = fallback
+        return sorted(self._prediction_map[key].values(), key=lambda p: p.model_name)
+
+    def _nearest_populated_bin(self, model_name: str, bin_idx: int) -> NodeKey | None:
+        candidates = [key for key in self._nodes if key[0] == model_name]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda key: (abs(key[1] - bin_idx), key[1]))
+
+    # ------------------------------------------------------- re-threshold
+
+    def with_distance_threshold(self, distance_threshold: float) -> "ConfidenceGraph":
+        """A new graph view with a different bounded-search threshold."""
+        if distance_threshold < 0.0:
+            raise ValueError("distance_threshold must be non-negative")
+        return ConfidenceGraph(
+            nodes=self._nodes,
+            bin_width=self.bin_width,
+            distance_threshold=distance_threshold,
+        )
+
+    # ---------------------------------------------------------- metadata
+
+    @property
+    def node_count(self) -> int:
+        """Number of (model, bin) nodes."""
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(node.edges) for node in self._nodes.values()) // 2
+
+    def node_keys(self) -> list[NodeKey]:
+        """All node keys, sorted."""
+        return sorted(self._nodes)
+
+    def expected_accuracy(self, key: NodeKey) -> float:
+        """Expected accuracy stored at one node."""
+        return self._nodes[key].expected_accuracy
+
+    def observation_count(self, key: NodeKey) -> int:
+        """Observations that fell into one node's bin."""
+        return self._nodes[key].observation_count
+
+    def models(self) -> list[str]:
+        """Distinct models present in the graph."""
+        return sorted({key[0] for key in self._nodes})

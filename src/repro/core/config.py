@@ -1,0 +1,81 @@
+"""SHIFT runtime configuration.
+
+Defaults are the paper's Table III operating point: goal accuracy 0.25,
+momentum 30, distance threshold 0.5, knobs (accuracy, energy, latency) =
+(1.0, 0.5, 0.5).  The paper lowers goal accuracy from 0.5 to 0.25 because
+the confidence graph systematically *under*-estimates accuracy (§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ShiftConfig:
+    """Tunable parameters of the SHIFT scheduler and pipeline."""
+
+    # Scheduler heuristic (Algorithm 1).
+    accuracy_goal: float = 0.25
+    momentum: int = 30
+    knob_accuracy: float = 1.0
+    knob_energy: float = 0.5
+    knob_latency: float = 0.5
+    # Swap hysteresis: a challenger pair must beat the incumbent's score by
+    # this margin before the scheduler switches.  Algorithm 1 leaves this
+    # implicit; without it near-tied pairs flip-flop every reschedule and
+    # the swap counts of Table III are unreachable.
+    switch_margin: float = 0.04
+
+    # Confidence graph.
+    bin_width: float = 0.1
+    distance_threshold: float = 0.5
+
+    # Ablation switches (all True/False = the paper's full system).
+    # use_confidence_graph=False replaces CG predictions with the raw
+    # confidence of the running model (other models keep their prior);
+    # context_gate=False disables the NCC early-exit (reschedule every
+    # frame); naive_loading=True keeps only one model resident per
+    # accelerator (no LRU cache of warm engines).
+    use_confidence_graph: bool = True
+    context_gate: bool = True
+    naive_loading: bool = False
+
+    # Pipeline.
+    initial_model: str = "yolov7"
+    scheduler_overhead_s: float = 0.0015  # <2 ms per frame, §III-B
+    scheduler_overhead_power_w: float = 3.0  # CPU draw during scheduling
+    prefetch: bool = True  # DML fills free memory with candidate models
+    allow_cpu: bool = False  # CPU is profiled but not schedulable (paper)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy_goal <= 1.0:
+            raise ValueError(f"accuracy_goal must be within [0, 1], got {self.accuracy_goal}")
+        if self.momentum < 1:
+            raise ValueError(f"momentum must be >= 1, got {self.momentum}")
+        for knob, label in (
+            (self.knob_accuracy, "knob_accuracy"),
+            (self.knob_energy, "knob_energy"),
+            (self.knob_latency, "knob_latency"),
+        ):
+            if knob < 0.0:
+                raise ValueError(f"{label} must be non-negative, got {knob}")
+        if self.switch_margin < 0.0:
+            raise ValueError("switch_margin must be non-negative")
+        if not 0.0 < self.bin_width <= 1.0:
+            raise ValueError(f"bin_width must be within (0, 1], got {self.bin_width}")
+        if self.distance_threshold < 0.0:
+            raise ValueError("distance_threshold must be non-negative")
+        if self.scheduler_overhead_s < 0.0:
+            raise ValueError("scheduler_overhead_s must be non-negative")
+        if self.scheduler_overhead_power_w <= 0.0:
+            raise ValueError("scheduler_overhead_power_w must be positive")
+
+    @property
+    def weights(self) -> tuple[float, float, float]:
+        """The (accuracy, energy, latency) knob tuple of Algorithm 1."""
+        return (self.knob_accuracy, self.knob_energy, self.knob_latency)
+
+
+# The exact configuration behind Table III.
+PAPER_CONFIG = ShiftConfig()

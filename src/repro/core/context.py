@@ -1,0 +1,49 @@
+"""Context detection: when has the input stream changed? (paper §III-B)
+
+The SHIFT scheduler re-evaluates its model choice only when the context
+shifts.  The signal is ``min(NCC(previous frame, frame), NCC(previous
+detection crop, detection crop))`` — cheap enough for every frame, and
+sensitive to both global scene changes and local target changes (including
+the target vanishing while the model keeps reporting high confidence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..vision.bbox import BoundingBox
+from ..vision.ncc import frame_similarity
+
+
+class ContextDetector:
+    """Tracks the previous frame/detection and scores similarity."""
+
+    def __init__(self) -> None:
+        self._previous_image: np.ndarray | None = None
+        self._previous_box: BoundingBox | None = None
+
+    @property
+    def primed(self) -> bool:
+        """True once at least one frame has been observed."""
+        return self._previous_image is not None
+
+    def reset(self) -> None:
+        """Forget all history (start of a new stream)."""
+        self._previous_image = None
+        self._previous_box = None
+
+    def similarity(self, image: np.ndarray, box: BoundingBox | None) -> float:
+        """Similarity of the incoming frame to the previous one, in [0, 1].
+
+        The first frame of a stream has no history and scores 0.0 — by
+        construction a context change, which forces the scheduler to make
+        an initial decision.
+        """
+        if self._previous_image is None:
+            return 0.0
+        return frame_similarity(self._previous_image, image, self._previous_box, box)
+
+    def observe(self, image: np.ndarray, box: BoundingBox | None) -> None:
+        """Record the processed frame and its detection for the next call."""
+        self._previous_image = image
+        self._previous_box = box

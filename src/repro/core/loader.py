@@ -1,0 +1,214 @@
+"""Dynamic model loader (paper §III-C).
+
+The DML owns model residency on every accelerator:
+
+* On a scheduling decision it guarantees the requested model is loaded,
+  synchronously if needed (the pipeline stalls for the load and pays its
+  energy), evicting the **least recently requested** models when memory is
+  tight.
+* It "attempts to occupy the entire memory with ODMs": after a swap it can
+  prefetch further candidate models into *free* memory in the background —
+  energy is charged, but the pipeline does not stall, and a later switch to
+  a prefetched model is free once its load has completed in virtual time.
+* Accelerators are handled separately — they do not share memory, and a
+  model can only be placed on an accelerator that can execute it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.accelerator import Accelerator
+from ..sim.engine import ExecutionEngine
+from ..sim.memory import OutOfMemoryError
+from ..sim.profiles import load_cost
+from ..sim.soc import SoC
+from .traits import Pair
+
+
+@dataclass(frozen=True)
+class LoadOutcome:
+    """What one ``ensure_loaded`` call cost."""
+
+    pair: Pair
+    stall_s: float
+    energy_j: float
+    cold_load: bool  # a synchronous load happened
+    evicted: tuple[Pair, ...] = ()
+
+
+@dataclass
+class _Residency:
+    """Bookkeeping for one loaded (model, accelerator) pair."""
+
+    pair: Pair
+    ready_at: float  # virtual time at which the engine becomes usable
+    last_requested: float = field(default=0.0)
+
+
+class DynamicModelLoader:
+    """LRU model residency manager over the SoC's memory pools."""
+
+    def __init__(self, soc: SoC, engine: ExecutionEngine, naive: bool = False) -> None:
+        self.soc = soc
+        self.engine = engine
+        # Naive mode (ablation): at most one model resident per accelerator,
+        # i.e. no warm-engine cache — every model change is a cold load.
+        self.naive = naive
+        self._resident: dict[Pair, _Residency] = {}
+        self._cold_loads = 0
+        self._prefetch_loads = 0
+        self._evictions = 0
+
+    # ----------------------------------------------------------- queries
+
+    def is_resident(self, pair: Pair) -> bool:
+        """True when the pair is loaded (possibly still warming up)."""
+        return pair in self._resident
+
+    def is_ready(self, pair: Pair) -> bool:
+        """True when the pair is loaded and its load has completed."""
+        residency = self._resident.get(pair)
+        return residency is not None and residency.ready_at <= self.soc.clock.now
+
+    def resident_pairs(self) -> list[Pair]:
+        """All currently loaded pairs, sorted."""
+        return sorted(self._resident)
+
+    @property
+    def cold_load_count(self) -> int:
+        """Synchronous (pipeline-stalling) loads so far."""
+        return self._cold_loads
+
+    @property
+    def prefetch_load_count(self) -> int:
+        """Background loads so far."""
+        return self._prefetch_loads
+
+    @property
+    def eviction_count(self) -> int:
+        """Models evicted so far."""
+        return self._evictions
+
+    # ------------------------------------------------------------- core
+
+    def ensure_loaded(self, pair: Pair) -> LoadOutcome:
+        """Make ``pair`` executable now; returns the stall/energy incurred."""
+        model_name, accel_name = pair
+        accelerator = self.soc.accelerator(accel_name)
+        if not accelerator.supports(model_name):
+            raise ValueError(
+                f"model {model_name!r} cannot execute on accelerator {accel_name!r}"
+            )
+        now = self.soc.clock.now
+        residency = self._resident.get(pair)
+        if residency is not None:
+            residency.last_requested = now
+            if residency.ready_at <= now:
+                return LoadOutcome(pair=pair, stall_s=0.0, energy_j=0.0, cold_load=False)
+            # Prefetch still in flight: stall until it completes.  The load
+            # energy was charged when the prefetch was issued.
+            stall = residency.ready_at - now
+            self.soc.clock.advance(stall)
+            return LoadOutcome(pair=pair, stall_s=stall, energy_j=0.0, cold_load=False)
+
+        if self.naive:
+            for stale in [p for p in self._resident if p[1] == accel_name]:
+                self.evict(stale)
+        evicted = self._make_room(accelerator, model_name)
+        record = self.engine.run_load(model_name, accelerator)  # advances clock
+        accelerator.memory.allocate(model_name, record.memory_mb)
+        self._resident[pair] = _Residency(
+            pair=pair, ready_at=self.soc.clock.now, last_requested=self.soc.clock.now
+        )
+        self._cold_loads += 1
+        return LoadOutcome(
+            pair=pair,
+            stall_s=record.load_time_s,
+            energy_j=record.energy_j,
+            cold_load=True,
+            evicted=tuple(evicted),
+        )
+
+    def _make_room(self, accelerator: Accelerator, model_name: str) -> list[Pair]:
+        """Evict least-recently-requested models until the load fits."""
+        needed = load_cost(model_name, accelerator.accel_class).memory_mb
+        if needed > accelerator.memory.capacity_mb:
+            raise OutOfMemoryError(
+                f"model {model_name!r} ({needed:.0f} MB) can never fit accelerator "
+                f"{accelerator.name!r} ({accelerator.memory.capacity_mb:.0f} MB)"
+            )
+        evicted: list[Pair] = []
+        while not accelerator.memory.can_fit(needed):
+            victim = self._lru_victim(accelerator.name)
+            if victim is None:
+                raise OutOfMemoryError(
+                    f"accelerator {accelerator.name!r} cannot free enough memory "
+                    f"for {model_name!r}"
+                )
+            self.evict(victim)
+            evicted.append(victim)
+        return evicted
+
+    def _lru_victim(self, accel_name: str) -> Pair | None:
+        candidates = [
+            residency
+            for pair, residency in self._resident.items()
+            if pair[1] == accel_name
+        ]
+        if not candidates:
+            return None
+        oldest = min(candidates, key=lambda r: (r.last_requested, r.pair))
+        return oldest.pair
+
+    def evict(self, pair: Pair) -> None:
+        """Remove one model from its accelerator's memory."""
+        if pair not in self._resident:
+            raise KeyError(f"pair {pair!r} is not resident")
+        del self._resident[pair]
+        self.soc.accelerator(pair[1]).memory.free(pair[0])
+        self._evictions += 1
+
+    # --------------------------------------------------------- prefetch
+
+    def prefetch(self, ranked_pairs: list[Pair]) -> list[Pair]:
+        """Fill *free* memory with the highest-ranked absent models.
+
+        Prefetching never evicts (evicting on speculation would defeat the
+        LRU policy); it only uses memory that is currently free.  Energy is
+        charged immediately; the model becomes ready ``load_time`` later in
+        virtual time without stalling the pipeline.
+        """
+        if self.naive:
+            return []
+        started: list[Pair] = []
+        for pair in ranked_pairs:
+            model_name, accel_name = pair
+            if pair in self._resident:
+                continue
+            accelerator = self.soc.accelerator(accel_name)
+            if not accelerator.supports(model_name):
+                continue
+            footprint = load_cost(model_name, accelerator.accel_class).memory_mb
+            if not accelerator.memory.can_fit(footprint):
+                continue
+            record = self.engine.run_load(model_name, accelerator, advance_clock=False)
+            accelerator.memory.allocate(model_name, record.memory_mb)
+            self._resident[pair] = _Residency(
+                pair=pair,
+                ready_at=self.soc.clock.now + record.load_time_s,
+                last_requested=self.soc.clock.now,
+            )
+            self._prefetch_loads += 1
+            started.append(pair)
+        return started
+
+    # ------------------------------------------------------------ reset
+
+    def reset(self) -> None:
+        """Unload everything and zero the counters."""
+        for pair in list(self._resident):
+            self.evict(pair)
+        self._cold_loads = 0
+        self._prefetch_loads = 0
+        self._evictions = 0

@@ -1,0 +1,52 @@
+"""Configuration presets for common deployment objectives.
+
+The paper describes the scheduler as adaptable "to specific system
+constraints by targeting model accuracy, latency, or energy consumption".
+These presets encode the three targets plus the exact Table III operating
+point, so integrators start from a sane knob vector instead of guessing.
+"""
+
+from __future__ import annotations
+
+from .config import ShiftConfig
+
+# Objective name -> (knob_accuracy, knob_energy, knob_latency, accuracy_goal)
+_PRESETS: dict[str, tuple[float, float, float, float]] = {
+    # The paper's Table III operating point.
+    "paper": (1.0, 0.5, 0.5, 0.25),
+    # Maximize detection quality; cost is secondary.
+    "accuracy": (1.5, 0.2, 0.2, 0.40),
+    # Battery-constrained platforms: accuracy goal low, energy dominant.
+    "energy": (0.6, 1.5, 0.3, 0.20),
+    # Deadline-driven pipelines (e.g. obstacle avoidance): latency dominant.
+    "latency": (0.6, 0.3, 1.5, 0.20),
+    # Even split, for exploration.
+    "balanced": (1.0, 1.0, 1.0, 0.25),
+}
+
+
+def objective_names() -> list[str]:
+    """Names accepted by :func:`config_for_objective`."""
+    return sorted(_PRESETS)
+
+
+def config_for_objective(objective: str, **overrides) -> ShiftConfig:
+    """A :class:`ShiftConfig` tuned for one deployment objective.
+
+    ``overrides`` are forwarded to :class:`ShiftConfig`, so any field
+    (momentum, distance threshold, ablation switches, ...) can still be
+    customized on top of the preset knobs.
+    """
+    try:
+        knob_accuracy, knob_energy, knob_latency, goal = _PRESETS[objective]
+    except KeyError:
+        known = ", ".join(objective_names())
+        raise KeyError(f"unknown objective {objective!r}; known objectives: {known}") from None
+    params = {
+        "knob_accuracy": knob_accuracy,
+        "knob_energy": knob_energy,
+        "knob_latency": knob_latency,
+        "accuracy_goal": goal,
+    }
+    params.update(overrides)
+    return ShiftConfig(**params)

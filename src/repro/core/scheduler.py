@@ -1,0 +1,171 @@
+"""The SHIFT scheduling heuristic (paper Algorithm 1).
+
+Given the current model's confidence and the context-change signal, the
+scheduler either keeps the current (model, accelerator) pair (context is
+stable and confident) or re-scores every schedulable pair:
+
+    score(model, accel) = R[model] * W_acc
+                        + energy_score[pair] * W_energy
+                        + latency_score[pair] * W_latency
+
+where ``R[model]`` is the momentum-averaged accuracy prediction from the
+confidence graph, and the energy/latency scores are the normalized,
+inverted traits.  Models meeting the accuracy goal are preferred; when
+none do, every model stays in play (Algorithm 1 lines 16-17).
+
+One deliberate reading of the paper: Algorithm 1 line 19 iterates
+``R.keys()`` although ``V`` was just computed; scoring over ``R`` would
+make ``V`` dead code, so — as the surrounding text describes — the
+implementation scores over ``V``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .confidence_graph import ConfidenceGraph, Prediction
+from .config import ShiftConfig
+from .traits import Pair, TraitTable
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """Outcome of one scheduler invocation."""
+
+    pair: Pair
+    rescheduled: bool  # False when the context-stability early-exit fired
+    similarity: float
+    scores: dict[Pair, float]  # empty when not rescheduled
+    predictions: dict[str, float]  # momentum-averaged accuracy per model
+
+
+class ShiftScheduler:
+    """Stateful Algorithm 1: owns the per-model momentum buffers."""
+
+    def __init__(
+        self,
+        traits: TraitTable,
+        graph: ConfidenceGraph,
+        config: ShiftConfig,
+    ) -> None:
+        if config.distance_threshold != graph.distance_threshold:
+            graph = graph.with_distance_threshold(config.distance_threshold)
+        self.traits = traits
+        self.graph = graph
+        self.config = config
+        self._buffers: dict[str, deque[float]] = {
+            model: deque(maxlen=config.momentum) for model in traits.models()
+        }
+        # Seed buffers with the characterization prior so the very first
+        # decisions are informed rather than arbitrary.
+        for model in traits.models():
+            self._buffers[model].append(traits.accuracy_prior(model))
+
+    def reset(self) -> None:
+        """Clear momentum buffers back to the characterization prior."""
+        for model, buffer in self._buffers.items():
+            buffer.clear()
+            buffer.append(self.traits.accuracy_prior(model))
+
+    # ---------------------------------------------------------- heuristic
+
+    def select(
+        self,
+        current_pair: Pair,
+        confidence: float,
+        similarity: float,
+    ) -> SchedulingDecision:
+        """Run Algorithm 1 for one frame."""
+        config = self.config
+        # Line 3: stable context and confident model -> keep the pair.
+        # (The context gate can be ablated away, forcing a full reschedule
+        # on every frame.)
+        if (
+            config.context_gate
+            and similarity * confidence >= config.accuracy_goal
+            and current_pair in self.traits
+        ):
+            return SchedulingDecision(
+                pair=current_pair,
+                rescheduled=False,
+                similarity=similarity,
+                scores={},
+                predictions={},
+            )
+
+        # Line 9: confidence graph lookup for the current model.  The CG
+        # ablation replaces cross-model prediction with the raw confidence
+        # of the running model alone (everything else keeps its prior).
+        if config.use_confidence_graph:
+            predictions = self.graph.predict(current_pair[0], confidence)
+        else:
+            predictions = [Prediction(current_pair[0], confidence, 0.0)]
+
+        # Lines 11-14: momentum-average the predictions.
+        for prediction in predictions:
+            if prediction.model_name in self._buffers:
+                self._buffers[prediction.model_name].append(prediction.accuracy)
+        averaged = {
+            model: sum(buffer) / len(buffer)
+            for model, buffer in self._buffers.items()
+            if buffer
+        }
+
+        # Lines 15-18: prefer models meeting the goal; fall back to all.
+        valid = {m: a for m, a in averaged.items() if a >= config.accuracy_goal}
+        if not valid:
+            valid = averaged
+
+        # Lines 19-23: weighted scoring over every schedulable pair of the
+        # valid models; maximum wins.  Ties break lexicographically so the
+        # decision is deterministic.
+        w_acc, w_energy, w_latency = config.weights
+        scores: dict[Pair, float] = {}
+        for model, accuracy in valid.items():
+            for pair in self.traits.pairs_for_model(model):
+                pair_traits = self.traits.get(pair)
+                scores[pair] = (
+                    accuracy * w_acc
+                    + pair_traits.energy_score * w_energy
+                    + pair_traits.latency_score * w_latency
+                )
+        best_pair = max(scores, key=lambda pair: (scores[pair], pair[0], pair[1]))
+        # Swap hysteresis: keep the incumbent unless the challenger wins by
+        # a clear margin (near-ties otherwise flip-flop every reschedule).
+        if (
+            current_pair in scores
+            and best_pair != current_pair
+            and scores[best_pair] <= scores[current_pair] + config.switch_margin
+        ):
+            best_pair = current_pair
+        return SchedulingDecision(
+            pair=best_pair,
+            rescheduled=True,
+            similarity=similarity,
+            scores=scores,
+            predictions=averaged,
+        )
+
+    # ------------------------------------------------------------- state
+
+    def predicted_accuracy(self, model_name: str) -> float:
+        """Current momentum-averaged accuracy estimate for a model."""
+        buffer = self._buffers.get(model_name)
+        if not buffer:
+            raise KeyError(f"no accuracy estimate for model {model_name!r}")
+        return sum(buffer) / len(buffer)
+
+    def ranked_pairs(self) -> list[Pair]:
+        """All pairs ranked by the current estimates (for DML prefetch)."""
+        w_acc, w_energy, w_latency = self.config.weights
+        scores = {}
+        for pair in self.traits.pairs():
+            pair_traits = self.traits.get(pair)
+            accuracy = self.predicted_accuracy(pair[0])
+            scores[pair] = (
+                accuracy * w_acc
+                + pair_traits.energy_score * w_energy
+                + pair_traits.latency_score * w_latency
+            )
+        return sorted(scores, key=lambda pair: (-scores[pair], pair[0], pair[1]))

@@ -1,0 +1,123 @@
+"""Trait tables: normalized per-pair energy/latency for the scheduler.
+
+Algorithm 1 consumes energy and latency values that are "pre-determined,
+normalized to a 0 to 1 range, and inverted for bigger-is-better
+performance indication".  A :class:`TraitTable` holds those values for the
+concrete (model, accelerator) pairs of a platform, built from a
+characterization bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..characterization.profiler import CharacterizationBundle
+from ..sim.soc import SoC
+
+Pair = tuple[str, str]  # (model name, accelerator name)
+
+
+def _normalize_inverted(values: dict[Pair, float]) -> dict[Pair, float]:
+    """Min-max normalize then invert: the cheapest pair scores 1.0."""
+    if not values:
+        return {}
+    low = min(values.values())
+    high = max(values.values())
+    if high == low:
+        return {pair: 1.0 for pair in values}
+    return {pair: 1.0 - (value - low) / (high - low) for pair, value in values.items()}
+
+
+@dataclass(frozen=True)
+class PairTraits:
+    """Raw and normalized traits of one schedulable pair."""
+
+    pair: Pair
+    latency_s: float
+    energy_j: float
+    power_w: float
+    latency_score: float  # normalized+inverted: 1.0 = fastest
+    energy_score: float  # normalized+inverted: 1.0 = most frugal
+
+
+class TraitTable:
+    """Scheduler-facing view of the characterization data for one SoC."""
+
+    def __init__(self, pairs: dict[Pair, PairTraits], accuracy_prior: dict[str, float]) -> None:
+        if not pairs:
+            raise ValueError("a trait table needs at least one schedulable pair")
+        self._pairs = pairs
+        self._accuracy_prior = dict(accuracy_prior)
+
+    @classmethod
+    def build(
+        cls,
+        bundle: CharacterizationBundle,
+        soc: SoC,
+        allow_cpu: bool = False,
+    ) -> "TraitTable":
+        """Assemble the table for every schedulable (model, accelerator) pair."""
+        raw_latency: dict[Pair, float] = {}
+        raw_energy: dict[Pair, float] = {}
+        raw_power: dict[Pair, float] = {}
+        for accel in soc.accelerators:
+            if not accel.schedulable and not allow_cpu:
+                continue
+            for model_name in bundle.model_names():
+                perf = bundle.performance.get((model_name, accel.accel_class))
+                if perf is None:
+                    continue
+                pair = (model_name, accel.name)
+                raw_latency[pair] = perf.mean_latency_s
+                raw_energy[pair] = perf.mean_energy_j
+                raw_power[pair] = perf.mean_power_w
+
+        latency_scores = _normalize_inverted(raw_latency)
+        energy_scores = _normalize_inverted(raw_energy)
+        pairs = {
+            pair: PairTraits(
+                pair=pair,
+                latency_s=raw_latency[pair],
+                energy_j=raw_energy[pair],
+                power_w=raw_power[pair],
+                latency_score=latency_scores[pair],
+                energy_score=energy_scores[pair],
+            )
+            for pair in raw_latency
+        }
+        prior = {name: trait.mean_iou for name, trait in bundle.accuracy.items()}
+        return cls(pairs=pairs, accuracy_prior=prior)
+
+    # ------------------------------------------------------------ access
+
+    def pairs(self) -> list[Pair]:
+        """All schedulable pairs, sorted for determinism."""
+        return sorted(self._pairs)
+
+    def get(self, pair: Pair) -> PairTraits:
+        """Traits of one pair."""
+        try:
+            return self._pairs[pair]
+        except KeyError:
+            raise KeyError(f"pair {pair!r} is not schedulable on this platform") from None
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._pairs
+
+    def pairs_for_model(self, model_name: str) -> list[Pair]:
+        """Schedulable pairs executing ``model_name``."""
+        return sorted(pair for pair in self._pairs if pair[0] == model_name)
+
+    def models(self) -> list[str]:
+        """Distinct model names with at least one schedulable pair."""
+        return sorted({pair[0] for pair in self._pairs})
+
+    def accuracy_prior(self, model_name: str) -> float:
+        """Characterization mean IoU — the scheduler's prior belief."""
+        try:
+            return self._accuracy_prior[model_name]
+        except KeyError:
+            raise KeyError(f"no accuracy prior for model {model_name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._pairs)

@@ -1,0 +1,44 @@
+"""Scenario substrate: scenes, backgrounds, scenarios, frames, datasets."""
+
+from .backgrounds import background, background_names, register_background
+from .dataset import DEFAULT_VALIDATION_SIZE, Sample, build_validation_set
+from .generator import CAMERA_FPS, Frame, generate_frames, render_scenario
+from .scenario import (
+    PATHS,
+    Scenario,
+    Segment,
+    evaluation_scenarios,
+    path_position,
+    scenario_by_name,
+)
+from .scene import (
+    DIFFICULTY_WEIGHTS,
+    SceneState,
+    approach_profile,
+    difficulty_components,
+    scene_difficulty,
+)
+
+__all__ = [
+    "background",
+    "background_names",
+    "register_background",
+    "Sample",
+    "build_validation_set",
+    "DEFAULT_VALIDATION_SIZE",
+    "Frame",
+    "generate_frames",
+    "render_scenario",
+    "CAMERA_FPS",
+    "Scenario",
+    "Segment",
+    "evaluation_scenarios",
+    "scenario_by_name",
+    "path_position",
+    "PATHS",
+    "SceneState",
+    "scene_difficulty",
+    "difficulty_components",
+    "approach_profile",
+    "DIFFICULTY_WEIGHTS",
+]

@@ -1,0 +1,122 @@
+"""Frame generation: turn scenario scripts into frames with ground truth.
+
+The generator walks a scenario's segments, eases the distance profile,
+advances the motion path, renders the grayscale image, and packages
+everything a policy or profiler needs: the rendered pixels (for NCC and
+tracking), the latent :class:`~repro.data.scene.SceneState` (for the
+simulated detectors), the ground-truth box, and the scalar difficulty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..vision.bbox import BoundingBox
+from ..vision.rendering import render_frame
+from .backgrounds import background
+from .scenario import Scenario, Segment, path_position
+from .scene import SceneState, approach_profile, scene_difficulty
+
+# The paper's camera streams run at 30 fps; frame timestamps follow that.
+CAMERA_FPS = 30.0
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Everything known about one frame of a scenario.
+
+    ``image`` is the rendered grayscale frame in [0, 1]; ``ground_truth``
+    is None when the target is absent from the view; ``difficulty`` is the
+    latent context difficulty driving the simulated detectors; ``segment``
+    names the scenario segment the frame belongs to.
+    """
+
+    index: int
+    timestamp: float
+    image: np.ndarray
+    scene: SceneState
+    ground_truth: BoundingBox | None
+    difficulty: float
+    segment: str
+
+    @property
+    def target_visible(self) -> bool:
+        """True when the ground-truth box exists in this frame."""
+        return self.ground_truth is not None
+
+
+def _segment_scenes(segment: Segment, frame_size: int, start_drift: float) -> list[SceneState]:
+    """Latent scene states for one segment (positions, distances, speeds)."""
+    style = background(segment.background_name)
+    distances = approach_profile(segment.distance_start, segment.distance_end, segment.frames)
+    scenes: list[SceneState] = []
+    previous_xy: tuple[float, float] | None = None
+    drift = start_drift
+    for i in range(segment.frames):
+        t = i / max(1, segment.frames - 1)
+        nx, ny = path_position(segment.path, t)
+        cx = nx * frame_size
+        cy = ny * frame_size
+        if previous_xy is None:
+            speed = 0.0
+        else:
+            speed = float(np.hypot(cx - previous_xy[0], cy - previous_xy[1]))
+        previous_xy = (cx, cy)
+        drift += segment.pan
+        visible = segment.path != "absent"
+        scenes.append(
+            SceneState(
+                background=style,
+                background_name=segment.background_name,
+                cx=cx,
+                cy=cy,
+                distance=distances[i],
+                speed=speed,
+                drift=drift,
+                visible=visible,
+                frame_size=frame_size,
+            )
+        )
+    return scenes
+
+
+def generate_frames(scenario: Scenario) -> Iterator[Frame]:
+    """Yield every frame of ``scenario`` in order, deterministically.
+
+    The sensor-noise stream is seeded from the scenario seed, so the same
+    scenario always produces bit-identical frames.
+    """
+    noise_rng = np.random.default_rng(scenario.seed)
+    index = 0
+    drift = 0.0
+    for segment in scenario.segments:
+        scenes = _segment_scenes(segment, scenario.frame_size, drift)
+        if scenes:
+            drift = scenes[-1].drift
+        for scene in scenes:
+            truth = scene.ground_truth_box()
+            image = render_frame(
+                scene.background,
+                truth,
+                frame_size=scenario.frame_size,
+                drift=scene.drift,
+                noise_rng=noise_rng,
+            )
+            yield Frame(
+                index=index,
+                timestamp=index / CAMERA_FPS,
+                image=image,
+                scene=scene,
+                ground_truth=truth,
+                difficulty=scene_difficulty(scene),
+                segment=segment.name,
+            )
+            index += 1
+
+
+def render_scenario(scenario: Scenario) -> list[Frame]:
+    """Materialize every frame of a scenario as a list."""
+    return list(generate_frames(scenario))

@@ -1,0 +1,259 @@
+"""Scenario definitions: scripted flights of a single UAV target.
+
+A :class:`Scenario` is a sequence of :class:`Segment` s; each segment fixes
+a background, a distance profile, and a motion path.  The six evaluation
+scenarios mirror the paper's custom dataset: two indoor and four outdoor
+videos of 500–2,500 frames in which the drone crosses backgrounds at
+varying distances.  Segment boundaries are where the frame context — and
+therefore the best model choice — changes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from .backgrounds import background
+
+# Motion paths supported by the generator.  Each maps segment progress
+# t in [0, 1] to a normalized (x, y) position in [0, 1]^2; positions may
+# exceed the unit square for enter/exit paths (the target is then clipped
+# or invisible).
+PATHS = (
+    "hover",
+    "sweep_lr",
+    "sweep_rl",
+    "orbit",
+    "weave",
+    "enter_left",
+    "exit_right",
+    "absent",
+)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A homogeneous stretch of a scenario.
+
+    ``distance_start``/``distance_end`` give the normalized range profile
+    across the segment (eased by the generator); ``path`` selects the
+    motion pattern; ``pan`` adds background drift in pixels/frame
+    (camera motion), which both the renderer and the difficulty model see.
+    """
+
+    name: str
+    frames: int
+    background_name: str
+    distance_start: float
+    distance_end: float
+    path: str = "hover"
+    pan: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frames <= 0:
+            raise ValueError(f"segment {self.name!r} must have at least 1 frame")
+        if self.path not in PATHS:
+            raise ValueError(f"unknown path {self.path!r}; expected one of {PATHS}")
+        for value, label in ((self.distance_start, "distance_start"), (self.distance_end, "distance_end")):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"segment {self.name!r}: {label} must be within [0, 1], got {value}")
+        # Validate eagerly so scenario definitions fail fast on typos.
+        background(self.background_name)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fully deterministic evaluation video."""
+
+    name: str
+    description: str
+    indoor: bool
+    seed: int
+    segments: tuple[Segment, ...]
+    frame_size: int = 96
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError(f"scenario {self.name!r} needs at least one segment")
+
+    @property
+    def total_frames(self) -> int:
+        """Total frame count across all segments."""
+        return sum(segment.frames for segment in self.segments)
+
+    def scaled(self, factor: float) -> "Scenario":
+        """Return a shorter copy with each segment scaled by ``factor``.
+
+        Used by tests and quick examples; every segment keeps at least
+        two frames so context transitions survive.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        scaled_segments = tuple(
+            replace(segment, frames=max(2, int(round(segment.frames * factor))))
+            for segment in self.segments
+        )
+        return replace(self, segments=scaled_segments)
+
+    def segment_boundaries(self) -> list[int]:
+        """Frame indices at which a new segment begins (excluding 0)."""
+        boundaries = []
+        total = 0
+        for segment in self.segments[:-1]:
+            total += segment.frames
+            boundaries.append(total)
+        return boundaries
+
+
+def _scenario_1() -> Scenario:
+    """Fig. 3: drone crosses multiple backgrounds at varying distances.
+
+    The paper highlights context changes at frames ~50, ~500, ~1100 and
+    ~1650: an easy opening, a push to distant cluttered backgrounds, and a
+    return.  The segments below reproduce that arc.
+    """
+    return Scenario(
+        name="s1_multi_background_varying_distance",
+        description="Outdoor: multiple backgrounds, distance varies, returns near",
+        indoor=False,
+        seed=9301,
+        segments=(
+            Segment("launch_close", 50, "open_sky", 0.05, 0.15, path="hover"),
+            Segment("climb_easy", 450, "open_sky", 0.15, 0.45, path="weave"),
+            Segment("treeline_far", 600, "tree_line", 0.52, 0.72, path="sweep_lr", pan=0.4),
+            Segment("forest_deep", 550, "forest_shade", 0.72, 0.58, path="orbit", pan=0.2),
+            Segment("return_close", 150, "cloudy_sky", 0.45, 0.10, path="hover"),
+        ),
+    )
+
+
+def _scenario_2() -> Scenario:
+    """Fig. 4: horizontal crossing over simpler backgrounds, fixed distance.
+
+    The drone enters the view, sweeps across, and leaves; the paper notes
+    detections cease beyond frame ~450 when the target exits.
+    """
+    return Scenario(
+        name="s2_fixed_distance_crossing",
+        description="Outdoor: fixed distance, horizontal crossing, target exits",
+        indoor=False,
+        seed=9302,
+        segments=(
+            Segment("empty_sky", 60, "cloudy_sky", 0.45, 0.45, path="absent"),
+            Segment("enter", 90, "cloudy_sky", 0.45, 0.45, path="enter_left"),
+            Segment("cross_sky", 180, "open_sky", 0.45, 0.45, path="sweep_lr"),
+            Segment("cross_lot", 120, "parking_lot", 0.45, 0.45, path="sweep_lr", pan=0.3),
+            Segment("exit", 80, "parking_lot", 0.45, 0.45, path="exit_right"),
+            Segment("gone", 70, "parking_lot", 0.45, 0.45, path="absent"),
+        ),
+    )
+
+
+def _scenario_3() -> Scenario:
+    """Indoor: close-range hover against a plain wall (easy context)."""
+    return Scenario(
+        name="s3_indoor_close_wall",
+        description="Indoor: close hover against contrasted wall",
+        indoor=True,
+        seed=9303,
+        segments=(
+            Segment("hover_wall", 300, "indoor_wall", 0.05, 0.20, path="hover"),
+            Segment("drift_wall", 200, "indoor_wall", 0.20, 0.35, path="weave"),
+        ),
+    )
+
+
+def _scenario_4() -> Scenario:
+    """Indoor: cluttered lab and warehouse shelving (hard indoor context)."""
+    return Scenario(
+        name="s4_indoor_clutter",
+        description="Indoor: cluttered lab then dim warehouse",
+        indoor=True,
+        seed=9304,
+        segments=(
+            Segment("lab_mid", 350, "indoor_lab", 0.25, 0.45, path="weave"),
+            Segment("warehouse_far", 300, "indoor_warehouse", 0.45, 0.62, path="sweep_rl"),
+            Segment("warehouse_return", 150, "indoor_warehouse", 0.58, 0.30, path="orbit"),
+        ),
+    )
+
+
+def _scenario_5() -> Scenario:
+    """Outdoor: long-range patrol against sky then dusk horizon."""
+    return Scenario(
+        name="s5_far_patrol",
+        description="Outdoor: long-range patrol, sky to dusk horizon",
+        indoor=False,
+        seed=9305,
+        segments=(
+            Segment("patrol_sky", 500, "open_sky", 0.45, 0.65, path="sweep_lr"),
+            Segment("patrol_turn", 200, "cloudy_sky", 0.65, 0.72, path="orbit"),
+            Segment("patrol_dusk", 400, "dusk_horizon", 0.72, 0.55, path="sweep_rl", pan=0.25),
+            Segment("patrol_home", 100, "cloudy_sky", 0.50, 0.25, path="hover"),
+        ),
+    )
+
+
+def _scenario_6() -> Scenario:
+    """Outdoor: fast urban pursuit across facades (motion-heavy context)."""
+    return Scenario(
+        name="s6_urban_pursuit",
+        description="Outdoor: fast pursuit across urban facades",
+        indoor=False,
+        seed=9306,
+        segments=(
+            Segment("facade_dash", 300, "urban_facade", 0.30, 0.45, path="sweep_lr", pan=1.2),
+            Segment("lot_dash", 250, "parking_lot", 0.40, 0.50, path="sweep_rl", pan=1.0),
+            Segment("facade_far", 250, "urban_facade", 0.50, 0.65, path="weave", pan=0.8),
+            Segment("close_pass", 100, "parking_lot", 0.35, 0.12, path="orbit"),
+        ),
+    )
+
+
+def evaluation_scenarios() -> list[Scenario]:
+    """The six evaluation scenarios (2 indoor, 4 outdoor), paper §IV."""
+    return [
+        _scenario_1(),
+        _scenario_2(),
+        _scenario_3(),
+        _scenario_4(),
+        _scenario_5(),
+        _scenario_6(),
+    ]
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look up an evaluation scenario by its full name."""
+    for scenario in evaluation_scenarios():
+        if scenario.name == name:
+            return scenario
+    known = ", ".join(s.name for s in evaluation_scenarios())
+    raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}")
+
+
+def path_position(path: str, t: float) -> tuple[float, float]:
+    """Normalized (x, y) target position for ``path`` at progress ``t``.
+
+    Coordinates are in units of the frame side; enter/exit paths
+    intentionally leave the unit square.
+    """
+    if not 0.0 <= t <= 1.0:
+        raise ValueError(f"progress must be within [0, 1], got {t}")
+    if path == "hover":
+        return (0.5 + 0.06 * math.sin(6.0 * math.pi * t), 0.45 + 0.05 * math.cos(4.0 * math.pi * t))
+    if path == "sweep_lr":
+        return (0.08 + 0.84 * t, 0.45 + 0.08 * math.sin(3.0 * math.pi * t))
+    if path == "sweep_rl":
+        return (0.92 - 0.84 * t, 0.45 + 0.08 * math.sin(3.0 * math.pi * t))
+    if path == "orbit":
+        angle = 2.0 * math.pi * t
+        return (0.5 + 0.28 * math.cos(angle), 0.5 + 0.22 * math.sin(angle))
+    if path == "weave":
+        return (0.15 + 0.70 * t, 0.5 + 0.18 * math.sin(5.0 * math.pi * t))
+    if path == "enter_left":
+        return (-0.25 + 0.80 * t, 0.45)
+    if path == "exit_right":
+        return (0.55 + 0.75 * t, 0.45)
+    if path == "absent":
+        return (0.5, 0.5)
+    raise ValueError(f"unknown path {path!r}")

@@ -1,0 +1,88 @@
+"""Shared experiment context: one characterization, many experiments.
+
+Building the validation set, the characterization bundle, and the scenario
+traces dominates experiment cost; the :class:`ExperimentContext` builds
+each at most once and every table/figure generator draws from it.
+``scale`` shortens scenarios proportionally — the test suite runs at small
+scales, the benchmark harness near full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..characterization import CharacterizationBundle, characterize
+from ..core import ConfidenceGraph
+from ..data import Scenario, evaluation_scenarios
+from ..models import ModelZoo, default_zoo
+from ..runtime import TraceCache
+from ..sim import SoC, xavier_nx_with_oakd
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily cached building blocks shared by all experiments."""
+
+    scale: float = 1.0
+    validation_size: int = 800
+    validation_seed: int = 7151
+    engine_seed: int = 1234
+    zoo: ModelZoo = field(default_factory=default_zoo)
+    _soc: SoC | None = None
+    _bundle: CharacterizationBundle | None = None
+    _cache: TraceCache | None = None
+    _graph: ConfidenceGraph | None = None
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.validation_size <= 0:
+            raise ValueError("validation_size must be positive")
+
+    @property
+    def soc(self) -> SoC:
+        """The simulated platform (built once)."""
+        if self._soc is None:
+            self._soc = xavier_nx_with_oakd()
+        return self._soc
+
+    @property
+    def bundle(self) -> CharacterizationBundle:
+        """The offline characterization (built once)."""
+        if self._bundle is None:
+            self._bundle = characterize(
+                self.zoo,
+                self.soc,
+                validation_size=self.validation_size,
+                validation_seed=self.validation_seed,
+            )
+        return self._bundle
+
+    @property
+    def cache(self) -> TraceCache:
+        """Trace cache shared by every policy run."""
+        if self._cache is None:
+            self._cache = TraceCache(self.zoo)
+        return self._cache
+
+    @property
+    def graph(self) -> ConfidenceGraph:
+        """The confidence graph at default parameters (built once)."""
+        if self._graph is None:
+            self._graph = ConfidenceGraph.build(self.bundle.observations)
+        return self._graph
+
+    def scenarios(self) -> list[Scenario]:
+        """The six evaluation scenarios at this context's scale."""
+        scenarios = evaluation_scenarios()
+        if self.scale != 1.0:
+            scenarios = [s.scaled(self.scale) for s in scenarios]
+        return scenarios
+
+    def scenario(self, name: str) -> Scenario:
+        """One evaluation scenario (by full name) at this context's scale."""
+        for candidate in self.scenarios():
+            if candidate.name == name:
+                return candidate
+        known = ", ".join(s.name for s in self.scenarios())
+        raise KeyError(f"unknown scenario {name!r}; known: {known}")

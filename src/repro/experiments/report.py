@@ -1,0 +1,86 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every table/figure generator returns a :class:`TableData`; this module
+renders it as aligned ASCII (for terminals and the benchmark logs) or
+Markdown (for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+Cell = str | float | int | None
+
+
+@dataclass
+class TableData:
+    """A titled grid of cells with optional footnotes."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Cell]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.headers:
+            raise ValueError("a table needs at least one column")
+        for row in self.rows:
+            if len(row) != len(self.headers):
+                raise ValueError(
+                    f"row {row!r} has {len(row)} cells, expected {len(self.headers)}"
+                )
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row (cell count must match the headers)."""
+        row = list(cells)
+        if len(row) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} cells, got {len(row)}")
+        self.rows.append(row)
+
+    def column(self, header: str) -> list[Cell]:
+        """All cells of one column."""
+        try:
+            index = self.headers.index(header)
+        except ValueError:
+            raise KeyError(f"no column named {header!r}; have {self.headers}") from None
+        return [row[index] for row in self.rows]
+
+
+def format_cell(cell: Cell, precision: int = 3) -> str:
+    """Human-readable cell text; None renders as '-' (unsupported pair)."""
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def render_table(table: TableData, precision: int = 3) -> str:
+    """Render as aligned ASCII text."""
+    grid = [table.headers] + [
+        [format_cell(cell, precision) for cell in row] for row in table.rows
+    ]
+    widths = [max(len(row[i]) for row in grid) for i in range(len(table.headers))]
+    lines = [table.title, "=" * len(table.title)]
+    header_line = "  ".join(h.ljust(w) for h, w in zip(grid[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in grid[1:]:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_markdown(table: TableData, precision: int = 3) -> str:
+    """Render as a Markdown table (used by EXPERIMENTS.md tooling)."""
+    lines = [f"### {table.title}", ""]
+    lines.append("| " + " | ".join(table.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in table.headers) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(format_cell(c, precision) for c in row) + " |")
+    for note in table.notes:
+        lines.append(f"\n*{note}*")
+    return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""Regeneration of the paper's tables (I, II, III, IV) and headline claims."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import MarlinPolicy, SingleModelPolicy, oracle_accuracy, oracle_energy, oracle_latency
+from ..core import ShiftConfig, ShiftPipeline
+from ..runtime import RunMetrics, aggregate, average_metrics, run_policy
+from ..runtime.policy import Policy
+from ..sim import AcceleratorClass
+from .context import ExperimentContext
+from .report import TableData
+
+# Models shown in the paper's Table I.
+_TABLE1_MODELS = ("yolov7", "yolov7-tiny", "ssd-mobilenet-v1")
+_TABLE1_CLASSES = (AcceleratorClass.CPU, AcceleratorClass.GPU, AcceleratorClass.DLA)
+
+# Models in Table IV column order (largest to smallest).
+_TABLE4_CLASSES = (AcceleratorClass.GPU, AcceleratorClass.DLA, AcceleratorClass.OAKD)
+
+
+def table1(ctx: ExperimentContext) -> TableData:
+    """Table I: CPU/GPU/DLA statistics for three representative models."""
+    bundle = ctx.bundle
+    table = TableData(
+        title="Table I: average statistics per model on CPU, GPU, and GPU/DLA",
+        headers=[
+            "Model", "IoU",
+            "Inference CPU (s)", "Inference GPU (s)", "Inference DLA (s)",
+            "Power CPU (W)", "Power GPU (W)", "Power DLA (W)",
+            "Energy CPU (J)", "Energy GPU (J)", "Energy DLA (J)",
+        ],
+    )
+    for model in _TABLE1_MODELS:
+        perf = {c: bundle.performance.get((model, c)) for c in _TABLE1_CLASSES}
+        table.add_row(
+            model,
+            round(bundle.accuracy[model].mean_iou, 2),
+            *[None if perf[c] is None else perf[c].mean_latency_s for c in _TABLE1_CLASSES],
+            *[None if perf[c] is None else perf[c].mean_power_w for c in _TABLE1_CLASSES],
+            *[None if perf[c] is None else perf[c].mean_energy_j for c in _TABLE1_CLASSES],
+        )
+    table.notes.append("'-' marks pairs the platform cannot execute (Table I of the paper).")
+    return table
+
+
+# ----------------------------------------------------------- Table II
+
+# Feature matrix transcribed from the paper (static by nature).
+_FEATURES = ("Context Awareness", "Multi-Accelerator", "Multi-DNN", "Energy-Aware",
+             "No-Offloading", "Continuous")
+_RELATED_WORK: dict[str, tuple[bool, bool, bool, bool, bool, bool]] = {
+    "Glimpse": (False, False, False, False, False, True),
+    "MARLIN": (True, False, False, True, True, True),
+    "AdaVP": (True, False, False, True, True, False),
+    "RoaD-RuNNer": (True, False, False, True, False, True),
+    "Fast UQ": (False, False, True, False, True, False),
+    "Herald": (False, True, False, True, True, False),
+    "AxoNN": (False, True, False, True, True, False),
+    "SHIFT": (True, True, True, True, True, True),
+}
+
+
+def table2() -> TableData:
+    """Table II: feature comparison with related work."""
+    table = TableData(
+        title="Table II: features offered by related work vs SHIFT",
+        headers=["Feature"] + list(_RELATED_WORK),
+    )
+    for i, feature in enumerate(_FEATURES):
+        table.add_row(feature, *[_RELATED_WORK[name][i] for name in _RELATED_WORK])
+    return table
+
+
+# ---------------------------------------------------------- Table III
+
+@dataclass
+class Table3Result:
+    """Structured Table III output: per-policy averaged metrics."""
+
+    table: TableData
+    metrics: dict[str, RunMetrics]
+    per_scenario: dict[str, list[RunMetrics]]
+
+
+def _table3_policies(ctx: ExperimentContext, config: ShiftConfig) -> list[Policy]:
+    return [
+        MarlinPolicy("yolov7"),
+        MarlinPolicy("yolov7-tiny"),
+        ShiftPipeline(ctx.bundle, config=config, graph=ctx.graph),
+        oracle_energy(),
+        oracle_accuracy(),
+        oracle_latency(),
+    ]
+
+
+_TABLE3_LABELS = {
+    "marlin:yolov7": "Marlin",
+    "marlin:yolov7-tiny": "Marlin Tiny",
+    "shift": "SHIFT",
+    "oracle:energy": "Oracle E",
+    "oracle:accuracy": "Oracle A",
+    "oracle:latency": "Oracle L",
+}
+
+
+def table3(ctx: ExperimentContext, config: ShiftConfig | None = None) -> Table3Result:
+    """Table III: average runtime performance over the six scenarios."""
+    config = config or ShiftConfig()
+    scenarios = ctx.scenarios()
+    pair_total = len(ctx.soc.schedulable_pairs(ctx.zoo.names()))
+    table = TableData(
+        title="Table III: average runtime performance of continuous object detection",
+        headers=["Methodology", "IoU", "Time (s)", "Energy (J)", "Success Rate",
+                 "Non-GPU", "Model Swaps", "Pairs Used"],
+        notes=[
+            f"SHIFT parameters: goal accuracy {config.accuracy_goal}, momentum "
+            f"{config.momentum}, distance threshold {config.distance_threshold}, knobs: "
+            f"accuracy {config.knob_accuracy}, energy/latency "
+            f"{config.knob_energy}/{config.knob_latency}.",
+            f"A total of {pair_total} model-accelerator combinations were possible.",
+            "Includes overhead for SHIFT and Marlin methods.",
+        ],
+    )
+    metrics: dict[str, RunMetrics] = {}
+    per_scenario: dict[str, list[RunMetrics]] = {}
+    for policy in _table3_policies(ctx, config):
+        runs = [
+            aggregate(run_policy(policy, ctx.cache.get(s), engine_seed=ctx.engine_seed))
+            for s in scenarios
+        ]
+        label = _TABLE3_LABELS.get(policy.name, policy.name)
+        avg = average_metrics(runs, label)
+        metrics[label] = avg
+        per_scenario[label] = runs
+        table.add_row(
+            label,
+            round(avg.mean_iou, 3),
+            round(avg.mean_latency_s, 3),
+            round(avg.mean_energy_j, 3),
+            f"{avg.success_rate * 100:.1f}%",
+            f"{avg.non_gpu_share * 100:.1f}%",
+            avg.swaps,
+            avg.pairs_used,
+        )
+    return Table3Result(table=table, metrics=metrics, per_scenario=per_scenario)
+
+
+# ----------------------------------------------------------- Table IV
+
+def table4(ctx: ExperimentContext) -> TableData:
+    """Table IV: accuracy and performance traits of all models."""
+    bundle = ctx.bundle
+    table = TableData(
+        title="Table IV: collected accuracy and performance traits of all models",
+        headers=[
+            "Model", "Avg. IoU", "Success Rate",
+            "Time GPU (s)", "Time DLA (s)", "Time OAK-D (s)",
+            "Energy GPU (J)", "Energy DLA (J)", "Energy OAK-D (J)",
+            "Power GPU (W)", "Power DLA (W)", "Power OAK-D (W)",
+        ],
+    )
+    for spec in ctx.zoo:
+        accuracy = bundle.accuracy[spec.name]
+        perf = {c: bundle.performance.get((spec.name, c)) for c in _TABLE4_CLASSES}
+        table.add_row(
+            spec.name,
+            round(accuracy.mean_iou, 3),
+            f"{accuracy.success_rate * 100:.1f}%",
+            *[None if perf[c] is None else perf[c].mean_latency_s for c in _TABLE4_CLASSES],
+            *[None if perf[c] is None else perf[c].mean_energy_j for c in _TABLE4_CLASSES],
+            *[None if perf[c] is None else perf[c].mean_power_w for c in _TABLE4_CLASSES],
+        )
+    return table
+
+
+# ----------------------------------------------------- headline claims
+
+@dataclass
+class HeadlineClaims:
+    """The abstract's numbers: SHIFT vs single-model YoloV7 on GPU."""
+
+    energy_improvement: float  # paper: up to 7.5x
+    latency_improvement: float  # paper: up to 2.8x
+    iou_ratio: float  # paper: 0.97x
+    success_ratio: float  # paper: 0.97x
+    table: TableData
+
+
+def headline_claims(ctx: ExperimentContext, config: ShiftConfig | None = None) -> HeadlineClaims:
+    """Compare SHIFT with the state-of-the-art single model on GPU."""
+    config = config or ShiftConfig()
+    scenarios = ctx.scenarios()
+    shift = ShiftPipeline(ctx.bundle, config=config, graph=ctx.graph)
+    single = SingleModelPolicy("yolov7", "gpu")
+    shift_avg = average_metrics(
+        [aggregate(run_policy(shift, ctx.cache.get(s), engine_seed=ctx.engine_seed))
+         for s in scenarios],
+        "SHIFT",
+    )
+    single_avg = average_metrics(
+        [aggregate(run_policy(single, ctx.cache.get(s), engine_seed=ctx.engine_seed))
+         for s in scenarios],
+        "YoloV7@GPU",
+    )
+    claims = HeadlineClaims(
+        energy_improvement=single_avg.mean_energy_j / shift_avg.mean_energy_j,
+        latency_improvement=single_avg.mean_latency_s / shift_avg.mean_latency_s,
+        iou_ratio=shift_avg.mean_iou / single_avg.mean_iou,
+        success_ratio=shift_avg.success_rate / single_avg.success_rate,
+        table=TableData(
+            title="Headline claims: SHIFT vs GPU-based single-model OD",
+            headers=["Metric", "SHIFT", "YoloV7@GPU", "Ratio", "Paper"],
+        ),
+    )
+    claims.table.add_row("Energy (J/frame)", round(shift_avg.mean_energy_j, 3),
+                         round(single_avg.mean_energy_j, 3),
+                         f"{claims.energy_improvement:.2f}x better", "7.5x")
+    claims.table.add_row("Latency (s/frame)", round(shift_avg.mean_latency_s, 3),
+                         round(single_avg.mean_latency_s, 3),
+                         f"{claims.latency_improvement:.2f}x better", "2.8x")
+    claims.table.add_row("Mean IoU", round(shift_avg.mean_iou, 3),
+                         round(single_avg.mean_iou, 3),
+                         f"{claims.iou_ratio:.2f}x", "0.97x")
+    claims.table.add_row("Success rate", round(shift_avg.success_rate, 3),
+                         round(single_avg.success_rate, 3),
+                         f"{claims.success_ratio:.2f}x", "0.97x")
+    return claims

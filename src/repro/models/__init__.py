@@ -1,0 +1,28 @@
+"""Simulated object-detection model zoo."""
+
+from .detector import (
+    SCENE_NOISE_SIGMA,
+    ContextId,
+    DetectionOutcome,
+    detect,
+    shared_scene_noise,
+)
+from .families import SSD_FAMILY, YOLO_FAMILY, paper_specs
+from .spec import ConfidenceCalibration, ModelSpec, SkillCurve
+from .zoo import ModelZoo, default_zoo
+
+__all__ = [
+    "DetectionOutcome",
+    "detect",
+    "shared_scene_noise",
+    "ContextId",
+    "SCENE_NOISE_SIGMA",
+    "paper_specs",
+    "YOLO_FAMILY",
+    "SSD_FAMILY",
+    "ModelSpec",
+    "SkillCurve",
+    "ConfidenceCalibration",
+    "ModelZoo",
+    "default_zoo",
+]

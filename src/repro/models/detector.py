@@ -1,0 +1,219 @@
+"""Simulated object detection: scene in, scored bounding boxes out.
+
+Given a :class:`~repro.models.spec.ModelSpec` and the latent
+:class:`~repro.data.scene.SceneState` of a frame, the detector produces the
+outcome a real network would: a set of candidate boxes (the true target
+response plus clutter distractors), reduced by NMS, with a reported
+confidence score.  Misses emerge naturally — when the calibrated confidence
+of the target response falls below the NMS confidence threshold the
+detection is dropped, exactly how a deployed YOLO head loses a target.
+
+Determinism: every stochastic draw comes from an RNG seeded by
+``(context_id, model)``, with a *shared* scene-noise component common to
+all models on the same frame.  That shared component is what makes
+different models' confidence scores co-vary — the statistical structure
+the confidence graph mines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.scene import SceneState, difficulty_components, scene_difficulty
+from ..vision.bbox import BoundingBox, iou as box_iou
+from ..vision.nms import ScoredBox, best_detection
+from .spec import ModelSpec
+
+# Salt that namespaces this simulator's RNG streams.
+_STREAM_SALT = 0x5E1F7
+
+# Standard deviation of the shared per-frame context noise.
+SCENE_NOISE_SIGMA = 0.045
+
+# Temporal correlation of the noise streams: video noise is smooth, not
+# iid — a model that barely clears the detection threshold on frame t
+# usually clears it on frame t+1 too.  Quality noise is a blend of a
+# slowly varying component (cosine-interpolated between Gaussian knots
+# every _SLOW_PERIOD frames) and an iid component.
+_SLOW_PERIOD = 22.0
+_SLOW_FRACTION = 0.8  # fraction of the noise *variance* in the slow part
+
+ContextId = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """What one model reported on one frame.
+
+    ``confidence`` is the model's reported score: the surviving detection's
+    score when there is one, otherwise the strongest sub-threshold candidate
+    response (real runtimes observe those too).  ``quality`` is the latent
+    detection quality — visible to the simulator and to oracle baselines,
+    never to SHIFT.
+    """
+
+    model_name: str
+    box: BoundingBox | None
+    confidence: float
+    iou: float
+    quality: float
+    detected: bool
+    false_positive: bool
+
+
+def _model_rng(context_id: ContextId, spec: ModelSpec) -> np.random.Generator:
+    return np.random.default_rng((_STREAM_SALT, context_id[0], context_id[1], spec.salt))
+
+
+def _knot(stream: int, salt: int, index: int, sigma: float) -> float:
+    rng = np.random.default_rng((_STREAM_SALT, stream, salt, index))
+    return float(rng.normal(0.0, sigma))
+
+
+def _smooth_noise(stream: int, salt: int, t: float, sigma: float) -> float:
+    """Cosine-interpolated Gaussian knot noise: smooth in ``t``, var sigma^2."""
+    position = t / _SLOW_PERIOD
+    index = int(np.floor(position))
+    frac = position - index
+    weight = (1.0 - np.cos(np.pi * frac)) / 2.0
+    a = _knot(stream, salt, index, sigma)
+    b = _knot(stream, salt, index + 1, sigma)
+    return float(a * (1.0 - weight) + b * weight)
+
+
+def _correlated_noise(stream: int, salt: int, context_id: ContextId, sigma: float) -> float:
+    """Blend of slow (temporally smooth) and iid noise with total std sigma."""
+    slow_sigma = sigma * np.sqrt(_SLOW_FRACTION)
+    iid_sigma = sigma * np.sqrt(1.0 - _SLOW_FRACTION)
+    slow = _smooth_noise(stream, salt, float(context_id[1]), slow_sigma)
+    iid_rng = np.random.default_rng((_STREAM_SALT, stream, salt, context_id[0], context_id[1]))
+    return slow + float(iid_rng.normal(0.0, iid_sigma))
+
+
+def shared_scene_noise(context_id: ContextId) -> float:
+    """The per-frame context noise common to every model.
+
+    Smooth over frame index within one stream (``context_id[0]`` selects
+    the stream), so consecutive frames see similar conditions.
+    """
+    return _correlated_noise(0, context_id[0], context_id, SCENE_NOISE_SIGMA)
+
+
+def _perturbed_target_box(
+    truth: BoundingBox,
+    quality: float,
+    scene: SceneState,
+    spec: ModelSpec,
+    context_id: ContextId,
+) -> BoundingBox:
+    """The model's localization of the target: error grows as quality drops.
+
+    The error components are temporally smooth (correlated noise streams):
+    a real detector's box drifts around the target over consecutive frames
+    rather than teleporting, which keeps per-model IoU stable within a
+    scene segment — the stability the Oracle baselines and the momentum
+    buffer rely on.
+    """
+    slack = 1.0 - quality
+    offset_sigma = 0.22 * slack * max(truth.width, 2.0)
+    dx = _correlated_noise(spec.salt + 1, context_id[0], context_id, offset_sigma)
+    dy = _correlated_noise(spec.salt + 2, context_id[0], context_id, offset_sigma)
+    log_scale = _correlated_noise(spec.salt + 3, context_id[0], context_id, 0.16 * slack)
+    scale = float(np.exp(log_scale))
+    cx, cy = truth.center
+    box = BoundingBox.from_center(cx + dx, cy + dy, truth.width * scale, truth.height * scale)
+    return box.clipped(float(scene.frame_size), float(scene.frame_size))
+
+
+def _distractor_boxes(
+    spec: ModelSpec,
+    scene: SceneState,
+    clutter: float,
+    camouflage: float,
+    rng: np.random.Generator,
+) -> list[ScoredBox]:
+    """Clutter responses: spurious candidates on busy backgrounds."""
+    intensity = spec.false_positive_rate * (0.8 * clutter + 0.4 * camouflage)
+    count = int(rng.poisson(intensity))
+    size = float(scene.frame_size)
+    distractors = []
+    for _ in range(count):
+        w = float(rng.uniform(0.04, 0.22)) * size
+        h = w * float(rng.uniform(0.5, 1.1))
+        cx = float(rng.uniform(0.1, 0.9)) * size
+        cy = float(rng.uniform(0.1, 0.9)) * size
+        # Distractor scores concentrate low but overconfident families push
+        # them higher — the bias term leaks into clutter responses too.
+        score = float(
+            np.clip(rng.uniform(0.05, 0.30) + 0.6 * spec.calibration.bias * clutter, 0.0, 0.95)
+        )
+        box = BoundingBox.from_center(cx, cy, w, h).clipped(size, size)
+        if not box.is_degenerate():
+            distractors.append(ScoredBox(box=box, score=score))
+    return distractors
+
+
+def detect(spec: ModelSpec, scene: SceneState, context_id: ContextId) -> DetectionOutcome:
+    """Run one simulated inference of ``spec`` on the frame ``context_id``.
+
+    ``context_id`` identifies the frame globally — typically
+    ``(scenario_seed, frame_index)`` — and fully determines the outcome
+    together with the model name, so traces are reproducible and two
+    policies that run the same model on the same frame observe identical
+    results.
+    """
+    rng = _model_rng(context_id, spec)
+    truth = scene.ground_truth_box()
+    components = difficulty_components(scene)
+    clutter = components["clutter"]
+    camouflage = components["camouflage"]
+
+    # Latent quality: skill at this difficulty, shifted by shared scene
+    # noise (common across models) and private model noise; both are
+    # temporally smooth within a stream.
+    difficulty = scene_difficulty(scene)
+    shared = shared_scene_noise(context_id) * spec.scene_sensitivity
+    private = _correlated_noise(spec.salt, context_id[0], context_id, spec.model_noise)
+    quality = float(np.clip(spec.skill.quality(difficulty) + shared + private, 0.0, 1.0))
+
+    candidates = _distractor_boxes(spec, scene, clutter, camouflage, rng)
+    true_candidate: ScoredBox | None = None
+    if truth is not None and quality >= spec.no_response_floor:
+        predicted = _perturbed_target_box(truth, quality, scene, spec, context_id)
+        if not predicted.is_degenerate():
+            conf = spec.calibration.scale * quality + spec.calibration.bias
+            conf += _correlated_noise(spec.salt + 4, context_id[0], context_id, spec.calibration.noise)
+            conf = float(np.clip(conf, 0.0, 1.0))
+            true_candidate = ScoredBox(box=predicted, score=conf)
+            candidates.append(true_candidate)
+
+    best = best_detection(candidates)
+    if best is None:
+        # Nothing crossed the confidence threshold: report the strongest
+        # sub-threshold response as the model's score.
+        top_score = max((c.score for c in candidates), default=0.02)
+        return DetectionOutcome(
+            model_name=spec.name,
+            box=None,
+            confidence=float(top_score),
+            iou=0.0,
+            quality=quality,
+            detected=False,
+            false_positive=False,
+        )
+
+    achieved_iou = box_iou(best.box, truth) if truth is not None else 0.0
+    is_false_positive = truth is None or (
+        true_candidate is not None and best.box is not true_candidate.box and achieved_iou < 0.1
+    ) or (truth is not None and true_candidate is None)
+    return DetectionOutcome(
+        model_name=spec.name,
+        box=best.box,
+        confidence=best.score,
+        iou=float(achieved_iou),
+        quality=quality,
+        detected=True,
+        false_positive=bool(is_false_positive),
+    )

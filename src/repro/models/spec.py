@@ -1,0 +1,110 @@
+"""Model specifications for the simulated object-detection zoo.
+
+A :class:`ModelSpec` captures everything the simulation needs to know about
+one ODM: its identity (family, input size, parameter count), its *skill
+curve* (how detection quality degrades with frame difficulty), and its
+*confidence calibration* (how the reported score relates to true quality —
+the paper stresses that this relation differs across architectures and is
+the reason the confidence graph exists).
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SkillCurve:
+    """Detection quality as a function of frame difficulty.
+
+    ``quality(d) = peak * sigmoid((break_point - d) / width)``: on easy
+    frames (d << break_point) the model operates near ``peak``; past its
+    break point quality collapses.  Big models have high break points
+    (robust far into hard contexts); small models have high peaks on easy
+    frames but early break points.
+    """
+
+    peak: float
+    break_point: float
+    width: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.peak <= 1.0:
+            raise ValueError(f"peak must be within (0, 1], got {self.peak}")
+        if not 0.0 <= self.break_point <= 1.5:
+            raise ValueError(f"break_point must be within [0, 1.5], got {self.break_point}")
+        if self.width <= 0.0:
+            raise ValueError(f"width must be positive, got {self.width}")
+
+    def quality(self, difficulty: float) -> float:
+        """Expected detection quality in [0, 1] at the given difficulty."""
+        z = (self.break_point - difficulty) / self.width
+        return self.peak / (1.0 + math.exp(-z))
+
+
+@dataclass(frozen=True)
+class ConfidenceCalibration:
+    """Linear-with-noise mapping from latent quality to reported confidence.
+
+    ``confidence = clip(scale * quality + bias + N(0, noise))``.  A positive
+    bias with scale < 1 models the over-confident architectures the paper
+    calls out: inflated scores on frames the model actually fails.
+    """
+
+    scale: float
+    bias: float
+    noise: float
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0.0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.noise < 0.0:
+            raise ValueError(f"noise must be non-negative, got {self.noise}")
+
+    def mean_confidence(self, quality: float) -> float:
+        """Noise-free confidence for a given quality."""
+        return min(1.0, max(0.0, self.scale * quality + self.bias))
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Full description of one simulated object-detection model."""
+
+    name: str
+    family: str
+    input_size: int
+    params_millions: float
+    skill: SkillCurve
+    calibration: ConfidenceCalibration
+    # How strongly shared per-frame context noise moves this model (models
+    # of the same family respond more similarly to the same frame).
+    scene_sensitivity: float = 1.0
+    # Independent per-model quality noise (sigma).
+    model_noise: float = 0.05
+    # Rate at which clutter produces competitive false-positive candidates.
+    false_positive_rate: float = 0.5
+    # Below this quality the network produces no target response at all.
+    no_response_floor: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("model name must be non-empty")
+        if self.input_size <= 0:
+            raise ValueError(f"input_size must be positive, got {self.input_size}")
+        if self.params_millions <= 0:
+            raise ValueError(f"params_millions must be positive, got {self.params_millions}")
+        if self.scene_sensitivity < 0:
+            raise ValueError("scene_sensitivity must be non-negative")
+        if self.model_noise < 0:
+            raise ValueError("model_noise must be non-negative")
+        if not 0.0 <= self.false_positive_rate <= 2.0:
+            raise ValueError("false_positive_rate must be within [0, 2]")
+        if not 0.0 <= self.no_response_floor < 1.0:
+            raise ValueError("no_response_floor must be within [0, 1)")
+
+    @property
+    def salt(self) -> int:
+        """Stable integer identity used to derive per-model RNG streams."""
+        return zlib.crc32(self.name.encode("utf-8"))

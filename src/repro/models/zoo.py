@@ -1,0 +1,71 @@
+"""Model zoo: the registry of ODMs available to characterization and SHIFT."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .families import paper_specs
+from .spec import ModelSpec
+
+
+class ModelZoo:
+    """An ordered registry of model specs, keyed by canonical name.
+
+    Order matters only for presentation (tables list models largest to
+    smallest, like the paper); lookups are by name.
+    """
+
+    def __init__(self, specs: list[ModelSpec] | None = None) -> None:
+        self._specs: dict[str, ModelSpec] = {}
+        for spec in specs or []:
+            self.register(spec)
+
+    def register(self, spec: ModelSpec, replace: bool = False) -> None:
+        """Add a model; ``replace=True`` overwrites an existing entry."""
+        if not replace and spec.name in self._specs:
+            raise ValueError(f"model {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+
+    def remove(self, name: str) -> ModelSpec:
+        """Remove and return a model spec."""
+        try:
+            return self._specs.pop(name)
+        except KeyError:
+            raise KeyError(f"no model named {name!r} in the zoo") from None
+
+    def get(self, name: str) -> ModelSpec:
+        """Look up a model by canonical name."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(self.names())
+            raise KeyError(f"no model named {name!r}; registered models: {known}") from None
+
+    def names(self) -> list[str]:
+        """Model names in registration order."""
+        return list(self._specs)
+
+    def specs(self) -> list[ModelSpec]:
+        """Model specs in registration order."""
+        return list(self._specs.values())
+
+    def families(self) -> list[str]:
+        """Distinct family names, in first-seen order."""
+        seen: dict[str, None] = {}
+        for spec in self._specs.values():
+            seen.setdefault(spec.family, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[ModelSpec]:
+        return iter(self._specs.values())
+
+
+def default_zoo() -> ModelZoo:
+    """The paper's eight-model zoo."""
+    return ModelZoo(paper_specs())

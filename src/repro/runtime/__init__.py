@@ -1,0 +1,47 @@
+"""Continuous-detection runtime: traces, policies, runner, metrics."""
+
+from .constraints import ConstraintReport, evaluate_constraints
+from .export import (
+    load_metrics_dicts,
+    metrics_to_dict,
+    record_to_dict,
+    result_to_dict,
+    save_metrics,
+)
+from .segments import SegmentMetrics, segment_metrics
+from .metrics import (
+    SUCCESS_IOU_THRESHOLD,
+    RunMetrics,
+    aggregate,
+    average_metrics,
+    efficiency_series,
+)
+from .policy import Policy, RuntimeServices
+from .records import FrameRecord, RunResult
+from .runner import run_policy, run_policy_on_scenarios
+from .trace import ScenarioTrace, TraceCache
+
+__all__ = [
+    "ConstraintReport",
+    "evaluate_constraints",
+    "SegmentMetrics",
+    "segment_metrics",
+    "metrics_to_dict",
+    "record_to_dict",
+    "result_to_dict",
+    "save_metrics",
+    "load_metrics_dicts",
+    "RunMetrics",
+    "aggregate",
+    "average_metrics",
+    "efficiency_series",
+    "SUCCESS_IOU_THRESHOLD",
+    "Policy",
+    "RuntimeServices",
+    "FrameRecord",
+    "RunResult",
+    "run_policy",
+    "run_policy_on_scenarios",
+    "ScenarioTrace",
+    "TraceCache",
+]

@@ -1,0 +1,80 @@
+"""Constraint-satisfaction reporting.
+
+SHIFT's pitch is optimizing energy *while satisfying latency constraints*.
+Given a per-frame latency deadline (the camera period, or a control-loop
+bound) and/or a mission energy budget, this module reports how well a run
+satisfied them: deadline hit rate, worst-case latency, and the frame at
+which the energy budget would have been exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .records import RunResult
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """How one run performed against deadline/budget constraints."""
+
+    deadline_s: float | None
+    energy_budget_j: float | None
+    frames: int
+    deadline_hit_rate: float  # 1.0 when no deadline given
+    worst_latency_s: float
+    p99_latency_s: float
+    total_energy_j: float
+    budget_exhausted_at_frame: int | None  # None = budget never exhausted
+
+    @property
+    def deadline_met(self) -> bool:
+        """True when every frame met the deadline (or none was set)."""
+        return self.deadline_hit_rate == 1.0
+
+    @property
+    def within_budget(self) -> bool:
+        """True when the run never exhausted the energy budget."""
+        return self.budget_exhausted_at_frame is None
+
+
+def evaluate_constraints(
+    result: RunResult,
+    deadline_s: float | None = None,
+    energy_budget_j: float | None = None,
+) -> ConstraintReport:
+    """Score a run against a latency deadline and/or an energy budget."""
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValueError("deadline_s must be positive when given")
+    if energy_budget_j is not None and energy_budget_j <= 0:
+        raise ValueError("energy_budget_j must be positive when given")
+    records = result.records
+    if not records:
+        raise ValueError("cannot evaluate constraints on an empty run")
+
+    latencies = sorted(r.latency_s for r in records)
+    if deadline_s is None:
+        hit_rate = 1.0
+    else:
+        hit_rate = sum(1 for r in records if r.latency_s <= deadline_s) / len(records)
+
+    exhausted_at = None
+    cumulative = 0.0
+    for record in records:
+        cumulative += record.energy_j
+        if energy_budget_j is not None and cumulative > energy_budget_j:
+            exhausted_at = record.frame_index
+            break
+    total_energy = sum(r.energy_j for r in records)
+
+    p99_index = min(len(latencies) - 1, int(0.99 * (len(latencies) - 1) + 0.5))
+    return ConstraintReport(
+        deadline_s=deadline_s,
+        energy_budget_j=energy_budget_j,
+        frames=len(records),
+        deadline_hit_rate=hit_rate,
+        worst_latency_s=latencies[-1],
+        p99_latency_s=latencies[p99_index],
+        total_energy_j=total_energy,
+        budget_exhausted_at_frame=exhausted_at,
+    )

@@ -1,0 +1,80 @@
+"""Export run results and metrics as plain data.
+
+Experiment pipelines (dashboards, regression tracking, the EXPERIMENTS.md
+tooling) consume runs as JSON; this module flattens
+:class:`~repro.runtime.metrics.RunMetrics` and per-frame records into
+dictionaries with stable keys.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import RunMetrics
+from .records import FrameRecord, RunResult
+
+
+def metrics_to_dict(metrics: RunMetrics) -> dict:
+    """Flat dict form of one run's aggregate metrics."""
+    return {
+        "policy": metrics.policy_name,
+        "scenario": metrics.scenario_name,
+        "frames": metrics.frames,
+        "mean_iou": metrics.mean_iou,
+        "success_rate": metrics.success_rate,
+        "mean_latency_s": metrics.mean_latency_s,
+        "mean_energy_j": metrics.mean_energy_j,
+        "total_energy_j": metrics.total_energy_j,
+        "non_gpu_share": metrics.non_gpu_share,
+        "swaps": metrics.swaps,
+        "cold_loads": metrics.cold_loads,
+        "pairs_used": metrics.pairs_used,
+        "mean_overhead_s": metrics.mean_overhead_s,
+        "detected_share": metrics.detected_share,
+        "efficiency_iou_per_joule": metrics.efficiency_iou_per_joule,
+    }
+
+
+def record_to_dict(record: FrameRecord) -> dict:
+    """Flat dict form of one frame record (box as a 4-tuple or None)."""
+    return {
+        "frame": record.frame_index,
+        "model": record.model_name,
+        "accelerator": record.accelerator_name,
+        "box": list(record.box.as_tuple()) if record.box is not None else None,
+        "confidence": record.confidence,
+        "iou": record.iou,
+        "ground_truth_present": record.ground_truth_present,
+        "detected": record.detected,
+        "latency_s": record.latency_s,
+        "energy_j": record.energy_j,
+        "swap": record.swap,
+        "cold_load": record.cold_load,
+        "used_tracker": record.used_tracker,
+        "rescheduled": record.rescheduled,
+    }
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Full run (metadata + per-frame records) as a dict."""
+    return {
+        "policy": result.policy_name,
+        "scenario": result.scenario_name,
+        "records": [record_to_dict(record) for record in result.records],
+    }
+
+
+def save_metrics(metrics_list: list[RunMetrics], path: str | Path) -> None:
+    """Write a list of run metrics as JSON lines (one run per line)."""
+    lines = [json.dumps(metrics_to_dict(m)) for m in metrics_list]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_metrics_dicts(path: str | Path) -> list[dict]:
+    """Read back the dict rows written by :func:`save_metrics`."""
+    rows = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            rows.append(json.loads(line))
+    return rows

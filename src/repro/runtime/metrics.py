@@ -1,0 +1,120 @@
+"""Metric aggregation: the numbers the paper's tables report.
+
+The conventions mirror §IV/§V: IoU and success rate are averaged over
+frames *with* a ground-truth object (the single-object protocol); time and
+energy are averaged over *all* processed frames (the system pays for empty
+frames too); "non-GPU" is the share of frames executed off the GPU;
+"swaps" counts (model, accelerator) pair changes; "pairs" counts distinct
+pairs used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .records import FrameRecord, RunResult
+
+SUCCESS_IOU_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregate metrics of one run (one policy on one scenario)."""
+
+    policy_name: str
+    scenario_name: str
+    frames: int
+    mean_iou: float
+    success_rate: float
+    mean_latency_s: float
+    mean_energy_j: float
+    total_energy_j: float
+    non_gpu_share: float
+    swaps: int
+    cold_loads: int
+    # Distinct pairs in a single run; fractional in cross-scenario averages
+    # (the paper reports e.g. "4.3 pairs used").
+    pairs_used: float
+    mean_overhead_s: float
+    detected_share: float
+
+    @property
+    def efficiency_iou_per_joule(self) -> float:
+        """The paper's Fig. 2 efficiency metric: IoU per joule."""
+        if self.total_energy_j <= 0.0:
+            return 0.0
+        return self.mean_iou * self.frames / self.total_energy_j
+
+
+def aggregate(result: RunResult) -> RunMetrics:
+    """Collapse a run's frame records into :class:`RunMetrics`."""
+    records = result.records
+    if not records:
+        raise ValueError(f"run {result.policy_name!r} has no frame records")
+
+    with_truth = [r for r in records if r.ground_truth_present]
+    if with_truth:
+        mean_iou = sum(r.iou for r in with_truth) / len(with_truth)
+        success = sum(1 for r in with_truth if r.success) / len(with_truth)
+    else:
+        mean_iou = 0.0
+        success = 0.0
+
+    frames = len(records)
+    return RunMetrics(
+        policy_name=result.policy_name,
+        scenario_name=result.scenario_name,
+        frames=frames,
+        mean_iou=mean_iou,
+        success_rate=success,
+        mean_latency_s=sum(r.latency_s for r in records) / frames,
+        mean_energy_j=sum(r.energy_j for r in records) / frames,
+        total_energy_j=sum(r.energy_j for r in records),
+        non_gpu_share=sum(1 for r in records if r.non_gpu) / frames,
+        swaps=sum(1 for r in records if r.swap),
+        cold_loads=sum(1 for r in records if r.cold_load),
+        pairs_used=len(result.pairs_used()),
+        mean_overhead_s=sum(r.overhead_s for r in records) / frames,
+        detected_share=sum(1 for r in records if r.detected) / frames,
+    )
+
+
+def average_metrics(metrics: list[RunMetrics], policy_name: str) -> RunMetrics:
+    """Average one policy's metrics across scenarios (Table III rows).
+
+    Scenario averages are weighted equally regardless of length, matching
+    how the paper summarizes its six videos; counts (swaps, cold loads)
+    are summed, and "pairs used" is averaged (the paper reports e.g. 4.3).
+    """
+    if not metrics:
+        raise ValueError("cannot average zero runs")
+    n = len(metrics)
+    return RunMetrics(
+        policy_name=policy_name,
+        scenario_name="average",
+        frames=sum(m.frames for m in metrics),
+        mean_iou=sum(m.mean_iou for m in metrics) / n,
+        success_rate=sum(m.success_rate for m in metrics) / n,
+        mean_latency_s=sum(m.mean_latency_s for m in metrics) / n,
+        mean_energy_j=sum(m.mean_energy_j for m in metrics) / n,
+        total_energy_j=sum(m.total_energy_j for m in metrics),
+        non_gpu_share=sum(m.non_gpu_share for m in metrics) / n,
+        swaps=sum(m.swaps for m in metrics),
+        cold_loads=sum(m.cold_loads for m in metrics),
+        pairs_used=round(sum(m.pairs_used for m in metrics) / n, 1),
+        mean_overhead_s=sum(m.mean_overhead_s for m in metrics) / n,
+        detected_share=sum(m.detected_share for m in metrics) / n,
+    )
+
+
+def efficiency_series(records: list[FrameRecord], window: int = 50) -> list[float]:
+    """Windowed IoU-per-joule timeline (Fig. 2/3/4 efficiency curves)."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    series = []
+    for start in range(0, len(records), window):
+        chunk = records[start : start + window]
+        energy = sum(r.energy_j for r in chunk)
+        iou_sum = sum(r.iou for r in chunk if r.ground_truth_present)
+        series.append(iou_sum / energy if energy > 0 else 0.0)
+    return series

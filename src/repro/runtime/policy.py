@@ -1,0 +1,43 @@
+"""Policy protocol: how continuous-detection strategies plug into the runner.
+
+A policy processes frames one at a time against a set of runtime services
+(the SoC, its execution engine, and the scenario trace that stands in for
+real camera frames + real inference).  SHIFT, the single-model baselines,
+Marlin, and the Oracles all implement this interface, so the runner and the
+metric pipeline treat them identically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..data.generator import Frame
+from ..sim.engine import ExecutionEngine
+from ..sim.soc import SoC
+from .records import FrameRecord
+from .trace import ScenarioTrace
+
+
+@dataclass
+class RuntimeServices:
+    """Everything a policy may touch while running a scenario."""
+
+    trace: ScenarioTrace
+    soc: SoC
+    engine: ExecutionEngine
+
+
+class Policy(ABC):
+    """A continuous object-detection strategy."""
+
+    #: Human-readable policy name used in tables and plots.
+    name: str = "policy"
+
+    @abstractmethod
+    def begin(self, services: RuntimeServices) -> None:
+        """Reset internal state for a fresh run over one scenario."""
+
+    @abstractmethod
+    def step(self, frame: Frame) -> FrameRecord:
+        """Process one frame and account for its time and energy."""

@@ -1,0 +1,53 @@
+"""Run policies over scenarios and collect results."""
+
+from __future__ import annotations
+
+from ..data.scenario import Scenario
+from ..models.zoo import ModelZoo
+from ..sim.engine import ExecutionEngine
+from ..sim.soc import SoC, xavier_nx_with_oakd
+from .metrics import RunMetrics, aggregate
+from .policy import Policy, RuntimeServices
+from .records import RunResult
+from .trace import ScenarioTrace, TraceCache
+
+
+def run_policy(
+    policy: Policy,
+    trace: ScenarioTrace,
+    soc: SoC | None = None,
+    engine_seed: int = 1234,
+) -> RunResult:
+    """Run one policy over one traced scenario on a fresh platform.
+
+    A new (or reset) SoC guarantees run isolation: no residual model
+    residency, energy, or virtual time leaks between policies.
+    """
+    if soc is None:
+        soc = xavier_nx_with_oakd()
+    soc.reset()
+    engine = ExecutionEngine(soc, seed=engine_seed)
+    services = RuntimeServices(trace=trace, soc=soc, engine=engine)
+    policy.begin(services)
+    result = RunResult(policy_name=policy.name, scenario_name=trace.scenario.name)
+    for frame in trace.frames:
+        result.records.append(policy.step(frame))
+    return result
+
+
+def run_policy_on_scenarios(
+    policy: Policy,
+    scenarios: list[Scenario],
+    zoo: ModelZoo,
+    cache: TraceCache | None = None,
+    engine_seed: int = 1234,
+) -> list[RunMetrics]:
+    """Run one policy across several scenarios; one metrics row each."""
+    if cache is None:
+        cache = TraceCache(zoo)
+    metrics = []
+    for scenario in scenarios:
+        trace = cache.get(scenario)
+        result = run_policy(policy, trace, engine_seed=engine_seed)
+        metrics.append(aggregate(result))
+    return metrics

@@ -1,0 +1,80 @@
+"""Per-segment metric breakdown.
+
+Scenario segments are the ground-truth context regimes; a policy's
+behaviour *within* each segment (which models it ran, what it achieved,
+what it spent) is the most direct way to see context adaptation — it is
+the data behind the paper's Fig. 3/4 discussion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..data.generator import Frame
+from .records import FrameRecord, RunResult
+
+
+@dataclass(frozen=True)
+class SegmentMetrics:
+    """One policy's aggregate behaviour inside one scenario segment."""
+
+    segment: str
+    frames: int
+    mean_iou: float
+    success_rate: float
+    mean_energy_j: float
+    mean_latency_s: float
+    swaps: int
+    model_shares: dict[str, float]  # model -> fraction of segment frames
+
+    def dominant_model(self) -> str:
+        """The model that served the largest share of the segment."""
+        return max(self.model_shares, key=lambda m: (self.model_shares[m], m))
+
+
+def segment_metrics(result: RunResult, frames: list[Frame]) -> list[SegmentMetrics]:
+    """Break a run down by scenario segment, in stream order.
+
+    ``frames`` must be the same frame sequence the policy processed (the
+    trace's frames); records and frames are zipped positionally.
+    """
+    if len(result.records) != len(frames):
+        raise ValueError(
+            f"record/frame count mismatch: {len(result.records)} records, "
+            f"{len(frames)} frames"
+        )
+    ordered_segments: list[str] = []
+    grouped: dict[str, list[FrameRecord]] = {}
+    for record, frame in zip(result.records, frames):
+        if frame.segment not in grouped:
+            ordered_segments.append(frame.segment)
+            grouped[frame.segment] = []
+        grouped[frame.segment].append(record)
+
+    breakdown = []
+    for segment in ordered_segments:
+        records = grouped[segment]
+        with_truth = [r for r in records if r.ground_truth_present]
+        if with_truth:
+            mean_iou = sum(r.iou for r in with_truth) / len(with_truth)
+            success = sum(1 for r in with_truth if r.success) / len(with_truth)
+        else:
+            mean_iou = 0.0
+            success = 0.0
+        counts = Counter(r.model_name for r in records)
+        breakdown.append(
+            SegmentMetrics(
+                segment=segment,
+                frames=len(records),
+                mean_iou=mean_iou,
+                success_rate=success,
+                mean_energy_j=sum(r.energy_j for r in records) / len(records),
+                mean_latency_s=sum(r.latency_s for r in records) / len(records),
+                swaps=sum(1 for r in records if r.swap),
+                model_shares={
+                    model: count / len(records) for model, count in counts.items()
+                },
+            )
+        )
+    return breakdown

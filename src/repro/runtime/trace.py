@@ -1,0 +1,75 @@
+"""Scenario traces: precomputed detection outcomes for every model.
+
+A :class:`ScenarioTrace` materializes a scenario's frames once and runs
+every model of the zoo on every frame.  Detection outcomes are pure
+functions of (model, frame) — accelerators change timing and energy, never
+boxes — so the trace lets oracle baselines (which need *all* models' results
+per frame) and repeated policy runs share the expensive part.  Policies
+only *observe* the outcomes of inferences they actually execute and pay
+for; the trace is a cache, not an information leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.generator import Frame, render_scenario
+from ..data.scenario import Scenario
+from ..models.detector import DetectionOutcome, detect
+from ..models.zoo import ModelZoo
+
+
+@dataclass
+class ScenarioTrace:
+    """Frames of one scenario plus per-model detection outcomes."""
+
+    scenario: Scenario
+    frames: list[Frame]
+    outcomes: dict[str, list[DetectionOutcome]]
+
+    @classmethod
+    def build(cls, scenario: Scenario, zoo: ModelZoo) -> "ScenarioTrace":
+        """Render the scenario and run every model on every frame."""
+        frames = render_scenario(scenario)
+        outcomes: dict[str, list[DetectionOutcome]] = {}
+        for spec in zoo:
+            outcomes[spec.name] = [
+                detect(spec, frame.scene, (scenario.seed, frame.index)) for frame in frames
+            ]
+        return cls(scenario=scenario, frames=frames, outcomes=outcomes)
+
+    def outcome(self, model_name: str, frame_index: int) -> DetectionOutcome:
+        """The outcome ``model_name`` produces on frame ``frame_index``."""
+        try:
+            per_model = self.outcomes[model_name]
+        except KeyError:
+            known = ", ".join(sorted(self.outcomes))
+            raise KeyError(f"no trace for model {model_name!r}; traced: {known}") from None
+        return per_model[frame_index]
+
+    def model_names(self) -> list[str]:
+        """Models covered by this trace."""
+        return list(self.outcomes)
+
+    @property
+    def frame_count(self) -> int:
+        """Number of frames in the scenario."""
+        return len(self.frames)
+
+
+class TraceCache:
+    """Process-level cache of built traces, keyed by scenario identity."""
+
+    def __init__(self, zoo: ModelZoo) -> None:
+        self.zoo = zoo
+        self._traces: dict[tuple[str, int], ScenarioTrace] = {}
+
+    def get(self, scenario: Scenario) -> ScenarioTrace:
+        """Build (or reuse) the trace for ``scenario``."""
+        key = (scenario.name, scenario.total_frames)
+        if key not in self._traces:
+            self._traces[key] = ScenarioTrace.build(scenario, self.zoo)
+        return self._traces[key]
+
+    def __len__(self) -> int:
+        return len(self._traces)

@@ -1,0 +1,45 @@
+"""Hardware substrate: the simulated Xavier NX + OAK-D platform."""
+
+from .accelerator import Accelerator
+from .clock import VirtualClock
+from .engine import ExecutionEngine, InferenceRecord, LoadRecord
+from .memory import MemoryPool, OutOfMemoryError
+from .power import EnergyMeter, EnergySample
+from .profiles import (
+    IDLE_POWER_W,
+    AcceleratorClass,
+    LoadCost,
+    PerfPoint,
+    has_profile,
+    load_cost,
+    paper_model_names,
+    perf_point,
+    register_profile,
+    supported_classes,
+)
+from .soc import SoC, gpu_only_soc, xavier_nx_with_oakd
+
+__all__ = [
+    "Accelerator",
+    "VirtualClock",
+    "ExecutionEngine",
+    "InferenceRecord",
+    "LoadRecord",
+    "MemoryPool",
+    "OutOfMemoryError",
+    "EnergyMeter",
+    "EnergySample",
+    "AcceleratorClass",
+    "PerfPoint",
+    "LoadCost",
+    "perf_point",
+    "has_profile",
+    "load_cost",
+    "paper_model_names",
+    "supported_classes",
+    "register_profile",
+    "IDLE_POWER_W",
+    "SoC",
+    "xavier_nx_with_oakd",
+    "gpu_only_soc",
+]

@@ -1,0 +1,47 @@
+"""Accelerator instances: a named unit of a given class with its memory.
+
+An :class:`Accelerator` binds an accelerator class (GPU, DLA, ...) to a
+concrete unit on the board ("dla0", "dla1") with a memory pool and a power
+rail.  Two DLAs share a class and profiles but hold separate engine
+allocations, exactly like the paper's platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .memory import MemoryPool
+from .profiles import AcceleratorClass, has_profile
+
+
+@dataclass
+class Accelerator:
+    """One schedulable compute unit of the simulated platform."""
+
+    name: str
+    accel_class: AcceleratorClass
+    memory: MemoryPool
+    power_rail: str
+    # The paper's scheduler only dispatches OD inference to GPU/DLA/OAK-D;
+    # the CPU exists (and is profiled in Table I) but is not in the 18
+    # schedulable pairs.  Flagging instead of omitting keeps Table I
+    # reproducible from the same SoC object.
+    schedulable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("accelerator name must be non-empty")
+
+    def supports(self, model_name: str) -> bool:
+        """True when this accelerator class can execute ``model_name``."""
+        return has_profile(model_name, self.accel_class)
+
+    def resident_models(self) -> list[str]:
+        """Models currently loaded on this accelerator."""
+        return sorted(self.memory.allocations())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"Accelerator({self.name!r}, {self.accel_class.value}, "
+            f"{self.memory.used_mb:.0f}/{self.memory.capacity_mb:.0f} MB)"
+        )

@@ -1,0 +1,42 @@
+"""Virtual time for the SoC simulator.
+
+All latency, energy, and model-loading effects are integrated on a virtual
+clock so experiments are deterministic and run orders of magnitude faster
+than real time.  The clock only moves forward; components that need
+timestamps (LRU bookkeeping, background load completion) read ``now``.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new time."""
+        if seconds < 0.0:
+            raise ValueError(f"cannot advance time backwards (got {seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind the clock; only meant for reusing a simulator between runs."""
+        if start < 0.0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)

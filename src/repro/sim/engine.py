@@ -1,0 +1,134 @@
+"""Execution engine: runs inference and model loads on the simulated SoC.
+
+The engine is the only component that advances the virtual clock and
+charges the energy meter.  Latency and power are drawn around the measured
+means of :mod:`repro.sim.profiles` with small multiplicative jitter, the
+same run-to-run variation the paper's averaged measurements smooth over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .accelerator import Accelerator
+from .profiles import load_cost, perf_point
+from .soc import SoC
+
+# Default relative jitter on latency and power samples.
+LATENCY_JITTER = 0.04
+POWER_JITTER = 0.03
+
+
+@dataclass(frozen=True)
+class InferenceRecord:
+    """Timing/energy outcome of one inference call."""
+
+    model_name: str
+    accelerator_name: str
+    latency_s: float
+    power_w: float
+    energy_j: float
+    started_at: float
+
+
+@dataclass(frozen=True)
+class LoadRecord:
+    """Timing/energy outcome of one model load."""
+
+    model_name: str
+    accelerator_name: str
+    load_time_s: float
+    energy_j: float
+    memory_mb: float
+    started_at: float
+
+
+class ExecutionEngine:
+    """Dispatches inference and load operations onto an SoC.
+
+    The engine holds its own RNG so jitter is reproducible per run; pass
+    ``jitter=0`` for exact Table IV means (useful in tests).
+    """
+
+    def __init__(
+        self,
+        soc: SoC,
+        seed: int = 1234,
+        latency_jitter: float = LATENCY_JITTER,
+        power_jitter: float = POWER_JITTER,
+    ) -> None:
+        if latency_jitter < 0 or power_jitter < 0:
+            raise ValueError("jitter fractions must be non-negative")
+        self.soc = soc
+        self._rng = np.random.default_rng(seed)
+        self.latency_jitter = latency_jitter
+        self.power_jitter = power_jitter
+
+    def _jittered(self, mean: float, fraction: float) -> float:
+        if fraction == 0:
+            return mean
+        sample = mean * (1.0 + self._rng.normal(0.0, fraction))
+        # Physical quantities stay positive; clamp extreme draws.
+        return max(mean * 0.5, min(mean * 1.5, sample))
+
+    def run_inference(
+        self,
+        model_name: str,
+        accelerator: Accelerator,
+        advance_clock: bool = True,
+    ) -> InferenceRecord:
+        """Execute one inference, charging time and energy.
+
+        ``advance_clock=False`` measures without consuming pipeline time
+        (used when characterizing in parallel with other activity).
+        """
+        point = perf_point(model_name, accelerator.accel_class)
+        latency = self._jittered(point.latency_s, self.latency_jitter)
+        power = self._jittered(point.power_w, self.power_jitter)
+        started = self.soc.clock.now
+        if advance_clock:
+            self.soc.clock.advance(latency)
+        self.soc.meter.record_draw(accelerator.power_rail, power, latency)
+        return InferenceRecord(
+            model_name=model_name,
+            accelerator_name=accelerator.name,
+            latency_s=latency,
+            power_w=power,
+            energy_j=latency * power,
+            started_at=started,
+        )
+
+    def run_load(
+        self,
+        model_name: str,
+        accelerator: Accelerator,
+        advance_clock: bool = True,
+    ) -> LoadRecord:
+        """Charge the time/energy of loading a model (no residency change).
+
+        Residency bookkeeping belongs to the dynamic model loader; the
+        engine only accounts for the physical cost.
+        """
+        cost = load_cost(model_name, accelerator.accel_class)
+        duration = self._jittered(cost.load_time_s, self.latency_jitter)
+        power = self._jittered(cost.load_power_w, self.power_jitter)
+        started = self.soc.clock.now
+        if advance_clock:
+            self.soc.clock.advance(duration)
+        # Loads are host-driven: charge the CPU-side rail of the target.
+        self.soc.meter.record_draw(accelerator.power_rail, power, duration)
+        return LoadRecord(
+            model_name=model_name,
+            accelerator_name=accelerator.name,
+            load_time_s=duration,
+            energy_j=duration * power,
+            memory_mb=cost.memory_mb,
+            started_at=started,
+        )
+
+    def charge_overhead(self, rail: str, power_w: float, duration_s: float) -> None:
+        """Charge a fixed overhead interval (e.g. scheduler compute time)."""
+        self.soc.clock.advance(duration_s)
+        self.soc.meter.record_draw(rail, power_w, duration_s)

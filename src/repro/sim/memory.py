@@ -1,0 +1,84 @@
+"""Per-accelerator memory pools for the dynamic model loader.
+
+Accelerators do not all share memory (the paper's DML "is able to
+differentiate between accelerators and will allocate to them separately"):
+on the Xavier NX the GPU and DLAs carve engines out of shared DRAM budgets,
+while the OAK-D has its own on-device memory.  A :class:`MemoryPool` tracks
+named allocations against a fixed capacity and refuses to oversubscribe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation does not fit the pool's free space."""
+
+
+@dataclass
+class MemoryPool:
+    """A fixed-capacity pool with named allocations, sizes in megabytes."""
+
+    name: str
+    capacity_mb: float
+    _allocations: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_mb <= 0:
+            raise ValueError(f"pool {self.name!r}: capacity must be positive")
+
+    @property
+    def used_mb(self) -> float:
+        """Megabytes currently allocated."""
+        return sum(self._allocations.values())
+
+    @property
+    def available_mb(self) -> float:
+        """Megabytes still free."""
+        return self.capacity_mb - self.used_mb
+
+    def holds(self, key: str) -> bool:
+        """True when ``key`` currently has an allocation."""
+        return key in self._allocations
+
+    def allocation_mb(self, key: str) -> float:
+        """Size of ``key``'s allocation; 0.0 when absent."""
+        return self._allocations.get(key, 0.0)
+
+    def allocations(self) -> dict[str, float]:
+        """Copy of the name -> size map."""
+        return dict(self._allocations)
+
+    def can_fit(self, size_mb: float) -> bool:
+        """True when ``size_mb`` would fit in the free space."""
+        # Tiny epsilon absorbs float accumulation from repeated alloc/free.
+        return size_mb <= self.available_mb + 1e-9
+
+    def allocate(self, key: str, size_mb: float) -> None:
+        """Reserve ``size_mb`` under ``key``.
+
+        Raises OutOfMemoryError when it does not fit and ValueError when the
+        key is already allocated (double allocation is always a caller bug).
+        """
+        if size_mb < 0:
+            raise ValueError(f"allocation size must be non-negative, got {size_mb}")
+        if key in self._allocations:
+            raise ValueError(f"pool {self.name!r}: {key!r} is already allocated")
+        if not self.can_fit(size_mb):
+            raise OutOfMemoryError(
+                f"pool {self.name!r}: cannot fit {size_mb:.0f} MB "
+                f"({self.available_mb:.0f} MB free of {self.capacity_mb:.0f} MB)"
+            )
+        self._allocations[key] = size_mb
+
+    def free(self, key: str) -> float:
+        """Release ``key``'s allocation and return its size."""
+        try:
+            return self._allocations.pop(key)
+        except KeyError:
+            raise KeyError(f"pool {self.name!r}: no allocation named {key!r}") from None
+
+    def clear(self) -> None:
+        """Release every allocation."""
+        self._allocations.clear()

@@ -1,0 +1,82 @@
+"""Power rails and energy accounting.
+
+The Xavier NX exposes per-rail power telemetry (the paper integrates
+"time x power draw across all power rails").  The simulator mirrors that:
+each accelerator draws from a named rail, an :class:`EnergyMeter`
+accumulates joules per rail, and measurements carry the sampled power so
+characterization can report average draw exactly like Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EnergySample:
+    """One integrated power interval: ``energy = power x duration``."""
+
+    rail: str
+    power_watts: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.power_watts < 0.0:
+            raise ValueError(f"power must be non-negative, got {self.power_watts}")
+        if self.duration_s < 0.0:
+            raise ValueError(f"duration must be non-negative, got {self.duration_s}")
+
+    @property
+    def energy_joules(self) -> float:
+        """Energy of the interval in joules."""
+        return self.power_watts * self.duration_s
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates energy per power rail.
+
+    The meter is intentionally dumb: components record samples, the meter
+    sums.  ``total_joules`` is the across-rails total the paper reports.
+    """
+
+    _per_rail: dict[str, float] = field(default_factory=dict)
+    _sample_count: int = 0
+
+    def record(self, sample: EnergySample) -> None:
+        """Add one integrated interval to the meter."""
+        self._per_rail[sample.rail] = self._per_rail.get(sample.rail, 0.0) + sample.energy_joules
+        self._sample_count += 1
+
+    def record_draw(self, rail: str, power_watts: float, duration_s: float) -> EnergySample:
+        """Convenience: build, record, and return a sample."""
+        sample = EnergySample(rail=rail, power_watts=power_watts, duration_s=duration_s)
+        self.record(sample)
+        return sample
+
+    @property
+    def total_joules(self) -> float:
+        """Total energy across all rails."""
+        return sum(self._per_rail.values())
+
+    @property
+    def sample_count(self) -> int:
+        """Number of recorded intervals."""
+        return self._sample_count
+
+    def rail_joules(self, rail: str) -> float:
+        """Energy recorded on one rail (0.0 if the rail never drew power)."""
+        return self._per_rail.get(rail, 0.0)
+
+    def rails(self) -> list[str]:
+        """Names of rails that have recorded energy, sorted."""
+        return sorted(self._per_rail)
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of the per-rail totals."""
+        return dict(self._per_rail)
+
+    def reset(self) -> None:
+        """Zero the meter (used between benchmark repetitions)."""
+        self._per_rail.clear()
+        self._sample_count = 0

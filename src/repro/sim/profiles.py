@@ -1,0 +1,222 @@
+"""Measured performance profiles of the paper's testbed.
+
+This module is the simulator's ground truth: per-(model, accelerator-class)
+inference latency and power draw, transcribed from Table IV (GPU, GPU/DLA,
+OAK-D) and Table I (CPU), plus model memory footprints and load costs that
+the paper characterizes but does not tabulate (sized from TensorRT engine
+files and deserialization bandwidths typical of the Xavier NX).
+
+Energy is not stored: in the paper's measurements energy == latency x power
+to within rounding (e.g. YoloV7 on GPU: 0.130 s x 15.14 W = 1.97 J), so the
+simulator derives energy from the two primary quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class AcceleratorClass(Enum):
+    """The four accelerator classes of the paper's platform."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    DLA = "dla"
+    OAKD = "oakd"
+
+
+@dataclass(frozen=True)
+class PerfPoint:
+    """Mean inference latency and power for one (model, accelerator class)."""
+
+    latency_s: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s <= 0:
+            raise ValueError(f"latency must be positive, got {self.latency_s}")
+        if self.power_w <= 0:
+            raise ValueError(f"power must be positive, got {self.power_w}")
+
+    @property
+    def energy_j(self) -> float:
+        """Mean inference energy in joules."""
+        return self.latency_s * self.power_w
+
+
+@dataclass(frozen=True)
+class LoadCost:
+    """Cost of loading a model onto an accelerator."""
+
+    memory_mb: float
+    load_time_s: float
+    load_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise ValueError(f"memory footprint must be positive, got {self.memory_mb}")
+        if self.load_time_s <= 0:
+            raise ValueError(f"load time must be positive, got {self.load_time_s}")
+        if self.load_power_w <= 0:
+            raise ValueError(f"load power must be positive, got {self.load_power_w}")
+
+    @property
+    def load_energy_j(self) -> float:
+        """Energy spent loading, in joules."""
+        return self.load_time_s * self.load_power_w
+
+
+# --- Table IV: latency (s) and power (W) per model per accelerator class ---
+# Keys are canonical model names used across the repository.
+_TABLE_IV: dict[str, dict[AcceleratorClass, PerfPoint]] = {
+    "yolov7-e6e": {
+        AcceleratorClass.GPU: PerfPoint(0.255, 15.48),
+        AcceleratorClass.DLA: PerfPoint(0.221, 5.56),
+    },
+    "yolov7-x": {
+        AcceleratorClass.GPU: PerfPoint(0.222, 16.15),
+        AcceleratorClass.DLA: PerfPoint(0.195, 5.57),
+    },
+    "yolov7": {
+        AcceleratorClass.GPU: PerfPoint(0.130, 15.14),
+        AcceleratorClass.DLA: PerfPoint(0.118, 5.56),
+        AcceleratorClass.OAKD: PerfPoint(0.894, 1.56),
+        # Table I: YoloV7 on the Xavier NX CPU.
+        AcceleratorClass.CPU: PerfPoint(1.65, 7.60),
+    },
+    "yolov7-tiny": {
+        AcceleratorClass.GPU: PerfPoint(0.025, 11.20),
+        AcceleratorClass.DLA: PerfPoint(0.024, 5.58),
+        AcceleratorClass.OAKD: PerfPoint(0.107, 1.93),
+        # Table I: YoloV7-Tiny on the CPU.
+        AcceleratorClass.CPU: PerfPoint(0.38, 7.20),
+    },
+    "ssd-resnet50": {
+        AcceleratorClass.GPU: PerfPoint(0.151, 16.58),
+        AcceleratorClass.DLA: PerfPoint(0.138, 5.91),
+    },
+    "ssd-mobilenet-v1": {
+        AcceleratorClass.GPU: PerfPoint(0.094, 16.16),
+        AcceleratorClass.DLA: PerfPoint(0.092, 6.10),
+    },
+    "ssd-mobilenet-v2": {
+        AcceleratorClass.GPU: PerfPoint(0.023, 10.78),
+        AcceleratorClass.DLA: PerfPoint(0.058, 5.29),
+    },
+    "ssd-mobilenet-v2-320": {
+        AcceleratorClass.GPU: PerfPoint(0.009, 5.11),
+        AcceleratorClass.DLA: PerfPoint(0.023, 4.35),
+    },
+}
+
+# --- Memory footprints (MB) of the compiled engines, per accelerator class.
+# FP32 TensorRT engines for GPU/DLA (the paper runs FP32 after quantization
+# hurt accuracy); OpenVINO blobs for the OAK-D are leaner.
+_FOOTPRINT_MB: dict[str, dict[AcceleratorClass, float]] = {
+    "yolov7-e6e": {AcceleratorClass.GPU: 1450.0, AcceleratorClass.DLA: 1450.0},
+    "yolov7-x": {AcceleratorClass.GPU: 1180.0, AcceleratorClass.DLA: 1180.0},
+    "yolov7": {
+        AcceleratorClass.GPU: 950.0,
+        AcceleratorClass.DLA: 950.0,
+        AcceleratorClass.OAKD: 320.0,
+        AcceleratorClass.CPU: 950.0,
+    },
+    "yolov7-tiny": {
+        AcceleratorClass.GPU: 260.0,
+        AcceleratorClass.DLA: 260.0,
+        AcceleratorClass.OAKD: 110.0,
+        AcceleratorClass.CPU: 260.0,
+    },
+    "ssd-resnet50": {AcceleratorClass.GPU: 820.0, AcceleratorClass.DLA: 820.0},
+    "ssd-mobilenet-v1": {AcceleratorClass.GPU: 380.0, AcceleratorClass.DLA: 380.0},
+    "ssd-mobilenet-v2": {AcceleratorClass.GPU: 340.0, AcceleratorClass.DLA: 340.0},
+    "ssd-mobilenet-v2-320": {AcceleratorClass.GPU: 210.0, AcceleratorClass.DLA: 210.0},
+}
+
+# Engine deserialization bandwidth (MB/s) per accelerator class and the
+# fixed setup overhead per load.  OAK-D models ship over USB, hence slower.
+_LOAD_BANDWIDTH_MBPS: dict[AcceleratorClass, float] = {
+    AcceleratorClass.CPU: 2500.0,
+    AcceleratorClass.GPU: 1500.0,
+    AcceleratorClass.DLA: 1200.0,
+    AcceleratorClass.OAKD: 400.0,
+}
+_LOAD_SETUP_S: dict[AcceleratorClass, float] = {
+    AcceleratorClass.CPU: 0.10,
+    AcceleratorClass.GPU: 0.20,
+    AcceleratorClass.DLA: 0.25,
+    AcceleratorClass.OAKD: 0.40,
+}
+# Loading is host-CPU bound (deserialize + DMA); a single sustained draw.
+_LOAD_POWER_W = 8.0
+
+# Idle draw per accelerator class, used when integrating stall intervals.
+IDLE_POWER_W: dict[AcceleratorClass, float] = {
+    AcceleratorClass.CPU: 1.8,
+    AcceleratorClass.GPU: 2.4,
+    AcceleratorClass.DLA: 0.6,
+    AcceleratorClass.OAKD: 0.9,
+}
+
+
+def paper_model_names() -> list[str]:
+    """Canonical names of the eight paper models, largest to smallest."""
+    return list(_TABLE_IV)
+
+
+def supported_classes(model_name: str) -> list[AcceleratorClass]:
+    """Accelerator classes that can execute ``model_name``.
+
+    Mirrors the paper's support matrix: every model runs on GPU and DLA,
+    only YoloV7 and YoloV7-Tiny compile for the OAK-D, and only those two
+    have CPU measurements (Table I).
+    """
+    try:
+        return list(_TABLE_IV[model_name])
+    except KeyError:
+        raise KeyError(f"no performance profile for model {model_name!r}") from None
+
+
+def perf_point(model_name: str, accel_class: AcceleratorClass) -> PerfPoint:
+    """Latency/power for one (model, accelerator class) pair."""
+    per_model = _TABLE_IV.get(model_name)
+    if per_model is None:
+        raise KeyError(f"no performance profile for model {model_name!r}")
+    point = per_model.get(accel_class)
+    if point is None:
+        raise KeyError(
+            f"model {model_name!r} is not supported on {accel_class.value} "
+            "(layer/compiler incompatibility in the paper's setup)"
+        )
+    return point
+
+
+def has_profile(model_name: str, accel_class: AcceleratorClass) -> bool:
+    """True when the pair has a measured profile."""
+    return accel_class in _TABLE_IV.get(model_name, {})
+
+
+def load_cost(model_name: str, accel_class: AcceleratorClass) -> LoadCost:
+    """Model loading cost (footprint, time, power) for the pair."""
+    footprints = _FOOTPRINT_MB.get(model_name)
+    if footprints is None or accel_class not in footprints:
+        raise KeyError(f"no footprint for {model_name!r} on {accel_class.value}")
+    memory_mb = footprints[accel_class]
+    load_time = _LOAD_SETUP_S[accel_class] + memory_mb / _LOAD_BANDWIDTH_MBPS[accel_class]
+    return LoadCost(memory_mb=memory_mb, load_time_s=load_time, load_power_w=_LOAD_POWER_W)
+
+
+def register_profile(
+    model_name: str,
+    accel_class: AcceleratorClass,
+    point: PerfPoint,
+    footprint_mb: float,
+) -> None:
+    """Register a profile for a custom model (extension hook).
+
+    Used by downstream code that adds models beyond the paper's eight; the
+    examples demonstrate it.  Overwrites any existing entry for the pair.
+    """
+    _TABLE_IV.setdefault(model_name, {})[accel_class] = point
+    _FOOTPRINT_MB.setdefault(model_name, {})[accel_class] = footprint_mb

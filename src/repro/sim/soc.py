@@ -1,0 +1,137 @@
+"""SoC assembly: the simulated Xavier NX + OAK-D platform.
+
+The paper's testbed exposes a CPU, a GPU, two DLAs (all on the Xavier NX)
+and the OAK-D camera's RVC2 accelerator.  :func:`xavier_nx_with_oakd`
+builds that platform; :func:`gpu_only_soc` builds the ablation platform
+used to quantify the value of heterogeneity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .accelerator import Accelerator
+from .clock import VirtualClock
+from .memory import MemoryPool
+from .power import EnergyMeter
+from .profiles import AcceleratorClass
+
+# Engine-memory budgets (MB).  The Xavier NX has 8 GB shared DRAM; after the
+# OS, camera stack, and runtime buffers, roughly 3.5 GB is available for GPU
+# engines and a tighter carve-out per DLA.  The OAK-D's RVC2 has its own
+# on-device memory for compiled blobs.
+GPU_MODEL_BUDGET_MB = 3500.0
+DLA_MODEL_BUDGET_MB = 1800.0
+CPU_MODEL_BUDGET_MB = 2000.0
+OAKD_MODEL_BUDGET_MB = 450.0
+
+
+@dataclass
+class SoC:
+    """A set of accelerators sharing a virtual clock and an energy meter."""
+
+    name: str
+    accelerators: list[Accelerator]
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    meter: EnergyMeter = field(default_factory=EnergyMeter)
+
+    def __post_init__(self) -> None:
+        if not self.accelerators:
+            raise ValueError("an SoC needs at least one accelerator")
+        names = [a.name for a in self.accelerators]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate accelerator names: {names}")
+
+    def accelerator(self, name: str) -> Accelerator:
+        """Look up an accelerator by name."""
+        for accel in self.accelerators:
+            if accel.name == name:
+                return accel
+        known = ", ".join(a.name for a in self.accelerators)
+        raise KeyError(f"no accelerator named {name!r}; have: {known}")
+
+    def schedulable_accelerators(self) -> list[Accelerator]:
+        """Accelerators the OD scheduler may dispatch to."""
+        return [a for a in self.accelerators if a.schedulable]
+
+    def schedulable_pairs(self, model_names: list[str]) -> list[tuple[str, str]]:
+        """All (model, accelerator) pairs the scheduler may pick from.
+
+        With the paper's eight models this yields the 18 combinations
+        Table III mentions (8 GPU + 8 DLA + 2 OAK-D).
+        """
+        pairs = []
+        for model_name in model_names:
+            for accel in self.schedulable_accelerators():
+                if accel.supports(model_name):
+                    pairs.append((model_name, accel.name))
+        return pairs
+
+    def reset(self) -> None:
+        """Clear all residency, energy, and time (for run isolation)."""
+        for accel in self.accelerators:
+            accel.memory.clear()
+        self.meter.reset()
+        self.clock.reset()
+
+
+def xavier_nx_with_oakd(dla_count: int = 1) -> SoC:
+    """The paper's full platform: CPU + GPU + DLA(s) + OAK-D.
+
+    The CPU is present (Table I profiles it) but excluded from the
+    schedulable pair set.  The Xavier NX physically has two DLAs, yet the
+    paper's scheduler counts 18 model-accelerator combinations (8 GPU +
+    8 DLA + 2 OAK-D) — it treats the DLA as a single dispatch target, so
+    one DLA is the default here; pass ``dla_count=2`` for the physical
+    configuration.
+    """
+    if dla_count < 0:
+        raise ValueError("dla_count must be non-negative")
+    accelerators = [
+        Accelerator(
+            name="cpu",
+            accel_class=AcceleratorClass.CPU,
+            memory=MemoryPool("cpu", CPU_MODEL_BUDGET_MB),
+            power_rail="VDD_CPU",
+            schedulable=False,
+        ),
+        Accelerator(
+            name="gpu",
+            accel_class=AcceleratorClass.GPU,
+            memory=MemoryPool("gpu", GPU_MODEL_BUDGET_MB),
+            power_rail="VDD_GPU",
+        ),
+    ]
+    for index in range(dla_count):
+        accelerators.append(
+            Accelerator(
+                name=f"dla{index}",
+                accel_class=AcceleratorClass.DLA,
+                memory=MemoryPool(f"dla{index}", DLA_MODEL_BUDGET_MB),
+                power_rail="VDD_CV",
+            )
+        )
+    accelerators.append(
+        Accelerator(
+            name="oakd",
+            accel_class=AcceleratorClass.OAKD,
+            memory=MemoryPool("oakd", OAKD_MODEL_BUDGET_MB),
+            power_rail="VDD_OAKD",
+        )
+    )
+    return SoC(name="xavier-nx+oakd", accelerators=accelerators)
+
+
+def gpu_only_soc() -> SoC:
+    """Ablation platform: a single GPU (the conventional deployment)."""
+    return SoC(
+        name="gpu-only",
+        accelerators=[
+            Accelerator(
+                name="gpu",
+                accel_class=AcceleratorClass.GPU,
+                memory=MemoryPool("gpu", GPU_MODEL_BUDGET_MB),
+                power_rail="VDD_GPU",
+            )
+        ],
+    )

@@ -1,0 +1,50 @@
+"""Vision primitives: boxes, IoU, NMS, NCC, rendering, and tracking."""
+
+from .bbox import (
+    BoundingBox,
+    center_distance,
+    enclosing_box,
+    iou,
+    mean_iou,
+    success_rate,
+)
+from .ncc import box_ncc, crop, frame_similarity, ncc, resize_nearest
+from .nms import (
+    DEFAULT_CONFIDENCE_THRESHOLD,
+    DEFAULT_IOU_THRESHOLD,
+    ScoredBox,
+    best_detection,
+    non_max_suppression,
+)
+from .rendering import (
+    DEFAULT_FRAME_SIZE,
+    BackgroundStyle,
+    frame_difference_energy,
+    render_frame,
+)
+from .tracker import TemplateTracker, TrackResult
+
+__all__ = [
+    "BoundingBox",
+    "center_distance",
+    "enclosing_box",
+    "iou",
+    "mean_iou",
+    "success_rate",
+    "ncc",
+    "crop",
+    "resize_nearest",
+    "box_ncc",
+    "frame_similarity",
+    "ScoredBox",
+    "non_max_suppression",
+    "best_detection",
+    "DEFAULT_IOU_THRESHOLD",
+    "DEFAULT_CONFIDENCE_THRESHOLD",
+    "BackgroundStyle",
+    "render_frame",
+    "frame_difference_energy",
+    "DEFAULT_FRAME_SIZE",
+    "TemplateTracker",
+    "TrackResult",
+]

@@ -1,0 +1,200 @@
+"""Axis-aligned bounding boxes and overlap metrics.
+
+Boxes use the ``(x1, y1, x2, y2)`` corner convention in continuous pixel
+coordinates, with ``x2 > x1`` and ``y2 > y1`` for non-degenerate boxes.
+All of SHIFT's accuracy accounting is intersection-over-union (IoU) based,
+matching the paper's single-class, single-object evaluation protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle in ``(x1, y1, x2, y2)`` corner form.
+
+    The box is closed on the left/top edge and open on the right/bottom
+    edge, so ``width == x2 - x1`` exactly.  Instances are immutable and
+    hashable so they can be used as dictionary keys in trace caches.
+    """
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.x1) or math.isnan(self.y1) or math.isnan(self.x2) or math.isnan(self.y2):
+            raise ValueError("bounding box coordinates must not be NaN")
+        if self.x2 < self.x1 or self.y2 < self.y1:
+            raise ValueError(
+                f"invalid box: ({self.x1}, {self.y1}, {self.x2}, {self.y2}); "
+                "corners must satisfy x2 >= x1 and y2 >= y1"
+            )
+
+    @property
+    def width(self) -> float:
+        """Horizontal extent of the box."""
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> float:
+        """Vertical extent of the box."""
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> float:
+        """Area of the box; zero for degenerate boxes."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """``(cx, cy)`` center point of the box."""
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    def is_degenerate(self) -> bool:
+        """True when the box has zero width or height."""
+        return self.width <= 0.0 or self.height <= 0.0
+
+    @classmethod
+    def from_center(cls, cx: float, cy: float, width: float, height: float) -> "BoundingBox":
+        """Build a box from a center point and side lengths."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        half_w = width / 2.0
+        half_h = height / 2.0
+        return cls(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+    @classmethod
+    def from_xywh(cls, x: float, y: float, width: float, height: float) -> "BoundingBox":
+        """Build a box from its top-left corner and side lengths."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        return cls(x, y, x + width, y + height)
+
+    def translated(self, dx: float, dy: float) -> "BoundingBox":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return BoundingBox(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
+
+    def scaled(self, factor: float) -> "BoundingBox":
+        """Return a copy scaled about its own center by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        cx, cy = self.center
+        return BoundingBox.from_center(cx, cy, self.width * factor, self.height * factor)
+
+    def clipped(self, frame_width: float, frame_height: float) -> "BoundingBox":
+        """Clip the box to the frame ``[0, frame_width) x [0, frame_height)``.
+
+        Boxes entirely outside the frame collapse to a degenerate box on the
+        nearest frame edge.
+        """
+        x1 = min(max(self.x1, 0.0), frame_width)
+        y1 = min(max(self.y1, 0.0), frame_height)
+        x2 = min(max(self.x2, 0.0), frame_width)
+        y2 = min(max(self.y2, 0.0), frame_height)
+        return BoundingBox(x1, y1, x2, y2)
+
+    def intersection(self, other: "BoundingBox") -> "BoundingBox | None":
+        """Intersection box with ``other``, or None when they do not overlap."""
+        x1 = max(self.x1, other.x1)
+        y1 = max(self.y1, other.y1)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x2 <= x1 or y2 <= y1:
+            return None
+        return BoundingBox(x1, y1, x2, y2)
+
+    def union_area(self, other: "BoundingBox") -> float:
+        """Area of the union of the two boxes."""
+        inter = self.intersection(other)
+        inter_area = inter.area if inter is not None else 0.0
+        return self.area + other.area - inter_area
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True when ``(x, y)`` falls inside the box (closed edges)."""
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Plain ``(x1, y1, x2, y2)`` tuple form."""
+        return (self.x1, self.y1, self.x2, self.y2)
+
+
+def iou(a: BoundingBox, b: BoundingBox) -> float:
+    """Intersection-over-union of two boxes, in ``[0, 1]``.
+
+    Degenerate boxes (zero area) have IoU 0 against everything, including
+    themselves; this matches how a missed detection scores in the paper.
+    """
+    inter = a.intersection(b)
+    if inter is None:
+        return 0.0
+    union = a.area + b.area - inter.area
+    if union <= 0.0:
+        return 0.0
+    return inter.area / union
+
+
+def center_distance(a: BoundingBox, b: BoundingBox) -> float:
+    """Euclidean distance between the two box centers."""
+    (ax, ay), (bx, by) = a.center, b.center
+    return math.hypot(ax - bx, ay - by)
+
+
+def mean_iou(pairs: Iterable[tuple[BoundingBox | None, BoundingBox | None]]) -> float:
+    """Average IoU over (prediction, ground-truth) pairs.
+
+    A missing prediction against a present ground truth scores 0.  Pairs
+    where the ground truth is absent are skipped entirely: with no object in
+    the frame there is nothing to localize, mirroring the paper's
+    single-object protocol.  Returns 0.0 for an empty sequence.
+    """
+    total = 0.0
+    count = 0
+    for predicted, truth in pairs:
+        if truth is None:
+            continue
+        count += 1
+        if predicted is not None:
+            total += iou(predicted, truth)
+    if count == 0:
+        return 0.0
+    return total / count
+
+
+def success_rate(
+    pairs: Iterable[tuple[BoundingBox | None, BoundingBox | None]],
+    threshold: float = 0.5,
+) -> float:
+    """Fraction of frames whose IoU meets ``threshold`` (paper's metric).
+
+    The paper defines *success rate* as the percentage of frames with
+    IoU >= 0.5; the threshold is a parameter here for sensitivity studies.
+    """
+    hits = 0
+    count = 0
+    for predicted, truth in pairs:
+        if truth is None:
+            continue
+        count += 1
+        if predicted is not None and iou(predicted, truth) >= threshold:
+            hits += 1
+    if count == 0:
+        return 0.0
+    return hits / count
+
+
+def enclosing_box(boxes: Sequence[BoundingBox]) -> BoundingBox:
+    """Smallest box covering every box in ``boxes``; requires at least one."""
+    if not boxes:
+        raise ValueError("enclosing_box requires at least one box")
+    return BoundingBox(
+        min(box.x1 for box in boxes),
+        min(box.y1 for box in boxes),
+        max(box.x2 for box in boxes),
+        max(box.y2 for box in boxes),
+    )

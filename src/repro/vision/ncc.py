@@ -1,0 +1,135 @@
+"""Normalized cross-correlation (Eq. 1 of the paper).
+
+The SHIFT scheduler gauges frame-to-frame context change with the NCC
+between consecutive grayscale frames and between consecutive bounding-box
+crops.  NCC is defined as::
+
+    NCC(p, c) = sum((p - mean(p)) * (c - mean(c)))
+                / (sqrt(sum((c - mean(c))^2)) * sqrt(sum((p - mean(p))^2)))
+
+where ``p`` and ``c`` are equally sized grayscale images.  The value lies in
+``[-1, 1]``; 1 means identical structure, 0 means uncorrelated content.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bbox import BoundingBox
+
+# Below this variance a patch is considered flat; correlating flat patches
+# divides by ~0 and carries no structural information.
+_FLAT_EPSILON = 1e-12
+
+
+def ncc(previous: np.ndarray, current: np.ndarray) -> float:
+    """Normalized cross-correlation between two equally shaped images.
+
+    Flat (zero-variance) inputs cannot be normalized; two flat patches are
+    treated as perfectly correlated (1.0) and a flat patch against a textured
+    one as uncorrelated (0.0).  This keeps the scheduler's similarity signal
+    well defined on blank frames.
+    """
+    if previous.shape != current.shape:
+        raise ValueError(
+            f"NCC requires equal shapes, got {previous.shape} and {current.shape}"
+        )
+    if previous.size == 0:
+        raise ValueError("NCC is undefined for empty images")
+
+    p = np.asarray(previous, dtype=np.float64)
+    c = np.asarray(current, dtype=np.float64)
+    p_centered = p - p.mean()
+    c_centered = c - c.mean()
+    p_norm = float(np.sqrt(np.sum(p_centered**2)))
+    c_norm = float(np.sqrt(np.sum(c_centered**2)))
+
+    p_flat = p_norm < _FLAT_EPSILON
+    c_flat = c_norm < _FLAT_EPSILON
+    if p_flat and c_flat:
+        return 1.0
+    if p_flat or c_flat:
+        return 0.0
+
+    value = float(np.sum(p_centered * c_centered) / (p_norm * c_norm))
+    # Guard against floating-point drift outside the theoretical range.
+    return min(1.0, max(-1.0, value))
+
+
+def crop(image: np.ndarray, box: BoundingBox) -> np.ndarray:
+    """Extract the integer-pixel crop of ``box`` from ``image``.
+
+    The box is clipped to the image bounds and rounded outward so a
+    fractional box still yields at least one pixel whenever it overlaps the
+    image.  Raises ValueError when the clipped box is empty.
+    """
+    height, width = image.shape[:2]
+    clipped = box.clipped(float(width), float(height))
+    x1 = int(np.floor(clipped.x1))
+    y1 = int(np.floor(clipped.y1))
+    x2 = int(np.ceil(clipped.x2))
+    y2 = int(np.ceil(clipped.y2))
+    if x2 <= x1 or y2 <= y1:
+        raise ValueError(f"box {box.as_tuple()} does not overlap image of shape {image.shape}")
+    return image[y1:y2, x1:x2]
+
+
+def resize_nearest(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Nearest-neighbour resize; sufficient for similarity comparisons.
+
+    A dependency-free stand-in for cv2.resize: NCC only needs the two
+    operands on a common grid, not high-quality interpolation.
+    """
+    if height <= 0 or width <= 0:
+        raise ValueError("target size must be positive")
+    src_h, src_w = image.shape[:2]
+    row_idx = np.minimum((np.arange(height) * src_h) // height, src_h - 1)
+    col_idx = np.minimum((np.arange(width) * src_w) // width, src_w - 1)
+    return image[np.ix_(row_idx, col_idx)]
+
+
+def box_ncc(
+    previous_image: np.ndarray,
+    previous_box: BoundingBox | None,
+    current_image: np.ndarray,
+    current_box: BoundingBox | None,
+    patch_size: int = 24,
+) -> float:
+    """NCC between the two bounding-box crops, resized to a common patch.
+
+    The scheduler compares the content of consecutive detections; when either
+    detection is missing or degenerate there is no stable box context, and
+    the similarity is reported as 0.0 so the scheduler treats it as a context
+    change (the conservative choice the paper's runtime makes when the model
+    loses the target).
+    """
+    if previous_box is None or current_box is None:
+        return 0.0
+    if previous_box.is_degenerate() or current_box.is_degenerate():
+        return 0.0
+    try:
+        prev_patch = crop(previous_image, previous_box)
+        cur_patch = crop(current_image, current_box)
+    except ValueError:
+        return 0.0
+    prev_resized = resize_nearest(prev_patch, patch_size, patch_size)
+    cur_resized = resize_nearest(cur_patch, patch_size, patch_size)
+    return ncc(prev_resized, cur_resized)
+
+
+def frame_similarity(
+    previous_image: np.ndarray,
+    current_image: np.ndarray,
+    previous_box: BoundingBox | None,
+    current_box: BoundingBox | None,
+) -> float:
+    """The scheduler's similarity signal (Algorithm 1, line 2).
+
+    Defined as ``min(NCC(last image, image), NCC(last bbox, bbox))`` —
+    the *weaker* of global-frame and box-local similarity, clamped to
+    ``[0, 1]`` since anti-correlated content is at least as strong a context
+    change as uncorrelated content.
+    """
+    image_similarity = ncc(previous_image, current_image)
+    local_similarity = box_ncc(previous_image, previous_box, current_image, current_box)
+    return max(0.0, min(image_similarity, local_similarity))

@@ -1,0 +1,81 @@
+"""Non-maximum suppression for scored detections.
+
+The paper's YOLOv7 models run NMS with an IoU threshold of 0.5 and a
+confidence threshold of 0.35; those values are the defaults here.  The
+simulated detectors emit a handful of candidate boxes per frame (the true
+detection plus clutter responses), and NMS reduces them to the final
+detection set exactly as a real deployment would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .bbox import BoundingBox, iou
+
+DEFAULT_IOU_THRESHOLD = 0.5
+DEFAULT_CONFIDENCE_THRESHOLD = 0.35
+
+
+@dataclass(frozen=True)
+class ScoredBox:
+    """A candidate detection: a box plus its confidence score."""
+
+    box: BoundingBox
+    score: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"score must be within [0, 1], got {self.score}")
+
+
+def non_max_suppression(
+    candidates: Sequence[ScoredBox],
+    iou_threshold: float = DEFAULT_IOU_THRESHOLD,
+    confidence_threshold: float = DEFAULT_CONFIDENCE_THRESHOLD,
+) -> list[ScoredBox]:
+    """Greedy NMS: keep the highest-scoring box, drop overlapping rivals.
+
+    Candidates below ``confidence_threshold`` are discarded first.  The
+    survivors are returned in descending score order.  Ties in score are
+    broken by preferring the larger box, then by coordinates, so the result
+    is deterministic regardless of input order.
+    """
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ValueError(f"iou_threshold must be within [0, 1], got {iou_threshold}")
+    if not 0.0 <= confidence_threshold <= 1.0:
+        raise ValueError(
+            f"confidence_threshold must be within [0, 1], got {confidence_threshold}"
+        )
+
+    viable = [c for c in candidates if c.score >= confidence_threshold]
+    ordered = sorted(
+        viable,
+        key=lambda c: (-c.score, -c.box.area, c.box.x1, c.box.y1, c.box.x2, c.box.y2),
+    )
+
+    kept: list[ScoredBox] = []
+    for candidate in ordered:
+        suppressed = any(
+            iou(candidate.box, survivor.box) > iou_threshold for survivor in kept
+        )
+        if not suppressed:
+            kept.append(candidate)
+    return kept
+
+
+def best_detection(
+    candidates: Sequence[ScoredBox],
+    iou_threshold: float = DEFAULT_IOU_THRESHOLD,
+    confidence_threshold: float = DEFAULT_CONFIDENCE_THRESHOLD,
+) -> ScoredBox | None:
+    """The single highest-scoring surviving detection, or None.
+
+    The evaluation protocol is single-object, so downstream code only ever
+    consumes the top survivor.
+    """
+    survivors = non_max_suppression(candidates, iou_threshold, confidence_threshold)
+    if not survivors:
+        return None
+    return survivors[0]

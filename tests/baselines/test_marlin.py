@@ -1,0 +1,79 @@
+"""Tests for the Marlin baseline (DNN + tracker alternation)."""
+
+import pytest
+
+from repro.baselines import MarlinPolicy, TRACKER_LATENCY_S
+from repro.data import scenario_by_name
+from repro.models import default_zoo
+from repro.runtime import ScenarioTrace, aggregate, run_policy
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # Calm indoor scenario: tracking works most of the time.
+    scenario = scenario_by_name("s3_indoor_close_wall").scaled(0.2)
+    return ScenarioTrace.build(scenario, default_zoo())
+
+
+class TestMarlin:
+    def test_mixes_tracker_and_dnn_frames(self, trace):
+        result = run_policy(MarlinPolicy("yolov7"), trace)
+        tracked = [r for r in result.records if r.used_tracker]
+        detected = [r for r in result.records if not r.used_tracker]
+        assert tracked and detected
+        assert len(tracked) > len(detected)  # tracking dominates calm scenes
+
+    def test_tracker_frames_cheap(self, trace):
+        result = run_policy(MarlinPolicy("yolov7"), trace)
+        for record in result.records:
+            if record.used_tracker:
+                assert record.latency_s == pytest.approx(TRACKER_LATENCY_S)
+                assert record.energy_j < 0.05
+
+    def test_saves_energy_vs_single_model(self, trace):
+        from repro.baselines import SingleModelPolicy
+
+        marlin = aggregate(run_policy(MarlinPolicy("yolov7"), trace))
+        single = aggregate(run_policy(SingleModelPolicy("yolov7", "gpu"), trace))
+        assert marlin.mean_energy_j < single.mean_energy_j
+        assert marlin.mean_iou > 0.7 * single.mean_iou
+
+    def test_redetect_interval_enforced(self, trace):
+        policy = MarlinPolicy("yolov7", redetect_interval=5)
+        result = run_policy(policy, trace)
+        consecutive = 0
+        for record in result.records:
+            if record.used_tracker:
+                consecutive += 1
+                assert consecutive <= 5
+            else:
+                consecutive = 0
+
+    def test_never_swaps_and_stays_on_gpu(self, trace):
+        metrics = aggregate(run_policy(MarlinPolicy("yolov7"), trace))
+        assert metrics.swaps == 0
+        assert metrics.non_gpu_share == 0.0
+        assert metrics.pairs_used == 1
+
+    def test_first_frame_is_detection_with_load(self, trace):
+        result = run_policy(MarlinPolicy("yolov7"), trace)
+        first = result.records[0]
+        assert not first.used_tracker
+        assert first.cold_load
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            MarlinPolicy("yolov7", redetect_interval=0)
+
+    def test_unsupported_pair_rejected(self, trace):
+        with pytest.raises(ValueError):
+            run_policy(MarlinPolicy("ssd-resnet50", "oakd"), trace)
+
+    def test_step_before_begin_raises(self, trace):
+        with pytest.raises(RuntimeError):
+            MarlinPolicy("yolov7").step(trace.frames[0])
+
+    def test_tiny_variant_cheaper_than_full(self, trace):
+        tiny = aggregate(run_policy(MarlinPolicy("yolov7-tiny"), trace))
+        full = aggregate(run_policy(MarlinPolicy("yolov7"), trace))
+        assert tiny.mean_energy_j < full.mean_energy_j

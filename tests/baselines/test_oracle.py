@@ -1,0 +1,108 @@
+"""Tests for the Oracle baselines."""
+
+import pytest
+
+from repro.baselines import (
+    ORACLE_IOU_THRESHOLD,
+    OracleObjective,
+    OraclePolicy,
+    oracle_accuracy,
+    oracle_energy,
+    oracle_latency,
+)
+from repro.data import scenario_by_name
+from repro.models import default_zoo
+from repro.runtime import ScenarioTrace, aggregate, run_policy
+from repro.sim import AcceleratorClass, perf_point
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+@pytest.fixture(scope="module")
+def trace(zoo):
+    scenario = scenario_by_name("s1_multi_background_varying_distance").scaled(0.08)
+    return ScenarioTrace.build(scenario, zoo)
+
+
+class TestOracleDefinitions:
+    def test_factories(self):
+        assert oracle_energy().objective is OracleObjective.ENERGY
+        assert oracle_accuracy().objective is OracleObjective.ACCURACY
+        assert oracle_latency().objective is OracleObjective.LATENCY
+
+    def test_names(self):
+        assert oracle_energy().name == "oracle:energy"
+
+
+class TestOracleBehaviour:
+    def test_oracle_a_maximizes_iou_per_frame(self, trace, zoo):
+        result = run_policy(oracle_accuracy(), trace)
+        for record in result.records[:40]:
+            best_iou = max(
+                trace.outcome(name, record.frame_index).iou for name in zoo.names()
+            )
+            assert record.iou == pytest.approx(best_iou)
+
+    def test_oracle_e_picks_cheapest_qualifying(self, trace, zoo):
+        result = run_policy(oracle_energy(), trace)
+        for record in result.records[:40]:
+            idx = record.frame_index
+            qualifying = [
+                (name, accel)
+                for (name, accel) in [(n, a) for n in zoo.names() for a in ("gpu", "dla0", "oakd")]
+                if trace.outcomes.get(name)
+                and trace.outcome(name, idx).iou >= ORACLE_IOU_THRESHOLD
+            ]
+            if not qualifying:
+                continue
+            chosen_energy = _pair_energy(record.pair)
+            cheapest = min(_pair_energy(p) for p in qualifying if _supported(p))
+            assert chosen_energy == pytest.approx(cheapest)
+
+    def test_all_oracles_share_success_rate(self, trace):
+        metrics = [
+            aggregate(run_policy(policy, trace))
+            for policy in (oracle_energy(), oracle_accuracy(), oracle_latency())
+        ]
+        rates = {round(m.success_rate, 9) for m in metrics}
+        assert len(rates) == 1
+
+    def test_oracle_orderings(self, trace):
+        energy = aggregate(run_policy(oracle_energy(), trace))
+        accuracy = aggregate(run_policy(oracle_accuracy(), trace))
+        latency = aggregate(run_policy(oracle_latency(), trace))
+        assert accuracy.mean_iou >= energy.mean_iou
+        assert accuracy.mean_iou >= latency.mean_iou
+        assert energy.mean_energy_j <= accuracy.mean_energy_j
+        assert energy.mean_energy_j <= latency.mean_energy_j
+        assert latency.mean_latency_s <= accuracy.mean_latency_s
+
+    def test_no_load_cost_or_overhead(self, trace):
+        result = run_policy(oracle_energy(), trace)
+        assert all(r.stall_s == 0.0 and r.overhead_s == 0.0 for r in result.records)
+        assert all(not r.cold_load for r in result.records)
+
+    def test_step_before_begin_raises(self, trace):
+        with pytest.raises(RuntimeError):
+            oracle_energy().step(trace.frames[0])
+
+    def test_first_frame_not_a_swap(self, trace):
+        result = run_policy(oracle_accuracy(), trace)
+        assert not result.records[0].swap
+
+
+def _supported(pair):
+    from repro.sim import has_profile
+
+    accel_class = {"gpu": AcceleratorClass.GPU, "dla0": AcceleratorClass.DLA,
+                   "oakd": AcceleratorClass.OAKD}[pair[1]]
+    return has_profile(pair[0], accel_class)
+
+
+def _pair_energy(pair):
+    accel_class = {"gpu": AcceleratorClass.GPU, "dla0": AcceleratorClass.DLA,
+                   "oakd": AcceleratorClass.OAKD}[pair[1]]
+    return perf_point(pair[0], accel_class).energy_j

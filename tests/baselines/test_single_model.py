@@ -1,0 +1,59 @@
+"""Tests for the single-model baseline."""
+
+import pytest
+
+from repro.baselines import SingleModelPolicy
+from repro.data import scenario_by_name
+from repro.models import default_zoo
+from repro.runtime import ScenarioTrace, aggregate, run_policy
+from repro.sim import AcceleratorClass, perf_point
+
+
+@pytest.fixture(scope="module")
+def trace():
+    scenario = scenario_by_name("s3_indoor_close_wall").scaled(0.1)
+    return ScenarioTrace.build(scenario, default_zoo())
+
+
+class TestSingleModel:
+    def test_runs_fixed_pair(self, trace):
+        result = run_policy(SingleModelPolicy("yolov7", "gpu"), trace)
+        assert all(r.pair == ("yolov7", "gpu") for r in result.records)
+        assert result.pairs_used() == {("yolov7", "gpu")}
+
+    def test_no_swaps(self, trace):
+        metrics = aggregate(run_policy(SingleModelPolicy("yolov7", "gpu"), trace))
+        assert metrics.swaps == 0
+        assert metrics.pairs_used == 1
+
+    def test_first_frame_pays_load(self, trace):
+        result = run_policy(SingleModelPolicy("yolov7", "gpu"), trace)
+        assert result.records[0].cold_load
+        assert result.records[0].stall_s > 0
+        assert all(not r.cold_load for r in result.records[1:])
+
+    def test_mean_latency_near_profile(self, trace):
+        result = run_policy(SingleModelPolicy("yolov7", "gpu"), trace)
+        steady = result.records[1:]
+        mean = sum(r.latency_s for r in steady) / len(steady)
+        expected = perf_point("yolov7", AcceleratorClass.GPU).latency_s
+        assert mean == pytest.approx(expected, rel=0.1)
+
+    def test_dla_deployment_uses_less_power(self, trace):
+        gpu = aggregate(run_policy(SingleModelPolicy("yolov7", "gpu"), trace))
+        dla = aggregate(run_policy(SingleModelPolicy("yolov7", "dla0"), trace))
+        assert dla.mean_energy_j < gpu.mean_energy_j
+        assert dla.non_gpu_share == 1.0
+
+    def test_unsupported_pair_rejected(self, trace):
+        policy = SingleModelPolicy("ssd-resnet50", "oakd")
+        with pytest.raises(ValueError):
+            run_policy(policy, trace)
+
+    def test_step_before_begin_raises(self, trace):
+        policy = SingleModelPolicy("yolov7", "gpu")
+        with pytest.raises(RuntimeError):
+            policy.step(trace.frames[0])
+
+    def test_policy_name(self):
+        assert SingleModelPolicy("yolov7", "gpu").name == "single:yolov7@gpu"

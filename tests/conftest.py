@@ -1,0 +1,16 @@
+"""Test-suite-wide configuration.
+
+Hypothesis: disable per-example deadlines (the detector/graph property
+tests intentionally run non-trivial code per example, and shared-fixture
+builds can make the first example slow) and keep example counts modest so
+the full suite stays fast.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,53 @@
+"""Tests for SHIFT configuration validation."""
+
+import pytest
+
+from repro.core import PAPER_CONFIG, ShiftConfig
+
+
+class TestShiftConfig:
+    def test_paper_defaults(self):
+        config = PAPER_CONFIG
+        assert config.accuracy_goal == 0.25
+        assert config.momentum == 30
+        assert config.distance_threshold == 0.5
+        assert config.weights == (1.0, 0.5, 0.5)
+
+    def test_invalid_goal_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftConfig(accuracy_goal=1.5)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftConfig(momentum=0)
+
+    def test_negative_knob_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftConfig(knob_energy=-0.5)
+
+    def test_invalid_bin_width_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftConfig(bin_width=0.0)
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftConfig(switch_margin=-0.1)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftConfig(scheduler_overhead_s=-0.001)
+
+    def test_invalid_overhead_power_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftConfig(scheduler_overhead_power_w=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_CONFIG.momentum = 5  # type: ignore[misc]
+
+    def test_ablation_flags_default_to_full_system(self):
+        config = ShiftConfig()
+        assert config.use_confidence_graph
+        assert config.context_gate
+        assert not config.naive_loading
+        assert config.prefetch

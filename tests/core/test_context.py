@@ -1,0 +1,64 @@
+"""Tests for the context-change detector."""
+
+from repro.core import ContextDetector
+from repro.vision import BackgroundStyle, BoundingBox, render_frame
+
+_CALM = BackgroundStyle(complexity=0.2, brightness=0.8, contrast=0.2, pattern_seed=21)
+_BUSY = BackgroundStyle(complexity=0.9, brightness=0.2, contrast=0.8, pattern_seed=99)
+
+
+def _frame(style=_CALM, cx=48.0):
+    box = BoundingBox.from_center(cx, 48, 20, 13)
+    return render_frame(style, box, frame_size=96), box
+
+
+class TestContextDetector:
+    def test_first_frame_scores_zero(self):
+        detector = ContextDetector()
+        image, box = _frame()
+        assert detector.similarity(image, box) == 0.0
+        assert not detector.primed
+
+    def test_identical_frame_scores_high(self):
+        detector = ContextDetector()
+        image, box = _frame()
+        detector.observe(image, box)
+        assert detector.primed
+        assert detector.similarity(image, box) > 0.95
+
+    def test_small_motion_stays_similar(self):
+        detector = ContextDetector()
+        image_a, box_a = _frame(cx=46)
+        image_b, box_b = _frame(cx=50)
+        detector.observe(image_a, box_a)
+        assert detector.similarity(image_b, box_b) > 0.7
+
+    def test_background_change_detected(self):
+        detector = ContextDetector()
+        image_a, box_a = _frame(_CALM)
+        image_b, box_b = _frame(_BUSY)
+        detector.observe(image_a, box_a)
+        assert detector.similarity(image_b, box_b) < 0.5
+
+    def test_lost_detection_scores_zero(self):
+        detector = ContextDetector()
+        image, box = _frame()
+        detector.observe(image, box)
+        assert detector.similarity(image, None) == 0.0
+
+    def test_reset(self):
+        detector = ContextDetector()
+        image, box = _frame()
+        detector.observe(image, box)
+        detector.reset()
+        assert not detector.primed
+        assert detector.similarity(image, box) == 0.0
+
+    def test_observe_updates_reference(self):
+        detector = ContextDetector()
+        image_a, box_a = _frame(_CALM)
+        image_b, box_b = _frame(_BUSY)
+        detector.observe(image_a, box_a)
+        detector.observe(image_b, box_b)
+        # Now the busy frame is the reference: it matches itself.
+        assert detector.similarity(image_b, box_b) > 0.95

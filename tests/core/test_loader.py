@@ -1,0 +1,187 @@
+"""Tests for the dynamic model loader (§III-C)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DynamicModelLoader
+from repro.sim import ExecutionEngine, OutOfMemoryError, xavier_nx_with_oakd
+from repro.sim.soc import DLA_MODEL_BUDGET_MB
+
+
+@pytest.fixture
+def soc():
+    return xavier_nx_with_oakd()
+
+
+@pytest.fixture
+def loader(soc):
+    return DynamicModelLoader(soc, ExecutionEngine(soc, latency_jitter=0.0, power_jitter=0.0))
+
+
+class TestEnsureLoaded:
+    def test_cold_load_stalls_and_charges(self, soc, loader):
+        outcome = loader.ensure_loaded(("yolov7", "gpu"))
+        assert outcome.cold_load
+        assert outcome.stall_s > 0
+        assert outcome.energy_j > 0
+        assert loader.is_resident(("yolov7", "gpu"))
+        assert loader.is_ready(("yolov7", "gpu"))
+        assert soc.accelerator("gpu").memory.holds("yolov7")
+
+    def test_warm_hit_is_free(self, loader):
+        loader.ensure_loaded(("yolov7", "gpu"))
+        outcome = loader.ensure_loaded(("yolov7", "gpu"))
+        assert not outcome.cold_load
+        assert outcome.stall_s == 0.0
+        assert outcome.energy_j == 0.0
+
+    def test_unsupported_pair_rejected(self, loader):
+        with pytest.raises(ValueError):
+            loader.ensure_loaded(("ssd-resnet50", "oakd"))
+
+    def test_separate_accelerators_separate_residency(self, loader):
+        loader.ensure_loaded(("yolov7", "gpu"))
+        assert not loader.is_resident(("yolov7", "dla0"))
+        loader.ensure_loaded(("yolov7", "dla0"))
+        assert loader.is_resident(("yolov7", "dla0"))
+        assert loader.resident_pairs() == [("yolov7", "dla0"), ("yolov7", "gpu")]
+
+    def test_counts(self, loader):
+        loader.ensure_loaded(("yolov7", "gpu"))
+        loader.ensure_loaded(("yolov7-tiny", "gpu"))
+        loader.ensure_loaded(("yolov7", "gpu"))
+        assert loader.cold_load_count == 2
+
+
+class TestLRUEviction:
+    def test_evicts_least_recently_requested(self, soc, loader):
+        # DLA budget is 1800 MB: yolov7 (950) + yolov7-x (1180) cannot
+        # coexist, and the LRU victim is the one requested least recently.
+        loader.ensure_loaded(("yolov7", "dla0"))
+        soc.clock.advance(1.0)
+        loader.ensure_loaded(("yolov7-tiny", "dla0"))  # 260 MB, fits
+        soc.clock.advance(1.0)
+        loader.ensure_loaded(("yolov7", "dla0"))  # refresh yolov7
+        soc.clock.advance(1.0)
+        outcome = loader.ensure_loaded(("yolov7-x", "dla0"))  # needs room
+        assert outcome.cold_load
+        evicted_models = {pair[0] for pair in outcome.evicted}
+        assert "yolov7-tiny" in evicted_models  # least recently requested
+        assert loader.is_resident(("yolov7", "dla0")) or "yolov7" in evicted_models
+
+    def test_memory_never_exceeded(self, soc, loader):
+        models = ["yolov7", "yolov7-x", "yolov7-e6e", "yolov7-tiny", "ssd-resnet50"]
+        for i in range(12):
+            loader.ensure_loaded((models[i % len(models)], "dla0"))
+            soc.clock.advance(0.5)
+            used = soc.accelerator("dla0").memory.used_mb
+            assert used <= DLA_MODEL_BUDGET_MB + 1e-6
+
+    def test_model_too_big_for_accelerator_raises(self, soc, loader):
+        # The OAK-D pool (450 MB) can hold yolov7 (320 MB) but a model
+        # bigger than the pool is a permanent error.
+        from repro.sim import PerfPoint, register_profile, AcceleratorClass
+
+        register_profile("megamodel-test", AcceleratorClass.OAKD, PerfPoint(1.0, 2.0), 9999.0)
+        try:
+            with pytest.raises(OutOfMemoryError):
+                loader.ensure_loaded(("megamodel-test", "oakd"))
+        finally:
+            import repro.sim.profiles as profiles
+
+            del profiles._TABLE_IV["megamodel-test"]
+            del profiles._FOOTPRINT_MB["megamodel-test"]
+
+    def test_eviction_count(self, soc, loader):
+        loader.ensure_loaded(("yolov7", "dla0"))
+        soc.clock.advance(1.0)
+        loader.ensure_loaded(("yolov7-x", "dla0"))
+        assert loader.eviction_count >= 1
+
+
+class TestPrefetch:
+    def test_prefetch_fills_free_memory(self, soc, loader):
+        started = loader.prefetch([("yolov7", "gpu"), ("yolov7-tiny", "gpu")])
+        assert len(started) == 2
+        assert loader.prefetch_load_count == 2
+        assert soc.clock.now == 0.0  # no pipeline stall
+
+    def test_prefetch_never_evicts(self, soc, loader):
+        loader.ensure_loaded(("yolov7", "dla0"))
+        started = loader.prefetch([("yolov7-e6e", "dla0")])  # 1450 > 850 free
+        assert started == []
+        assert loader.is_resident(("yolov7", "dla0"))
+
+    def test_prefetched_model_not_ready_until_load_completes(self, soc, loader):
+        loader.prefetch([("yolov7", "gpu")])
+        assert loader.is_resident(("yolov7", "gpu"))
+        assert not loader.is_ready(("yolov7", "gpu"))
+        soc.clock.advance(5.0)
+        assert loader.is_ready(("yolov7", "gpu"))
+
+    def test_request_during_prefetch_stalls_remainder(self, soc, loader):
+        loader.prefetch([("yolov7", "gpu")])
+        soc.clock.advance(0.1)
+        outcome = loader.ensure_loaded(("yolov7", "gpu"))
+        assert not outcome.cold_load
+        assert outcome.stall_s > 0
+        assert outcome.energy_j == 0.0  # energy charged at prefetch time
+        assert loader.is_ready(("yolov7", "gpu"))
+
+    def test_prefetch_skips_unsupported(self, loader):
+        assert loader.prefetch([("ssd-resnet50", "oakd")]) == []
+
+    def test_prefetch_skips_resident(self, loader):
+        loader.ensure_loaded(("yolov7", "gpu"))
+        assert loader.prefetch([("yolov7", "gpu")]) == []
+
+
+class TestNaiveMode:
+    def test_naive_keeps_single_model_per_accelerator(self, soc):
+        loader = DynamicModelLoader(soc, ExecutionEngine(soc), naive=True)
+        loader.ensure_loaded(("yolov7", "gpu"))
+        loader.ensure_loaded(("yolov7-tiny", "gpu"))
+        assert loader.resident_pairs() == [("yolov7-tiny", "gpu")]
+
+    def test_naive_disables_prefetch(self, soc):
+        loader = DynamicModelLoader(soc, ExecutionEngine(soc), naive=True)
+        assert loader.prefetch([("yolov7", "gpu")]) == []
+
+    def test_naive_other_accelerators_untouched(self, soc):
+        loader = DynamicModelLoader(soc, ExecutionEngine(soc), naive=True)
+        loader.ensure_loaded(("yolov7", "dla0"))
+        loader.ensure_loaded(("yolov7-tiny", "gpu"))
+        assert loader.is_resident(("yolov7", "dla0"))
+
+
+class TestReset:
+    def test_reset_unloads_everything(self, soc, loader):
+        loader.ensure_loaded(("yolov7", "gpu"))
+        loader.ensure_loaded(("yolov7-tiny", "dla0"))
+        loader.reset()
+        assert loader.resident_pairs() == []
+        assert soc.accelerator("gpu").memory.used_mb == 0.0
+        assert loader.cold_load_count == 0
+
+    def test_evict_unknown_raises(self, loader):
+        with pytest.raises(KeyError):
+            loader.evict(("yolov7", "gpu"))
+
+
+class TestPropertyMemorySafety:
+    @given(st.lists(st.sampled_from(
+        ["yolov7", "yolov7-x", "yolov7-e6e", "yolov7-tiny",
+         "ssd-resnet50", "ssd-mobilenet-v1", "ssd-mobilenet-v2"]
+    ), min_size=1, max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_request_sequences_respect_memory(self, sequence):
+        soc = xavier_nx_with_oakd()
+        loader = DynamicModelLoader(soc, ExecutionEngine(soc))
+        for model in sequence:
+            loader.ensure_loaded((model, "dla0"))
+            soc.clock.advance(0.25)
+            pool = soc.accelerator("dla0").memory
+            assert pool.used_mb <= pool.capacity_mb + 1e-6
+            # Residency bookkeeping matches the pool exactly.
+            resident = {p[0] for p in loader.resident_pairs() if p[1] == "dla0"}
+            assert resident == set(pool.allocations())

@@ -1,0 +1,111 @@
+"""Tests for the SHIFT pipeline as a runnable policy."""
+
+import pytest
+
+from repro.characterization import characterize
+from repro.core import ShiftConfig, ShiftPipeline
+from repro.data import scenario_by_name
+from repro.models import default_zoo
+from repro.runtime import ScenarioTrace, aggregate, run_policy
+from repro.sim import xavier_nx_with_oakd
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+@pytest.fixture(scope="module")
+def bundle(zoo):
+    return characterize(zoo, xavier_nx_with_oakd(), validation_size=150, perf_repeats=5)
+
+
+@pytest.fixture(scope="module")
+def trace(zoo):
+    scenario = scenario_by_name("s1_multi_background_varying_distance").scaled(0.08)
+    return ScenarioTrace.build(scenario, zoo)
+
+
+class TestLifecycle:
+    def test_step_before_begin_raises(self, bundle, trace):
+        pipeline = ShiftPipeline(bundle)
+        with pytest.raises(RuntimeError):
+            pipeline.step(trace.frames[0])
+
+    def test_accessors_before_begin_raise(self, bundle):
+        pipeline = ShiftPipeline(bundle)
+        with pytest.raises(RuntimeError):
+            _ = pipeline.loader
+        with pytest.raises(RuntimeError):
+            _ = pipeline.scheduler
+
+
+class TestRun:
+    def test_produces_record_per_frame(self, bundle, trace):
+        result = run_policy(ShiftPipeline(bundle), trace)
+        assert result.frame_count == trace.frame_count
+        assert result.policy_name == "shift"
+
+    def test_records_well_formed(self, bundle, trace):
+        result = run_policy(ShiftPipeline(bundle), trace)
+        for record in result.records:
+            assert 0.0 <= record.iou <= 1.0
+            assert 0.0 <= record.confidence <= 1.0
+            assert record.latency_s > 0
+            assert record.energy_j > 0
+            assert record.overhead_s == pytest.approx(0.0015)
+            assert (record.model_name, record.accelerator_name) == record.pair
+
+    def test_deterministic_across_runs(self, bundle, trace):
+        a = run_policy(ShiftPipeline(bundle), trace, engine_seed=7)
+        b = run_policy(ShiftPipeline(bundle), trace, engine_seed=7)
+        assert [r.pair for r in a.records] == [r.pair for r in b.records]
+        assert [r.energy_j for r in a.records] == [r.energy_j for r in b.records]
+
+    def test_first_frame_cold_loads(self, bundle, trace):
+        result = run_policy(ShiftPipeline(bundle), trace)
+        assert result.records[0].cold_load
+        assert result.records[0].stall_s > 0
+
+    def test_reuse_requires_fresh_begin(self, bundle, trace):
+        pipeline = ShiftPipeline(bundle)
+        first = run_policy(pipeline, trace)
+        second = run_policy(pipeline, trace)  # runner calls begin() again
+        assert [r.pair for r in first.records] == [r.pair for r in second.records]
+
+    def test_scheduler_overhead_configurable(self, bundle, trace):
+        config = ShiftConfig(scheduler_overhead_s=0.0)
+        result = run_policy(ShiftPipeline(bundle, config=config), trace)
+        assert all(r.overhead_s == 0.0 for r in result.records)
+
+    def test_initial_model_respected(self, bundle, trace):
+        config = ShiftConfig(initial_model="yolov7-tiny")
+        pipeline = ShiftPipeline(bundle, config=config)
+        result = run_policy(pipeline, trace)
+        assert result.records[0].model_name in {"yolov7-tiny"} | set(
+            m for m in bundle.model_names()
+        )
+
+    def test_unknown_initial_model_falls_back(self, bundle, trace):
+        config = ShiftConfig(initial_model="not-a-model")
+        result = run_policy(ShiftPipeline(bundle, config=config), trace)
+        assert result.frame_count == trace.frame_count
+
+
+class TestBehaviour:
+    def test_adapts_to_cheaper_pairs(self, bundle, trace):
+        metrics = aggregate(run_policy(ShiftPipeline(bundle), trace))
+        # SHIFT must leave the initial yolov7@gpu pair for cheaper ones.
+        assert metrics.pairs_used >= 2 or metrics.non_gpu_share > 0
+
+    def test_prefetch_reduces_stall_frames(self, bundle, trace):
+        with_prefetch = run_policy(ShiftPipeline(bundle, config=ShiftConfig(prefetch=True)), trace)
+        without = run_policy(ShiftPipeline(bundle, config=ShiftConfig(prefetch=False)), trace)
+        stalls_with = sum(1 for r in with_prefetch.records if r.cold_load)
+        stalls_without = sum(1 for r in without.records if r.cold_load)
+        assert stalls_with <= stalls_without
+
+    def test_similarity_recorded(self, bundle, trace):
+        result = run_policy(ShiftPipeline(bundle), trace)
+        assert result.records[0].similarity == 0.0  # no history on frame 0
+        assert any(r.similarity > 0.5 for r in result.records[1:])

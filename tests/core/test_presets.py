@@ -1,0 +1,41 @@
+"""Tests for configuration presets."""
+
+import pytest
+
+from repro.core import ShiftConfig, config_for_objective, objective_names
+
+
+class TestPresets:
+    def test_known_objectives(self):
+        assert set(objective_names()) == {"paper", "accuracy", "energy", "latency", "balanced"}
+
+    def test_paper_preset_matches_table_iii(self):
+        config = config_for_objective("paper")
+        assert config.weights == (1.0, 0.5, 0.5)
+        assert config.accuracy_goal == 0.25
+
+    def test_energy_preset_weighted_toward_energy(self):
+        config = config_for_objective("energy")
+        assert config.knob_energy > config.knob_accuracy
+        assert config.knob_energy > config.knob_latency
+
+    def test_latency_preset_weighted_toward_latency(self):
+        config = config_for_objective("latency")
+        assert config.knob_latency == max(config.weights)
+
+    def test_accuracy_preset_raises_goal(self):
+        assert config_for_objective("accuracy").accuracy_goal > config_for_objective(
+            "energy"
+        ).accuracy_goal
+
+    def test_overrides_forwarded(self):
+        config = config_for_objective("paper", momentum=5, naive_loading=True)
+        assert config.momentum == 5
+        assert config.naive_loading
+
+    def test_unknown_objective_raises_with_guidance(self):
+        with pytest.raises(KeyError, match="known objectives"):
+            config_for_objective("warp-speed")
+
+    def test_returns_real_config(self):
+        assert isinstance(config_for_objective("balanced"), ShiftConfig)

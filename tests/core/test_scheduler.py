@@ -1,0 +1,190 @@
+"""Tests for the SHIFT scheduling heuristic (Algorithm 1)."""
+
+import pytest
+
+from repro.characterization import characterize
+from repro.core import ConfidenceGraph, ShiftConfig, ShiftScheduler, TraitTable
+from repro.models import default_zoo
+from repro.sim import xavier_nx_with_oakd
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return characterize(default_zoo(), xavier_nx_with_oakd(), validation_size=150, perf_repeats=5)
+
+
+@pytest.fixture(scope="module")
+def graph(bundle):
+    return ConfidenceGraph.build(bundle.observations)
+
+
+@pytest.fixture(scope="module")
+def traits(bundle):
+    return TraitTable.build(bundle, xavier_nx_with_oakd())
+
+
+def _scheduler(traits, graph, **config_overrides):
+    return ShiftScheduler(traits, graph, ShiftConfig(**config_overrides))
+
+
+CURRENT = ("yolov7", "gpu")
+
+
+class TestEarlyExit:
+    def test_stable_context_keeps_pair(self, traits, graph):
+        scheduler = _scheduler(traits, graph)
+        decision = scheduler.select(CURRENT, confidence=0.8, similarity=0.95)
+        assert not decision.rescheduled
+        assert decision.pair == CURRENT
+        assert decision.scores == {}
+
+    def test_context_change_forces_reschedule(self, traits, graph):
+        scheduler = _scheduler(traits, graph)
+        decision = scheduler.select(CURRENT, confidence=0.8, similarity=0.05)
+        assert decision.rescheduled
+
+    def test_low_confidence_forces_reschedule(self, traits, graph):
+        scheduler = _scheduler(traits, graph)
+        decision = scheduler.select(CURRENT, confidence=0.1, similarity=0.95)
+        assert decision.rescheduled
+
+    def test_gate_threshold_is_product(self, traits, graph):
+        scheduler = _scheduler(traits, graph, accuracy_goal=0.5)
+        # 0.7 * 0.6 = 0.42 < 0.5 -> reschedule
+        assert scheduler.select(CURRENT, 0.7, 0.6).rescheduled
+        # 0.9 * 0.6 = 0.54 >= 0.5 -> keep
+        assert not scheduler.select(CURRENT, 0.9, 0.6).rescheduled
+
+    def test_context_gate_ablation_always_reschedules(self, traits, graph):
+        scheduler = _scheduler(traits, graph, context_gate=False)
+        assert scheduler.select(CURRENT, 0.9, 0.99).rescheduled
+
+
+class TestScoring:
+    def test_scores_cover_valid_pairs(self, traits, graph):
+        scheduler = _scheduler(traits, graph)
+        decision = scheduler.select(CURRENT, 0.6, 0.0)
+        assert decision.scores
+        assert decision.pair in decision.scores
+
+    def test_pure_energy_knob_picks_cheapest(self, traits, graph):
+        scheduler = _scheduler(
+            traits, graph,
+            knob_accuracy=0.0, knob_energy=1.0, knob_latency=0.0,
+            accuracy_goal=0.01, switch_margin=0.0,
+        )
+        # Goal 0 means every model is valid; pure energy knob must pick the
+        # globally cheapest pair.
+        decision = scheduler.select(CURRENT, 0.6, 0.0)
+        cheapest = min(traits.pairs(), key=lambda p: traits.get(p).energy_j)
+        assert decision.pair == cheapest
+
+    def test_pure_latency_knob_picks_fastest(self, traits, graph):
+        scheduler = _scheduler(
+            traits, graph,
+            knob_accuracy=0.0, knob_energy=0.0, knob_latency=1.0,
+            accuracy_goal=0.01, switch_margin=0.0,
+        )
+        decision = scheduler.select(CURRENT, 0.6, 0.0)
+        fastest = min(traits.pairs(), key=lambda p: traits.get(p).latency_s)
+        assert decision.pair == fastest
+
+    def test_accuracy_knob_prefers_accurate_model(self, traits, graph):
+        scheduler = _scheduler(
+            traits, graph,
+            knob_accuracy=1.0, knob_energy=0.0, knob_latency=0.0,
+            accuracy_goal=0.01, switch_margin=0.0,
+        )
+        decision = scheduler.select(CURRENT, 0.75, 0.0)
+        best_model = max(decision.predictions, key=decision.predictions.get)
+        assert decision.pair[0] == best_model
+
+    def test_goal_filters_low_accuracy_models(self, traits, graph, bundle):
+        scheduler = _scheduler(
+            traits, graph,
+            accuracy_goal=0.5, knob_energy=1.0, knob_latency=1.0, switch_margin=0.0,
+        )
+        decision = scheduler.select(CURRENT, 0.8, 0.0)
+        # The chosen model must meet the goal when any model does.
+        if any(a >= 0.5 for a in decision.predictions.values()):
+            assert decision.predictions[decision.pair[0]] >= 0.5
+
+    def test_unreachable_goal_falls_back_to_all(self, traits, graph):
+        scheduler = _scheduler(traits, graph, accuracy_goal=0.99, switch_margin=0.0)
+        decision = scheduler.select(CURRENT, 0.3, 0.0)
+        assert decision.rescheduled
+        assert decision.pair in traits.pairs()
+
+    def test_deterministic(self, traits, graph):
+        a = _scheduler(traits, graph).select(CURRENT, 0.5, 0.0)
+        b = _scheduler(traits, graph).select(CURRENT, 0.5, 0.0)
+        assert a.pair == b.pair
+        assert a.scores == b.scores
+
+
+class TestHysteresis:
+    def test_margin_keeps_incumbent_on_near_tie(self, traits, graph):
+        sticky = _scheduler(traits, graph, switch_margin=10.0)
+        decision = sticky.select(CURRENT, 0.4, 0.0)
+        assert decision.pair == CURRENT  # nothing can beat a margin of 10
+
+    def test_zero_margin_switches_freely(self, traits, graph):
+        free = _scheduler(traits, graph, switch_margin=0.0)
+        decision = free.select(CURRENT, 0.4, 0.0)
+        best = max(decision.scores, key=lambda p: (decision.scores[p], p[0], p[1]))
+        assert decision.pair == best
+
+
+class TestMomentum:
+    def test_buffers_seeded_with_prior(self, traits, graph):
+        scheduler = _scheduler(traits, graph)
+        for model in traits.models():
+            assert scheduler.predicted_accuracy(model) == pytest.approx(
+                traits.accuracy_prior(model)
+            )
+
+    def test_momentum_smooths_updates(self, traits, graph):
+        fast = _scheduler(traits, graph, momentum=1)
+        slow = _scheduler(traits, graph, momentum=50)
+        for _ in range(3):
+            fast.select(CURRENT, 0.05, 0.0)
+            slow.select(CURRENT, 0.05, 0.0)
+        # After a few terrible frames the momentum-1 scheduler's estimate
+        # collapses further than the momentum-50 one.
+        assert fast.predicted_accuracy("yolov7") < slow.predicted_accuracy("yolov7")
+
+    def test_reset_restores_prior(self, traits, graph):
+        scheduler = _scheduler(traits, graph)
+        scheduler.select(CURRENT, 0.05, 0.0)
+        scheduler.reset()
+        assert scheduler.predicted_accuracy("yolov7") == pytest.approx(
+            traits.accuracy_prior("yolov7")
+        )
+
+    def test_unknown_model_estimate_raises(self, traits, graph):
+        with pytest.raises(KeyError):
+            _scheduler(traits, graph).predicted_accuracy("ghost")
+
+
+class TestAblations:
+    def test_no_cg_uses_raw_confidence(self, traits, graph):
+        scheduler = _scheduler(traits, graph, use_confidence_graph=False, momentum=1)
+        scheduler.select(CURRENT, 0.42, 0.0)
+        # Only the running model's estimate moves; with momentum=1 it
+        # becomes exactly the raw confidence.
+        assert scheduler.predicted_accuracy("yolov7") == pytest.approx(0.42)
+        assert scheduler.predicted_accuracy("yolov7-tiny") == pytest.approx(
+            traits.accuracy_prior("yolov7-tiny")
+        )
+
+
+class TestRankedPairs:
+    def test_ranked_pairs_complete_and_sorted(self, traits, graph):
+        scheduler = _scheduler(traits, graph)
+        ranked = scheduler.ranked_pairs()
+        assert len(ranked) == len(traits.pairs())
+        assert set(ranked) == set(traits.pairs())
+
+    def test_graph_rethresholded_to_config(self, traits, graph):
+        scheduler = _scheduler(traits, graph, distance_threshold=0.9)
+        assert scheduler.graph.distance_threshold == 0.9

@@ -1,0 +1,64 @@
+"""Tests for the scheduler-facing trait table."""
+
+import pytest
+
+from repro.characterization import characterize
+from repro.core import TraitTable
+from repro.models import default_zoo
+from repro.sim import xavier_nx_with_oakd
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return characterize(default_zoo(), xavier_nx_with_oakd(), validation_size=60, perf_repeats=5)
+
+
+@pytest.fixture(scope="module")
+def table(bundle):
+    return TraitTable.build(bundle, xavier_nx_with_oakd())
+
+
+class TestBuild:
+    def test_18_pairs_without_cpu(self, table):
+        assert len(table) == 18
+
+    def test_cpu_included_when_allowed(self, bundle):
+        table = TraitTable.build(bundle, xavier_nx_with_oakd(), allow_cpu=True)
+        assert ("yolov7", "cpu") in table
+        assert len(table) == 20  # 18 + the two CPU-profiled YOLO models
+
+    def test_scores_normalized_and_inverted(self, table):
+        scores_e = [table.get(p).energy_score for p in table.pairs()]
+        scores_l = [table.get(p).latency_score for p in table.pairs()]
+        assert min(scores_e) == 0.0 and max(scores_e) == 1.0
+        assert min(scores_l) == 0.0 and max(scores_l) == 1.0
+
+    def test_cheapest_pair_scores_one(self, table):
+        cheapest = min(table.pairs(), key=lambda p: table.get(p).energy_j)
+        assert table.get(cheapest).energy_score == 1.0
+
+    def test_most_expensive_pair_scores_zero(self, table):
+        priciest = max(table.pairs(), key=lambda p: table.get(p).energy_j)
+        assert table.get(priciest).energy_score == 0.0
+
+    def test_pairs_for_model(self, table):
+        pairs = table.pairs_for_model("yolov7")
+        assert ("yolov7", "gpu") in pairs
+        assert ("yolov7", "dla0") in pairs
+        assert ("yolov7", "oakd") in pairs
+
+    def test_models(self, table):
+        assert len(table.models()) == 8
+
+    def test_unknown_pair_raises(self, table):
+        with pytest.raises(KeyError):
+            table.get(("yolov7", "tpu"))
+
+    def test_accuracy_prior_from_characterization(self, table, bundle):
+        assert table.accuracy_prior("yolov7") == bundle.accuracy["yolov7"].mean_iou
+        with pytest.raises(KeyError):
+            table.accuracy_prior("ghost")
+
+    def test_contains(self, table):
+        assert ("yolov7", "gpu") in table
+        assert ("yolov7", "cpu") not in table

@@ -1,0 +1,57 @@
+"""Tests for the background library."""
+
+import pytest
+
+from repro.data import background, background_names, register_background
+from repro.vision import BackgroundStyle
+
+
+class TestLibrary:
+    def test_known_background(self):
+        style = background("open_sky")
+        assert style.brightness > 0.8
+
+    def test_unknown_background_raises_with_guidance(self):
+        with pytest.raises(KeyError, match="known backgrounds"):
+            background("the_moon")
+
+    def test_names_sorted_and_nonempty(self):
+        names = background_names()
+        assert names == sorted(names)
+        assert len(names) >= 10
+
+    def test_two_indoor_and_outdoor_families_exist(self):
+        names = background_names()
+        assert sum(1 for n in names if n.startswith("indoor")) >= 2
+        assert "open_sky" in names and "tree_line" in names
+
+    def test_styles_are_distinct(self):
+        seeds = [background(n).pattern_seed for n in background_names()]
+        assert len(seeds) == len(set(seeds))
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        style = BackgroundStyle(complexity=0.3, brightness=0.5, contrast=0.2, pattern_seed=991)
+        register_background("test_custom_bg", style)
+        try:
+            assert background("test_custom_bg") is style
+        finally:
+            # Keep the global library pristine for other tests.
+            import repro.data.backgrounds as bg
+
+            del bg._LIBRARY["test_custom_bg"]
+
+    def test_collision_rejected(self):
+        style = BackgroundStyle(complexity=0.3, brightness=0.5, contrast=0.2, pattern_seed=992)
+        with pytest.raises(ValueError):
+            register_background("open_sky", style)
+
+    def test_replace_allowed(self):
+        original = background("open_sky")
+        style = BackgroundStyle(complexity=0.3, brightness=0.5, contrast=0.2, pattern_seed=993)
+        register_background("open_sky", style, replace=True)
+        try:
+            assert background("open_sky") is style
+        finally:
+            register_background("open_sky", original, replace=True)

@@ -1,0 +1,60 @@
+"""Tests for the characterization validation set."""
+
+import numpy as np
+import pytest
+
+from repro.data import background_names, build_validation_set
+
+
+class TestBuildValidationSet:
+    def test_size(self):
+        assert len(build_validation_set(size=50)) == 50
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_validation_set(size=0)
+
+    def test_invalid_absent_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            build_validation_set(size=10, absent_fraction=1.0)
+
+    def test_deterministic(self):
+        a = build_validation_set(size=40, seed=9)
+        b = build_validation_set(size=40, seed=9)
+        for sa, sb in zip(a, b):
+            assert sa.scene == sb.scene
+            assert sa.difficulty == sb.difficulty
+
+    def test_seed_changes_samples(self):
+        a = build_validation_set(size=40, seed=1)
+        b = build_validation_set(size=40, seed=2)
+        assert any(sa.scene != sb.scene for sa, sb in zip(a, b))
+
+    def test_covers_all_backgrounds(self):
+        samples = build_validation_set(size=3 * len(background_names()))
+        seen = {s.scene.background_name for s in samples}
+        assert seen == set(background_names())
+
+    def test_distance_stratified(self):
+        samples = build_validation_set(size=400)
+        distances = [s.scene.distance for s in samples]
+        # Every decile of the distance range is populated.
+        histogram, _ = np.histogram(distances, bins=10, range=(0.0, 1.0))
+        assert all(count > 0 for count in histogram)
+
+    def test_some_frames_empty(self):
+        samples = build_validation_set(size=400, absent_fraction=0.1)
+        absent = [s for s in samples if s.ground_truth is None]
+        assert 0 < len(absent) < 100
+
+    def test_context_ids_unique_and_seeded(self):
+        samples = build_validation_set(size=30, seed=77)
+        ids = {s.context_id for s in samples}
+        assert len(ids) == 30
+        assert all(cid[0] == 77 for cid in ids)
+
+    def test_difficulty_consistent_with_scene(self):
+        from repro.data import scene_difficulty
+
+        for sample in build_validation_set(size=30):
+            assert sample.difficulty == scene_difficulty(sample.scene)

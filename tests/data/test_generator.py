@@ -1,0 +1,110 @@
+"""Tests for frame generation."""
+
+import numpy as np
+
+from repro.data import (
+    CAMERA_FPS,
+    Scenario,
+    Segment,
+    generate_frames,
+    render_scenario,
+    scenario_by_name,
+)
+
+
+def _mini_scenario():
+    return Scenario(
+        name="mini",
+        description="test scenario",
+        indoor=False,
+        seed=123,
+        segments=(
+            Segment("a", 6, "open_sky", 0.1, 0.3, path="sweep_lr"),
+            Segment("b", 4, "tree_line", 0.5, 0.7, path="hover"),
+            Segment("c", 3, "tree_line", 0.5, 0.5, path="absent"),
+        ),
+    )
+
+
+class TestGenerateFrames:
+    def test_frame_count_and_indices(self):
+        frames = render_scenario(_mini_scenario())
+        assert len(frames) == 13
+        assert [f.index for f in frames] == list(range(13))
+
+    def test_timestamps_follow_camera_fps(self):
+        frames = render_scenario(_mini_scenario())
+        assert frames[0].timestamp == 0.0
+        assert frames[1].timestamp == 1.0 / CAMERA_FPS
+
+    def test_deterministic(self):
+        a = render_scenario(_mini_scenario())
+        b = render_scenario(_mini_scenario())
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa.image, fb.image)
+            assert fa.ground_truth == fb.ground_truth
+            assert fa.difficulty == fb.difficulty
+
+    def test_segment_labels(self):
+        frames = render_scenario(_mini_scenario())
+        assert [f.segment for f in frames] == ["a"] * 6 + ["b"] * 4 + ["c"] * 3
+
+    def test_absent_segment_has_no_ground_truth(self):
+        frames = render_scenario(_mini_scenario())
+        for frame in frames[10:]:
+            assert frame.ground_truth is None
+            assert not frame.target_visible
+            assert frame.difficulty == 1.0
+
+    def test_visible_segments_have_ground_truth(self):
+        frames = render_scenario(_mini_scenario())
+        assert all(f.ground_truth is not None for f in frames[:10])
+
+    def test_images_normalized(self):
+        for frame in render_scenario(_mini_scenario()):
+            assert frame.image.min() >= 0.0 and frame.image.max() <= 1.0
+            assert frame.image.shape == (96, 96)
+
+    def test_sweep_moves_target(self):
+        frames = render_scenario(_mini_scenario())
+        x_first = frames[0].scene.cx
+        x_last = frames[5].scene.cx
+        assert x_last > x_first + 30
+
+    def test_speed_computed_from_motion(self):
+        frames = render_scenario(_mini_scenario())
+        # First frame of each segment has zero speed; subsequent sweep
+        # frames move.
+        assert frames[0].scene.speed == 0.0
+        assert frames[1].scene.speed > 0.0
+
+    def test_difficulty_rises_with_harder_segment(self):
+        frames = render_scenario(_mini_scenario())
+        easy = np.mean([f.difficulty for f in frames[:6]])
+        hard = np.mean([f.difficulty for f in frames[6:10]])
+        assert hard > easy
+
+    def test_generator_is_lazy(self):
+        gen = generate_frames(_mini_scenario())
+        first = next(gen)
+        assert first.index == 0
+
+    def test_drift_accumulates_across_segments(self):
+        scenario = Scenario(
+            name="pan",
+            description="",
+            indoor=False,
+            seed=5,
+            segments=(
+                Segment("p1", 5, "open_sky", 0.2, 0.2, pan=1.0),
+                Segment("p2", 5, "open_sky", 0.2, 0.2, pan=1.0),
+            ),
+        )
+        frames = render_scenario(scenario)
+        assert frames[-1].scene.drift > frames[0].scene.drift
+
+    def test_full_scenario_1_shape(self):
+        scenario = scenario_by_name("s1_multi_background_varying_distance").scaled(0.1)
+        frames = render_scenario(scenario)
+        assert len(frames) == scenario.total_frames
+        assert all(f.ground_truth is not None for f in frames[:4])

@@ -1,0 +1,148 @@
+"""Tests for scenario definitions and motion paths."""
+
+import pytest
+
+from repro.data import PATHS, Scenario, Segment, evaluation_scenarios, path_position, scenario_by_name
+
+
+def _segment(**overrides):
+    params = {
+        "name": "seg",
+        "frames": 10,
+        "background_name": "open_sky",
+        "distance_start": 0.2,
+        "distance_end": 0.5,
+        "path": "hover",
+    }
+    params.update(overrides)
+    return Segment(**params)
+
+
+class TestSegment:
+    def test_valid(self):
+        assert _segment().frames == 10
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ValueError):
+            _segment(frames=0)
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ValueError):
+            _segment(path="teleport")
+
+    def test_unknown_background_rejected(self):
+        with pytest.raises(KeyError):
+            _segment(background_name="the_void")
+
+    def test_distance_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            _segment(distance_start=1.2)
+        with pytest.raises(ValueError):
+            _segment(distance_end=-0.2)
+
+
+class TestScenario:
+    def test_requires_segments(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", description="", indoor=False, seed=1, segments=())
+
+    def test_total_frames(self):
+        scenario = Scenario(
+            name="x", description="", indoor=False, seed=1,
+            segments=(_segment(frames=10), _segment(frames=5)),
+        )
+        assert scenario.total_frames == 15
+
+    def test_segment_boundaries(self):
+        scenario = Scenario(
+            name="x", description="", indoor=False, seed=1,
+            segments=(_segment(frames=10), _segment(frames=5), _segment(frames=3)),
+        )
+        assert scenario.segment_boundaries() == [10, 15]
+
+    def test_scaled_shrinks_frames(self):
+        scenario = Scenario(
+            name="x", description="", indoor=False, seed=1,
+            segments=(_segment(frames=100),),
+        )
+        assert scenario.scaled(0.25).total_frames == 25
+
+    def test_scaled_keeps_minimum_two_frames(self):
+        scenario = Scenario(
+            name="x", description="", indoor=False, seed=1,
+            segments=(_segment(frames=10),),
+        )
+        assert scenario.scaled(0.01).segments[0].frames == 2
+
+    def test_scaled_invalid_factor_rejected(self):
+        scenario = Scenario(
+            name="x", description="", indoor=False, seed=1, segments=(_segment(),),
+        )
+        with pytest.raises(ValueError):
+            scenario.scaled(0.0)
+
+
+class TestEvaluationScenarios:
+    def test_six_scenarios(self):
+        assert len(evaluation_scenarios()) == 6
+
+    def test_two_indoor_four_outdoor(self):
+        scenarios = evaluation_scenarios()
+        assert sum(1 for s in scenarios if s.indoor) == 2
+        assert sum(1 for s in scenarios if not s.indoor) == 4
+
+    def test_paper_frame_counts(self):
+        # The paper's videos run 500-2,500 frames each.
+        for scenario in evaluation_scenarios():
+            assert 500 <= scenario.total_frames <= 2500, scenario.name
+
+    def test_unique_names_and_seeds(self):
+        scenarios = evaluation_scenarios()
+        assert len({s.name for s in scenarios}) == 6
+        assert len({s.seed for s in scenarios}) == 6
+
+    def test_lookup_by_name(self):
+        scenario = scenario_by_name("s1_multi_background_varying_distance")
+        assert scenario.total_frames == 1800
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="known scenarios"):
+            scenario_by_name("s99")
+
+    def test_scenario1_has_multiple_backgrounds(self):
+        scenario = scenario_by_name("s1_multi_background_varying_distance")
+        assert len({seg.background_name for seg in scenario.segments}) >= 3
+
+    def test_scenario2_enters_and_exits(self):
+        scenario = scenario_by_name("s2_fixed_distance_crossing")
+        paths = [seg.path for seg in scenario.segments]
+        assert "enter_left" in paths and "exit_right" in paths and "absent" in paths
+
+
+class TestPathPosition:
+    @pytest.mark.parametrize("path", PATHS)
+    def test_all_paths_defined_over_unit_interval(self, path):
+        for t in (0.0, 0.25, 0.5, 0.75, 1.0):
+            x, y = path_position(path, t)
+            assert -1.0 < x < 2.0 and -1.0 < y < 2.0
+
+    def test_progress_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            path_position("hover", 1.5)
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ValueError):
+            path_position("warp", 0.5)
+
+    def test_sweep_moves_left_to_right(self):
+        x0, _ = path_position("sweep_lr", 0.0)
+        x1, _ = path_position("sweep_lr", 1.0)
+        assert x0 < 0.2 and x1 > 0.8
+
+    def test_enter_left_starts_outside(self):
+        x, _ = path_position("enter_left", 0.0)
+        assert x < 0.0
+
+    def test_exit_right_ends_outside(self):
+        x, _ = path_position("exit_right", 1.0)
+        assert x > 1.0

@@ -1,0 +1,136 @@
+"""Tests for scene state and the difficulty model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import DIFFICULTY_WEIGHTS, SceneState, approach_profile, difficulty_components, scene_difficulty
+from repro.data.backgrounds import background
+
+
+def _scene(**overrides):
+    params = {
+        "background": background("open_sky"),
+        "background_name": "open_sky",
+        "cx": 48.0,
+        "cy": 48.0,
+        "distance": 0.3,
+        "speed": 0.0,
+        "drift": 0.0,
+        "visible": True,
+        "frame_size": 96,
+    }
+    params.update(overrides)
+    return SceneState(**params)
+
+
+class TestSceneState:
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ValueError):
+            _scene(distance=1.5)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            _scene(speed=-1.0)
+
+    def test_target_shrinks_with_distance(self):
+        near = _scene(distance=0.0)
+        far = _scene(distance=1.0)
+        assert far.target_width < near.target_width
+        assert far.target_width > 0
+
+    def test_target_aspect_wider_than_tall(self):
+        scene = _scene()
+        assert scene.target_height < scene.target_width
+
+    def test_ground_truth_box_centered(self):
+        box = _scene().ground_truth_box()
+        assert box is not None
+        cx, cy = box.center
+        assert abs(cx - 48) < 1e-9 and abs(cy - 48) < 1e-9
+
+    def test_invisible_target_has_no_box(self):
+        assert _scene(visible=False).ground_truth_box() is None
+
+    def test_target_outside_frame_has_no_box(self):
+        assert _scene(cx=-50.0, cy=-50.0).ground_truth_box() is None
+
+    def test_edge_target_box_clipped(self):
+        box = _scene(cx=1.0).ground_truth_box()
+        assert box is not None
+        assert box.x1 >= 0.0
+
+    def test_with_position(self):
+        moved = _scene().with_position(10, 20)
+        assert moved.cx == 10 and moved.cy == 20
+
+
+class TestDifficulty:
+    def test_weights_sum_to_one(self):
+        assert abs(sum(DIFFICULTY_WEIGHTS.values()) - 1.0) < 1e-9
+
+    def test_range(self):
+        assert 0.0 <= scene_difficulty(_scene()) <= 1.0
+
+    def test_invisible_is_maximal(self):
+        assert scene_difficulty(_scene(visible=False)) == 1.0
+
+    def test_monotonic_in_distance(self):
+        values = [scene_difficulty(_scene(distance=d)) for d in (0.0, 0.3, 0.6, 0.9)]
+        assert values == sorted(values)
+
+    def test_cluttered_background_harder(self):
+        easy = scene_difficulty(_scene())
+        hard = scene_difficulty(
+            _scene(background=background("forest_shade"), background_name="forest_shade")
+        )
+        assert hard > easy
+
+    def test_motion_increases_difficulty(self):
+        still = scene_difficulty(_scene(speed=0.0))
+        fast = scene_difficulty(_scene(speed=6.0))
+        assert fast > still
+
+    def test_edge_position_harder(self):
+        center = scene_difficulty(_scene(cx=48.0))
+        edge = scene_difficulty(_scene(cx=92.0))
+        assert edge > center
+
+    def test_components_in_range(self):
+        for name, value in difficulty_components(_scene()).items():
+            assert 0.0 <= value <= 1.0, name
+
+    def test_components_match_weight_keys(self):
+        assert set(difficulty_components(_scene())) == set(DIFFICULTY_WEIGHTS)
+
+    @given(
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.floats(0.0, 8.0, allow_nan=False),
+        st.sampled_from(["open_sky", "tree_line", "indoor_wall", "urban_facade"]),
+    )
+    @settings(max_examples=80)
+    def test_difficulty_always_in_unit_interval(self, distance, speed, name):
+        scene = _scene(
+            distance=distance, speed=speed, background=background(name), background_name=name
+        )
+        assert 0.0 <= scene_difficulty(scene) <= 1.0
+
+
+class TestApproachProfile:
+    def test_endpoints(self):
+        profile = approach_profile(0.2, 0.8, 11)
+        assert profile[0] == pytest.approx(0.2)
+        assert profile[-1] == pytest.approx(0.8)
+
+    def test_monotonic(self):
+        profile = approach_profile(0.1, 0.9, 50)
+        assert profile == sorted(profile)
+
+    def test_descending(self):
+        profile = approach_profile(0.9, 0.1, 50)
+        assert profile == sorted(profile, reverse=True)
+
+    def test_single_frame(self):
+        assert approach_profile(0.2, 0.8, 1) == [0.8]
+
+    def test_empty(self):
+        assert approach_profile(0.2, 0.8, 0) == []

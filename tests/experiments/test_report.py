@@ -1,0 +1,71 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.experiments import TableData, format_cell, render_markdown, render_table
+
+
+def _table():
+    table = TableData(title="T", headers=["A", "B"])
+    table.add_row("x", 1.23456)
+    table.add_row("y", None)
+    return table
+
+
+class TestTableData:
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            TableData(title="T", headers=[])
+
+    def test_row_width_checked(self):
+        table = TableData(title="T", headers=["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_mismatched_initial_rows_rejected(self):
+        with pytest.raises(ValueError):
+            TableData(title="T", headers=["A"], rows=[["x", "y"]])
+
+    def test_column(self):
+        assert _table().column("A") == ["x", "y"]
+        with pytest.raises(KeyError):
+            _table().column("Z")
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_precision(self):
+        assert format_cell(1.23456, precision=2) == "1.23"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRender:
+    def test_ascii_contains_all_cells(self):
+        text = render_table(_table())
+        assert "T" in text and "1.235" in text and "-" in text
+
+    def test_notes_rendered(self):
+        table = _table()
+        table.notes.append("a note")
+        assert "note: a note" in render_table(table)
+
+    def test_markdown_structure(self):
+        text = render_markdown(_table())
+        assert text.startswith("### T")
+        assert "| A | B |" in text
+        assert "| x | 1.235 |" in text
+
+    def test_alignment_consistent(self):
+        lines = render_table(_table()).splitlines()
+        header_row = lines[2]
+        data_rows = lines[4:6]
+        for row in data_rows:
+            assert len(row) <= len(header_row) + 2

@@ -1,0 +1,156 @@
+"""Tests for the simulated detector."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_validation_set
+from repro.data.backgrounds import background
+from repro.data.scene import SceneState
+from repro.models import default_zoo, detect, shared_scene_noise
+from repro.models.detector import DetectionOutcome
+
+
+def _scene(distance=0.2, name="open_sky", visible=True):
+    return SceneState(
+        background=background(name),
+        background_name=name,
+        cx=48.0,
+        cy=48.0,
+        distance=distance,
+        visible=visible,
+    )
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+@pytest.fixture(scope="module")
+def yolov7(zoo):
+    return zoo.get("yolov7")
+
+
+@pytest.fixture(scope="module")
+def tiny_ssd(zoo):
+    return zoo.get("ssd-mobilenet-v2-320")
+
+
+class TestDeterminism:
+    def test_same_inputs_same_outcome(self, yolov7):
+        scene = _scene()
+        a = detect(yolov7, scene, (1, 5))
+        b = detect(yolov7, scene, (1, 5))
+        assert a == b
+
+    def test_different_frames_differ(self, yolov7):
+        scene = _scene()
+        outcomes = {detect(yolov7, scene, (1, i)).confidence for i in range(12)}
+        assert len(outcomes) > 1
+
+    def test_different_models_differ(self, zoo):
+        scene = _scene(distance=0.5)
+        confs = {spec.name: detect(spec, scene, (1, 3)).confidence for spec in zoo}
+        assert len(set(confs.values())) > 1
+
+
+class TestOutcomeStructure:
+    def test_easy_scene_detected_well(self, yolov7):
+        outcome = detect(yolov7, _scene(distance=0.05), (2, 1))
+        assert outcome.detected
+        assert outcome.iou > 0.5
+        assert outcome.confidence >= 0.35
+        assert outcome.box is not None
+
+    def test_impossible_scene_mostly_missed(self, tiny_ssd):
+        misses = 0
+        for i in range(30):
+            outcome = detect(tiny_ssd, _scene(distance=0.95, name="forest_shade"), (3, i))
+            if not outcome.detected or outcome.iou < 0.1:
+                misses += 1
+        assert misses >= 25
+
+    def test_invisible_target_never_has_true_iou(self, yolov7):
+        for i in range(20):
+            outcome = detect(yolov7, _scene(visible=False), (4, i))
+            assert outcome.iou == 0.0
+            if outcome.detected:
+                assert outcome.false_positive
+
+    def test_iou_bounds(self, zoo):
+        for spec in zoo:
+            for i in range(10):
+                outcome = detect(spec, _scene(distance=0.4), (5, i))
+                assert 0.0 <= outcome.iou <= 1.0
+                assert 0.0 <= outcome.confidence <= 1.0
+                assert 0.0 <= outcome.quality <= 1.0
+
+    def test_missed_detection_reports_subthreshold_confidence(self, tiny_ssd):
+        found_miss = False
+        for i in range(40):
+            outcome = detect(tiny_ssd, _scene(distance=0.9, name="forest_shade"), (6, i))
+            if not outcome.detected:
+                found_miss = True
+                assert outcome.box is None
+                assert outcome.confidence < 0.35
+        assert found_miss
+
+    def test_box_inside_frame(self, zoo):
+        for spec in zoo:
+            outcome = detect(spec, _scene(distance=0.3), (7, 0))
+            if outcome.box is not None:
+                assert 0 <= outcome.box.x1 <= 96 and 0 <= outcome.box.y2 <= 96
+
+
+class TestAccuracyStructure:
+    def test_quality_decreases_with_difficulty(self, yolov7):
+        easy = np.mean([detect(yolov7, _scene(distance=0.1), (8, i)).quality for i in range(20)])
+        hard = np.mean(
+            [
+                detect(yolov7, _scene(distance=0.8, name="forest_shade"), (8, i)).quality
+                for i in range(20)
+            ]
+        )
+        assert easy > hard + 0.2
+
+    def test_confidences_correlate_across_models(self, zoo):
+        """Shared scene noise induces cross-model confidence correlation —
+        the statistical basis of the confidence graph."""
+        samples = build_validation_set(200, seed=31)
+        yolo_conf, ssd_conf = [], []
+        yolo = zoo.get("yolov7")
+        ssd = zoo.get("ssd-mobilenet-v1")
+        for sample in samples:
+            yolo_conf.append(detect(yolo, sample.scene, sample.context_id).confidence)
+            ssd_conf.append(detect(ssd, sample.scene, sample.context_id).confidence)
+        correlation = np.corrcoef(yolo_conf, ssd_conf)[0, 1]
+        assert correlation > 0.5
+
+    def test_ssd_overconfident_on_hard_frames(self, zoo):
+        """SSD confidence exceeds its true quality on hard frames."""
+        ssd = zoo.get("ssd-mobilenet-v1")
+        gaps = []
+        for i in range(40):
+            outcome = detect(ssd, _scene(distance=0.7, name="tree_line"), (9, i))
+            gaps.append(outcome.confidence - outcome.quality)
+        assert np.mean(gaps) > 0.05
+
+    def test_temporal_smoothness_within_stream(self, yolov7):
+        """Consecutive frames of one stream see similar quality (smooth
+        noise), unlike frames from different streams."""
+        scene = _scene(distance=0.5)
+        qualities = [detect(yolov7, scene, (10, i)).quality for i in range(60)]
+        step = np.mean(np.abs(np.diff(qualities)))
+        spread = np.std(qualities)
+        assert step < spread  # adjacent frames closer than the global spread
+
+    def test_shared_noise_deterministic(self):
+        assert shared_scene_noise((1, 2)) == shared_scene_noise((1, 2))
+        assert shared_scene_noise((1, 2)) != shared_scene_noise((1, 3))
+
+
+class TestDataclass:
+    def test_outcome_fields(self, yolov7):
+        outcome = detect(yolov7, _scene(), (11, 0))
+        assert isinstance(outcome, DetectionOutcome)
+        assert outcome.model_name == "yolov7"

@@ -1,0 +1,52 @@
+"""Tests for the paper's eight-model zoo definitions."""
+
+from repro.models import SSD_FAMILY, YOLO_FAMILY, paper_specs
+
+
+class TestPaperSpecs:
+    def test_eight_models(self):
+        assert len(paper_specs()) == 8
+
+    def test_names_match_profiles(self):
+        from repro.sim import paper_model_names
+
+        assert [s.name for s in paper_specs()] == paper_model_names()
+
+    def test_two_families(self):
+        families = {s.family for s in paper_specs()}
+        assert families == {YOLO_FAMILY, SSD_FAMILY}
+
+    def test_yolo_break_points_ordered_by_size(self):
+        # Heavier YOLO variants survive further into hard contexts.
+        by_name = {s.name: s for s in paper_specs()}
+        ladder = ["yolov7-e6e", "yolov7-x", "yolov7", "yolov7-tiny"]
+        breaks = [by_name[n].skill.break_point for n in ladder]
+        assert breaks == sorted(breaks, reverse=True)
+
+    def test_ssd_break_points_below_yolo(self):
+        by_family = {}
+        for spec in paper_specs():
+            by_family.setdefault(spec.family, []).append(spec.skill.break_point)
+        assert max(by_family[SSD_FAMILY]) < min(by_family[YOLO_FAMILY]) + 0.1
+
+    def test_ssd_family_overconfident(self):
+        ssd = [s for s in paper_specs() if s.family == SSD_FAMILY]
+        yolo = [s for s in paper_specs() if s.family == YOLO_FAMILY]
+        assert all(s.calibration.bias > y.calibration.bias for s in ssd for y in yolo)
+
+    def test_hard_frames_favor_heavy_models(self):
+        by_name = {s.name: s for s in paper_specs()}
+        hard = 0.68
+        quality_e6e = by_name["yolov7-e6e"].skill.quality(hard)
+        quality_tiny = by_name["yolov7-tiny"].skill.quality(hard)
+        assert quality_e6e > quality_tiny
+
+    def test_easy_frames_favor_tiny_model(self):
+        by_name = {s.name: s for s in paper_specs()}
+        easy = 0.1
+        assert by_name["yolov7-tiny"].skill.quality(easy) > by_name["yolov7-e6e"].skill.quality(easy)
+
+    def test_input_sizes(self):
+        by_name = {s.name: s for s in paper_specs()}
+        assert by_name["ssd-mobilenet-v2-320"].input_size == 320
+        assert by_name["yolov7"].input_size == 640

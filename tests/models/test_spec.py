@@ -1,0 +1,93 @@
+"""Tests for model specs, skill curves, and calibrations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import ConfidenceCalibration, ModelSpec, SkillCurve
+
+
+def _spec(**overrides):
+    params = {
+        "name": "m",
+        "family": "yolo",
+        "input_size": 640,
+        "params_millions": 30.0,
+        "skill": SkillCurve(peak=0.8, break_point=0.5, width=0.15),
+        "calibration": ConfidenceCalibration(scale=1.0, bias=0.0, noise=0.05),
+    }
+    params.update(overrides)
+    return ModelSpec(**params)
+
+
+class TestSkillCurve:
+    def test_quality_below_peak(self):
+        curve = SkillCurve(peak=0.8, break_point=0.5, width=0.15)
+        assert 0.0 < curve.quality(0.0) <= 0.8
+
+    def test_monotonically_decreasing(self):
+        curve = SkillCurve(peak=0.8, break_point=0.5, width=0.15)
+        values = [curve.quality(d) for d in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_half_peak_at_break_point(self):
+        curve = SkillCurve(peak=0.8, break_point=0.5, width=0.15)
+        assert curve.quality(0.5) == pytest.approx(0.4)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            SkillCurve(peak=0.0, break_point=0.5, width=0.1)
+        with pytest.raises(ValueError):
+            SkillCurve(peak=0.5, break_point=2.0, width=0.1)
+        with pytest.raises(ValueError):
+            SkillCurve(peak=0.5, break_point=0.5, width=0.0)
+
+    @given(st.floats(0.0, 1.0, allow_nan=False))
+    @settings(max_examples=50)
+    def test_quality_in_unit_interval(self, difficulty):
+        curve = SkillCurve(peak=0.9, break_point=0.6, width=0.2)
+        assert 0.0 <= curve.quality(difficulty) <= 0.9
+
+
+class TestCalibration:
+    def test_mean_confidence_clipped(self):
+        calib = ConfidenceCalibration(scale=1.0, bias=0.5, noise=0.0)
+        assert calib.mean_confidence(0.9) == 1.0
+        assert ConfidenceCalibration(scale=1.0, bias=-0.5, noise=0.0).mean_confidence(0.1) == 0.0
+
+    def test_overconfident_family_inflates_low_quality(self):
+        honest = ConfidenceCalibration(scale=1.0, bias=0.0, noise=0.0)
+        overconfident = ConfidenceCalibration(scale=0.78, bias=0.20, noise=0.0)
+        assert overconfident.mean_confidence(0.2) > honest.mean_confidence(0.2)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceCalibration(scale=0.0, bias=0.0, noise=0.0)
+        with pytest.raises(ValueError):
+            ConfidenceCalibration(scale=1.0, bias=0.0, noise=-0.1)
+
+
+class TestModelSpec:
+    def test_valid(self):
+        assert _spec().name == "m"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(name="")
+
+    def test_invalid_input_size_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(input_size=0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(params_millions=0.0)
+        with pytest.raises(ValueError):
+            _spec(model_noise=-0.1)
+        with pytest.raises(ValueError):
+            _spec(false_positive_rate=3.0)
+        with pytest.raises(ValueError):
+            _spec(no_response_floor=1.0)
+
+    def test_salt_stable_and_distinct(self):
+        assert _spec(name="a").salt == _spec(name="a").salt
+        assert _spec(name="a").salt != _spec(name="b").salt

@@ -1,0 +1,60 @@
+"""Tests for the model zoo registry."""
+
+import pytest
+
+from repro.models import ConfidenceCalibration, ModelSpec, ModelZoo, SkillCurve, default_zoo
+
+
+def _spec(name="custom"):
+    return ModelSpec(
+        name=name,
+        family="custom",
+        input_size=320,
+        params_millions=1.0,
+        skill=SkillCurve(peak=0.5, break_point=0.3, width=0.1),
+        calibration=ConfidenceCalibration(scale=1.0, bias=0.0, noise=0.02),
+    )
+
+
+class TestModelZoo:
+    def test_default_zoo_has_paper_models(self):
+        zoo = default_zoo()
+        assert len(zoo) == 8
+        assert "yolov7" in zoo
+        assert zoo.families() == ["yolov7", "ssd"]
+
+    def test_register_and_get(self):
+        zoo = ModelZoo()
+        zoo.register(_spec())
+        assert zoo.get("custom").family == "custom"
+
+    def test_register_duplicate_rejected(self):
+        zoo = ModelZoo([_spec()])
+        with pytest.raises(ValueError):
+            zoo.register(_spec())
+
+    def test_register_replace(self):
+        zoo = ModelZoo([_spec()])
+        replacement = _spec()
+        zoo.register(replacement, replace=True)
+        assert zoo.get("custom") is replacement
+
+    def test_remove(self):
+        zoo = ModelZoo([_spec()])
+        removed = zoo.remove("custom")
+        assert removed.name == "custom"
+        assert "custom" not in zoo
+        with pytest.raises(KeyError):
+            zoo.remove("custom")
+
+    def test_get_unknown_raises_with_guidance(self):
+        with pytest.raises(KeyError, match="registered models"):
+            default_zoo().get("resnet-152")
+
+    def test_iteration_order(self):
+        zoo = default_zoo()
+        assert [s.name for s in zoo] == zoo.names()
+
+    def test_names_in_registration_order(self):
+        zoo = ModelZoo([_spec("b"), _spec("a")])
+        assert zoo.names() == ["b", "a"]

@@ -1,0 +1,63 @@
+"""Tests for metrics/record export."""
+
+import pytest
+
+from repro.baselines import SingleModelPolicy
+from repro.data import scenario_by_name
+from repro.models import default_zoo
+from repro.runtime import (
+    ScenarioTrace,
+    aggregate,
+    load_metrics_dicts,
+    metrics_to_dict,
+    record_to_dict,
+    result_to_dict,
+    run_policy,
+    save_metrics,
+)
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    trace = ScenarioTrace.build(
+        scenario_by_name("s3_indoor_close_wall").scaled(0.02), default_zoo()
+    )
+    return run_policy(SingleModelPolicy("yolov7", "gpu"), trace)
+
+
+class TestDictForms:
+    def test_metrics_to_dict_keys(self, run_result):
+        row = metrics_to_dict(aggregate(run_result))
+        assert row["policy"] == "single:yolov7@gpu"
+        assert row["frames"] == run_result.frame_count
+        assert 0.0 <= row["mean_iou"] <= 1.0
+        assert row["efficiency_iou_per_joule"] > 0
+
+    def test_record_to_dict_box(self, run_result):
+        record = run_result.records[0]
+        row = record_to_dict(record)
+        if record.box is None:
+            assert row["box"] is None
+        else:
+            assert len(row["box"]) == 4
+
+    def test_result_to_dict_complete(self, run_result):
+        payload = result_to_dict(run_result)
+        assert payload["scenario"] == run_result.scenario_name
+        assert len(payload["records"]) == run_result.frame_count
+
+    def test_json_serializable(self, run_result):
+        import json
+
+        json.dumps(result_to_dict(run_result))
+        json.dumps(metrics_to_dict(aggregate(run_result)))
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, run_result, tmp_path):
+        metrics = aggregate(run_result)
+        path = tmp_path / "runs.jsonl"
+        save_metrics([metrics, metrics], path)
+        rows = load_metrics_dicts(path)
+        assert len(rows) == 2
+        assert rows[0] == metrics_to_dict(metrics)

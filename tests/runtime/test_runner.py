@@ -1,0 +1,65 @@
+"""Tests for the policy runner."""
+
+import pytest
+
+from repro.baselines import SingleModelPolicy
+from repro.data import scenario_by_name
+from repro.models import default_zoo
+from repro.runtime import ScenarioTrace, TraceCache, run_policy, run_policy_on_scenarios
+from repro.sim import xavier_nx_with_oakd
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+@pytest.fixture(scope="module")
+def trace(zoo):
+    return ScenarioTrace.build(scenario_by_name("s3_indoor_close_wall").scaled(0.05), zoo)
+
+
+class TestRunPolicy:
+    def test_builds_fresh_soc_by_default(self, trace):
+        result = run_policy(SingleModelPolicy("yolov7", "gpu"), trace)
+        assert result.frame_count == trace.frame_count
+
+    def test_reuses_and_resets_provided_soc(self, trace):
+        soc = xavier_nx_with_oakd()
+        soc.clock.advance(99.0)
+        soc.meter.record_draw("VDD_GPU", 10, 10)
+        run_policy(SingleModelPolicy("yolov7", "gpu"), trace, soc=soc)
+        # The run reset the platform before starting; its clock reflects
+        # only this run's activity.
+        assert soc.clock.now < 99.0
+
+    def test_engine_seed_controls_jitter(self, trace):
+        a = run_policy(SingleModelPolicy("yolov7", "gpu"), trace, engine_seed=1)
+        b = run_policy(SingleModelPolicy("yolov7", "gpu"), trace, engine_seed=2)
+        assert a.records[1].latency_s != b.records[1].latency_s
+
+    def test_run_result_names(self, trace):
+        result = run_policy(SingleModelPolicy("yolov7", "gpu"), trace)
+        assert result.scenario_name == trace.scenario.name
+        assert result.policy_name == "single:yolov7@gpu"
+
+
+class TestRunOnScenarios:
+    def test_one_metrics_row_per_scenario(self, zoo):
+        scenarios = [
+            scenario_by_name("s3_indoor_close_wall").scaled(0.05),
+            scenario_by_name("s4_indoor_clutter").scaled(0.05),
+        ]
+        metrics = run_policy_on_scenarios(
+            SingleModelPolicy("yolov7", "gpu"), scenarios, zoo
+        )
+        assert len(metrics) == 2
+        assert metrics[0].scenario_name != metrics[1].scenario_name
+
+    def test_shared_cache_reused(self, zoo):
+        scenarios = [scenario_by_name("s3_indoor_close_wall").scaled(0.05)]
+        cache = TraceCache(zoo)
+        run_policy_on_scenarios(SingleModelPolicy("yolov7", "gpu"), scenarios, zoo, cache=cache)
+        assert len(cache) == 1
+        run_policy_on_scenarios(SingleModelPolicy("yolov7-tiny", "gpu"), scenarios, zoo, cache=cache)
+        assert len(cache) == 1

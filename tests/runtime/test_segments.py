@@ -1,0 +1,65 @@
+"""Tests for per-segment metric breakdown."""
+
+import pytest
+
+from repro.baselines import SingleModelPolicy
+from repro.core import ShiftPipeline
+from repro.characterization import characterize
+from repro.data import scenario_by_name
+from repro.models import default_zoo
+from repro.runtime import ScenarioTrace, run_policy, segment_metrics
+from repro.sim import xavier_nx_with_oakd
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return ScenarioTrace.build(
+        scenario_by_name("s1_multi_background_varying_distance").scaled(0.1),
+        default_zoo(),
+    )
+
+
+@pytest.fixture(scope="module")
+def result(trace):
+    return run_policy(SingleModelPolicy("yolov7", "gpu"), trace)
+
+
+class TestSegmentMetrics:
+    def test_one_entry_per_segment_in_order(self, trace, result):
+        breakdown = segment_metrics(result, trace.frames)
+        assert [s.segment for s in breakdown] == [
+            "launch_close", "climb_easy", "treeline_far", "forest_deep", "return_close",
+        ]
+
+    def test_frame_counts_sum(self, trace, result):
+        breakdown = segment_metrics(result, trace.frames)
+        assert sum(s.frames for s in breakdown) == trace.frame_count
+
+    def test_single_model_shares(self, trace, result):
+        for segment in segment_metrics(result, trace.frames):
+            assert segment.model_shares == {"yolov7": 1.0}
+            assert segment.dominant_model() == "yolov7"
+
+    def test_hard_segments_lower_iou(self, trace, result):
+        breakdown = {s.segment: s for s in segment_metrics(result, trace.frames)}
+        assert breakdown["climb_easy"].mean_iou > breakdown["forest_deep"].mean_iou
+
+    def test_mismatched_lengths_rejected(self, trace, result):
+        with pytest.raises(ValueError):
+            segment_metrics(result, trace.frames[:-1])
+
+    def test_shift_mixes_models_across_segments(self, trace):
+        bundle = characterize(
+            default_zoo(), xavier_nx_with_oakd(), validation_size=150, perf_repeats=3
+        )
+        shift_result = run_policy(ShiftPipeline(bundle), trace)
+        breakdown = segment_metrics(shift_result, trace.frames)
+        dominant = {s.segment: s.dominant_model() for s in breakdown}
+        # The easy climb runs a cheaper model than at least one segment.
+        assert len(set(dominant.values())) >= 2 or any(
+            len(s.model_shares) > 1 for s in breakdown
+        )
+
+    def test_shares_sum_to_one(self, trace, result):
+        for segment in segment_metrics(result, trace.frames):
+            assert sum(segment.model_shares.values()) == pytest.approx(1.0)

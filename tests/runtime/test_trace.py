@@ -1,0 +1,59 @@
+"""Tests for scenario traces and the trace cache."""
+
+import pytest
+
+from repro.data import scenario_by_name
+from repro.models import default_zoo, detect
+from repro.runtime import ScenarioTrace, TraceCache
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return scenario_by_name("s3_indoor_close_wall").scaled(0.05)
+
+
+@pytest.fixture(scope="module")
+def trace(scenario, zoo):
+    return ScenarioTrace.build(scenario, zoo)
+
+
+class TestScenarioTrace:
+    def test_covers_every_model_and_frame(self, trace, zoo, scenario):
+        assert set(trace.model_names()) == set(zoo.names())
+        assert trace.frame_count == scenario.total_frames
+        for name in zoo.names():
+            assert len(trace.outcomes[name]) == trace.frame_count
+
+    def test_outcome_matches_direct_detection(self, trace, zoo, scenario):
+        spec = zoo.get("yolov7")
+        frame = trace.frames[3]
+        direct = detect(spec, frame.scene, (scenario.seed, frame.index))
+        assert trace.outcome("yolov7", 3) == direct
+
+    def test_unknown_model_raises(self, trace):
+        with pytest.raises(KeyError, match="traced"):
+            trace.outcome("ghost", 0)
+
+    def test_out_of_range_frame_raises(self, trace):
+        with pytest.raises(IndexError):
+            trace.outcome("yolov7", 10_000)
+
+
+class TestTraceCache:
+    def test_caches_by_scenario_identity(self, zoo, scenario):
+        cache = TraceCache(zoo)
+        a = cache.get(scenario)
+        b = cache.get(scenario)
+        assert a is b
+        assert len(cache) == 1
+
+    def test_scaled_variant_is_distinct(self, zoo, scenario):
+        cache = TraceCache(zoo)
+        cache.get(scenario)
+        cache.get(scenario.scaled(0.5))
+        assert len(cache) == 2

@@ -1,0 +1,46 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.sim import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+    def test_advance_zero_allowed(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+        clock.advance_to(1.0)  # no-op going backwards
+        assert clock.now == 3.0
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(10)
+        clock.reset()
+        assert clock.now == 0.0
+        with pytest.raises(ValueError):
+            clock.reset(-5)

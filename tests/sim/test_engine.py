@@ -1,0 +1,84 @@
+"""Tests for the execution engine."""
+
+import pytest
+
+from repro.sim import ExecutionEngine, perf_point, AcceleratorClass, load_cost, xavier_nx_with_oakd
+
+
+@pytest.fixture
+def soc():
+    return xavier_nx_with_oakd()
+
+
+class TestRunInference:
+    def test_advances_clock_and_charges_energy(self, soc):
+        engine = ExecutionEngine(soc, latency_jitter=0.0, power_jitter=0.0)
+        gpu = soc.accelerator("gpu")
+        record = engine.run_inference("yolov7", gpu)
+        expected = perf_point("yolov7", AcceleratorClass.GPU)
+        assert record.latency_s == expected.latency_s
+        assert record.power_w == expected.power_w
+        assert record.energy_j == pytest.approx(expected.energy_j)
+        assert soc.clock.now == pytest.approx(expected.latency_s)
+        assert soc.meter.rail_joules("VDD_GPU") == pytest.approx(expected.energy_j)
+
+    def test_no_clock_advance_option(self, soc):
+        engine = ExecutionEngine(soc, latency_jitter=0.0, power_jitter=0.0)
+        engine.run_inference("yolov7", soc.accelerator("gpu"), advance_clock=False)
+        assert soc.clock.now == 0.0
+        assert soc.meter.total_joules > 0.0  # energy still charged
+
+    def test_jitter_reproducible_per_seed(self, soc):
+        a = ExecutionEngine(soc, seed=7).run_inference("yolov7", soc.accelerator("gpu"))
+        soc.reset()
+        b = ExecutionEngine(soc, seed=7).run_inference("yolov7", soc.accelerator("gpu"))
+        assert a.latency_s == b.latency_s and a.power_w == b.power_w
+
+    def test_jitter_bounded(self, soc):
+        engine = ExecutionEngine(soc, seed=3)
+        expected = perf_point("yolov7", AcceleratorClass.GPU)
+        for _ in range(100):
+            record = engine.run_inference("yolov7", soc.accelerator("gpu"), advance_clock=False)
+            assert 0.5 * expected.latency_s <= record.latency_s <= 1.5 * expected.latency_s
+            assert 0.5 * expected.power_w <= record.power_w <= 1.5 * expected.power_w
+
+    def test_jitter_averages_to_profile_mean(self, soc):
+        engine = ExecutionEngine(soc, seed=11)
+        expected = perf_point("yolov7", AcceleratorClass.GPU)
+        samples = [
+            engine.run_inference("yolov7", soc.accelerator("gpu"), advance_clock=False).latency_s
+            for _ in range(400)
+        ]
+        assert sum(samples) / len(samples) == pytest.approx(expected.latency_s, rel=0.02)
+
+    def test_unsupported_pair_raises(self, soc):
+        engine = ExecutionEngine(soc)
+        with pytest.raises(KeyError):
+            engine.run_inference("ssd-resnet50", soc.accelerator("oakd"))
+
+    def test_negative_jitter_rejected(self, soc):
+        with pytest.raises(ValueError):
+            ExecutionEngine(soc, latency_jitter=-0.1)
+
+
+class TestRunLoad:
+    def test_load_costs_time_and_energy(self, soc):
+        engine = ExecutionEngine(soc, latency_jitter=0.0, power_jitter=0.0)
+        record = engine.run_load("yolov7", soc.accelerator("gpu"))
+        expected = load_cost("yolov7", AcceleratorClass.GPU)
+        assert record.load_time_s == pytest.approx(expected.load_time_s)
+        assert record.memory_mb == expected.memory_mb
+        assert soc.clock.now == pytest.approx(expected.load_time_s)
+
+    def test_load_does_not_touch_memory_pool(self, soc):
+        engine = ExecutionEngine(soc)
+        engine.run_load("yolov7", soc.accelerator("gpu"))
+        assert soc.accelerator("gpu").memory.used_mb == 0.0
+
+
+class TestOverhead:
+    def test_charge_overhead(self, soc):
+        engine = ExecutionEngine(soc)
+        engine.charge_overhead("VDD_CPU", 3.0, 0.002)
+        assert soc.clock.now == pytest.approx(0.002)
+        assert soc.meter.rail_joules("VDD_CPU") == pytest.approx(0.006)

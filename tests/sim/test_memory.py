@@ -1,0 +1,96 @@
+"""Tests for memory pools."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import MemoryPool, OutOfMemoryError
+
+
+class TestMemoryPool:
+    def test_capacity_required_positive(self):
+        with pytest.raises(ValueError):
+            MemoryPool("p", 0.0)
+
+    def test_allocate_and_free(self):
+        pool = MemoryPool("p", 100.0)
+        pool.allocate("a", 40.0)
+        assert pool.used_mb == 40.0
+        assert pool.available_mb == 60.0
+        assert pool.holds("a")
+        assert pool.free("a") == 40.0
+        assert pool.used_mb == 0.0
+
+    def test_oversubscription_rejected(self):
+        pool = MemoryPool("p", 100.0)
+        pool.allocate("a", 80.0)
+        with pytest.raises(OutOfMemoryError):
+            pool.allocate("b", 30.0)
+        # Failed allocation leaves no residue.
+        assert not pool.holds("b")
+        assert pool.used_mb == 80.0
+
+    def test_double_allocation_rejected(self):
+        pool = MemoryPool("p", 100.0)
+        pool.allocate("a", 10.0)
+        with pytest.raises(ValueError):
+            pool.allocate("a", 10.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool("p", 100.0).allocate("a", -1.0)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            MemoryPool("p", 100.0).free("ghost")
+
+    def test_exact_fit_allowed(self):
+        pool = MemoryPool("p", 100.0)
+        pool.allocate("a", 100.0)
+        assert pool.available_mb == 0.0
+
+    def test_can_fit(self):
+        pool = MemoryPool("p", 100.0)
+        pool.allocate("a", 60.0)
+        assert pool.can_fit(40.0)
+        assert not pool.can_fit(41.0)
+
+    def test_allocations_copy(self):
+        pool = MemoryPool("p", 100.0)
+        pool.allocate("a", 10.0)
+        allocations = pool.allocations()
+        allocations["b"] = 50.0
+        assert not pool.holds("b")
+
+    def test_allocation_mb(self):
+        pool = MemoryPool("p", 100.0)
+        pool.allocate("a", 10.0)
+        assert pool.allocation_mb("a") == 10.0
+        assert pool.allocation_mb("missing") == 0.0
+
+    def test_clear(self):
+        pool = MemoryPool("p", 100.0)
+        pool.allocate("a", 10.0)
+        pool.allocate("b", 20.0)
+        pool.clear()
+        assert pool.used_mb == 0.0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=30.0), min_size=1, max_size=12))
+    @settings(max_examples=60)
+    def test_used_never_exceeds_capacity(self, sizes):
+        pool = MemoryPool("p", 100.0)
+        for i, size in enumerate(sizes):
+            try:
+                pool.allocate(f"m{i}", size)
+            except OutOfMemoryError:
+                pass
+            assert pool.used_mb <= pool.capacity_mb + 1e-6
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=30.0), min_size=1, max_size=12))
+    @settings(max_examples=60)
+    def test_alloc_free_roundtrip_conserves(self, sizes):
+        pool = MemoryPool("p", 1000.0)
+        for i, size in enumerate(sizes):
+            pool.allocate(f"m{i}", size)
+        for i in range(len(sizes)):
+            pool.free(f"m{i}")
+        assert pool.used_mb == pytest.approx(0.0, abs=1e-9)

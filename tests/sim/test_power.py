@@ -1,0 +1,68 @@
+"""Tests for power rails and energy accounting."""
+
+import pytest
+
+from repro.sim import EnergyMeter, EnergySample
+
+
+class TestEnergySample:
+    def test_energy_is_power_times_time(self):
+        sample = EnergySample(rail="VDD_GPU", power_watts=10.0, duration_s=0.5)
+        assert sample.energy_joules == 5.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            EnergySample(rail="r", power_watts=-1.0, duration_s=1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            EnergySample(rail="r", power_watts=1.0, duration_s=-1.0)
+
+    def test_zero_duration_is_zero_energy(self):
+        assert EnergySample(rail="r", power_watts=5.0, duration_s=0.0).energy_joules == 0.0
+
+
+class TestEnergyMeter:
+    def test_starts_empty(self):
+        meter = EnergyMeter()
+        assert meter.total_joules == 0.0
+        assert meter.sample_count == 0
+        assert meter.rails() == []
+
+    def test_accumulates_per_rail(self):
+        meter = EnergyMeter()
+        meter.record_draw("VDD_GPU", 10.0, 1.0)
+        meter.record_draw("VDD_GPU", 10.0, 0.5)
+        meter.record_draw("VDD_CV", 5.0, 1.0)
+        assert meter.rail_joules("VDD_GPU") == 15.0
+        assert meter.rail_joules("VDD_CV") == 5.0
+        assert meter.total_joules == 20.0
+        assert meter.sample_count == 3
+
+    def test_unknown_rail_is_zero(self):
+        assert EnergyMeter().rail_joules("nope") == 0.0
+
+    def test_rails_sorted(self):
+        meter = EnergyMeter()
+        meter.record_draw("b", 1, 1)
+        meter.record_draw("a", 1, 1)
+        assert meter.rails() == ["a", "b"]
+
+    def test_record_returns_sample(self):
+        meter = EnergyMeter()
+        sample = meter.record_draw("r", 2.0, 3.0)
+        assert sample.energy_joules == 6.0
+
+    def test_snapshot_is_a_copy(self):
+        meter = EnergyMeter()
+        meter.record_draw("r", 1.0, 1.0)
+        snap = meter.snapshot()
+        snap["r"] = 999.0
+        assert meter.rail_joules("r") == 1.0
+
+    def test_reset(self):
+        meter = EnergyMeter()
+        meter.record_draw("r", 1.0, 1.0)
+        meter.reset()
+        assert meter.total_joules == 0.0
+        assert meter.sample_count == 0

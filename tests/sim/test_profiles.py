@@ -1,0 +1,123 @@
+"""Tests for the Table IV/I performance profiles."""
+
+import pytest
+
+from repro.sim import (
+    AcceleratorClass,
+    PerfPoint,
+    has_profile,
+    load_cost,
+    paper_model_names,
+    perf_point,
+    register_profile,
+    supported_classes,
+)
+
+GPU = AcceleratorClass.GPU
+DLA = AcceleratorClass.DLA
+OAKD = AcceleratorClass.OAKD
+CPU = AcceleratorClass.CPU
+
+
+class TestTableIVFidelity:
+    def test_eight_paper_models(self):
+        assert len(paper_model_names()) == 8
+
+    def test_yolov7_gpu_matches_table_iv(self):
+        point = perf_point("yolov7", GPU)
+        assert point.latency_s == 0.130
+        assert point.power_w == 15.14
+        assert point.energy_j == pytest.approx(1.968, abs=0.01)
+
+    def test_yolov7_dla_matches_table_iv(self):
+        point = perf_point("yolov7", DLA)
+        assert point.latency_s == 0.118
+        assert point.energy_j == pytest.approx(0.656, abs=0.01)
+
+    def test_yolov7_oakd_matches_table_iv(self):
+        point = perf_point("yolov7", OAKD)
+        assert point.latency_s == 0.894
+        assert point.energy_j == pytest.approx(1.391, abs=0.01)
+
+    def test_cpu_profiles_from_table_i(self):
+        assert perf_point("yolov7", CPU).latency_s == 1.65
+        assert perf_point("yolov7-tiny", CPU).latency_s == 0.38
+
+    def test_dla_power_always_below_gpu(self):
+        for model in paper_model_names():
+            assert perf_point(model, DLA).power_w < perf_point(model, GPU).power_w
+
+    def test_small_models_faster_on_gpu_than_dla(self):
+        # Table IV: mobilenet-v2 runs faster on the GPU than the DLA —
+        # the non-trivial trade-off SHIFT exploits.
+        for model in ("ssd-mobilenet-v2", "ssd-mobilenet-v2-320"):
+            assert perf_point(model, GPU).latency_s < perf_point(model, DLA).latency_s
+
+    def test_oakd_only_supports_yolo_pair(self):
+        supported = {m for m in paper_model_names() if has_profile(m, OAKD)}
+        assert supported == {"yolov7", "yolov7-tiny"}
+
+    def test_18_schedulable_combinations(self):
+        pairs = sum(
+            1
+            for model in paper_model_names()
+            for accel_class in (GPU, DLA, OAKD)
+            if has_profile(model, accel_class)
+        )
+        assert pairs == 18
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            perf_point("yolov99", GPU)
+
+    def test_unsupported_pair_raises(self):
+        with pytest.raises(KeyError):
+            perf_point("ssd-resnet50", OAKD)
+
+    def test_supported_classes(self):
+        assert set(supported_classes("yolov7")) == {GPU, DLA, OAKD, CPU}
+        assert set(supported_classes("ssd-resnet50")) == {GPU, DLA}
+
+
+class TestPerfPoint:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            PerfPoint(0.0, 5.0)
+        with pytest.raises(ValueError):
+            PerfPoint(0.1, 0.0)
+
+
+class TestLoadCost:
+    def test_load_cost_fields(self):
+        cost = load_cost("yolov7", GPU)
+        assert cost.memory_mb > 0
+        assert cost.load_time_s > 0
+        assert cost.load_energy_j == pytest.approx(cost.load_time_s * cost.load_power_w)
+
+    def test_bigger_models_load_slower(self):
+        big = load_cost("yolov7-e6e", GPU)
+        small = load_cost("yolov7-tiny", GPU)
+        assert big.load_time_s > small.load_time_s
+        assert big.memory_mb > small.memory_mb
+
+    def test_oakd_loads_slower_per_megabyte(self):
+        gpu = load_cost("yolov7", GPU)
+        oakd = load_cost("yolov7", OAKD)
+        assert oakd.load_time_s / oakd.memory_mb > gpu.load_time_s / gpu.memory_mb
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(KeyError):
+            load_cost("ssd-resnet50", OAKD)
+
+
+class TestRegistration:
+    def test_register_custom_profile(self):
+        register_profile("custom-test-model", GPU, PerfPoint(0.05, 9.0), footprint_mb=111.0)
+        try:
+            assert perf_point("custom-test-model", GPU).latency_s == 0.05
+            assert load_cost("custom-test-model", GPU).memory_mb == 111.0
+        finally:
+            import repro.sim.profiles as profiles
+
+            del profiles._TABLE_IV["custom-test-model"]
+            del profiles._FOOTPRINT_MB["custom-test-model"]

@@ -1,0 +1,99 @@
+"""Tests for SoC assembly and accelerators."""
+
+import pytest
+
+from repro.sim import (
+    Accelerator,
+    AcceleratorClass,
+    MemoryPool,
+    SoC,
+    gpu_only_soc,
+    xavier_nx_with_oakd,
+)
+
+
+class TestAccelerator:
+    def test_supports_follows_profiles(self):
+        soc = xavier_nx_with_oakd()
+        oakd = soc.accelerator("oakd")
+        assert oakd.supports("yolov7")
+        assert not oakd.supports("ssd-resnet50")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Accelerator(
+                name="", accel_class=AcceleratorClass.GPU,
+                memory=MemoryPool("m", 10), power_rail="r",
+            )
+
+    def test_resident_models_tracks_pool(self):
+        soc = xavier_nx_with_oakd()
+        gpu = soc.accelerator("gpu")
+        gpu.memory.allocate("yolov7", 950.0)
+        assert gpu.resident_models() == ["yolov7"]
+
+
+class TestXavierPlatform:
+    def test_default_composition(self):
+        soc = xavier_nx_with_oakd()
+        names = [a.name for a in soc.accelerators]
+        assert names == ["cpu", "gpu", "dla0", "oakd"]
+
+    def test_two_dla_variant(self):
+        soc = xavier_nx_with_oakd(dla_count=2)
+        names = [a.name for a in soc.accelerators]
+        assert "dla0" in names and "dla1" in names
+
+    def test_cpu_not_schedulable(self):
+        soc = xavier_nx_with_oakd()
+        schedulable = [a.name for a in soc.schedulable_accelerators()]
+        assert "cpu" not in schedulable
+        assert set(schedulable) == {"gpu", "dla0", "oakd"}
+
+    def test_18_schedulable_pairs_for_paper_zoo(self):
+        from repro.models import default_zoo
+
+        soc = xavier_nx_with_oakd()
+        pairs = soc.schedulable_pairs(default_zoo().names())
+        assert len(pairs) == 18
+
+    def test_lookup_unknown_accelerator(self):
+        with pytest.raises(KeyError):
+            xavier_nx_with_oakd().accelerator("tpu")
+
+    def test_duplicate_names_rejected(self):
+        accel = Accelerator(
+            name="x", accel_class=AcceleratorClass.GPU,
+            memory=MemoryPool("m", 10), power_rail="r",
+        )
+        with pytest.raises(ValueError):
+            SoC(name="bad", accelerators=[accel, accel])
+
+    def test_empty_soc_rejected(self):
+        with pytest.raises(ValueError):
+            SoC(name="empty", accelerators=[])
+
+    def test_reset_clears_state(self):
+        soc = xavier_nx_with_oakd()
+        soc.accelerator("gpu").memory.allocate("yolov7", 950.0)
+        soc.meter.record_draw("VDD_GPU", 10, 1)
+        soc.clock.advance(5)
+        soc.reset()
+        assert soc.accelerator("gpu").memory.used_mb == 0.0
+        assert soc.meter.total_joules == 0.0
+        assert soc.clock.now == 0.0
+
+    def test_negative_dla_count_rejected(self):
+        with pytest.raises(ValueError):
+            xavier_nx_with_oakd(dla_count=-1)
+
+
+class TestGpuOnly:
+    def test_composition(self):
+        soc = gpu_only_soc()
+        assert [a.name for a in soc.accelerators] == ["gpu"]
+
+    def test_8_pairs_for_paper_zoo(self):
+        from repro.models import default_zoo
+
+        assert len(gpu_only_soc().schedulable_pairs(default_zoo().names())) == 8

@@ -1,0 +1,41 @@
+"""Public API surface tests: the names a downstream user depends on."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+    def test_core_entry_points(self):
+        assert callable(repro.characterize)
+        assert callable(repro.default_zoo)
+        assert callable(repro.xavier_nx_with_oakd)
+        assert callable(repro.run_policy)
+
+    def test_policies_are_policies(self):
+        from repro.runtime import Policy
+
+        assert issubclass(repro.ShiftPipeline, Policy)
+        assert issubclass(repro.MarlinPolicy, Policy)
+        assert issubclass(repro.SingleModelPolicy, Policy)
+        assert issubclass(repro.OraclePolicy, Policy)
+
+    def test_quickstart_docstring_names_exist(self):
+        # The module docstring's quickstart must only use exported names.
+        for name in (
+            "default_zoo", "xavier_nx_with_oakd", "characterize",
+            "ShiftPipeline", "TraceCache", "run_policy", "aggregate",
+            "scenario_by_name",
+        ):
+            assert hasattr(repro, name)
+
+    def test_experiments_importable(self):
+        from repro import experiments
+
+        assert callable(experiments.table3)
+        assert callable(experiments.figure5)

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--scale", "0.03", "--validation", "60"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table", "2"])
+        assert args.scale == 1.0
+        assert args.validation == 800
+
+    def test_run_objective_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "shift", "s", "--objective", "nope"])
+
+
+class TestCommands:
+    def test_table2_static(self, capsys):
+        assert main(FAST + ["table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SHIFT" in out and "MARLIN" in out
+
+    def test_table1(self, capsys):
+        assert main(FAST + ["table", "1"]) == 0
+        assert "yolov7" in capsys.readouterr().out
+
+    def test_table4(self, capsys):
+        assert main(FAST + ["table", "4"]) == 0
+        assert "ssd-mobilenet-v2-320" in capsys.readouterr().out
+
+    def test_unknown_table_number(self, capsys):
+        assert main(FAST + ["table", "9"]) == 2
+        assert "tables 1-4" in capsys.readouterr().err
+
+    def test_figure1(self, capsys):
+        assert main(FAST + ["figure", "1"]) == 0
+        assert "single-family" in capsys.readouterr().out
+
+    def test_unknown_figure_number(self, capsys):
+        assert main(FAST + ["figure", "7"]) == 2
+        assert "figures 1-5" in capsys.readouterr().err
+
+    def test_run_single_model(self, capsys):
+        code = main(FAST + ["run", "single:yolov7-tiny@dla0", "s3_indoor_close_wall"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean IoU" in out and "single:yolov7-tiny@dla0" in out
+
+    def test_run_shift_with_objective(self, capsys):
+        code = main(FAST + ["run", "shift", "s3_indoor_close_wall", "--objective", "energy"])
+        assert code == 0
+        assert "energy/frame" in capsys.readouterr().out
+
+    def test_run_unknown_policy(self, capsys):
+        assert main(FAST + ["run", "quantum", "s3_indoor_close_wall"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_run_unknown_scenario(self, capsys):
+        assert main(FAST + ["run", "marlin", "s99"]) == 2
+        assert "known" in capsys.readouterr().err
+
+    def test_characterize_writes_bundle(self, tmp_path, capsys):
+        out_path = tmp_path / "bundle.json"
+        assert main(FAST + ["characterize", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        from repro.characterization import load_bundle
+
+        bundle = load_bundle(out_path)
+        assert len(bundle.accuracy) == 8

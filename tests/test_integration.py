@@ -1,0 +1,118 @@
+"""End-to-end integration tests: the paper's claims at reduced scale.
+
+These run the full stack — characterization, confidence graph, scheduler,
+loader, baselines — over shortened scenarios and assert the qualitative
+results of §V hold.
+"""
+
+import pytest
+
+from repro import (
+    MarlinPolicy,
+    ShiftConfig,
+    ShiftPipeline,
+    SingleModelPolicy,
+    TraceCache,
+    aggregate,
+    average_metrics,
+    characterize,
+    default_zoo,
+    evaluation_scenarios,
+    oracle_accuracy,
+    oracle_energy,
+    oracle_latency,
+    run_policy,
+    xavier_nx_with_oakd,
+)
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def world():
+    zoo = default_zoo()
+    soc = xavier_nx_with_oakd()
+    bundle = characterize(zoo, soc, validation_size=250)
+    cache = TraceCache(zoo)
+    scenarios = [s.scaled(SCALE) for s in evaluation_scenarios()]
+    traces = [cache.get(s) for s in scenarios]
+    return zoo, bundle, traces
+
+
+def _average(policy, traces, name):
+    return average_metrics([aggregate(run_policy(policy, t)) for t in traces], name)
+
+
+@pytest.fixture(scope="module")
+def results(world):
+    _zoo, bundle, traces = world
+    return {
+        "shift": _average(ShiftPipeline(bundle), traces, "shift"),
+        "yolov7": _average(SingleModelPolicy("yolov7", "gpu"), traces, "yolov7"),
+        "marlin": _average(MarlinPolicy("yolov7"), traces, "marlin"),
+        "oracle_e": _average(oracle_energy(), traces, "oracle_e"),
+        "oracle_a": _average(oracle_accuracy(), traces, "oracle_a"),
+        "oracle_l": _average(oracle_latency(), traces, "oracle_l"),
+    }
+
+
+class TestHeadlineClaims:
+    def test_energy_improvement_vs_gpu_single_model(self, results):
+        ratio = results["yolov7"].mean_energy_j / results["shift"].mean_energy_j
+        assert ratio > 3.0  # paper: up to 7.5x
+
+    def test_latency_improvement(self, results):
+        ratio = results["yolov7"].mean_latency_s / results["shift"].mean_latency_s
+        assert ratio > 1.5  # paper: up to 2.8x
+
+    def test_accuracy_within_a_few_percent(self, results):
+        assert results["shift"].mean_iou > 0.85 * results["yolov7"].mean_iou
+        assert results["shift"].success_rate > 0.85 * results["yolov7"].success_rate
+
+
+class TestTableIIIShape:
+    def test_shift_beats_marlin_energy(self, results):
+        assert results["shift"].mean_energy_j < results["marlin"].mean_energy_j
+
+    def test_oracle_a_best_iou(self, results):
+        best = max(results.values(), key=lambda m: m.mean_iou)
+        assert best is results["oracle_a"]
+
+    def test_oracle_e_best_energy(self, results):
+        cheapest = min(results.values(), key=lambda m: m.mean_energy_j)
+        assert cheapest is results["oracle_e"]
+
+    def test_oracles_bound_success(self, results):
+        oracle_success = results["oracle_a"].success_rate
+        for name in ("shift", "yolov7", "marlin"):
+            assert results[name].success_rate <= oracle_success + 1e-9
+
+    def test_shift_uses_heterogeneity(self, results):
+        assert results["shift"].non_gpu_share > 0.3
+        assert results["marlin"].non_gpu_share == 0.0
+
+    def test_shift_swaps_less_than_oracles(self, results):
+        assert 0 < results["shift"].swaps < results["oracle_e"].swaps
+        assert results["oracle_a"].swaps >= results["oracle_e"].swaps
+
+    def test_scheduler_overhead_under_2ms(self, results):
+        assert results["shift"].mean_overhead_s < 0.002
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, world):
+        _zoo, bundle, traces = world
+        a = run_policy(ShiftPipeline(bundle), traces[0], engine_seed=99)
+        b = run_policy(ShiftPipeline(bundle), traces[0], engine_seed=99)
+        assert [r.pair for r in a.records] == [r.pair for r in b.records]
+        assert sum(r.energy_j for r in a.records) == sum(r.energy_j for r in b.records)
+
+
+class TestKnobs:
+    def test_energy_knob_saves_energy(self, world):
+        _zoo, bundle, traces = world
+        frugal = ShiftPipeline(bundle, config=ShiftConfig(knob_energy=2.0, knob_latency=0.0))
+        eager = ShiftPipeline(bundle, config=ShiftConfig(knob_energy=0.0, knob_latency=0.0))
+        frugal_m = _average(frugal, traces[:2], "frugal")
+        eager_m = _average(eager, traces[:2], "eager")
+        assert frugal_m.mean_energy_j <= eager_m.mean_energy_j + 0.05

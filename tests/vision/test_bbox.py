@@ -1,0 +1,225 @@
+"""Tests for bounding boxes and overlap metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vision import (
+    BoundingBox,
+    center_distance,
+    enclosing_box,
+    iou,
+    mean_iou,
+    success_rate,
+)
+
+# Strategy: coordinates in a sane range, valid corner ordering.
+coords = st.floats(min_value=-500.0, max_value=500.0, allow_nan=False)
+sizes = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+
+
+@st.composite
+def boxes(draw):
+    x1 = draw(coords)
+    y1 = draw(coords)
+    w = draw(sizes)
+    h = draw(sizes)
+    return BoundingBox(x1, y1, x1 + w, y1 + h)
+
+
+@st.composite
+def nondegenerate_boxes(draw):
+    x1 = draw(coords)
+    y1 = draw(coords)
+    w = draw(st.floats(min_value=0.5, max_value=200.0))
+    h = draw(st.floats(min_value=0.5, max_value=200.0))
+    return BoundingBox(x1, y1, x1 + w, y1 + h)
+
+
+class TestBoundingBoxConstruction:
+    def test_valid_box(self):
+        box = BoundingBox(0, 0, 10, 5)
+        assert box.width == 10
+        assert box.height == 5
+        assert box.area == 50
+
+    def test_degenerate_box_allowed(self):
+        box = BoundingBox(3, 3, 3, 3)
+        assert box.is_degenerate()
+        assert box.area == 0
+
+    def test_inverted_x_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(10, 0, 0, 5)
+
+    def test_inverted_y_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 10, 5, 0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(float("nan"), 0, 1, 1)
+
+    def test_from_center(self):
+        box = BoundingBox.from_center(5, 5, 4, 2)
+        assert box.as_tuple() == (3, 4, 7, 6)
+
+    def test_from_center_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_center(0, 0, -1, 1)
+
+    def test_from_xywh(self):
+        box = BoundingBox.from_xywh(1, 2, 3, 4)
+        assert box.as_tuple() == (1, 2, 4, 6)
+
+    def test_from_xywh_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_xywh(0, 0, 1, -1)
+
+    def test_center(self):
+        assert BoundingBox(0, 0, 10, 20).center == (5, 10)
+
+    def test_hashable(self):
+        assert len({BoundingBox(0, 0, 1, 1), BoundingBox(0, 0, 1, 1)}) == 1
+
+
+class TestBoxOperations:
+    def test_translated(self):
+        assert BoundingBox(0, 0, 2, 2).translated(1, -1).as_tuple() == (1, -1, 3, 1)
+
+    def test_scaled_about_center(self):
+        box = BoundingBox(0, 0, 4, 4).scaled(0.5)
+        assert box.as_tuple() == (1, 1, 3, 3)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 1, 1).scaled(-2)
+
+    def test_clipped_inside_unchanged(self):
+        box = BoundingBox(1, 1, 5, 5)
+        assert box.clipped(10, 10) == box
+
+    def test_clipped_partial(self):
+        assert BoundingBox(-5, -5, 5, 5).clipped(10, 10).as_tuple() == (0, 0, 5, 5)
+
+    def test_clipped_outside_collapses(self):
+        clipped = BoundingBox(20, 20, 30, 30).clipped(10, 10)
+        assert clipped.is_degenerate()
+
+    def test_intersection_overlapping(self):
+        inter = BoundingBox(0, 0, 4, 4).intersection(BoundingBox(2, 2, 6, 6))
+        assert inter is not None
+        assert inter.as_tuple() == (2, 2, 4, 4)
+
+    def test_intersection_disjoint_is_none(self):
+        assert BoundingBox(0, 0, 1, 1).intersection(BoundingBox(5, 5, 6, 6)) is None
+
+    def test_intersection_touching_edges_is_none(self):
+        assert BoundingBox(0, 0, 1, 1).intersection(BoundingBox(1, 0, 2, 1)) is None
+
+    def test_union_area_disjoint(self):
+        assert BoundingBox(0, 0, 1, 1).union_area(BoundingBox(5, 5, 6, 6)) == 2.0
+
+    def test_contains_point(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.contains_point(1, 1)
+        assert box.contains_point(0, 0)  # closed edges
+        assert not box.contains_point(3, 1)
+
+    @given(boxes(), coords, coords)
+    def test_translation_preserves_area(self, box, dx, dy):
+        assert math.isclose(box.translated(dx, dy).area, box.area, abs_tol=1e-6)
+
+    @given(boxes())
+    def test_clip_never_grows(self, box):
+        clipped = box.clipped(100, 100)
+        assert clipped.area <= box.area + 1e-9
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert iou(box, box) == 1.0
+
+    def test_disjoint_boxes(self):
+        assert iou(BoundingBox(0, 0, 1, 1), BoundingBox(2, 2, 3, 3)) == 0.0
+
+    def test_half_overlap(self):
+        a = BoundingBox(0, 0, 2, 1)
+        b = BoundingBox(1, 0, 3, 1)
+        assert math.isclose(iou(a, b), 1 / 3)
+
+    def test_degenerate_is_zero_even_with_self(self):
+        point = BoundingBox(1, 1, 1, 1)
+        assert iou(point, point) == 0.0
+
+    def test_contained_box(self):
+        outer = BoundingBox(0, 0, 4, 4)
+        inner = BoundingBox(1, 1, 3, 3)
+        assert math.isclose(iou(outer, inner), 4 / 16)
+
+    @given(nondegenerate_boxes(), nondegenerate_boxes())
+    def test_symmetry(self, a, b):
+        assert math.isclose(iou(a, b), iou(b, a), abs_tol=1e-12)
+
+    @given(nondegenerate_boxes(), nondegenerate_boxes())
+    def test_bounds(self, a, b):
+        value = iou(a, b)
+        assert 0.0 <= value <= 1.0
+
+    @given(nondegenerate_boxes())
+    def test_self_iou_is_one(self, box):
+        assert math.isclose(iou(box, box), 1.0)
+
+    @given(nondegenerate_boxes(), coords, coords)
+    def test_translation_invariance(self, box, dx, dy):
+        other = box.translated(3.0, 4.0)
+        moved_a = box.translated(dx, dy)
+        moved_b = other.translated(dx, dy)
+        assert math.isclose(iou(box, other), iou(moved_a, moved_b), abs_tol=1e-7)
+
+
+class TestAggregates:
+    def test_center_distance(self):
+        a = BoundingBox(0, 0, 2, 2)
+        b = BoundingBox(3, 4, 5, 6)
+        assert math.isclose(center_distance(a, b), 5.0)
+
+    def test_mean_iou_skips_missing_truth(self):
+        box = BoundingBox(0, 0, 2, 2)
+        pairs = [(box, box), (box, None)]
+        assert mean_iou(pairs) == 1.0
+
+    def test_mean_iou_missing_prediction_scores_zero(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert mean_iou([(None, box), (box, box)]) == 0.5
+
+    def test_mean_iou_empty(self):
+        assert mean_iou([]) == 0.0
+
+    def test_success_rate_threshold(self):
+        box = BoundingBox(0, 0, 10, 10)
+        nearly = BoundingBox(0, 0, 9, 10)  # IoU 0.9
+        barely = BoundingBox(0, 0, 4, 10)  # IoU 0.4
+        pairs = [(nearly, box), (barely, box)]
+        assert success_rate(pairs) == 0.5
+        assert success_rate(pairs, threshold=0.3) == 1.0
+
+    def test_success_rate_empty(self):
+        assert success_rate([]) == 0.0
+
+    def test_enclosing_box(self):
+        boxes = [BoundingBox(0, 0, 1, 1), BoundingBox(5, -2, 6, 3)]
+        assert enclosing_box(boxes).as_tuple() == (0, -2, 6, 3)
+
+    def test_enclosing_box_empty_rejected(self):
+        with pytest.raises(ValueError):
+            enclosing_box([])
+
+    @given(st.lists(nondegenerate_boxes(), min_size=1, max_size=8))
+    def test_enclosing_box_contains_all(self, box_list):
+        outer = enclosing_box(box_list)
+        for box in box_list:
+            assert outer.x1 <= box.x1 and outer.y1 <= box.y1
+            assert outer.x2 >= box.x2 and outer.y2 >= box.y2

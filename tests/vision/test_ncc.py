@@ -1,0 +1,147 @@
+"""Tests for normalized cross-correlation (Eq. 1) and crops."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.vision import BoundingBox, box_ncc, crop, frame_similarity, ncc, resize_nearest
+
+images = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 12), st.integers(2, 12)),
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+def _textured(seed: int, size: int = 16) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0, 1, size=(size, size))
+
+
+class TestNCC:
+    def test_identical_images(self):
+        image = _textured(1)
+        assert math.isclose(ncc(image, image), 1.0)
+
+    def test_negated_images(self):
+        image = _textured(2)
+        assert math.isclose(ncc(image, 1.0 - image), -1.0)
+
+    def test_independent_images_near_zero(self):
+        a = _textured(3, size=64)
+        b = _textured(4, size=64)
+        assert abs(ncc(a, b)) < 0.2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ncc(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ncc(np.zeros((0, 0)), np.zeros((0, 0)))
+
+    def test_two_flat_images_fully_correlated(self):
+        assert ncc(np.full((4, 4), 0.3), np.full((4, 4), 0.9)) == 1.0
+
+    def test_flat_vs_textured_uncorrelated(self):
+        assert ncc(np.full((8, 8), 0.5), _textured(5, 8)) == 0.0
+
+    def test_brightness_invariance(self):
+        image = _textured(6)
+        assert math.isclose(ncc(image, image + 0.3), 1.0, abs_tol=1e-9)
+
+    def test_contrast_invariance(self):
+        image = _textured(7)
+        assert math.isclose(ncc(image, image * 2.5), 1.0, abs_tol=1e-9)
+
+    @given(images)
+    @settings(max_examples=60)
+    def test_bounds(self, image):
+        other = np.roll(image, 1, axis=0)
+        value = ncc(image, other)
+        assert -1.0 <= value <= 1.0
+
+    @given(images)
+    @settings(max_examples=60)
+    def test_symmetry(self, image):
+        other = np.roll(image, 1, axis=1)
+        assert math.isclose(ncc(image, other), ncc(other, image), abs_tol=1e-12)
+
+
+class TestCrop:
+    def test_exact_crop(self):
+        image = np.arange(36, dtype=float).reshape(6, 6)
+        patch = crop(image, BoundingBox(1, 2, 4, 5))
+        assert patch.shape == (3, 3)
+        assert patch[0, 0] == image[2, 1]
+
+    def test_fractional_box_rounds_outward(self):
+        image = np.zeros((6, 6))
+        patch = crop(image, BoundingBox(1.2, 1.2, 2.8, 2.8))
+        assert patch.shape == (2, 2)
+
+    def test_outside_box_rejected(self):
+        with pytest.raises(ValueError):
+            crop(np.zeros((4, 4)), BoundingBox(10, 10, 12, 12))
+
+    def test_partially_outside_clips(self):
+        image = np.ones((4, 4))
+        patch = crop(image, BoundingBox(-2, -2, 2, 2))
+        assert patch.shape == (2, 2)
+
+
+class TestResize:
+    def test_upscale_shape(self):
+        assert resize_nearest(np.zeros((2, 2)), 8, 8).shape == (8, 8)
+
+    def test_downscale_shape(self):
+        assert resize_nearest(np.zeros((9, 7)), 3, 3).shape == (3, 3)
+
+    def test_identity(self):
+        image = _textured(8, 5)
+        assert np.array_equal(resize_nearest(image, 5, 5), image)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            resize_nearest(np.zeros((2, 2)), 0, 3)
+
+    def test_values_come_from_source(self):
+        image = _textured(9, 4)
+        resized = resize_nearest(image, 16, 16)
+        assert set(np.unique(resized)).issubset(set(np.unique(image)))
+
+
+class TestBoxNCC:
+    def test_missing_box_scores_zero(self):
+        image = _textured(10, 32)
+        assert box_ncc(image, None, image, BoundingBox(2, 2, 8, 8)) == 0.0
+        assert box_ncc(image, BoundingBox(2, 2, 8, 8), image, None) == 0.0
+
+    def test_degenerate_box_scores_zero(self):
+        image = _textured(11, 32)
+        degenerate = BoundingBox(5, 5, 5, 5)
+        assert box_ncc(image, degenerate, image, BoundingBox(2, 2, 8, 8)) == 0.0
+
+    def test_same_crop_scores_high(self):
+        image = _textured(12, 32)
+        box = BoundingBox(4, 4, 20, 20)
+        assert box_ncc(image, box, image, box) > 0.99
+
+
+class TestFrameSimilarity:
+    def test_identical_frames(self):
+        image = _textured(13, 32)
+        box = BoundingBox(4, 4, 16, 16)
+        assert frame_similarity(image, image, box, box) > 0.99
+
+    def test_clamped_to_non_negative(self):
+        image = _textured(14, 32)
+        value = frame_similarity(image, 1.0 - image, None, None)
+        assert value == 0.0
+
+    def test_takes_minimum_of_signals(self):
+        image = _textured(15, 32)
+        # Same global frame but one detection missing: box signal is 0.
+        assert frame_similarity(image, image, BoundingBox(2, 2, 9, 9), None) == 0.0

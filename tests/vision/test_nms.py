@@ -1,0 +1,120 @@
+"""Tests for non-maximum suppression."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vision import BoundingBox, ScoredBox, best_detection, iou, non_max_suppression
+
+
+def _box(x, y, size=10.0):
+    return BoundingBox(x, y, x + size, y + size)
+
+
+@st.composite
+def scored_boxes(draw):
+    x = draw(st.floats(0, 80, allow_nan=False))
+    y = draw(st.floats(0, 80, allow_nan=False))
+    size = draw(st.floats(2, 30))
+    score = draw(st.floats(0.0, 1.0, allow_nan=False))
+    return ScoredBox(box=BoundingBox(x, y, x + size, y + size), score=score)
+
+
+class TestScoredBox:
+    def test_score_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ScoredBox(box=_box(0, 0), score=1.2)
+        with pytest.raises(ValueError):
+            ScoredBox(box=_box(0, 0), score=-0.1)
+
+
+class TestNMS:
+    def test_empty_input(self):
+        assert non_max_suppression([]) == []
+
+    def test_single_survivor(self):
+        kept = non_max_suppression([ScoredBox(_box(0, 0), 0.9)])
+        assert len(kept) == 1
+
+    def test_low_confidence_dropped(self):
+        kept = non_max_suppression([ScoredBox(_box(0, 0), 0.2)])
+        assert kept == []
+
+    def test_overlapping_keeps_highest(self):
+        strong = ScoredBox(_box(0, 0), 0.9)
+        weak = ScoredBox(_box(1, 1), 0.6)  # heavy overlap
+        kept = non_max_suppression([weak, strong])
+        assert kept == [strong]
+
+    def test_disjoint_boxes_all_kept(self):
+        a = ScoredBox(_box(0, 0), 0.9)
+        b = ScoredBox(_box(50, 50), 0.8)
+        kept = non_max_suppression([a, b])
+        assert set(id(k) for k in kept) == {id(a), id(b)}
+
+    def test_result_sorted_by_score(self):
+        a = ScoredBox(_box(0, 0), 0.7)
+        b = ScoredBox(_box(50, 50), 0.95)
+        kept = non_max_suppression([a, b])
+        assert [k.score for k in kept] == [0.95, 0.7]
+
+    def test_moderate_overlap_below_threshold_kept(self):
+        a = ScoredBox(_box(0, 0), 0.9)
+        b = ScoredBox(_box(8, 0), 0.8)  # IoU = 2/18 ~ 0.11 < 0.5
+        assert len(non_max_suppression([a, b])) == 2
+
+    def test_custom_iou_threshold(self):
+        a = ScoredBox(_box(0, 0), 0.9)
+        b = ScoredBox(_box(8, 0), 0.8)
+        assert len(non_max_suppression([a, b], iou_threshold=0.05)) == 1
+
+    def test_custom_confidence_threshold(self):
+        kept = non_max_suppression([ScoredBox(_box(0, 0), 0.2)], confidence_threshold=0.1)
+        assert len(kept) == 1
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            non_max_suppression([], iou_threshold=1.5)
+        with pytest.raises(ValueError):
+            non_max_suppression([], confidence_threshold=-0.5)
+
+    def test_deterministic_regardless_of_input_order(self):
+        boxes = [
+            ScoredBox(_box(0, 0), 0.9),
+            ScoredBox(_box(2, 2), 0.9),
+            ScoredBox(_box(60, 60), 0.5),
+        ]
+        forward = non_max_suppression(boxes)
+        backward = non_max_suppression(list(reversed(boxes)))
+        assert [b.box for b in forward] == [b.box for b in backward]
+
+    @given(st.lists(scored_boxes(), max_size=12))
+    @settings(max_examples=60)
+    def test_survivors_do_not_overlap_above_threshold(self, candidates):
+        kept = non_max_suppression(candidates)
+        for i, a in enumerate(kept):
+            for b in kept[i + 1 :]:
+                assert iou(a.box, b.box) <= 0.5 + 1e-9
+
+    @given(st.lists(scored_boxes(), max_size=12))
+    @settings(max_examples=60)
+    def test_survivors_subset_of_input(self, candidates):
+        kept = non_max_suppression(candidates)
+        input_ids = {id(c) for c in candidates}
+        assert all(id(k) in input_ids for k in kept)
+
+    @given(st.lists(scored_boxes(), max_size=12))
+    @settings(max_examples=60)
+    def test_all_survivors_meet_confidence(self, candidates):
+        kept = non_max_suppression(candidates)
+        assert all(k.score >= 0.35 for k in kept)
+
+
+class TestBestDetection:
+    def test_none_when_empty(self):
+        assert best_detection([]) is None
+
+    def test_returns_top_survivor(self):
+        a = ScoredBox(_box(0, 0), 0.7)
+        b = ScoredBox(_box(50, 50), 0.95)
+        best = best_detection([a, b])
+        assert best is b

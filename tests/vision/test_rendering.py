@@ -1,0 +1,96 @@
+"""Tests for synthetic frame rendering."""
+
+import numpy as np
+import pytest
+
+from repro.vision import BackgroundStyle, BoundingBox, frame_difference_energy, ncc, render_frame
+
+
+def _style(**overrides):
+    params = {"complexity": 0.5, "brightness": 0.6, "contrast": 0.4, "pattern_seed": 42}
+    params.update(overrides)
+    return BackgroundStyle(**params)
+
+
+class TestBackgroundStyle:
+    def test_valid(self):
+        style = _style()
+        assert style.complexity == 0.5
+
+    @pytest.mark.parametrize("field", ["complexity", "brightness", "contrast"])
+    def test_out_of_range_rejected(self, field):
+        with pytest.raises(ValueError):
+            _style(**{field: 1.5})
+        with pytest.raises(ValueError):
+            _style(**{field: -0.1})
+
+
+class TestRenderFrame:
+    def test_shape_and_range(self):
+        frame = render_frame(_style(), None, frame_size=48)
+        assert frame.shape == (48, 48)
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+
+    def test_deterministic_without_noise(self):
+        a = render_frame(_style(), None)
+        b = render_frame(_style(), None)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = render_frame(_style(pattern_seed=1), None)
+        b = render_frame(_style(pattern_seed=2), None)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            render_frame(_style(), None, frame_size=0)
+
+    def test_target_darkens_region(self):
+        box = BoundingBox.from_center(48, 48, 24, 16)
+        bright = _style(brightness=0.85, contrast=0.1, complexity=0.1)
+        with_target = render_frame(bright, box)
+        without = render_frame(bright, None)
+        ys, xs = int(box.center[1]), int(box.center[0])
+        assert with_target[ys, xs] < without[ys, xs] - 0.3
+
+    def test_target_outside_frame_ignored(self):
+        box = BoundingBox.from_center(500, 500, 24, 16)
+        frame = render_frame(_style(), box)
+        baseline = render_frame(_style(), None)
+        assert np.array_equal(frame, baseline)
+
+    def test_drift_shifts_background(self):
+        still = render_frame(_style(), None)
+        panned = render_frame(_style(), None, drift=10)
+        assert not np.array_equal(still, panned)
+        # Pan by a full frame wraps around to the identical texture.
+        wrapped = render_frame(_style(), None, drift=still.shape[1])
+        assert np.array_equal(still, wrapped)
+
+    def test_noise_is_reproducible_from_seeded_rng(self):
+        a = render_frame(_style(), None, noise_rng=np.random.default_rng(5))
+        b = render_frame(_style(), None, noise_rng=np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_consecutive_frames_highly_correlated(self):
+        style = _style()
+        box_a = BoundingBox.from_center(40, 48, 20, 14)
+        box_b = BoundingBox.from_center(42, 48, 20, 14)
+        a = render_frame(style, box_a)
+        b = render_frame(style, box_b)
+        assert ncc(a, b) > 0.9
+
+    def test_background_change_decorrelates(self):
+        a = render_frame(_style(pattern_seed=1, brightness=0.9), None)
+        b = render_frame(_style(pattern_seed=99, brightness=0.2, complexity=0.9), None)
+        assert ncc(a, b) < 0.5
+
+
+class TestFrameDifference:
+    def test_identical_frames_zero(self):
+        frame = render_frame(_style(), None)
+        assert frame_difference_energy(frame, frame) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            frame_difference_energy(np.zeros((2, 2)), np.zeros((3, 3)))

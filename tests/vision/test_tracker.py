@@ -1,0 +1,105 @@
+"""Tests for the template-matching tracker (Marlin substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.vision import BackgroundStyle, BoundingBox, TemplateTracker, render_frame
+
+_STYLE = BackgroundStyle(complexity=0.2, brightness=0.8, contrast=0.2, pattern_seed=7)
+
+
+def _frame_with_target(cx, cy, size=18.0):
+    box = BoundingBox.from_center(cx, cy, size, size * 0.6)
+    return render_frame(_STYLE, box, frame_size=96), box
+
+
+class TestConstruction:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateTracker(search_radius=0)
+        with pytest.raises(ValueError):
+            TemplateTracker(loss_threshold=2.0)
+        with pytest.raises(ValueError):
+            TemplateTracker(template_size=1)
+
+
+class TestAnchorAndTrack:
+    def test_track_without_anchor_is_lost(self):
+        tracker = TemplateTracker()
+        image, _ = _frame_with_target(48, 48)
+        result = tracker.track(image)
+        assert result.lost and result.box is None
+
+    def test_anchor_registers_target(self):
+        tracker = TemplateTracker()
+        image, box = _frame_with_target(48, 48)
+        tracker.anchor(image, box)
+        assert tracker.has_target
+
+    def test_anchor_degenerate_rejected(self):
+        tracker = TemplateTracker()
+        image, _ = _frame_with_target(48, 48)
+        with pytest.raises(ValueError):
+            tracker.anchor(image, BoundingBox(5, 5, 5, 5))
+
+    def test_tracks_stationary_target(self):
+        tracker = TemplateTracker()
+        image, box = _frame_with_target(48, 48)
+        tracker.anchor(image, box)
+        result = tracker.track(image)
+        assert not result.lost
+        assert result.score > 0.9
+        cx, cy = result.box.center
+        assert abs(cx - 48) <= 2 and abs(cy - 48) <= 2
+
+    def test_follows_moving_target(self):
+        tracker = TemplateTracker()
+        image, box = _frame_with_target(40, 48)
+        tracker.anchor(image, box)
+        for step, cx in enumerate((44, 48, 52, 56)):
+            image, truth = _frame_with_target(float(cx), 48)
+            result = tracker.track(image)
+            assert not result.lost, f"lost at step {step}"
+            assert abs(result.box.center[0] - cx) <= 4
+
+    def test_loses_target_when_it_vanishes(self):
+        tracker = TemplateTracker(loss_threshold=0.6)
+        image, box = _frame_with_target(48, 48)
+        tracker.anchor(image, box)
+        # Target gone and background replaced: nothing to match.
+        empty = render_frame(
+            BackgroundStyle(complexity=0.9, brightness=0.2, contrast=0.8, pattern_seed=99),
+            None,
+            frame_size=96,
+        )
+        result = tracker.track(empty)
+        assert result.lost
+
+    def test_reset_clears_state(self):
+        tracker = TemplateTracker()
+        image, box = _frame_with_target(48, 48)
+        tracker.anchor(image, box)
+        tracker.reset()
+        assert not tracker.has_target
+        assert tracker.track(image).lost
+
+    def test_track_updates_internal_box(self):
+        tracker = TemplateTracker()
+        image, box = _frame_with_target(40, 48)
+        tracker.anchor(image, box)
+        image2, _ = _frame_with_target(46, 48)
+        first = tracker.track(image2)
+        image3, _ = _frame_with_target(52, 48)
+        second = tracker.track(image3)
+        assert not second.lost
+        assert second.box.center[0] > first.box.center[0]
+
+    def test_result_box_stays_in_frame(self):
+        tracker = TemplateTracker()
+        image, box = _frame_with_target(88, 48)
+        tracker.anchor(image, box)
+        image2, _ = _frame_with_target(94, 48)
+        result = tracker.track(image2)
+        if result.box is not None:
+            assert result.box.x2 <= 96 and result.box.y2 <= 96
+            assert result.box.x1 >= 0 and result.box.y1 >= 0
