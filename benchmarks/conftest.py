@@ -3,7 +3,11 @@
 All benches share one :class:`~repro.experiments.ExperimentContext` so the
 characterization bundle and scenario traces are built once per session.
 ``REPRO_BENCH_SCALE`` (default 1.0 = paper-scale scenarios) and
-``REPRO_BENCH_VALIDATION`` (default 800 samples) trade fidelity for speed.
+``REPRO_BENCH_VALIDATION`` (default 800 samples) trade fidelity for speed;
+``REPRO_BENCH_WORKERS`` (default serial) fans trace building across worker
+processes, and ``REPRO_BENCH_TRACE_STORE`` (default ``benchmarks/out/traces``,
+empty string to disable) persists traces so a second benchmark invocation
+rebuilds nothing.
 
 Each bench prints the regenerated table and writes it to
 ``benchmarks/out/<name>.txt`` so results survive the run.
@@ -23,7 +27,13 @@ from repro.experiments import ExperimentContext
 def ctx() -> ExperimentContext:
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
     validation = int(os.environ.get("REPRO_BENCH_VALIDATION", "800"))
-    context = ExperimentContext(scale=scale, validation_size=validation)
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
+    default_store = str(pathlib.Path(__file__).parent / "out" / "traces")
+    store = os.environ.get("REPRO_BENCH_TRACE_STORE", default_store) or None
+    context = ExperimentContext(
+        scale=scale, validation_size=validation,
+        trace_store=store, max_workers=workers,
+    )
     # Warm the shared artifacts so individual benches time their own work,
     # not the common setup.
     context.bundle

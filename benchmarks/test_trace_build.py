@@ -1,0 +1,58 @@
+"""Bench: trace-build throughput — serial vs parallel vs store reload.
+
+Trace construction (every zoo model on every frame) dominates the
+benchmark suite's wall-clock, so this bench records where that time goes
+and makes the speedup of the parallel and persisted paths visible in the
+perf trajectory.  Throughput is reported in model-frames/s (a trace of F
+frames over M models performs F x M detections).
+
+Scale with ``REPRO_BENCH_SCALE``; worker count with
+``REPRO_BENCH_WORKERS`` (default: half the CPUs, at least 2).
+"""
+
+import os
+import time
+
+from repro.models import default_zoo
+from repro.runtime import ScenarioTrace, TraceStore
+
+_SCENARIO = "s1_multi_background_varying_distance"
+
+
+def test_trace_build_benchmark(ctx, report, tmp_path_factory):
+    zoo = default_zoo()
+    scenario = ctx.scenario(_SCENARIO)
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or max(2, (os.cpu_count() or 2) // 2)
+    work = scenario.total_frames * len(zoo)
+
+    t0 = time.perf_counter()
+    serial = ScenarioTrace.build(scenario, zoo)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = ScenarioTrace.build(scenario, zoo, max_workers=workers)
+    parallel_s = time.perf_counter() - t0
+
+    store = TraceStore(tmp_path_factory.mktemp("traces"))
+    store.save(serial, zoo)
+    t0 = time.perf_counter()
+    reloaded = store.load(scenario, zoo)
+    reload_s = time.perf_counter() - t0
+
+    # Identical outcomes on every path — speed never changes results.
+    assert parallel.outcomes == serial.outcomes
+    assert reloaded.outcomes == serial.outcomes
+
+    lines = [
+        f"trace build: {scenario.name} ({scenario.total_frames} frames x {len(zoo)} models)",
+        f"  serial              {serial_s:8.2f}s  {work / serial_s:10.0f} model-frames/s",
+        f"  parallel (w={workers})    {parallel_s:8.2f}s  {work / parallel_s:10.0f} model-frames/s"
+        f"  ({serial_s / parallel_s:.2f}x)",
+        f"  store reload        {reload_s:8.2f}s  {work / reload_s:10.0f} model-frames/s"
+        f"  ({serial_s / reload_s:.2f}x)",
+    ]
+    report("trace_build", "\n".join(lines))
+
+    # The reload path skips the zoo sweep entirely; it must beat a full
+    # rebuild comfortably at any scale.
+    assert reload_s < serial_s

@@ -12,10 +12,13 @@ Run with::
     python examples/quickstart.py
 """
 
+import tempfile
+
 from repro import (
+    ExperimentRunner,
     ShiftPipeline,
     SingleModelPolicy,
-    TraceCache,
+    TraceStore,
     aggregate,
     characterize,
     default_zoo,
@@ -44,8 +47,13 @@ def main() -> None:
 
     # Online phase: run SHIFT over a scenario (use a shortened scenario so
     # the quickstart finishes in seconds; drop .scaled() for full length).
+    # The runner builds the trace across worker processes and persists it —
+    # point the store at a stable directory and reruns skip the build.
     scenario = scenario_by_name("s1_multi_background_varying_distance").scaled(0.3)
-    trace = TraceCache(zoo).get(scenario)
+    runner = ExperimentRunner(
+        zoo, store=TraceStore(tempfile.mkdtemp(prefix="repro-traces-")), max_workers=2
+    )
+    trace = runner.trace(scenario)
     print(f"\nrunning policies over {scenario.name} ({trace.frame_count} frames)...")
 
     shift = aggregate(run_policy(ShiftPipeline(bundle), trace))

@@ -9,16 +9,24 @@ Quickstart::
 
     from repro import (
         default_zoo, xavier_nx_with_oakd, characterize,
-        ShiftPipeline, TraceCache, run_policy, aggregate, scenario_by_name,
+        ShiftPipeline, ExperimentRunner, TraceStore,
+        evaluation_scenarios, average_metrics,
     )
 
     zoo = default_zoo()
     soc = xavier_nx_with_oakd()
     bundle = characterize(zoo, soc)           # offline phase (paper SIII-A)
     shift = ShiftPipeline(bundle)             # the runtime (SIII-B/C)
-    trace = TraceCache(zoo).get(scenario_by_name("s2_fixed_distance_crossing"))
-    metrics = aggregate(run_policy(shift, trace, soc=soc))
-    print(metrics.mean_iou, metrics.mean_energy_j)
+
+    # Traces build in parallel and persist under ./traces — a second
+    # invocation of this script rebuilds nothing.
+    runner = ExperimentRunner(zoo, store=TraceStore("traces"), max_workers=4)
+    metrics = runner.run_policy_on_scenarios(shift, evaluation_scenarios())
+    print(average_metrics(metrics, "shift").mean_iou)
+
+For a single scenario, ``trace = runner.trace(scenario_by_name(...))`` and
+``aggregate(run_policy(shift, trace, soc=soc))`` mirror the paper's
+one-policy-one-video runs.
 """
 
 from .baselines import (
@@ -44,19 +52,23 @@ from .core import (
 from .data import (
     Scenario,
     Segment,
+    all_scenarios,
     build_validation_set,
     evaluation_scenarios,
+    extended_scenarios,
     render_scenario,
     scenario_by_name,
 )
 from .models import ModelSpec, ModelZoo, default_zoo, detect
 from .runtime import (
+    ExperimentRunner,
     FrameRecord,
     Policy,
     RunMetrics,
     RunResult,
     ScenarioTrace,
     TraceCache,
+    TraceStore,
     aggregate,
     average_metrics,
     run_policy,
@@ -100,6 +112,8 @@ __all__ = [
     "Segment",
     "build_validation_set",
     "evaluation_scenarios",
+    "extended_scenarios",
+    "all_scenarios",
     "render_scenario",
     "scenario_by_name",
     # models
@@ -108,12 +122,14 @@ __all__ = [
     "default_zoo",
     "detect",
     # runtime
+    "ExperimentRunner",
     "FrameRecord",
     "Policy",
     "RunMetrics",
     "RunResult",
     "ScenarioTrace",
     "TraceCache",
+    "TraceStore",
     "aggregate",
     "average_metrics",
     "run_policy",

@@ -4,4 +4,10 @@ import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    code = main()
+except BrokenPipeError:
+    # Piping into e.g. ``head`` closes stdout early; that's not an error.
+    sys.stderr.close()
+    code = 0
+sys.exit(code)

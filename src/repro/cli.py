@@ -6,12 +6,16 @@ Usage (after ``pip install -e .``)::
     python -m repro figure 5 --full-grid         # paper-sized sensitivity sweep
     python -m repro run shift s2_fixed_distance_crossing --scale 0.5
     python -m repro run marlin s1_multi_background_varying_distance
+    python -m repro --workers 4 sweep shift,marlin
+    python -m repro scenarios                    # list the flight library
     python -m repro characterize --out bundle.json
     python -m repro headline
 
 Every experiment honours ``--scale`` (scenario length multiplier) and
 ``--validation`` (characterization sample count) so results can be traded
-against wall-clock time.
+against wall-clock time.  ``--workers N`` builds scenario traces across N
+worker processes, and ``--trace-store DIR`` persists built traces so the
+next invocation skips rebuilding them entirely.
 """
 
 from __future__ import annotations
@@ -46,7 +50,12 @@ from .runtime import aggregate, run_policy
 
 
 def _context(args: argparse.Namespace) -> ExperimentContext:
-    return ExperimentContext(scale=args.scale, validation_size=args.validation)
+    return ExperimentContext(
+        scale=args.scale,
+        validation_size=args.validation,
+        trace_store=args.trace_store,
+        max_workers=args.workers,
+    )
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -146,6 +155,67 @@ def _cmd_headline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.report import TableData
+    from .runtime import average_metrics
+
+    ctx = _context(args)
+    try:
+        policies = [_build_policy(name.strip(), ctx, args.objective)
+                    for name in args.policies.split(",") if name.strip()]
+        if args.scenarios:
+            scenarios = [ctx.scenario(name.strip())
+                         for name in args.scenarios.split(",") if name.strip()]
+        else:
+            scenarios = ctx.scenarios()
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if not policies:
+        print("no policies given", file=sys.stderr)
+        return 2
+    if not scenarios:
+        print("no scenarios given", file=sys.stderr)
+        return 2
+    try:
+        results = ctx.runner.sweep(policies, scenarios, parallel_runs=args.parallel_runs)
+    except ValueError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    table = TableData(
+        title=f"Sweep: {len(policies)} policies x {len(scenarios)} scenarios",
+        headers=["Policy", "Scenario", "IoU", "Success", "Time (s)", "Energy (J)", "Swaps"],
+    )
+    for policy_name, rows in results.items():
+        for m in rows:
+            table.add_row(policy_name, m.scenario_name, round(m.mean_iou, 3),
+                          f"{m.success_rate * 100:.1f}%", round(m.mean_latency_s, 4),
+                          round(m.mean_energy_j, 4), m.swaps)
+        avg = average_metrics(rows, policy_name)
+        table.add_row(policy_name, "average", round(avg.mean_iou, 3),
+                      f"{avg.success_rate * 100:.1f}%", round(avg.mean_latency_s, 4),
+                      round(avg.mean_energy_j, 4), avg.swaps)
+    print(render_table(table))
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .data import all_scenarios
+
+    for scenario in all_scenarios():
+        kind = "indoor" if scenario.indoor else "outdoor"
+        print(f"{scenario.name:40s} {scenario.total_frames:6d} frames  {kind:7s}  "
+              f"{scenario.description}")
+    return 0
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {number}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests and docs tooling)."""
     parser = argparse.ArgumentParser(
@@ -156,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scenario length multiplier (default 1.0 = paper scale)")
     parser.add_argument("--validation", type=int, default=800,
                         help="characterization sample count (default 800)")
+    parser.add_argument("--workers", type=_positive_int, default=None,
+                        help="worker processes for trace building (default: serial)")
+    parser.add_argument("--trace-store", default=None, metavar="DIR",
+                        help="persist built traces under DIR and reuse them next run")
     commands = parser.add_subparsers(dest="command", required=True)
 
     table_cmd = commands.add_parser("table", help="regenerate a paper table")
@@ -177,6 +251,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--objective", default="paper", choices=objective_names(),
                          help="knob preset for the shift policy (default: paper)")
     run_cmd.set_defaults(func=_cmd_run)
+
+    sweep_cmd = commands.add_parser("sweep", help="run several policies over several scenarios")
+    sweep_cmd.add_argument("policies", help="comma-separated policy names (see 'run')")
+    sweep_cmd.add_argument("--scenarios", default=None,
+                           help="comma-separated scenario names (default: the six evaluation ones)")
+    sweep_cmd.add_argument("--objective", default="paper", choices=objective_names(),
+                           help="knob preset for shift policies (default: paper)")
+    sweep_cmd.add_argument("--parallel-runs", action="store_true",
+                           help="also run (policy, scenario) pairs in worker processes "
+                                "(needs --workers and --trace-store)")
+    sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    scen_cmd = commands.add_parser("scenarios", help="list the scenario library")
+    scen_cmd.set_defaults(func=_cmd_scenarios)
 
     char_cmd = commands.add_parser("characterize", help="run the offline phase, save a bundle")
     char_cmd.add_argument("--out", default="characterization.json",

@@ -2,12 +2,18 @@
 
 from .backgrounds import background, background_names, register_background
 from .dataset import DEFAULT_VALIDATION_SIZE, Sample, build_validation_set
-from .generator import CAMERA_FPS, Frame, generate_frames, render_scenario
+from .generator import CAMERA_FPS, Frame, generate_frames, render_scenario, scenario_scenes
 from .scenario import (
     PATHS,
     Scenario,
     Segment,
+    all_scenarios,
     evaluation_scenarios,
+    extended_scenarios,
+    fog_crossing_scenario,
+    long_endurance_patrol_scenario,
+    multi_pan_survey_scenario,
+    night_watch_scenario,
     path_position,
     scenario_by_name,
 )
@@ -29,10 +35,17 @@ __all__ = [
     "Frame",
     "generate_frames",
     "render_scenario",
+    "scenario_scenes",
     "CAMERA_FPS",
     "Scenario",
     "Segment",
     "evaluation_scenarios",
+    "extended_scenarios",
+    "all_scenarios",
+    "night_watch_scenario",
+    "fog_crossing_scenario",
+    "multi_pan_survey_scenario",
+    "long_endurance_patrol_scenario",
     "scenario_by_name",
     "path_position",
     "PATHS",

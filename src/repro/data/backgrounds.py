@@ -27,6 +27,12 @@ _LIBRARY: dict[str, BackgroundStyle] = {
     "urban_facade": BackgroundStyle(complexity=0.75, brightness=0.50, contrast=0.65, pattern_seed=205),
     "parking_lot": BackgroundStyle(complexity=0.45, brightness=0.55, contrast=0.40, pattern_seed=206),
     "dusk_horizon": BackgroundStyle(complexity=0.35, brightness=0.22, contrast=0.30, pattern_seed=207),
+    # Night: very dark scenes where the dark airframe nearly vanishes.
+    "night_sky": BackgroundStyle(complexity=0.08, brightness=0.07, contrast=0.10, pattern_seed=208),
+    "moonlit_field": BackgroundStyle(complexity=0.42, brightness=0.16, contrast=0.22, pattern_seed=209),
+    # Fog: bright but washed out — low contrast without low light.
+    "fog_bank": BackgroundStyle(complexity=0.12, brightness=0.68, contrast=0.06, pattern_seed=210),
+    "fog_treeline": BackgroundStyle(complexity=0.50, brightness=0.58, contrast=0.15, pattern_seed=211),
 }
 
 

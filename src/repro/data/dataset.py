@@ -14,10 +14,31 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..vision.bbox import BoundingBox
-from .backgrounds import background, background_names
+from .backgrounds import background
 from .scene import SceneState, scene_difficulty
 
 DEFAULT_VALIDATION_SIZE = 800
+
+# The paper's validation split is a fixed public dataset; this frozen
+# background roster is its stand-in.  It must NOT track the live background
+# library: registering new backgrounds (night, fog, custom deployments)
+# would silently reshuffle the validation set, changing every trait and
+# confidence-graph statistic — and therefore every SHIFT decision — behind
+# the caller's back.  New contexts are deliberately out-of-distribution,
+# like a real deployment; characterization generalizes through difficulty,
+# not background identity.
+VALIDATION_BACKGROUNDS = (
+    "cloudy_sky",
+    "dusk_horizon",
+    "forest_shade",
+    "indoor_lab",
+    "indoor_wall",
+    "indoor_warehouse",
+    "open_sky",
+    "parking_lot",
+    "tree_line",
+    "urban_facade",
+)
 
 
 @dataclass(frozen=True)
@@ -58,7 +79,7 @@ def build_validation_set(
         raise ValueError("absent_fraction must be within [0, 1)")
 
     rng = np.random.default_rng(seed)
-    names = background_names()
+    names = list(VALIDATION_BACKGROUNDS)
     samples: list[Sample] = []
     for index in range(size):
         name = names[index % len(names)]

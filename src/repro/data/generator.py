@@ -83,6 +83,29 @@ def _segment_scenes(segment: Segment, frame_size: int, start_drift: float) -> li
     return scenes
 
 
+def _scene_stream(scenario: Scenario) -> Iterator[tuple[Segment, SceneState]]:
+    """Yield (segment, scene) for every frame, threading pan drift through."""
+    drift = 0.0
+    for segment in scenario.segments:
+        scenes = _segment_scenes(segment, scenario.frame_size, drift)
+        if scenes:
+            drift = scenes[-1].drift
+        for scene in scenes:
+            yield segment, scene
+
+
+def scenario_scenes(scenario: Scenario) -> list[SceneState]:
+    """Latent scene states of every frame, without rendering any pixels.
+
+    Detection outcomes depend only on the scene state (the simulated
+    detectors never read pixels), so trace builders that fan detection out
+    across worker processes use this to skip the rendering cost entirely;
+    the states are identical to the ``scene`` fields of
+    :func:`generate_frames`.
+    """
+    return [scene for _, scene in _scene_stream(scenario)]
+
+
 def generate_frames(scenario: Scenario) -> Iterator[Frame]:
     """Yield every frame of ``scenario`` in order, deterministically.
 
@@ -90,31 +113,24 @@ def generate_frames(scenario: Scenario) -> Iterator[Frame]:
     scenario always produces bit-identical frames.
     """
     noise_rng = np.random.default_rng(scenario.seed)
-    index = 0
-    drift = 0.0
-    for segment in scenario.segments:
-        scenes = _segment_scenes(segment, scenario.frame_size, drift)
-        if scenes:
-            drift = scenes[-1].drift
-        for scene in scenes:
-            truth = scene.ground_truth_box()
-            image = render_frame(
-                scene.background,
-                truth,
-                frame_size=scenario.frame_size,
-                drift=scene.drift,
-                noise_rng=noise_rng,
-            )
-            yield Frame(
-                index=index,
-                timestamp=index / CAMERA_FPS,
-                image=image,
-                scene=scene,
-                ground_truth=truth,
-                difficulty=scene_difficulty(scene),
-                segment=segment.name,
-            )
-            index += 1
+    for index, (segment, scene) in enumerate(_scene_stream(scenario)):
+        truth = scene.ground_truth_box()
+        image = render_frame(
+            scene.background,
+            truth,
+            frame_size=scenario.frame_size,
+            drift=scene.drift,
+            noise_rng=noise_rng,
+        )
+        yield Frame(
+            index=index,
+            timestamp=index / CAMERA_FPS,
+            image=image,
+            scene=scene,
+            ground_truth=truth,
+            difficulty=scene_difficulty(scene),
+            segment=segment.name,
+        )
 
 
 def render_scenario(scenario: Scenario) -> list[Frame]:

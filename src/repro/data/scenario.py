@@ -10,6 +10,7 @@ therefore the best model choice — changes.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, replace
 
@@ -80,6 +81,37 @@ class Scenario:
     def total_frames(self) -> int:
         """Total frame count across all segments."""
         return sum(segment.frames for segment in self.segments)
+
+    def fingerprint(self) -> str:
+        """Content-addressed identity of this scenario (hex digest).
+
+        Hashes everything detection outcomes depend on: name, seed, frame
+        size, and the full segment structure *including* the resolved
+        background styles (so re-registering a background under the same
+        name changes the fingerprint).  Two scenarios that would produce
+        different traces always have different fingerprints; trace caches
+        and the on-disk trace store key by this, never by (name, length).
+        """
+        digest = hashlib.sha256()
+        parts = [self.name, str(self.seed), str(self.frame_size), str(int(self.indoor))]
+        for segment in self.segments:
+            style = background(segment.background_name)
+            parts.append(
+                "|".join(
+                    (
+                        segment.name,
+                        str(segment.frames),
+                        segment.background_name,
+                        repr(style),
+                        repr(segment.distance_start),
+                        repr(segment.distance_end),
+                        segment.path,
+                        repr(segment.pan),
+                    )
+                )
+            )
+        digest.update("\n".join(parts).encode("utf-8"))
+        return digest.hexdigest()
 
     def scaled(self, factor: float) -> "Scenario":
         """Return a shorter copy with each segment scaled by ``factor``.
@@ -222,12 +254,164 @@ def evaluation_scenarios() -> list[Scenario]:
     ]
 
 
+# ------------------------------------------------ extended flight library
+#
+# Procedurally parameterized flights beyond the paper's six videos.  Each
+# builder takes knobs (seed, duration, pan intensity, lap count) and
+# derives a deterministic scenario, so the experiment runner has diverse
+# workloads to fan out over without hand-writing every segment.
+
+
+def night_watch_scenario(seed: int = 9307, base_frames: int = 400) -> Scenario:
+    """Night operations: dark sky and moonlit ground, target barely lit.
+
+    ``base_frames`` scales the whole flight; segments keep the paper's
+    arc (easy start, hard middle, return) under near-zero illumination.
+    """
+    if base_frames < 20:
+        raise ValueError("base_frames must be at least 20")
+    unit = base_frames // 10
+    return Scenario(
+        name=f"x_night_watch_{base_frames}f",
+        description="Outdoor night: dark sky then moonlit field, low light",
+        indoor=False,
+        seed=seed,
+        segments=(
+            Segment("night_launch", 2 * unit, "night_sky", 0.10, 0.30, path="hover"),
+            Segment("night_sweep", 3 * unit, "night_sky", 0.30, 0.55, path="sweep_lr"),
+            Segment("field_search", 3 * unit, "moonlit_field", 0.55, 0.45, path="weave", pan=0.3),
+            Segment("night_return", 2 * unit, "night_sky", 0.45, 0.15, path="hover"),
+        ),
+    )
+
+
+def fog_crossing_scenario(seed: int = 9308, density: float = 0.7, base_frames: int = 360) -> Scenario:
+    """Fog bank crossing: bright but washed-out, contrast near zero.
+
+    ``density`` in [0, 1] pushes the flight deeper into the fog (longer
+    far-range stretches); the scenario name encodes it so distinct
+    densities never share a trace.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be within [0, 1], got {density}")
+    if base_frames < 20:
+        raise ValueError("base_frames must be at least 20")
+    unit = base_frames // 9
+    deep = 0.45 + 0.35 * density
+    return Scenario(
+        name=f"x_fog_crossing_d{int(round(density * 100)):03d}_{base_frames}f",
+        description="Outdoor fog: low-contrast bank and misted treeline",
+        indoor=False,
+        seed=seed,
+        segments=(
+            Segment("fog_entry", 2 * unit, "fog_bank", 0.20, deep * 0.7, path="enter_left"),
+            Segment("fog_deep", 3 * unit, "fog_bank", deep * 0.7, deep, path="sweep_lr"),
+            Segment("mist_trees", 2 * unit, "fog_treeline", deep, deep * 0.8, path="weave", pan=0.2),
+            Segment("fog_exit", 2 * unit, "fog_bank", deep * 0.8, 0.25, path="exit_right"),
+        ),
+    )
+
+
+def multi_pan_survey_scenario(
+    seed: int = 9309,
+    pans: tuple[float, ...] = (0.3, 0.8, 1.5),
+    leg_frames: int = 220,
+) -> Scenario:
+    """Survey legs at escalating camera pan: motion is the difficulty knob.
+
+    One back-and-forth leg per entry in ``pans``; alternating sweep
+    directions over mid-complexity backgrounds isolate the effect of
+    background drift on detection.
+    """
+    if not pans:
+        raise ValueError("pans must name at least one leg")
+    if leg_frames < 4:
+        raise ValueError("leg_frames must be at least 4")
+    backgrounds = ("parking_lot", "urban_facade", "tree_line")
+    segments = []
+    for i, pan in enumerate(pans):
+        if pan < 0.0:
+            raise ValueError(f"pan must be non-negative, got {pan}")
+        path = "sweep_lr" if i % 2 == 0 else "sweep_rl"
+        segments.append(
+            Segment(
+                name=f"leg{i + 1}_pan{int(round(pan * 100)):03d}",
+                frames=leg_frames,
+                background_name=backgrounds[i % len(backgrounds)],
+                distance_start=0.35,
+                distance_end=0.55,
+                path=path,
+                pan=pan,
+            )
+        )
+    tag = "-".join(str(int(round(p * 100))) for p in pans)
+    return Scenario(
+        name=f"x_multi_pan_survey_{tag}",
+        description="Outdoor survey: identical legs at escalating camera pan",
+        indoor=False,
+        seed=seed,
+        segments=tuple(segments),
+    )
+
+
+def long_endurance_patrol_scenario(
+    seed: int = 9310,
+    laps: int = 3,
+    lap_frames: int = 600,
+) -> Scenario:
+    """Long-endurance patrol: ``laps`` identical circuits, day into dusk.
+
+    Each lap is an out-sweep, a far orbit, and a return; the final lap
+    descends home.  Stresses long traces (many frames, few context
+    changes) — the workload where trace reuse pays off most.
+    """
+    if laps < 1:
+        raise ValueError("laps must be at least 1")
+    if lap_frames < 30:
+        raise ValueError("lap_frames must be at least 30")
+    unit = lap_frames // 6
+    segments = []
+    for lap in range(1, laps + 1):
+        dusk = lap == laps  # the light fades on the final lap
+        far_bg = "dusk_horizon" if dusk else "cloudy_sky"
+        segments.extend(
+            (
+                Segment(f"lap{lap}_out", 2 * unit, "open_sky", 0.30, 0.60, path="sweep_lr"),
+                Segment(f"lap{lap}_far", 2 * unit, far_bg, 0.60, 0.68, path="orbit", pan=0.15),
+                Segment(f"lap{lap}_back", 2 * unit, "open_sky", 0.68, 0.35, path="sweep_rl"),
+            )
+        )
+    segments.append(Segment("patrol_land", max(2, unit), "cloudy_sky", 0.35, 0.08, path="hover"))
+    return Scenario(
+        name=f"x_long_endurance_{laps}laps_{lap_frames}f",
+        description="Outdoor endurance: repeated patrol laps, day into dusk",
+        indoor=False,
+        seed=seed,
+        segments=tuple(segments),
+    )
+
+
+def extended_scenarios() -> list[Scenario]:
+    """The extended flight library at default parameters (4 scenarios)."""
+    return [
+        night_watch_scenario(),
+        fog_crossing_scenario(),
+        multi_pan_survey_scenario(),
+        long_endurance_patrol_scenario(),
+    ]
+
+
+def all_scenarios() -> list[Scenario]:
+    """Evaluation scenarios plus the extended library at defaults."""
+    return evaluation_scenarios() + extended_scenarios()
+
+
 def scenario_by_name(name: str) -> Scenario:
-    """Look up an evaluation scenario by its full name."""
-    for scenario in evaluation_scenarios():
+    """Look up a scenario (evaluation or extended) by its full name."""
+    for scenario in all_scenarios():
         if scenario.name == name:
             return scenario
-    known = ", ".join(s.name for s in evaluation_scenarios())
+    known = ", ".join(s.name for s in all_scenarios())
     raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}")
 
 

@@ -10,34 +10,46 @@ scales, the benchmark harness near full scale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..characterization import CharacterizationBundle, characterize
 from ..core import ConfidenceGraph
-from ..data import Scenario, evaluation_scenarios
+from ..data import Scenario, evaluation_scenarios, scenario_by_name
 from ..models import ModelZoo, default_zoo
-from ..runtime import TraceCache
+from ..runtime import ExperimentRunner, TraceCache, TraceStore
 from ..sim import SoC, xavier_nx_with_oakd
 
 
 @dataclass
 class ExperimentContext:
-    """Lazily cached building blocks shared by all experiments."""
+    """Lazily cached building blocks shared by all experiments.
+
+    ``trace_store`` points the trace tier at a directory so traces persist
+    across processes (a second benchmark/CLI invocation rebuilds nothing);
+    ``max_workers`` > 1 fans trace building across worker processes.  Both
+    default off, preserving the fully in-memory serial behaviour.
+    """
 
     scale: float = 1.0
     validation_size: int = 800
     validation_seed: int = 7151
     engine_seed: int = 1234
     zoo: ModelZoo = field(default_factory=default_zoo)
+    trace_store: str | Path | None = None
+    max_workers: int | None = None
     _soc: SoC | None = None
     _bundle: CharacterizationBundle | None = None
     _cache: TraceCache | None = None
     _graph: ConfidenceGraph | None = None
+    _runner: ExperimentRunner | None = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ValueError("scale must be positive")
         if self.validation_size <= 0:
             raise ValueError("validation_size must be positive")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
 
     @property
     def soc(self) -> SoC:
@@ -60,10 +72,22 @@ class ExperimentContext:
 
     @property
     def cache(self) -> TraceCache:
-        """Trace cache shared by every policy run."""
+        """Trace cache shared by every policy run (store-backed if configured)."""
         if self._cache is None:
-            self._cache = TraceCache(self.zoo)
+            store = TraceStore(self.trace_store) if self.trace_store is not None else None
+            self._cache = TraceCache(self.zoo, store=store, max_workers=self.max_workers)
         return self._cache
+
+    @property
+    def runner(self) -> ExperimentRunner:
+        """The experiment runner sharing this context's trace tier."""
+        if self._runner is None:
+            self._runner = ExperimentRunner(
+                cache=self.cache,
+                max_workers=self.max_workers,
+                engine_seed=self.engine_seed,
+            )
+        return self._runner
 
     @property
     def graph(self) -> ConfidenceGraph:
@@ -80,9 +104,6 @@ class ExperimentContext:
         return scenarios
 
     def scenario(self, name: str) -> Scenario:
-        """One evaluation scenario (by full name) at this context's scale."""
-        for candidate in self.scenarios():
-            if candidate.name == name:
-                return candidate
-        known = ", ".join(s.name for s in self.scenarios())
-        raise KeyError(f"unknown scenario {name!r}; known: {known}")
+        """One scenario (evaluation or extended, by full name) at this scale."""
+        scenario = scenario_by_name(name)
+        return scenario.scaled(self.scale) if self.scale != 1.0 else scenario

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 from ..baselines import MarlinPolicy, SingleModelPolicy, oracle_accuracy
 from ..core import ShiftConfig, ShiftPipeline
-from ..runtime import aggregate, efficiency_series, run_policy
+from ..runtime import efficiency_series, run_policy
 from ..sim import AcceleratorClass
 from .context import ExperimentContext
 from .report import TableData
@@ -109,7 +109,7 @@ def figure2(ctx: ExperimentContext, window: int = 50) -> Figure2Result:
     the paper's motivation for context-aware model switching.
     """
     scenario = ctx.scenario(_FIG3_SCENARIO)
-    trace = ctx.cache.get(scenario)
+    trace = ctx.runner.trace(scenario)
     series: dict[str, list[float]] = {}
     for spec in ctx.zoo:
         policy = SingleModelPolicy(spec.name, "gpu")
@@ -161,7 +161,7 @@ def _windowed_iou(records, window: int) -> list[float]:
 
 def _timeline(ctx: ExperimentContext, scenario_name: str, window: int) -> TimelineResult:
     scenario = ctx.scenario(scenario_name)
-    trace = ctx.cache.get(scenario)
+    trace = ctx.runner.trace(scenario)
     config = ShiftConfig()
 
     shift = ShiftPipeline(ctx.bundle, config=config, graph=ctx.graph)

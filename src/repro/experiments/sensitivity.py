@@ -120,7 +120,7 @@ def sensitivity_analysis(
     scenario = ctx.scenario(scenario_name)
     if scenario_scale is not None:
         scenario = scenario.scaled(scenario_scale)
-    trace = ctx.cache.get(scenario)
+    trace = ctx.runner.trace(scenario)
 
     # One confidence-graph structure serves every configuration: only the
     # bounded-search threshold differs, and re-thresholding is cheap.

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from ..baselines import MarlinPolicy, SingleModelPolicy, oracle_accuracy, oracle_energy, oracle_latency
 from ..core import ShiftConfig, ShiftPipeline
-from ..runtime import RunMetrics, aggregate, average_metrics, run_policy
+from ..runtime import RunMetrics, average_metrics
 from ..runtime.policy import Policy
 from ..sim import AcceleratorClass
 from .context import ExperimentContext
@@ -126,10 +126,7 @@ def table3(ctx: ExperimentContext, config: ShiftConfig | None = None) -> Table3R
     metrics: dict[str, RunMetrics] = {}
     per_scenario: dict[str, list[RunMetrics]] = {}
     for policy in _table3_policies(ctx, config):
-        runs = [
-            aggregate(run_policy(policy, ctx.cache.get(s), engine_seed=ctx.engine_seed))
-            for s in scenarios
-        ]
+        runs = ctx.runner.run_policy_on_scenarios(policy, scenarios)
         label = _TABLE3_LABELS.get(policy.name, policy.name)
         avg = average_metrics(runs, label)
         metrics[label] = avg
@@ -194,15 +191,9 @@ def headline_claims(ctx: ExperimentContext, config: ShiftConfig | None = None) -
     scenarios = ctx.scenarios()
     shift = ShiftPipeline(ctx.bundle, config=config, graph=ctx.graph)
     single = SingleModelPolicy("yolov7", "gpu")
-    shift_avg = average_metrics(
-        [aggregate(run_policy(shift, ctx.cache.get(s), engine_seed=ctx.engine_seed))
-         for s in scenarios],
-        "SHIFT",
-    )
+    shift_avg = average_metrics(ctx.runner.run_policy_on_scenarios(shift, scenarios), "SHIFT")
     single_avg = average_metrics(
-        [aggregate(run_policy(single, ctx.cache.get(s), engine_seed=ctx.engine_seed))
-         for s in scenarios],
-        "YoloV7@GPU",
+        ctx.runner.run_policy_on_scenarios(single, scenarios), "YoloV7@GPU"
     )
     claims = HeadlineClaims(
         energy_improvement=single_avg.mean_energy_j / shift_avg.mean_energy_j,

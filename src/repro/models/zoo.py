@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator
 
 from .families import paper_specs
@@ -48,6 +49,18 @@ class ModelZoo:
     def specs(self) -> list[ModelSpec]:
         """Model specs in registration order."""
         return list(self._specs.values())
+
+    def fingerprint(self) -> str:
+        """Content-addressed identity of the zoo (hex digest).
+
+        Hashes every spec's full parameterization in registration order;
+        traces persisted on disk are keyed by this alongside the scenario
+        fingerprint, so adding, removing, or retuning a model invalidates
+        stored traces instead of silently reusing them.
+        """
+        digest = hashlib.sha256()
+        digest.update("\n".join(repr(spec) for spec in self._specs.values()).encode("utf-8"))
+        return digest.hexdigest()
 
     def families(self) -> list[str]:
         """Distinct family names, in first-seen order."""

@@ -1,4 +1,4 @@
-"""Continuous-detection runtime: traces, policies, runner, metrics."""
+"""Continuous-detection runtime: traces, stores, policies, runner, metrics."""
 
 from .constraints import ConstraintReport, evaluate_constraints
 from .export import (
@@ -16,9 +16,11 @@ from .metrics import (
     average_metrics,
     efficiency_series,
 )
+from .experiment import ExperimentRunner
 from .policy import Policy, RuntimeServices
 from .records import FrameRecord, RunResult
 from .runner import run_policy, run_policy_on_scenarios
+from .store import TraceSchemaError, TraceStore, trace_from_dict, trace_to_dict
 from .trace import ScenarioTrace, TraceCache
 
 __all__ = [
@@ -44,4 +46,9 @@ __all__ = [
     "run_policy_on_scenarios",
     "ScenarioTrace",
     "TraceCache",
+    "ExperimentRunner",
+    "TraceStore",
+    "TraceSchemaError",
+    "trace_to_dict",
+    "trace_from_dict",
 ]

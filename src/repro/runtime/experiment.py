@@ -1,0 +1,242 @@
+"""Persistent, parallel experiment runner.
+
+Everything that reruns policies over scenarios — the paper tables and
+figures, the CLI, the benchmark harness — funnels through
+:class:`ExperimentRunner`.  It owns the trace tier (a fingerprint-keyed
+:class:`~repro.runtime.trace.TraceCache`, optionally backed by an on-disk
+:class:`~repro.runtime.store.TraceStore`) and the process pool, so callers
+get three things for free:
+
+* **reuse** — a second invocation with the same store rebuilds nothing;
+* **parallelism** — trace builds fan out per (scenario, model-chunk), and
+  sweeps can run whole (policy, scenario) pairs in worker processes;
+* **determinism** — results are bit-identical to the serial path (every
+  stochastic draw is seeded by content, never by scheduling).
+
+A sweep's platform comes from ``soc``: a zero-argument factory (fresh SoC
+per run — required for parallel runs, which execute in other processes) or
+a single :class:`~repro.sim.soc.SoC` instance reset before each run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+from ..data.generator import render_scenario, scenario_scenes
+from ..data.scenario import Scenario
+from ..models.zoo import ModelZoo, default_zoo
+from ..sim.soc import SoC
+from .metrics import RunMetrics, aggregate
+from .policy import Policy
+from .records import RunResult
+from .runner import run_policy
+from .store import TraceStore
+from .trace import ScenarioTrace, TraceCache, _outcomes_for_specs, _spec_chunks
+
+SocLike = SoC | Callable[[], SoC] | None
+
+
+# Per-worker-process trace memo: a worker that runs several (policy,
+# scenario) pairs for the same scenario loads/renders the trace once, not
+# once per pair.  Keyed by (store root, scenario, zoo) fingerprints.
+_WORKER_TRACES: dict[tuple[str, str, str], ScenarioTrace] = {}
+
+
+def _run_pair_in_worker(
+    policy: Policy,
+    scenario: Scenario,
+    zoo: ModelZoo,
+    store_root: str,
+    engine_seed: int,
+    soc_factory: Callable[[], SoC] | None,
+) -> RunMetrics:
+    """Run one (policy, scenario) pair in a worker process.
+
+    The trace comes from the shared store (guaranteed warm — the parent
+    builds all traces before dispatching pairs), so workers never repeat
+    the zoo sweep; module-level for picklability.
+    """
+    key = (store_root, scenario.fingerprint(), zoo.fingerprint())
+    trace = _WORKER_TRACES.get(key)
+    if trace is None:
+        trace = TraceStore(store_root).get(scenario, zoo)
+        _WORKER_TRACES[key] = trace
+    soc = soc_factory() if soc_factory is not None else None
+    return aggregate(run_policy(policy, trace, soc=soc, engine_seed=engine_seed))
+
+
+class ExperimentRunner:
+    """Builds traces (in parallel, persistently) and sweeps policies over them.
+
+    Parameters mirror the trace tier: ``store`` persists traces across
+    processes, ``max_workers`` bounds the process pool (None or 1 = serial),
+    ``engine_seed`` seeds every run's execution engine, and ``soc`` supplies
+    the platform (factory or instance; default is a fresh Xavier-NX+OAK-D
+    per run).  An existing :class:`TraceCache` can be passed instead of a
+    zoo to share warm traces with other components.
+    """
+
+    def __init__(
+        self,
+        zoo: ModelZoo | None = None,
+        *,
+        cache: TraceCache | None = None,
+        store: TraceStore | None = None,
+        max_workers: int | None = None,
+        engine_seed: int = 1234,
+        soc: SocLike = None,
+    ) -> None:
+        if cache is None:
+            cache = TraceCache(zoo if zoo is not None else default_zoo(), store=store,
+                               max_workers=max_workers)
+        else:
+            if zoo is not None and zoo is not cache.zoo:
+                raise ValueError("pass either a zoo or a cache built from it, not both")
+            if store is not None and store is not cache.store:
+                raise ValueError(
+                    "pass either a store or a cache built on it, not both "
+                    "(the cache's store is the one that would be used)"
+                )
+        self.cache = cache
+        self.max_workers = max_workers if max_workers is not None else cache.max_workers
+        self.engine_seed = engine_seed
+        self.soc = soc
+
+    @property
+    def zoo(self) -> ModelZoo:
+        """The model zoo traces are built against."""
+        return self.cache.zoo
+
+    @property
+    def store(self) -> TraceStore | None:
+        """The on-disk trace tier, if any."""
+        return self.cache.store
+
+    def _fresh_soc(self) -> SoC | None:
+        if callable(self.soc):
+            return self.soc()
+        return self.soc  # an instance (reset by run_policy) or None
+
+    # ------------------------------------------------------------ traces
+
+    def trace(self, scenario: Scenario) -> ScenarioTrace:
+        """The trace for one scenario (memory → store → build)."""
+        return self.cache.get(scenario)
+
+    def build_traces(self, scenarios: Sequence[Scenario]) -> list[ScenarioTrace]:
+        """Warm the cache for every scenario, fanning builds across workers.
+
+        Tasks are (scenario, model-chunk) detection sweeps — fine-grained
+        enough to balance scenarios of very different lengths — while the
+        parent renders frames.  Scenarios already in memory or on disk are
+        skipped entirely.
+        """
+        missing = []
+        seen: set[str] = set()
+        for scenario in scenarios:
+            if scenario.fingerprint() in seen or scenario in self.cache:
+                continue
+            if self.store is not None:
+                loaded = self.store.load(scenario, self.zoo)
+                if loaded is not None:
+                    self.cache.put(loaded, persist=False)
+                    continue
+            seen.add(scenario.fingerprint())
+            missing.append(scenario)
+
+        workers = self.max_workers or 1
+        if missing and workers > 1:
+            specs = self.zoo.specs()
+            # Aim for at least one task per worker overall: with S missing
+            # scenarios, split the zoo into ceil(W / S) chunks each.
+            chunks = _spec_chunks(specs, -(-workers // len(missing)))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {}
+                for scenario in missing:
+                    scenes = scenario_scenes(scenario)
+                    futures[scenario.fingerprint()] = [
+                        pool.submit(_outcomes_for_specs, scenario.seed, scenes, chunk)
+                        for chunk in chunks
+                    ]
+                for scenario in missing:
+                    frames = render_scenario(scenario)
+                    merged: dict = {}
+                    for future in futures[scenario.fingerprint()]:
+                        merged.update(future.result())
+                    outcomes = {spec.name: merged[spec.name] for spec in specs}
+                    self.cache.put(
+                        ScenarioTrace(scenario=scenario, frames=frames, outcomes=outcomes)
+                    )
+                    self.cache.builds += 1
+        else:
+            for scenario in missing:
+                self.cache.get(scenario)
+        return [self.cache.get(scenario) for scenario in scenarios]
+
+    # ------------------------------------------------------------- sweeps
+
+    def run(self, policy: Policy, scenario: Scenario) -> RunResult:
+        """Run one policy over one scenario on a fresh/reset platform."""
+        return run_policy(
+            policy, self.trace(scenario), soc=self._fresh_soc(), engine_seed=self.engine_seed
+        )
+
+    def run_policy_on_scenarios(
+        self, policy: Policy, scenarios: Sequence[Scenario]
+    ) -> list[RunMetrics]:
+        """One metrics row per scenario, traces built concurrently."""
+        self.build_traces(scenarios)
+        return [aggregate(self.run(policy, scenario)) for scenario in scenarios]
+
+    def sweep(
+        self,
+        policies: Sequence[Policy],
+        scenarios: Sequence[Scenario],
+        parallel_runs: bool = False,
+    ) -> dict[str, list[RunMetrics]]:
+        """Every policy over every scenario: ``{policy_name: [metrics...]}``.
+
+        Traces always build concurrently (given ``max_workers``).  With
+        ``parallel_runs=True`` the (policy, scenario) runs themselves also
+        fan out — this requires an on-disk store (workers reload traces
+        from it) and picklable policies, and produces metrics identical to
+        the serial path.  Note: run workers re-render frames from the
+        scenario script, so scenarios whose backgrounds were registered at
+        runtime need a fork start method (the default on Linux) for the
+        registration to be visible in workers.
+        """
+        workers = self.max_workers or 1
+        if parallel_runs and workers > 1:
+            # Validate before building: trace construction is the expensive
+            # part, and a usage error after it would throw that work away.
+            if self.store is None:
+                raise ValueError("parallel_runs requires a TraceStore-backed runner")
+            if self.soc is not None and not callable(self.soc):
+                raise ValueError("parallel_runs requires a SoC factory, not an instance")
+        self.build_traces(scenarios)
+        if parallel_runs and workers > 1:
+            pairs = [(policy, scenario) for policy in policies for scenario in scenarios]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _run_pair_in_worker,
+                        policy,
+                        scenario,
+                        self.zoo,
+                        str(self.store.root),
+                        self.engine_seed,
+                        self.soc,
+                    )
+                    for policy, scenario in pairs
+                ]
+                results = [future.result() for future in futures]
+            sweep_result: dict[str, list[RunMetrics]] = {}
+            for (policy, _), metrics in zip(pairs, results):
+                sweep_result.setdefault(policy.name, []).append(metrics)
+            return sweep_result
+
+        return {
+            policy.name: [aggregate(self.run(policy, scenario)) for scenario in scenarios]
+            for policy in policies
+        }

@@ -1,0 +1,215 @@
+"""On-disk persistence for scenario traces.
+
+Trace construction (every zoo model over every frame) dominates wall-clock
+for the whole benchmark suite; a built trace is a pure function of the
+(scenario, zoo) pair, so it is safe to persist and reuse across processes.
+This module mirrors the characterization bundle serialization
+(:mod:`repro.characterization.serialization`): plain JSON with a schema
+version that fails loudly on mismatch.
+
+Format — one JSON object per (scenario, zoo) pair, in a file named
+``trace-<scenario_fp16>-<zoo_fp12>.json`` under the store root:
+
+``schema_version``
+    Integer; readers reject anything but their own version.
+``scenario_name`` / ``scenario_fingerprint`` / ``zoo_fingerprint``
+    Identity block.  Fingerprints are the full content digests
+    (:meth:`Scenario.fingerprint`, :meth:`ModelZoo.fingerprint`); loads
+    re-derive both from the live objects and reject any mismatch, so a
+    stale or hand-edited file can never masquerade as the wrong trace.
+``frame_count``
+    Must equal the live scenario's ``total_frames``.
+``outcomes``
+    ``{model_name: [row, ...]}`` with one compact row per frame:
+    ``[box, confidence, iou, quality, detected, false_positive]`` where
+    ``box`` is ``[x1, y1, x2, y2]`` or ``null``.
+
+Frames (rendered pixels + scene states) are *not* stored: rendering is
+deterministic and cheap relative to the zoo sweep, so loads re-render via
+:func:`~repro.data.generator.render_scenario` and attach the persisted
+outcomes — skipping the expensive part while producing a trace
+indistinguishable from a fresh build.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..data.generator import render_scenario
+from ..data.scenario import Scenario
+from ..models.detector import DetectionOutcome
+from ..models.zoo import ModelZoo
+from ..vision.bbox import BoundingBox
+from .trace import ScenarioTrace
+
+SCHEMA_VERSION = 1
+
+# Version of the *outcome-producing algorithm* (detector, scene difficulty,
+# noise streams).  Fingerprints pin what a trace was built FROM; this pins
+# what it was built WITH.  Bump it whenever a change to the simulation
+# alters detection outcomes, or persisted traces from before the change
+# would silently masquerade as current results.
+ALGORITHM_VERSION = 1
+
+
+class TraceSchemaError(ValueError):
+    """Raised when a persisted trace cannot be understood or doesn't match."""
+
+
+def trace_to_dict(trace: ScenarioTrace, zoo: ModelZoo) -> dict:
+    """Plain-dict form of a trace (JSON-compatible, frames omitted)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "algorithm_version": ALGORITHM_VERSION,
+        "scenario_name": trace.scenario.name,
+        "scenario_fingerprint": trace.scenario.fingerprint(),
+        "zoo_fingerprint": zoo.fingerprint(),
+        "frame_count": trace.frame_count,
+        "outcomes": {
+            model: [
+                [
+                    None if o.box is None else [o.box.x1, o.box.y1, o.box.x2, o.box.y2],
+                    o.confidence,
+                    o.iou,
+                    o.quality,
+                    o.detected,
+                    o.false_positive,
+                ]
+                for o in per_model
+            ]
+            for model, per_model in trace.outcomes.items()
+        },
+    }
+
+
+def trace_from_dict(payload: dict, scenario: Scenario, zoo: ModelZoo) -> ScenarioTrace:
+    """Rebuild a trace from its dict form against the live scenario and zoo.
+
+    Validates the schema version and both fingerprints, re-renders the
+    frames (deterministic), and reattaches the persisted outcomes.
+    """
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"unsupported trace schema {version!r}; this build reads version {SCHEMA_VERSION}"
+        )
+    algorithm = payload.get("algorithm_version")
+    if algorithm != ALGORITHM_VERSION:
+        raise TraceSchemaError(
+            f"trace was built by algorithm version {algorithm!r}; this build produces "
+            f"version {ALGORITHM_VERSION} — rebuild (delete the store entry)"
+        )
+    if payload.get("scenario_fingerprint") != scenario.fingerprint():
+        raise TraceSchemaError(
+            f"trace was built for a different scenario than {scenario.name!r} "
+            "(fingerprint mismatch)"
+        )
+    if payload.get("zoo_fingerprint") != zoo.fingerprint():
+        raise TraceSchemaError("trace was built against a different model zoo (fingerprint mismatch)")
+    if payload.get("frame_count") != scenario.total_frames:
+        raise TraceSchemaError(
+            f"trace covers {payload.get('frame_count')!r} frames but scenario "
+            f"{scenario.name!r} has {scenario.total_frames}"
+        )
+    try:
+        outcomes: dict[str, list[DetectionOutcome]] = {}
+        for model, rows in payload["outcomes"].items():
+            outcomes[model] = [
+                DetectionOutcome(
+                    model_name=model,
+                    box=None if row[0] is None else BoundingBox(*row[0]),
+                    confidence=row[1],
+                    iou=row[2],
+                    quality=row[3],
+                    detected=row[4],
+                    false_positive=row[5],
+                )
+                for row in rows
+            ]
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise TraceSchemaError(f"malformed trace payload: {exc}") from exc
+    frames = render_scenario(scenario)
+    return ScenarioTrace(scenario=scenario, frames=frames, outcomes=outcomes)
+
+
+class TraceStore:
+    """A directory of persisted traces, content-addressed by fingerprints.
+
+    The store is safe to share between scenarios, zoos, and processes:
+    every (scenario, zoo) pair maps to its own file, and every load
+    re-validates identity, so the worst corruption outcome is a loud
+    :class:`TraceSchemaError` — never a silently wrong trace.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise NotADirectoryError(f"trace store path {self.root} exists and is not a directory")
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, scenario: Scenario, zoo: ModelZoo) -> Path:
+        """The file a (scenario, zoo) trace persists to.
+
+        The algorithm version is part of the name, so bumping it simply
+        orphans stale files (treated as misses and rebuilt) rather than
+        erroring on them.
+        """
+        return self.root / (
+            f"trace-v{ALGORITHM_VERSION}-{scenario.fingerprint()[:16]}"
+            f"-{zoo.fingerprint()[:12]}.json"
+        )
+
+    def save(self, trace: ScenarioTrace, zoo: ModelZoo) -> Path:
+        """Persist a built trace; returns the file written.
+
+        The write is atomic (temp file + rename) so a concurrent reader
+        never observes a half-written trace.
+        """
+        path = self.path_for(trace.scenario, zoo)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(trace_to_dict(trace, zoo)), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def load(self, scenario: Scenario, zoo: ModelZoo) -> ScenarioTrace | None:
+        """Load the persisted trace for (scenario, zoo), or None if absent."""
+        path = self.path_for(scenario, zoo)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise TraceSchemaError(f"{path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise TraceSchemaError(f"{path} does not contain a JSON object")
+        return trace_from_dict(payload, scenario, zoo)
+
+    def get(
+        self,
+        scenario: Scenario,
+        zoo: ModelZoo,
+        max_workers: int | None = None,
+    ) -> ScenarioTrace:
+        """Load the trace, building (and persisting) it on a miss."""
+        trace = self.load(scenario, zoo)
+        if trace is None:
+            trace = ScenarioTrace.build(scenario, zoo, max_workers=max_workers)
+            self.save(trace, zoo)
+        return trace
+
+    def __contains__(self, key: tuple[Scenario, ModelZoo]) -> bool:
+        scenario, zoo = key
+        return self.path_for(scenario, zoo).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("trace-*.json"))
+
+    def clear(self) -> int:
+        """Delete every persisted trace; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("trace-*.json"):
+            path.unlink()
+            removed += 1
+        return removed

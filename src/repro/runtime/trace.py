@@ -7,16 +7,59 @@ boxes — so the trace lets oracle baselines (which need *all* models' results
 per frame) and repeated policy runs share the expensive part.  Policies
 only *observe* the outcomes of inferences they actually execute and pay
 for; the trace is a cache, not an information leak.
+
+Building a trace is the repo's hottest path (every model on every frame,
+thousands of frames per scenario).  Because outcomes depend only on the
+latent scene state — never on rendered pixels — the model sweep can fan
+out across worker processes while the parent renders frames: pass
+``max_workers`` to :meth:`ScenarioTrace.build` or :class:`TraceCache`.
+:class:`TraceCache` keys by the scenario's content fingerprint (never by
+name/length, which collide) and can back onto an on-disk
+:class:`~repro.runtime.store.TraceStore` so repeated invocations skip the
+build entirely.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from ..data.generator import Frame, render_scenario
+from ..data.generator import Frame, render_scenario, scenario_scenes
 from ..data.scenario import Scenario
+from ..data.scene import SceneState
 from ..models.detector import DetectionOutcome, detect
+from ..models.spec import ModelSpec
 from ..models.zoo import ModelZoo
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .store import TraceStore
+
+
+def _outcomes_for_specs(
+    scenario_seed: int, scenes: list[SceneState], specs: list[ModelSpec]
+) -> dict[str, list[DetectionOutcome]]:
+    """Detection outcomes of ``specs`` over the given scene states.
+
+    Module-level so worker processes can unpickle it.  Scene states are
+    computed once in the parent and shipped (they are small — no pixels),
+    which keeps workers independent of parent-process state like
+    runtime-registered backgrounds (a spawn-start worker would not see
+    those if it re-derived scenes from the scenario itself).
+    """
+    return {
+        spec.name: [detect(spec, scene, (scenario_seed, i)) for i, scene in enumerate(scenes)]
+        for spec in specs
+    }
+
+
+def _spec_chunks(specs: list[ModelSpec], chunk_count: int) -> list[list[ModelSpec]]:
+    """Split specs into at most ``chunk_count`` balanced, order-preserving chunks."""
+    chunk_count = max(1, min(chunk_count, len(specs)))
+    chunks: list[list[ModelSpec]] = [[] for _ in range(chunk_count)]
+    for i, spec in enumerate(specs):
+        chunks[i % chunk_count].append(spec)
+    return chunks
 
 
 @dataclass
@@ -28,10 +71,39 @@ class ScenarioTrace:
     outcomes: dict[str, list[DetectionOutcome]]
 
     @classmethod
-    def build(cls, scenario: Scenario, zoo: ModelZoo) -> "ScenarioTrace":
-        """Render the scenario and run every model on every frame."""
+    def build(
+        cls,
+        scenario: Scenario,
+        zoo: ModelZoo,
+        max_workers: int | None = None,
+    ) -> "ScenarioTrace":
+        """Render the scenario and run every model on every frame.
+
+        With ``max_workers`` > 1 the per-model detection sweeps run in
+        worker processes while the parent renders frames; results are
+        bit-identical to the serial path (detection is deterministic and
+        independent of rendering).
+        """
+        if max_workers is not None and max_workers > 1 and len(zoo) > 1:
+            specs = zoo.specs()
+            chunks = _spec_chunks(specs, max_workers)
+            scenes = scenario_scenes(scenario)
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                futures = [
+                    pool.submit(_outcomes_for_specs, scenario.seed, scenes, chunk)
+                    for chunk in chunks
+                ]
+                # Overlap the (serial) rendering with the workers' sweeps.
+                frames = render_scenario(scenario)
+                merged: dict[str, list[DetectionOutcome]] = {}
+                for future in futures:
+                    merged.update(future.result())
+            # Preserve zoo registration order regardless of chunk layout.
+            outcomes = {spec.name: merged[spec.name] for spec in specs}
+            return cls(scenario=scenario, frames=frames, outcomes=outcomes)
+
         frames = render_scenario(scenario)
-        outcomes: dict[str, list[DetectionOutcome]] = {}
+        outcomes = {}
         for spec in zoo:
             outcomes[spec.name] = [
                 detect(spec, frame.scene, (scenario.seed, frame.index)) for frame in frames
@@ -58,18 +130,57 @@ class ScenarioTrace:
 
 
 class TraceCache:
-    """Process-level cache of built traces, keyed by scenario identity."""
+    """Cache of built traces, keyed by scenario content fingerprint.
 
-    def __init__(self, zoo: ModelZoo) -> None:
+    Keys are :meth:`~repro.data.scenario.Scenario.fingerprint` digests —
+    two scenarios that merely share a name and frame count never collide.
+    An optional :class:`~repro.runtime.store.TraceStore` adds an on-disk
+    tier: misses load from disk before building, and fresh builds persist
+    for the next process.  ``builds`` counts actual (expensive) builds, so
+    callers can verify reuse.
+    """
+
+    def __init__(
+        self,
+        zoo: ModelZoo,
+        store: "TraceStore | None" = None,
+        max_workers: int | None = None,
+    ) -> None:
         self.zoo = zoo
-        self._traces: dict[tuple[str, int], ScenarioTrace] = {}
+        self.store = store
+        self.max_workers = max_workers
+        self.builds = 0
+        self._traces: dict[str, ScenarioTrace] = {}
 
     def get(self, scenario: Scenario) -> ScenarioTrace:
-        """Build (or reuse) the trace for ``scenario``."""
-        key = (scenario.name, scenario.total_frames)
-        if key not in self._traces:
-            self._traces[key] = ScenarioTrace.build(scenario, self.zoo)
-        return self._traces[key]
+        """Return the trace for ``scenario``: memory, then disk, then build."""
+        key = scenario.fingerprint()
+        trace = self._traces.get(key)
+        if trace is None:
+            if self.store is not None:
+                trace = self.store.load(scenario, self.zoo)
+            if trace is None:
+                trace = ScenarioTrace.build(scenario, self.zoo, max_workers=self.max_workers)
+                self.builds += 1
+                if self.store is not None:
+                    self.store.save(trace, self.zoo)
+            self._traces[key] = trace
+        return trace
+
+    def put(self, trace: ScenarioTrace, persist: bool = True) -> None:
+        """Insert an externally built trace.
+
+        ``persist=False`` skips the store write — for traces that were
+        just *loaded* from the store, where re-saving would pointlessly
+        rewrite the file they came from.
+        """
+        key = trace.scenario.fingerprint()
+        self._traces[key] = trace
+        if persist and self.store is not None:
+            self.store.save(trace, self.zoo)
+
+    def __contains__(self, scenario: Scenario) -> bool:
+        return scenario.fingerprint() in self._traces
 
     def __len__(self) -> int:
         return len(self._traces)

@@ -5,7 +5,6 @@ import pytest
 from repro.baselines import (
     ORACLE_IOU_THRESHOLD,
     OracleObjective,
-    OraclePolicy,
     oracle_accuracy,
     oracle_energy,
     oracle_latency,

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data import background_names, build_validation_set
+from repro.data.dataset import VALIDATION_BACKGROUNDS
 
 
 class TestBuildValidationSet:
@@ -30,10 +31,18 @@ class TestBuildValidationSet:
         b = build_validation_set(size=40, seed=2)
         assert any(sa.scene != sb.scene for sa, sb in zip(a, b))
 
-    def test_covers_all_backgrounds(self):
+    def test_covers_all_validation_backgrounds(self):
+        samples = build_validation_set(size=3 * len(VALIDATION_BACKGROUNDS))
+        seen = {s.scene.background_name for s in samples}
+        assert seen == set(VALIDATION_BACKGROUNDS)
+
+    def test_roster_frozen_against_library_growth(self):
+        # The validation split stands in for the paper's fixed dataset: it
+        # must not change when new backgrounds join the live library.
+        assert set(VALIDATION_BACKGROUNDS) < set(background_names())
         samples = build_validation_set(size=3 * len(background_names()))
         seen = {s.scene.background_name for s in samples}
-        assert seen == set(background_names())
+        assert "night_sky" not in seen and "fog_bank" not in seen
 
     def test_distance_stratified(self):
         samples = build_validation_set(size=400)

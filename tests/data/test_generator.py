@@ -108,3 +108,16 @@ class TestGenerateFrames:
         frames = render_scenario(scenario)
         assert len(frames) == scenario.total_frames
         assert all(f.ground_truth is not None for f in frames[:4])
+
+
+class TestScenarioScenes:
+    def test_scenes_match_rendered_frames(self):
+        # Worker processes trace scenarios from scene states alone; they
+        # must be identical to what the rendering path attaches to frames.
+        from repro.data import scenario_scenes
+
+        scenario = scenario_by_name("s4_indoor_clutter").scaled(0.05)
+        scenes = scenario_scenes(scenario)
+        frames = render_scenario(scenario)
+        assert len(scenes) == scenario.total_frames
+        assert scenes == [frame.scene for frame in frames]

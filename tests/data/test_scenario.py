@@ -1,8 +1,23 @@
 """Tests for scenario definitions and motion paths."""
 
+import dataclasses
+
 import pytest
 
-from repro.data import PATHS, Scenario, Segment, evaluation_scenarios, path_position, scenario_by_name
+from repro.data import (
+    PATHS,
+    Scenario,
+    Segment,
+    all_scenarios,
+    evaluation_scenarios,
+    extended_scenarios,
+    fog_crossing_scenario,
+    long_endurance_patrol_scenario,
+    multi_pan_survey_scenario,
+    night_watch_scenario,
+    path_position,
+    scenario_by_name,
+)
 
 
 def _segment(**overrides):
@@ -146,3 +161,77 @@ class TestPathPosition:
     def test_exit_right_ends_outside(self):
         x, _ = path_position("exit_right", 1.0)
         assert x > 1.0
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        a = scenario_by_name("s1_multi_background_varying_distance")
+        b = scenario_by_name("s1_multi_background_varying_distance")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_seed_changes_fingerprint(self):
+        base = scenario_by_name("s3_indoor_close_wall")
+        reseeded = dataclasses.replace(base, seed=base.seed + 1)
+        assert base.fingerprint() != reseeded.fingerprint()
+
+    def test_segment_content_changes_fingerprint(self):
+        base = scenario_by_name("s3_indoor_close_wall")
+        segments = (dataclasses.replace(base.segments[0], pan=0.9),) + base.segments[1:]
+        panned = dataclasses.replace(base, segments=segments)
+        assert base.total_frames == panned.total_frames
+        assert base.fingerprint() != panned.fingerprint()
+
+    def test_scaling_changes_fingerprint(self):
+        base = scenario_by_name("s3_indoor_close_wall")
+        assert base.fingerprint() != base.scaled(0.5).fingerprint()
+
+    def test_all_library_fingerprints_distinct(self):
+        prints = [s.fingerprint() for s in all_scenarios()]
+        assert len(set(prints)) == len(prints)
+
+
+class TestExtendedScenarios:
+    def test_four_extended_scenarios(self):
+        assert len(extended_scenarios()) == 4
+
+    def test_all_scenarios_is_union(self):
+        names = [s.name for s in all_scenarios()]
+        assert len(names) == len(set(names)) == 10
+        assert all(s.name in names for s in evaluation_scenarios())
+
+    def test_lookup_finds_extended(self):
+        scenario = scenario_by_name("x_night_watch_400f")
+        assert scenario.total_frames == 400
+
+    def test_night_watch_is_dark(self):
+        from repro.data import background
+
+        scenario = night_watch_scenario()
+        styles = [background(seg.background_name) for seg in scenario.segments]
+        assert all(style.brightness < 0.2 for style in styles)
+
+    def test_fog_density_parameterizes_name_and_depth(self):
+        shallow = fog_crossing_scenario(density=0.2)
+        deep = fog_crossing_scenario(density=0.9)
+        assert shallow.name != deep.name
+        assert max(s.distance_end for s in deep.segments) > max(
+            s.distance_end for s in shallow.segments
+        )
+        with pytest.raises(ValueError):
+            fog_crossing_scenario(density=1.5)
+
+    def test_multi_pan_one_leg_per_level(self):
+        scenario = multi_pan_survey_scenario(pans=(0.1, 0.5, 1.0, 2.0), leg_frames=50)
+        assert len(scenario.segments) == 4
+        assert [seg.pan for seg in scenario.segments] == [0.1, 0.5, 1.0, 2.0]
+        assert scenario.total_frames == 200
+        with pytest.raises(ValueError):
+            multi_pan_survey_scenario(pans=())
+
+    def test_long_endurance_scales_with_laps(self):
+        short = long_endurance_patrol_scenario(laps=1, lap_frames=120)
+        long = long_endurance_patrol_scenario(laps=5, lap_frames=120)
+        assert long.total_frames > 4 * short.total_frames
+        assert short.name != long.name
+        with pytest.raises(ValueError):
+            long_endurance_patrol_scenario(laps=0)

@@ -1,0 +1,92 @@
+"""Tests for the persistent parallel experiment runner."""
+
+import pytest
+
+from repro.baselines import MarlinPolicy, SingleModelPolicy
+from repro.data import scenario_by_name
+from repro.models import default_zoo
+from repro.runtime import ExperimentRunner, TraceCache, TraceStore
+from repro.sim import gpu_only_soc
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return [
+        scenario_by_name("s3_indoor_close_wall").scaled(0.05),
+        scenario_by_name("s4_indoor_clutter").scaled(0.05),
+    ]
+
+
+class TestTraceTier:
+    def test_build_traces_warms_cache(self, zoo, scenarios):
+        runner = ExperimentRunner(zoo)
+        traces = runner.build_traces(scenarios)
+        assert len(traces) == len(scenarios)
+        assert runner.cache.builds == len(scenarios)
+        runner.build_traces(scenarios)
+        assert runner.cache.builds == len(scenarios), "warm scenarios must not rebuild"
+
+    def test_parallel_build_traces_matches_serial(self, zoo, scenarios):
+        serial = ExperimentRunner(zoo).build_traces(scenarios)
+        parallel = ExperimentRunner(zoo, max_workers=3).build_traces(scenarios)
+        for a, b in zip(serial, parallel):
+            assert a.outcomes == b.outcomes
+
+    def test_store_backed_runner_skips_rebuilds_across_instances(self, zoo, scenarios, tmp_path):
+        store = TraceStore(tmp_path)
+        first = ExperimentRunner(zoo, store=store)
+        first.build_traces(scenarios)
+        assert first.cache.builds == len(scenarios)
+
+        files = sorted(tmp_path.glob("trace-*.json"))
+        mtimes = [f.stat().st_mtime_ns for f in files]
+
+        second = ExperimentRunner(zoo, store=TraceStore(tmp_path))
+        second.build_traces(scenarios)
+        assert second.cache.builds == 0, "second invocation must reuse persisted traces"
+        assert [f.stat().st_mtime_ns for f in files] == mtimes, "reuse must not rewrite files"
+
+    def test_zoo_and_foreign_cache_conflict(self, zoo):
+        with pytest.raises(ValueError, match="zoo or a cache"):
+            ExperimentRunner(zoo, cache=TraceCache(default_zoo()))
+
+
+class TestSweep:
+    def test_sweep_shape(self, zoo, scenarios):
+        runner = ExperimentRunner(zoo)
+        results = runner.sweep(
+            [SingleModelPolicy("yolov7", "gpu"), MarlinPolicy("yolov7-tiny")], scenarios
+        )
+        assert set(results) == {"single:yolov7@gpu", "marlin:yolov7-tiny"}
+        for rows in results.values():
+            assert [m.scenario_name for m in rows] == [s.name for s in scenarios]
+
+    def test_parallel_sweep_equals_serial(self, zoo, scenarios, tmp_path):
+        policies = [SingleModelPolicy("yolov7", "gpu"), MarlinPolicy("yolov7-tiny")]
+        serial = ExperimentRunner(zoo).sweep(policies, scenarios)
+        parallel = ExperimentRunner(zoo, store=TraceStore(tmp_path), max_workers=2).sweep(
+            policies, scenarios, parallel_runs=True
+        )
+        assert serial == parallel
+
+    def test_parallel_runs_require_store(self, zoo, scenarios):
+        runner = ExperimentRunner(zoo, max_workers=2)
+        with pytest.raises(ValueError, match="TraceStore"):
+            runner.sweep([SingleModelPolicy("yolov7", "gpu")], scenarios, parallel_runs=True)
+
+    def test_soc_factory_is_honoured(self, zoo, scenarios):
+        # gpu-only platform: no DLA/OAK-D accelerators, so a policy pinned
+        # to the GPU still runs but the platform differs from the default.
+        runner = ExperimentRunner(zoo, soc=gpu_only_soc)
+        metrics = runner.run_policy_on_scenarios(SingleModelPolicy("yolov7", "gpu"), scenarios)
+        assert len(metrics) == len(scenarios)
+        default_metrics = ExperimentRunner(zoo).run_policy_on_scenarios(
+            SingleModelPolicy("yolov7", "gpu"), scenarios
+        )
+        # Same model on the same GPU: identical accuracy either way.
+        assert [m.mean_iou for m in metrics] == [m.mean_iou for m in default_metrics]

@@ -63,3 +63,25 @@ class TestRunOnScenarios:
         assert len(cache) == 1
         run_policy_on_scenarios(SingleModelPolicy("yolov7-tiny", "gpu"), scenarios, zoo, cache=cache)
         assert len(cache) == 1
+
+    def test_forwards_custom_soc_instance(self, zoo):
+        # Regression: sweeps used to ignore a caller's SoC and always run
+        # on a fresh default platform.
+        scenarios = [scenario_by_name("s3_indoor_close_wall").scaled(0.05)]
+        soc = xavier_nx_with_oakd()
+        assert soc.clock.now == 0.0
+        run_policy_on_scenarios(SingleModelPolicy("yolov7", "gpu"), scenarios, zoo, soc=soc)
+        assert soc.clock.now > 0.0, "provided platform was never used"
+
+    def test_forwards_soc_factory(self, zoo):
+        scenarios = [scenario_by_name("s3_indoor_close_wall").scaled(0.05)]
+        built = []
+
+        def factory():
+            soc = xavier_nx_with_oakd()
+            built.append(soc)
+            return soc
+
+        run_policy_on_scenarios(SingleModelPolicy("yolov7", "gpu"), scenarios, zoo, soc=factory)
+        assert len(built) == len(scenarios)
+        assert all(soc.clock.now > 0.0 for soc in built)

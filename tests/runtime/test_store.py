@@ -1,0 +1,126 @@
+"""Tests for the on-disk trace store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.data import scenario_by_name
+from repro.models import default_zoo
+from repro.runtime import (
+    ScenarioTrace,
+    TraceCache,
+    TraceSchemaError,
+    TraceStore,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return scenario_by_name("s3_indoor_close_wall").scaled(0.05)
+
+
+@pytest.fixture(scope="module")
+def trace(scenario, zoo):
+    return ScenarioTrace.build(scenario, zoo)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identical(self, trace, scenario, zoo):
+        payload = json.loads(json.dumps(trace_to_dict(trace, zoo)))
+        restored = trace_from_dict(payload, scenario, zoo)
+        assert restored.outcomes == trace.outcomes
+        assert restored.frame_count == trace.frame_count
+        assert restored.scenario == scenario
+
+    def test_save_load_round_trip(self, trace, scenario, zoo, tmp_path):
+        store = TraceStore(tmp_path)
+        path = store.save(trace, zoo)
+        assert path.exists()
+        assert len(store) == 1
+        assert (scenario, zoo) in store
+        loaded = store.load(scenario, zoo)
+        assert loaded is not None
+        assert loaded.outcomes == trace.outcomes
+
+    def test_loaded_frames_match_fresh_render(self, trace, scenario, zoo, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save(trace, zoo)
+        loaded = store.load(scenario, zoo)
+        assert [f.scene for f in loaded.frames] == [f.scene for f in trace.frames]
+
+    def test_missing_returns_none(self, scenario, zoo, tmp_path):
+        assert TraceStore(tmp_path).load(scenario, zoo) is None
+
+
+class TestValidation:
+    def test_wrong_schema_version_fails_loudly(self, trace, scenario, zoo, tmp_path):
+        store = TraceStore(tmp_path)
+        path = store.save(trace, zoo)
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(TraceSchemaError, match="schema"):
+            store.load(scenario, zoo)
+
+    def test_scenario_fingerprint_mismatch_fails(self, trace, scenario, zoo):
+        payload = trace_to_dict(trace, zoo)
+        other = dataclasses.replace(scenario, seed=scenario.seed + 1)
+        with pytest.raises(TraceSchemaError, match="different scenario"):
+            trace_from_dict(payload, other, zoo)
+
+    def test_zoo_fingerprint_mismatch_fails(self, trace, scenario, zoo):
+        payload = trace_to_dict(trace, zoo)
+        smaller = default_zoo()
+        smaller.remove("yolov7")
+        with pytest.raises(TraceSchemaError, match="zoo"):
+            trace_from_dict(payload, scenario, smaller)
+
+    def test_malformed_rows_fail(self, trace, scenario, zoo):
+        payload = trace_to_dict(trace, zoo)
+        payload["outcomes"]["yolov7"][0] = ["not", "a", "row"]
+        with pytest.raises(TraceSchemaError, match="malformed"):
+            trace_from_dict(payload, scenario, zoo)
+
+
+class TestStoreBackedCache:
+    def test_second_cache_reuses_persisted_trace(self, scenario, zoo, tmp_path):
+        store = TraceStore(tmp_path)
+        first = TraceCache(zoo, store=store)
+        built = first.get(scenario)
+        assert first.builds == 1
+
+        # A fresh process would see exactly this: new cache, same store.
+        second = TraceCache(zoo, store=store)
+        loaded = second.get(scenario)
+        assert second.builds == 0, "persisted trace should make rebuilds unnecessary"
+        assert loaded.outcomes == built.outcomes
+
+    def test_store_get_builds_once(self, scenario, zoo, tmp_path):
+        store = TraceStore(tmp_path)
+        a = store.get(scenario, zoo)
+        assert len(store) == 1
+        b = store.get(scenario, zoo)
+        assert a.outcomes == b.outcomes
+
+    def test_different_zoo_gets_its_own_entry(self, scenario, zoo, tmp_path):
+        store = TraceStore(tmp_path)
+        store.get(scenario, zoo)
+        smaller = default_zoo()
+        smaller.remove("yolov7")
+        trace = store.get(scenario, smaller)
+        assert len(store) == 2
+        assert "yolov7" not in trace.model_names()
+
+    def test_clear(self, scenario, zoo, tmp_path):
+        store = TraceStore(tmp_path)
+        store.get(scenario, zoo)
+        assert store.clear() == 1
+        assert len(store) == 0

@@ -1,5 +1,7 @@
 """Tests for scenario traces and the trace cache."""
 
+import dataclasses
+
 import pytest
 
 from repro.data import scenario_by_name
@@ -51,9 +53,49 @@ class TestTraceCache:
         b = cache.get(scenario)
         assert a is b
         assert len(cache) == 1
+        assert cache.builds == 1
 
     def test_scaled_variant_is_distinct(self, zoo, scenario):
         cache = TraceCache(zoo)
         cache.get(scenario)
         cache.get(scenario.scaled(0.5))
         assert len(cache) == 2
+
+    def test_same_name_and_length_different_seed_is_distinct(self, zoo, scenario):
+        # Regression: keying by (name, total_frames) silently reused the
+        # wrong trace for scenarios differing only in seed.
+        reseeded = dataclasses.replace(scenario, seed=scenario.seed + 1)
+        assert reseeded.name == scenario.name
+        assert reseeded.total_frames == scenario.total_frames
+        cache = TraceCache(zoo)
+        a = cache.get(scenario)
+        b = cache.get(reseeded)
+        assert len(cache) == 2
+        assert a.outcomes != b.outcomes
+
+    def test_same_name_and_length_different_segments_is_distinct(self, zoo, scenario):
+        # Same name, same frame count, different segment content.
+        segments = tuple(
+            dataclasses.replace(seg, background_name="indoor_lab") for seg in scenario.segments
+        )
+        restyled = dataclasses.replace(scenario, segments=segments)
+        assert restyled.name == scenario.name
+        assert restyled.total_frames == scenario.total_frames
+        cache = TraceCache(zoo)
+        a = cache.get(scenario)
+        b = cache.get(restyled)
+        assert len(cache) == 2
+        assert a.outcomes != b.outcomes
+
+
+class TestParallelBuild:
+    def test_parallel_build_matches_serial(self, zoo, scenario):
+        serial = ScenarioTrace.build(scenario, zoo)
+        parallel = ScenarioTrace.build(scenario, zoo, max_workers=2)
+        assert serial.outcomes == parallel.outcomes
+        assert parallel.model_names() == serial.model_names()
+        assert parallel.frame_count == serial.frame_count
+
+    def test_worker_count_larger_than_zoo_is_fine(self, zoo, scenario):
+        trace = ScenarioTrace.build(scenario, zoo, max_workers=len(zoo) + 5)
+        assert set(trace.model_names()) == set(zoo.names())

@@ -29,8 +29,9 @@ class TestPublicAPI:
         # The module docstring's quickstart must only use exported names.
         for name in (
             "default_zoo", "xavier_nx_with_oakd", "characterize",
-            "ShiftPipeline", "TraceCache", "run_policy", "aggregate",
-            "scenario_by_name",
+            "ShiftPipeline", "ExperimentRunner", "TraceStore", "TraceCache",
+            "run_policy", "aggregate", "average_metrics",
+            "evaluation_scenarios", "scenario_by_name",
         ):
             assert hasattr(repro, name)
 

@@ -75,3 +75,37 @@ class TestCommands:
 
         bundle = load_bundle(out_path)
         assert len(bundle.accuracy) == 8
+
+    def test_scenarios_lists_library(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "s1_multi_background_varying_distance" in out
+        assert "x_night_watch_400f" in out
+
+    def test_sweep_over_named_scenarios(self, capsys):
+        code = main(FAST + ["sweep", "single:yolov7-tiny@gpu,marlin-tiny",
+                            "--scenarios", "s3_indoor_close_wall"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "single:yolov7-tiny@gpu" in out and "average" in out
+
+    def test_sweep_unknown_policy(self, capsys):
+        assert main(FAST + ["sweep", "quantum"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_sweep_parallel_runs_requires_store(self, capsys):
+        code = main(FAST + ["--workers", "2", "sweep", "marlin-tiny",
+                            "--scenarios", "s3_indoor_close_wall", "--parallel-runs"])
+        assert code == 2
+        assert "TraceStore" in capsys.readouterr().err
+
+    def test_trace_store_persists_across_invocations(self, tmp_path, capsys):
+        store = tmp_path / "traces"
+        args = FAST + ["--trace-store", str(store), "run", "marlin-tiny", "s3_indoor_close_wall"]
+        assert main(args) == 0
+        files = list(store.glob("trace-*.json"))
+        assert len(files) == 1
+        first_mtime = files[0].stat().st_mtime_ns
+        assert main(args) == 0
+        assert files[0].stat().st_mtime_ns == first_mtime, "second run must reuse, not rewrite"
+        capsys.readouterr()

@@ -1,6 +1,5 @@
 """Tests for the template-matching tracker (Marlin substrate)."""
 
-import numpy as np
 import pytest
 
 from repro.vision import BackgroundStyle, BoundingBox, TemplateTracker, render_frame
