@@ -3,10 +3,21 @@
 Unlike the other benches this one measures *wall-clock* cost of the Python
 scheduler hot path (CG lookup + momentum update + pair scoring), because
 the paper makes an explicit per-frame overhead claim for the same
-components.
+components.  A second stage measures the other per-frame scheduler cost —
+the frame-to-frame NCC similarity signal — comparing the scalar loop a
+live policy pays against the stacked kernel a trace precomputes.
 """
 
+import time
+
+import numpy as np
+
 from repro.core import ShiftConfig, ShiftScheduler, TraitTable
+from repro.vision import ncc, stacked_ncc
+
+
+def _scalar_ncc_loop(images):
+    return [ncc(images[i], images[i + 1]) for i in range(len(images) - 1)]
 
 
 def test_scheduler_decision_benchmark(benchmark, ctx):
@@ -21,3 +32,49 @@ def test_scheduler_decision_benchmark(benchmark, ctx):
 
     mean_s = benchmark.stats.stats.mean
     assert mean_s < 0.002, f"scheduler decision took {mean_s * 1e3:.3f} ms (paper: < 2 ms)"
+
+
+def test_context_similarity_benchmark(ctx, report, best_of):
+    """Consecutive-frame NCC: per-frame scalar loop vs stacked kernel."""
+    trace = ctx.cache.get(ctx.scenario("s3_indoor_close_wall"))
+    images = [frame.image for frame in trace.frames]
+    pairs = len(images) - 1
+
+    scalar_s, scalar = best_of(lambda: _scalar_ncc_loop(images))
+    stacked_s, stacked = best_of(lambda: stacked_ncc(images))
+
+    # Trace-level cache: first access computes (via the same kernel),
+    # repeated consumers get the cached array back.
+    t0 = time.perf_counter()
+    cached = trace.consecutive_frame_ncc()
+    cached_first_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    again = trace.consecutive_frame_ncc()
+    cached_reuse_s = time.perf_counter() - t0
+
+    # The kernel and the cache are optimizations, never a different signal.
+    assert np.array_equal(stacked, np.array(scalar))
+    assert np.array_equal(cached, stacked)
+    assert again is cached
+
+    lines = [
+        f"context similarity: {trace.scenario.name} ({pairs} consecutive pairs)",
+        f"  scalar ncc loop     {scalar_s * 1e3:8.1f}ms  {scalar_s / pairs * 1e6:8.1f} us/frame",
+        f"  stacked ncc         {stacked_s * 1e3:8.1f}ms  {stacked_s / pairs * 1e6:8.1f} us/frame"
+        f"  ({scalar_s / stacked_s:.1f}x)",
+        f"  trace cache reuse   {cached_reuse_s * 1e3:8.1f}ms",
+    ]
+    report(
+        "context_similarity",
+        "\n".join(lines),
+        metrics={
+            "scenario": trace.scenario.name,
+            "pairs": pairs,
+            "scalar_s": round(scalar_s, 5),
+            "stacked_s": round(stacked_s, 5),
+            "cached_first_s": round(cached_first_s, 5),
+            "cached_reuse_s": round(cached_reuse_s, 6),
+            "stacked_speedup": round(scalar_s / stacked_s, 2),
+        },
+    )
+    assert stacked_s < scalar_s

@@ -2,57 +2,106 @@
 
 Trace construction (every zoo model on every frame) dominates the
 benchmark suite's wall-clock, so this bench records where that time goes
-and makes the speedup of the parallel and persisted paths visible in the
-perf trajectory.  Throughput is reported in model-frames/s (a trace of F
-frames over M models performs F x M detections).
+and makes the speedup of the batched, parallel, and persisted paths
+visible in the perf trajectory.  Throughput is reported in model-frames/s
+(a trace of F frames over M models performs F x M detections).
 
 Scale with ``REPRO_BENCH_SCALE``; worker count with
-``REPRO_BENCH_WORKERS`` (default: half the CPUs, at least 2).
+``REPRO_BENCH_WORKERS`` (default: half the CPUs, at least 2); rounds per
+timed path with ``REPRO_BENCH_ROUNDS`` (default 3 — each path reports its
+best round, the standard defense against scheduler/steal noise on shared
+boxes).  The build itself may use fewer workers than requested — it falls
+back toward serial when the volume or the CPU count cannot amortize a
+pool (that fallback is why a parallel build is never slower than a serial
+one).
+
+With ``REPRO_BENCH_ENFORCE_FLOOR=1`` (the CI perf-smoke job) the serial
+throughput is additionally checked against the committed
+``benchmarks/baseline.json`` floor: a drop of more than 30% below the
+baseline fails the run.
 """
 
+import json
 import os
-import time
+import pathlib
 
 from repro.models import default_zoo
 from repro.runtime import ScenarioTrace, TraceStore
+from repro.runtime.trace import _effective_workers
 
 _SCENARIO = "s1_multi_background_varying_distance"
+_BASELINE = pathlib.Path(__file__).parent / "baseline.json"
+
+# Fraction of the committed baseline throughput that still passes; the CI
+# job fails anything slower (">30% below the floor").
+_FLOOR_FRACTION = 0.7
 
 
-def test_trace_build_benchmark(ctx, report, tmp_path_factory):
+def test_trace_build_benchmark(ctx, report, best_of, tmp_path_factory):
     zoo = default_zoo()
     scenario = ctx.scenario(_SCENARIO)
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or max(2, (os.cpu_count() or 2) // 2)
     work = scenario.total_frames * len(zoo)
+    effective = _effective_workers(workers, len(zoo), work)
 
-    t0 = time.perf_counter()
-    serial = ScenarioTrace.build(scenario, zoo)
-    serial_s = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    parallel = ScenarioTrace.build(scenario, zoo, max_workers=workers)
-    parallel_s = time.perf_counter() - t0
+    serial_s, serial = best_of(lambda: ScenarioTrace.build(scenario, zoo))
+    parallel_s, parallel = best_of(
+        lambda: ScenarioTrace.build(scenario, zoo, max_workers=workers)
+    )
 
     store = TraceStore(tmp_path_factory.mktemp("traces"))
     store.save(serial, zoo)
-    t0 = time.perf_counter()
-    reloaded = store.load(scenario, zoo)
-    reload_s = time.perf_counter() - t0
+    reload_s, reloaded = best_of(lambda: store.load(scenario, zoo))
 
     # Identical outcomes on every path — speed never changes results.
     assert parallel.outcomes == serial.outcomes
     assert reloaded.outcomes == serial.outcomes
+    # Reloads are lazy: outcome consumers never pay for rendering.
+    assert not reloaded.frames_materialized
 
+    serial_tp = work / serial_s
+    parallel_tp = work / parallel_s
+    reload_tp = work / reload_s
+    parallel_label = f"w={workers}" if effective == workers else f"w={workers}->{effective}"
     lines = [
         f"trace build: {scenario.name} ({scenario.total_frames} frames x {len(zoo)} models)",
-        f"  serial              {serial_s:8.2f}s  {work / serial_s:10.0f} model-frames/s",
-        f"  parallel (w={workers})    {parallel_s:8.2f}s  {work / parallel_s:10.0f} model-frames/s"
+        f"  serial              {serial_s:8.2f}s  {serial_tp:10.0f} model-frames/s",
+        f"  parallel ({parallel_label})    {parallel_s:8.2f}s  {parallel_tp:10.0f} model-frames/s"
         f"  ({serial_s / parallel_s:.2f}x)",
-        f"  store reload        {reload_s:8.2f}s  {work / reload_s:10.0f} model-frames/s"
+        f"  store reload        {reload_s:8.2f}s  {reload_tp:10.0f} model-frames/s"
         f"  ({serial_s / reload_s:.2f}x)",
     ]
-    report("trace_build", "\n".join(lines))
+    report(
+        "trace_build",
+        "\n".join(lines),
+        metrics={
+            "scenario": scenario.name,
+            "frames": scenario.total_frames,
+            "models": len(zoo),
+            "model_frames": work,
+            "workers_requested": workers,
+            "workers_effective": effective,
+            "rounds": best_of.rounds,
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "reload_s": round(reload_s, 4),
+            "serial_model_frames_per_s": round(serial_tp, 1),
+            "parallel_model_frames_per_s": round(parallel_tp, 1),
+            "reload_model_frames_per_s": round(reload_tp, 1),
+            "parallel_speedup": round(serial_s / parallel_s, 3),
+            "reload_speedup": round(serial_s / reload_s, 3),
+        },
+    )
 
-    # The reload path skips the zoo sweep entirely; it must beat a full
-    # rebuild comfortably at any scale.
+    # The reload path skips rendering and the zoo sweep entirely; it must
+    # beat a full rebuild comfortably at any scale.
     assert reload_s < serial_s
+
+    if os.environ.get("REPRO_BENCH_ENFORCE_FLOOR"):
+        baseline = json.loads(_BASELINE.read_text(encoding="utf-8"))
+        floor = baseline["trace_build"]["serial_model_frames_per_s"] * _FLOOR_FRACTION
+        assert serial_tp >= floor, (
+            f"serial trace-build throughput {serial_tp:.0f} model-frames/s fell more than "
+            f"30% below the committed baseline "
+            f"({baseline['trace_build']['serial_model_frames_per_s']:.0f}; floor {floor:.0f})"
+        )

@@ -15,7 +15,7 @@ from typing import Iterator
 import numpy as np
 
 from ..vision.bbox import BoundingBox
-from ..vision.rendering import render_frame
+from ..vision.rendering import render_frame, render_segment_frames
 from .backgrounds import background
 from .scenario import Scenario, Segment, path_position
 from .scene import SceneState, approach_profile, scene_difficulty
@@ -83,13 +83,23 @@ def _segment_scenes(segment: Segment, frame_size: int, start_drift: float) -> li
     return scenes
 
 
-def _scene_stream(scenario: Scenario) -> Iterator[tuple[Segment, SceneState]]:
-    """Yield (segment, scene) for every frame, threading pan drift through."""
+def _segment_stream(scenario: Scenario) -> Iterator[tuple[Segment, list[SceneState]]]:
+    """Yield (segment, its scenes) in order, threading pan drift through.
+
+    The single owner of the drift hand-off invariant: each segment starts
+    where the previous one's background pan left off.
+    """
     drift = 0.0
     for segment in scenario.segments:
         scenes = _segment_scenes(segment, scenario.frame_size, drift)
         if scenes:
             drift = scenes[-1].drift
+        yield segment, scenes
+
+
+def _scene_stream(scenario: Scenario) -> Iterator[tuple[Segment, SceneState]]:
+    """Yield (segment, scene) for every frame, threading pan drift through."""
+    for segment, scenes in _segment_stream(scenario):
         for scene in scenes:
             yield segment, scene
 
@@ -111,6 +121,10 @@ def generate_frames(scenario: Scenario) -> Iterator[Frame]:
 
     The sensor-noise stream is seeded from the scenario seed, so the same
     scenario always produces bit-identical frames.
+
+    This is the scalar *reference* path (one :func:`render_frame` call per
+    frame); :func:`render_scenario` produces bit-identical frames through
+    the segment-batched renderer and is what the trace tier uses.
     """
     noise_rng = np.random.default_rng(scenario.seed)
     for index, (segment, scene) in enumerate(_scene_stream(scenario)):
@@ -134,5 +148,36 @@ def generate_frames(scenario: Scenario) -> Iterator[Frame]:
 
 
 def render_scenario(scenario: Scenario) -> list[Frame]:
-    """Materialize every frame of a scenario as a list."""
-    return list(generate_frames(scenario))
+    """Materialize every frame of a scenario as a list.
+
+    Renders segment by segment through
+    :func:`~repro.vision.rendering.render_segment_frames` — bit-identical
+    to :func:`generate_frames`, several times faster (this call sits on
+    every trace build and lazy store load).
+    """
+    noise_rng = np.random.default_rng(scenario.seed)
+    frames: list[Frame] = []
+    index = 0
+    for segment, scenes in _segment_stream(scenario):
+        truths = [scene.ground_truth_box() for scene in scenes]
+        images = render_segment_frames(
+            background(segment.background_name),
+            truths,
+            [scene.drift for scene in scenes],
+            frame_size=scenario.frame_size,
+            noise_rng=noise_rng,
+        )
+        for scene, truth, image in zip(scenes, truths, images):
+            frames.append(
+                Frame(
+                    index=index,
+                    timestamp=index / CAMERA_FPS,
+                    image=image,
+                    scene=scene,
+                    ground_truth=truth,
+                    difficulty=scene_difficulty(scene),
+                    segment=segment.name,
+                )
+            )
+            index += 1
+    return frames

@@ -151,6 +151,17 @@ def difficulty_components(scene: SceneState) -> dict[str, float]:
     }
 
 
+def combine_difficulty(components: dict[str, float]) -> float:
+    """The weighted blend of :func:`difficulty_components`, in [0, 1].
+
+    Callers that already hold the components (batched sweeps) combine them
+    directly; frames whose target is invisible or fully clipped are
+    difficulty 1.0 by definition and must not reach this blend.
+    """
+    value = sum(DIFFICULTY_WEIGHTS[name] * term for name, term in components.items())
+    return float(min(1.0, max(0.0, value)))
+
+
 def scene_difficulty(scene: SceneState) -> float:
     """Collapse the scene's latent factors into a difficulty in [0, 1].
 
@@ -161,9 +172,7 @@ def scene_difficulty(scene: SceneState) -> float:
     """
     if not scene.visible or scene.ground_truth_box() is None:
         return 1.0
-    components = difficulty_components(scene)
-    value = sum(DIFFICULTY_WEIGHTS[name] * term for name, term in components.items())
-    return float(min(1.0, max(0.0, value)))
+    return combine_difficulty(difficulty_components(scene))
 
 
 def approach_profile(start: float, end: float, count: int) -> list[float]:

@@ -4,7 +4,9 @@ from .detector import (
     SCENE_NOISE_SIGMA,
     ContextId,
     DetectionOutcome,
+    SceneBatch,
     detect,
+    detect_batch,
     shared_scene_noise,
 )
 from .families import SSD_FAMILY, YOLO_FAMILY, paper_specs
@@ -13,7 +15,9 @@ from .zoo import ModelZoo, default_zoo
 
 __all__ = [
     "DetectionOutcome",
+    "SceneBatch",
     "detect",
+    "detect_batch",
     "shared_scene_noise",
     "ContextId",
     "SCENE_NOISE_SIGMA",

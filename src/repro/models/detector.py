@@ -18,12 +18,14 @@ the confidence graph mines.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from ..data.scene import SceneState, difficulty_components, scene_difficulty
+from ..data.scene import SceneState, combine_difficulty, difficulty_components, scene_difficulty
 from ..vision.bbox import BoundingBox, iou as box_iou
-from ..vision.nms import ScoredBox, best_detection
+from ..vision.nms import DEFAULT_CONFIDENCE_THRESHOLD, ScoredBox, best_detection
+from .fastrng import DrawPool, pcg64_state_words
 from .spec import ModelSpec
 
 # Salt that namespaces this simulator's RNG streams.
@@ -217,3 +219,261 @@ def detect(spec: ModelSpec, scene: SceneState, context_id: ContextId) -> Detecti
         detected=True,
         false_positive=bool(is_false_positive),
     )
+
+
+# --------------------------------------------------------------- batched
+
+
+class SceneBatch:
+    """Shared per-scenario precompute for batched detection sweeps.
+
+    Everything :func:`detect` derives from the frames alone — ground-truth
+    boxes, difficulty components, the shared scene noise, and the smooth
+    noise scaffolding (knot indices, cosine weights, knot draws) — is
+    computed once here and reused by every model's :func:`detect_batch`
+    sweep.  The cosine weights are evaluated with the same scalar ``np.cos``
+    calls :func:`_smooth_noise` makes (one per frame, cached for all
+    streams), so the batch can never diverge from the scalar path on
+    platforms where NumPy's vectorized transcendentals differ from the
+    scalar ones; everything else is plain ``+ - * /`` arithmetic, which is
+    IEEE-exact elementwise.
+
+    ``frame_indices`` defaults to ``0..n-1`` (a scenario's frames) but may
+    be any per-scene frame identities — the characterization profiler
+    passes validation-sample indices.
+    """
+
+    def __init__(
+        self,
+        scenes: Sequence[SceneState],
+        stream_seed: int,
+        frame_indices: Sequence[int] | np.ndarray | None = None,
+        truths: Sequence[BoundingBox | None] | None = None,
+        difficulties: Sequence[float] | None = None,
+    ) -> None:
+        self.scenes = list(scenes)
+        self.seed = int(stream_seed)
+        count = len(self.scenes)
+        if frame_indices is None:
+            self.frame_indices = np.arange(count, dtype=np.int64)
+        else:
+            self.frame_indices = np.asarray(frame_indices, dtype=np.int64)
+            if len(self.frame_indices) != count:
+                raise ValueError("frame_indices must align with scenes")
+        self._pool = DrawPool()
+        # Ground-truth boxes and difficulties are pure functions of the
+        # scenes; callers that already hold them (rendered frames, samples)
+        # pass them in rather than re-deriving.
+        if truths is None:
+            truths = [scene.ground_truth_box() for scene in self.scenes]
+        elif len(truths) != count:
+            raise ValueError("truths must align with scenes")
+        self.truths = list(truths)
+        self.components = [difficulty_components(scene) for scene in self.scenes]
+        if difficulties is None:
+            # Same blend as scene_difficulty, reusing the components
+            # already computed above (a missing truth box means invisible
+            # or fully clipped — difficulty 1.0 by definition).
+            difficulties = [
+                1.0 if truth is None else combine_difficulty(components)
+                for truth, components in zip(self.truths, self.components)
+            ]
+        elif len(difficulties) != count:
+            raise ValueError("difficulties must align with scenes")
+        self.difficulties = list(difficulties)
+        position = self.frame_indices.astype(np.float64) / _SLOW_PERIOD
+        index = np.floor(position)
+        frac = position - index
+        self.knot_index = index.astype(np.int64)
+        self.knot_weight = np.array(
+            [(1.0 - np.cos(np.pi * f)) / 2.0 for f in frac], dtype=np.float64
+        )
+        self._knot_z: dict[int, np.ndarray] = {}
+        self._shared_noise: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.scenes)
+
+    def _knot_draws(self, stream: int) -> np.ndarray:
+        """Standard-normal knot values ``z`` for one noise stream.
+
+        ``_knot(stream, seed, index, sigma)`` equals ``sigma * z[index]``
+        (NumPy evaluates ``normal(0, sigma)`` as ``loc + scale * z``), so
+        per-frame sigmas can scale a shared z array.
+        """
+        draws = self._knot_z.get(stream)
+        if draws is None:
+            top = int(self.knot_index.max()) + 2 if len(self.knot_index) else 0
+            words = pcg64_state_words(
+                [_STREAM_SALT, stream, self.seed, np.arange(top, dtype=np.int64)],
+                count=top,
+            )
+            draws = self._pool.first_normals(words)
+            self._knot_z[stream] = draws
+        return draws
+
+    def correlated_noise(
+        self,
+        stream: int,
+        sigma: float | np.ndarray,
+        select: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized :func:`_correlated_noise` for one stream.
+
+        ``sigma`` is a scalar or an array aligned with ``select`` (frame
+        positions into this batch); returns one value per selected frame,
+        bit-identical to the scalar calls.
+        """
+        z = self._knot_draws(stream)
+        if select is None:
+            index, weight, frames = self.knot_index, self.knot_weight, self.frame_indices
+        else:
+            index = self.knot_index[select]
+            weight = self.knot_weight[select]
+            frames = self.frame_indices[select]
+        slow_sigma = sigma * np.sqrt(_SLOW_FRACTION)
+        a = slow_sigma * z[index]
+        b = slow_sigma * z[index + 1]
+        slow = a * (1.0 - weight) + b * weight
+        # Each entropy row depends only on its own frame index, so hash
+        # seed words for the selected frames alone.
+        words = pcg64_state_words(
+            [_STREAM_SALT, stream, self.seed, self.seed, frames], count=len(frames)
+        )
+        iid_sigma = sigma * np.sqrt(1.0 - _SLOW_FRACTION)
+        return slow + iid_sigma * self._pool.first_normals(words)
+
+    @property
+    def shared_noise(self) -> np.ndarray:
+        """:func:`shared_scene_noise` per frame (computed once, all models)."""
+        if self._shared_noise is None:
+            self._shared_noise = self.correlated_noise(0, SCENE_NOISE_SIGMA)
+        return self._shared_noise
+
+    def model_rng_words(self, spec: ModelSpec) -> np.ndarray:
+        """Seed words of :func:`_model_rng` for every frame of the batch."""
+        return pcg64_state_words(
+            [_STREAM_SALT, self.seed, self.frame_indices, spec.salt],
+            count=len(self.frame_indices),
+        )
+
+    def model_rng_at(self, words_row: np.ndarray) -> np.random.Generator:
+        """A generator positioned exactly like a fresh :func:`_model_rng`."""
+        return self._pool.generator_for(words_row)
+
+
+def detect_batch(spec: ModelSpec, batch: SceneBatch) -> list[DetectionOutcome]:
+    """Run ``spec`` over every frame of ``batch`` — the vectorized hot path.
+
+    Outcomes are bit-identical to ``[detect(spec, scene, (seed, index))
+    for ...]``: every RNG stream is seeded by the same ``(context_id,
+    model)`` contract, only materialized in bulk.  Noise, quality, and
+    confidence draws are computed as arrays across all frames; only the
+    irreducibly per-frame parts (box objects, NMS over a handful of
+    candidates, distractor sampling from the per-frame model RNG) stay
+    scalar.
+    """
+    scenes = batch.scenes
+    count = len(scenes)
+    if count == 0:
+        return []
+
+    quality_skill = np.array(
+        [spec.skill.quality(d) for d in batch.difficulties], dtype=np.float64
+    )
+    shared = batch.shared_noise * spec.scene_sensitivity
+    private = batch.correlated_noise(spec.salt, spec.model_noise)
+    quality = np.clip(quality_skill + shared + private, 0.0, 1.0)
+
+    has_truth = np.array([t is not None for t in batch.truths], dtype=bool)
+    responding = np.flatnonzero(has_truth & (quality >= spec.no_response_floor))
+
+    # The model's localization of the target, where it responds at all.
+    predicted: dict[int, BoundingBox] = {}
+    if len(responding):
+        slack = 1.0 - quality[responding]
+        max_widths = np.array(
+            [max(batch.truths[i].width, 2.0) for i in responding], dtype=np.float64
+        )
+        offset_sigma = 0.22 * slack * max_widths
+        dx = batch.correlated_noise(spec.salt + 1, offset_sigma, select=responding)
+        dy = batch.correlated_noise(spec.salt + 2, offset_sigma, select=responding)
+        log_scale = batch.correlated_noise(spec.salt + 3, 0.16 * slack, select=responding)
+        for j, i in enumerate(responding):
+            truth = batch.truths[i]
+            scale = float(np.exp(log_scale[j]))
+            cx, cy = truth.center
+            size = float(scenes[i].frame_size)
+            box = BoundingBox.from_center(
+                cx + float(dx[j]), cy + float(dy[j]), truth.width * scale, truth.height * scale
+            ).clipped(size, size)
+            if not box.is_degenerate():
+                predicted[int(i)] = box
+
+    confidence_by_frame: dict[int, float] = {}
+    if predicted:
+        localized = np.array(sorted(predicted), dtype=np.int64)
+        noise = batch.correlated_noise(
+            spec.salt + 4, spec.calibration.noise, select=localized
+        )
+        base = spec.calibration.scale * quality[localized] + spec.calibration.bias
+        confidences = np.clip(base + noise, 0.0, 1.0)
+        confidence_by_frame = {
+            int(i): float(c) for i, c in zip(localized, confidences)
+        }
+
+    model_words = batch.model_rng_words(spec)
+    outcomes: list[DetectionOutcome] = []
+    for i, scene in enumerate(scenes):
+        rng = batch.model_rng_at(model_words[i])
+        components = batch.components[i]
+        candidates = _distractor_boxes(
+            spec, scene, components["clutter"], components["camouflage"], rng
+        )
+        true_candidate: ScoredBox | None = None
+        box = predicted.get(i)
+        if box is not None:
+            true_candidate = ScoredBox(box=box, score=confidence_by_frame[i])
+            candidates.append(true_candidate)
+
+        # NMS: the common cases (zero or one candidate) shortcut the full
+        # suppression pass; single-candidate NMS reduces to the threshold.
+        if not candidates:
+            best = None
+        elif len(candidates) == 1:
+            best = candidates[0] if candidates[0].score >= DEFAULT_CONFIDENCE_THRESHOLD else None
+        else:
+            best = best_detection(candidates)
+
+        frame_quality = float(quality[i])
+        truth = batch.truths[i]
+        if best is None:
+            top_score = max((c.score for c in candidates), default=0.02)
+            outcomes.append(
+                DetectionOutcome(
+                    model_name=spec.name,
+                    box=None,
+                    confidence=float(top_score),
+                    iou=0.0,
+                    quality=frame_quality,
+                    detected=False,
+                    false_positive=False,
+                )
+            )
+            continue
+        achieved_iou = box_iou(best.box, truth) if truth is not None else 0.0
+        is_false_positive = truth is None or (
+            true_candidate is not None and best.box is not true_candidate.box and achieved_iou < 0.1
+        ) or (truth is not None and true_candidate is None)
+        outcomes.append(
+            DetectionOutcome(
+                model_name=spec.name,
+                box=best.box,
+                confidence=best.score,
+                iou=float(achieved_iou),
+                quality=frame_quality,
+                detected=True,
+                false_positive=bool(is_false_positive),
+            )
+        )
+    return outcomes

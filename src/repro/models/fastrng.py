@@ -1,0 +1,208 @@
+"""Bulk seeding for the detector's per-frame RNG streams.
+
+The simulated detectors draw every stochastic value from a *freshly seeded*
+``np.random.default_rng((salt, stream, ..., frame))`` so that outcomes are
+pure functions of (model, frame).  That contract is what makes traces
+cacheable — and it is also the scalar hot path's dominant cost: constructing
+a ``SeedSequence`` + ``PCG64`` per draw costs ~12 us, and one detection
+performs ~19 of them.
+
+This module makes seeded streams cheap in bulk while staying bit-identical:
+
+* :func:`pcg64_state_words` re-implements the ``SeedSequence`` entropy-pool
+  hash (Melissa O'Neill's seed-sequence algorithm, frozen in NumPy since
+  1.17) with vectorized uint32 arithmetic, producing the four 64-bit words
+  ``SeedSequence(entropy).generate_state(4, uint64)`` would return — for N
+  entropy tuples at once.
+* :class:`DrawPool` holds one reusable ``PCG64`` bit generator and replays
+  NumPy's C-level ``pcg64_srandom`` seeding from those words via the public
+  ``.state`` setter (~1.6 us per stream instead of ~12 us), then draws with
+  the shared :class:`~numpy.random.Generator`.
+
+Equality with ``np.random.default_rng(entropy)`` is asserted bit-for-bit in
+``tests/models/test_fastrng.py``; the batched detector additionally asserts
+whole-trace equality against the scalar path, so any future NumPy change to
+the (intentionally stable) seeding algorithm fails loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+# --- SeedSequence pool-hash constants (numpy/random/bit_generator.pyx) ----
+_XSHIFT = 16
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_MULT_L = 0xCA01F9DD
+_MIX_MULT_R = 0x4973F715
+_POOL_SIZE = 4
+_MASK32 = 0xFFFFFFFF
+
+# --- PCG64 seeding constants (numpy/random/src/pcg64/pcg64.h) -------------
+_PCG64_MULT = (2549297995355413924 << 64) | 4865540595714422341
+_MASK128 = (1 << 128) - 1
+
+EntropyPart = int | np.ndarray | Sequence[int]
+
+
+def _int_words(value: int) -> list[int]:
+    """The uint32 little-endian limbs SeedSequence assembles for one int."""
+    if value < 0:
+        raise ValueError("entropy values must be non-negative")
+    if value == 0:
+        return [0]
+    words = []
+    while value > 0:
+        words.append(value & _MASK32)
+        value >>= 32
+    return words
+
+
+def entropy_rows(parts: Sequence[EntropyPart], count: int | None = None) -> np.ndarray:
+    """Assemble N parallel entropy tuples into an ``(N, W)`` uint32 matrix.
+
+    ``parts`` mirrors the tuple passed to ``np.random.default_rng``: scalar
+    ints are broadcast to every row; one or more array parts supply the
+    varying element (e.g. the frame index) and must contain values below
+    2**32 so every row assembles to the same word count.
+    """
+    columns: list[np.ndarray] = []
+    sizes = [len(p) for p in parts if not isinstance(p, (int, np.integer))]
+    if count is None:
+        if not sizes:
+            raise ValueError("pass count when every entropy part is a scalar")
+        count = sizes[0]
+    if any(size != count for size in sizes):
+        raise ValueError("varying entropy parts must share a length")
+    for part in parts:
+        if isinstance(part, (int, np.integer)):
+            for word in _int_words(int(part)):
+                columns.append(np.full(count, word, dtype=np.uint32))
+        else:
+            values = np.asarray(part, dtype=np.uint64)
+            if values.ndim != 1:
+                raise ValueError("varying entropy parts must be 1-D")
+            if values.size and int(values.max()) > _MASK32:
+                raise ValueError("varying entropy values must be below 2**32")
+            columns.append(values.astype(np.uint32))
+    return np.stack(columns, axis=1) if columns else np.zeros((count, 0), dtype=np.uint32)
+
+
+def _hashmix(values: np.ndarray, hash_const: int) -> tuple[np.ndarray, int]:
+    """One SeedSequence hash step over a column of entropy words."""
+    values = values ^ np.uint32(hash_const)
+    hash_const = (hash_const * _MULT_A) & _MASK32
+    values = (values * np.uint32(hash_const)).astype(np.uint32)
+    values = values ^ (values >> np.uint32(_XSHIFT))
+    return values, hash_const
+
+
+def _mix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """SeedSequence's pool-mixing combiner (uint32, wraparound)."""
+    result = (x * np.uint32(_MIX_MULT_L) - y * np.uint32(_MIX_MULT_R)).astype(np.uint32)
+    return result ^ (result >> np.uint32(_XSHIFT))
+
+
+def seed_pools(rows: np.ndarray) -> np.ndarray:
+    """Vectorized ``SeedSequence`` entropy pools: ``(N, W)`` -> ``(N, 4)``."""
+    rows = np.ascontiguousarray(rows, dtype=np.uint32)
+    count, width = rows.shape
+    pool = np.zeros((count, _POOL_SIZE), dtype=np.uint32)
+    hash_const = _INIT_A
+    for i in range(_POOL_SIZE):
+        source = rows[:, i] if i < width else np.zeros(count, dtype=np.uint32)
+        pool[:, i], hash_const = _hashmix(source, hash_const)
+    for i_src in range(_POOL_SIZE):
+        for i_dst in range(_POOL_SIZE):
+            if i_src != i_dst:
+                hashed, hash_const = _hashmix(pool[:, i_src], hash_const)
+                pool[:, i_dst] = _mix(pool[:, i_dst], hashed)
+    for i_src in range(_POOL_SIZE, width):
+        for i_dst in range(_POOL_SIZE):
+            hashed, hash_const = _hashmix(rows[:, i_src], hash_const)
+            pool[:, i_dst] = _mix(pool[:, i_dst], hashed)
+    return pool
+
+
+def generate_state64(pools: np.ndarray, n_words: int = 4) -> np.ndarray:
+    """Vectorized ``SeedSequence.generate_state(n_words, uint64)`` per pool row."""
+    pools = np.ascontiguousarray(pools, dtype=np.uint32)
+    count = pools.shape[0]
+    n_half = n_words * 2
+    state = np.zeros((count, n_half), dtype=np.uint32)
+    hash_const = _INIT_B
+    for i_dst in range(n_half):
+        values = pools[:, i_dst % _POOL_SIZE] ^ np.uint32(hash_const)
+        hash_const = (hash_const * _MULT_B) & _MASK32
+        values = (values * np.uint32(hash_const)).astype(np.uint32)
+        state[:, i_dst] = values ^ (values >> np.uint32(_XSHIFT))
+    # Pair uint32 words little-endian-first, exactly as SeedSequence does.
+    return (
+        state.astype("<u4").reshape(count, n_words, 2).view("<u8").reshape(count, n_words)
+        .astype(np.uint64)
+    )
+
+
+def pcg64_state_words(parts: Sequence[EntropyPart], count: int | None = None) -> np.ndarray:
+    """``(N, 4)`` uint64 seed words for PCG64, one row per entropy tuple.
+
+    Row ``i`` equals ``np.random.SeedSequence(tuple_i).generate_state(4,
+    np.uint64)`` where ``tuple_i`` takes element ``i`` of every array part.
+    """
+    return generate_state64(seed_pools(entropy_rows(parts, count=count)))
+
+
+def _pcg64_state_dict(words: np.ndarray) -> dict:
+    """The post-seeding PCG64 ``.state`` dict for one row of seed words.
+
+    Replays ``pcg64_srandom``: ``inc = (initseq << 1) | 1`` and two LCG
+    steps folding in the init state, in 128-bit arithmetic.
+    """
+    initstate = (int(words[0]) << 64) | int(words[1])
+    initseq = (int(words[2]) << 64) | int(words[3])
+    inc = ((initseq << 1) | 1) & _MASK128
+    state = ((inc + initstate) * _PCG64_MULT + inc) & _MASK128
+    return {
+        "bit_generator": "PCG64",
+        "state": {"state": state, "inc": inc},
+        "has_uint32": 0,
+        "uinteger": 0,
+    }
+
+
+class DrawPool:
+    """One reusable ``Generator`` re-seeded per stream via cheap state sets.
+
+    ``generator_for(words)`` returns the shared generator positioned exactly
+    where ``np.random.default_rng(entropy)`` would start; it stays valid
+    until the next ``generator_for``/``first_normals`` call, which matches
+    how the detector consumes its streams (one at a time).
+    """
+
+    def __init__(self) -> None:
+        self._bit_generator = np.random.PCG64(0)
+        self._generator = np.random.Generator(self._bit_generator)
+
+    def generator_for(self, words: np.ndarray) -> np.random.Generator:
+        """The shared generator, seeded from one ``(4,)`` row of seed words."""
+        self._bit_generator.state = _pcg64_state_dict(words)
+        return self._generator
+
+    def first_normals(self, words: np.ndarray) -> np.ndarray:
+        """First ``standard_normal`` of each stream in an ``(N, 4)`` word array.
+
+        Equals ``np.random.default_rng(entropy_i).standard_normal()`` per
+        row; multiply by sigma for ``normal(0.0, sigma)`` (NumPy computes
+        ``loc + scale * z`` internally, so the scaled values are identical).
+        """
+        bit_generator = self._bit_generator
+        draw = self._generator.standard_normal
+        out = np.empty(len(words), dtype=np.float64)
+        for i, row in enumerate(words):
+            bit_generator.state = _pcg64_state_dict(row)
+            out[i] = draw()
+        return out

@@ -32,7 +32,13 @@ from .policy import Policy
 from .records import RunResult
 from .runner import run_policy
 from .store import TraceStore
-from .trace import ScenarioTrace, TraceCache, _outcomes_for_specs, _spec_chunks
+from .trace import (
+    ScenarioTrace,
+    TraceCache,
+    _effective_workers,
+    _outcomes_for_specs,
+    _spec_chunks,
+)
 
 SocLike = SoC | Callable[[], SoC] | None
 
@@ -145,15 +151,29 @@ class ExperimentRunner:
             seen.add(scenario.fingerprint())
             missing.append(scenario)
 
-        workers = self.max_workers or 1
+        specs = self.zoo.specs()
+        # The same guards as ScenarioTrace.build; tasks can span
+        # scenarios, so the granularity cap is models x missing scenarios.
+        pending_model_frames = len(specs) * sum(s.total_frames for s in missing)
+        workers = _effective_workers(
+            self.max_workers, len(specs) * len(missing), pending_model_frames
+        )
         if missing and workers > 1:
-            specs = self.zoo.specs()
             # Aim for at least one task per worker overall: with S missing
-            # scenarios, split the zoo into ceil(W / S) chunks each.
-            chunks = _spec_chunks(specs, -(-workers // len(missing)))
+            # scenarios, split the zoo into ceil(W / S) chunks each — but
+            # never chunk a scenario finer than its volume can amortize
+            # (fragmenting the batched sweep was a net slowdown).
+            base_chunks = -(-workers // len(missing))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {}
                 for scenario in missing:
+                    chunk_count = min(
+                        base_chunks,
+                        _effective_workers(
+                            workers, len(specs), len(specs) * scenario.total_frames
+                        ),
+                    )
+                    chunks = _spec_chunks(specs, chunk_count)
                     scenes = scenario_scenes(scenario)
                     futures[scenario.fingerprint()] = [
                         pool.submit(_outcomes_for_specs, scenario.seed, scenes, chunk)

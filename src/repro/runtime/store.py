@@ -25,10 +25,12 @@ Format — one JSON object per (scenario, zoo) pair, in a file named
     ``box`` is ``[x1, y1, x2, y2]`` or ``null``.
 
 Frames (rendered pixels + scene states) are *not* stored: rendering is
-deterministic and cheap relative to the zoo sweep, so loads re-render via
-:func:`~repro.data.generator.render_scenario` and attach the persisted
-outcomes — skipping the expensive part while producing a trace
-indistinguishable from a fresh build.
+deterministic, so loads return a **lazy** trace that attaches the persisted
+outcomes and defers rendering until someone actually reads ``.frames``.
+Outcome-only consumers (tables, metrics, oracle summaries) therefore pay
+pure JSON-parse cost on reload; policy runs render on first frame access
+through the batched renderer and see a trace indistinguishable from a
+fresh build.
 """
 
 from __future__ import annotations
@@ -37,7 +39,6 @@ import json
 import os
 from pathlib import Path
 
-from ..data.generator import render_scenario
 from ..data.scenario import Scenario
 from ..models.detector import DetectionOutcome
 from ..models.zoo import ModelZoo
@@ -87,8 +88,9 @@ def trace_to_dict(trace: ScenarioTrace, zoo: ModelZoo) -> dict:
 def trace_from_dict(payload: dict, scenario: Scenario, zoo: ModelZoo) -> ScenarioTrace:
     """Rebuild a trace from its dict form against the live scenario and zoo.
 
-    Validates the schema version and both fingerprints, re-renders the
-    frames (deterministic), and reattaches the persisted outcomes.
+    Validates the schema version and both fingerprints and reattaches the
+    persisted outcomes; frames stay lazy (rendered deterministically on
+    first access), so outcome-only consumers never pay for pixels.
     """
     version = payload.get("schema_version")
     if version != SCHEMA_VERSION:
@@ -130,8 +132,7 @@ def trace_from_dict(payload: dict, scenario: Scenario, zoo: ModelZoo) -> Scenari
             ]
     except (KeyError, TypeError, ValueError, IndexError) as exc:
         raise TraceSchemaError(f"malformed trace payload: {exc}") from exc
-    frames = render_scenario(scenario)
-    return ScenarioTrace(scenario=scenario, frames=frames, outcomes=outcomes)
+    return ScenarioTrace(scenario=scenario, frames=None, outcomes=outcomes)
 
 
 class TraceStore:

@@ -9,48 +9,101 @@ only *observe* the outcomes of inferences they actually execute and pay
 for; the trace is a cache, not an information leak.
 
 Building a trace is the repo's hottest path (every model on every frame,
-thousands of frames per scenario).  Because outcomes depend only on the
-latent scene state — never on rendered pixels — the model sweep can fan
-out across worker processes while the parent renders frames: pass
-``max_workers`` to :meth:`ScenarioTrace.build` or :class:`TraceCache`.
-:class:`TraceCache` keys by the scenario's content fingerprint (never by
-name/length, which collide) and can back onto an on-disk
-:class:`~repro.runtime.store.TraceStore` so repeated invocations skip the
-build entirely.
+thousands of frames per scenario).  Two engines keep it fast:
+
+* the **batched detection kernel** (:class:`~repro.models.detector.SceneBatch`
+  + :func:`~repro.models.detector.detect_batch`) materializes every model's
+  noise/quality/confidence streams as arrays across all frames, bit-identical
+  to scalar :func:`~repro.models.detector.detect`;
+* the **segment-batched renderer** behind
+  :func:`~repro.data.generator.render_scenario` stacks each segment's
+  pixels in one pass.
+
+Because outcomes depend only on the latent scene state — never on rendered
+pixels — the model sweep can additionally fan out across worker processes
+while the parent renders frames: pass ``max_workers`` to
+:meth:`ScenarioTrace.build` or :class:`TraceCache`.  Workers only pay off
+once each carries enough model-frames to amortize process startup and
+scene pickling; below :data:`MIN_MODEL_FRAMES_PER_WORKER` per worker the
+build silently falls back to fewer workers (or serial), so a parallel
+build is never slower than a serial one.
+
+Frames are **lazy**: a trace loaded from the on-disk store (or a worker
+that only reads outcomes) never renders pixels; the first ``.frames``
+access renders on demand.  :class:`TraceCache` keys by the scenario's
+content fingerprint (never by name/length, which collide) and can back
+onto an on-disk :class:`~repro.runtime.store.TraceStore` so repeated
+invocations skip the build entirely.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from ..data.generator import Frame, render_scenario, scenario_scenes
 from ..data.scenario import Scenario
 from ..data.scene import SceneState
-from ..models.detector import DetectionOutcome, detect
+from ..models.detector import DetectionOutcome, SceneBatch, detect_batch
 from ..models.spec import ModelSpec
 from ..models.zoo import ModelZoo
+from ..vision.ncc import stacked_ncc
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .store import TraceStore
+
+# Fewer model-frames per worker than this and process startup + scene
+# pickling outweigh the batched sweep itself; the build then uses fewer
+# workers (possibly one).  Calibrated on the trace-build micro-benchmark:
+# a worker clears ~25k model-frames/s, so 6000 model-frames ≈ 0.25 s of
+# compute against ~0.1 s of fixed per-worker overhead.
+MIN_MODEL_FRAMES_PER_WORKER = 6000
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _effective_workers(requested: int | None, task_cap: int, model_frames: int) -> int:
+    """How many workers a trace-build fan-out should actually use.
+
+    Caps the requested worker count by ``task_cap`` — the finest possible
+    task granularity (models for one build; models x scenarios for a
+    multi-scenario warm-up) — by the total ``model_frames`` volume, so
+    each worker keeps at least :data:`MIN_MODEL_FRAMES_PER_WORKER`
+    model-frames and small builds never fragment the batched sweep across
+    a pool that costs more than it saves, and by the CPUs actually
+    available (on a one-core host, worker processes only time-slice the
+    serial path and lose).
+    """
+    if requested is None or requested <= 1:
+        return 1
+    by_volume = model_frames // MIN_MODEL_FRAMES_PER_WORKER
+    return max(1, min(requested, task_cap, by_volume, _available_cpus()))
 
 
 def _outcomes_for_specs(
     scenario_seed: int, scenes: list[SceneState], specs: list[ModelSpec]
 ) -> dict[str, list[DetectionOutcome]]:
-    """Detection outcomes of ``specs`` over the given scene states.
+    """Batched detection outcomes of ``specs`` over the given scene states.
 
     Module-level so worker processes can unpickle it.  Scene states are
     computed once in the parent and shipped (they are small — no pixels),
     which keeps workers independent of parent-process state like
     runtime-registered backgrounds (a spawn-start worker would not see
-    those if it re-derived scenes from the scenario itself).
+    those if it re-derived scenes from the scenario itself).  One
+    :class:`SceneBatch` per call amortizes the shared per-frame precompute
+    (truth boxes, difficulty, shared scene noise) across the whole chunk.
     """
-    return {
-        spec.name: [detect(spec, scene, (scenario_seed, i)) for i, scene in enumerate(scenes)]
-        for spec in specs
-    }
+    batch = SceneBatch(scenes, scenario_seed)
+    return {spec.name: detect_batch(spec, batch) for spec in specs}
 
 
 def _spec_chunks(specs: list[ModelSpec], chunk_count: int) -> list[list[ModelSpec]]:
@@ -62,13 +115,33 @@ def _spec_chunks(specs: list[ModelSpec], chunk_count: int) -> list[list[ModelSpe
     return chunks
 
 
-@dataclass
 class ScenarioTrace:
-    """Frames of one scenario plus per-model detection outcomes."""
+    """Frames of one scenario plus per-model detection outcomes.
 
-    scenario: Scenario
-    frames: list[Frame]
-    outcomes: dict[str, list[DetectionOutcome]]
+    ``frames`` may be ``None``: outcome-only consumers (metrics, tables,
+    oracle baselines reading persisted traces) then never pay for
+    rendering; the first ``.frames`` access renders lazily and caches.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        frames: list[Frame] | None = None,
+        outcomes: dict[str, list[DetectionOutcome]] | None = None,
+    ) -> None:
+        if outcomes is None:
+            raise ValueError("a trace needs per-model outcomes")
+        self.scenario = scenario
+        self.outcomes = outcomes
+        self._frames = frames
+        self._frame_ncc: np.ndarray | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rendered = "rendered" if self._frames is not None else "lazy"
+        return (
+            f"ScenarioTrace({self.scenario.name!r}, {self.frame_count} frames "
+            f"[{rendered}], {len(self.outcomes)} models)"
+        )
 
     @classmethod
     def build(
@@ -82,11 +155,14 @@ class ScenarioTrace:
         With ``max_workers`` > 1 the per-model detection sweeps run in
         worker processes while the parent renders frames; results are
         bit-identical to the serial path (detection is deterministic and
-        independent of rendering).
+        independent of rendering).  Small builds ignore the worker request
+        (see :func:`_effective_workers`) rather than paying pool overhead
+        that exceeds the sweep itself.
         """
-        if max_workers is not None and max_workers > 1 and len(zoo) > 1:
+        workers = _effective_workers(max_workers, len(zoo), len(zoo) * scenario.total_frames)
+        if workers > 1:
             specs = zoo.specs()
-            chunks = _spec_chunks(specs, max_workers)
+            chunks = _spec_chunks(specs, workers)
             scenes = scenario_scenes(scenario)
             with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
                 futures = [
@@ -103,12 +179,39 @@ class ScenarioTrace:
             return cls(scenario=scenario, frames=frames, outcomes=outcomes)
 
         frames = render_scenario(scenario)
-        outcomes = {}
-        for spec in zoo:
-            outcomes[spec.name] = [
-                detect(spec, frame.scene, (scenario.seed, frame.index)) for frame in frames
-            ]
+        batch = SceneBatch(
+            [frame.scene for frame in frames],
+            scenario.seed,
+            truths=[frame.ground_truth for frame in frames],
+            difficulties=[frame.difficulty for frame in frames],
+        )
+        outcomes = {spec.name: detect_batch(spec, batch) for spec in zoo}
         return cls(scenario=scenario, frames=frames, outcomes=outcomes)
+
+    @property
+    def frames(self) -> list[Frame]:
+        """The rendered frames, materialized on first access."""
+        if self._frames is None:
+            self._frames = render_scenario(self.scenario)
+        return self._frames
+
+    @property
+    def frames_materialized(self) -> bool:
+        """True once pixels have been rendered (or were supplied at build)."""
+        return self._frames is not None
+
+    def consecutive_frame_ncc(self) -> np.ndarray:
+        """Full-frame NCC between consecutive frames, computed once.
+
+        The policy-independent half of the context-similarity signal (the
+        box-local half depends on each policy's detections), served from
+        the stacked NCC kernel and cached on the trace so repeated
+        consumers — the scheduler-overhead benchmark, analyses over the
+        same trace — pay for it once.
+        """
+        if self._frame_ncc is None:
+            self._frame_ncc = stacked_ncc([frame.image for frame in self.frames])
+        return self._frame_ncc
 
     def outcome(self, model_name: str, frame_index: int) -> DetectionOutcome:
         """The outcome ``model_name`` produces on frame ``frame_index``."""
@@ -125,8 +228,10 @@ class ScenarioTrace:
 
     @property
     def frame_count(self) -> int:
-        """Number of frames in the scenario."""
-        return len(self.frames)
+        """Number of frames in the scenario (available without rendering)."""
+        if self._frames is not None:
+            return len(self._frames)
+        return self.scenario.total_frames
 
 
 class TraceCache:

@@ -8,7 +8,7 @@ from .bbox import (
     mean_iou,
     success_rate,
 )
-from .ncc import box_ncc, crop, frame_similarity, ncc, resize_nearest
+from .ncc import box_ncc, crop, frame_similarity, ncc, resize_nearest, stacked_ncc
 from .nms import (
     DEFAULT_CONFIDENCE_THRESHOLD,
     DEFAULT_IOU_THRESHOLD,
@@ -21,6 +21,7 @@ from .rendering import (
     BackgroundStyle,
     frame_difference_energy,
     render_frame,
+    render_segment_frames,
 )
 from .tracker import TemplateTracker, TrackResult
 
@@ -32,6 +33,7 @@ __all__ = [
     "mean_iou",
     "success_rate",
     "ncc",
+    "stacked_ncc",
     "crop",
     "resize_nearest",
     "box_ncc",
@@ -43,6 +45,7 @@ __all__ = [
     "DEFAULT_CONFIDENCE_THRESHOLD",
     "BackgroundStyle",
     "render_frame",
+    "render_segment_frames",
     "frame_difference_energy",
     "DEFAULT_FRAME_SIZE",
     "TemplateTracker",

@@ -13,6 +13,9 @@ where ``p`` and ``c`` are equally sized grayscale images.  The value lies in
 
 from __future__ import annotations
 
+from functools import lru_cache
+from typing import Sequence
+
 import numpy as np
 
 from .bbox import BoundingBox
@@ -37,8 +40,11 @@ def ncc(previous: np.ndarray, current: np.ndarray) -> float:
     if previous.size == 0:
         raise ValueError("NCC is undefined for empty images")
 
-    p = np.asarray(previous, dtype=np.float64)
-    c = np.asarray(current, dtype=np.float64)
+    # Renderer output is already float64; skip the dtype round-trip then
+    # (``asarray`` would not copy either, but the explicit branch keeps the
+    # scheduler's per-frame path free of avoidable ufunc dispatch).
+    p = previous if previous.dtype == np.float64 else previous.astype(np.float64)
+    c = current if current.dtype == np.float64 else current.astype(np.float64)
     p_centered = p - p.mean()
     c_centered = c - c.mean()
     p_norm = float(np.sqrt(np.sum(p_centered**2)))
@@ -54,6 +60,58 @@ def ncc(previous: np.ndarray, current: np.ndarray) -> float:
     value = float(np.sum(p_centered * c_centered) / (p_norm * c_norm))
     # Guard against floating-point drift outside the theoretical range.
     return min(1.0, max(-1.0, value))
+
+
+def stacked_ncc(images: Sequence[np.ndarray] | np.ndarray) -> np.ndarray:
+    """NCC between every consecutive pair of a frame stack, in one pass.
+
+    ``images`` is an ``(F, H, W)`` array or a sequence of equally shaped
+    frames; the result has ``F - 1`` entries with ``result[i] ==
+    ncc(images[i], images[i + 1])`` bit-for-bit (every reduction runs over
+    the same contiguous pixel axis, so NumPy's pairwise summation order is
+    unchanged).  The win over the scalar loop: each frame is centered and
+    normed exactly once — the loop pays that twice, once as ``current``
+    and again as ``previous`` — while frames stay in cache (no full-video
+    stacking).  This is the batch engine behind trace-level context
+    similarity, replacing F - 1 scalar NCCs on the scheduler's
+    consecutive-frame signal.
+    """
+    count = len(images)
+    if count == 0:
+        return np.zeros(0, dtype=np.float64)
+    first = np.asarray(images[0], dtype=np.float64)
+    if first.ndim < 2:
+        raise ValueError("stacked_ncc expects a stack of at least 2-D frames")
+    if first.size == 0:
+        raise ValueError("NCC is undefined for empty images")
+    if count < 2:
+        return np.zeros(0, dtype=np.float64)
+
+    values = np.empty(count - 1, dtype=np.float64)
+    previous_centered: np.ndarray | None = None
+    previous_norm = 0.0
+    previous_flat = False
+    for i in range(count):
+        image = np.asarray(images[i], dtype=np.float64)
+        if image.shape != first.shape:
+            raise ValueError(
+                f"NCC requires equal shapes, got {first.shape} and {image.shape}"
+            )
+        centered = image - image.mean()
+        norm = float(np.sqrt(np.sum(centered**2)))
+        is_flat = norm < _FLAT_EPSILON
+        if previous_centered is not None:
+            if previous_flat and is_flat:
+                values[i - 1] = 1.0
+            elif previous_flat or is_flat:
+                values[i - 1] = 0.0
+            else:
+                value = float(np.sum(previous_centered * centered) / (previous_norm * norm))
+                values[i - 1] = min(1.0, max(-1.0, value))
+        previous_centered = centered
+        previous_norm = norm
+        previous_flat = is_flat
+    return values
 
 
 def crop(image: np.ndarray, box: BoundingBox) -> np.ndarray:
@@ -74,6 +132,20 @@ def crop(image: np.ndarray, box: BoundingBox) -> np.ndarray:
     return image[y1:y2, x1:x2]
 
 
+@lru_cache(maxsize=512)
+def _resize_indices(src_h: int, src_w: int, height: int, width: int) -> tuple:
+    """Cached nearest-neighbour gather indices for one (src, dst) geometry.
+
+    The scheduler resizes every detection crop to the same patch size, so
+    the handful of distinct geometries repeat thousands of times per run;
+    rebuilding the index arrays per call was pure allocation churn.  The
+    returned arrays are treated as read-only.
+    """
+    row_idx = np.minimum((np.arange(height) * src_h) // height, src_h - 1)
+    col_idx = np.minimum((np.arange(width) * src_w) // width, src_w - 1)
+    return np.ix_(row_idx, col_idx)
+
+
 def resize_nearest(image: np.ndarray, height: int, width: int) -> np.ndarray:
     """Nearest-neighbour resize; sufficient for similarity comparisons.
 
@@ -83,9 +155,7 @@ def resize_nearest(image: np.ndarray, height: int, width: int) -> np.ndarray:
     if height <= 0 or width <= 0:
         raise ValueError("target size must be positive")
     src_h, src_w = image.shape[:2]
-    row_idx = np.minimum((np.arange(height) * src_h) // height, src_h - 1)
-    col_idx = np.minimum((np.arange(width) * src_w) // width, src_w - 1)
-    return image[np.ix_(row_idx, col_idx)]
+    return image[_resize_indices(src_h, src_w, height, width)]
 
 
 def box_ncc(

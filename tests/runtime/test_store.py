@@ -56,6 +56,18 @@ class TestRoundTrip:
         loaded = store.load(scenario, zoo)
         assert [f.scene for f in loaded.frames] == [f.scene for f in trace.frames]
 
+    def test_load_is_lazy_until_frames_are_read(self, trace, scenario, zoo, tmp_path):
+        # Outcome-only consumers must never pay for rendering on reload.
+        store = TraceStore(tmp_path)
+        store.save(trace, zoo)
+        loaded = store.load(scenario, zoo)
+        assert not loaded.frames_materialized
+        assert loaded.frame_count == scenario.total_frames
+        assert loaded.outcome(trace.model_names()[0], 0) == trace.outcomes[trace.model_names()[0]][0]
+        assert not loaded.frames_materialized  # outcomes never touched pixels
+        loaded.frames  # noqa: B018 - materialize on demand
+        assert loaded.frames_materialized
+
     def test_missing_returns_none(self, scenario, zoo, tmp_path):
         assert TraceStore(tmp_path).load(scenario, zoo) is None
 

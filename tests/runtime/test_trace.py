@@ -99,3 +99,82 @@ class TestParallelBuild:
     def test_worker_count_larger_than_zoo_is_fine(self, zoo, scenario):
         trace = ScenarioTrace.build(scenario, zoo, max_workers=len(zoo) + 5)
         assert set(trace.model_names()) == set(zoo.names())
+
+
+class TestWorkerThreshold:
+    """build(workers=N) must never regress below the serial path."""
+
+    def test_effective_workers_caps_by_volume(self):
+        from repro.runtime.trace import MIN_MODEL_FRAMES_PER_WORKER, _effective_workers
+
+        models, cpus = 8, 64
+        plenty = 10 * models * MIN_MODEL_FRAMES_PER_WORKER
+        assert _effective_workers(None, models, plenty) == 1
+        assert _effective_workers(1, models, plenty) == 1
+        # Tiny builds fall back to serial no matter how many workers asked.
+        assert _effective_workers(cpus, models, 10) == 1
+        # Just enough volume for exactly two workers.
+        assert _effective_workers(cpus, models, 2 * MIN_MODEL_FRAMES_PER_WORKER) <= 2
+
+    def test_effective_workers_caps_by_models_and_cpus(self, monkeypatch):
+        import repro.runtime.trace as trace_module
+
+        monkeypatch.setattr(trace_module, "_available_cpus", lambda: 4)
+        huge = 100 * trace_module.MIN_MODEL_FRAMES_PER_WORKER
+        assert trace_module._effective_workers(64, 3, huge) == 3  # model cap
+        assert trace_module._effective_workers(64, 16, huge) == 4  # cpu cap
+
+    def test_small_build_never_spins_a_pool(self, monkeypatch, zoo, scenario):
+        import repro.runtime.trace as trace_module
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("a worker pool was spawned for a tiny build")
+
+        monkeypatch.setattr(trace_module, "ProcessPoolExecutor", _boom)
+        trace = ScenarioTrace.build(scenario, zoo, max_workers=8)
+        assert set(trace.model_names()) == set(zoo.names())
+
+    def test_forced_pool_path_is_bit_identical(self, monkeypatch, zoo, scenario):
+        # Exercise the real worker-pool path even on small boxes/scenarios
+        # by dropping both guards; outcomes must match serial exactly.
+        import repro.runtime.trace as trace_module
+
+        monkeypatch.setattr(trace_module, "MIN_MODEL_FRAMES_PER_WORKER", 1)
+        monkeypatch.setattr(trace_module, "_available_cpus", lambda: 8)
+        serial = ScenarioTrace.build(scenario, zoo)
+        pooled = ScenarioTrace.build(scenario, zoo, max_workers=2)
+        assert pooled.outcomes == serial.outcomes
+
+
+class TestLazyFrames:
+    def test_built_traces_carry_frames(self, trace):
+        assert trace.frames_materialized
+        assert len(trace.frames) == trace.frame_count
+
+    def test_outcome_only_traces_defer_rendering(self, scenario, zoo, trace):
+        lazy = ScenarioTrace(scenario=scenario, frames=None, outcomes=trace.outcomes)
+        assert not lazy.frames_materialized
+        assert lazy.frame_count == scenario.total_frames  # no render needed
+        assert lazy.model_names() == trace.model_names()
+        # First access renders (bit-identical to the eager frames)…
+        import numpy as np
+
+        assert np.array_equal(lazy.frames[3].image, trace.frames[3].image)
+        assert lazy.frames_materialized
+        # …and caches.
+        assert lazy.frames is lazy.frames
+
+    def test_outcomes_are_required(self, scenario):
+        with pytest.raises(ValueError):
+            ScenarioTrace(scenario=scenario, frames=None, outcomes=None)
+
+    def test_consecutive_frame_ncc_matches_scalar_loop(self, trace):
+        import numpy as np
+
+        from repro.vision import ncc
+
+        values = trace.consecutive_frame_ncc()
+        images = [frame.image for frame in trace.frames]
+        expected = np.array([ncc(images[i], images[i + 1]) for i in range(len(images) - 1)])
+        assert np.array_equal(values, expected)
+        assert trace.consecutive_frame_ncc() is values  # cached

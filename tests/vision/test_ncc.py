@@ -7,7 +7,15 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.vision import BoundingBox, box_ncc, crop, frame_similarity, ncc, resize_nearest
+from repro.vision import (
+    BoundingBox,
+    box_ncc,
+    crop,
+    frame_similarity,
+    ncc,
+    resize_nearest,
+    stacked_ncc,
+)
 
 images = hnp.arrays(
     dtype=np.float64,
@@ -145,3 +153,61 @@ class TestFrameSimilarity:
         image = _textured(15, 32)
         # Same global frame but one detection missing: box signal is 0.
         assert frame_similarity(image, image, BoundingBox(2, 2, 9, 9), None) == 0.0
+
+
+class TestStackedNCC:
+    def test_matches_scalar_pairwise_ncc_bitwise(self):
+        frames = np.stack([_textured(seed, 24) for seed in range(12)])
+        values = stacked_ncc(frames)
+        expected = np.array([ncc(frames[i], frames[i + 1]) for i in range(11)])
+        assert np.array_equal(values, expected)
+
+    def test_accepts_a_list_of_frames(self):
+        frames = [_textured(s, 16) for s in (3, 4, 5)]
+        values = stacked_ncc(frames)
+        assert values.shape == (2,)
+        assert values[0] == ncc(frames[0], frames[1])
+
+    def test_flat_frame_conventions(self):
+        textured = _textured(6, 8)
+        flat = np.full((8, 8), 0.5)
+        values = stacked_ncc([flat, flat, textured, flat])
+        assert values[0] == 1.0  # flat vs flat
+        assert values[1] == 0.0  # flat vs textured
+        assert values[2] == 0.0  # textured vs flat
+
+    def test_short_stacks_and_bad_input(self):
+        assert stacked_ncc(np.zeros((1, 4, 4))).shape == (0,)
+        assert stacked_ncc(np.zeros((0, 4, 4))).shape == (0,)
+        with pytest.raises(ValueError):
+            stacked_ncc(np.zeros(5))
+        with pytest.raises(ValueError):
+            stacked_ncc(np.zeros((3, 0, 4)))
+
+    def test_on_rendered_scenario_frames(self):
+        from repro.data import scenario_by_name
+        from repro.data.generator import render_scenario
+
+        frames = render_scenario(scenario_by_name("s3_indoor_close_wall").scaled(0.05))
+        images = [frame.image for frame in frames]
+        values = stacked_ncc(images)
+        expected = [ncc(images[i], images[i + 1]) for i in range(len(images) - 1)]
+        assert np.array_equal(values, np.array(expected))
+
+
+class TestResizeIndexCache:
+    def test_cached_resize_matches_fresh_computation(self):
+        image = _textured(21, 30)
+        a = resize_nearest(image, 24, 24)
+        b = resize_nearest(image, 24, 24)  # served from the index cache
+        src_h, src_w = image.shape
+        row_idx = np.minimum((np.arange(24) * src_h) // 24, src_h - 1)
+        col_idx = np.minimum((np.arange(24) * src_w) // 24, src_w - 1)
+        assert np.array_equal(a, image[np.ix_(row_idx, col_idx)])
+        assert np.array_equal(a, b)
+
+    def test_resize_output_is_an_independent_copy(self):
+        image = _textured(22, 10)
+        out = resize_nearest(image, 4, 4)
+        out[0, 0] = -99.0
+        assert image[0, 0] != -99.0
