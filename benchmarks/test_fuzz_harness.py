@@ -1,0 +1,50 @@
+"""Bench: scenario grammar expansion + differential verify throughput.
+
+The fuzz harness is CI-critical (the ``fuzz-smoke`` job gates every PR on
+it), so its two cost centers go into the perf trajectory: how fast the
+default matrix expands into scenarios, and how fast one generated
+scenario clears the full differential suite.  Differential throughput is
+reported in model-frames/s over the dominant check (scalar ``detect`` re-
+derivation: F frames x M models scalar inferences against the batched
+trace).
+"""
+
+from repro.data import default_matrix
+from repro.models import default_zoo
+from repro.verify import CHECKS, verify_scenario
+
+# A mid-size cell of the default matrix: every check exercised, no
+# pathological shortcuts (occlusion gives absent frames, pan gives drift).
+_SCENARIO = "g_dm_s001_occ-loi_day_180f"
+
+
+def test_fuzz_harness_benchmark(report, best_of):
+    zoo = default_zoo()
+
+    expand_s, scenarios = best_of(lambda: default_matrix().scenarios())
+    by_name = {s.name: s for s in scenarios}
+    scenario = by_name[_SCENARIO]
+
+    verify_s, verify_report = best_of(lambda: verify_scenario(scenario, zoo=zoo))
+    assert verify_report.passed, [str(f) for f in verify_report.failures()]
+    assert len(verify_report.results) == len(CHECKS)
+
+    model_frames = scenario.total_frames * len(zoo)
+    lines = [
+        "Fuzz harness: grammar expansion + differential verify",
+        f"  matrix expansion      {len(scenarios):4d} scenarios   {expand_s:8.4f} s "
+        f"({len(scenarios) / expand_s:8.1f} scenarios/s)",
+        f"  differential verify   {scenario.total_frames:4d} frames      {verify_s:8.4f} s "
+        f"({model_frames / verify_s:8.1f} model-frames/s over {len(CHECKS)} checks)",
+    ]
+    report(
+        "fuzz_harness",
+        "\n".join(lines),
+        metrics={
+            "matrix_scenarios": len(scenarios),
+            "matrix_expand_s": expand_s,
+            "verify_scenario_frames": scenario.total_frames,
+            "verify_s": verify_s,
+            "verify_model_frames_per_s": model_frames / verify_s,
+        },
+    )

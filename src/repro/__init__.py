@@ -51,13 +51,19 @@ from .core import (
 )
 from .data import (
     Scenario,
+    ScenarioMatrix,
+    ScenarioRecipe,
     Segment,
+    SegmentFamily,
     all_scenarios,
     build_validation_set,
+    default_matrix,
     evaluation_scenarios,
     extended_scenarios,
+    register_scenario,
     render_scenario,
     scenario_by_name,
+    scenario_names,
 )
 from .models import ModelSpec, ModelZoo, default_zoo, detect
 from .runtime import (
@@ -74,6 +80,7 @@ from .runtime import (
     run_policy,
     run_policy_on_scenarios,
 )
+from .verify import FuzzReport, fuzz_matrix, fuzz_scenarios, verify_scenario
 from .sim import (
     AcceleratorClass,
     ExecutionEngine,
@@ -109,13 +116,24 @@ __all__ = [
     "TraitTable",
     # data
     "Scenario",
+    "ScenarioMatrix",
+    "ScenarioRecipe",
     "Segment",
+    "SegmentFamily",
     "build_validation_set",
+    "default_matrix",
     "evaluation_scenarios",
     "extended_scenarios",
     "all_scenarios",
+    "register_scenario",
     "render_scenario",
     "scenario_by_name",
+    "scenario_names",
+    # verify
+    "FuzzReport",
+    "fuzz_matrix",
+    "fuzz_scenarios",
+    "verify_scenario",
     # models
     "ModelSpec",
     "ModelZoo",

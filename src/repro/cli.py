@@ -7,7 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro run shift s2_fixed_distance_crossing --scale 0.5
     python -m repro run marlin s1_multi_background_varying_distance
     python -m repro --workers 4 sweep shift,marlin
-    python -m repro scenarios                    # list the flight library
+    python -m repro scenarios --generated        # flight library + grammar matrix
+    python -m repro verify --count 25 --seed 7   # differential fuzz sweep
     python -m repro characterize --out bundle.json
     python -m repro headline
 
@@ -200,19 +201,70 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
-    from .data import all_scenarios
+    from .data import all_scenarios, registered_scenarios
 
-    for scenario in all_scenarios():
+    scenarios = all_scenarios()
+    if args.generated:
+        scenarios = scenarios + registered_scenarios()
+    for scenario in scenarios:
         kind = "indoor" if scenario.indoor else "outdoor"
         print(f"{scenario.name:40s} {scenario.total_frames:6d} frames  {kind:7s}  "
               f"{scenario.description}")
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .data import scenario_by_name
+    from .verify import CHECKS, default_sample_count, fuzz_scenarios, sample_matrix
+
+    checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+    if not checks:
+        print(f"no checks selected; available: {', '.join(CHECKS)}", file=sys.stderr)
+        return 2
+    unknown = [c for c in checks if c not in CHECKS]
+    if unknown:
+        print(f"unknown checks: {', '.join(unknown)}; available: {', '.join(CHECKS)}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.scenarios:
+            scenarios = [scenario_by_name(name.strip())
+                         for name in args.scenarios.split(",") if name.strip()]
+        else:
+            count = args.count if args.count is not None else default_sample_count()
+            scenarios = sample_matrix(count=count, seed=args.seed)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not scenarios:
+        print("no scenarios to verify", file=sys.stderr)
+        return 2
+
+    def progress(report) -> None:
+        status = "ok" if report.passed else "FAIL"
+        print(f"{report.scenario_name:44s} {report.frames:5d} frames  {status}")
+        for failure in report.failures():
+            print(f"    {failure}")
+
+    report = fuzz_scenarios(scenarios, checks=checks, store_root=args.store, progress=progress)
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
 def _positive_int(value: str) -> int:
     number = int(value)
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be at least 1, got {number}")
+    return number
+
+
+def _non_negative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {number}")
     return number
 
 
@@ -264,7 +316,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.set_defaults(func=_cmd_sweep)
 
     scen_cmd = commands.add_parser("scenarios", help="list the scenario library")
+    scen_cmd.add_argument("--generated", action="store_true",
+                          help="also list grammar-generated scenarios (default matrix + registered)")
     scen_cmd.set_defaults(func=_cmd_scenarios)
+
+    verify_cmd = commands.add_parser(
+        "verify", help="differential fuzz: prove scalar and batched engines agree")
+    verify_cmd.add_argument("--count", type=_non_negative_int, default=None,
+                            help="generated scenarios to sample (0 = the full matrix; "
+                                 "default: $REPRO_FUZZ_SCENARIOS or 25)")
+    verify_cmd.add_argument("--seed", type=int, default=0,
+                            help="sample seed for the generated matrix (default 0)")
+    verify_cmd.add_argument("--scenarios", default=None,
+                            help="comma-separated scenario names to verify instead of sampling")
+    verify_cmd.add_argument("--checks", default=",".join(
+        ("render", "detect", "store", "trace", "run")),
+        help="comma-separated subset of checks (default: all)")
+    verify_cmd.add_argument("--store", default=None, metavar="DIR",
+                            help="run store round-trips under DIR instead of a temp dir")
+    verify_cmd.set_defaults(func=_cmd_verify)
 
     char_cmd = commands.add_parser("characterize", help="run the offline phase, save a bundle")
     char_cmd.add_argument("--out", default="characterization.json",

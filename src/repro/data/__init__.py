@@ -15,7 +15,32 @@ from .scenario import (
     multi_pan_survey_scenario,
     night_watch_scenario,
     path_position,
+    register_scenario,
+    register_scenario_source,
+    registered_scenarios,
     scenario_by_name,
+    scenario_names,
+)
+
+# Importing the grammar registers the default generated matrix as a lazy
+# scenario source, making every ``g_*`` name resolvable by anything that
+# imports ``repro.data`` (CLI, experiment context, workers).
+from .grammar import (
+    DEFAULT_MATRIX,
+    FAMILIES,
+    GENERATED_PREFIX,
+    REGIMES,
+    FamilySlot,
+    GrammarError,
+    Regime,
+    ScenarioMatrix,
+    ScenarioRecipe,
+    SegmentFamily,
+    default_matrix,
+    family,
+    family_names,
+    regime,
+    split_frames,
 )
 from .scene import (
     DIFFICULTY_WEIGHTS,
@@ -47,8 +72,29 @@ __all__ = [
     "multi_pan_survey_scenario",
     "long_endurance_patrol_scenario",
     "scenario_by_name",
+    "scenario_names",
+    "register_scenario",
+    "register_scenario_source",
+    "registered_scenarios",
     "path_position",
     "PATHS",
+    # grammar
+    "DEFAULT_MATRIX",
+    "FAMILIES",
+    "REGIMES",
+    "GENERATED_PREFIX",
+    "FamilySlot",
+    "GrammarError",
+    "Regime",
+    "ScenarioMatrix",
+    "ScenarioRecipe",
+    "SegmentFamily",
+    "default_matrix",
+    "family",
+    "family_names",
+    "regime",
+    "split_frames",
+    # scene
     "SceneState",
     "scene_difficulty",
     "difficulty_components",

@@ -13,6 +13,7 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass, replace
+from typing import Callable, Iterable
 
 from .backgrounds import background
 
@@ -406,12 +407,112 @@ def all_scenarios() -> list[Scenario]:
     return evaluation_scenarios() + extended_scenarios()
 
 
+# ------------------------------------------------------- scenario registry
+#
+# Beyond the hand-written library, scenarios can be registered at runtime —
+# individually (:func:`register_scenario`) or in bulk through a lazy
+# *source* (:func:`register_scenario_source`), a zero-argument callable
+# returning scenarios.  Sources are how procedurally generated libraries
+# (the grammar's default matrix, custom :class:`ScenarioMatrix` grids)
+# become first-class: expansion is deferred until the first name lookup and
+# cached, so importing the package never pays for generating hundreds of
+# scenarios nobody asked for.  Because sources are pure functions of code
+# and seeds, every process resolves the same name to a scenario with the
+# same content fingerprint — the property the trace store relies on.
+
+ScenarioSource = Callable[[], Iterable[Scenario]]
+
+_REGISTRY: dict[str, Scenario] = {}
+_SOURCES: list[ScenarioSource] = []
+_SOURCE_CACHE: dict[int, dict[str, Scenario]] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> None:
+    """Register a scenario so :func:`scenario_by_name` can resolve it.
+
+    Names must not shadow the built-in library or a source-generated
+    scenario — explicit registrations resolve *before* sources, so a
+    shadow would make the same name mean different content (and carry a
+    different fingerprint) in processes that never saw the registration.
+    ``replace=True`` permits overwriting an earlier *registered* entry
+    only.
+    """
+    if any(s.name == scenario.name for s in all_scenarios()):
+        raise ValueError(f"scenario {scenario.name!r} shadows a built-in scenario")
+    for source in _SOURCES:
+        if scenario.name in _expanded_source(source):
+            raise ValueError(
+                f"scenario {scenario.name!r} shadows a source-generated scenario"
+            )
+    if not replace and scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+
+
+def register_scenario_source(source: ScenarioSource) -> None:
+    """Register a lazy bulk source of scenarios (expanded once, on demand)."""
+    if source not in _SOURCES:
+        _SOURCES.append(source)
+
+
+def _expanded_source(source: ScenarioSource) -> dict[str, Scenario]:
+    """The name map of one source, expanded at most once per process."""
+    cached = _SOURCE_CACHE.get(id(source))
+    if cached is None:
+        cached = {}
+        for scenario in source():
+            if scenario.name in cached:
+                raise ValueError(
+                    f"scenario source yielded duplicate name {scenario.name!r}"
+                )
+            cached[scenario.name] = scenario
+        _SOURCE_CACHE[id(source)] = cached
+    return cached
+
+
+def registered_scenarios() -> list[Scenario]:
+    """Every runtime-registered scenario: explicit entries, then sources."""
+    scenarios = list(_REGISTRY.values())
+    seen = {s.name for s in scenarios}
+    for source in _SOURCES:
+        for name, scenario in _expanded_source(source).items():
+            if name not in seen:
+                seen.add(name)
+                scenarios.append(scenario)
+    return scenarios
+
+
+def scenario_names() -> list[str]:
+    """Every resolvable scenario name: built-in library, then registered."""
+    names = [s.name for s in all_scenarios()]
+    seen = set(names)
+    for scenario in registered_scenarios():
+        if scenario.name not in seen:
+            seen.add(scenario.name)
+            names.append(scenario.name)
+    return names
+
+
 def scenario_by_name(name: str) -> Scenario:
-    """Look up a scenario (evaluation or extended) by its full name."""
+    """Look up a scenario by its full name.
+
+    Resolution order: the built-in library (evaluation + extended flights),
+    explicitly registered scenarios, then lazy sources (generated
+    libraries such as the grammar's default matrix).  An unknown name
+    raises a KeyError enumerating **all** registered names, so callers
+    never have to guess what exists.
+    """
     for scenario in all_scenarios():
         if scenario.name == name:
             return scenario
-    known = ", ".join(s.name for s in all_scenarios())
+    registered = _REGISTRY.get(name)
+    if registered is not None:
+        return registered
+    for source in _SOURCES:
+        scenario = _expanded_source(source).get(name)
+        if scenario is not None:
+            return scenario
+    known = ", ".join(scenario_names())
     raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}")
 
 

@@ -1,0 +1,50 @@
+"""Differential verification: cross-engine equality checks and fuzz sweeps.
+
+Turns any scenario — hand-written or grammar-generated — into a
+correctness witness: scalar vs batched detection, per-frame vs
+segment-batched rendering, store round-trips, and trace/scheduler
+invariants all have to agree before a scenario counts as healthy.  See
+:mod:`repro.verify.differential` for the checks and
+:mod:`repro.verify.fuzz` for the matrix sweep driver behind
+``python -m repro verify`` and the CI ``fuzz-smoke`` job.
+"""
+
+from .differential import (
+    CHECKS,
+    CheckResult,
+    ScenarioReport,
+    check_detect_equality,
+    check_render_equality,
+    check_run_invariants,
+    check_store_roundtrip,
+    check_trace_invariants,
+    verify_scenario,
+)
+from .fuzz import (
+    DEFAULT_SAMPLE,
+    SCENARIOS_ENV,
+    FuzzReport,
+    default_sample_count,
+    fuzz_matrix,
+    fuzz_scenarios,
+    sample_matrix,
+)
+
+__all__ = [
+    "CHECKS",
+    "CheckResult",
+    "ScenarioReport",
+    "check_render_equality",
+    "check_detect_equality",
+    "check_store_roundtrip",
+    "check_trace_invariants",
+    "check_run_invariants",
+    "verify_scenario",
+    "DEFAULT_SAMPLE",
+    "SCENARIOS_ENV",
+    "FuzzReport",
+    "default_sample_count",
+    "fuzz_matrix",
+    "fuzz_scenarios",
+    "sample_matrix",
+]

@@ -1,0 +1,308 @@
+"""Differential correctness checks: prove every engine agrees on a scenario.
+
+The repo maintains two implementations of its hottest paths — scalar
+reference code (:func:`~repro.models.detector.detect`, per-frame
+:func:`~repro.vision.rendering.render_frame` via
+:func:`~repro.data.generator.generate_frames`) and vectorized engines
+(:func:`~repro.models.detector.detect_batch`, the segment-batched
+:func:`~repro.data.generator.render_scenario`) — plus an on-disk trace
+store that must round-trip losslessly.  Hand-written equality tests cover
+the ten library flights; this module turns *any* scenario into a
+cross-engine correctness witness:
+
+``render``
+    scalar per-frame rendering vs the segment-batched renderer —
+    bit-identical pixels, scenes, truths, difficulties, and metadata;
+``detect``
+    scalar ``detect`` vs ``detect_batch`` — bit-identical outcomes for
+    every model on every frame;
+``store``
+    save -> load -> rebuild round-trip through :class:`TraceStore` —
+    persisted outcomes reload exactly, identity validation passes;
+``trace``
+    trace invariants — monotone frame indices and timestamps, aligned
+    outcome lengths, confidence/IoU/quality bounds, detection-flag
+    consistency, NCC well-formedness;
+``run``
+    scheduler/runtime invariants — a policy pass over the trace yields
+    monotone frame indices, non-negative latency/energy components, and
+    in-range scores.
+
+Each check returns a :class:`CheckResult`; :func:`verify_scenario` runs a
+selection of them against one scenario, sharing the trace build.  The fuzz
+driver (:mod:`repro.verify.fuzz`) sweeps generated scenario matrices
+through the full suite.
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines.single_model import SingleModelPolicy
+from ..data.generator import generate_frames, scenario_scenes
+from ..data.scenario import Scenario
+from ..models.detector import detect
+from ..models.zoo import ModelZoo, default_zoo
+from ..runtime.policy import Policy
+from ..runtime.runner import run_policy
+from ..runtime.store import TraceStore
+from ..runtime.trace import ScenarioTrace
+
+# All check names, in the order verify_scenario runs them.
+CHECKS = ("render", "detect", "store", "trace", "run")
+
+# Tolerance for NCC leaving [-1, 1] through floating-point rounding.
+_NCC_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one differential check on one scenario."""
+
+    check: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.check}: {status}{suffix}"
+
+
+@dataclass
+class ScenarioReport:
+    """All check results for one scenario."""
+
+    scenario_name: str
+    fingerprint: str
+    frames: int
+    results: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed."""
+        return all(result.passed for result in self.results)
+
+    def failures(self) -> list[CheckResult]:
+        """The failing checks, if any."""
+        return [result for result in self.results if not result.passed]
+
+
+def _fail(check: str, detail: str) -> CheckResult:
+    return CheckResult(check=check, passed=False, detail=detail)
+
+
+def _ok(check: str) -> CheckResult:
+    return CheckResult(check=check, passed=True)
+
+
+def check_render_equality(scenario: Scenario, trace: ScenarioTrace | None = None) -> CheckResult:
+    """Scalar per-frame rendering must equal the segment-batched renderer."""
+    batched = trace.frames if trace is not None else None
+    if batched is None:
+        from ..data.generator import render_scenario
+
+        batched = render_scenario(scenario)
+    count = 0
+    for scalar, fast in zip(generate_frames(scenario), batched):
+        where = f"frame {scalar.index}"
+        if not np.array_equal(scalar.image, fast.image):
+            return _fail("render", f"{where}: pixels differ between scalar and batched renderer")
+        if scalar.scene != fast.scene:
+            return _fail("render", f"{where}: scene states differ")
+        if scalar.ground_truth != fast.ground_truth:
+            return _fail("render", f"{where}: ground-truth boxes differ")
+        if scalar.difficulty != fast.difficulty:
+            return _fail("render", f"{where}: difficulties differ")
+        if (scalar.index, scalar.timestamp, scalar.segment) != (
+            fast.index, fast.timestamp, fast.segment
+        ):
+            return _fail("render", f"{where}: frame metadata differs")
+        count += 1
+    if count != scenario.total_frames or len(batched) != scenario.total_frames:
+        return _fail(
+            "render",
+            f"frame counts differ: scalar {count}, batched {len(batched)}, "
+            f"scenario {scenario.total_frames}",
+        )
+    return _ok("render")
+
+
+def check_detect_equality(
+    scenario: Scenario, zoo: ModelZoo, trace: ScenarioTrace
+) -> CheckResult:
+    """Scalar ``detect`` must equal the batched sweep for every model/frame."""
+    scenes = scenario_scenes(scenario)
+    for spec in zoo:
+        batched = trace.outcomes.get(spec.name)
+        if batched is None or len(batched) != len(scenes):
+            return _fail("detect", f"model {spec.name!r}: trace missing or misaligned")
+        for index, scene in enumerate(scenes):
+            scalar = detect(spec, scene, (scenario.seed, index))
+            if scalar != batched[index]:
+                return _fail(
+                    "detect",
+                    f"model {spec.name!r}, frame {index}: scalar and batched outcomes differ",
+                )
+    return _ok("detect")
+
+
+def check_store_roundtrip(
+    trace: ScenarioTrace, zoo: ModelZoo, store_root: str | Path | None = None
+) -> CheckResult:
+    """A saved trace must reload bit-identically and re-validate its identity."""
+    scenario = trace.scenario
+
+    def roundtrip(root: Path) -> CheckResult:
+        store = TraceStore(root)
+        path = store.save(trace, zoo)
+        if not path.exists():
+            return _fail("store", f"save produced no file at {path}")
+        loaded = store.load(scenario, zoo)
+        if loaded is None:
+            return _fail("store", "saved trace did not load back")
+        if loaded.frame_count != trace.frame_count:
+            return _fail(
+                "store",
+                f"frame count changed through the store: {trace.frame_count} -> "
+                f"{loaded.frame_count}",
+            )
+        if loaded.frames_materialized:
+            return _fail("store", "loaded trace rendered eagerly (must stay lazy)")
+        if list(loaded.outcomes) != list(trace.outcomes):
+            return _fail("store", "model set or order changed through the store")
+        for model, rows in trace.outcomes.items():
+            if loaded.outcomes[model] != rows:
+                return _fail("store", f"model {model!r}: outcomes changed through the store")
+        return _ok("store")
+
+    if store_root is not None:
+        return roundtrip(Path(store_root))
+    with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+        return roundtrip(Path(tmp))
+
+
+def check_trace_invariants(trace: ScenarioTrace) -> CheckResult:
+    """Structural invariants every trace must satisfy regardless of engine."""
+    frames = trace.frames
+    expected = trace.scenario.total_frames
+    if len(frames) != expected:
+        return _fail("trace", f"{len(frames)} frames rendered for {expected} scripted")
+    previous_ts = -math.inf
+    for i, frame in enumerate(frames):
+        if frame.index != i:
+            return _fail("trace", f"frame {i} carries index {frame.index} (must be monotone)")
+        if frame.timestamp <= previous_ts:
+            return _fail("trace", f"frame {i}: timestamp not strictly increasing")
+        previous_ts = frame.timestamp
+        if not 0.0 <= frame.difficulty <= 1.0:
+            return _fail("trace", f"frame {i}: difficulty {frame.difficulty} outside [0, 1]")
+    for model, rows in trace.outcomes.items():
+        if len(rows) != expected:
+            return _fail("trace", f"model {model!r}: {len(rows)} outcomes for {expected} frames")
+        for i, outcome in enumerate(rows):
+            where = f"model {model!r}, frame {i}"
+            if not 0.0 <= outcome.confidence <= 1.0:
+                return _fail("trace", f"{where}: confidence {outcome.confidence} outside [0, 1]")
+            if not 0.0 <= outcome.iou <= 1.0:
+                return _fail("trace", f"{where}: iou {outcome.iou} outside [0, 1]")
+            if not 0.0 <= outcome.quality <= 1.0:
+                return _fail("trace", f"{where}: quality {outcome.quality} outside [0, 1]")
+            if outcome.detected and outcome.box is None:
+                return _fail("trace", f"{where}: detected without a box")
+            if not outcome.detected and (outcome.box is not None or outcome.iou != 0.0):
+                return _fail("trace", f"{where}: non-detection carries a box or IoU")
+            if outcome.false_positive and not outcome.detected:
+                return _fail("trace", f"{where}: false positive without a detection")
+    ncc = trace.consecutive_frame_ncc()
+    if len(ncc) != max(0, expected - 1):
+        return _fail("trace", f"NCC length {len(ncc)} for {expected} frames")
+    if len(ncc) and (
+        not np.all(np.isfinite(ncc))
+        or float(np.min(ncc)) < -1.0 - _NCC_SLACK
+        or float(np.max(ncc)) > 1.0 + _NCC_SLACK
+    ):
+        return _fail("trace", "consecutive-frame NCC left [-1, 1]")
+    return _ok("trace")
+
+
+def check_run_invariants(
+    trace: ScenarioTrace, policy_factory: Callable[[], Policy] | None = None
+) -> CheckResult:
+    """Scheduler/runtime invariants over a full policy pass on the trace."""
+    policy = policy_factory() if policy_factory is not None else SingleModelPolicy(
+        "yolov7-tiny", "gpu"
+    )
+    result = run_policy(policy, trace)
+    if result.frame_count != trace.frame_count:
+        return _fail(
+            "run", f"policy processed {result.frame_count} of {trace.frame_count} frames"
+        )
+    for i, record in enumerate(result.records):
+        where = f"frame {i}"
+        if record.frame_index != i:
+            return _fail("run", f"{where}: record index {record.frame_index} (must be monotone)")
+        for value, label in (
+            (record.latency_s, "latency"),
+            (record.inference_s, "inference time"),
+            (record.stall_s, "stall time"),
+            (record.overhead_s, "overhead"),
+            (record.energy_j, "energy"),
+        ):
+            if not math.isfinite(value) or value < 0.0:
+                return _fail("run", f"{where}: {label} {value} is negative or non-finite")
+        if record.latency_s + 1e-12 < record.inference_s + record.stall_s:
+            return _fail("run", f"{where}: latency smaller than its components")
+        if not 0.0 <= record.confidence <= 1.0:
+            return _fail("run", f"{where}: confidence {record.confidence} outside [0, 1]")
+        if not 0.0 <= record.iou <= 1.0:
+            return _fail("run", f"{where}: iou {record.iou} outside [0, 1]")
+    return _ok("run")
+
+
+def verify_scenario(
+    scenario: Scenario,
+    zoo: ModelZoo | None = None,
+    checks: Sequence[str] = CHECKS,
+    store_root: str | Path | None = None,
+    trace: ScenarioTrace | None = None,
+) -> ScenarioReport:
+    """Run the selected differential checks against one scenario.
+
+    The trace is built once (through the batched engines — they are the
+    subject under test) and shared by every check.  ``store_root`` directs
+    the store round-trip at a persistent directory (defaults to a
+    temporary one); ``checks`` selects a subset of :data:`CHECKS`.
+    """
+    unknown = [c for c in checks if c not in CHECKS]
+    if unknown:
+        raise ValueError(f"unknown checks {unknown!r}; available: {', '.join(CHECKS)}")
+    if zoo is None:
+        zoo = default_zoo()
+    if trace is None:
+        trace = ScenarioTrace.build(scenario, zoo)
+    report = ScenarioReport(
+        scenario_name=scenario.name,
+        fingerprint=scenario.fingerprint(),
+        frames=scenario.total_frames,
+    )
+    for check in CHECKS:
+        if check not in checks:
+            continue
+        if check == "render":
+            report.results.append(check_render_equality(scenario, trace))
+        elif check == "detect":
+            report.results.append(check_detect_equality(scenario, zoo, trace))
+        elif check == "store":
+            report.results.append(check_store_roundtrip(trace, zoo, store_root))
+        elif check == "trace":
+            report.results.append(check_trace_invariants(trace))
+        elif check == "run":
+            report.results.append(check_run_invariants(trace))
+    return report

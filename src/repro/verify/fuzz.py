@@ -1,0 +1,145 @@
+"""Differential fuzz driver: sweep generated scenario matrices through every check.
+
+Hundreds of grammar-generated flights are only useful if each one is a
+correctness witness; this driver makes that systematic.  A seeded sample
+of a :class:`~repro.data.grammar.ScenarioMatrix` (stdlib ``random`` only —
+reproducible everywhere) runs through the full differential suite of
+:mod:`repro.verify.differential`, and the aggregate report either comes
+back clean or names exactly which scenario and which engine disagreed.
+
+CI runs this on a fixed seed through ``python -m repro verify`` (the
+``fuzz-smoke`` job); the ``REPRO_FUZZ_SCENARIOS`` environment knob scales
+the sample from a quick smoke (25) to the full matrix (0 = everything)
+for nightly runs.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..data.grammar import ScenarioMatrix, default_matrix
+from ..data.scenario import Scenario
+from ..models.zoo import ModelZoo, default_zoo
+from .differential import CHECKS, ScenarioReport, verify_scenario
+
+# Default sample size for one fuzz sweep; REPRO_FUZZ_SCENARIOS overrides
+# (0 or "all" selects the entire matrix).
+DEFAULT_SAMPLE = 25
+SCENARIOS_ENV = "REPRO_FUZZ_SCENARIOS"
+
+
+def default_sample_count() -> int:
+    """The sweep size: :data:`SCENARIOS_ENV` when set, else 25; 0 = all."""
+    raw = os.environ.get(SCENARIOS_ENV, "").strip().lower()
+    if not raw:
+        return DEFAULT_SAMPLE
+    if raw == "all":
+        return 0
+    try:
+        count = int(raw)
+    except ValueError:
+        count = -1
+    if count < 0:
+        raise ValueError(
+            f"{SCENARIOS_ENV} must be a non-negative integer or 'all', got {raw!r}"
+        )
+    return count
+
+
+def sample_matrix(
+    matrix: ScenarioMatrix | None = None, count: int = DEFAULT_SAMPLE, seed: int = 0
+) -> list[Scenario]:
+    """A seeded, order-stable sample of a matrix's scenarios.
+
+    ``count`` of 0 (or >= the matrix size) selects every scenario.  The
+    sample is drawn with stdlib ``random.Random(seed)`` over expansion
+    order, so the same (matrix, count, seed) names the same flights in
+    every process — what lets CI pin a sweep and nightly widen it.
+    """
+    if matrix is None:
+        matrix = default_matrix()
+    scenarios = matrix.scenarios()
+    if count <= 0 or count >= len(scenarios):
+        return scenarios
+    picks = sorted(random.Random(seed).sample(range(len(scenarios)), count))
+    return [scenarios[i] for i in picks]
+
+
+@dataclass
+class FuzzReport:
+    """The aggregate outcome of one differential fuzz sweep."""
+
+    reports: list[ScenarioReport] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every scenario passed every check."""
+        return all(report.passed for report in self.reports)
+
+    @property
+    def scenario_count(self) -> int:
+        """Scenarios swept."""
+        return len(self.reports)
+
+    @property
+    def check_count(self) -> int:
+        """Total individual checks executed."""
+        return sum(len(report.results) for report in self.reports)
+
+    def failures(self) -> list[ScenarioReport]:
+        """Reports with at least one failing check."""
+        return [report for report in self.reports if not report.passed]
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        failed = len(self.failures())
+        status = "all engines agree" if failed == 0 else f"{failed} scenarios FAILED"
+        return (
+            f"fuzz: {self.scenario_count} scenarios x {self.check_count} checks — {status}"
+        )
+
+
+def fuzz_scenarios(
+    scenarios: Sequence[Scenario],
+    zoo: ModelZoo | None = None,
+    checks: Sequence[str] = CHECKS,
+    store_root: str | Path | None = None,
+    progress: Callable[[ScenarioReport], None] | None = None,
+) -> FuzzReport:
+    """Run the differential suite over ``scenarios``; never raises on failure.
+
+    Every scenario is checked even after earlier failures (one report per
+    scenario), so a sweep names *all* disagreeing flights, not just the
+    first.  ``progress`` (if given) observes each report as it completes.
+    """
+    if zoo is None:
+        zoo = default_zoo()
+    report = FuzzReport()
+    for scenario in scenarios:
+        scenario_report = verify_scenario(
+            scenario, zoo=zoo, checks=checks, store_root=store_root
+        )
+        report.reports.append(scenario_report)
+        if progress is not None:
+            progress(scenario_report)
+    return report
+
+
+def fuzz_matrix(
+    matrix: ScenarioMatrix | None = None,
+    count: int = DEFAULT_SAMPLE,
+    seed: int = 0,
+    zoo: ModelZoo | None = None,
+    checks: Sequence[str] = CHECKS,
+    store_root: str | Path | None = None,
+    progress: Callable[[ScenarioReport], None] | None = None,
+) -> FuzzReport:
+    """Sample ``count`` scenarios from a matrix and fuzz them all."""
+    scenarios = sample_matrix(matrix, count=count, seed=seed)
+    return fuzz_scenarios(
+        scenarios, zoo=zoo, checks=checks, store_root=store_root, progress=progress
+    )

@@ -1,0 +1,196 @@
+"""Tests for the procedural scenario grammar (families, recipes, matrices)."""
+
+import random
+
+import pytest
+
+from repro.data import (
+    DEFAULT_MATRIX,
+    FAMILIES,
+    GENERATED_PREFIX,
+    REGIMES,
+    GrammarError,
+    ScenarioMatrix,
+    ScenarioRecipe,
+    default_matrix,
+    family,
+    family_names,
+    regime,
+    scenario_by_name,
+    split_frames,
+)
+
+
+class TestSplitFrames:
+    def test_exact_total(self):
+        parts = split_frames(100, (1.0, 2.0, 1.0))
+        assert sum(parts) == 100
+        assert parts[1] > parts[0]
+
+    def test_minimum_enforced(self):
+        parts = split_frames(7, (1.0, 100.0), minimum=2)
+        assert parts[0] >= 2 and sum(parts) == 7
+
+    def test_infeasible_total_rejected(self):
+        with pytest.raises(GrammarError):
+            split_frames(3, (1.0, 1.0), minimum=2)
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(GrammarError):
+            split_frames(10, ())
+
+
+class TestFamiliesAndRegimes:
+    def test_at_least_six_families(self):
+        assert len(FAMILIES) >= 6
+
+    def test_family_lookup_unknown(self):
+        with pytest.raises(GrammarError, match="known families"):
+            family("teleport")
+
+    def test_family_names_sorted(self):
+        assert family_names() == sorted(FAMILIES)
+
+    def test_regime_lookup_unknown(self):
+        with pytest.raises(GrammarError, match="known regimes"):
+            regime("underwater")
+
+    def test_regime_rosters_are_registered_backgrounds(self):
+        from repro.data import background
+
+        for env in REGIMES.values():
+            for name in env.roster:
+                background(name)  # raises on unknown
+
+
+class TestRecipe:
+    def test_build_is_deterministic(self):
+        recipe = ScenarioRecipe(name="t1", families=("crossing", "loiter"), frame_budget=60)
+        assert recipe.build().fingerprint() == recipe.build().fingerprint()
+
+    def test_budget_is_exact(self):
+        for budget in (40, 61, 97):
+            recipe = ScenarioRecipe(name="t2", families=("popup", "pan_burst"),
+                                    frame_budget=budget)
+            assert recipe.build().total_frames == budget
+
+    def test_distance_continuity_across_all_segments(self):
+        recipe = ScenarioRecipe(
+            name="t3", families=("altitude_ramp", "occlusion_dip", "crossing"),
+            regime_name="night", frame_budget=90,
+        )
+        segments = recipe.build().segments
+        for previous, current in zip(segments, segments[1:]):
+            assert current.distance_start == pytest.approx(previous.distance_end, abs=1e-12)
+
+    def test_backgrounds_come_from_the_regime_roster(self):
+        recipe = ScenarioRecipe(name="t4", families=("crossing", "popup"),
+                                regime_name="fog", frame_budget=60)
+        roster = set(REGIMES["fog"].roster)
+        assert {seg.background_name for seg in recipe.build().segments} <= roster
+
+    def test_indoor_flag_follows_regime(self):
+        indoor = ScenarioRecipe(name="t5", families=("loiter",), regime_name="indoor",
+                                frame_budget=30)
+        outdoor = ScenarioRecipe(name="t5", families=("loiter",), regime_name="day",
+                                 frame_budget=30)
+        assert indoor.build().indoor and not outdoor.build().indoor
+
+    def test_generated_name_prefix_and_content(self):
+        recipe = ScenarioRecipe(name="t6", families=("pan_burst",), frame_budget=30)
+        name = recipe.build().name
+        assert name.startswith(GENERATED_PREFIX)
+        assert "pan" in name and "day" in name and "30f" in name
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(GrammarError):
+            ScenarioRecipe(name="t7", families=("warp",))
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(GrammarError):
+            ScenarioRecipe(name="t8", families=("loiter",), regime_name="underwater")
+
+    def test_empty_families_rejected(self):
+        with pytest.raises(GrammarError):
+            ScenarioRecipe(name="t9", families=())
+
+    def test_infeasible_budget_rejected(self):
+        recipe = ScenarioRecipe(name="t10", families=("crossing", "occlusion_dip"),
+                                frame_budget=10)
+        with pytest.raises(GrammarError):
+            recipe.build()
+
+    def test_seed_changes_scenario(self):
+        a = ScenarioRecipe(name="t11", families=("crossing",), base_seed=1, frame_budget=40)
+        b = ScenarioRecipe(name="t11", families=("crossing",), base_seed=2, frame_budget=40)
+        assert a.build().fingerprint() != b.build().fingerprint()
+
+    def test_random_recipes_always_build_valid_scenarios(self):
+        # Property-based (seeded, stdlib-only): any feasible recipe the
+        # grammar accepts must produce a budget-exact, continuous,
+        # in-range scenario.
+        rng = random.Random(20240729)
+        names = sorted(FAMILIES)
+        for case in range(25):
+            families = tuple(rng.sample(names, rng.randint(1, 3)))
+            minimum = max(FAMILIES[f].min_frames for f in families) * len(families)
+            recipe = ScenarioRecipe(
+                name=f"prop{case}",
+                families=families,
+                regime_name=rng.choice(sorted(REGIMES)),
+                base_seed=rng.randint(0, 2**31),
+                frame_budget=rng.randint(minimum, minimum + 150),
+                start_distance=round(rng.uniform(0.1, 0.6), 3),
+            )
+            scenario = recipe.build()
+            assert scenario.total_frames == recipe.frame_budget
+            assert scenario.segments[0].distance_start == pytest.approx(recipe.start_distance)
+            for previous, current in zip(scenario.segments, scenario.segments[1:]):
+                assert current.distance_start == pytest.approx(previous.distance_end, abs=1e-12)
+            for seg in scenario.segments:
+                assert 0.0 <= seg.distance_start <= 1.0
+                assert 0.0 <= seg.distance_end <= 1.0
+                assert seg.frames >= 2
+
+
+class TestMatrix:
+    def test_default_matrix_scale(self):
+        scenarios = default_matrix().scenarios()
+        assert len(scenarios) >= 100
+        assert len({s.name for s in scenarios}) == len(scenarios)
+        assert len({s.fingerprint() for s in scenarios}) == len(scenarios)
+
+    def test_default_matrix_covers_all_families(self):
+        used = {f for comp in default_matrix().compositions for f in comp}
+        assert used == set(FAMILIES)
+
+    def test_expansion_is_deterministic(self):
+        a = [s.fingerprint() for s in default_matrix().scenarios()]
+        b = [s.fingerprint() for s in default_matrix().scenarios()]
+        assert a == b
+
+    def test_len_matches_grid(self):
+        matrix = ScenarioMatrix(
+            name="m1", compositions=(("loiter",), ("popup",)), regimes=("day", "fog"),
+            seeds=(1, 2, 3), frame_budgets=(30,),
+        )
+        assert len(matrix) == 12
+        assert len(matrix.scenarios()) == 12
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(GrammarError):
+            ScenarioMatrix(name="m2", compositions=())
+        with pytest.raises(GrammarError):
+            ScenarioMatrix(name="m3", compositions=(("loiter",),), regimes=())
+
+    def test_generated_scenarios_resolve_by_name(self):
+        scenario = DEFAULT_MATRIX.scenarios()[0]
+        resolved = scenario_by_name(scenario.name)
+        assert resolved.fingerprint() == scenario.fingerprint()
+
+    def test_generated_scenarios_scale_through_context(self):
+        from repro.experiments import ExperimentContext
+
+        scenario = DEFAULT_MATRIX.scenarios()[0]
+        scaled = ExperimentContext(scale=0.05, validation_size=10).scenario(scenario.name)
+        assert scaled.total_frames < scenario.total_frames

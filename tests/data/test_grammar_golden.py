@@ -1,0 +1,58 @@
+"""Golden-fingerprint regression for the generated scenario library.
+
+The grammar's contract is that a generated scenario's *content* is a pure,
+process-stable function of its recipe: traces persisted in stores, CI fuzz
+baselines, and cross-process sweeps all key on these fingerprints.  This
+module freezes a 10-recipe sample spanning every composition and regime of
+the default matrix; a grammar refactor that reshuffles parameter streams,
+seed derivation, name layout, or family shapes will change these digests
+and must update the goldens explicitly.  (Persisted traces for the old
+identities then become unreachable store entries — the safe failure mode.)
+"""
+
+from repro.data import default_matrix, scenario_by_name
+
+# Frozen (name -> sha256 content fingerprint) sample, one cell per
+# composition x regime spread, committed 2026-07.  Do not regenerate
+# casually: a diff here means every previously generated scenario changed
+# identity.
+GOLDEN_FINGERPRINTS = {
+    "g_dm_s001_crx_day_96f": "f79cf8758928612517026f2c55dcc53c6b9e52e665967d68a65a5381eea17cd1",
+    "g_dm_s002_crx_night_180f": "c6576e038f09d829db1f44b16eab91ac583c7e54fab1acfc0d401d62381f572e",
+    "g_dm_s001_loi-pop_fog_300f": "af14ca0b4f88f9ad27083b39258b0e06de6987eb6854b1ea35bff0a7c50f0f54",
+    "g_dm_s002_loi-pop_indoor_96f": "12e9ffef14c225000ead40690cbc01f4d347eb779c22906af82ac541157a1c03",
+    "g_dm_s001_alt-crx_day_300f": "468eab480720dd33ed31f751e1af324c6204bf8daa226395269296814f667d42",
+    "g_dm_s002_alt-crx_fog_96f": "ad2717a3e4c6fa330c26c6e382481d6f1b1b6589d767f04d14f157658ddf4487",
+    "g_dm_s001_occ-loi_night_300f": "78fce8a0165f55a875ac29ccbb954222a25340d89f5004faa41c38ff0a1bc1e3",
+    "g_dm_s002_occ-loi_indoor_180f": "2dae13199d0f00d307f04dc5c06ce297d14157237061737ccb187d9ef25b6631",
+    "g_dm_s001_pan-alt_day_180f": "ce6ad5353f7356620e093e150512bb5009003caef4644037a8796a0c8c715987",
+    "g_dm_s002_pop-occ-pan_night_96f": "5a45738427f699942d1f6b0d742fb6c9fc89e6cc37ef40d1b5dabfac8a287fc8",
+}
+
+
+def test_frozen_sample_fingerprints_unchanged():
+    drift = {}
+    for name, expected in GOLDEN_FINGERPRINTS.items():
+        actual = scenario_by_name(name).fingerprint()
+        if actual != expected:
+            drift[name] = actual
+    assert not drift, (
+        "generated scenario identities drifted (grammar refactors must not "
+        f"silently reshuffle scenarios): {drift}"
+    )
+
+
+def test_frozen_sample_names_still_generated():
+    names = {s.name for s in default_matrix().scenarios()}
+    missing = set(GOLDEN_FINGERPRINTS) - names
+    assert not missing, f"frozen sample names no longer generated: {missing}"
+
+
+def test_frozen_sample_spans_the_grid():
+    # The sample must keep covering every composition and regime of the
+    # default matrix, or the regression loses its reach.
+    matrix = default_matrix()
+    tags = {"-".join(part for part in name.split("_")[3:-2]) for name in GOLDEN_FINGERPRINTS}
+    assert len(tags) == len(matrix.compositions)
+    regimes = {name.split("_")[-2] for name in GOLDEN_FINGERPRINTS}
+    assert regimes == set(matrix.regimes)

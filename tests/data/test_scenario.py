@@ -16,7 +16,10 @@ from repro.data import (
     multi_pan_survey_scenario,
     night_watch_scenario,
     path_position,
+    register_scenario,
+    registered_scenarios,
     scenario_by_name,
+    scenario_names,
 )
 
 
@@ -124,6 +127,18 @@ class TestEvaluationScenarios:
         with pytest.raises(KeyError, match="known scenarios"):
             scenario_by_name("s99")
 
+    def test_lookup_unknown_enumerates_every_registered_name(self):
+        # The error must list the full resolvable namespace: the paper
+        # library, the extended flights, and grammar-generated scenarios.
+        with pytest.raises(KeyError) as excinfo:
+            scenario_by_name("s99_no_such_flight")
+        message = str(excinfo.value)
+        assert "s1_multi_background_varying_distance" in message
+        assert "x_night_watch_400f" in message
+        assert "g_dm_s001_crx_day_96f" in message
+        for name in scenario_names():
+            assert name in message
+
     def test_scenario1_has_multiple_backgrounds(self):
         scenario = scenario_by_name("s1_multi_background_varying_distance")
         assert len({seg.background_name for seg in scenario.segments}) >= 3
@@ -132,6 +147,55 @@ class TestEvaluationScenarios:
         scenario = scenario_by_name("s2_fixed_distance_crossing")
         paths = [seg.path for seg in scenario.segments]
         assert "enter_left" in paths and "exit_right" in paths and "absent" in paths
+
+
+class TestScenarioRegistry:
+    def _custom(self, name):
+        return Scenario(
+            name=name, description="registered", indoor=False, seed=4242,
+            segments=(Segment("only", 10, "open_sky", 0.2, 0.4),),
+        )
+
+    def test_register_and_resolve(self):
+        from repro.data.scenario import _REGISTRY
+
+        scenario = self._custom("t_registered_resolves")
+        register_scenario(scenario)
+        try:
+            assert scenario_by_name(scenario.name) is scenario
+            assert scenario.name in scenario_names()
+            assert any(s.name == scenario.name for s in registered_scenarios())
+        finally:
+            _REGISTRY.pop(scenario.name, None)
+
+    def test_register_rejects_builtin_shadowing(self):
+        with pytest.raises(ValueError, match="shadows"):
+            register_scenario(self._custom("s3_indoor_close_wall"))
+
+    def test_register_rejects_generated_shadowing(self):
+        # Explicit registrations resolve before sources; shadowing a
+        # grammar name would give one name two fingerprints across
+        # processes, which the trace store cannot survive.
+        with pytest.raises(ValueError, match="source-generated"):
+            register_scenario(self._custom("g_dm_s001_crx_day_96f"))
+
+    def test_register_rejects_duplicates_without_replace(self):
+        from repro.data.scenario import _REGISTRY
+
+        scenario = self._custom("t_registered_duplicate")
+        register_scenario(scenario)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario(self._custom("t_registered_duplicate"))
+            register_scenario(self._custom("t_registered_duplicate"), replace=True)
+        finally:
+            _REGISTRY.pop(scenario.name, None)
+
+    def test_names_cover_builtin_and_generated(self):
+        names = scenario_names()
+        assert len(names) == len(set(names))
+        assert "s1_multi_background_varying_distance" in names
+        assert any(name.startswith("g_dm_") for name in names)
 
 
 class TestPathPosition:

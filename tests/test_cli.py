@@ -109,3 +109,70 @@ class TestCommands:
         assert main(args) == 0
         assert files[0].stat().st_mtime_ns == first_mtime, "second run must reuse, not rewrite"
         capsys.readouterr()
+
+    def test_scenarios_generated_lists_grammar_flights(self, capsys):
+        assert main(["scenarios", "--generated"]) == 0
+        out = capsys.readouterr().out
+        assert "s1_multi_background_varying_distance" in out
+        assert "g_dm_s001_crx_day_96f" in out
+
+    def test_run_resolves_generated_scenario(self, capsys):
+        code = main(FAST + ["run", "single:yolov7-tiny@gpu", "g_dm_s001_crx_day_96f"])
+        assert code == 0
+        assert "g_dm_s001_crx_day_96f" in capsys.readouterr().out
+
+    def test_sweep_generated_scenario_with_workers_and_store(self, tmp_path, capsys):
+        # Grammar-generated flights must flow through the full runner
+        # stack: worker trace builds, the on-disk store, parallel runs.
+        store = tmp_path / "traces"
+        code = main(FAST + ["--workers", "2", "--trace-store", str(store),
+                            "sweep", "single:yolov7-tiny@gpu,marlin-tiny",
+                            "--scenarios", "g_dm_s001_crx_day_96f,g_dm_s002_loi-pop_fog_96f",
+                            "--parallel-runs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "g_dm_s001_crx_day_96f" in out and "g_dm_s002_loi-pop_fog_96f" in out
+        assert "average" in out
+        assert len(list(store.glob("trace-*.json"))) == 2, "generated traces must persist"
+
+
+class TestVerifyCommand:
+    def test_verify_named_scenario_passes(self, capsys):
+        code = main(["verify", "--scenarios", "g_dm_s001_crx_day_96f",
+                     "--checks", "render,trace,store"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all engines agree" in out
+        assert "g_dm_s001_crx_day_96f" in out
+
+    def test_verify_unknown_check_rejected(self, capsys):
+        assert main(["verify", "--checks", "psychic"]) == 2
+        assert "unknown checks" in capsys.readouterr().err
+
+    def test_verify_empty_checks_rejected(self, capsys):
+        # An empty checks list must not masquerade as a passing gate.
+        assert main(["verify", "--checks", ","]) == 2
+        assert "no checks selected" in capsys.readouterr().err
+
+    def test_verify_negative_count_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--count", "-5"])
+
+    def test_verify_malformed_env_knob_rejected(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FUZZ_SCENARIOS", "banana")
+        assert main(["verify"]) == 2
+        assert "REPRO_FUZZ_SCENARIOS" in capsys.readouterr().err
+
+    def test_verify_unknown_scenario_rejected(self, capsys):
+        assert main(["verify", "--scenarios", "g_nope"]) == 2
+        assert "known scenarios" in capsys.readouterr().err
+
+    def test_verify_store_dir(self, tmp_path, capsys):
+        store = tmp_path / "verify-traces"
+        code = main(["verify", "--scenarios", "g_dm_s001_crx_day_96f",
+                     "--checks", "store", "--store", str(store)])
+        assert code == 0
+        assert len(list(store.glob("trace-*.json"))) == 1
+        capsys.readouterr()

@@ -1,0 +1,183 @@
+"""Differential fuzz suite: every engine must agree on generated scenarios.
+
+The core guarantee of the vectorized trace tier is bit-equality with the
+scalar reference path; these tests extend that guarantee from the ten
+hand-written flights to a 25-scenario grammar-generated matrix, and prove
+the harness itself can *fail* (a harness that passes everything proves
+nothing).  Seeded and stdlib-random only, sized for tier-1 time.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.data import ScenarioMatrix
+from repro.models import default_zoo
+from repro.runtime import ScenarioTrace, TraceStore
+from repro.verify import (
+    CHECKS,
+    FuzzReport,
+    check_run_invariants,
+    check_store_roundtrip,
+    check_trace_invariants,
+    fuzz_scenarios,
+    sample_matrix,
+    verify_scenario,
+)
+
+# A compact grid over every family and regime; budgets stay small so the
+# full differential suite over 25 scenarios fits in tier-1 time.
+TEST_MATRIX = ScenarioMatrix(
+    name="t25",
+    compositions=(
+        ("crossing",),
+        ("loiter", "popup"),
+        ("altitude_ramp", "crossing"),
+        ("occlusion_dip", "loiter"),
+        ("pan_burst", "altitude_ramp"),
+        ("popup", "occlusion_dip", "pan_burst"),
+    ),
+    regimes=("day", "night", "fog", "indoor"),
+    seeds=(11,),
+    frame_budgets=(36, 54),
+)
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+@pytest.fixture(scope="module")
+def fuzz_report(zoo) -> FuzzReport:
+    scenarios = sample_matrix(TEST_MATRIX, count=25, seed=4)
+    assert len(scenarios) == 25
+    return fuzz_scenarios(scenarios, zoo=zoo)
+
+
+class TestGeneratedMatrixSuite:
+    def test_every_scenario_passes_every_check(self, fuzz_report):
+        failed = {
+            r.scenario_name: [str(f) for f in r.failures()] for r in fuzz_report.failures()
+        }
+        assert fuzz_report.passed, f"differential disagreements: {failed}"
+
+    def test_full_suite_ran(self, fuzz_report):
+        assert fuzz_report.scenario_count == 25
+        assert fuzz_report.check_count == 25 * len(CHECKS)
+        for report in fuzz_report.reports:
+            assert [r.check for r in report.results] == list(CHECKS)
+
+    def test_sample_is_seed_stable(self):
+        a = [s.name for s in sample_matrix(TEST_MATRIX, count=10, seed=9)]
+        b = [s.name for s in sample_matrix(TEST_MATRIX, count=10, seed=9)]
+        c = [s.name for s in sample_matrix(TEST_MATRIX, count=10, seed=10)]
+        assert a == b
+        assert a != c
+
+    def test_sample_count_zero_selects_all(self):
+        assert len(sample_matrix(TEST_MATRIX, count=0, seed=1)) == len(TEST_MATRIX)
+
+    def test_random_scenario_passes_offline(self, zoo):
+        # Property-style spot check: a freshly drawn recipe outside the
+        # grid must satisfy the suite too (seeded stdlib randomness).
+        from repro.data import ScenarioRecipe
+
+        rng = random.Random(77)
+        recipe = ScenarioRecipe(
+            name="offgrid",
+            families=tuple(rng.sample(["crossing", "popup", "pan_burst"], 2)),
+            regime_name=rng.choice(["day", "night"]),
+            base_seed=rng.randint(0, 2**31),
+            frame_budget=40,
+        )
+        report = verify_scenario(recipe.build(), zoo=zoo)
+        assert report.passed, [str(f) for f in report.failures()]
+
+
+class TestHarnessDetectsViolations:
+    """The suite must fail loudly when an engine actually disagrees."""
+
+    @pytest.fixture(scope="class")
+    def trace(self, zoo):
+        scenario = TEST_MATRIX.scenarios()[0]
+        return ScenarioTrace.build(scenario, zoo)
+
+    def _tampered(self, trace, **changes):
+        outcomes = {m: list(rows) for m, rows in trace.outcomes.items()}
+        model = next(iter(outcomes))
+        outcomes[model][0] = dataclasses.replace(outcomes[model][0], **changes)
+        return ScenarioTrace(scenario=trace.scenario, frames=None, outcomes=outcomes)
+
+    def test_confidence_bound_violation_detected(self, trace):
+        result = check_trace_invariants(self._tampered(trace, confidence=1.5))
+        assert not result.passed and "confidence" in result.detail
+
+    def test_phantom_detection_detected(self, trace):
+        result = check_trace_invariants(self._tampered(trace, detected=True, box=None))
+        assert not result.passed
+
+    def test_misaligned_outcomes_detected(self, trace):
+        outcomes = {m: rows[:-1] for m, rows in trace.outcomes.items()}
+        broken = ScenarioTrace(scenario=trace.scenario, frames=None, outcomes=outcomes)
+        result = check_trace_invariants(broken)
+        assert not result.passed and "outcomes" in result.detail
+
+    def test_lossy_store_reload_detected(self, trace, zoo, tmp_path, monkeypatch):
+        # A store whose reload drifts from what was saved must fail the
+        # round-trip check; simulate the drift at the load boundary.
+        tampered = self._tampered(trace, confidence=0.123456)
+        monkeypatch.setattr(TraceStore, "load", lambda self, scenario, zoo: tampered)
+        result = check_store_roundtrip(trace, zoo, store_root=tmp_path)
+        assert not result.passed and "outcomes changed" in result.detail
+
+    def test_store_corruption_fails_loudly(self, trace, zoo, tmp_path):
+        # Real on-disk corruption surfaces as a TraceSchemaError from the
+        # store's own validation, not as a silently wrong trace.
+        from repro.runtime import TraceSchemaError
+
+        store = TraceStore(tmp_path)
+        path = store.save(trace, zoo)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["scenario_fingerprint"] = "0" * 64
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(TraceSchemaError):
+            store.load(trace.scenario, zoo)
+
+    def test_negative_energy_detected(self, trace):
+        class NegativeEnergyPolicy:
+            name = "negative-energy"
+
+            def begin(self, services):
+                self._trace = services.trace
+
+            def step(self, frame):
+                from repro.runtime import FrameRecord
+
+                outcome = self._trace.outcome(self._trace.model_names()[0], frame.index)
+                return FrameRecord(
+                    frame_index=frame.index,
+                    model_name=outcome.model_name,
+                    accelerator_name="gpu",
+                    box=outcome.box,
+                    confidence=outcome.confidence,
+                    iou=outcome.iou,
+                    ground_truth_present=frame.ground_truth is not None,
+                    detected=outcome.detected,
+                    latency_s=0.01,
+                    inference_s=0.01,
+                    stall_s=0.0,
+                    overhead_s=0.0,
+                    energy_j=-1.0,
+                    swap=False,
+                    cold_load=False,
+                )
+
+        result = check_run_invariants(trace, policy_factory=NegativeEnergyPolicy)
+        assert not result.passed and "energy" in result.detail
+
+    def test_unknown_check_name_rejected(self, trace, zoo):
+        with pytest.raises(ValueError, match="unknown checks"):
+            verify_scenario(trace.scenario, zoo=zoo, checks=("render", "psychic"))
