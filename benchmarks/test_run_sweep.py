@@ -1,0 +1,201 @@
+"""Bench: run-tier throughput — scalar loop vs fast engine vs warm RunStore.
+
+PR 2 made trace building and reloading cheap; after that the suite's
+wall-clock moved into the run tier: every table, figure, sensitivity
+point, and fuzz sweep replays ``run_policy``'s per-frame Python loop
+(live NCC, dict-based CG lookups, per-pair scoring, one RNG draw per
+sample).  This bench times the workload that dominates the suite — a
+sensitivity-style sweep of several SHIFT configurations over several
+scenarios — on the three run paths:
+
+``scalar``
+    the pre-PR reference loop (``run_policy(fast=False)``, no stores);
+``fast (cold)``
+    the fast-run engine on fresh traces: planned jitter, trace-level
+    NCC caches, dense CG lookup, vectorized reschedules.  "Cold" means
+    *no* per-run state is reused — fresh trace objects each round, so
+    the stacked-NCC and box-memo fills are paid inside the timing;
+``warm (RunStore)``
+    a store-backed sweep after a populating pass: every (policy,
+    scenario) pair is a pure metrics reload — no runs, no traces, no
+    rendering.
+
+All three paths must produce bit-identical metrics (asserted), so speed
+never changes results; the differential harness (``python -m repro
+verify``, check ``fastrun``) extends the same guarantee to full
+per-frame records over generated scenario matrices.
+
+With ``REPRO_BENCH_ENFORCE_FLOOR=1`` (the CI perf-smoke job) the
+measured speedups are additionally checked against the committed
+``benchmarks/baseline.json`` floors.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.baselines import SingleModelPolicy
+from repro.core import ShiftPipeline, config_for_objective
+from repro.runtime import (
+    ExperimentRunner,
+    RunStore,
+    ScenarioTrace,
+    aggregate,
+    run_policy,
+)
+
+_SCENARIOS = (
+    "s2_fixed_distance_crossing",
+    "s3_indoor_close_wall",
+    "s5_far_patrol",
+)
+_OBJECTIVES = ("paper", "accuracy", "energy", "latency", "balanced")
+_BASELINE = pathlib.Path(__file__).parent / "baseline.json"
+
+
+def _policies(ctx):
+    """The sweep mix: a 12-config SHIFT grid plus the single-model baseline.
+
+    Figure 5's sensitivity grid — many SHIFT configurations over the same
+    traces — is the suite's dominant run-tier workload by a wide margin
+    (the full grid is ~1,900 configs), so SHIFT variants carry the bench:
+    five objective presets, each also at a second momentum, plus two
+    accuracy-goal points.  The single-model baseline rides along to keep
+    a context-free policy in the equality assertions.  Marlin is timed
+    elsewhere (its cost is the CPU tracker, not the run engine) and its
+    fast-tier equality is enforced by the differential ``fastrun`` check.
+    """
+    def shift_variant(label, config):
+        policy = ShiftPipeline(ctx.bundle, config=config, graph=ctx.graph)
+        # Unique per-config names: sweep results key by policy name, so
+        # without this the 12 variants would collapse onto one "shift"
+        # row and the cross-path equality assertions below would only
+        # compare the last one.
+        policy.name = f"shift[{label}]"
+        return policy
+
+    shift = []
+    for objective in _OBJECTIVES:
+        shift.append(shift_variant(objective, config_for_objective(objective)))
+        shift.append(
+            shift_variant(f"{objective}-m10", config_for_objective(objective, momentum=10))
+        )
+    for goal in (0.15, 0.35):
+        shift.append(
+            shift_variant(f"goal{goal}", config_for_objective("paper", accuracy_goal=goal))
+        )
+    return shift + [SingleModelPolicy("yolov7-tiny", "gpu")]
+
+
+def test_run_sweep_benchmark(ctx, report, best_of, tmp_path_factory):
+    scenarios = [ctx.scenario(name) for name in _SCENARIOS]
+    policies = _policies(ctx)
+
+    # Traces and frames are prebuilt outside every timed region: this
+    # bench isolates the run tier (PR 2's bench covers the trace tier).
+    base_traces = [ctx.cache.get(scenario) for scenario in scenarios]
+    for trace in base_traces:
+        _ = trace.frames
+
+    def fresh_traces():
+        """Per-round trace objects sharing frames/outcomes but no caches.
+
+        Rendering and detection are shared (prebuilt, untimed); the
+        trace-level NCC/box-memo caches start empty so the cold path
+        honestly pays its cache fills inside the timing.
+        """
+        return [
+            ScenarioTrace(scenario=t.scenario, frames=t.frames, outcomes=t.outcomes)
+            for t in base_traces
+        ]
+
+    def scalar_sweep():
+        return {
+            p.name: [aggregate(run_policy(p, t, fast=False)) for t in traces]
+            for traces in (fresh_traces(),)
+            for p in policies
+        }
+
+    def fast_cold_sweep():
+        return {
+            p.name: [aggregate(run_policy(p, t, fast=True)) for t in traces]
+            for traces in (fresh_traces(),)
+            for p in policies
+        }
+
+    scalar_s, scalar_result = best_of(scalar_sweep)
+    cold_s, cold_result = best_of(fast_cold_sweep)
+
+    # Populate the run store once (untimed), then time pure warm sweeps.
+    store_root = tmp_path_factory.mktemp("runs")
+    populate = ExperimentRunner(
+        cache=ctx.cache, engine_seed=ctx.engine_seed, run_store=RunStore(store_root)
+    )
+    populate.sweep(policies, scenarios)
+
+    def warm_sweep():
+        runner = ExperimentRunner(
+            cache=ctx.cache, engine_seed=ctx.engine_seed, run_store=RunStore(store_root)
+        )
+        result = runner.sweep(policies, scenarios)
+        assert runner.runs_executed == 0, "warm sweep must be a pure store reload"
+        return result
+
+    warm_s, warm_result = best_of(warm_sweep)
+
+    # Speed never changes results: all three paths agree exactly.
+    assert cold_result == scalar_result
+    assert warm_result == scalar_result
+
+    runs = len(policies) * len(scenarios)
+    frames = sum(t.frame_count for t in base_traces) * len(policies)
+    cold_speedup = scalar_s / cold_s
+    warm_speedup = scalar_s / warm_s
+    lines = [
+        f"run sweep: {len(policies)} policies x {len(scenarios)} scenarios "
+        f"({runs} runs, {frames} policy-frames)",
+        f"  scalar loop         {scalar_s:8.2f}s  {frames / scalar_s:10.0f} frames/s",
+        f"  fast engine (cold)  {cold_s:8.2f}s  {frames / cold_s:10.0f} frames/s"
+        f"  ({cold_speedup:.2f}x)",
+        f"  RunStore (warm)     {warm_s:8.2f}s  {frames / warm_s:10.0f} frames/s"
+        f"  ({warm_speedup:.2f}x)",
+    ]
+    report(
+        "run_sweep",
+        "\n".join(lines),
+        metrics={
+            "scenarios": [s.name for s in scenarios],
+            "policies": len(policies),
+            "runs": runs,
+            "policy_frames": frames,
+            "rounds": best_of.rounds,
+            "scalar_s": round(scalar_s, 4),
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "scalar_frames_per_s": round(frames / scalar_s, 1),
+            "cold_frames_per_s": round(frames / cold_s, 1),
+            "warm_frames_per_s": round(frames / warm_s, 1),
+            "cold_speedup": round(cold_speedup, 3),
+            "warm_speedup": round(warm_speedup, 3),
+        },
+    )
+
+    # Fast runs must win, whatever the machine; the quantitative floors
+    # (the tentpole targets: >=3x cold, >=20x warm, committed in
+    # baseline.json) are enforced under the CI perf-smoke flag only,
+    # matching the trace-build bench's convention — an un-gated local run
+    # on a loaded box reports rather than fails.
+    assert cold_s < scalar_s
+    assert warm_s < cold_s
+
+    if os.environ.get("REPRO_BENCH_ENFORCE_FLOOR"):
+        baseline = json.loads(_BASELINE.read_text(encoding="utf-8"))
+        floors = baseline["run_sweep"]
+        assert cold_speedup >= floors["cold_speedup"], (
+            f"cold fast-run speedup {cold_speedup:.2f}x fell below the committed floor "
+            f"({floors['cold_speedup']}x)"
+        )
+        assert warm_speedup >= floors["warm_speedup"], (
+            f"warm RunStore speedup {warm_speedup:.2f}x fell below the committed floor "
+            f"({floors['warm_speedup']}x)"
+        )

@@ -36,7 +36,15 @@ def test_scheduler_decision_benchmark(benchmark, ctx):
 
 def test_context_similarity_benchmark(ctx, report, best_of):
     """Consecutive-frame NCC: per-frame scalar loop vs stacked kernel."""
-    trace = ctx.cache.get(ctx.scenario("s3_indoor_close_wall"))
+    from repro.runtime import ScenarioTrace
+
+    shared = ctx.cache.get(ctx.scenario("s3_indoor_close_wall"))
+    # Fresh trace object: other benches in the session (tables run on the
+    # fast tier now) may have warmed the shared trace's NCC cache, and the
+    # "first access" row must measure a genuinely cold fill.
+    trace = ScenarioTrace(
+        scenario=shared.scenario, frames=shared.frames, outcomes=shared.outcomes
+    )
     images = [frame.image for frame in trace.frames]
     pairs = len(images) - 1
 

@@ -10,6 +10,10 @@ multi-accelerator advantage (Table II).
 
 from __future__ import annotations
 
+import hashlib
+
+import numpy as np
+
 from ..data.generator import Frame
 from ..runtime.policy import Policy, RuntimeServices
 from ..runtime.records import FrameRecord
@@ -52,7 +56,25 @@ class MarlinPolicy(Policy):
         self._tracker = TemplateTracker()
         self._frames_since_detection = 0
         self._previous_image = None
+        self._previous_index: int | None = None
         self._first_frame = True
+        self._frame_ncc: np.ndarray | None = None
+
+    def fingerprint(self) -> str:
+        """Run-store identity: model, accelerator, and both thresholds."""
+        return hashlib.sha256(
+            "|".join(
+                (
+                    "marlin",
+                    self.model_name,
+                    self.accelerator_name,
+                    str(self.redetect_interval),
+                    repr(self.scene_change_ncc),
+                    repr(TRACKER_LATENCY_S),
+                    repr(TRACKER_POWER_W),
+                )
+            ).encode("utf-8")
+        ).hexdigest()
 
     def begin(self, services: RuntimeServices) -> None:
         """Bind to the platform and reset the tracker state."""
@@ -66,7 +88,12 @@ class MarlinPolicy(Policy):
         self._tracker.reset()
         self._frames_since_detection = 0
         self._previous_image = None
+        self._previous_index = None
         self._first_frame = True
+        # Fast tier: the scene-change gate compares consecutive frames —
+        # the exact signal the trace precomputes (bit-identically) with
+        # its stacked NCC kernel.
+        self._frame_ncc = services.trace.consecutive_frame_ncc() if services.fast else None
 
     # ------------------------------------------------------------- step
 
@@ -79,7 +106,14 @@ class MarlinPolicy(Policy):
         if not must_detect and self._frames_since_detection >= self.redetect_interval:
             must_detect = True
         if not must_detect and self._previous_image is not None:
-            if ncc(self._previous_image, frame.image) < self.scene_change_ncc:
+            if (
+                self._frame_ncc is not None
+                and self._previous_index == frame.index - 1
+            ):
+                scene_similarity = float(self._frame_ncc[frame.index - 1])
+            else:
+                scene_similarity = ncc(self._previous_image, frame.image)
+            if scene_similarity < self.scene_change_ncc:
                 must_detect = True
 
         if must_detect:
@@ -89,6 +123,7 @@ class MarlinPolicy(Policy):
             if record is None:  # tracker lost the target mid-frame
                 record = self._detect_step(frame)
         self._previous_image = frame.image
+        self._previous_index = frame.index
         return record
 
     def _detect_step(self, frame: Frame) -> FrameRecord:

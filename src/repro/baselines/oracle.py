@@ -10,6 +10,7 @@ scheduler could do.
 
 from __future__ import annotations
 
+import hashlib
 from enum import Enum
 
 from ..data.generator import Frame
@@ -37,6 +38,12 @@ class OraclePolicy(Policy):
         self._services: RuntimeServices | None = None
         self._pairs: list[tuple[str, str]] = []
         self._previous_pair: tuple[str, str] | None = None
+
+    def fingerprint(self) -> str:
+        """Run-store identity: the objective and the IoU threshold."""
+        return hashlib.sha256(
+            f"oracle|{self.objective.value}|{ORACLE_IOU_THRESHOLD!r}".encode("utf-8")
+        ).hexdigest()
 
     def begin(self, services: RuntimeServices) -> None:
         """Enumerate the schedulable pairs of the platform."""

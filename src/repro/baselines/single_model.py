@@ -7,6 +7,8 @@ paper's introduction critiques and the reference point for the headline
 
 from __future__ import annotations
 
+import hashlib
+
 from ..data.generator import Frame
 from ..runtime.policy import Policy, RuntimeServices
 from ..runtime.records import FrameRecord
@@ -23,6 +25,12 @@ class SingleModelPolicy(Policy):
         self._services: RuntimeServices | None = None
         self._accelerator: Accelerator | None = None
         self._first_frame = True
+
+    def fingerprint(self) -> str:
+        """Run-store identity: the fixed (model, accelerator) pair."""
+        return hashlib.sha256(
+            f"single-model|{self.model_name}|{self.accelerator_name}".encode("utf-8")
+        ).hexdigest()
 
     def begin(self, services: RuntimeServices) -> None:
         """Validate the pair and charge the one-time model load."""

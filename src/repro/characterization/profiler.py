@@ -15,6 +15,7 @@ runtime never does (that is the point of SHIFT).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -73,6 +74,36 @@ class CharacterizationBundle:
     def model_names(self) -> list[str]:
         """Models covered by the bundle."""
         return list(self.accuracy)
+
+    def fingerprint(self) -> str:
+        """Content-addressed identity of the bundle (hex digest, cached).
+
+        Hashes every trait table and the full observation list — the
+        inputs the SHIFT pipeline derives its scheduler priors and
+        confidence graph from — so run-store entries keyed through a
+        policy fingerprint go stale the moment characterization changes.
+        The digest is cached on first use; treat the bundle as frozen
+        once it has been fingerprinted.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        for name in sorted(self.accuracy):
+            digest.update(repr(self.accuracy[name]).encode("utf-8"))
+        for key in sorted(self.performance, key=lambda k: (k[0], k[1].value)):
+            digest.update(repr(self.performance[key]).encode("utf-8"))
+        for key in sorted(self.load_costs, key=lambda k: (k[0], k[1].value)):
+            digest.update(repr(self.load_costs[key]).encode("utf-8"))
+        for obs in self.observations:
+            digest.update(
+                f"{obs.sample_index}|{obs.difficulty!r}|{sorted(obs.readings.items())!r}".encode(
+                    "utf-8"
+                )
+            )
+        value = digest.hexdigest()
+        self._fingerprint = value
+        return value
 
 
 def profile_accuracy(

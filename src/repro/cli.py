@@ -15,8 +15,11 @@ Usage (after ``pip install -e .``)::
 Every experiment honours ``--scale`` (scenario length multiplier) and
 ``--validation`` (characterization sample count) so results can be traded
 against wall-clock time.  ``--workers N`` builds scenario traces across N
-worker processes, and ``--trace-store DIR`` persists built traces so the
-next invocation skips rebuilding them entirely.
+worker processes, ``--trace-store DIR`` persists built traces so the next
+invocation skips rebuilding them entirely, and ``--run-store DIR`` does
+the same for finished policy runs — e.g. ``python -m repro --trace-store
+traces --run-store runs sweep shift,marlin`` is a pure metrics reload the
+second time.
 """
 
 from __future__ import annotations
@@ -55,6 +58,7 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         scale=args.scale,
         validation_size=args.validation,
         trace_store=args.trace_store,
+        run_store=args.run_store,
         max_workers=args.workers,
     )
 
@@ -282,6 +286,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for trace building (default: serial)")
     parser.add_argument("--trace-store", default=None, metavar="DIR",
                         help="persist built traces under DIR and reuse them next run")
+    parser.add_argument("--run-store", default=None, metavar="DIR",
+                        help="persist finished policy runs under DIR; repeat sweeps "
+                             "become pure metrics reloads")
     commands = parser.add_subparsers(dest="command", required=True)
 
     table_cmd = commands.add_parser("table", help="regenerate a paper table")
@@ -329,9 +336,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="sample seed for the generated matrix (default 0)")
     verify_cmd.add_argument("--scenarios", default=None,
                             help="comma-separated scenario names to verify instead of sampling")
-    verify_cmd.add_argument("--checks", default=",".join(
-        ("render", "detect", "store", "trace", "run")),
-        help="comma-separated subset of checks (default: all)")
+    from .verify import CHECKS as _ALL_CHECKS
+
+    verify_cmd.add_argument("--checks", default=",".join(_ALL_CHECKS),
+                            help="comma-separated subset of checks (default: all)")
     verify_cmd.add_argument("--store", default=None, metavar="DIR",
                             help="run store round-trips under DIR instead of a temp dir")
     verify_cmd.set_defaults(func=_cmd_verify)

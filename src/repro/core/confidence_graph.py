@@ -22,9 +22,12 @@ them.  Construction follows the paper's six steps:
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import math
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..characterization.profiler import ConfidenceObservation
 
@@ -45,6 +48,68 @@ class Prediction:
     model_name: str
     accuracy: float
     distance: float
+
+
+class DenseConfidenceLookup:
+    """The prediction map flattened into ndarrays for the run hot path.
+
+    :meth:`ConfidenceGraph.predict` walks ``dict`` chains and materializes
+    sorted :class:`Prediction` lists — fine offline, measurable per frame.
+    This view stores the same floats as three arrays indexed by
+    ``(source model, confidence bin, target model)``:
+
+    ``accuracy``
+        predicted accuracy (exactly the value ``predict`` would report);
+    ``distance``
+        consolidated traversal distance of that prediction;
+    ``valid``
+        whether the target model is reachable from that source node.
+
+    Source rows for (model, bin) nodes never observed during
+    characterization are pre-filled from the nearest populated bin of the
+    same model — the same totality fallback ``predict`` applies at
+    runtime, paid once at build instead of per lookup.  Models are the
+    graph's sorted model list; bins cover the full ``[0, 1]`` confidence
+    range under the graph's bin width.
+    """
+
+    def __init__(self, graph: "ConfidenceGraph") -> None:
+        self.models: list[str] = graph.models()
+        self.model_index: dict[str, int] = {m: i for i, m in enumerate(self.models)}
+        self.bin_count = int(math.ceil(1.0 / graph.bin_width))
+        self._graph = graph
+        count = len(self.models)
+        self.accuracy = np.full((count, self.bin_count, count), np.nan, dtype=np.float64)
+        self.distance = np.full((count, self.bin_count, count), np.nan, dtype=np.float64)
+        self.valid = np.zeros((count, self.bin_count, count), dtype=bool)
+        for source_idx, model in enumerate(self.models):
+            for bin_idx in range(self.bin_count):
+                key = (model, bin_idx)
+                if key not in graph._prediction_map:
+                    fallback = graph._nearest_populated_bin(model, bin_idx)
+                    if fallback is None:  # pragma: no cover - model has nodes by construction
+                        continue
+                    key = fallback
+                for prediction in graph._prediction_map[key].values():
+                    target_idx = self.model_index.get(prediction.model_name)
+                    if target_idx is None:  # pragma: no cover - map models ⊆ graph models
+                        continue
+                    self.accuracy[source_idx, bin_idx, target_idx] = prediction.accuracy
+                    self.distance[source_idx, bin_idx, target_idx] = prediction.distance
+                    self.valid[source_idx, bin_idx, target_idx] = True
+
+    def row(self, model_name: str, confidence: float) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(accuracy, valid)`` vectors over target models, or ``None``.
+
+        ``None`` mirrors ``predict`` returning an empty list for a model
+        the graph has never seen.  The returned arrays are views into the
+        dense tables and must be treated as read-only.
+        """
+        source_idx = self.model_index.get(model_name)
+        if source_idx is None:
+            return None
+        bin_idx = self._graph.bin_index(confidence)
+        return self.accuracy[source_idx, bin_idx], self.valid[source_idx, bin_idx]
 
 
 @dataclass
@@ -77,6 +142,8 @@ class ConfidenceGraph:
         self.bin_width = bin_width
         self.distance_threshold = distance_threshold
         self._prediction_map = self._build_prediction_map()
+        self._dense: DenseConfidenceLookup | None = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------- build
 
@@ -215,6 +282,41 @@ class ConfidenceGraph:
         if not candidates:
             return None
         return min(candidates, key=lambda key: (abs(key[1] - bin_idx), key[1]))
+
+    def dense(self) -> DenseConfidenceLookup:
+        """The ndarray view of the prediction map (built once, cached).
+
+        Serves the fast-run scheduler: one ``(source, bin)`` index replaces
+        the per-frame dict walk + sort of :meth:`predict`, with the exact
+        same floats.
+        """
+        if self._dense is None:
+            self._dense = DenseConfidenceLookup(self)
+        return self._dense
+
+    def fingerprint(self) -> str:
+        """Content-addressed identity of the graph (hex digest).
+
+        Hashes every node (key, expected accuracy, observation count, full
+        edge set) plus the bin width and distance threshold — everything
+        :meth:`predict` depends on.  The run store keys persisted SHIFT
+        runs by this (via the policy fingerprint), so rebuilding the graph
+        from different observations or parameters invalidates cached runs.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            parts = [repr(self.bin_width), repr(self.distance_threshold)]
+            for key in sorted(self._nodes):
+                node = self._nodes[key]
+                edges = ";".join(
+                    f"{neighbour}:{weight!r}" for neighbour, weight in sorted(node.edges.items())
+                )
+                parts.append(
+                    f"{key}|{node.expected_accuracy!r}|{node.observation_count}|{edges}"
+                )
+            digest.update("\n".join(parts).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------- re-threshold
 

@@ -92,6 +92,22 @@ class DynamicModelLoader:
 
     # ------------------------------------------------------------- core
 
+    def ensure_loaded_cost(self, pair: Pair) -> tuple[float, float, bool]:
+        """``(stall_s, energy_j, cold_load)`` of making ``pair`` executable.
+
+        The fast run tier's warm-hit path: a ready resident model costs
+        nothing, so no :class:`LoadOutcome` is built and no accelerator
+        re-validation runs (residency implies the pair was validated when
+        it loaded).  Cold and in-flight cases delegate to
+        :meth:`ensure_loaded` — identical state transitions either way.
+        """
+        residency = self._resident.get(pair)
+        if residency is not None and residency.ready_at <= self.soc.clock.now:
+            residency.last_requested = self.soc.clock.now
+            return (0.0, 0.0, False)
+        outcome = self.ensure_loaded(pair)
+        return (outcome.stall_s, outcome.energy_j, outcome.cold_load)
+
     def ensure_loaded(self, pair: Pair) -> LoadOutcome:
         """Make ``pair`` executable now; returns the stall/energy incurred."""
         model_name, accel_name = pair

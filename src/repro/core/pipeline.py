@@ -16,6 +16,10 @@ models into free memory so subsequent swaps are cheap.
 
 from __future__ import annotations
 
+import hashlib
+
+import numpy as np
+
 from ..characterization.profiler import CharacterizationBundle
 from ..data.generator import Frame
 from ..runtime.policy import Policy, RuntimeServices
@@ -59,6 +63,12 @@ class ShiftPipeline(Policy):
         self._current_pair: Pair | None = None
         self._last_confidence = 0.0
         self._last_box = None
+        # Fast-tier state: trace-level consecutive-frame NCC plus the
+        # index of the last processed frame (the cached values only apply
+        # to strictly consecutive steps).
+        self._fast = False
+        self._frame_ncc: np.ndarray | None = None
+        self._last_index: int | None = None
 
     # ------------------------------------------------------------ setup
 
@@ -74,6 +84,10 @@ class ShiftPipeline(Policy):
         self._current_pair = self._initial_pair(traits)
         self._last_confidence = self.bundle.accuracy[self._current_pair[0]].mean_confidence
         self._last_box = None
+        self._fast = services.fast
+        self._frame_ncc = services.trace.consecutive_frame_ncc() if self._fast else None
+        self._last_index = None
+        self._accelerators = {a.name: a for a in services.soc.accelerators}
 
     def _initial_pair(self, traits: TraitTable) -> Pair:
         """Deployment default: the configured initial model on the GPU."""
@@ -93,20 +107,45 @@ class ShiftPipeline(Policy):
         previous_pair = self._current_pair
         assert previous_pair is not None
 
-        # (1) Context signal against the previous processed frame.
-        last_outcome_box = None if not self._context.primed else self._last_box
-        similarity = self._context.similarity(frame.image, last_outcome_box)
+        # (1) Context signal against the previous processed frame.  The
+        # fast tier serves the full-frame half from the trace's stacked
+        # NCC cache and the box half from the per-(model, frame) memo —
+        # both are pure functions of the trace (the previous box is the
+        # previous model's traced detection), so the cached values equal
+        # the live computation bit-for-bit.  Non-consecutive stepping
+        # (never produced by the runner) falls back to the live signal.
+        if self._fast and self._context.primed and self._last_index == frame.index - 1:
+            assert self._frame_ncc is not None
+            frame_half = float(self._frame_ncc[frame.index - 1])
+            box_half = services.trace.box_context_ncc(previous_pair[0], frame.index - 1)
+            similarity = max(0.0, min(frame_half, box_half))
+        else:
+            last_outcome_box = None if not self._context.primed else self._last_box
+            similarity = self._context.similarity(frame.image, last_outcome_box)
 
-        # (2) Scheduling heuristic.
-        decision = scheduler.select(previous_pair, self._last_confidence, similarity)
+        # (2) Scheduling heuristic (vectorized reschedule on the fast tier).
+        if self._fast:
+            decision = scheduler.select_fast(previous_pair, self._last_confidence, similarity)
+        else:
+            decision = scheduler.select(previous_pair, self._last_confidence, similarity)
         pair = decision.pair
 
         # (3) Residency: stall + energy when the model is not warm.
-        load = loader.ensure_loaded(pair)
+        if self._fast:
+            stall_s, load_energy, cold_load = loader.ensure_loaded_cost(pair)
+        else:
+            load = loader.ensure_loaded(pair)
+            stall_s, load_energy, cold_load = load.stall_s, load.energy_j, load.cold_load
 
-        # (4) Inference on the chosen accelerator.
-        accelerator = services.soc.accelerator(pair[1])
-        inference = services.engine.run_inference(pair[0], accelerator)
+        # (4) Inference on the chosen accelerator.  The fast tier uses the
+        # record-free cost accessor (identical draws and charges).
+        if self._fast:
+            accelerator = self._accelerators[pair[1]]
+            inference_s, inference_j = services.engine.inference_cost(pair[0], accelerator)
+        else:
+            accelerator = services.soc.accelerator(pair[1])
+            inference = services.engine.run_inference(pair[0], accelerator)
+            inference_s, inference_j = inference.latency_s, inference.energy_j
 
         # (5) Observe the detection; update context + feedback.
         outcome = services.trace.outcome(pair[0], frame.index)
@@ -114,6 +153,7 @@ class ShiftPipeline(Policy):
         self._last_box = outcome.box
         self._last_confidence = outcome.confidence
         self._current_pair = pair
+        self._last_index = frame.index
 
         # (6) Scheduler compute overhead (paper: <2 ms/frame).
         overhead_s = self.config.scheduler_overhead_s
@@ -135,18 +175,40 @@ class ShiftPipeline(Policy):
             iou=outcome.iou,
             ground_truth_present=frame.ground_truth is not None,
             detected=outcome.detected,
-            latency_s=inference.latency_s + load.stall_s + overhead_s,
-            inference_s=inference.latency_s,
-            stall_s=load.stall_s,
+            latency_s=inference_s + stall_s + overhead_s,
+            inference_s=inference_s,
+            stall_s=stall_s,
             overhead_s=overhead_s,
-            energy_j=inference.energy_j + load.energy_j + overhead_energy,
+            energy_j=inference_j + load_energy + overhead_energy,
             swap=pair != previous_pair,
-            cold_load=load.cold_load,
+            cold_load=cold_load,
             rescheduled=decision.rescheduled,
             similarity=similarity,
         )
 
     # ------------------------------------------------------------ misc
+
+    def fingerprint(self) -> str:
+        """Run-store identity: config + characterization + graph content.
+
+        Covers every input that can change a frame record: the full
+        :class:`ShiftConfig` (scheduler knobs, ablations, overheads), the
+        characterization bundle (traits seed the scheduler and the
+        initial confidence), and the confidence graph actually in use
+        (which may be shared/pre-built with its own parameters).
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            "\n".join(
+                (
+                    "shift",
+                    repr(self.config),
+                    self.bundle.fingerprint(),
+                    self._base_graph.fingerprint(),
+                )
+            ).encode("utf-8")
+        )
+        return digest.hexdigest()
 
     def _require_state(self) -> tuple[RuntimeServices, ShiftScheduler, DynamicModelLoader]:
         if self._services is None or self._scheduler is None or self._loader is None:

@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from .confidence_graph import ConfidenceGraph, Prediction
 from .config import ShiftConfig
 from .traits import Pair, TraitTable
@@ -62,11 +64,41 @@ class ShiftScheduler:
         for model in traits.models():
             self._buffers[model].append(traits.accuracy_prior(model))
 
+        # Static trait-score terms, precomputed once: the per-pair energy
+        # and latency contributions never change during a run, so a
+        # reschedule only has to add the accuracy term and argmax.  The
+        # two terms stay separate (not pre-summed) so the vectorized
+        # score reproduces the scalar loop's left-to-right float
+        # association ``(a*Wa + e*We) + l*Wl`` bit-for-bit.
+        w_acc, w_energy, w_latency = config.weights
+        self._pairs: list[Pair] = traits.pairs()  # sorted — ties resolve by index
+        self._pair_index: dict[Pair, int] = {pair: i for i, pair in enumerate(self._pairs)}
+        self._models: list[str] = traits.models()
+        self._model_buffers = [self._buffers[model] for model in self._models]
+        model_index = {model: i for i, model in enumerate(self._models)}
+        self._pair_model_idx = np.array(
+            [model_index[pair[0]] for pair in self._pairs], dtype=np.intp
+        )
+        self._energy_term = np.array(
+            [traits.get(pair).energy_score * w_energy for pair in self._pairs]
+        )
+        self._latency_term = np.array(
+            [traits.get(pair).latency_score * w_latency for pair in self._pairs]
+        )
+        # Dense CG view + its column for each schedulable model (-1 when the
+        # graph never saw the model); built lazily on the first fast select.
+        self._dense_cols: np.ndarray | None = None
+        # (averaged, scores) memo, invalidated whenever a buffer mutates:
+        # within one reschedule, select_fast and the prefetch ranking read
+        # the same momentum state, so the sums are computed once.
+        self._scores_memo: tuple[np.ndarray, np.ndarray] | None = None
+
     def reset(self) -> None:
         """Clear momentum buffers back to the characterization prior."""
         for model, buffer in self._buffers.items():
             buffer.clear()
             buffer.append(self.traits.accuracy_prior(model))
+        self._scores_memo = None
 
     # ---------------------------------------------------------- heuristic
 
@@ -77,6 +109,7 @@ class ShiftScheduler:
         similarity: float,
     ) -> SchedulingDecision:
         """Run Algorithm 1 for one frame."""
+        self._scores_memo = None  # the reference path mutates buffers below
         config = self.config
         # Line 3: stable context and confident model -> keep the pair.
         # (The context gate can be ablated away, forcing a full reschedule
@@ -147,6 +180,107 @@ class ShiftScheduler:
             predictions=averaged,
         )
 
+    # ---------------------------------------------------------- fast path
+
+    def _averaged_scores(self) -> tuple[np.ndarray, np.ndarray]:
+        """Momentum averages per model and full pair scores, vectorized.
+
+        The averages use the same ``sum(buffer) / len(buffer)`` arithmetic
+        as the scalar path; the pair scores apply the precomputed static
+        terms with the scalar loop's float association, so both are
+        bit-identical to :meth:`select`'s dict-based computation.  Memoized
+        until a buffer mutates (every path that appends drops the memo).
+        """
+        if self._scores_memo is None:
+            averaged = np.array([sum(buffer) / len(buffer) for buffer in self._model_buffers])
+            w_acc = self.config.weights[0]
+            scores = averaged[self._pair_model_idx] * w_acc + self._energy_term
+            scores += self._latency_term
+            self._scores_memo = (averaged, scores)
+        return self._scores_memo
+
+    def select_fast(
+        self,
+        current_pair: Pair,
+        confidence: float,
+        similarity: float,
+    ) -> SchedulingDecision:
+        """Algorithm 1 with a vectorized reschedule — same decisions as
+        :meth:`select`, bit-for-bit.
+
+        The dict-based reference path walks the CG prediction map, builds
+        :class:`Prediction` lists, and scores every pair in a Python loop
+        per reschedule.  This path reads the dense CG ndarray
+        (:meth:`ConfidenceGraph.dense`) and reduces scoring to one
+        score-and-argmax over the precomputed trait terms.  The decision's
+        ``scores``/``predictions`` diagnostics are left empty — the run
+        tier only consumes ``pair``/``rescheduled``/``similarity``;
+        callers that want the full dicts use :meth:`select`.
+        """
+        config = self.config
+        if (
+            config.context_gate
+            and similarity * confidence >= config.accuracy_goal
+            and current_pair in self.traits
+        ):
+            return SchedulingDecision(
+                pair=current_pair,
+                rescheduled=False,
+                similarity=similarity,
+                scores={},
+                predictions={},
+            )
+
+        # Momentum updates from the dense CG row (same floats, same
+        # per-model append order as the sorted Prediction list).
+        if config.use_confidence_graph:
+            if self._dense_cols is None:
+                dense = self.graph.dense()
+                self._dense_cols = np.array(
+                    [dense.model_index.get(model, -1) for model in self._models],
+                    dtype=np.intp,
+                )
+            row = self.graph.dense().row(current_pair[0], confidence)
+            if row is not None:
+                accuracy_row, valid_row = row
+                for i, model in enumerate(self._models):
+                    col = self._dense_cols[i]
+                    if col >= 0 and valid_row[col]:
+                        self._buffers[model].append(float(accuracy_row[col]))
+                self._scores_memo = None
+        elif current_pair[0] in self._buffers:
+            self._buffers[current_pair[0]].append(confidence)
+            self._scores_memo = None
+
+        averaged, scores = self._averaged_scores()
+
+        goal_mask = averaged >= config.accuracy_goal
+        if not goal_mask.any():
+            goal_mask = np.ones_like(goal_mask)
+        pair_mask = goal_mask[self._pair_model_idx]
+
+        masked = np.where(pair_mask, scores, -np.inf)
+        best = masked.max()
+        # Ties break to the largest index == lexicographically largest
+        # pair (the pair list is sorted), matching the scalar max key.
+        best_idx = int(np.flatnonzero(masked == best)[-1])
+        best_pair = self._pairs[best_idx]
+        current_idx = self._pair_index.get(current_pair)
+        if (
+            current_idx is not None
+            and pair_mask[current_idx]
+            and best_idx != current_idx
+            and masked[best_idx] <= masked[current_idx] + config.switch_margin
+        ):
+            best_pair = current_pair
+        return SchedulingDecision(
+            pair=best_pair,
+            rescheduled=True,
+            similarity=similarity,
+            scores={},
+            predictions={},
+        )
+
     # ------------------------------------------------------------- state
 
     def predicted_accuracy(self, model_name: str) -> float:
@@ -157,15 +291,13 @@ class ShiftScheduler:
         return sum(buffer) / len(buffer)
 
     def ranked_pairs(self) -> list[Pair]:
-        """All pairs ranked by the current estimates (for DML prefetch)."""
-        w_acc, w_energy, w_latency = self.config.weights
-        scores = {}
-        for pair in self.traits.pairs():
-            pair_traits = self.traits.get(pair)
-            accuracy = self.predicted_accuracy(pair[0])
-            scores[pair] = (
-                accuracy * w_acc
-                + pair_traits.energy_score * w_energy
-                + pair_traits.latency_score * w_latency
-            )
-        return sorted(scores, key=lambda pair: (-scores[pair], pair[0], pair[1]))
+        """All pairs ranked by the current estimates (for DML prefetch).
+
+        Vectorized over the precomputed static terms; the stable argsort
+        over the (sorted) pair list reproduces the dict-based
+        ``sorted(..., key=(-score, pair))`` ranking exactly, so both the
+        reference and fast pipelines see identical prefetch order.
+        """
+        _, scores = self._averaged_scores()
+        order = np.argsort(-scores, kind="stable")
+        return [self._pairs[i] for i in order]

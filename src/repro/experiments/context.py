@@ -16,7 +16,7 @@ from ..characterization import CharacterizationBundle, characterize
 from ..core import ConfidenceGraph
 from ..data import Scenario, evaluation_scenarios, scenario_by_name
 from ..models import ModelZoo, default_zoo
-from ..runtime import ExperimentRunner, TraceCache, TraceStore
+from ..runtime import ExperimentRunner, RunStore, TraceCache, TraceStore
 from ..sim import SoC, xavier_nx_with_oakd
 
 
@@ -26,8 +26,12 @@ class ExperimentContext:
 
     ``trace_store`` points the trace tier at a directory so traces persist
     across processes (a second benchmark/CLI invocation rebuilds nothing);
-    ``max_workers`` > 1 fans trace building across worker processes.  Both
-    default off, preserving the fully in-memory serial behaviour.
+    ``run_store`` does the same for the run tier (finished policy runs,
+    keyed by policy/trace/SoC/seed fingerprints — a repeat sweep is a pure
+    metrics reload); ``max_workers`` > 1 fans trace building across worker
+    processes.  All default off, preserving the fully in-memory serial
+    behaviour.  ``fast_runs`` selects the bit-identical fast-run engine
+    (on by default; turn off to exercise the scalar reference path).
     """
 
     scale: float = 1.0
@@ -36,7 +40,9 @@ class ExperimentContext:
     engine_seed: int = 1234
     zoo: ModelZoo = field(default_factory=default_zoo)
     trace_store: str | Path | None = None
+    run_store: str | Path | None = None
     max_workers: int | None = None
+    fast_runs: bool = True
     _soc: SoC | None = None
     _bundle: CharacterizationBundle | None = None
     _cache: TraceCache | None = None
@@ -86,6 +92,8 @@ class ExperimentContext:
                 cache=self.cache,
                 max_workers=self.max_workers,
                 engine_seed=self.engine_seed,
+                run_store=RunStore(self.run_store) if self.run_store is not None else None,
+                fast=self.fast_runs,
             )
         return self._runner
 

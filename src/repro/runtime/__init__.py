@@ -20,6 +20,7 @@ from .experiment import ExperimentRunner
 from .policy import Policy, RuntimeServices
 from .records import FrameRecord, RunResult
 from .runner import run_policy, run_policy_on_scenarios
+from .runstore import RunKey, RunSchemaError, RunStore, run_from_dict, run_to_dict
 from .store import TraceSchemaError, TraceStore, trace_from_dict, trace_to_dict
 from .trace import ScenarioTrace, TraceCache
 
@@ -51,4 +52,9 @@ __all__ = [
     "TraceSchemaError",
     "trace_to_dict",
     "trace_from_dict",
+    "RunStore",
+    "RunKey",
+    "RunSchemaError",
+    "run_to_dict",
+    "run_from_dict",
 ]

@@ -7,11 +7,16 @@ figures, the CLI, the benchmark harness — funnels through
 :class:`~repro.runtime.store.TraceStore`) and the process pool, so callers
 get three things for free:
 
-* **reuse** — a second invocation with the same store rebuilds nothing;
+* **reuse** — a second invocation with the same store rebuilds nothing,
+  and with a :class:`~repro.runtime.runstore.RunStore` attached a repeat
+  sweep doesn't even *run*: persisted metrics come back keyed by (policy,
+  trace, SoC, seed) fingerprints;
 * **parallelism** — trace builds fan out per (scenario, model-chunk), and
   sweeps can run whole (policy, scenario) pairs in worker processes;
-* **determinism** — results are bit-identical to the serial path (every
-  stochastic draw is seeded by content, never by scheduling).
+* **determinism** — results are bit-identical to the serial path and to
+  the scalar reference run loop (every stochastic draw is seeded by
+  content, never by scheduling; the fast run tier replays the reference
+  engine's draw order exactly).
 
 A sweep's platform comes from ``soc``: a zero-argument factory (fresh SoC
 per run — required for parallel runs, which execute in other processes) or
@@ -26,11 +31,12 @@ from typing import Callable, Sequence
 from ..data.generator import render_scenario, scenario_scenes
 from ..data.scenario import Scenario
 from ..models.zoo import ModelZoo, default_zoo
-from ..sim.soc import SoC
+from ..sim.soc import SoC, xavier_nx_with_oakd
 from .metrics import RunMetrics, aggregate
 from .policy import Policy
 from .records import RunResult
 from .runner import run_policy
+from .runstore import RunKey, RunStore
 from .store import TraceStore
 from .trace import (
     ScenarioTrace,
@@ -41,6 +47,14 @@ from .trace import (
 )
 
 SocLike = SoC | Callable[[], SoC] | None
+
+
+def _policy_fingerprint(policy: Policy) -> str | None:
+    """A policy's run-store identity, or None when it defines none."""
+    try:
+        return policy.fingerprint()
+    except NotImplementedError:
+        return None
 
 
 # Per-worker-process trace memo: a worker that runs several (policy,
@@ -56,12 +70,18 @@ def _run_pair_in_worker(
     store_root: str,
     engine_seed: int,
     soc_factory: Callable[[], SoC] | None,
+    fast: bool = False,
+    run_store_root: str | None = None,
+    soc_fingerprint: str | None = None,
 ) -> RunMetrics:
     """Run one (policy, scenario) pair in a worker process.
 
     The trace comes from the shared store (guaranteed warm — the parent
     builds all traces before dispatching pairs), so workers never repeat
-    the zoo sweep; module-level for picklability.
+    the zoo sweep; module-level for picklability.  The parent resolves
+    run-store *hits* before dispatching, so workers only see misses; with
+    ``run_store_root`` each worker persists its finished run (atomic
+    writes make concurrent workers safe).
     """
     key = (store_root, scenario.fingerprint(), zoo.fingerprint())
     trace = _WORKER_TRACES.get(key)
@@ -69,7 +89,22 @@ def _run_pair_in_worker(
         trace = TraceStore(store_root).get(scenario, zoo)
         _WORKER_TRACES[key] = trace
     soc = soc_factory() if soc_factory is not None else None
-    return aggregate(run_policy(policy, trace, soc=soc, engine_seed=engine_seed))
+    result = run_policy(policy, trace, soc=soc, engine_seed=engine_seed, fast=fast)
+    if run_store_root is not None and soc_fingerprint is not None:
+        fingerprint = _policy_fingerprint(policy)
+        if fingerprint is not None:
+            RunStore(run_store_root).save(
+                result,
+                RunKey(
+                    policy_name=policy.name,
+                    policy_fingerprint=fingerprint,
+                    scenario_fingerprint=scenario.fingerprint(),
+                    zoo_fingerprint=zoo.fingerprint(),
+                    soc_fingerprint=soc_fingerprint,
+                    engine_seed=engine_seed,
+                ),
+            )
+    return aggregate(result)
 
 
 class ExperimentRunner:
@@ -92,6 +127,8 @@ class ExperimentRunner:
         max_workers: int | None = None,
         engine_seed: int = 1234,
         soc: SocLike = None,
+        run_store: RunStore | None = None,
+        fast: bool = True,
     ) -> None:
         if cache is None:
             cache = TraceCache(zoo if zoo is not None else default_zoo(), store=store,
@@ -108,6 +145,16 @@ class ExperimentRunner:
         self.max_workers = max_workers if max_workers is not None else cache.max_workers
         self.engine_seed = engine_seed
         self.soc = soc
+        # Run tier: ``fast`` selects the bit-identical fast-run engine
+        # (planned jitter, cached context signals, vectorized scheduling);
+        # ``run_store`` persists finished runs so repeat sweeps are
+        # near-free.  ``run_store_hits``/``runs_executed`` let callers
+        # verify reuse, mirroring ``cache.builds`` on the trace tier.
+        self.run_store = run_store
+        self.fast = fast
+        self.run_store_hits = 0
+        self.runs_executed = 0
+        self._soc_fp: str | None = None
 
     @property
     def zoo(self) -> ModelZoo:
@@ -194,20 +241,76 @@ class ExperimentRunner:
                 self.cache.get(scenario)
         return [self.cache.get(scenario) for scenario in scenarios]
 
+    # ---------------------------------------------------------- run store
+
+    def _soc_fingerprint(self) -> str:
+        """The platform fingerprint runs are keyed by (computed once).
+
+        A SoC factory is assumed to be deterministic in *configuration*
+        (every call builds an equally shaped platform) — the factory
+        contract parallel runs already rely on.
+        """
+        if self._soc_fp is None:
+            if callable(self.soc):
+                self._soc_fp = self.soc().fingerprint()
+            elif self.soc is not None:
+                self._soc_fp = self.soc.fingerprint()
+            else:
+                self._soc_fp = xavier_nx_with_oakd().fingerprint()
+        return self._soc_fp
+
+    def _run_key(self, policy: Policy, scenario: Scenario) -> RunKey | None:
+        """The run-store key for one (policy, scenario) pair, if cacheable."""
+        if self.run_store is None:
+            return None
+        fingerprint = _policy_fingerprint(policy)
+        if fingerprint is None:
+            return None  # policies without an identity are never cached
+        return RunKey(
+            policy_name=policy.name,
+            policy_fingerprint=fingerprint,
+            scenario_fingerprint=scenario.fingerprint(),
+            zoo_fingerprint=self.zoo.fingerprint(),
+            soc_fingerprint=self._soc_fingerprint(),
+            engine_seed=self.engine_seed,
+        )
+
+    def _execute(self, policy: Policy, scenario: Scenario, key: RunKey | None) -> RunResult:
+        """Run a (guaranteed) store miss and persist the result."""
+        result = run_policy(
+            policy,
+            self.trace(scenario),
+            soc=self._fresh_soc(),
+            engine_seed=self.engine_seed,
+            fast=self.fast,
+        )
+        self.runs_executed += 1
+        if key is not None and self.run_store is not None:
+            self.run_store.save(result, key)
+        return result
+
     # ------------------------------------------------------------- sweeps
 
     def run(self, policy: Policy, scenario: Scenario) -> RunResult:
-        """Run one policy over one scenario on a fresh/reset platform."""
-        return run_policy(
-            policy, self.trace(scenario), soc=self._fresh_soc(), engine_seed=self.engine_seed
-        )
+        """Run one policy over one scenario on a fresh/reset platform.
+
+        With a run store attached, a previously persisted run for the
+        same (policy, trace, SoC, seed) key is returned without executing
+        anything.
+        """
+        key = self._run_key(policy, scenario)
+        if key is not None and self.run_store is not None:
+            cached = self.run_store.load(key)
+            if cached is not None:
+                self.run_store_hits += 1
+                return cached
+        return self._execute(policy, scenario, key)
 
     def run_policy_on_scenarios(
         self, policy: Policy, scenarios: Sequence[Scenario]
     ) -> list[RunMetrics]:
         """One metrics row per scenario, traces built concurrently."""
-        self.build_traces(scenarios)
-        return [aggregate(self.run(policy, scenario)) for scenario in scenarios]
+        return self.sweep([policy], scenarios)[policy.name]
 
     def sweep(
         self,
@@ -217,14 +320,17 @@ class ExperimentRunner:
     ) -> dict[str, list[RunMetrics]]:
         """Every policy over every scenario: ``{policy_name: [metrics...]}``.
 
-        Traces always build concurrently (given ``max_workers``).  With
-        ``parallel_runs=True`` the (policy, scenario) runs themselves also
-        fan out — this requires an on-disk store (workers reload traces
-        from it) and picklable policies, and produces metrics identical to
-        the serial path.  Note: run workers re-render frames from the
-        scenario script, so scenarios whose backgrounds were registered at
-        runtime need a fork start method (the default on Linux) for the
-        registration to be visible in workers.
+        Run-store hits are resolved first: a fully warm sweep returns
+        persisted metrics without building, loading, or rendering a
+        single trace.  Remaining misses build their traces concurrently
+        (given ``max_workers``) and run on the fast tier.  With
+        ``parallel_runs=True`` the missing (policy, scenario) runs also
+        fan out — this requires an on-disk trace store (workers reload
+        traces from it) and picklable policies, and produces metrics
+        identical to the serial path.  Note: run workers re-render frames
+        from the scenario script, so scenarios whose backgrounds were
+        registered at runtime need a fork start method (the default on
+        Linux) for the registration to be visible in workers.
         """
         workers = self.max_workers or 1
         if parallel_runs and workers > 1:
@@ -234,29 +340,72 @@ class ExperimentRunner:
                 raise ValueError("parallel_runs requires a TraceStore-backed runner")
             if self.soc is not None and not callable(self.soc):
                 raise ValueError("parallel_runs requires a SoC factory, not an instance")
-        self.build_traces(scenarios)
-        if parallel_runs and workers > 1:
-            pairs = [(policy, scenario) for policy in policies for scenario in scenarios]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(
-                        _run_pair_in_worker,
-                        policy,
-                        scenario,
-                        self.zoo,
-                        str(self.store.root),
-                        self.engine_seed,
-                        self.soc,
-                    )
-                    for policy, scenario in pairs
-                ]
-                results = [future.result() for future in futures]
-            sweep_result: dict[str, list[RunMetrics]] = {}
-            for (policy, _), metrics in zip(pairs, results):
-                sweep_result.setdefault(policy.name, []).append(metrics)
-            return sweep_result
 
-        return {
-            policy.name: [aggregate(self.run(policy, scenario)) for scenario in scenarios]
-            for policy in policies
-        }
+        pairs = [(policy, scenario) for policy in policies for scenario in scenarios]
+        resolved: dict[int, RunMetrics] = {}
+        misses: list[tuple[int, RunKey | None]] = []
+        for index, (policy, scenario) in enumerate(pairs):
+            key = self._run_key(policy, scenario)
+            cached = (
+                self.run_store.load_metrics(key)
+                if key is not None and self.run_store is not None
+                else None
+            )
+            if cached is not None:
+                self.run_store_hits += 1
+                resolved[index] = cached
+            else:
+                misses.append((index, key))
+
+        if misses:
+            # Only scenarios that actually miss need a trace.
+            missing_scenarios: list[Scenario] = []
+            seen: set[str] = set()
+            for index, _ in misses:
+                scenario = pairs[index][1]
+                if scenario.fingerprint() not in seen:
+                    seen.add(scenario.fingerprint())
+                    missing_scenarios.append(scenario)
+            self.build_traces(missing_scenarios)
+
+            if parallel_runs and workers > 1:
+                run_store_root = (
+                    str(self.run_store.root) if self.run_store is not None else None
+                )
+                soc_fp = self._soc_fingerprint() if self.run_store is not None else None
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        index: pool.submit(
+                            _run_pair_in_worker,
+                            pairs[index][0],
+                            pairs[index][1],
+                            self.zoo,
+                            str(self.store.root),
+                            self.engine_seed,
+                            self.soc,
+                            self.fast,
+                            run_store_root,
+                            soc_fp,
+                        )
+                        for index, _ in misses
+                    }
+                    for index, future in futures.items():
+                        resolved[index] = future.result()
+                        self.runs_executed += 1
+            else:
+                # The pre-resolution loop proved these are misses; reuse
+                # its keys instead of re-deriving and re-querying.
+                for index, key in misses:
+                    policy, scenario = pairs[index]
+                    resolved[index] = aggregate(self._execute(policy, scenario, key))
+
+        count = len(scenarios)
+        sweep_result: dict[str, list[RunMetrics]] = {}
+        for p, policy in enumerate(policies):
+            # Policies sharing a name concatenate their rows in policy
+            # order (scenario-major within each policy) — every executed
+            # run is returned, never silently dropped.
+            sweep_result.setdefault(policy.name, []).extend(
+                resolved[p * count + s] for s in range(count)
+            )
+        return sweep_result

@@ -21,11 +21,20 @@ from .trace import ScenarioTrace
 
 @dataclass
 class RuntimeServices:
-    """Everything a policy may touch while running a scenario."""
+    """Everything a policy may touch while running a scenario.
+
+    ``fast`` marks a fast-tier run: the engine pre-plans its jitter
+    stream, and policies that support it (SHIFT, Marlin) serve the
+    policy-independent half of their context signals from trace-level
+    caches instead of recomputing per frame.  Results are bit-identical
+    either way — the differential harness's ``fastrun`` check enforces
+    full :class:`~repro.runtime.records.FrameRecord` equality.
+    """
 
     trace: ScenarioTrace
     soc: SoC
     engine: ExecutionEngine
+    fast: bool = False
 
 
 class Policy(ABC):
@@ -41,3 +50,17 @@ class Policy(ABC):
     @abstractmethod
     def step(self, frame: Frame) -> FrameRecord:
         """Process one frame and account for its time and energy."""
+
+    def fingerprint(self) -> str:
+        """Content-addressed identity of this policy's configuration.
+
+        The run store keys persisted results by this digest, so it must
+        cover *everything* that can change the policy's frame records —
+        model choices, thresholds, scheduler knobs, characterization
+        inputs.  The base class deliberately has no default: a policy
+        that does not define its identity is simply never cached (the
+        runner treats :class:`NotImplementedError` as "skip the store").
+        """
+        raise NotImplementedError(
+            f"policy {self.name!r} defines no fingerprint; runs cannot be persisted"
+        )

@@ -6,7 +6,7 @@ from typing import Callable
 
 from ..data.scenario import Scenario
 from ..models.zoo import ModelZoo
-from ..sim.engine import ExecutionEngine
+from ..sim.engine import ExecutionEngine, PlannedExecutionEngine
 from ..sim.soc import SoC, xavier_nx_with_oakd
 from .metrics import RunMetrics
 from .policy import Policy, RuntimeServices
@@ -19,17 +19,26 @@ def run_policy(
     trace: ScenarioTrace,
     soc: SoC | None = None,
     engine_seed: int = 1234,
+    fast: bool = False,
 ) -> RunResult:
     """Run one policy over one traced scenario on a fresh platform.
 
     A new (or reset) SoC guarantees run isolation: no residual model
     residency, energy, or virtual time leaks between policies.
+
+    ``fast=True`` selects the fast-run tier: the engine plans its jitter
+    stream in segment batches (:class:`PlannedExecutionEngine`) and
+    fast-aware policies serve context signals from trace-level caches and
+    vectorized scheduling.  Records are bit-identical to the default
+    (reference) path — ``repro.verify.differential``'s ``fastrun`` check
+    proves it per scenario.
     """
     if soc is None:
         soc = xavier_nx_with_oakd()
     soc.reset()
-    engine = ExecutionEngine(soc, seed=engine_seed)
-    services = RuntimeServices(trace=trace, soc=soc, engine=engine)
+    engine_cls = PlannedExecutionEngine if fast else ExecutionEngine
+    engine = engine_cls(soc, seed=engine_seed)
+    services = RuntimeServices(trace=trace, soc=soc, engine=engine, fast=fast)
     policy.begin(services)
     result = RunResult(policy_name=policy.name, scenario_name=trace.scenario.name)
     for frame in trace.frames:

@@ -50,7 +50,7 @@ from ..data.scene import SceneState
 from ..models.detector import DetectionOutcome, SceneBatch, detect_batch
 from ..models.spec import ModelSpec
 from ..models.zoo import ModelZoo
-from ..vision.ncc import stacked_ncc
+from ..vision.ncc import box_ncc, stacked_ncc
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .store import TraceStore
@@ -135,6 +135,7 @@ class ScenarioTrace:
         self.outcomes = outcomes
         self._frames = frames
         self._frame_ncc: np.ndarray | None = None
+        self._box_ncc: dict[tuple[str, int], float] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         rendered = "rendered" if self._frames is not None else "lazy"
@@ -212,6 +213,33 @@ class ScenarioTrace:
         if self._frame_ncc is None:
             self._frame_ncc = stacked_ncc([frame.image for frame in self.frames])
         return self._frame_ncc
+
+    def box_context_ncc(self, model_name: str, frame_index: int) -> float:
+        """Box-local context similarity of one model's detection, memoized.
+
+        The SHIFT context signal's box half compares the crop of the
+        *previous* frame's detection box in that frame against the same
+        box region in the next frame.  Because detection outcomes are pure
+        functions of (model, frame), so is this value: it only depends on
+        ``outcome(model_name, frame_index).box`` and frames
+        ``frame_index``/``frame_index + 1`` — never on which policy asked.
+        Memoizing it on the trace lets every run, policy variant, and
+        sweep over the same trace share the crop/resize/NCC work, exactly
+        as :meth:`consecutive_frame_ncc` shares the full-frame half.
+
+        Bit-identical to :func:`repro.vision.ncc.box_ncc` on the same
+        inputs (it *is* that call, cached).
+        """
+        key = (model_name, frame_index)
+        value = self._box_ncc.get(key)
+        if value is None:
+            frames = self.frames
+            box = self.outcome(model_name, frame_index).box
+            value = box_ncc(
+                frames[frame_index].image, box, frames[frame_index + 1].image, box
+            )
+            self._box_ncc[key] = value
+        return value
 
     def outcome(self, model_name: str, frame_index: int) -> DetectionOutcome:
         """The outcome ``model_name`` produces on frame ``frame_index``."""

@@ -2,7 +2,7 @@
 
 from .accelerator import Accelerator
 from .clock import VirtualClock
-from .engine import ExecutionEngine, InferenceRecord, LoadRecord
+from .engine import ExecutionEngine, InferenceRecord, LoadRecord, PlannedExecutionEngine
 from .memory import MemoryPool, OutOfMemoryError
 from .power import EnergyMeter, EnergySample
 from .profiles import (
@@ -23,6 +23,7 @@ __all__ = [
     "Accelerator",
     "VirtualClock",
     "ExecutionEngine",
+    "PlannedExecutionEngine",
     "InferenceRecord",
     "LoadRecord",
     "MemoryPool",

@@ -62,9 +62,14 @@ class ExecutionEngine:
         if latency_jitter < 0 or power_jitter < 0:
             raise ValueError("jitter fractions must be non-negative")
         self.soc = soc
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
+        self._rng = self._make_rng(seed)
         self.latency_jitter = latency_jitter
         self.power_jitter = power_jitter
+
+    def _make_rng(self, seed: int) -> np.random.Generator:
+        """The engine's jitter stream (subclasses may seed it differently)."""
+        return np.random.default_rng(seed)
 
     def _jittered(self, mean: float, fraction: float) -> float:
         if fraction == 0:
@@ -100,6 +105,23 @@ class ExecutionEngine:
             started_at=started,
         )
 
+    def inference_cost(self, model_name: str, accelerator: Accelerator) -> tuple[float, float]:
+        """``(latency_s, energy_j)`` of one inference, record-free.
+
+        Identical draws, clock advance, and meter charge as
+        :meth:`run_inference` — only the :class:`InferenceRecord`
+        construction is skipped.  The fast run tier calls this on its
+        per-frame path, where building a record object per inference is
+        measurable overhead; callers that need the full record (tables,
+        characterization) keep using :meth:`run_inference`.
+        """
+        point = perf_point(model_name, accelerator.accel_class)
+        latency = self._jittered(point.latency_s, self.latency_jitter)
+        power = self._jittered(point.power_w, self.power_jitter)
+        self.soc.clock.advance(latency)
+        self.soc.meter.charge(accelerator.power_rail, power, latency)
+        return latency, latency * power
+
     def run_load(
         self,
         model_name: str,
@@ -131,4 +153,59 @@ class ExecutionEngine:
     def charge_overhead(self, rail: str, power_w: float, duration_s: float) -> None:
         """Charge a fixed overhead interval (e.g. scheduler compute time)."""
         self.soc.clock.advance(duration_s)
-        self.soc.meter.record_draw(rail, power_w, duration_s)
+        self.soc.meter.charge(rail, power_w, duration_s)
+
+
+# Jitter draws pre-drawn per segment by the planned engine.  Each frame
+# consumes 2 draws (inference latency + power) plus 2 per cold load, so one
+# segment covers ~100-250 frames of a typical run.
+DRAW_SEGMENT = 512
+
+
+class PlannedExecutionEngine(ExecutionEngine):
+    """Plan/replay variant: jitter is pre-drawn in segment batches.
+
+    The scalar engine pays a Python-level ``Generator.normal`` call for
+    every latency and power sample — the dominant per-frame cost of the
+    engine itself once the rest of the run tier is vectorized.  This
+    engine *plans* the jitter stream instead: it draws
+    :data:`DRAW_SEGMENT` standard normals at a time with one vectorized
+    call and *replays* them one by one as inference/load operations
+    arrive, whatever (model, accelerator) pair each operation targets.
+
+    Draw order — and therefore every latency/energy sample — is exactly
+    the scalar engine's:
+
+    * NumPy fills ``standard_normal(n)`` by looping the same ziggurat
+      routine a scalar draw uses, so a batched segment consumes the bit
+      stream identically to ``n`` sequential scalar draws;
+    * ``Generator.normal(0.0, f)`` computes ``0.0 + f * z`` from one
+      standard normal ``z``, so ``f * z`` reproduces it bit-for-bit;
+    * the generator itself is positioned by :mod:`repro.models.fastrng`
+      (the vectorized ``SeedSequence`` replay behind the batched
+      detector) exactly where ``np.random.default_rng(seed)`` starts.
+
+    Equality with :class:`ExecutionEngine` over mixed operation sequences
+    is asserted in ``tests/sim/test_engine.py``; whole-run ``RunResult``
+    equality is enforced by ``repro.verify.differential``'s ``fastrun``
+    check.
+    """
+
+    def _make_rng(self, seed: int) -> np.random.Generator:
+        from ..models.fastrng import DrawPool, pcg64_state_words
+
+        self._draws = np.empty(0, dtype=np.float64)
+        self._cursor = 0
+        self._pool = DrawPool()  # owns the bit generator we keep re-using
+        return self._pool.generator_for(pcg64_state_words([int(seed)], count=1)[0])
+
+    def _jittered(self, mean: float, fraction: float) -> float:
+        if fraction == 0:
+            return mean
+        cursor = self._cursor
+        if cursor >= self._draws.shape[0]:
+            self._draws = self._rng.standard_normal(DRAW_SEGMENT)
+            cursor = 0
+        self._cursor = cursor + 1
+        sample = mean * (1.0 + fraction * self._draws[cursor])
+        return max(mean * 0.5, min(mean * 1.5, sample))

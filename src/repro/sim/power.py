@@ -54,6 +54,20 @@ class EnergyMeter:
         self.record(sample)
         return sample
 
+    def charge(self, rail: str, power_watts: float, duration_s: float) -> None:
+        """Record-free accumulate: :meth:`record_draw` without the sample.
+
+        Same validation, same ``power x duration`` arithmetic, same
+        counter — only the :class:`EnergySample` construction is skipped.
+        The run tier's per-frame path charges through this.
+        """
+        if power_watts < 0.0:
+            raise ValueError(f"power must be non-negative, got {power_watts}")
+        if duration_s < 0.0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        self._per_rail[rail] = self._per_rail.get(rail, 0.0) + power_watts * duration_s
+        self._sample_count += 1
+
     @property
     def total_joules(self) -> float:
         """Total energy across all rails."""

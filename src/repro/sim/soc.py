@@ -8,6 +8,7 @@ used to quantify the value of heterogeneity.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from .accelerator import Accelerator
@@ -73,6 +74,33 @@ class SoC:
             accel.memory.clear()
         self.meter.reset()
         self.clock.reset()
+
+    def fingerprint(self) -> str:
+        """Content-addressed identity of the platform *configuration*.
+
+        Hashes the name and every accelerator's static shape (name, class,
+        memory budget, power rail, schedulability) — the things that
+        change run results across platforms.  Mutable run state (clock,
+        meter, residency) is deliberately excluded: runs always start
+        from :meth:`reset`, so two equally configured SoCs are
+        interchangeable.  The run store keys persisted runs by this.
+        """
+        digest = hashlib.sha256()
+        parts = [self.name]
+        for accel in self.accelerators:
+            parts.append(
+                "|".join(
+                    (
+                        accel.name,
+                        accel.accel_class.value,
+                        repr(accel.memory.capacity_mb),
+                        accel.power_rail,
+                        str(int(accel.schedulable)),
+                    )
+                )
+            )
+        digest.update("\n".join(parts).encode("utf-8"))
+        return digest.hexdigest()
 
 
 def xavier_nx_with_oakd(dla_count: int = 1) -> SoC:

@@ -14,10 +14,12 @@ from .differential import (
     CheckResult,
     ScenarioReport,
     check_detect_equality,
+    check_fast_run_equivalence,
     check_render_equality,
     check_run_invariants,
     check_store_roundtrip,
     check_trace_invariants,
+    default_fast_run_policy_factories,
     verify_scenario,
 )
 from .fuzz import (
@@ -39,6 +41,8 @@ __all__ = [
     "check_store_roundtrip",
     "check_trace_invariants",
     "check_run_invariants",
+    "check_fast_run_equivalence",
+    "default_fast_run_policy_factories",
     "verify_scenario",
     "DEFAULT_SAMPLE",
     "SCENARIOS_ENV",

@@ -26,7 +26,12 @@ cross-engine correctness witness:
 ``run``
     scheduler/runtime invariants — a policy pass over the trace yields
     monotone frame indices, non-negative latency/energy components, and
-    in-range scores.
+    in-range scores;
+``fastrun``
+    fast-run engine vs the reference pipeline — the planned-jitter
+    engine, cached context signals, and vectorized scheduler must
+    reproduce every :class:`~repro.runtime.records.FrameRecord` of the
+    scalar reference path bit-for-bit, for SHIFT and the baselines.
 
 Each check returns a :class:`CheckResult`; :func:`verify_scenario` runs a
 selection of them against one scenario, sharing the trace build.  The fuzz
@@ -38,24 +43,27 @@ from __future__ import annotations
 
 import math
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
 
+from ..baselines.marlin import MarlinPolicy
 from ..baselines.single_model import SingleModelPolicy
 from ..data.generator import generate_frames, scenario_scenes
 from ..data.scenario import Scenario
 from ..models.detector import detect
 from ..models.zoo import ModelZoo, default_zoo
 from ..runtime.policy import Policy
+from ..runtime.records import FrameRecord
 from ..runtime.runner import run_policy
 from ..runtime.store import TraceStore
 from ..runtime.trace import ScenarioTrace
 
 # All check names, in the order verify_scenario runs them.
-CHECKS = ("render", "detect", "store", "trace", "run")
+CHECKS = ("render", "detect", "store", "trace", "run", "fastrun")
 
 # Tolerance for NCC leaving [-1, 1] through floating-point rounding.
 _NCC_SLACK = 1e-9
@@ -266,6 +274,114 @@ def check_run_invariants(
     return _ok("run")
 
 
+@lru_cache(maxsize=1)
+def _fast_run_shift_inputs():
+    """One small characterization bundle + graph, shared process-wide.
+
+    The fastrun check needs a real :class:`~repro.core.ShiftPipeline` —
+    the policy the fast tier rewrites most aggressively — but must not
+    re-run the offline phase per scenario.  A reduced validation set
+    keeps the one-time cost small; the check compares fast vs reference
+    *runs*, so the bundle's absolute quality is irrelevant as long as
+    both paths consume the same one.
+    """
+    from ..characterization import characterize
+    from ..core import ConfidenceGraph
+    from ..sim.soc import xavier_nx_with_oakd
+
+    bundle = characterize(default_zoo(), xavier_nx_with_oakd(), validation_size=160)
+    graph = ConfidenceGraph.build(bundle.observations)
+    return bundle, graph
+
+
+def default_fast_run_policy_factories(
+    traced_models: Sequence[str] | None = None,
+) -> list[Callable[[], Policy]]:
+    """Fresh-policy factories covering every fast-tier rewrite.
+
+    SHIFT exercises the cached context signal, the dense CG lookup, and
+    the vectorized scheduler; Marlin the cached scene-change gate; the
+    single-model baseline isolates the planned engine (it uses no context
+    signal at all).  Factories return *fresh* instances — policies are
+    stateful, and sharing one across the reference and fast runs would
+    let state leak between the two sides of the comparison.
+
+    ``traced_models`` restricts the set to policies the trace can serve:
+    SHIFT (characterized against the default zoo) needs every default
+    model present, Marlin/single need their own model.  Traces built from
+    reduced zoos then still get a meaningful check — at minimum a
+    single-model policy over the first traced model — instead of a
+    mid-run ``KeyError``.
+    """
+    available = None if traced_models is None else set(traced_models)
+
+    def covered(*models: str) -> bool:
+        return available is None or all(model in available for model in models)
+
+    def shift() -> Policy:
+        from ..core import ShiftPipeline
+
+        bundle, graph = _fast_run_shift_inputs()
+        return ShiftPipeline(bundle, graph=graph)
+
+    factories: list[Callable[[], Policy]] = []
+    if covered(*default_zoo().names()):
+        factories.append(shift)
+    if covered("yolov7"):
+        factories.append(lambda: MarlinPolicy("yolov7"))
+    if covered("yolov7-tiny"):
+        factories.append(lambda: SingleModelPolicy("yolov7-tiny", "gpu"))
+    if not factories and available:
+        fallback = sorted(available)[0]
+        factories.append(lambda: SingleModelPolicy(fallback, "gpu"))
+    return factories
+
+
+def check_fast_run_equivalence(
+    trace: ScenarioTrace,
+    policy_factories: Sequence[Callable[[], Policy]] | None = None,
+    engine_seed: int = 1234,
+) -> CheckResult:
+    """The fast-run engine must equal the reference pipeline bit-for-bit.
+
+    Runs each policy twice over the same trace — once on the scalar
+    reference path, once on the fast tier (planned engine, cached
+    context, vectorized scheduler) — and demands full
+    :class:`FrameRecord` equality on every frame.  On mismatch the
+    detail names the policy, frame, and first differing fields.
+    """
+    factories = (
+        list(policy_factories)
+        if policy_factories is not None
+        else default_fast_run_policy_factories(trace.model_names())
+    )
+    for factory in factories:
+        reference = run_policy(factory(), trace, engine_seed=engine_seed, fast=False)
+        fast = run_policy(factory(), trace, engine_seed=engine_seed, fast=True)
+        label = reference.policy_name
+        if fast.policy_name != label or fast.scenario_name != reference.scenario_name:
+            return _fail("fastrun", f"policy {label!r}: run identity differs")
+        if fast.frame_count != reference.frame_count:
+            return _fail(
+                "fastrun",
+                f"policy {label!r}: {fast.frame_count} fast frames vs "
+                f"{reference.frame_count} reference frames",
+            )
+        for i, (ref_record, fast_record) in enumerate(zip(reference.records, fast.records)):
+            if ref_record != fast_record:
+                differing = [
+                    f.name
+                    for f in fields(FrameRecord)
+                    if getattr(ref_record, f.name) != getattr(fast_record, f.name)
+                ]
+                return _fail(
+                    "fastrun",
+                    f"policy {label!r}, frame {i}: fast engine diverges on "
+                    f"{', '.join(differing)}",
+                )
+    return _ok("fastrun")
+
+
 def verify_scenario(
     scenario: Scenario,
     zoo: ModelZoo | None = None,
@@ -305,4 +421,6 @@ def verify_scenario(
             report.results.append(check_trace_invariants(trace))
         elif check == "run":
             report.results.append(check_run_invariants(trace))
+        elif check == "fastrun":
+            report.results.append(check_fast_run_equivalence(trace))
     return report

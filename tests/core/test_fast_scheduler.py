@@ -1,0 +1,116 @@
+"""Fast-path scheduler and dense CG lookup: equality with the reference.
+
+``select_fast`` and ``DenseConfidenceLookup`` exist purely for speed; the
+only property worth testing is that they are indistinguishable from the
+dict-based reference — same decisions, same momentum state, same floats —
+across the input space (seeded random sweeps over confidence/similarity).
+"""
+
+import random
+
+import pytest
+
+from repro.characterization import characterize
+from repro.core import ConfidenceGraph, ShiftConfig, ShiftScheduler, TraitTable
+from repro.models import default_zoo
+from repro.sim import xavier_nx_with_oakd
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return characterize(default_zoo(), xavier_nx_with_oakd(), validation_size=160)
+
+
+@pytest.fixture(scope="module")
+def graph(bundle):
+    return ConfidenceGraph.build(bundle.observations)
+
+
+@pytest.fixture(scope="module")
+def traits(bundle):
+    return TraitTable.build(bundle, xavier_nx_with_oakd())
+
+
+def _schedulers(traits, graph, config):
+    return (
+        ShiftScheduler(traits, graph, config),
+        ShiftScheduler(traits, graph, config),
+    )
+
+
+class TestDenseLookup:
+    def test_dense_matches_predict_everywhere(self, graph):
+        dense = graph.dense()
+        for model in graph.models():
+            for confidence in [i / 40 for i in range(41)]:
+                row = dense.row(model, confidence)
+                assert row is not None
+                accuracy, valid = row
+                predictions = {p.model_name: p for p in graph.predict(model, confidence)}
+                for target, idx in dense.model_index.items():
+                    if target in predictions:
+                        assert valid[idx]
+                        assert accuracy[idx] == predictions[target].accuracy
+                    else:
+                        assert not valid[idx]
+
+    def test_unknown_model_row_is_none(self, graph):
+        assert graph.dense().row("no-such-model", 0.5) is None
+
+    def test_dense_is_cached(self, graph):
+        assert graph.dense() is graph.dense()
+
+    def test_fingerprint_distinguishes_thresholds(self, graph):
+        assert graph.fingerprint() != graph.with_distance_threshold(0.25).fingerprint()
+        assert graph.fingerprint() == graph.fingerprint()
+
+
+class TestSelectFastEquality:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            ShiftConfig(),
+            ShiftConfig(context_gate=False),
+            ShiftConfig(use_confidence_graph=False),
+            ShiftConfig(accuracy_goal=0.9),  # goal nobody meets -> fallback branch
+            ShiftConfig(switch_margin=0.0),
+            ShiftConfig(momentum=3),
+        ],
+        ids=["paper", "no-gate", "no-cg", "high-goal", "no-margin", "short-momentum"],
+    )
+    def test_random_sweep_agrees_with_reference(self, traits, graph, config):
+        reference, fast = _schedulers(traits, graph, config)
+        rng = random.Random(42)
+        pairs = traits.pairs()
+        current_ref = current_fast = pairs[0]
+        for step in range(400):
+            confidence = rng.random()
+            similarity = rng.random()
+            ref_decision = reference.select(current_ref, confidence, similarity)
+            fast_decision = fast.select_fast(current_fast, confidence, similarity)
+            assert ref_decision.pair == fast_decision.pair, f"diverged at step {step}"
+            assert ref_decision.rescheduled == fast_decision.rescheduled
+            assert ref_decision.similarity == fast_decision.similarity
+            # Momentum state must track exactly, or later steps drift.
+            for model in traits.models():
+                assert reference.predicted_accuracy(model) == fast.predicted_accuracy(model)
+            current_ref, current_fast = ref_decision.pair, fast_decision.pair
+
+    def test_ranked_pairs_match_after_updates(self, traits, graph):
+        reference, fast = _schedulers(traits, graph, ShiftConfig())
+        rng = random.Random(7)
+        current = traits.pairs()[0]
+        for _ in range(50):
+            reference.select(current, rng.random(), rng.random())
+        rng = random.Random(7)
+        for _ in range(50):
+            fast.select_fast(current, rng.random(), rng.random())
+        assert reference.ranked_pairs() == fast.ranked_pairs()
+
+    def test_unschedulable_current_pair_forces_reschedule(self, traits, graph):
+        reference, fast = _schedulers(traits, graph, ShiftConfig())
+        ghost = ("yolov7", "no-such-accel")
+        ref_decision = reference.select(ghost, 0.99, 0.99)
+        fast_decision = fast.select_fast(ghost, 0.99, 0.99)
+        assert ref_decision.pair == fast_decision.pair
+        assert ref_decision.rescheduled and fast_decision.rescheduled

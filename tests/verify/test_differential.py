@@ -19,6 +19,7 @@ from repro.runtime import ScenarioTrace, TraceStore
 from repro.verify import (
     CHECKS,
     FuzzReport,
+    check_fast_run_equivalence,
     check_run_invariants,
     check_store_roundtrip,
     check_trace_invariants,
@@ -181,3 +182,58 @@ class TestHarnessDetectsViolations:
     def test_unknown_check_name_rejected(self, trace, zoo):
         with pytest.raises(ValueError, match="unknown checks"):
             verify_scenario(trace.scenario, zoo=zoo, checks=("render", "psychic"))
+
+    def test_fastrun_divergence_detected(self, trace):
+        # A policy whose records depend on the tier it runs under is
+        # exactly the bug class the fastrun check exists for; the detail
+        # must name the policy, frame, and differing fields.
+        from repro.baselines import SingleModelPolicy
+
+        class TierSensitivePolicy(SingleModelPolicy):
+            def __init__(self, model_name):
+                super().__init__(model_name)
+                self.name = "tier-sensitive"
+
+            def begin(self, services):
+                super().begin(services)
+                self._cheat = services.fast
+
+            def step(self, frame):
+                record = super().step(frame)
+                if self._cheat:
+                    import dataclasses
+
+                    record = dataclasses.replace(record, latency_s=record.latency_s * 2)
+                return record
+
+        result = check_fast_run_equivalence(
+            trace, policy_factories=[lambda: TierSensitivePolicy("yolov7-tiny")]
+        )
+        assert not result.passed
+        assert "tier-sensitive" in result.detail
+        assert "latency_s" in result.detail
+
+    def test_fastrun_adapts_to_reduced_zoos(self, trace, zoo):
+        # A trace built from a reduced zoo must still get a meaningful
+        # fastrun check (over the models it has), not a KeyError.
+        from repro.models import ModelZoo
+        from repro.verify import default_fast_run_policy_factories
+
+        small_zoo = ModelZoo([zoo.get("ssd-mobilenet-v2")])
+        small_trace = ScenarioTrace.build(trace.scenario, small_zoo)
+        factories = default_fast_run_policy_factories(small_trace.model_names())
+        assert len(factories) == 1  # single-model fallback over the traced model
+        result = check_fast_run_equivalence(small_trace)
+        assert result.passed, result.detail
+
+    def test_fastrun_passes_for_well_behaved_policies(self, trace):
+        from repro.baselines import MarlinPolicy, SingleModelPolicy
+
+        result = check_fast_run_equivalence(
+            trace,
+            policy_factories=[
+                lambda: SingleModelPolicy("yolov7-tiny", "gpu"),
+                lambda: MarlinPolicy("yolov7"),
+            ],
+        )
+        assert result.passed, result.detail
