@@ -1,0 +1,138 @@
+"""Bench: service tier — overlapping request mixes vs naive per-request sweeps.
+
+The service's job is to make M overlapping requests cost what their
+*union* of deduplicated unit jobs costs (plus scheduling), and to make a
+warm re-serve cost what M metric reloads cost.  This bench serves a
+seeded 8-request mix (the loadgen's shape) three ways:
+
+``naive``
+    each request swept independently by a storeless foreground
+    ``ExperimentRunner`` — what M clients would pay without the tier
+    (traces shared in memory; runs re-executed per request);
+``service (cold)``
+    one ``SweepService`` over fresh stores: duplicates coalesce, every
+    distinct job runs once;
+``service (warm)``
+    a second service over the now-populated stores: zero runs, zero
+    builds, pure metrics reloads.
+
+All three agree field-for-field (asserted).  The committed floor
+(``baseline.json``, enforced under ``REPRO_BENCH_ENFORCE_FLOOR=1``) is
+ratio-based and machine-independent: cold must beat naive by at least the
+mix's dedup factor discount, warm must beat naive by a large margin.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.data.grammar import ScenarioMatrix
+from repro.models import default_zoo
+from repro.runtime import ExperimentRunner, RunStore, TraceCache, TraceStore
+from repro.service import SweepService, overlapping_requests, policy_resolver
+
+_BASELINE = pathlib.Path(__file__).parent / "baseline.json"
+
+_POLICIES = ("single:yolov7-tiny@gpu", "marlin-tiny", "marlin")
+
+_MATRIX = ScenarioMatrix(
+    name="svcbench",
+    compositions=(("loiter",), ("crossing",), ("popup", "pan_burst")),
+    regimes=("day", "indoor"),
+    seeds=(9,),
+    frame_budgets=(96,),
+)
+
+
+def test_service_benchmark(report, best_of, tmp_path_factory):
+    scenarios = _MATRIX.scenarios()
+    requests = overlapping_requests(_POLICIES, scenarios, count=8, seed=13)
+    cells = sum(len(r.policies) * len(r.scenarios) for r in requests)
+    resolve = policy_resolver()
+
+    def naive():
+        # One storeless runner shared by every *client*: traces shared in
+        # memory (kindest plausible naive baseline), runs repeated per
+        # request because nothing remembers finished runs.
+        runner = ExperimentRunner(cache=TraceCache(default_zoo()))
+        return [
+            runner.sweep([resolve(spec) for spec in request.policies],
+                         request.resolve_scenarios())
+            for request in requests
+        ]
+
+    naive_s, naive_results = best_of(naive)
+
+    def cold():
+        root = tmp_path_factory.mktemp("svc")
+        with SweepService(
+            trace_store=TraceStore(root / "traces"),
+            run_store=RunStore(root / "runs"),
+            workers=4,
+        ) as service:
+            results = [h.result() for h in service.serve(requests)]
+        return results, service, root
+
+    cold_s, (cold_results, cold_service, store_root) = best_of(cold)
+
+    def warm():
+        with SweepService(
+            trace_store=TraceStore(store_root / "traces"),
+            run_store=RunStore(store_root / "runs"),
+            workers=4,
+        ) as service:
+            results = [h.result() for h in service.serve(requests)]
+        assert service.runs_executed == 0, "warm serve must not execute runs"
+        assert service.trace_builds == 0
+        return results
+
+    warm_s, warm_results = best_of(warm)
+
+    # Speed never changes results: all three paths agree exactly.
+    assert cold_results == naive_results
+    assert warm_results == naive_results
+    assert cold_service.corrupt_entries == 0
+
+    jobs = cold_service.jobs_scheduled
+    dedup_factor = cells / jobs
+    cold_speedup = naive_s / cold_s
+    warm_speedup = naive_s / warm_s
+    lines = [
+        f"service tier: 8 overlapping requests, {cells} cells -> {jobs} deduplicated jobs "
+        f"({dedup_factor:.1f}x coalesced), 4 workers",
+        f"  naive per-request    {naive_s:8.2f}s",
+        f"  service (cold)       {cold_s:8.2f}s  ({cold_speedup:.2f}x)",
+        f"  service (warm)       {warm_s:8.2f}s  ({warm_speedup:.2f}x)",
+    ]
+    report(
+        "service",
+        "\n".join(lines),
+        metrics={
+            "requests": len(requests),
+            "cells": cells,
+            "jobs": jobs,
+            "dedup_factor": round(dedup_factor, 3),
+            "rounds": best_of.rounds,
+            "naive_s": round(naive_s, 4),
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "cold_speedup": round(cold_speedup, 3),
+            "warm_speedup": round(warm_speedup, 3),
+        },
+    )
+
+    # The dedup win is structural (fewer runs), so it must show on any
+    # machine; quantitative floors are CI-gated like the other benches.
+    assert cold_s < naive_s
+    assert warm_s < cold_s
+
+    if os.environ.get("REPRO_BENCH_ENFORCE_FLOOR"):
+        floors = json.loads(_BASELINE.read_text(encoding="utf-8"))["service"]
+        assert cold_speedup >= floors["cold_speedup"], (
+            f"cold service speedup {cold_speedup:.2f}x fell below the committed floor "
+            f"({floors['cold_speedup']}x)"
+        )
+        assert warm_speedup >= floors["warm_speedup"], (
+            f"warm service speedup {warm_speedup:.2f}x fell below the committed floor "
+            f"({floors['warm_speedup']}x)"
+        )

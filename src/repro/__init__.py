@@ -80,6 +80,7 @@ from .runtime import (
     run_policy,
     run_policy_on_scenarios,
 )
+from .service import SweepHandle, SweepRequest, SweepService
 from .verify import FuzzReport, fuzz_matrix, fuzz_scenarios, verify_scenario
 from .sim import (
     AcceleratorClass,
@@ -129,6 +130,10 @@ __all__ = [
     "render_scenario",
     "scenario_by_name",
     "scenario_names",
+    # service
+    "SweepHandle",
+    "SweepRequest",
+    "SweepService",
     # verify
     "FuzzReport",
     "fuzz_matrix",

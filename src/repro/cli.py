@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro run shift s2_fixed_distance_crossing --scale 0.5
     python -m repro run marlin s1_multi_background_varying_distance
     python -m repro --workers 4 sweep shift,marlin
+    python -m repro serve jobs.json --service-workers 4   # many sweeps, one pool
+    python -m repro sweep --jobs jobs.json       # same batch front-end
     python -m repro scenarios --generated        # flight library + grammar matrix
     python -m repro verify --count 25 --seed 7   # differential fuzz sweep
     python -m repro characterize --out bundle.json
@@ -27,15 +29,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .baselines import (
-    MarlinPolicy,
-    SingleModelPolicy,
-    oracle_accuracy,
-    oracle_energy,
-    oracle_latency,
-)
 from .characterization import save_bundle
-from .core import ShiftPipeline, config_for_objective, objective_names
+from .core import objective_names
 from .experiments import (
     ExperimentContext,
     figure1,
@@ -51,6 +46,7 @@ from .experiments import (
     table4,
 )
 from .runtime import aggregate, run_policy
+from .service import ServiceError
 
 
 def _context(args: argparse.Namespace) -> ExperimentContext:
@@ -98,28 +94,27 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _policy_resolver(ctx: ExperimentContext, objective: str):
+    """The service policy registry, fed lazily from this context.
+
+    ``shift`` is resolved with the context's bundle/graph — touched only
+    when a shift policy is actually requested, so baseline-only commands
+    never pay for characterization.
+    """
+    from .service import policy_resolver
+
+    def resolve(name: str):
+        if name == "shift":
+            return policy_resolver(
+                bundle=ctx.bundle, graph=ctx.graph, objective=objective
+            )(name)
+        return policy_resolver(objective=objective)(name)
+
+    return resolve
+
+
 def _build_policy(name: str, ctx: ExperimentContext, objective: str):
-    if name == "shift":
-        config = config_for_objective(objective)
-        return ShiftPipeline(ctx.bundle, config=config, graph=ctx.graph)
-    if name == "marlin":
-        return MarlinPolicy("yolov7")
-    if name == "marlin-tiny":
-        return MarlinPolicy("yolov7-tiny")
-    if name == "oracle-e":
-        return oracle_energy()
-    if name == "oracle-a":
-        return oracle_accuracy()
-    if name == "oracle-l":
-        return oracle_latency()
-    if name.startswith("single:"):
-        _, _, rest = name.partition(":")
-        model, _, accel = rest.partition("@")
-        return SingleModelPolicy(model, accel or "gpu")
-    raise KeyError(
-        f"unknown policy {name!r}; try shift, marlin, marlin-tiny, oracle-e, "
-        "oracle-a, oracle-l, or single:<model>[@<accelerator>]"
-    )
+    return _policy_resolver(ctx, objective)(name)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -127,7 +122,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     try:
         policy = _build_policy(args.policy, ctx, args.objective)
         scenario = ctx.scenario(args.scenario)
-    except KeyError as exc:
+    except (KeyError, ServiceError) as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
     trace = ctx.cache.get(scenario)
@@ -160,9 +155,97 @@ def _cmd_headline(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _sweep_table(title: str, results: dict) -> str:
     from .experiments.report import TableData
     from .runtime import average_metrics
+
+    table = TableData(
+        title=title,
+        headers=["Policy", "Scenario", "IoU", "Success", "Time (s)", "Energy (J)", "Swaps"],
+    )
+    for policy_name, rows in results.items():
+        for m in rows:
+            table.add_row(policy_name, m.scenario_name, round(m.mean_iou, 3),
+                          f"{m.success_rate * 100:.1f}%", round(m.mean_latency_s, 4),
+                          round(m.mean_energy_j, 4), m.swaps)
+        avg = average_metrics(rows, policy_name)
+        table.add_row(policy_name, "average", round(avg.mean_iou, 3),
+                      f"{avg.success_rate * 100:.1f}%", round(avg.mean_latency_s, 4),
+                      round(avg.mean_energy_j, 4), avg.swaps)
+    return render_table(table)
+
+
+def _serve_requests(args: argparse.Namespace, jobs_path: str, workers: int) -> int:
+    """Run a jobs file's requests through the sweep service; shared by
+    ``serve`` and ``sweep --jobs``."""
+    from .service import SweepRequest, SweepService, load_jobs_file
+
+    ctx = _context(args)
+    try:
+        requests = load_jobs_file(jobs_path)
+    except ServiceError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        with SweepService(
+            zoo=ctx.zoo,
+            trace_store=args.trace_store,
+            run_store=args.run_store,
+            workers=workers,
+            trace_workers=args.workers,
+            engine_seed=ctx.engine_seed,
+            policy_resolver=_policy_resolver(ctx, args.objective),
+        ) as service:
+            handles = []
+            for request in requests:
+                # Resolve names through the context so --scale applies to
+                # served scenarios exactly as it does to foreground sweeps.
+                scenarios = tuple(
+                    ctx.scenario(s) if isinstance(s, str) and ctx.scale != 1.0 else s
+                    for s in request.scenarios
+                )
+                handles.append(
+                    service.submit(
+                        SweepRequest(
+                            policies=request.policies,
+                            scenarios=scenarios,
+                            request_id=request.request_id,
+                        )
+                    )
+                )
+            for request, handle in zip(requests, handles):
+                print(_sweep_table(
+                    f"Request {request.request_id}: {len(request.policies)} policies "
+                    f"x {len(request.scenarios)} scenarios",
+                    handle.result(),
+                ))
+            print(
+                f"service: {len(requests)} requests, {service.jobs_scheduled} jobs "
+                f"scheduled, {service.jobs_coalesced} coalesced, "
+                f"{service.runs_executed} runs executed, "
+                f"{service.run_store_hits} run-store hits, "
+                f"{service.trace_builds} trace builds, "
+                f"{service.corrupt_entries} corrupt entries"
+            )
+    except (KeyError, ServiceError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    return _serve_requests(args, args.jobs, args.service_workers)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.jobs is not None:
+        if args.policies is not None:
+            print("give either POLICIES or --jobs FILE, not both", file=sys.stderr)
+            return 2
+        return _serve_requests(args, args.jobs, args.service_workers)
+    if args.policies is None:
+        print("give POLICIES (comma-separated) or --jobs FILE", file=sys.stderr)
+        return 2
 
     ctx = _context(args)
     try:
@@ -173,7 +256,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                          for name in args.scenarios.split(",") if name.strip()]
         else:
             scenarios = ctx.scenarios()
-    except KeyError as exc:
+    except (KeyError, ServiceError) as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
     if not policies:
@@ -187,20 +270,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    table = TableData(
-        title=f"Sweep: {len(policies)} policies x {len(scenarios)} scenarios",
-        headers=["Policy", "Scenario", "IoU", "Success", "Time (s)", "Energy (J)", "Swaps"],
-    )
-    for policy_name, rows in results.items():
-        for m in rows:
-            table.add_row(policy_name, m.scenario_name, round(m.mean_iou, 3),
-                          f"{m.success_rate * 100:.1f}%", round(m.mean_latency_s, 4),
-                          round(m.mean_energy_j, 4), m.swaps)
-        avg = average_metrics(rows, policy_name)
-        table.add_row(policy_name, "average", round(avg.mean_iou, 3),
-                      f"{avg.success_rate * 100:.1f}%", round(avg.mean_latency_s, 4),
-                      round(avg.mean_energy_j, 4), avg.swaps)
-    print(render_table(table))
+    print(_sweep_table(
+        f"Sweep: {len(policies)} policies x {len(scenarios)} scenarios", results
+    ))
     return 0
 
 
@@ -312,7 +384,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.set_defaults(func=_cmd_run)
 
     sweep_cmd = commands.add_parser("sweep", help="run several policies over several scenarios")
-    sweep_cmd.add_argument("policies", help="comma-separated policy names (see 'run')")
+    sweep_cmd.add_argument("policies", nargs="?", default=None,
+                           help="comma-separated policy names (see 'run'); omit with --jobs")
     sweep_cmd.add_argument("--scenarios", default=None,
                            help="comma-separated scenario names (default: the six evaluation ones)")
     sweep_cmd.add_argument("--objective", default="paper", choices=objective_names(),
@@ -320,7 +393,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--parallel-runs", action="store_true",
                            help="also run (policy, scenario) pairs in worker processes "
                                 "(needs --workers and --trace-store)")
+    sweep_cmd.add_argument("--jobs", default=None, metavar="FILE",
+                           help="serve a JSON batch of sweep requests through the "
+                                "concurrent sweep service instead of one foreground sweep")
+    sweep_cmd.add_argument("--service-workers", type=_positive_int, default=4,
+                           help="worker threads for --jobs mode (default 4)")
     sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="serve a batch of overlapping sweep requests from a jobs file")
+    serve_cmd.add_argument("jobs", metavar="FILE",
+                           help='JSON jobs file: [{"policies": [...], "scenarios": [...]}] '
+                                'or {"requests": [...]} with optional per-request "id"s')
+    serve_cmd.add_argument("--service-workers", type=_positive_int, default=4,
+                           help="worker threads scheduling unit jobs (default 4)")
+    serve_cmd.add_argument("--objective", default="paper", choices=objective_names(),
+                           help="knob preset for shift policies (default: paper)")
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     scen_cmd = commands.add_parser("scenarios", help="list the scenario library")
     scen_cmd.add_argument("--generated", action="store_true",

@@ -19,9 +19,12 @@ authoring into data:
   scenarios.
 
 Everything is seed-deterministic and process-independent: parameters come
-from ``random.Random`` seeded by strings derived from the recipe identity
-(stdlib string seeding is stable across platforms and processes), and
-per-recipe scenario seeds are SHA-256-derived from the recipe name.  Two
+from ``random.Random`` seeded by strings derived from the recipe's
+*content* identity (:meth:`ScenarioRecipe.content_key` — stdlib string
+seeding is stable across platforms and processes), and per-recipe
+scenario seeds are SHA-256-derived from the same key.  Display names
+label scenarios but never feed a seed, so renaming a recipe can never
+reshuffle its content (the metamorphic suite pins this).  Two
 processes that expand the same matrix therefore agree on every scenario
 name *and* every content fingerprint — which is what lets generated
 scenarios flow through ``scenario_by_name``, the CLI ``sweep``, the trace
@@ -343,11 +346,15 @@ class ScenarioRecipe:
 
     ``frame_budget`` is exact — the built scenario has precisely that many
     frames, split across families proportionally to their minimums.
-    ``base_seed`` feeds both the scenario's noise seed and every family's
-    parameter stream (always via :func:`_derive_seed`, so the mapping is
-    process-stable).  Build validity is enforced, not assumed: unknown
-    names, infeasible budgets, and continuity violations raise
-    :class:`GrammarError` before any scenario object exists.
+    Every derived seed — the scenario's noise seed and each family's
+    parameter stream — comes from :meth:`content_key`, the recipe's
+    *content* identity (families, regime, base seed, budget, geometry):
+    the display ``name`` labels the scenario but never feeds a seed, so
+    renaming a recipe is metamorphically invisible (identical segments,
+    identical noise, only the label changes — the property
+    ``tests/test_metamorphic.py`` pins).  Build validity is enforced, not
+    assumed: unknown names, infeasible budgets, and continuity violations
+    raise :class:`GrammarError` before any scenario object exists.
     """
 
     name: str
@@ -380,9 +387,29 @@ class ScenarioRecipe:
         tag = "-".join(_FAMILY_CODES[f] for f in self.families)
         return f"{GENERATED_PREFIX}{self.name}_{tag}_{self.regime_name}_{self.frame_budget}f"
 
+    def content_key(self) -> str:
+        """The recipe's content identity: every seed-relevant field, no name.
+
+        All derived randomness (scenario seed, per-family parameter
+        streams) is seeded from this string, so two recipes that differ
+        only in display name build scenarios with identical segments and
+        noise — renaming never reshuffles content.
+        """
+        return "|".join(
+            (
+                ",".join(self.families),
+                self.regime_name,
+                str(self.base_seed),
+                str(self.frame_budget),
+                repr(self.start_distance),
+                str(self.frame_size),
+            )
+        )
+
     def build(self) -> Scenario:
         """Expand this recipe into a deterministic, validated scenario."""
         env = regime(self.regime_name)
+        content = self.content_key()
         phrases = [family(name) for name in self.families]
         budgets = split_frames(
             self.frame_budget,
@@ -392,7 +419,7 @@ class ScenarioRecipe:
         segments: list[Segment] = []
         distance = self.start_distance
         for index, (phrase, frames) in enumerate(zip(phrases, budgets)):
-            rng = random.Random(f"{self.name}|{self.base_seed}|{index}|{phrase.name}")
+            rng = random.Random(f"{content}|{index}|{phrase.name}")
             slot = FamilySlot(
                 index=index,
                 frames=frames,
@@ -420,7 +447,7 @@ class ScenarioRecipe:
                 f"Generated ({self.regime_name}): " + ", ".join(p.description for p in phrases)
             ),
             indoor=env.indoor,
-            seed=_derive_seed("grammar", self.name, self.base_seed),
+            seed=_derive_seed("grammar", content),
             segments=tuple(segments),
             frame_size=self.frame_size,
         )

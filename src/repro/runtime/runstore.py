@@ -44,11 +44,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..vision.bbox import BoundingBox
+from . import shards
 from .metrics import RunMetrics, aggregate
 from .records import FrameRecord, RunResult
 
@@ -239,15 +239,41 @@ def metrics_from_dict(payload: dict, key: RunKey) -> RunMetrics:
         raise RunSchemaError(f"malformed run metrics: {exc}") from exc
 
 
-class RunStore:
-    """A directory of persisted policy runs, content-addressed by run key.
+def _run_file_name(digest: str) -> str:
+    """The entry file name for one run-key digest.
 
-    Mirrors :class:`~repro.runtime.store.TraceStore`: one JSON file per
-    key, loads re-validate the full identity block, writes are atomic
-    (temp file + ``os.replace``) so concurrent writers — parallel sweep
-    workers racing on the same (policy, scenario) pair — can only ever
-    leave a complete file behind, never a torn one.  The worst corruption
-    outcome is a loud :class:`RunSchemaError`, never a silently wrong run.
+    The algorithm version is part of the name, so bumping it orphans
+    stale files (treated as misses) rather than erroring on them.
+    """
+    return f"run-v{RUN_ALGORITHM_VERSION}-{digest[:32]}.json"
+
+
+def _index_meta(payload: dict) -> dict:
+    """The identity block a shard index records for one run entry."""
+    return {
+        "policy_name": payload.get("policy_name"),
+        "scenario_name": payload.get("scenario_name"),
+        "policy_fingerprint": payload.get("policy_fingerprint"),
+        "scenario_fingerprint": payload.get("scenario_fingerprint"),
+        "engine_seed": payload.get("engine_seed"),
+        "algorithm_version": payload.get("algorithm_version"),
+    }
+
+
+class RunStore:
+    """A sharded directory of persisted policy runs, content-addressed by run key.
+
+    Mirrors :class:`~repro.runtime.store.TraceStore`: entries shard by
+    run-key-digest prefix under ``root/<2-hex>/``, each shard carries an
+    index, and all writes are atomic (temp + ``os.replace``) under the
+    shard's advisory lock (:mod:`repro.runtime.shards`) — so service
+    worker threads, parallel sweep workers, and whole separate processes
+    can race on the same keys and only ever leave complete files behind.
+    Loads re-validate the full identity block.  An entry that cannot even
+    be parsed is the same as a missing one — a miss, counted in
+    :attr:`corrupt_entries` and removed; a parseable entry that does not
+    match its key is a loud :class:`RunSchemaError`.  Never a silently
+    wrong run.
     """
 
     def __init__(self, root: str | Path) -> None:
@@ -255,37 +281,72 @@ class RunStore:
         if self.root.exists() and not self.root.is_dir():
             raise NotADirectoryError(f"run store path {self.root} exists and is not a directory")
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Unreadable entries encountered (and removed) by this instance.
+        self.corrupt_entries = 0
+        #: Abandoned temp files swept at open (crashed writers' leftovers).
+        self.stale_temps_cleaned = shards.clean_stale_temps(self.root)
+        self._migrate_legacy_entries()
+
+    def _migrate_legacy_entries(self) -> None:
+        """Move flat-layout entries (pre-sharding stores) into their shards."""
+
+        def digest_for(path: Path) -> str | None:
+            parts = path.stem.split("-")  # run-v<A>-<digest32>
+            return parts[2] if len(parts) == 3 and len(parts[2]) == 32 else None
+
+        def meta_for(path: Path) -> dict | None:
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                self.corrupt_entries += 1
+                return None
+            if not isinstance(payload, dict):
+                self.corrupt_entries += 1
+                return None
+            return _index_meta(payload)
+
+        shards.migrate_flat_entries(self.root, "run-*.json", digest_for, meta_for)
 
     def path_for(self, key: RunKey) -> Path:
-        """The file a run persists to.
-
-        The algorithm version is part of the name, so bumping it orphans
-        stale files (treated as misses) rather than erroring on them.
-        """
-        return self.root / f"run-v{RUN_ALGORITHM_VERSION}-{key.digest()[:32]}.json"
+        """The (sharded) file a run persists to."""
+        digest = key.digest()
+        return shards.shard_dir(self.root, digest) / _run_file_name(digest)
 
     def save(self, result: RunResult, key: RunKey) -> Path:
         """Persist a finished run; returns the file written."""
-        path = self.path_for(key)
-        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(run_to_dict(result, key)), encoding="utf-8")
-        os.replace(tmp, path)
-        return path
+        digest = key.digest()
+        payload = run_to_dict(result, key)
+        return shards.write_entry(
+            self.root,
+            digest,
+            _run_file_name(digest),
+            json.dumps(payload),
+            _index_meta(payload),
+        )
 
     def _payload(self, key: RunKey) -> dict | None:
         path = self.path_for(key)
-        if not path.exists():
-            return None
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-        except json.JSONDecodeError as exc:
-            raise RunSchemaError(f"{path} is not valid JSON: {exc}") from exc
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            payload = None
         if not isinstance(payload, dict):
-            raise RunSchemaError(f"{path} does not contain a JSON object")
+            if shards.quarantine_corrupt_entry(self.root, key.digest(), path.name):
+                self.corrupt_entries += 1
+                return None
+            # A concurrent writer replaced the entry mid-read; retry once
+            # against the now-complete file.
+            return self._payload(key)
         return payload
 
     def load(self, key: RunKey) -> RunResult | None:
-        """Load the persisted run for ``key``, or None if absent."""
+        """Load the persisted run for ``key``, or None if absent.
+
+        Unreadable entries (torn by a crash) are misses too — counted in
+        :attr:`corrupt_entries` and removed, never served.
+        """
         payload = self._payload(key)
         if payload is None:
             return None
@@ -306,12 +367,20 @@ class RunStore:
         return self.path_for(key).exists()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("run-*.json"))
+        return sum(1 for _ in shards.iter_entry_paths(self.root, "run-*.json"))
 
     def clear(self) -> int:
         """Delete every persisted run; returns how many were removed."""
         removed = 0
-        for path in self.root.glob("run-*.json"):
-            path.unlink()
-            removed += 1
+        for path in list(shards.iter_entry_paths(self.root, "run-*.json")):
+            if path.parent == self.root:  # legacy flat file written after open
+                path.unlink(missing_ok=True)
+                removed += 1
+                continue
+            if shards.remove_entry(self.root, path.stem.split("-")[2], path.name):
+                removed += 1
         return removed
+
+    def audit(self) -> tuple[int, list[str]]:
+        """Cross-check shard indexes against entry files; see :func:`shards.audit_entries`."""
+        return shards.audit_entries(self.root, "run-*.json")

@@ -1,0 +1,313 @@
+"""Sharded store layout: fingerprint-prefix shards, indexes, advisory locks.
+
+The service tier (:mod:`repro.service`) points N worker threads and M
+concurrent requests at one :class:`~repro.runtime.store.TraceStore` /
+:class:`~repro.runtime.runstore.RunStore` pair, and CI points several
+*processes* at the same directories.  A single flat directory survives
+that only by luck: every writer renames into one namespace, every ``len``
+scans every entry, and a crashed writer's temp file sits around forever.
+This module gives both stores one shared on-disk discipline:
+
+**Shards.**  Every entry lives under ``root/<prefix>/`` where ``prefix``
+is the first :data:`SHARD_PREFIX_CHARS` hex chars of the entry's content
+digest (scenario fingerprint for traces, run-key digest for runs).
+Contention and directory size split 256 ways; a shard is the unit of
+locking.
+
+**Per-shard index.**  Each shard carries an ``index.json`` mapping entry
+file names to their identity block (the fingerprints the entry was keyed
+by).  Tools can enumerate a store's contents — and audit that every
+indexed entry still parses — without opening every payload.
+
+**Advisory locks.**  All mutations (entry writes, removals, stale-temp
+cleanup, legacy migration) happen under an ``fcntl`` advisory lock on the
+shard's ``.lock`` file, so concurrent writers serialize per shard and an
+index update can never lose a racing writer's entry.  Readers never need
+the lock: entry writes stay atomic (temp file + ``os.replace``), so a
+reader sees either the old complete file or the new complete one.
+
+**Crash consistency.**  A writer killed mid-write leaves ``*.tmp*`` files
+behind; :func:`clean_stale_temps` removes them under the shard locks at
+store open.  Temp files can never be served as hits (lookups only probe
+the final name), and because cleanup holds the same lock writers hold, a
+*live* writer's temp file is never swept — anything visible under the
+lock is by definition abandoned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+try:  # pragma: no cover - always available on the supported platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback: in-process only
+    fcntl = None
+
+# Hex chars of the content digest that name an entry's shard (256 shards).
+SHARD_PREFIX_CHARS = 2
+
+INDEX_NAME = "index.json"
+INDEX_SCHEMA_VERSION = 1
+
+# One process-local mutex per lock file: fcntl locks are held per process
+# (re-acquiring in another thread of the same process would succeed), so
+# thread-level serialization needs its own layer.
+_THREAD_LOCKS: dict[str, threading.Lock] = {}
+_THREAD_LOCKS_GUARD = threading.Lock()
+
+
+def shard_prefix(digest: str) -> str:
+    """The shard an entry with ``digest`` belongs to."""
+    if len(digest) < SHARD_PREFIX_CHARS:
+        raise ValueError(f"digest {digest!r} is too short to shard")
+    return digest[:SHARD_PREFIX_CHARS]
+
+
+def shard_dir(root: Path, digest: str) -> Path:
+    """The shard directory for ``digest`` under ``root`` (not created)."""
+    return root / shard_prefix(digest)
+
+
+def shard_dirs(root: Path) -> list[Path]:
+    """Every existing shard directory under ``root``, sorted."""
+    if not root.is_dir():
+        return []
+    return sorted(
+        p for p in root.iterdir()
+        if p.is_dir() and len(p.name) == SHARD_PREFIX_CHARS
+        and all(c in "0123456789abcdef" for c in p.name)
+    )
+
+
+def _thread_lock_for(path: Path) -> threading.Lock:
+    key = str(path)
+    with _THREAD_LOCKS_GUARD:
+        lock = _THREAD_LOCKS.get(key)
+        if lock is None:
+            lock = _THREAD_LOCKS[key] = threading.Lock()
+        return lock
+
+
+@contextmanager
+def shard_lock(shard: Path) -> Iterator[None]:
+    """Hold the shard's advisory lock (exclusive, blocking).
+
+    Serializes against other *processes* via ``fcntl.flock`` on the
+    shard's ``.lock`` file and against other *threads* of this process
+    via a per-path mutex (POSIX locks are per-process, not per-thread).
+    The shard directory is created on first use.
+    """
+    shard.mkdir(parents=True, exist_ok=True)
+    lock_path = shard / ".lock"
+    with _thread_lock_for(lock_path):
+        handle = open(lock_path, "a+", encoding="utf-8")
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            handle.close()
+
+
+def _temp_name(name: str) -> str:
+    """A writer-unique temp name (pid + thread: threads share a pid)."""
+    return f"{name}.tmp{os.getpid()}.{threading.get_ident()}"
+
+
+def _replace_atomically(shard: Path, name: str, text: str) -> Path:
+    tmp = shard / _temp_name(name)
+    tmp.write_text(text, encoding="utf-8")
+    path = shard / name
+    os.replace(tmp, path)
+    return path
+
+
+def read_index(shard: Path) -> dict[str, dict]:
+    """The shard's index entries (``{}`` for a missing or unreadable index).
+
+    An unreadable index never blocks the store — entry files are the
+    ground truth; the index is regenerated entry-by-entry as writes land.
+    """
+    path = shard / INDEX_NAME
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if not isinstance(payload, dict) or payload.get("schema_version") != INDEX_SCHEMA_VERSION:
+        return {}
+    entries = payload.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def _write_index(shard: Path, entries: dict[str, dict]) -> None:
+    text = json.dumps(
+        {"schema_version": INDEX_SCHEMA_VERSION, "entries": entries},
+        sort_keys=True,
+    )
+    _replace_atomically(shard, INDEX_NAME, text)
+
+
+def write_entry(root: Path, digest: str, name: str, text: str, meta: dict) -> Path:
+    """Atomically persist one entry and record it in the shard index.
+
+    Runs entirely under the shard lock: the entry write is temp +
+    ``os.replace`` (readers never see a torn file even without the lock),
+    and the index read-modify-write is protected against concurrent
+    writers of *other* entries in the same shard.
+    """
+    shard = shard_dir(root, digest)
+    with shard_lock(shard):
+        path = _replace_atomically(shard, name, text)
+        entries = read_index(shard)
+        entries[name] = meta
+        _write_index(shard, entries)
+    return path
+
+
+def remove_entry(root: Path, digest: str, name: str) -> bool:
+    """Delete one entry (file + index record); True if the file existed."""
+    shard = shard_dir(root, digest)
+    with shard_lock(shard):
+        return _remove_locked(shard, name)
+
+
+def _remove_locked(shard: Path, name: str) -> bool:
+    path = shard / name
+    existed = path.exists()
+    if existed:
+        path.unlink()
+    entries = read_index(shard)
+    if name in entries:
+        del entries[name]
+        _write_index(shard, entries)
+    return existed
+
+
+def quarantine_corrupt_entry(root: Path, digest: str, name: str) -> bool:
+    """Drop an entry that failed to parse — unless a writer already fixed it.
+
+    Returns True when the entry was (still) corrupt and has been removed,
+    False when a concurrent writer replaced it with a parseable payload in
+    the meantime (the caller should then retry its load).  Runs under the
+    shard lock so the check-and-delete cannot race a live writer.
+    """
+    shard = shard_dir(root, digest)
+    with shard_lock(shard):
+        path = shard / name
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(payload, dict):
+                return False  # repaired behind our back — not corrupt anymore
+        except FileNotFoundError:
+            return False  # already gone: someone else cleaned it
+        except (OSError, json.JSONDecodeError):
+            pass
+        _remove_locked(shard, name)
+        return True
+
+
+def clean_stale_temps(root: Path) -> int:
+    """Remove abandoned ``*.tmp*`` files left by killed writers.
+
+    Sweeps the root (legacy flat layout) and every shard, taking each
+    shard's lock first: a temp file observed *while holding the lock*
+    cannot belong to a live writer, so everything swept is a crash
+    leftover.  Returns how many files were removed.
+    """
+    removed = 0
+    if not root.is_dir():
+        return 0
+    for stale in root.glob("*.tmp*"):
+        stale.unlink(missing_ok=True)
+        removed += 1
+    for shard in shard_dirs(root):
+        with shard_lock(shard):
+            for stale in shard.glob("*.tmp*"):
+                stale.unlink(missing_ok=True)
+                removed += 1
+    return removed
+
+
+def migrate_flat_entries(
+    root: Path, pattern: str, digest_for: "callable", meta_for: "callable"
+) -> int:
+    """Move legacy flat-layout entries into their shards; returns the count.
+
+    ``digest_for(path) -> str | None`` names the shard digest for a legacy
+    file (None skips it); ``meta_for(path) -> dict | None`` supplies its
+    index record (None marks the file unreadable — it is removed rather
+    than migrated, since a flat corrupt file would otherwise survive every
+    later audit).  Idempotent and concurrency-safe: the actual move runs
+    under the target shard's lock and tolerates the file having been
+    migrated by another opener meanwhile.
+    """
+    migrated = 0
+    if not root.is_dir():
+        return 0
+    for path in sorted(root.glob(pattern)):
+        if not path.is_file() or ".tmp" in path.name:
+            continue
+        digest = digest_for(path)
+        if digest is None:
+            continue
+        shard = shard_dir(root, digest)
+        with shard_lock(shard):
+            if not path.exists():  # another opener migrated it first
+                continue
+            meta = meta_for(path)
+            if meta is None:
+                path.unlink()
+                continue
+            target = shard / path.name
+            os.replace(path, target)
+            entries = read_index(shard)
+            entries[path.name] = meta
+            _write_index(shard, entries)
+            migrated += 1
+    return migrated
+
+
+def iter_entry_paths(root: Path, pattern: str) -> Iterator[Path]:
+    """Every entry file matching ``pattern`` (shards first, then legacy root)."""
+    for shard in shard_dirs(root):
+        yield from sorted(shard.glob(pattern))
+    if root.is_dir():
+        yield from sorted(p for p in root.glob(pattern) if p.is_file())
+
+
+def audit_entries(root: Path, pattern: str) -> tuple[int, list[str]]:
+    """Audit a store: every indexed entry must exist and parse as a JSON object.
+
+    Returns ``(entries_checked, problems)`` where ``problems`` is a list of
+    human-readable findings: indexed-but-missing files, unparseable
+    payloads, and files present on disk but absent from their shard index.
+    A clean store returns ``(n, [])``.
+    """
+    problems: list[str] = []
+    checked = 0
+    for shard in shard_dirs(root):
+        indexed = read_index(shard)
+        on_disk = {p.name for p in shard.glob(pattern) if ".tmp" not in p.name}
+        for name in sorted(indexed):
+            checked += 1
+            path = shard / name
+            if name not in on_disk:
+                problems.append(f"{shard.name}/{name}: indexed but missing on disk")
+                continue
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                problems.append(f"{shard.name}/{name}: unreadable ({exc})")
+                continue
+            if not isinstance(payload, dict):
+                problems.append(f"{shard.name}/{name}: not a JSON object")
+        for name in sorted(on_disk - set(indexed)):
+            problems.append(f"{shard.name}/{name}: on disk but not indexed")
+    return checked, problems

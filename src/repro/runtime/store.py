@@ -8,7 +8,11 @@ This module mirrors the characterization bundle serialization
 version that fails loudly on mismatch.
 
 Format — one JSON object per (scenario, zoo) pair, in a file named
-``trace-<scenario_fp16>-<zoo_fp12>.json`` under the store root:
+``trace-v<algo>-<scenario_fp16>-<zoo_fp12>.json`` under the store root.
+Entries are sharded by scenario-fingerprint prefix (``root/<2-hex>/``) with
+a per-shard index and advisory-lock–guarded writes — see
+:mod:`repro.runtime.shards`; stores written by the old flat layout are
+migrated into shards on open.  Fields:
 
 ``schema_version``
     Integer; readers reject anything but their own version.
@@ -36,13 +40,13 @@ fresh build.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
 from ..data.scenario import Scenario
 from ..models.detector import DetectionOutcome
 from ..models.zoo import ModelZoo
 from ..vision.bbox import BoundingBox
+from . import shards
 from .trace import ScenarioTrace
 
 SCHEMA_VERSION = 1
@@ -135,13 +139,31 @@ def trace_from_dict(payload: dict, scenario: Scenario, zoo: ModelZoo) -> Scenari
     return ScenarioTrace(scenario=scenario, frames=None, outcomes=outcomes)
 
 
-class TraceStore:
-    """A directory of persisted traces, content-addressed by fingerprints.
+def _trace_file_name(scenario_fingerprint: str, zoo_fingerprint: str) -> str:
+    """The entry file name for a (scenario, zoo) pair.
 
-    The store is safe to share between scenarios, zoos, and processes:
-    every (scenario, zoo) pair maps to its own file, and every load
-    re-validates identity, so the worst corruption outcome is a loud
-    :class:`TraceSchemaError` — never a silently wrong trace.
+    The algorithm version is part of the name, so bumping it simply
+    orphans stale files (treated as misses and rebuilt) rather than
+    erroring on them.
+    """
+    return (
+        f"trace-v{ALGORITHM_VERSION}-{scenario_fingerprint[:16]}"
+        f"-{zoo_fingerprint[:12]}.json"
+    )
+
+
+class TraceStore:
+    """A sharded directory of persisted traces, content-addressed by fingerprints.
+
+    Entries live under ``root/<fp-prefix>/`` with a per-shard index and
+    advisory-lock–guarded atomic writes (:mod:`repro.runtime.shards`), so
+    any number of processes, threads, and service workers can share one
+    store.  Every load re-validates identity; an entry that cannot even be
+    *parsed* (torn by a crash, truncated disk) is treated exactly like a
+    missing one — a miss, counted in :attr:`corrupt_entries` and removed —
+    while a parseable entry that does not match is a loud
+    :class:`TraceSchemaError`.  The worst outcome is a rebuild, never a
+    silently wrong trace.
     """
 
     def __init__(self, root: str | Path) -> None:
@@ -149,42 +171,81 @@ class TraceStore:
         if self.root.exists() and not self.root.is_dir():
             raise NotADirectoryError(f"trace store path {self.root} exists and is not a directory")
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Unreadable entries encountered (and removed) by this instance —
+        #: a non-zero value after a sweep means a writer died mid-life or
+        #: the disk corrupted an entry; the entry was re-treated as a miss.
+        self.corrupt_entries = 0
+        #: Abandoned temp files swept at open (crashed writers' leftovers).
+        self.stale_temps_cleaned = shards.clean_stale_temps(self.root)
+        self._migrate_legacy_entries()
+
+    def _migrate_legacy_entries(self) -> None:
+        """Move flat-layout entries (pre-sharding stores) into their shards."""
+
+        def digest_for(path: Path) -> str | None:
+            parts = path.stem.split("-")  # trace-v<A>-<fp16>-<zoo12>
+            return parts[2] if len(parts) == 4 and len(parts[2]) == 16 else None
+
+        def meta_for(path: Path) -> dict | None:
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                self.corrupt_entries += 1
+                return None
+            if not isinstance(payload, dict):
+                self.corrupt_entries += 1
+                return None
+            return _index_meta(payload)
+
+        shards.migrate_flat_entries(self.root, "trace-*.json", digest_for, meta_for)
 
     def path_for(self, scenario: Scenario, zoo: ModelZoo) -> Path:
-        """The file a (scenario, zoo) trace persists to.
-
-        The algorithm version is part of the name, so bumping it simply
-        orphans stale files (treated as misses and rebuilt) rather than
-        erroring on them.
-        """
-        return self.root / (
-            f"trace-v{ALGORITHM_VERSION}-{scenario.fingerprint()[:16]}"
-            f"-{zoo.fingerprint()[:12]}.json"
+        """The (sharded) file a (scenario, zoo) trace persists to."""
+        fingerprint = scenario.fingerprint()
+        return shards.shard_dir(self.root, fingerprint) / _trace_file_name(
+            fingerprint, zoo.fingerprint()
         )
 
     def save(self, trace: ScenarioTrace, zoo: ModelZoo) -> Path:
         """Persist a built trace; returns the file written.
 
-        The write is atomic (temp file + rename) so a concurrent reader
-        never observes a half-written trace.
+        The write is atomic (temp file + rename) and the shard index is
+        updated under the shard's advisory lock, so concurrent readers
+        never observe a half-written trace and concurrent writers never
+        lose each other's index records.
         """
-        path = self.path_for(trace.scenario, zoo)
-        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(trace_to_dict(trace, zoo)), encoding="utf-8")
-        os.replace(tmp, path)
-        return path
+        payload = trace_to_dict(trace, zoo)
+        fingerprint = payload["scenario_fingerprint"]
+        return shards.write_entry(
+            self.root,
+            fingerprint,
+            _trace_file_name(fingerprint, payload["zoo_fingerprint"]),
+            json.dumps(payload),
+            _index_meta(payload),
+        )
 
     def load(self, scenario: Scenario, zoo: ModelZoo) -> ScenarioTrace | None:
-        """Load the persisted trace for (scenario, zoo), or None if absent."""
+        """Load the persisted trace for (scenario, zoo), or None if absent.
+
+        A missing entry and an unreadable one are the same thing to the
+        caller — a miss; the unreadable file is additionally counted in
+        :attr:`corrupt_entries` and removed so it can never shadow a
+        future rebuild.
+        """
         path = self.path_for(scenario, zoo)
-        if not path.exists():
-            return None
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-        except json.JSONDecodeError as exc:
-            raise TraceSchemaError(f"{path} is not valid JSON: {exc}") from exc
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            payload = None
         if not isinstance(payload, dict):
-            raise TraceSchemaError(f"{path} does not contain a JSON object")
+            if shards.quarantine_corrupt_entry(self.root, scenario.fingerprint(), path.name):
+                self.corrupt_entries += 1
+                return None
+            # A concurrent writer replaced the entry while we looked at it;
+            # one retry reads the now-complete file (or misses cleanly).
+            return self.load(scenario, zoo)
         return trace_from_dict(payload, scenario, zoo)
 
     def get(
@@ -205,12 +266,32 @@ class TraceStore:
         return self.path_for(scenario, zoo).exists()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("trace-*.json"))
+        return sum(1 for _ in shards.iter_entry_paths(self.root, "trace-*.json"))
 
     def clear(self) -> int:
         """Delete every persisted trace; returns how many were removed."""
         removed = 0
-        for path in self.root.glob("trace-*.json"):
-            path.unlink()
-            removed += 1
+        for path in list(shards.iter_entry_paths(self.root, "trace-*.json")):
+            if path.parent == self.root:  # legacy flat file written after open
+                path.unlink(missing_ok=True)
+                removed += 1
+                continue
+            digest = path.stem.split("-")[2]
+            if shards.remove_entry(self.root, digest, path.name):
+                removed += 1
         return removed
+
+    def audit(self) -> tuple[int, list[str]]:
+        """Cross-check shard indexes against entry files; see :func:`shards.audit_entries`."""
+        return shards.audit_entries(self.root, "trace-*.json")
+
+
+def _index_meta(payload: dict) -> dict:
+    """The identity block a shard index records for one trace entry."""
+    return {
+        "scenario_name": payload.get("scenario_name"),
+        "scenario_fingerprint": payload.get("scenario_fingerprint"),
+        "zoo_fingerprint": payload.get("zoo_fingerprint"),
+        "algorithm_version": payload.get("algorithm_version"),
+        "frame_count": payload.get("frame_count"),
+    }

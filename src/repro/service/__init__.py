@@ -1,0 +1,40 @@
+"""Sweep service tier: concurrent, deduplicated orchestration over shared stores.
+
+The runner tier (:class:`~repro.runtime.experiment.ExperimentRunner`)
+executes one sweep in the foreground; this package serves *many*
+overlapping sweep requests at once.  :class:`SweepService` decomposes
+each request into fingerprint-keyed unit jobs, coalesces duplicates
+across requests, schedules the survivors over a bounded worker pool, and
+streams per-request results — all field-for-field identical to a serial
+sweep (enforced by the ``service`` differential check and the CI
+``service-smoke`` job).  The sharded Trace/Run stores
+(:mod:`repro.runtime.shards`) are the service's contended shared state.
+
+Front-ends: ``python -m repro serve JOBS.json``, ``python -m repro sweep
+--jobs JOBS.json``, and the synthetic load generator
+``scripts/loadgen.py``.
+"""
+
+from .jobs import (
+    ServiceError,
+    SweepRequest,
+    UnitJob,
+    decompose,
+    load_jobs_file,
+    policy_resolver,
+    requests_from_payload,
+)
+from .service import SweepHandle, SweepService, overlapping_requests
+
+__all__ = [
+    "ServiceError",
+    "SweepRequest",
+    "UnitJob",
+    "decompose",
+    "load_jobs_file",
+    "policy_resolver",
+    "requests_from_payload",
+    "SweepHandle",
+    "SweepService",
+    "overlapping_requests",
+]

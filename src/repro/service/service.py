@@ -1,0 +1,402 @@
+"""The sweep service: many concurrent requests, one deduplicated job pool.
+
+:class:`SweepService` is the orchestration tier above
+:class:`~repro.runtime.experiment.ExperimentRunner`: where the runner
+executes *one* sweep in the foreground, the service accepts many
+overlapping sweep requests, decomposes them into fingerprint-keyed unit
+jobs, coalesces duplicates across requests, and schedules the survivors
+over a bounded worker pool:
+
+* **threads** carry the scheduling and the store-hit fast path — a warm
+  job is one JSON metrics load, which a thread does concurrently just
+  fine (the parse releases no meaningful compute);
+* **processes** carry cold trace builds — a miss routes through
+  :meth:`ScenarioTrace.build` with the service's ``trace_workers``, which
+  fans the per-model detection sweeps across a process pool exactly like
+  the runner does (and collapses to serial on small builds or small
+  machines, see :func:`~repro.runtime.trace._effective_workers`).
+
+Results stream back per request: a :class:`SweepHandle` yields each
+(policy, scenario) metrics row as its job completes, or assembles the
+full :meth:`~repro.runtime.experiment.ExperimentRunner.sweep`-shaped
+mapping.  Everything is deterministic — scheduling order, worker count,
+and request overlap are *not* inputs to any run, so service output is
+field-for-field identical to a serial sweep (the ``service`` differential
+check and the CI ``service-smoke`` job both enforce this).
+
+Shared state lives in the sharded stores
+(:class:`~repro.runtime.store.TraceStore`,
+:class:`~repro.runtime.runstore.RunStore`): advisory-locked atomic writes
+make N workers and M requests — and other processes entirely — safe
+against each other; see :mod:`repro.runtime.shards`.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor, as_completed
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..data.scenario import Scenario
+from ..models.zoo import ModelZoo, default_zoo
+from ..runtime.metrics import RunMetrics, aggregate
+from ..runtime.policy import Policy
+from ..runtime.runner import run_policy
+from ..runtime.runstore import RunKey, RunStore
+from ..runtime.store import TraceStore
+from ..runtime.trace import ScenarioTrace
+from ..sim.soc import SoC, xavier_nx_with_oakd
+from .jobs import ServiceError, SweepRequest, UnitJob, decompose, validate_specs
+from .jobs import policy_resolver as default_policy_resolver
+
+JobKey = tuple[str, str]  # (policy spec, scenario fingerprint)
+
+
+class SweepHandle:
+    """A submitted request's window onto its (possibly shared) jobs."""
+
+    def __init__(self, request: SweepRequest, jobs: list[UnitJob],
+                 futures: dict[JobKey, Future]) -> None:
+        self.request = request
+        self._jobs = jobs
+        self._futures = futures
+
+    def results(self) -> Iterator[tuple[str, str, RunMetrics]]:
+        """Stream ``(policy_spec, scenario_name, metrics)`` rows as jobs finish.
+
+        Rows arrive in *completion* order — the streaming view for a
+        client that renders progressively.  A duplicated (spec, scenario)
+        cell in the request yields once per occurrence.
+        """
+        slots: dict[JobKey, list[UnitJob]] = {}
+        for job in self._jobs:
+            slots.setdefault(job.key, []).append(job)
+        unique: dict[Future, JobKey] = {self._futures[key]: key for key in slots}
+        for future in as_completed(unique):
+            metrics = future.result()
+            for job in slots[unique[future]]:
+                yield job.policy_spec, job.scenario.name, metrics
+
+    def result(self) -> dict[str, list[RunMetrics]]:
+        """Block until every job finishes; the full sweep-shaped mapping.
+
+        Identical in shape *and content* to
+        ``ExperimentRunner.sweep(policies, scenarios)`` over the same
+        request: keyed by policy display name, scenario-major rows per
+        policy, name-sharing policies concatenating in request order.
+        """
+        rows: dict[str, list[RunMetrics]] = {}
+        for job in self._jobs:
+            metrics = self._futures[job.key].result()
+            rows.setdefault(metrics.policy_name, []).append(metrics)
+        return rows
+
+    def done(self) -> bool:
+        """True once every job backing this request has finished."""
+        return all(self._futures[job.key].done() for job in self._jobs)
+
+
+class SweepService:
+    """Bounded-concurrency sweep orchestrator over shared sharded stores.
+
+    Parameters mirror the runner tier: ``trace_store``/``run_store``
+    (paths or instances) persist traces and finished runs — they are the
+    service's shared state and what makes a warm re-serve free;
+    ``workers`` bounds the thread pool; ``trace_workers`` is handed to
+    cold trace builds (their internal process pool); ``soc`` must be a
+    zero-argument factory (or None for the default platform) — concurrent
+    runs can never share one mutable SoC instance.  ``policy_resolver``
+    maps specs to fresh policies (default: the baseline vocabulary;
+    build one with a bundle to serve ``shift``).  ``trace_cache_size``
+    bounds the in-memory trace memo (materialized frames dominate a
+    long-lived service's footprint); evicted scenarios reload from the
+    trace store on next use.
+
+    Counters (all monotonic, read anytime): ``runs_executed``,
+    ``run_store_hits``, ``trace_builds``, ``trace_store_hits``,
+    ``jobs_coalesced`` (requested pairs served by an already-scheduled
+    job), ``jobs_scheduled``.  ``corrupt_entries`` totals both stores'
+    unreadable-entry counts — the loadgen and CI assert it stays zero.
+    """
+
+    def __init__(
+        self,
+        *,
+        zoo: ModelZoo | None = None,
+        trace_store: TraceStore | str | Path | None = None,
+        run_store: RunStore | str | Path | None = None,
+        workers: int = 4,
+        trace_workers: int | None = None,
+        engine_seed: int = 1234,
+        soc: Callable[[], SoC] | None = None,
+        policy_resolver: Callable[[str], Policy] | None = None,
+        fast: bool = True,
+        trace_cache_size: int | None = 16,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if trace_cache_size is not None and trace_cache_size < 1:
+            raise ValueError("trace_cache_size must be at least 1 (or None for unbounded)")
+        if soc is not None and not callable(soc):
+            raise ValueError(
+                "a concurrent service needs a SoC factory, not an instance "
+                "(concurrent runs cannot share mutable platform state)"
+            )
+        self.zoo = zoo if zoo is not None else default_zoo()
+        self.trace_store = (
+            trace_store if isinstance(trace_store, TraceStore) or trace_store is None
+            else TraceStore(trace_store)
+        )
+        self.run_store = (
+            run_store if isinstance(run_store, RunStore) or run_store is None
+            else RunStore(run_store)
+        )
+        self.workers = workers
+        self.trace_workers = trace_workers
+        self.engine_seed = engine_seed
+        self.fast = fast
+        self.trace_cache_size = trace_cache_size
+        self._soc_factory = soc
+        self._resolver = (
+            policy_resolver if policy_resolver is not None else default_policy_resolver()
+        )
+        self._soc_fp: str | None = None
+        self._state = threading.Lock()
+        self._jobs: dict[JobKey, Future] = {}
+        self._traces: dict[str, Future] = {}
+        self._pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="sweep")
+        self._closed = False
+        self.runs_executed = 0
+        self.run_store_hits = 0
+        self.trace_builds = 0
+        self.trace_store_hits = 0
+        self.jobs_coalesced = 0
+        self.jobs_scheduled = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Finish in-flight jobs and stop accepting new requests."""
+        with self._state:
+            self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SweepService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- requests
+
+    def submit(self, request: SweepRequest) -> SweepHandle:
+        """Validate, decompose, dedup, and schedule one request.
+
+        Unknown policy specs and scenario names fail *here* (a loud
+        :class:`ServiceError`), never inside a worker — a malformed
+        request can't poison the shared job table.
+        """
+        validate_specs(request.policies, self._resolver)
+        jobs = decompose(request)
+        futures: dict[JobKey, Future] = {}
+        to_schedule: list[UnitJob] = []
+        with self._state:
+            if self._closed:
+                raise ServiceError("service is closed")
+            for job in jobs:
+                if job.key in futures:
+                    self.jobs_coalesced += 1  # duplicate cell within the request
+                    continue
+                existing = self._jobs.get(job.key)
+                if existing is not None:
+                    futures[job.key] = existing
+                    self.jobs_coalesced += 1
+                    continue
+                future: Future = Future()
+                self._jobs[job.key] = future
+                futures[job.key] = future
+                to_schedule.append(job)
+                self.jobs_scheduled += 1
+        for job in to_schedule:
+            self._pool.submit(self._run_job, job, self._jobs[job.key])
+        return SweepHandle(request, jobs, futures)
+
+    def serve(self, requests: Iterable[SweepRequest]) -> list[SweepHandle]:
+        """Submit a batch of requests; handles in submission order."""
+        return [self.submit(request) for request in requests]
+
+    def run(self, requests: Iterable[SweepRequest]) -> list[dict[str, list[RunMetrics]]]:
+        """Submit a batch and block for every result (convenience wrapper)."""
+        return [handle.result() for handle in self.serve(requests)]
+
+    @property
+    def corrupt_entries(self) -> int:
+        """Unreadable store entries seen by this service's store handles."""
+        total = 0
+        for store in (self.trace_store, self.run_store):
+            if store is not None:
+                total += store.corrupt_entries
+        return total
+
+    # ----------------------------------------------------------------- jobs
+
+    def _run_job(self, job: UnitJob, future: Future) -> None:
+        """Execute one unit job; outcome lands on the shared future."""
+        try:
+            result = self._execute(job)
+        except BaseException as exc:
+            # Propagate to every request already waiting, but evict the
+            # key first so a *later* submit schedules a fresh attempt —
+            # one transient failure (disk full, OOM) must not poison the
+            # (policy, scenario) cell for the service's lifetime.
+            with self._state:
+                self._jobs.pop(job.key, None)
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+
+    def _execute(self, job: UnitJob) -> RunMetrics:
+        policy = self._resolver(job.policy_spec)  # fresh: policies are stateful
+        key = self._run_key(policy, job.scenario)
+        if key is not None:
+            cached = self.run_store.load_metrics(key)
+            if cached is not None:
+                with self._state:
+                    self.run_store_hits += 1
+                return cached
+        trace = self._trace(job.scenario)
+        soc = self._soc_factory() if self._soc_factory is not None else None
+        result = run_policy(
+            policy, trace, soc=soc, engine_seed=self.engine_seed, fast=self.fast
+        )
+        with self._state:
+            self.runs_executed += 1
+        if key is not None:
+            self.run_store.save(result, key)
+        return aggregate(result)
+
+    def _run_key(self, policy: Policy, scenario: Scenario) -> RunKey | None:
+        if self.run_store is None:
+            return None
+        try:
+            fingerprint = policy.fingerprint()
+        except NotImplementedError:
+            return None  # identity-less policies are never cached
+        return RunKey(
+            policy_name=policy.name,
+            policy_fingerprint=fingerprint,
+            scenario_fingerprint=scenario.fingerprint(),
+            zoo_fingerprint=self.zoo.fingerprint(),
+            soc_fingerprint=self._soc_fingerprint(),
+            engine_seed=self.engine_seed,
+        )
+
+    def _soc_fingerprint(self) -> str:
+        # Factories are deterministic in configuration (the same contract
+        # ExperimentRunner and parallel runs rely on), so one sample
+        # fingerprints every run's platform.
+        if self._soc_fp is None:
+            soc = self._soc_factory() if self._soc_factory is not None else xavier_nx_with_oakd()
+            self._soc_fp = soc.fingerprint()
+        return self._soc_fp
+
+    # --------------------------------------------------------------- traces
+
+    def _trace(self, scenario: Scenario) -> ScenarioTrace:
+        """The trace for one scenario, acquired exactly once service-wide.
+
+        The first job to need a scenario becomes the owner and
+        loads/builds inline; every other job blocks on the shared future.
+        Frames are materialized before publication so concurrent runs
+        never race to render.
+        """
+        fingerprint = scenario.fingerprint()
+        with self._state:
+            future = self._traces.get(fingerprint)
+            owner = future is None
+            if owner:
+                future = Future()
+                self._traces[fingerprint] = future
+        if owner:
+            try:
+                trace = self._acquire_trace(scenario)
+                _ = trace.frames  # render once, before any consumer
+                future.set_result(trace)
+                with self._state:
+                    self._evict_traces_locked(keep=fingerprint)
+            except BaseException as exc:
+                with self._state:
+                    self._traces.pop(fingerprint, None)  # let a retry rebuild
+                future.set_exception(exc)
+                raise
+        return future.result()
+
+    def _evict_traces_locked(self, keep: str) -> None:
+        """Bound the in-memory trace memo (frames are the big tenant).
+
+        Materialized traces would otherwise accumulate for the service's
+        whole lifetime — one full pixel stack per distinct scenario ever
+        served.  Oldest *completed* entries beyond ``trace_cache_size``
+        are dropped (insertion order); a later job for an evicted
+        scenario reloads from the trace store (cheap) or rebuilds.
+        Results are unaffected either way — traces are pure functions of
+        their scenario.
+        """
+        if self.trace_cache_size is None:
+            return
+        while len(self._traces) > self.trace_cache_size:
+            victim = next(
+                (key for key, future in self._traces.items()
+                 if key != keep and future.done()),
+                None,
+            )
+            if victim is None:
+                break  # everything else is still being built/consumed
+            del self._traces[victim]
+
+    def _acquire_trace(self, scenario: Scenario) -> ScenarioTrace:
+        if self.trace_store is not None:
+            loaded = self.trace_store.load(scenario, self.zoo)
+            if loaded is not None:
+                with self._state:
+                    self.trace_store_hits += 1
+                return loaded
+        trace = ScenarioTrace.build(scenario, self.zoo, max_workers=self.trace_workers)
+        with self._state:
+            self.trace_builds += 1
+        if self.trace_store is not None:
+            self.trace_store.save(trace, self.zoo)
+        return trace
+
+
+def overlapping_requests(
+    policies: Sequence[str],
+    scenarios: Sequence[Scenario | str],
+    count: int,
+    seed: int = 0,
+) -> list[SweepRequest]:
+    """A synthetic batch of ``count`` deliberately overlapping requests.
+
+    Each request takes a seeded random non-empty subset of the policy and
+    scenario pools, so consecutive requests share most of their unit jobs
+    — the workload shape the dedup layer exists for.  Used by the load
+    generator, the service benchmark, and the differential check.
+    """
+    import random
+
+    if count < 1:
+        raise ServiceError("need at least one request")
+    rng = random.Random(seed)
+    requests = []
+    for index in range(count):
+        specs = tuple(sorted(rng.sample(list(policies), rng.randint(1, len(policies)))))
+        subset = rng.sample(range(len(scenarios)), rng.randint(1, len(scenarios)))
+        requests.append(
+            SweepRequest(
+                policies=specs,
+                scenarios=tuple(scenarios[i] for i in sorted(subset)),
+                request_id=f"load-{index}",
+            )
+        )
+    return requests

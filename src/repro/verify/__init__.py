@@ -17,6 +17,7 @@ from .differential import (
     check_fast_run_equivalence,
     check_render_equality,
     check_run_invariants,
+    check_service_equivalence,
     check_store_roundtrip,
     check_trace_invariants,
     default_fast_run_policy_factories,
@@ -42,6 +43,7 @@ __all__ = [
     "check_trace_invariants",
     "check_run_invariants",
     "check_fast_run_equivalence",
+    "check_service_equivalence",
     "default_fast_run_policy_factories",
     "verify_scenario",
     "DEFAULT_SAMPLE",

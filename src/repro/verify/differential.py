@@ -31,7 +31,14 @@ cross-engine correctness witness:
     fast-run engine vs the reference pipeline — the planned-jitter
     engine, cached context signals, and vectorized scheduler must
     reproduce every :class:`~repro.runtime.records.FrameRecord` of the
-    scalar reference path bit-for-bit, for SHIFT and the baselines.
+    scalar reference path bit-for-bit, for SHIFT and the baselines;
+``service``
+    the concurrent sweep service vs the serial run loop — several
+    overlapping requests served over a multi-worker
+    :class:`~repro.service.SweepService` must return metrics
+    field-for-field identical to direct serial runs, execute each
+    deduplicated (policy, scenario) job at most once, and corrupt no
+    store entries.
 
 Each check returns a :class:`CheckResult`; :func:`verify_scenario` runs a
 selection of them against one scenario, sharing the trace build.  The fuzz
@@ -63,7 +70,7 @@ from ..runtime.store import TraceStore
 from ..runtime.trace import ScenarioTrace
 
 # All check names, in the order verify_scenario runs them.
-CHECKS = ("render", "detect", "store", "trace", "run", "fastrun")
+CHECKS = ("render", "detect", "store", "trace", "run", "fastrun", "service")
 
 # Tolerance for NCC leaving [-1, 1] through floating-point rounding.
 _NCC_SLACK = 1e-9
@@ -382,6 +389,105 @@ def check_fast_run_equivalence(
     return _ok("fastrun")
 
 
+def _service_specs(traced_models: Sequence[str]) -> list[str]:
+    """Policy specs the service check runs, restricted to traced models."""
+    models = list(traced_models)
+    specs = []
+    if "yolov7-tiny" in models:
+        specs.append("single:yolov7-tiny@gpu")
+    if "yolov7" in models:
+        specs.append("marlin")
+    if not specs and models:
+        specs.append(f"single:{models[0]}@gpu")
+    return specs
+
+
+def check_service_equivalence(
+    trace: ScenarioTrace,
+    zoo: ModelZoo,
+    engine_seed: int = 1234,
+    workers: int = 4,
+    request_count: int = 3,
+) -> CheckResult:
+    """The concurrent sweep service must equal serial runs field-for-field.
+
+    Serves ``request_count`` overlapping requests (seeded subsets of the
+    spec pool, every one containing this scenario) over a multi-worker
+    :class:`~repro.service.SweepService` backed by a temp trace store
+    pre-seeded with the trace, then demands: every returned
+    :class:`~repro.runtime.metrics.RunMetrics` row equals the serial
+    ``run_policy`` result exactly, each deduplicated job executed at most
+    once, and both stores stayed corruption-free.
+    """
+    from ..runtime.metrics import aggregate
+    from ..service import SweepRequest, SweepService, policy_resolver
+
+    specs = _service_specs(trace.model_names())
+    if not specs:
+        return _fail("service", "trace covers no models a service policy could run")
+    resolve = policy_resolver()
+    serial = {
+        spec: aggregate(run_policy(resolve(spec), trace, engine_seed=engine_seed, fast=True))
+        for spec in specs
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
+        store = TraceStore(Path(tmp) / "traces")
+        store.save(trace, zoo)
+        with SweepService(
+            zoo=zoo,
+            trace_store=store,
+            run_store=Path(tmp) / "runs",
+            workers=workers,
+            engine_seed=engine_seed,
+        ) as service:
+            requests = [
+                SweepRequest(
+                    policies=tuple(specs[: 1 + (i % len(specs))]),
+                    scenarios=(trace.scenario,),
+                    request_id=f"verify-{i}",
+                )
+                for i in range(request_count)
+            ]
+            handles = service.serve(requests)
+            for request, handle in zip(requests, handles):
+                rows = list(handle.results())
+                if len(rows) != len(request.policies):
+                    return _fail(
+                        "service",
+                        f"request {request.request_id}: {len(rows)} rows for "
+                        f"{len(request.policies)} requested cells",
+                    )
+                for spec, scenario_name, metrics in rows:
+                    if scenario_name != trace.scenario.name:
+                        return _fail(
+                            "service",
+                            f"request {request.request_id}: row for {scenario_name!r} "
+                            f"instead of {trace.scenario.name!r}",
+                        )
+                    if metrics != serial[spec]:
+                        differing = [
+                            f.name
+                            for f in fields(type(metrics))
+                            if getattr(metrics, f.name) != getattr(serial[spec], f.name)
+                        ]
+                        return _fail(
+                            "service",
+                            f"policy {spec!r}: service metrics diverge from the serial "
+                            f"run on {', '.join(differing)}",
+                        )
+            if service.runs_executed > len(specs):
+                return _fail(
+                    "service",
+                    f"{service.runs_executed} runs executed for {len(specs)} "
+                    "deduplicated jobs (duplicate execution)",
+                )
+            if service.corrupt_entries:
+                return _fail(
+                    "service", f"{service.corrupt_entries} corrupt store entries"
+                )
+    return _ok("service")
+
+
 def verify_scenario(
     scenario: Scenario,
     zoo: ModelZoo | None = None,
@@ -423,4 +529,6 @@ def verify_scenario(
             report.results.append(check_run_invariants(trace))
         elif check == "fastrun":
             report.results.append(check_fast_run_equivalence(trace))
+        elif check == "service":
+            report.results.append(check_service_equivalence(trace, zoo))
     return report

@@ -43,7 +43,8 @@ class TestTraceTier:
         first.build_traces(scenarios)
         assert first.cache.builds == len(scenarios)
 
-        files = sorted(tmp_path.glob("trace-*.json"))
+        files = sorted(tmp_path.rglob("trace-*.json"))
+        assert len(files) == len(scenarios), "every built trace must persist"
         mtimes = [f.stat().st_mtime_ns for f in files]
 
         second = ExperimentRunner(zoo, store=TraceStore(tmp_path))

@@ -6,7 +6,6 @@ a changed policy config, trace, platform, or seed — must be a miss or a
 loud :class:`RunSchemaError`, never a silently wrong run.
 """
 
-import dataclasses
 import json
 import multiprocessing
 import os
@@ -113,17 +112,25 @@ class TestSchemaRejection:
         path = store.save(result, key)
         return store, path
 
-    def test_rejects_non_json(self, tmp_path, result, key):
+    def test_unreadable_entry_is_a_counted_miss(self, tmp_path, result, key):
+        # Unified miss accounting: an entry that cannot even be parsed
+        # (torn write, disk corruption) behaves exactly like a missing
+        # one — a miss — but is surfaced via corrupt_entries and removed
+        # so it can never shadow a future rebuild.
         store, path = self._saved(tmp_path, result, key)
         path.write_text("not json at all", encoding="utf-8")
-        with pytest.raises(RunSchemaError, match="not valid JSON"):
-            store.load(key)
+        assert store.load(key) is None
+        assert store.corrupt_entries == 1
+        assert not path.exists(), "corrupt entry must be quarantined"
+        store.save(result, key)  # the slot is reusable after cleanup
+        assert store.load(key).records == result.records
 
-    def test_rejects_non_object(self, tmp_path, result, key):
+    def test_non_object_entry_is_a_counted_miss(self, tmp_path, result, key):
         store, path = self._saved(tmp_path, result, key)
         path.write_text("[1, 2, 3]", encoding="utf-8")
-        with pytest.raises(RunSchemaError, match="JSON object"):
-            store.load(key)
+        assert store.load_metrics(key) is None
+        assert store.corrupt_entries == 1
+        assert not path.exists()
 
     def test_rejects_wrong_schema_version(self, tmp_path, result, key):
         store, path = self._saved(tmp_path, result, key)
@@ -242,7 +249,7 @@ class TestConcurrency:
         assert len(store) == 1
         loaded = store.load(key)  # parses cleanly — no torn write
         assert loaded is not None and loaded.records == result.records
-        assert not list(tmp_path.glob("*.tmp*")), "temp files must not linger"
+        assert not list(tmp_path.rglob("*.tmp*")), "temp files must not linger"
 
     def test_store_rejects_file_path_root(self, tmp_path):
         target = tmp_path / "afile"

@@ -1,0 +1,239 @@
+"""Sharded-store subsystem tests: layout, locks, crashes, corruption.
+
+The service tier points many worker threads — and CI many processes — at
+one TraceStore/RunStore pair, so the stores' concurrency story has to be
+*proven*, not assumed:
+
+* entries land in fingerprint-prefix shards with a per-shard index;
+* pre-sharding flat stores migrate in place on open;
+* parallel writers of the same key leave exactly one valid entry;
+* a writer killed mid-write (stale temp file) is cleaned on next open and
+  its leftovers are never served as hits;
+* an unreadable entry behaves exactly like a missing one (a miss), is
+  counted in ``corrupt_entries``, and is quarantined.
+"""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.baselines import SingleModelPolicy
+from repro.data import scenario_by_name
+from repro.models import default_zoo
+from repro.runtime import RunKey, RunStore, ScenarioTrace, TraceStore, run_policy
+from repro.runtime import shards
+from repro.runtime.runstore import RUN_ALGORITHM_VERSION
+from repro.runtime.store import ALGORITHM_VERSION
+from repro.sim import xavier_nx_with_oakd
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return scenario_by_name("s3_indoor_close_wall").scaled(0.05)
+
+
+@pytest.fixture(scope="module")
+def trace(scenario, zoo):
+    return ScenarioTrace.build(scenario, zoo)
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return SingleModelPolicy("yolov7-tiny", "gpu")
+
+
+@pytest.fixture(scope="module")
+def result(policy, trace):
+    return run_policy(policy, trace)
+
+
+@pytest.fixture(scope="module")
+def key(policy, scenario, zoo):
+    return RunKey(
+        policy_name=policy.name,
+        policy_fingerprint=policy.fingerprint(),
+        scenario_fingerprint=scenario.fingerprint(),
+        zoo_fingerprint=zoo.fingerprint(),
+        soc_fingerprint=xavier_nx_with_oakd().fingerprint(),
+        engine_seed=1234,
+    )
+
+
+class TestShardLayout:
+    def test_trace_entry_lands_in_fingerprint_shard(self, tmp_path, trace, scenario, zoo):
+        store = TraceStore(tmp_path)
+        path = store.save(trace, zoo)
+        assert path.parent == tmp_path / scenario.fingerprint()[:2]
+        assert path == store.path_for(scenario, zoo)
+        assert store.load(scenario, zoo).outcomes == trace.outcomes
+
+    def test_run_entry_lands_in_digest_shard(self, tmp_path, result, key):
+        store = RunStore(tmp_path)
+        path = store.save(result, key)
+        assert path.parent == tmp_path / key.digest()[:2]
+        assert store.load(key).records == result.records
+
+    def test_shard_index_records_identity(self, tmp_path, trace, scenario, zoo):
+        store = TraceStore(tmp_path)
+        path = store.save(trace, zoo)
+        entries = shards.read_index(path.parent)
+        assert path.name in entries
+        meta = entries[path.name]
+        assert meta["scenario_fingerprint"] == scenario.fingerprint()
+        assert meta["zoo_fingerprint"] == zoo.fingerprint()
+        assert meta["algorithm_version"] == ALGORITHM_VERSION
+
+    def test_audit_clean_store(self, tmp_path, trace, zoo, result, key):
+        tstore = TraceStore(tmp_path / "t")
+        tstore.save(trace, zoo)
+        rstore = RunStore(tmp_path / "r")
+        rstore.save(result, key)
+        for store in (tstore, rstore):
+            checked, problems = store.audit()
+            assert checked == 1
+            assert problems == []
+
+    def test_audit_flags_unindexed_and_missing(self, tmp_path, trace, scenario, zoo):
+        store = TraceStore(tmp_path)
+        path = store.save(trace, zoo)
+        stray = path.with_name("trace-v1-" + "0" * 16 + "-" + "0" * 12 + ".json")
+        stray.write_text("{}", encoding="utf-8")
+        checked, problems = store.audit()
+        assert any("not indexed" in p for p in problems)
+        stray.unlink()
+        path.unlink()  # indexed but gone
+        checked, problems = store.audit()
+        assert any("missing on disk" in p for p in problems)
+
+    def test_len_contains_clear_over_shards(self, tmp_path, trace, scenario, zoo):
+        store = TraceStore(tmp_path)
+        store.save(trace, zoo)
+        smaller = default_zoo()
+        smaller.remove("yolov7")
+        store.save(ScenarioTrace.build(scenario, smaller), smaller)
+        assert len(store) == 2
+        assert (scenario, zoo) in store
+        assert store.clear() == 2
+        assert len(store) == 0
+        # clear() also scrubbed the shard indexes, not just the files.
+        checked, problems = store.audit()
+        assert checked == 0 and problems == []
+
+
+class TestLegacyMigration:
+    def _flat_trace_file(self, root, trace, zoo, scenario):
+        from repro.runtime.store import trace_to_dict
+
+        name = (
+            f"trace-v{ALGORITHM_VERSION}-{scenario.fingerprint()[:16]}"
+            f"-{zoo.fingerprint()[:12]}.json"
+        )
+        path = root / name
+        path.write_text(json.dumps(trace_to_dict(trace, zoo)), encoding="utf-8")
+        return path
+
+    def test_flat_trace_store_migrates_on_open(self, tmp_path, trace, scenario, zoo):
+        flat = self._flat_trace_file(tmp_path, trace, zoo, scenario)
+        store = TraceStore(tmp_path)
+        assert not flat.exists(), "legacy flat entry must move into its shard"
+        assert store.load(scenario, zoo).outcomes == trace.outcomes
+        assert store.audit()[1] == []
+
+    def test_flat_run_store_migrates_on_open(self, tmp_path, result, key):
+        from repro.runtime.runstore import run_to_dict
+
+        name = f"run-v{RUN_ALGORITHM_VERSION}-{key.digest()[:32]}.json"
+        (tmp_path / name).write_text(json.dumps(run_to_dict(result, key)), encoding="utf-8")
+        store = RunStore(tmp_path)
+        assert not (tmp_path / name).exists()
+        assert store.load(key).records == result.records
+
+    def test_corrupt_flat_entry_is_removed_and_counted(self, tmp_path, scenario, zoo):
+        name = (
+            f"trace-v{ALGORITHM_VERSION}-{scenario.fingerprint()[:16]}"
+            f"-{zoo.fingerprint()[:12]}.json"
+        )
+        (tmp_path / name).write_text("{truncated", encoding="utf-8")
+        store = TraceStore(tmp_path)
+        assert store.corrupt_entries == 1
+        assert not (tmp_path / name).exists()
+        assert store.load(scenario, zoo) is None  # a miss, not an error
+
+
+class TestCrashConsistency:
+    def test_stale_temps_cleaned_on_open(self, tmp_path, trace, scenario, zoo):
+        store = TraceStore(tmp_path)
+        path = store.save(trace, zoo)
+        # Simulate a writer killed mid-write: temp files at both layers.
+        (path.parent / (path.name + ".tmp99999.1")).write_text("{half a wri", encoding="utf-8")
+        (tmp_path / "trace-v1-dead.json.tmp4242").write_text("{", encoding="utf-8")
+        reopened = TraceStore(tmp_path)
+        assert reopened.stale_temps_cleaned == 2
+        assert not list(tmp_path.rglob("*.tmp*"))
+        # The complete entry survived and still serves hits.
+        assert reopened.load(scenario, zoo).outcomes == trace.outcomes
+
+    def test_temp_files_are_never_served_as_hits(self, tmp_path, scenario, zoo):
+        # Even *before* cleanup runs, a leftover temp can't satisfy a
+        # lookup: loads only probe the final entry name.
+        store = TraceStore(tmp_path)
+        target = store.path_for(scenario, zoo)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        (target.parent / (target.name + ".tmp1.1")).write_text("{torn", encoding="utf-8")
+        assert store.load(scenario, zoo) is None
+
+    def test_unreadable_trace_entry_is_counted_miss_and_rebuildable(
+        self, tmp_path, trace, scenario, zoo
+    ):
+        # Regression for the miss-accounting unification: TraceStore used
+        # to raise on unreadable entries where RunStore missed; both now
+        # miss, count, and quarantine identically.
+        store = TraceStore(tmp_path)
+        path = store.save(trace, zoo)
+        path.write_text("{torn mid-wri", encoding="utf-8")
+        assert store.load(scenario, zoo) is None
+        assert store.corrupt_entries == 1
+        assert not path.exists()
+        rebuilt = store.get(scenario, zoo)  # miss -> rebuild -> persist
+        assert rebuilt.outcomes == trace.outcomes
+        assert store.load(scenario, zoo) is not None
+
+
+class TestParallelWriters:
+    def test_racing_thread_writers_leave_one_valid_entry(self, tmp_path, trace, zoo):
+        store = TraceStore(tmp_path)
+
+        def hammer(_):
+            for _ in range(5):
+                store.save(trace, zoo)
+            return True
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            assert all(pool.map(hammer, range(8)))
+        assert len(store) == 1
+        loaded = store.load(trace.scenario, zoo)
+        assert loaded is not None and loaded.outcomes == trace.outcomes
+        assert not list(tmp_path.rglob("*.tmp*"))
+        checked, problems = store.audit()
+        assert checked == 1 and problems == []
+
+    def test_racing_run_writers_keep_index_consistent(self, tmp_path, result, key):
+        store = RunStore(tmp_path)
+
+        def hammer(_):
+            for _ in range(5):
+                store.save(result, key)
+            return store.load(key) is not None
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            assert all(pool.map(hammer, range(6)))
+        assert len(store) == 1
+        assert store.corrupt_entries == 0
+        checked, problems = store.audit()
+        assert checked == 1 and problems == []

@@ -1,0 +1,103 @@
+"""Unit tests for request decomposition, dedup keys, and jobs-file parsing."""
+
+import pytest
+
+from repro.data import scenario_by_name
+from repro.service import (
+    ServiceError,
+    SweepRequest,
+    decompose,
+    policy_resolver,
+    requests_from_payload,
+)
+
+
+class TestSweepRequest:
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ServiceError, match="no policies"):
+            SweepRequest(policies=(), scenarios=("s3_indoor_close_wall",))
+        with pytest.raises(ServiceError, match="no scenarios"):
+            SweepRequest(policies=("marlin",), scenarios=())
+
+    def test_resolves_names_and_passes_objects_through(self):
+        live = scenario_by_name("s3_indoor_close_wall").scaled(0.05)
+        request = SweepRequest(
+            policies=("marlin",), scenarios=("s4_indoor_clutter", live)
+        )
+        resolved = request.resolve_scenarios()
+        assert resolved[0].name == "s4_indoor_clutter"
+        assert resolved[1] is live
+
+    def test_unknown_scenario_name_is_a_service_error(self):
+        request = SweepRequest(policies=("marlin",), scenarios=("s99_nope",))
+        with pytest.raises(ServiceError, match="known scenarios"):
+            request.resolve_scenarios()
+
+
+class TestDecompose:
+    def test_policy_major_order_and_dedup_within_request(self):
+        request = SweepRequest(
+            policies=("marlin-tiny", "single:yolov7-tiny@gpu"),
+            scenarios=("s3_indoor_close_wall", "s4_indoor_clutter", "s3_indoor_close_wall"),
+        )
+        jobs = decompose(request)
+        assert len(jobs) == 6  # every requested cell appears, duplicates included
+        assert len({job.key for job in jobs}) == 4  # but only 4 distinct jobs
+        assert [j.policy_spec for j in jobs[:3]] == ["marlin-tiny"] * 3
+        # The duplicate scenario maps onto the *same* job object.
+        assert jobs[0] is jobs[2]
+
+    def test_key_is_content_derived(self):
+        a = scenario_by_name("s3_indoor_close_wall")
+        jobs = decompose(SweepRequest(policies=("marlin",), scenarios=(a,)))
+        assert jobs[0].key == ("marlin", a.fingerprint())
+
+
+class TestPolicyResolver:
+    def test_resolves_fresh_instances(self):
+        resolve = policy_resolver()
+        a, b = resolve("marlin-tiny"), resolve("marlin-tiny")
+        assert a is not b and a.name == b.name
+
+    def test_single_spec_with_accelerator(self):
+        policy = policy_resolver()("single:yolov7@dla0")
+        assert policy.name == "single:yolov7@dla0"
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ServiceError, match="unknown policy"):
+            policy_resolver()("quantum")
+
+    def test_shift_requires_a_bundle(self):
+        with pytest.raises(ServiceError, match="bundle"):
+            policy_resolver()("shift")
+
+
+class TestJobsPayload:
+    def test_bare_list_and_wrapped_object(self):
+        entry = {"policies": ["marlin"], "scenarios": ["s3_indoor_close_wall"]}
+        for payload in ([entry], {"requests": [entry]}):
+            requests = requests_from_payload(payload)
+            assert len(requests) == 1
+            assert requests[0].policies == ("marlin",)
+            assert requests[0].request_id == "request-0"
+
+    def test_explicit_ids_survive(self):
+        payload = [{"id": "r7", "policies": ["marlin"], "scenarios": ["s5_far_patrol"]}]
+        assert requests_from_payload(payload)[0].request_id == "r7"
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ("not a list", "must be a JSON list"),
+            ([], "no requests"),
+            ({"requests": "nope"}, '"requests" list'),
+            ([42], "expected an object"),
+            ([{"policies": [], "scenarios": ["s"]}], "'policies'"),
+            ([{"policies": ["marlin"], "scenarios": [3]}], "'scenarios'"),
+            ([{"policies": ["marlin"]}], "'scenarios'"),
+            ([{"id": 9, "policies": ["marlin"], "scenarios": ["s"]}], "'id'"),
+        ],
+    )
+    def test_malformed_payloads_fail_loudly(self, payload, match):
+        with pytest.raises(ServiceError, match=match):
+            requests_from_payload(payload)

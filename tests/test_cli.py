@@ -93,6 +93,20 @@ class TestCommands:
         assert main(FAST + ["sweep", "quantum"]) == 2
         assert "unknown policy" in capsys.readouterr().err
 
+    def test_sweep_unknown_scenario(self, capsys):
+        assert main(FAST + ["sweep", "marlin-tiny", "--scenarios", "s99_missing"]) == 2
+        assert "known scenarios" in capsys.readouterr().err
+
+    def test_sweep_without_policies_or_jobs(self, capsys):
+        assert main(FAST + ["sweep"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_sweep_rejects_policies_and_jobs_together(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text("[]", encoding="utf-8")
+        assert main(FAST + ["sweep", "marlin-tiny", "--jobs", str(jobs)]) == 2
+        assert "not both" in capsys.readouterr().err
+
     def test_sweep_parallel_runs_requires_store(self, capsys):
         code = main(FAST + ["--workers", "2", "sweep", "marlin-tiny",
                             "--scenarios", "s3_indoor_close_wall", "--parallel-runs"])
@@ -103,7 +117,7 @@ class TestCommands:
         store = tmp_path / "traces"
         args = FAST + ["--trace-store", str(store), "run", "marlin-tiny", "s3_indoor_close_wall"]
         assert main(args) == 0
-        files = list(store.glob("trace-*.json"))
+        files = [p for p in store.rglob("trace-*.json") if ".tmp" not in p.name]
         assert len(files) == 1
         first_mtime = files[0].stat().st_mtime_ns
         assert main(args) == 0
@@ -133,7 +147,81 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "g_dm_s001_crx_day_96f" in out and "g_dm_s002_loi-pop_fog_96f" in out
         assert "average" in out
-        assert len(list(store.glob("trace-*.json"))) == 2, "generated traces must persist"
+        assert len(list(store.rglob("trace-*.json"))) == 2, "generated traces must persist"
+
+
+class TestServeCommand:
+    def _jobs_file(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_serve_happy_path(self, tmp_path, capsys):
+        jobs = self._jobs_file(tmp_path, {"requests": [
+            {"id": "r1", "policies": ["marlin-tiny"],
+             "scenarios": ["s3_indoor_close_wall"]},
+            {"id": "r2", "policies": ["marlin-tiny", "single:yolov7-tiny@gpu"],
+             "scenarios": ["s3_indoor_close_wall"]},
+        ]})
+        assert main(FAST + ["serve", jobs, "--service-workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Request r1" in out and "Request r2" in out
+        assert "0 corrupt entries" in out
+        # r2's (marlin-tiny, s3) cell duplicates r1's: exactly one pair
+        # coalesces in this deterministic mix.
+        assert "1 coalesced" in out
+
+    def test_serve_missing_jobs_file(self, tmp_path, capsys):
+        assert main(FAST + ["serve", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read jobs file" in capsys.readouterr().err
+
+    def test_serve_invalid_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert main(FAST + ["serve", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_serve_malformed_request_shape(self, tmp_path, capsys):
+        jobs = self._jobs_file(tmp_path, [{"policies": [], "scenarios": ["s5_far_patrol"]}])
+        assert main(FAST + ["serve", jobs]) == 2
+        assert "'policies'" in capsys.readouterr().err
+
+    def test_serve_unknown_policy_in_request(self, tmp_path, capsys):
+        jobs = self._jobs_file(tmp_path, [
+            {"policies": ["quantum"], "scenarios": ["s3_indoor_close_wall"]}
+        ])
+        assert main(FAST + ["serve", jobs]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_serve_unknown_scenario_in_request(self, tmp_path, capsys):
+        jobs = self._jobs_file(tmp_path, [
+            {"policies": ["marlin-tiny"], "scenarios": ["s99_missing"]}
+        ])
+        assert main(FAST + ["serve", jobs]) == 2
+        assert "known scenarios" in capsys.readouterr().err
+
+    def test_sweep_jobs_batch_front_end(self, tmp_path, capsys):
+        jobs = self._jobs_file(tmp_path, [
+            {"policies": ["marlin-tiny"], "scenarios": ["s3_indoor_close_wall"]}
+        ])
+        assert main(FAST + ["sweep", "--jobs", jobs]) == 0
+        out = capsys.readouterr().out
+        assert "Request request-0" in out and "service:" in out
+
+    def test_serve_with_stores_warm_reserve(self, tmp_path, capsys):
+        jobs = self._jobs_file(tmp_path, [
+            {"policies": ["marlin-tiny"], "scenarios": ["s3_indoor_close_wall"]}
+        ])
+        args = FAST + ["--trace-store", str(tmp_path / "t"),
+                       "--run-store", str(tmp_path / "r"), "serve", jobs]
+        assert main(args) == 0
+        assert "1 runs executed" in capsys.readouterr().out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 runs executed" in out and "1 run-store hits" in out
+        assert "0 trace builds" in out
 
 
 class TestVerifyCommand:
@@ -174,5 +262,5 @@ class TestVerifyCommand:
         code = main(["verify", "--scenarios", "g_dm_s001_crx_day_96f",
                      "--checks", "store", "--store", str(store)])
         assert code == 0
-        assert len(list(store.glob("trace-*.json"))) == 1
+        assert len(list(store.rglob("trace-*.json"))) == 1
         capsys.readouterr()

@@ -1,0 +1,168 @@
+"""Metamorphic tests for the grammar -> trace -> run pipeline.
+
+Differential checks (:mod:`repro.verify`) prove two *engines* agree on
+one input; metamorphic tests prove one engine is invariant under input
+transformations that must not matter:
+
+* **renaming** a recipe relabels its scenario but never reshuffles the
+  content — every derived seed comes from the recipe's
+  :meth:`~repro.data.grammar.ScenarioRecipe.content_key`, not its name;
+* **permuting** the (policies, scenarios) axes of a sweep leaves every
+  per-(policy, scenario) metrics row unchanged — scheduling order is not
+  an input to any run;
+* **subsetting** a fuzz sample (the ``REPRO_FUZZ_SCENARIOS`` knob) agrees
+  with the full matrix on the intersection — a quick smoke and a nightly
+  full sweep can never disagree about a shared scenario.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.baselines import MarlinPolicy, SingleModelPolicy
+from repro.data import ScenarioMatrix, ScenarioRecipe, scenario_by_name
+from repro.data.generator import render_scenario
+from repro.models import default_zoo
+from repro.runtime import ExperimentRunner, TraceCache
+from repro.verify import sample_matrix
+from repro.verify.fuzz import SCENARIOS_ENV, default_sample_count
+
+# A deliberately tiny matrix: metamorphic properties are about *relations*
+# between runs, so the flights only need to be big enough to exercise the
+# pipeline, not to be representative.
+SMALL_MATRIX = ScenarioMatrix(
+    name="meta",
+    compositions=(("loiter",), ("pan_burst", "loiter")),
+    regimes=("day", "fog"),
+    seeds=(3,),
+    frame_budgets=(24,),
+)
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+def _policies():
+    # Fresh instances per call: policies are stateful across a run.
+    return [SingleModelPolicy("yolov7-tiny", "gpu"), MarlinPolicy("yolov7")]
+
+
+class TestRenameInvariance:
+    def _pair(self, **overrides):
+        base = dict(families=("crossing", "loiter"), regime_name="night",
+                    base_seed=77, frame_budget=48)
+        base.update(overrides)
+        return (
+            ScenarioRecipe(name="alpha", **base).build(),
+            ScenarioRecipe(name="omega_renamed", **base).build(),
+        )
+
+    def test_rename_changes_only_the_label(self):
+        a, b = self._pair()
+        assert a.name != b.name
+        assert a.seed == b.seed, "scenario seed must derive from content, not name"
+        assert a.segments == b.segments
+        assert a.indoor == b.indoor and a.frame_size == b.frame_size
+
+    def test_rename_preserves_fingerprint_up_to_the_name(self):
+        # The fingerprint hashes the name (names label store entries), so
+        # renaming changes the digest — but restoring the label must
+        # restore the digest exactly: nothing else drifted.
+        a, b = self._pair()
+        assert a.fingerprint() != b.fingerprint()
+        relabelled = dataclasses.replace(b, name=a.name, description=a.description)
+        assert relabelled.fingerprint() == a.fingerprint()
+
+    def test_rename_preserves_rendered_pixels(self):
+        import numpy as np
+
+        a, b = self._pair(families=("popup",), frame_budget=16, regime_name="indoor")
+        for fa, fb in zip(render_scenario(a), render_scenario(b)):
+            assert np.array_equal(fa.image, fb.image)
+            assert fa.ground_truth == fb.ground_truth
+            assert fa.difficulty == fb.difficulty
+
+    def test_content_key_excludes_the_name(self):
+        key = ScenarioRecipe(name="x", families=("loiter",)).content_key()
+        assert ScenarioRecipe(name="y", families=("loiter",)).content_key() == key
+        assert ScenarioRecipe(name="x", families=("popup",)).content_key() != key
+        assert ScenarioRecipe(name="x", families=("loiter",), base_seed=1).content_key() != key
+
+
+class TestSweepOrderInvariance:
+    @pytest.fixture(scope="class")
+    def scenarios(self):
+        return SMALL_MATRIX.scenarios()
+
+    def _rows(self, policies, scenarios, zoo):
+        runner = ExperimentRunner(cache=TraceCache(zoo))
+        result = runner.sweep(policies, scenarios)
+        return {
+            (policy_name, m.scenario_name): m
+            for policy_name, rows in result.items()
+            for m in rows
+        }
+
+    def test_permuting_both_axes_changes_no_row(self, scenarios, zoo):
+        rng = random.Random(5)
+        forward = self._rows(_policies(), scenarios, zoo)
+        shuffled_policies = _policies()
+        rng.shuffle(shuffled_policies)
+        shuffled_scenarios = list(scenarios)
+        rng.shuffle(shuffled_scenarios)
+        backward = self._rows(shuffled_policies, shuffled_scenarios, zoo)
+        assert forward == backward, "sweep order leaked into per-pair metrics"
+
+    def test_rows_keep_scenario_order_per_policy(self, scenarios, zoo):
+        runner = ExperimentRunner(cache=TraceCache(zoo))
+        result = runner.sweep(_policies(), scenarios)
+        for rows in result.values():
+            assert [m.scenario_name for m in rows] == [s.name for s in scenarios]
+
+
+class TestSubsetAgreement:
+    def test_sampled_subset_is_the_full_matrix_on_the_intersection(self):
+        full = {s.name: s.fingerprint() for s in sample_matrix(SMALL_MATRIX, count=0)}
+        for count in (1, 2, 3):
+            subset = sample_matrix(SMALL_MATRIX, count=count, seed=11)
+            assert len(subset) == count
+            for scenario in subset:
+                assert full[scenario.name] == scenario.fingerprint(), (
+                    f"{scenario.name} differs between the subset and the full matrix"
+                )
+
+    def test_env_knob_subsets_agree_with_full_on_metrics(self, zoo, monkeypatch):
+        # A smoke run (REPRO_FUZZ_SCENARIOS=2) and a full run (0 = all)
+        # must report identical metrics for every scenario they share,
+        # computed by *independent* runners (no shared traces or caches).
+        monkeypatch.setenv(SCENARIOS_ENV, "2")
+        subset = sample_matrix(SMALL_MATRIX, count=default_sample_count(), seed=3)
+        monkeypatch.setenv(SCENARIOS_ENV, "0")
+        full = sample_matrix(SMALL_MATRIX, count=default_sample_count(), seed=3)
+        assert len(subset) == 2 and len(full) == len(SMALL_MATRIX)
+        policy = _policies()[0]
+
+        def metrics_by_name(scenarios):
+            runner = ExperimentRunner(cache=TraceCache(zoo))
+            rows = runner.run_policy_on_scenarios(policy, scenarios)
+            return {m.scenario_name: m for m in rows}
+
+        small = metrics_by_name(subset)
+        big = metrics_by_name(full)
+        shared = set(small) & set(big)
+        assert shared == {s.name for s in subset}
+        for name in shared:
+            assert small[name] == big[name], f"{name}: subset and full sweeps disagree"
+
+    def test_generated_names_resolve_identically_everywhere(self):
+        # By-name resolution (what the CLI, stores, and workers use) and
+        # direct matrix expansion must agree on content — names and
+        # objects are interchangeable.
+        from repro.data import default_matrix
+
+        expanded = {s.name: s.fingerprint() for s in default_matrix().scenarios()}
+        for name in list(expanded)[:5]:
+            assert scenario_by_name(name).fingerprint() == expanded[name]

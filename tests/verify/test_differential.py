@@ -237,3 +237,45 @@ class TestHarnessDetectsViolations:
             ],
         )
         assert result.passed, result.detail
+
+    def test_service_divergence_detected(self, trace, zoo, monkeypatch):
+        # A service whose runs are not bit-identical to the serial loop
+        # (here: a skewed engine seed standing in for any concurrency
+        # bug) must fail the service check, naming the differing fields.
+        import repro.service.service as service_mod
+        from repro.verify import check_service_equivalence
+
+        real = service_mod.run_policy
+
+        def skewed(policy, run_trace, soc=None, engine_seed=1234, fast=False):
+            return real(policy, run_trace, soc=soc, engine_seed=engine_seed + 1, fast=fast)
+
+        monkeypatch.setattr(service_mod, "run_policy", skewed)
+        result = check_service_equivalence(trace, zoo)
+        assert not result.passed
+        assert "diverge" in result.detail
+
+    def test_service_duplicate_execution_detected(self, trace, zoo, monkeypatch):
+        # A dedup layer that stops deduplicating is a correctness bug for
+        # the counters contract, even when results still agree.
+        from repro.service.service import SweepService
+        from repro.verify import check_service_equivalence
+
+        original = SweepService._execute
+
+        def double_counting(self, job):
+            metrics = original(self, job)
+            with self._state:
+                self.runs_executed += 5  # simulate re-executions
+            return metrics
+
+        monkeypatch.setattr(SweepService, "_execute", double_counting)
+        result = check_service_equivalence(trace, zoo)
+        assert not result.passed
+        assert "duplicate execution" in result.detail
+
+    def test_service_check_passes_on_shared_trace(self, trace, zoo):
+        from repro.verify import check_service_equivalence
+
+        result = check_service_equivalence(trace, zoo)
+        assert result.passed, result.detail
