@@ -1,0 +1,38 @@
+"""Repo-aware static analysis: the invariants the tests assume, checked at lint time.
+
+The differential fuzz harness (``repro verify``) proves determinism
+*dynamically* — same seeds, same bytes.  This package proves the
+structural preconditions *statically*, on every file, before anything
+runs: no ambient entropy in the deterministic tiers, atomic writes and
+lock discipline in the stores, persisted schemas pinned to a committed
+manifest, imports pointing down the layer tower, and no swallowed
+exceptions in the execution loops.
+
+Run it as ``python -m repro lint`` (exit 0 clean / 1 findings / 2 bad
+usage).  Silence a deliberate violation inline::
+
+    handle = open(lock_path, "a+")  # repro: allow[locks/raw-write]
+
+and declare lock-guarded state so the guard is enforced::
+
+    self._state = threading.Lock()  # repro: guards[_jobs, _closed]
+"""
+
+from .base import Checker, Project, Registry
+from .engine import LintConfig, LintResult, default_registry, run_lint
+from .findings import Finding, Rule
+from .source import SourceModule, parse_module
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Project",
+    "Registry",
+    "Rule",
+    "SourceModule",
+    "default_registry",
+    "parse_module",
+    "run_lint",
+]

@@ -1,0 +1,108 @@
+"""Checker protocol and the rule registry.
+
+A checker owns one rule family.  Per-module rules override
+:meth:`Checker.check_module`; whole-project rules (layering, schema) get
+every parsed module at once via :meth:`Checker.check_project`.  Checkers
+*report* raw findings — suppression pragmas, rule selection, and baseline
+filtering are the engine's job, so every rule gets them for free.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable
+
+from .findings import Finding, Rule
+from .source import SourceModule
+
+
+@dataclass
+class Project:
+    """Everything the engine parsed, handed to project-level checkers."""
+
+    root: Path
+    package: str
+    modules: list[SourceModule]
+    manifest_path: Path | None = None
+    manifest: dict | None = None
+
+    def module_by_rel(self, rel: str) -> SourceModule | None:
+        for module in self.modules:
+            if module.rel == rel:
+                return module
+        return None
+
+
+class Checker:
+    """Base class: subclasses declare ``rules`` and override one hook."""
+
+    rules: tuple[Rule, ...] = ()
+
+    def check_module(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    # ---------------------------------------------------------------- helpers
+
+    def rule(self, rule_id: str) -> Rule:
+        for rule in self.rules:
+            if rule.id == rule_id:
+                return rule
+        raise KeyError(f"{type(self).__name__} does not declare rule {rule_id!r}")
+
+    def finding(
+        self, rule_id: str, module: SourceModule, node: ast.AST | None, message: str,
+        line: int | None = None,
+    ) -> Finding:
+        """Build a finding for ``node`` (or an explicit line) in ``module``."""
+        rule = self.rule(rule_id)
+        return Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=module.rel,
+            line=line if line is not None else getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1 if node is not None else 1,
+            message=message,
+        )
+
+
+@dataclass
+class Registry:
+    """The set of checkers the engine runs, with rule-id lookup."""
+
+    checkers: list[Checker] = field(default_factory=list)
+
+    @property
+    def rules(self) -> dict[str, Rule]:
+        table: dict[str, Rule] = {}
+        for checker in self.checkers:
+            for rule in checker.rules:
+                if rule.id in table:
+                    raise ValueError(f"duplicate rule id {rule.id!r}")
+                table[rule.id] = rule
+        return table
+
+    def resolve_selection(self, selection: Iterable[str]) -> frozenset[str]:
+        """Expand rule ids / families into concrete rule ids.
+
+        Raises :class:`KeyError` naming the first unknown selector — the
+        CLI turns that into exit code 2.
+        """
+        table = self.rules
+        families = {rule.family for rule in table.values()}
+        selected: set[str] = set()
+        for item in selection:
+            if item in table:
+                selected.add(item)
+            elif item in families:
+                selected.update(rid for rid, rule in table.items() if rule.family == item)
+            else:
+                raise KeyError(
+                    f"unknown rule or family {item!r}; known: "
+                    f"{', '.join(sorted(table))}"
+                )
+        return frozenset(selected)

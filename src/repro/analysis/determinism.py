@@ -1,0 +1,173 @@
+"""Determinism rules: no ambient entropy in the deterministic tiers.
+
+The reproduction's central guarantee is that every engine is a pure
+function of its seeds: traces, runs, and fingerprints must be bit-stable
+across processes, hosts, and reruns (the differential fuzz harness proves
+it dynamically; these rules prove the *absence of entropy sources*
+statically).  Scope: the packages that compute results or identity —
+``vision``, ``models``, ``data``, ``sim``, ``core``.
+
+* ``determinism/wall-clock`` — ``time.time()``/``datetime.now()`` and
+  friends inject the host clock into results.
+* ``determinism/unseeded-rng`` — ``np.random.default_rng()`` or
+  ``random.Random()`` with no seed draws from OS entropy.
+* ``determinism/global-rng`` — module-level ``random.*`` /
+  ``np.random.*`` calls share cross-cutting global state: any other
+  caller perturbs the stream, so outcomes depend on call *order*.
+* ``determinism/unordered-iter`` — iterating a ``set`` while computing a
+  fingerprint or serializing makes output depend on hash order (this one
+  is enforced everywhere, not just the deterministic tiers: fingerprint
+  code also lives in the stores).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+
+from .base import Checker, Project
+from .findings import Finding, Rule
+from .source import SourceModule, resolve_call_name
+
+#: Packages whose code must be a pure function of explicit seeds.
+DETERMINISTIC_PACKAGES = frozenset({"vision", "models", "data", "sim", "core", "util"})
+
+WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: stdlib ``random`` module functions that mutate/read the global stream.
+GLOBAL_RANDOM_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gauss", "getrandbits",
+    "normalvariate", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate",
+})
+
+#: ``numpy.random`` names that are *not* global-state calls (seeded
+#: constructors and generator classes).
+NUMPY_RANDOM_ALLOWED = frozenset({"default_rng"})
+
+#: Function names that compute identity or serialize state.
+FINGERPRINT_FUNC_RE = re.compile(
+    r"fingerprint|content_key|to_dict|serialize|digest|canonical|index_meta|_row$"
+)
+
+
+class DeterminismChecker(Checker):
+    rules = (
+        Rule("determinism/wall-clock", "error",
+             "wall-clock reads make results depend on the host clock"),
+        Rule("determinism/unseeded-rng", "error",
+             "an RNG constructed without a seed draws OS entropy"),
+        Rule("determinism/global-rng", "error",
+             "module-level RNG state makes outcomes depend on call order"),
+        Rule("determinism/unordered-iter", "error",
+             "set iteration in fingerprint/serialization code depends on hash order"),
+    )
+
+    def check_module(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        deterministic_tier = module.package in DETERMINISTIC_PACKAGES
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and deterministic_tier:
+                findings.extend(self._check_call(node, module))
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and FINGERPRINT_FUNC_RE.search(node.name):
+                findings.extend(self._check_fingerprint_func(node, module))
+        return findings
+
+    # ----------------------------------------------------------- entropy
+
+    def _check_call(self, node: ast.Call, module: SourceModule) -> Iterator[Finding]:
+        name = resolve_call_name(node, module.symbol_origins)
+        if name is None:
+            return
+        if name in WALL_CLOCK_CALLS:
+            yield self.finding(
+                "determinism/wall-clock", module, node,
+                f"call to {name}() reads the wall clock; results must be pure "
+                f"functions of explicit seeds",
+            )
+            return
+        if name in ("numpy.random.default_rng", "random.Random") and _unseeded(node):
+            yield self.finding(
+                "determinism/unseeded-rng", module, node,
+                f"{name}() without a seed draws OS entropy; pass an explicit seed",
+            )
+            return
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] == "random" and parts[1] in GLOBAL_RANDOM_FNS:
+            yield self.finding(
+                "determinism/global-rng", module, node,
+                f"{name}() uses the interpreter-global random stream; use a "
+                f"seeded random.Random instance",
+            )
+            return
+        if (
+            len(parts) == 3
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2] not in NUMPY_RANDOM_ALLOWED
+            and parts[2][:1].islower()
+        ):
+            yield self.finding(
+                "determinism/global-rng", module, node,
+                f"{name}() uses numpy's global RNG state; use "
+                f"numpy.random.default_rng(seed)",
+            )
+
+    # ------------------------------------------------------- unordered sets
+
+    def _check_fingerprint_func(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef, module: SourceModule
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for candidate in iters:
+                if _is_set_expression(candidate, module):
+                    yield self.finding(
+                        "determinism/unordered-iter", module, candidate,
+                        f"iteration over an unordered set inside {func.name}(); "
+                        f"wrap the set in sorted(...) so output is hash-order-free",
+                    )
+
+
+def _unseeded(node: ast.Call) -> bool:
+    if node.keywords:
+        return all(
+            kw.arg == "seed" and isinstance(kw.value, ast.Constant) and kw.value.value is None
+            for kw in node.keywords
+        )
+    if not node.args:
+        return True
+    return (
+        len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and node.args[0].value is None
+    )
+
+
+def _is_set_expression(node: ast.expr, module: SourceModule) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = resolve_call_name(node, module.symbol_origins)
+        if name in ("set", "frozenset"):
+            return True
+        # RunResult.pairs_used()-style accessors are beyond static reach;
+        # the rule stays syntactic and accepts the false negative.
+    return False

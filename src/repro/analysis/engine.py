@@ -1,0 +1,201 @@
+"""The lint engine: parse the tree once, run every checker, filter, sort.
+
+Checkers report raw findings; the engine owns everything cross-cutting so
+each rule gets it for free:
+
+* ``# repro: allow[...]`` suppression pragmas (per line),
+* ``--rules`` selection (ids or families),
+* optional committed baseline (grandfathered findings, keyed by
+  rule + path + message so they survive line drift),
+* deterministic ordering (path, line, column, rule).
+
+Parse failures are findings too (rule ``parse/error``) — a tree that does
+not parse must fail the lint gate, not crash it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .base import Checker, Project, Registry
+from .determinism import DeterminismChecker
+from .exceptions import ExceptionHygieneChecker
+from .findings import SEVERITY_ERROR, Finding
+from .layering import LayeringChecker
+from .lockdiscipline import LockDisciplineChecker
+from .schema import SchemaChecker
+from .source import SourceModule, parse_module
+
+#: Synthetic rule id for files the parser rejects.
+PARSE_RULE = "parse/error"
+
+#: Default manifest location, relative to the lint root.
+MANIFEST_REL = "analysis/schema_manifest.json"
+
+
+def default_registry() -> Registry:
+    """Every shipped checker, in deterministic order."""
+    return Registry(checkers=[
+        DeterminismChecker(),
+        LockDisciplineChecker(),
+        SchemaChecker(),
+        LayeringChecker(),
+        ExceptionHygieneChecker(),
+    ])
+
+
+@dataclass
+class LintConfig:
+    """One lint invocation."""
+
+    root: Path
+    rules: frozenset[str] | None = None  # None = all
+    manifest_path: Path | None = None  # None = <root>/analysis/schema_manifest.json
+    baseline_path: Path | None = None
+
+
+@dataclass
+class LintResult:
+    """What one lint run produced (post-filtering, sorted)."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressed: int
+    baseline_filtered: int
+    parse_failures: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        """The ``--format json`` document (stable keys)."""
+        return {
+            "clean": self.clean,
+            "files_checked": self.files_checked,
+            "finding_count": len(self.findings),
+            "suppressed": self.suppressed,
+            "baseline_filtered": self.baseline_filtered,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def run_lint(config: LintConfig, registry: Registry | None = None) -> LintResult:
+    """Lint every ``*.py`` under ``config.root`` and return the findings."""
+    registry = registry if registry is not None else default_registry()
+    modules: list[SourceModule] = []
+    findings: list[Finding] = []
+
+    paths = sorted(
+        path for path in config.root.rglob("*.py") if "__pycache__" not in path.parts
+    )
+    parse_failures = 0
+    for path in paths:
+        rel = path.relative_to(config.root).as_posix()
+        try:
+            text = path.read_text(encoding="utf-8")
+            modules.append(parse_module(path, rel, text))
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            parse_failures += 1
+            line = getattr(error, "lineno", None) or 1
+            findings.append(Finding(
+                rule=PARSE_RULE, severity=SEVERITY_ERROR,
+                path=rel, line=line, column=1,
+                message=f"file does not parse: {error}",
+            ))
+
+    manifest_path = config.manifest_path
+    if manifest_path is None:
+        candidate = config.root / MANIFEST_REL
+        manifest_path = candidate if candidate.exists() else None
+    manifest = None
+    if manifest_path is not None:
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            findings.append(Finding(
+                rule=PARSE_RULE, severity=SEVERITY_ERROR,
+                path=str(manifest_path), line=1, column=1,
+                message=f"schema manifest does not parse: {error}",
+            ))
+
+    project = Project(
+        root=config.root, package="repro", modules=modules,
+        manifest_path=manifest_path, manifest=manifest,
+    )
+    for checker in registry.checkers:
+        for module in modules:
+            findings.extend(checker.check_module(module, project))
+        findings.extend(checker.check_project(project))
+
+    # --- selection (parse errors are never deselectable)
+    selected = config.rules
+    if selected is not None:
+        findings = [f for f in findings if f.rule in selected or f.rule == PARSE_RULE]
+        rules_run = tuple(sorted(selected))
+    else:
+        rules_run = tuple(sorted(registry.rules))
+
+    # --- suppression pragmas
+    by_rel = {module.rel: module for module in modules}
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        module = by_rel.get(finding.path)
+        if module is not None and module.is_suppressed(finding.rule, finding.line):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    findings = kept
+
+    # --- baseline
+    baseline_filtered = 0
+    if config.baseline_path is not None and config.baseline_path.exists():
+        baseline = load_baseline(config.baseline_path)
+        kept = []
+        for finding in findings:
+            if _baseline_key(finding) in baseline:
+                baseline_filtered += 1
+            else:
+                kept.append(finding)
+        findings = kept
+
+    findings.sort(key=lambda f: f.sort_key)
+    return LintResult(
+        findings=findings,
+        files_checked=len(paths),
+        suppressed=suppressed,
+        baseline_filtered=baseline_filtered,
+        parse_failures=parse_failures,
+        rules_run=rules_run,
+    )
+
+
+# ------------------------------------------------------------------ baseline
+
+
+def _baseline_key(finding: Finding) -> tuple[str, str, str]:
+    # No line number: baselines must survive unrelated edits above a finding.
+    return (finding.rule, finding.path, finding.message)
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {
+        (entry["rule"], entry["path"], entry["message"])
+        for entry in payload.get("findings", [])
+    }
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Persist current findings as the grandfathered set (sorted, stable)."""
+    keys = sorted({_baseline_key(f) for f in findings})
+    entries = [{"rule": rule, "path": path_, "message": message}
+               for rule, path_, message in keys]
+    path.write_text(
+        json.dumps({"findings": entries}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

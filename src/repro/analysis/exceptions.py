@@ -1,0 +1,70 @@
+"""Exception hygiene: failures must surface, not vanish.
+
+The orchestrator and the stores run work in background threads and
+process pools; an exception swallowed there turns a hard failure into a
+silent wrong answer (a sweep that "completes" with missing runs, a store
+that "loads" a half-written shard).  Two rules:
+
+* ``exceptions/bare`` — ``except:`` catches ``KeyboardInterrupt`` and
+  ``SystemExit`` too, so a worker cannot even be cancelled.  Enforced
+  repo-wide.
+* ``exceptions/swallow`` — an ``except`` whose body is only
+  ``pass``/``continue``/``...`` discards the error.  Enforced in the
+  tiers that execute work (``runtime``, ``service``): either handle it,
+  re-raise, or annotate the line with ``# repro: allow[exceptions/swallow]``
+  and a comment saying *why* dropping it is sound.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from .base import Checker, Project
+from .findings import Finding, Rule
+from .source import SourceModule
+
+#: Packages whose loops execute jobs/IO and must not drop errors.
+SWALLOW_SCOPE_PACKAGES = frozenset({"runtime", "service"})
+
+
+class ExceptionHygieneChecker(Checker):
+    rules = (
+        Rule("exceptions/bare", "error",
+             "bare `except:` catches KeyboardInterrupt/SystemExit; name the exceptions"),
+        Rule("exceptions/swallow", "error",
+             "an except body of pass/continue discards the failure silently"),
+    )
+
+    def check_module(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        check_swallow = module.package in SWALLOW_SCOPE_PACKAGES
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                findings.extend(self._check_handler(node, module, check_swallow))
+        return findings
+
+    def _check_handler(
+        self, handler: ast.ExceptHandler, module: SourceModule, check_swallow: bool
+    ) -> Iterator[Finding]:
+        if handler.type is None:
+            yield self.finding(
+                "exceptions/bare", module, handler,
+                "bare `except:` also catches KeyboardInterrupt and SystemExit; "
+                "catch a named exception (or `Exception` at an outermost boundary)",
+            )
+            return
+        if check_swallow and all(_is_noop(stmt) for stmt in handler.body):
+            caught = ast.unparse(handler.type)
+            yield self.finding(
+                "exceptions/swallow", module, handler,
+                f"`except {caught}` swallows the error; handle it, re-raise, or "
+                f"annotate with `# repro: allow[exceptions/swallow]` explaining "
+                f"why dropping it is sound",
+            )
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Pass, ast.Continue)):
+        return True
+    return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)

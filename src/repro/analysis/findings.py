@@ -1,0 +1,76 @@
+"""Findings: what a checker reports and how it is rendered.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are plain frozen dataclasses so the engine can sort, deduplicate, diff
+against a baseline, and serialize them without any checker cooperation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Severity levels, in increasing order of importance.
+SEVERITY_WARNING = "warning"
+SEVERITY_ERROR = "error"
+SEVERITIES = (SEVERITY_WARNING, SEVERITY_ERROR)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One enforceable rule: stable id, severity, one-line rationale.
+
+    Rule ids are ``family/name`` (e.g. ``locks/raw-write``); the family
+    groups rules that share a checker and lets ``--rules locks`` select
+    the whole group.
+    """
+
+    id: str
+    severity: str
+    summary: str
+
+    def __post_init__(self) -> None:
+        if "/" not in self.id:
+            raise ValueError(f"rule id {self.id!r} must be family/name")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def family(self) -> str:
+        """The group this rule belongs to (text before the slash)."""
+        return self.id.split("/", 1)[0]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location (path is root-relative, posix)."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        """``path:line:column`` — the clickable form."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.column, self.rule, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-row form (stable keys; the ``--format json`` schema)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One human-readable line."""
+        return f"{self.location}: {self.rule}: {self.message}"

@@ -1,0 +1,210 @@
+"""Import layering: the dependency order of the repo, enforced.
+
+The codebase layers bottom-up:
+
+====  =======================================================  =============
+rank  packages                                                 role
+====  =======================================================  =============
+0     ``util``, ``vision``, ``models``, ``data``, ``sim``      deterministic leaves
+1     ``characterization``                                     offline profiling
+2     ``core``                                                 scheduling engine
+3     ``runtime``, ``baselines``                               execution + stores
+4     ``service``, ``experiments``, ``verify``, ``analysis``   orchestration
+5     root modules (``cli``, ``__main__``, ...)                entry points
+====  =======================================================  =============
+
+A module may import same-rank or lower-rank packages, never higher: the
+engine must not know about stores, the stores must not know about the
+service.  ``if TYPE_CHECKING:`` imports are exempt (annotations are not a
+runtime dependency); lazy (function-level) imports still count for the
+order rule — the layering is conceptual, not just an import-time cycle
+dodge — but are excluded from the cycle graph, which models what the
+interpreter actually executes at import time.
+
+* ``layering/order`` — an import that points up the tower.
+* ``layering/cycle`` — a cycle among eagerly-imported modules; reported
+  once per cycle, at the edge with the lexicographically first source.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from .base import Checker, Project
+from .findings import Finding, Rule
+from .source import ImportRecord, SourceModule
+
+#: Package -> layer rank.  Root-level modules ("" package) sit on top.
+LAYER_RANKS: dict[str, int] = {
+    "util": 0,
+    "vision": 0,
+    "models": 0,
+    "data": 0,
+    "sim": 0,
+    "characterization": 1,
+    "core": 2,
+    "runtime": 3,
+    "baselines": 3,
+    "service": 4,
+    "experiments": 4,
+    "verify": 4,
+    "analysis": 4,
+    "": 5,  # cli.py, __main__.py, __init__.py at the package root
+}
+
+TOP_RANK = max(LAYER_RANKS.values())
+
+
+class LayeringChecker(Checker):
+    rules = (
+        Rule("layering/order", "error",
+             "imports must point down the layer tower, never up"),
+        Rule("layering/cycle", "error",
+             "import cycles make module initialization order-dependent"),
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            findings.extend(self._check_order(module))
+        findings.extend(self._check_cycles(project))
+        return findings
+
+    # ------------------------------------------------------------------ order
+
+    def _check_order(self, module: SourceModule) -> Iterator[Finding]:
+        source_rank = LAYER_RANKS.get(module.package, TOP_RANK)
+        for record in module.imports:
+            target = _internal_target(record)
+            if target is None or record.type_checking:
+                continue
+            first = target.split(".", 1)[0]
+            # Unranked targets (root modules like cli, or a package nobody
+            # ranked yet) sit at the top, so importing them from inside the
+            # tower fails loud until someone assigns a rank.
+            target_rank = LAYER_RANKS.get(first, TOP_RANK)
+            if target_rank > source_rank:
+                yield self.finding(
+                    "layering/order", module, None,
+                    f"{module.package or 'root'} (layer {source_rank}) imports "
+                    f"{target} (layer {target_rank}); dependencies must point "
+                    f"down the tower",
+                    line=record.line,
+                )
+
+    # ------------------------------------------------------------------ cycles
+
+    def _check_cycles(self, project: Project) -> Iterator[Finding]:
+        graph: dict[str, dict[str, int]] = {}
+        names = {module.module_name for module in project.modules}
+        # `from x import name` records both `x` and `x.name`; collapse
+        # edges onto real module names so the graph matches the files.
+        for module in project.modules:
+            edges = graph.setdefault(module.module_name, {})
+            for record in module.imports:
+                target = _internal_target(record)
+                if target is None or record.type_checking or record.lazy:
+                    continue
+                resolved = _resolve_to_module(target, names)
+                if resolved is None or resolved == module.module_name:
+                    continue
+                if module.module_name.startswith(resolved + "."):
+                    # A submodule "imports" its own package __init__ on any
+                    # `from . import x` — Python resolves that against the
+                    # partially-initialized parent, so it is not a real cycle.
+                    continue
+                edges.setdefault(resolved, record.line)
+
+        reported: set[frozenset[str]] = set()
+        for cycle in _find_cycles(graph):
+            key = frozenset(cycle)
+            if key in reported:
+                continue
+            reported.add(key)
+            start = min(cycle)
+            ordered = _rotate(cycle, start)
+            first_hop = ordered[1] if len(ordered) > 1 else ordered[0]
+            line = graph[start].get(first_hop, 1)
+            module = project.module_by_rel(_module_rel(start, project))
+            if module is None:
+                continue
+            yield self.finding(
+                "layering/cycle", module, None,
+                "import cycle: " + " -> ".join([*ordered, ordered[0]]),
+                line=line,
+            )
+
+
+def _internal_target(record: ImportRecord) -> str | None:
+    """Package-relative dotted target for in-repo imports, else None.
+
+    Relative imports are already package-relative; absolute
+    ``repro.x.y`` imports are internal too — strip the package prefix.
+    """
+    if not record.external:
+        return record.target
+    parts = record.target.split(".")
+    if parts[0] == "repro":
+        return ".".join(parts[1:]) if len(parts) > 1 else ""
+    return None
+
+
+def _resolve_to_module(target: str, names: set[str]) -> str | None:
+    """Longest prefix of ``target`` that is a real module, or None."""
+    parts = target.split(".")
+    while parts:
+        candidate = ".".join(parts)
+        if candidate in names:
+            return candidate
+        parts.pop()
+    return None
+
+
+def _module_rel(module_name: str, project: Project) -> str:
+    rel = module_name.replace(".", "/") + ".py"
+    if project.module_by_rel(rel) is not None:
+        return rel
+    return module_name.replace(".", "/") + "/__init__.py"
+
+
+def _find_cycles(graph: dict[str, dict[str, int]]) -> list[list[str]]:
+    """Elementary cycles via iterative DFS back-edge detection.
+
+    Not Johnson's algorithm: a lint pass only needs *which* cycles exist,
+    and a back-edge walk finds at least one representative per strongly
+    connected component, which is what a human needs to fix it.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    cycles: list[list[str]] = []
+
+    for root in sorted(graph):
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[str, Iterator[str]]] = [(root, iter(sorted(graph[root])))]
+        path = [root]
+        color[root] = GRAY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in color:
+                    continue
+                if color[child] == GRAY:
+                    cycles.append(path[path.index(child):])
+                elif color[child] == WHITE:
+                    color[child] = GRAY
+                    path.append(child)
+                    stack.append((child, iter(sorted(graph.get(child, {})))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+    return cycles
+
+
+def _rotate(cycle: list[str], start: str) -> list[str]:
+    index = cycle.index(start)
+    return cycle[index:] + cycle[:index]

@@ -1,0 +1,233 @@
+"""Lock and atomic-write discipline for the persistence/service tiers.
+
+PR 5 made both stores crash-consistent: every data-file write goes
+through a writer-unique temp + ``os.replace`` (so readers never see a
+torn file), mutations hold per-shard advisory locks, and shared service
+state hides behind one mutex.  Those guarantees only hold while *every*
+write site keeps the discipline — which is exactly what dynamic tests
+cannot prove (they execute the writes that exist, not the ones a patch
+adds).  Two rules make the discipline structural:
+
+* ``locks/raw-write`` — in ``runtime``, ``service``, and
+  ``characterization``, file writes must route through the
+  :mod:`repro.util.atomicio` helpers (re-exported by
+  :mod:`repro.runtime.shards`).  Raw ``open(..., "w")``,
+  ``Path.write_text``/``write_bytes``, ``json.dump``-to-handle, and bare
+  ``os.replace``/``os.rename`` are flagged.
+* ``locks/guarded-attr`` — a lock assignment annotated
+  ``# repro: guards[a, b, ...]`` declares that those sibling attributes
+  (or module globals, for a module-level lock) may only be touched while
+  holding that lock.  Accesses outside a ``with <lock>:`` block are
+  flagged, except in ``__init__`` (construction precedes sharing) and in
+  methods/functions named ``*_locked`` (documented as
+  called-under-lock).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from .base import Checker, Project
+from .findings import Finding, Rule
+from .source import SourceModule, resolve_call_name
+
+#: Packages whose file writes must be crash-safe.
+WRITE_SCOPE_PACKAGES = frozenset({"runtime", "service", "characterization"})
+
+WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+RENAME_CALLS = frozenset({"os.replace", "os.rename", "os.renames"})
+
+
+class LockDisciplineChecker(Checker):
+    rules = (
+        Rule("locks/raw-write", "error",
+             "file writes in the persistence tiers must be atomic (temp + os.replace)"),
+        Rule("locks/guarded-attr", "error",
+             "state declared lock-guarded may only be touched while holding the lock"),
+    )
+
+    def check_module(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        if module.package in WRITE_SCOPE_PACKAGES:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    findings.extend(self._check_write(node, module))
+        if module.guards:
+            findings.extend(self._check_guards(module))
+        return findings
+
+    # ------------------------------------------------------------ raw writes
+
+    def _check_write(self, node: ast.Call, module: SourceModule) -> Iterator[Finding]:
+        name = resolve_call_name(node, module.symbol_origins)
+        if name == "open" or (name is None and _method_name(node) == "open"):
+            mode = _open_mode(node)
+            if mode is not None and any(flag in mode for flag in "wax+"):
+                yield self.finding(
+                    "locks/raw-write", module, node,
+                    f"raw open(..., {mode!r}): a crash mid-write leaves a torn file; "
+                    f"use repro.util.atomicio.atomic_write_text",
+                )
+            return
+        if name in RENAME_CALLS:
+            yield self.finding(
+                "locks/raw-write", module, node,
+                f"bare {name}(): renames belong inside the shards/atomicio helpers "
+                f"so temp hygiene and shard indexes stay consistent",
+            )
+            return
+        if name == "json.dump":
+            yield self.finding(
+                "locks/raw-write", module, node,
+                "json.dump to an open handle is not crash-safe; serialize with "
+                "json.dumps and write via atomic_write_text (or atomic_write_json)",
+            )
+            return
+        method = _method_name(node)
+        if method in WRITE_METHODS:
+            yield self.finding(
+                "locks/raw-write", module, node,
+                f".{method}() is not crash-safe; use "
+                f"repro.util.atomicio.atomic_write_text",
+            )
+
+    # --------------------------------------------------------- guarded state
+
+    def _check_guards(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class_guards(node, module)
+        yield from self._check_module_guards(module)
+
+    def _check_class_guards(self, cls: ast.ClassDef, module: SourceModule) -> Iterator[Finding]:
+        # Lock declarations: `self.<lock> = ...  # repro: guards[...]` in any method.
+        declarations: list[tuple[str, tuple[str, ...]]] = []
+        for method in _methods(cls):
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                guarded = module.guards.get(stmt.lineno)
+                if not guarded:
+                    continue
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                for target in targets:
+                    if _is_self_attribute(target):
+                        declarations.append((target.attr, guarded))
+        for lock_attr, guarded in declarations:
+            guarded_set = frozenset(guarded)
+            for method in _methods(cls):
+                if method.name == "__init__" or method.name.endswith("_locked"):
+                    continue
+                walker = _GuardWalker(
+                    lock_is_attr=True, lock_name=lock_attr, guarded=guarded_set
+                )
+                walker.walk(method)
+                for access in walker.violations:
+                    yield self.finding(
+                        "locks/guarded-attr", module, access,
+                        f"self.{access.attr} is declared guarded by self.{lock_attr} "
+                        f"but is touched outside `with self.{lock_attr}:` "
+                        f"(in {cls.name}.{method.name})",
+                    )
+
+    def _check_module_guards(self, module: SourceModule) -> Iterator[Finding]:
+        declarations: list[tuple[str, tuple[str, ...]]] = []
+        for stmt in module.tree.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            guarded = module.guards.get(stmt.lineno)
+            if not guarded:
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    declarations.append((target.id, guarded))
+        for lock_name, guarded in declarations:
+            guarded_set = frozenset(guarded)
+            for stmt in module.tree.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name.endswith("_locked"):
+                    continue
+                walker = _GuardWalker(
+                    lock_is_attr=False, lock_name=lock_name, guarded=guarded_set
+                )
+                walker.walk(stmt)
+                for access in walker.violations:
+                    label = access.attr if isinstance(access, ast.Attribute) else access.id
+                    yield self.finding(
+                        "locks/guarded-attr", module, access,
+                        f"{label} is declared guarded by {lock_name} but is touched "
+                        f"outside `with {lock_name}:` (in {stmt.name})",
+                    )
+
+
+class _GuardWalker:
+    """Walks one function tracking whether the declared lock is held."""
+
+    def __init__(self, *, lock_is_attr: bool, lock_name: str, guarded: frozenset[str]) -> None:
+        self.lock_is_attr = lock_is_attr
+        self.lock_name = lock_name
+        self.guarded = guarded
+        self.violations: list[ast.AST] = []
+
+    def walk(self, func: ast.AST) -> None:
+        for stmt in getattr(func, "body", []):
+            self._visit(stmt, held=False)
+
+    def _visit(self, node: ast.AST, held: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            takes = any(self._is_lock(item.context_expr) for item in node.items)
+            for item in node.items:
+                self._visit(item.context_expr, held)
+            for child in node.body:
+                self._visit(child, held or takes)
+            return
+        if self._is_violation(node, held):
+            self.violations.append(node)
+            # Still recurse: the subexpression may contain more accesses.
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _is_lock(self, expr: ast.expr) -> bool:
+        if self.lock_is_attr:
+            return _is_self_attribute(expr) and expr.attr == self.lock_name
+        return isinstance(expr, ast.Name) and expr.id == self.lock_name
+
+    def _is_violation(self, node: ast.AST, held: bool) -> bool:
+        if held:
+            return False
+        if self.lock_is_attr:
+            return _is_self_attribute(node) and node.attr in self.guarded
+        return isinstance(node, ast.Name) and node.id in self.guarded
+
+
+def _methods(cls: ast.ClassDef) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    return [n for n in cls.body if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+def _is_self_attribute(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _method_name(node: ast.Call) -> str | None:
+    return node.func.attr if isinstance(node.func, ast.Attribute) else None
+
+
+def _open_mode(node: ast.Call) -> str | None:
+    mode: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return None  # default "r": read-only
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None  # dynamic mode: beyond static reach

@@ -1,0 +1,275 @@
+"""Schema coverage: persisted formats change only on purpose.
+
+The stores are content-addressed: what a run *is* is decided by
+``fingerprint()`` methods, and what a run *looks like on disk* is decided
+by the serializer functions.  Both change silently — add a dataclass
+field and the serializer emits it, reorder a row and old files misparse —
+so this checker pins them to a committed manifest
+(``analysis/schema_manifest.json``):
+
+* ``schema/fingerprint`` — every class the manifest lists under
+  ``fingerprint_required`` must define a ``fingerprint()`` method.  These
+  are the classes whose identity feeds store keys; losing the method
+  silently degrades content-addressing to name-addressing.
+* ``schema/manifest`` — each listed serializer's emitted field list
+  (dict keys, or attribute order for row serializers) must match the
+  manifest, each listed ``*_VERSION`` constant must match, and any
+  serializer-shaped function (``*_to_dict``, ``*_row``, ``_index_meta``)
+  in a covered module must be listed.  Changing a persisted format is
+  fine — the manifest edit shows up in the same diff, which is the point:
+  schema changes become reviewable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+
+from .base import Checker, Project
+from .findings import Finding, Rule
+from .source import SourceModule
+
+#: Top-level function names that shape persisted bytes.
+SERIALIZER_NAME_RE = re.compile(r"(_to_dict|_row|_index_meta)$")
+
+
+class SchemaChecker(Checker):
+    rules = (
+        Rule("schema/fingerprint", "error",
+             "store-keyed classes must define fingerprint()"),
+        Rule("schema/manifest", "error",
+             "persisted field sets and schema versions must match the committed manifest"),
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        if project.manifest is None:
+            return ()
+        findings: list[Finding] = []
+        findings.extend(self._check_fingerprints(project))
+        findings.extend(self._check_versions(project))
+        findings.extend(self._check_serializers(project))
+        return findings
+
+    # ------------------------------------------------------------ fingerprints
+
+    def _check_fingerprints(self, project: Project) -> Iterator[Finding]:
+        required: dict[str, list[str]] = project.manifest.get("fingerprint_required", {})
+        for rel, class_names in sorted(required.items()):
+            module = project.module_by_rel(rel)
+            if module is None:
+                yield self._manifest_finding(
+                    project, f"manifest lists {rel} under fingerprint_required "
+                    f"but the file does not exist",
+                )
+                continue
+            classes = {
+                node.name: node
+                for node in module.tree.body
+                if isinstance(node, ast.ClassDef)
+            }
+            for name in class_names:
+                cls = classes.get(name)
+                if cls is None:
+                    yield self.finding(
+                        "schema/fingerprint", module, None,
+                        f"manifest requires class {name} in {rel}, but it is gone; "
+                        f"update analysis/schema_manifest.json if this rename is deliberate",
+                    )
+                    continue
+                if not _has_method(cls, "fingerprint"):
+                    yield self.finding(
+                        "schema/fingerprint", module, cls,
+                        f"{name} feeds store keys but defines no fingerprint(); "
+                        f"identity would silently fall back to the class name",
+                    )
+
+    # ---------------------------------------------------------------- versions
+
+    def _check_versions(self, project: Project) -> Iterator[Finding]:
+        versions: dict[str, dict[str, int]] = project.manifest.get("schema_versions", {})
+        for rel, expected in sorted(versions.items()):
+            module = project.module_by_rel(rel)
+            if module is None:
+                yield self._manifest_finding(
+                    project, f"manifest pins schema versions for missing file {rel}",
+                )
+                continue
+            for constant, value in sorted(expected.items()):
+                actual = _module_constant(module, constant)
+                if actual is None:
+                    yield self.finding(
+                        "schema/manifest", module, None,
+                        f"manifest pins {constant}={value} but {rel} no longer "
+                        f"defines it",
+                    )
+                elif actual != value:
+                    yield self.finding(
+                        "schema/manifest", module, None,
+                        f"{constant} is {actual} but the manifest pins {value}; "
+                        f"a version bump must update analysis/schema_manifest.json "
+                        f"in the same change",
+                        line=_constant_line(module, constant),
+                    )
+
+    # -------------------------------------------------------------- serializers
+
+    def _check_serializers(self, project: Project) -> Iterator[Finding]:
+        serializers: dict[str, list[str]] = project.manifest.get("serializers", {})
+        covered_rels = {key.split("::", 1)[0] for key in serializers}
+        listed: dict[str, set[str]] = {}
+        for key, expected_fields in sorted(serializers.items()):
+            rel, _, func_name = key.partition("::")
+            listed.setdefault(rel, set()).add(func_name)
+            module = project.module_by_rel(rel)
+            if module is None:
+                yield self._manifest_finding(
+                    project, f"manifest lists serializer {key} in a missing file",
+                )
+                continue
+            func = _top_level_function(module, func_name)
+            if func is None:
+                yield self.finding(
+                    "schema/manifest", module, None,
+                    f"manifest lists serializer {func_name}() but {rel} no longer "
+                    f"defines it",
+                )
+                continue
+            actual = _emitted_fields(func)
+            if actual is None:
+                yield self.finding(
+                    "schema/manifest", module, func,
+                    f"{func_name}() no longer returns a literal dict/row, so its "
+                    f"field set cannot be verified against the manifest; keep "
+                    f"serializers literal",
+                )
+            elif actual != list(expected_fields):
+                yield self.finding(
+                    "schema/manifest", module, func,
+                    f"{func_name}() emits {actual} but the manifest pins "
+                    f"{list(expected_fields)}; a format change must update "
+                    f"analysis/schema_manifest.json in the same change",
+                )
+        # Serializer-shaped functions the manifest does not know about.
+        for rel in sorted(covered_rels):
+            module = project.module_by_rel(rel)
+            if module is None:
+                continue
+            for node in module.tree.body:
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if "from" in node.name or not SERIALIZER_NAME_RE.search(node.name):
+                    continue
+                if node.name not in listed.get(rel, set()):
+                    yield self.finding(
+                        "schema/manifest", module, node,
+                        f"{node.name}() looks like a serializer but is not in "
+                        f"analysis/schema_manifest.json; list its field set so "
+                        f"format drift is reviewable",
+                    )
+
+    def _manifest_finding(self, project: Project, message: str) -> Finding:
+        rel = "analysis/schema_manifest.json"
+        if project.manifest_path is not None:
+            try:
+                rel = project.manifest_path.relative_to(project.root).as_posix()
+            except ValueError:
+                rel = project.manifest_path.as_posix()
+        rule = self.rule("schema/manifest")
+        return Finding(
+            rule=rule.id, severity=rule.severity,
+            path=rel, line=1, column=1, message=message,
+        )
+
+
+# ---------------------------------------------------------------- extraction
+
+
+def _has_method(cls: ast.ClassDef, name: str) -> bool:
+    return any(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name == name
+        for node in cls.body
+    )
+
+
+def _top_level_function(
+    module: SourceModule, name: str
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name == name:
+            return node
+    return None
+
+
+def _module_constant(module: SourceModule, name: str) -> object | None:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Name) and target.id == name
+                        and isinstance(node.value, ast.Constant)):
+                    return node.value.value
+    return None
+
+
+def _constant_line(module: SourceModule, name: str) -> int:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.lineno
+    return 1
+
+
+def _emitted_fields(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str] | None:
+    """The field list a serializer emits, or None when not statically literal.
+
+    Dict returns yield their constant keys in source order; list ("row")
+    returns yield, per element, the first attribute read off the
+    function's first parameter — for row formats, *order is the schema*.
+    """
+    returned = _single_return(func)
+    if returned is None:
+        return None
+    if isinstance(returned, ast.Dict):
+        fields: list[str] = []
+        for key in returned.keys:
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                return None
+            fields.append(key.value)
+        return fields
+    if isinstance(returned, ast.List):
+        param = _first_param(func)
+        if param is None:
+            return None
+        fields = []
+        for element in returned.elts:
+            attr = _first_attribute_of(element, param)
+            if attr is None:
+                return None
+            fields.append(attr)
+        return fields
+    return None
+
+
+def _single_return(func: ast.FunctionDef | ast.AsyncFunctionDef) -> ast.expr | None:
+    returns = [
+        node for node in ast.walk(func)
+        if isinstance(node, ast.Return) and node.value is not None
+    ]
+    return returns[0].value if len(returns) == 1 else None
+
+
+def _first_param(func: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    args = func.args.args
+    return args[0].arg if args else None
+
+
+def _first_attribute_of(node: ast.expr, param: str) -> str | None:
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Attribute)
+            and isinstance(child.value, ast.Name)
+            and child.value.id == param
+        ):
+            return child.attr
+    return None

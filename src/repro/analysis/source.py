@@ -1,0 +1,254 @@
+"""Parsed source modules: AST, comment pragmas, and resolved imports.
+
+Every checker consumes :class:`SourceModule` — one parsed file plus the
+repo-aware context rules need:
+
+* **suppressions** — ``# repro: allow[rule-id]`` comments.  A pragma on a
+  code line suppresses findings on that line; a pragma on a comment-only
+  line suppresses the next code line.  ``allow[family]`` suppresses every
+  rule in the family; ``allow[*]`` suppresses everything.
+* **guard declarations** — ``# repro: guards[attr, ...]`` on the line
+  assigning a lock declares which sibling attributes (or module globals)
+  may only be touched while holding that lock; the ``locks/guarded-attr``
+  rule enforces the declaration.
+* **imports** — every ``import``/``from … import`` resolved against the
+  package root, tagged lazy (inside a function) and/or typing-only
+  (inside an ``if TYPE_CHECKING:`` block), so the layering checker can
+  reason about the *runtime* import graph.
+* **symbol origins** — local name → dotted origin (``np`` →
+  ``numpy``, ``default_rng`` → ``numpy.random.default_rng``), so
+  call-site rules can resolve attribute chains without guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+GUARDS_RE = re.compile(r"#\s*repro:\s*guards\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One resolved import edge out of a module.
+
+    ``target`` is the dotted module path *relative to the package root*
+    (``data.generator``) for in-repo imports, or the absolute external
+    name (``numpy``) with ``external=True``.
+    """
+
+    target: str
+    line: int
+    external: bool
+    lazy: bool
+    type_checking: bool
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file with its repo-aware context."""
+
+    path: Path
+    rel: str  # root-relative posix path, e.g. "runtime/store.py"
+    text: str
+    tree: ast.Module
+    #: line -> rule ids (or families, or "*") suppressed on that line
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: line -> attribute/global names declared guarded by the lock assigned there
+    guards: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    imports: list[ImportRecord] = field(default_factory=list)
+    #: local name -> dotted origin for imported symbols/modules
+    symbol_origins: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """First path component (the layer package); "" for root modules."""
+        return self.rel.split("/", 1)[0] if "/" in self.rel else ""
+
+    @property
+    def module_name(self) -> str:
+        """Dotted module path relative to the package root."""
+        parts = self.rel[: -len(".py")].split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when a pragma on ``line`` covers ``rule_id``."""
+        allowed = self.suppressions.get(line, frozenset())
+        family = rule_id.split("/", 1)[0]
+        return "*" in allowed or rule_id in allowed or family in allowed
+
+
+def parse_module(path: Path, rel: str, text: str) -> SourceModule:
+    """Parse one file into a :class:`SourceModule` (raises SyntaxError)."""
+    tree = ast.parse(text, filename=str(path))
+    module = SourceModule(path=path, rel=rel, text=text, tree=tree)
+    _collect_pragmas(module)
+    _collect_imports(module)
+    return module
+
+
+# ------------------------------------------------------------------ pragmas
+
+
+def _collect_pragmas(module: SourceModule) -> None:
+    lines = module.text.splitlines()
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(module.text).readline))
+    except tokenize.TokenizeError:  # ast.parse succeeded, so this is unreachable
+        tokens = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        lineno = token.start[0]
+        source_line = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+        comment_only = source_line.lstrip().startswith("#")
+        allow = ALLOW_RE.search(token.string)
+        if allow:
+            rules = {part.strip() for part in allow.group(1).split(",") if part.strip()}
+            target = _next_code_line(lines, lineno) if comment_only else lineno
+            suppressions.setdefault(target, set()).update(rules)
+        guard = GUARDS_RE.search(token.string)
+        if guard:
+            names = tuple(part.strip() for part in guard.group(1).split(",") if part.strip())
+            target = _next_code_line(lines, lineno) if comment_only else lineno
+            module.guards[target] = names
+    module.suppressions = {line: frozenset(rules) for line, rules in suppressions.items()}
+
+
+def _next_code_line(lines: list[str], comment_line: int) -> int:
+    """The first non-blank, non-comment line after ``comment_line``."""
+    for offset, text in enumerate(lines[comment_line:], start=comment_line + 1):
+        stripped = text.strip()
+        if stripped and not stripped.startswith("#"):
+            return offset
+    return comment_line
+
+
+# ------------------------------------------------------------------ imports
+
+
+def _collect_imports(module: SourceModule) -> None:
+    # Drop the filename (or the "__init__" marker): either way the
+    # containing package is everything above the last component.
+    package_parts = module.rel[: -len(".py")].split("/")[:-1]
+
+    visitor = _ImportVisitor(package_parts)
+    visitor.visit(module.tree)
+    module.imports = visitor.records
+    module.symbol_origins = visitor.origins
+
+
+class _ImportVisitor(ast.NodeVisitor):
+    """Collects imports with lazy/TYPE_CHECKING context and name origins."""
+
+    def __init__(self, package_parts: list[str]) -> None:
+        self.package_parts = package_parts
+        self.records: list[ImportRecord] = []
+        self.origins: dict[str, str] = {}
+        self._function_depth = 0
+        self._type_checking_depth = 0
+
+    # -- context tracking
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_type_checking_test(node.test):
+            self._type_checking_depth += 1
+            for child in node.body:
+                self.visit(child)
+            self._type_checking_depth -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    # -- imports
+
+    def _record(self, target_parts: list[str], line: int, external: bool) -> None:
+        self.records.append(
+            ImportRecord(
+                target=".".join(target_parts),
+                line=line,
+                external=external,
+                lazy=self._function_depth > 0,
+                type_checking=self._type_checking_depth > 0,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._record(alias.name.split("."), node.lineno, external=True)
+            local = alias.asname or alias.name.split(".")[0]
+            origin = alias.name if alias.asname else alias.name.split(".")[0]
+            self.origins[local] = origin
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module_parts = node.module.split(".") if node.module else []
+        if node.level:
+            base = self.package_parts[: len(self.package_parts) - (node.level - 1)]
+            if node.level - 1 > len(self.package_parts):
+                base = []
+            target = base + module_parts
+            self._record(target, node.lineno, external=False)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                # `from . import shards` names a submodule: record the edge.
+                self._record(target + [alias.name], node.lineno, external=False)
+                self.origins[alias.asname or alias.name] = ".".join(target + [alias.name])
+        else:
+            self._record(module_parts, node.lineno, external=True)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                self.origins[alias.asname or alias.name] = ".".join(module_parts + [alias.name])
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+# -------------------------------------------------------------- call lookup
+
+
+def resolve_call_name(node: ast.Call, origins: dict[str, str]) -> str | None:
+    """The dotted origin of a call target, or None when unresolvable.
+
+    ``np.random.default_rng(...)`` with ``np`` imported as numpy resolves
+    to ``numpy.random.default_rng``; a call through a local variable (no
+    import record) resolves to None — rules accept the false negative
+    rather than guess.
+    """
+    parts: list[str] = []
+    target = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if not isinstance(target, ast.Name):
+        return None
+    parts.append(target.id)
+    parts.reverse()
+    head, rest = parts[0], parts[1:]
+    origin = origins.get(head)
+    if origin is None:
+        # Not imported: only bare builtins (open, set, sorted...) resolve.
+        return None if rest else head
+    return ".".join([origin, *rest])

@@ -15,8 +15,8 @@ import hashlib
 import numpy as np
 
 from ..data.generator import Frame
-from ..runtime.policy import Policy, RuntimeServices
-from ..runtime.records import FrameRecord
+from ..core.policy import Policy, RuntimeServices
+from ..core.records import FrameRecord
 from ..sim.accelerator import Accelerator
 from ..vision.bbox import iou as box_iou
 from ..vision.ncc import ncc
@@ -106,13 +106,14 @@ class MarlinPolicy(Policy):
         if not must_detect and self._frames_since_detection >= self.redetect_interval:
             must_detect = True
         if not must_detect and self._previous_image is not None:
-            if (
+            precomputed = (
                 self._frame_ncc is not None
                 and self._previous_index == frame.index - 1
-            ):
-                scene_similarity = float(self._frame_ncc[frame.index - 1])
-            else:
-                scene_similarity = ncc(self._previous_image, frame.image)
+            )
+            scene_similarity = (
+                float(self._frame_ncc[frame.index - 1]) if precomputed
+                else ncc(self._previous_image, frame.image)
+            )
             if scene_similarity < self.scene_change_ncc:
                 must_detect = True
 

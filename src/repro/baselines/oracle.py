@@ -14,8 +14,8 @@ import hashlib
 from enum import Enum
 
 from ..data.generator import Frame
-from ..runtime.policy import Policy, RuntimeServices
-from ..runtime.records import FrameRecord
+from ..core.policy import Policy, RuntimeServices
+from ..core.records import FrameRecord
 from ..sim.profiles import perf_point
 
 ORACLE_IOU_THRESHOLD = 0.5

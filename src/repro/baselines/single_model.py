@@ -10,8 +10,8 @@ from __future__ import annotations
 import hashlib
 
 from ..data.generator import Frame
-from ..runtime.policy import Policy, RuntimeServices
-from ..runtime.records import FrameRecord
+from ..core.policy import Policy, RuntimeServices
+from ..core.records import FrameRecord
 from ..sim.accelerator import Accelerator
 
 

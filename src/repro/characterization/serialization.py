@@ -14,6 +14,7 @@ import json
 from pathlib import Path
 
 from ..sim.profiles import AcceleratorClass, LoadCost
+from ..util.atomicio import atomic_write_json
 from .profiler import (
     AccuracyTrait,
     CharacterizationBundle,
@@ -135,8 +136,8 @@ def bundle_from_dict(payload: dict) -> CharacterizationBundle:
 
 
 def save_bundle(bundle: CharacterizationBundle, path: str | Path) -> None:
-    """Write a bundle as JSON."""
-    Path(path).write_text(json.dumps(bundle_to_dict(bundle)), encoding="utf-8")
+    """Write a bundle as JSON (atomically: a crash never leaves a torn file)."""
+    atomic_write_json(path, bundle_to_dict(bundle))
 
 
 def load_bundle(path: str | Path) -> CharacterizationBundle:

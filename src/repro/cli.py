@@ -213,7 +213,7 @@ def _serve_requests(args: argparse.Namespace, jobs_path: str, workers: int) -> i
                         )
                     )
                 )
-            for request, handle in zip(requests, handles):
+            for request, handle in zip(requests, handles, strict=True):
                 print(_sweep_table(
                     f"Request {request.request_id}: {len(request.policies)} policies "
                     f"x {len(request.scenarios)} scenarios",
@@ -251,11 +251,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         policies = [_build_policy(name.strip(), ctx, args.objective)
                     for name in args.policies.split(",") if name.strip()]
-        if args.scenarios:
-            scenarios = [ctx.scenario(name.strip())
-                         for name in args.scenarios.split(",") if name.strip()]
-        else:
-            scenarios = ctx.scenarios()
+        scenarios = (
+            [ctx.scenario(name.strip())
+             for name in args.scenarios.split(",") if name.strip()]
+            if args.scenarios else ctx.scenarios()
+        )
     except (KeyError, ServiceError) as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -328,6 +328,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     report = fuzz_scenarios(scenarios, checks=checks, store_root=args.store, progress=progress)
     print(report.summary())
     return 0 if report.passed else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import run as run_lint_cli
+
+    return run_lint_cli(args, sys.stdout)
 
 
 def _positive_int(value: str) -> int:
@@ -440,6 +446,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     headline_cmd = commands.add_parser("headline", help="the abstract's headline comparison")
     headline_cmd.set_defaults(func=_cmd_headline)
+
+    lint_cmd = commands.add_parser(
+        "lint", help="static analysis: determinism, lock discipline, schema, layering")
+    from .analysis.cli import configure_parser as _configure_lint
+
+    _configure_lint(lint_cmd)
+    lint_cmd.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -10,11 +10,17 @@ from .config import PAPER_CONFIG, ShiftConfig
 from .context import ContextDetector
 from .loader import DynamicModelLoader, LoadOutcome
 from .pipeline import ShiftPipeline
+from .policy import Policy, RuntimeServices
 from .presets import config_for_objective, objective_names
+from .records import FrameRecord, RunResult
 from .scheduler import SchedulingDecision, ShiftScheduler
 from .traits import Pair, PairTraits, TraitTable
 
 __all__ = [
+    "Policy",
+    "RuntimeServices",
+    "FrameRecord",
+    "RunResult",
     "config_for_objective",
     "objective_names",
     "ConfidenceGraph",

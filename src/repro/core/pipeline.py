@@ -22,8 +22,8 @@ import numpy as np
 
 from ..characterization.profiler import CharacterizationBundle
 from ..data.generator import Frame
-from ..runtime.policy import Policy, RuntimeServices
-from ..runtime.records import FrameRecord
+from .policy import Policy, RuntimeServices
+from .records import FrameRecord
 from .confidence_graph import ConfidenceGraph
 from .config import ShiftConfig
 from .context import ContextDetector
@@ -124,10 +124,11 @@ class ShiftPipeline(Policy):
             similarity = self._context.similarity(frame.image, last_outcome_box)
 
         # (2) Scheduling heuristic (vectorized reschedule on the fast tier).
-        if self._fast:
-            decision = scheduler.select_fast(previous_pair, self._last_confidence, similarity)
-        else:
-            decision = scheduler.select(previous_pair, self._last_confidence, similarity)
+        decision = (
+            scheduler.select_fast(previous_pair, self._last_confidence, similarity)
+            if self._fast
+            else scheduler.select(previous_pair, self._last_confidence, similarity)
+        )
         pair = decision.pair
 
         # (3) Residency: stall + energy when the model is not warm.

@@ -1,0 +1,82 @@
+"""Per-frame records and per-run results.
+
+These are the vocabulary types every policy speaks: the runner, the
+metric pipeline, the stores, and every baseline exchange
+:class:`FrameRecord` and :class:`RunResult`.  They live in ``core`` (below
+``runtime`` in the layer order) so that policy implementations never need
+to reach *up* into the runtime tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..vision.bbox import BoundingBox
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Everything a policy did and observed on one frame.
+
+    ``latency_s`` is the end-to-end frame processing time (inference +
+    scheduler overhead + any load stall); ``energy_j`` the matching energy
+    (inference + loads + overhead).  ``swap`` marks a (model, accelerator)
+    pair change relative to the previous frame; ``cold_load`` marks frames
+    that stalled on a synchronous model load.
+    """
+
+    frame_index: int
+    model_name: str
+    accelerator_name: str
+    box: BoundingBox | None
+    confidence: float
+    iou: float
+    ground_truth_present: bool
+    detected: bool
+    latency_s: float
+    inference_s: float
+    stall_s: float
+    overhead_s: float
+    energy_j: float
+    swap: bool
+    cold_load: bool
+    used_tracker: bool = False
+    rescheduled: bool = False
+    similarity: float = 0.0
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        """The (model, accelerator) pair charged for this frame."""
+        return (self.model_name, self.accelerator_name)
+
+    @property
+    def success(self) -> bool:
+        """Paper's success criterion: IoU >= 0.5."""
+        return self.iou >= 0.5
+
+    @property
+    def non_gpu(self) -> bool:
+        """True when the frame executed off the GPU."""
+        return self.accelerator_name != "gpu"
+
+
+@dataclass
+class RunResult:
+    """One policy's full pass over one scenario."""
+
+    policy_name: str
+    scenario_name: str
+    records: list[FrameRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.policy_name:
+            raise ValueError("policy_name must be non-empty")
+
+    @property
+    def frame_count(self) -> int:
+        """Frames processed."""
+        return len(self.records)
+
+    def pairs_used(self) -> set[tuple[str, str]]:
+        """Distinct (model, accelerator) pairs that executed."""
+        return {record.pair for record in self.records}

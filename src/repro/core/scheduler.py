@@ -130,10 +130,11 @@ class ShiftScheduler:
         # Line 9: confidence graph lookup for the current model.  The CG
         # ablation replaces cross-model prediction with the raw confidence
         # of the running model alone (everything else keeps its prior).
-        if config.use_confidence_graph:
-            predictions = self.graph.predict(current_pair[0], confidence)
-        else:
-            predictions = [Prediction(current_pair[0], confidence, 0.0)]
+        predictions = (
+            self.graph.predict(current_pair[0], confidence)
+            if config.use_confidence_graph
+            else [Prediction(current_pair[0], confidence, 0.0)]
+        )
 
         # Lines 11-14: momentum-average the predictions.
         for prediction in predictions:

@@ -10,7 +10,7 @@ simulated detectors), the ground-truth box, and the scalar difficulty.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -60,10 +60,10 @@ def _segment_scenes(segment: Segment, frame_size: int, start_drift: float) -> li
         nx, ny = path_position(segment.path, t)
         cx = nx * frame_size
         cy = ny * frame_size
-        if previous_xy is None:
-            speed = 0.0
-        else:
-            speed = float(np.hypot(cx - previous_xy[0], cy - previous_xy[1]))
+        speed = (
+            0.0 if previous_xy is None
+            else float(np.hypot(cx - previous_xy[0], cy - previous_xy[1]))
+        )
         previous_xy = (cx, cy)
         drift += segment.pan
         visible = segment.path != "absent"
@@ -167,7 +167,7 @@ def render_scenario(scenario: Scenario) -> list[Frame]:
             frame_size=scenario.frame_size,
             noise_rng=noise_rng,
         )
-        for scene, truth, image in zip(scenes, truths, images):
+        for scene, truth, image in zip(scenes, truths, images, strict=True):
             frames.append(
                 Frame(
                     index=index,

@@ -41,7 +41,7 @@ import hashlib
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from .scenario import Scenario, Segment, register_scenario_source
 
@@ -418,7 +418,7 @@ class ScenarioRecipe:
         )
         segments: list[Segment] = []
         distance = self.start_distance
-        for index, (phrase, frames) in enumerate(zip(phrases, budgets)):
+        for index, (phrase, frames) in enumerate(zip(phrases, budgets, strict=True)):
             rng = random.Random(f"{content}|{index}|{phrase.name}")
             slot = FamilySlot(
                 index=index,
@@ -434,7 +434,7 @@ class ScenarioRecipe:
                     f"family {phrase.name!r} broke distance continuity at phrase {index} "
                     f"({produced[0].distance_start} != {distance})"
                 )
-            for previous, current in zip(produced, produced[1:]):
+            for previous, current in zip(produced, produced[1:], strict=False):
                 if abs(current.distance_start - previous.distance_end) > 1e-9:
                     raise GrammarError(
                         f"family {phrase.name!r} produced a discontinuous distance profile"

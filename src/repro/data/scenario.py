@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass, replace
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from .backgrounds import background
 

@@ -64,11 +64,11 @@ def render_table(table: TableData, precision: int = 3) -> str:
     ]
     widths = [max(len(row[i]) for row in grid) for i in range(len(table.headers))]
     lines = [table.title, "=" * len(table.title)]
-    header_line = "  ".join(h.ljust(w) for h, w in zip(grid[0], widths))
+    header_line = "  ".join(h.ljust(w) for h, w in zip(grid[0], widths, strict=True))
     lines.append(header_line)
     lines.append("-" * len(header_line))
     for row in grid[1:]:
-        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=True)))
     for note in table.notes:
         lines.append(f"note: {note}")
     return "\n".join(lines)

@@ -80,7 +80,7 @@ def _pearson(xs: list[float], ys: list[float]) -> float:
         return 0.0
     mean_x = sum(xs) / n
     mean_y = sum(ys) / n
-    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys, strict=True))
     var_x = sum((x - mean_x) ** 2 for x in xs)
     var_y = sum((y - mean_y) ** 2 for y in ys)
     if var_x <= 0 or var_y <= 0:
@@ -92,7 +92,7 @@ def _grid_configs(grid: dict[str, tuple[float, ...]]) -> list[ShiftConfig]:
     names = list(grid)
     configs = []
     for values in itertools.product(*(grid[name] for name in names)):
-        params = dict(zip(names, values))
+        params = dict(zip(names, values, strict=True))
         if (
             params["knob_accuracy"] == 0.0
             and params["knob_energy"] == 0.0

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from ..baselines import MarlinPolicy, SingleModelPolicy, oracle_accuracy, oracle_energy, oracle_latency
 from ..core import ShiftConfig, ShiftPipeline
 from ..runtime import RunMetrics, average_metrics
-from ..runtime.policy import Policy
+from ..core.policy import Policy
 from ..sim import AcceleratorClass
 from .context import ExperimentContext
 from .report import TableData

@@ -18,7 +18,7 @@ the confidence graph mines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -276,7 +276,7 @@ class SceneBatch:
             # or fully clipped — difficulty 1.0 by definition).
             difficulties = [
                 1.0 if truth is None else combine_difficulty(components)
-                for truth, components in zip(self.truths, self.components)
+                for truth, components in zip(self.truths, self.components, strict=True)
             ]
         elif len(difficulties) != count:
             raise ValueError("difficulties must align with scenes")
@@ -419,7 +419,7 @@ def detect_batch(spec: ModelSpec, batch: SceneBatch) -> list[DetectionOutcome]:
         base = spec.calibration.scale * quality[localized] + spec.calibration.bias
         confidences = np.clip(base + noise, 0.0, 1.0)
         confidence_by_frame = {
-            int(i): float(c) for i, c in zip(localized, confidences)
+            int(i): float(c) for i, c in zip(localized, confidences, strict=True)
         }
 
     model_words = batch.model_rng_words(spec)

@@ -27,7 +27,7 @@ the (intentionally stable) seeding algorithm fails loudly.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator
+from collections.abc import Iterator
 
 from .families import paper_specs
 from .spec import ModelSpec

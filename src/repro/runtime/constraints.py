@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .records import RunResult
+from ..core.records import RunResult
 
 
 @dataclass(frozen=True)
@@ -53,10 +53,10 @@ def evaluate_constraints(
         raise ValueError("cannot evaluate constraints on an empty run")
 
     latencies = sorted(r.latency_s for r in records)
-    if deadline_s is None:
-        hit_rate = 1.0
-    else:
-        hit_rate = sum(1 for r in records if r.latency_s <= deadline_s) / len(records)
+    hit_rate = (
+        1.0 if deadline_s is None
+        else sum(1 for r in records if r.latency_s <= deadline_s) / len(records)
+    )
 
     exhausted_at = None
     cumulative = 0.0

@@ -26,15 +26,15 @@ a single :class:`~repro.sim.soc.SoC` instance reset before each run.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from ..data.generator import render_scenario, scenario_scenes
 from ..data.scenario import Scenario
 from ..models.zoo import ModelZoo, default_zoo
 from ..sim.soc import SoC, xavier_nx_with_oakd
 from .metrics import RunMetrics, aggregate
-from .policy import Policy
-from .records import RunResult
+from ..core.policy import Policy
+from ..core.records import RunResult
 from .runner import run_policy
 from .runstore import RunKey, RunStore
 from .store import TraceStore

@@ -11,8 +11,9 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from ..core.records import FrameRecord, RunResult
 from .metrics import RunMetrics
-from .records import FrameRecord, RunResult
+from .shards import atomic_write_text
 
 
 def metrics_to_dict(metrics: RunMetrics) -> dict:
@@ -68,7 +69,7 @@ def result_to_dict(result: RunResult) -> dict:
 def save_metrics(metrics_list: list[RunMetrics], path: str | Path) -> None:
     """Write a list of run metrics as JSON lines (one run per line)."""
     lines = [json.dumps(metrics_to_dict(m)) for m in metrics_list]
-    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def load_metrics_dicts(path: str | Path) -> list[dict]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .records import FrameRecord, RunResult
+from ..core.records import FrameRecord, RunResult
 
 SUCCESS_IOU_THRESHOLD = 0.5
 

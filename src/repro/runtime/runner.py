@@ -2,15 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ..data.scenario import Scenario
 from ..models.zoo import ModelZoo
 from ..sim.engine import ExecutionEngine, PlannedExecutionEngine
 from ..sim.soc import SoC, xavier_nx_with_oakd
 from .metrics import RunMetrics
-from .policy import Policy, RuntimeServices
-from .records import RunResult
+from ..core.policy import Policy, RuntimeServices
+from ..core.records import RunResult
 from .trace import ScenarioTrace, TraceCache
 
 

@@ -50,7 +50,7 @@ from pathlib import Path
 from ..vision.bbox import BoundingBox
 from . import shards
 from .metrics import RunMetrics, aggregate
-from .records import FrameRecord, RunResult
+from ..core.records import FrameRecord, RunResult
 
 SCHEMA_VERSION = 1
 

@@ -12,7 +12,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 from ..data.generator import Frame
-from .records import FrameRecord, RunResult
+from ..core.records import FrameRecord, RunResult
 
 
 @dataclass(frozen=True)
@@ -46,7 +46,7 @@ def segment_metrics(result: RunResult, frames: list[Frame]) -> list[SegmentMetri
         )
     ordered_segments: list[str] = []
     grouped: dict[str, list[FrameRecord]] = {}
-    for record, frame in zip(result.records, frames):
+    for record, frame in zip(result.records, frames, strict=True):
         if frame.segment not in grouped:
             ordered_segments.append(frame.segment)
             grouped[frame.segment] = []

@@ -20,10 +20,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from ..data.scenario import Scenario, scenario_by_name
-from ..runtime.policy import Policy
+from ..core.policy import Policy
 
 
 class ServiceError(ValueError):

@@ -1,0 +1,58 @@
+"""Crash-safe file writes: the one primitive every persistence tier shares.
+
+A plain ``write_text``/``json.dump`` can be interrupted half-way — by a
+killed worker, a full disk, a power cut — leaving a truncated file that a
+later reader would happily parse as far as it goes and trust.  Every
+data-file write in this repository therefore routes through
+:func:`atomic_write_text`: serialize fully into a writer-unique temp file
+in the target's directory, then ``os.replace`` onto the final name.  A
+reader sees either the previous complete content or the new complete
+content, never a torn one.
+
+This module is a leaf (stdlib only, imports nothing from :mod:`repro`), so
+*every* layer may use it: the sharded stores (:mod:`repro.runtime.shards`
+re-exports these helpers as the runtime-tier entry point), the
+characterization bundle writer, and the metrics exporter.  The
+``locks/raw-write`` lint rule (:mod:`repro.analysis`) flags raw writes in
+the persistence tiers that bypass it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+
+def temp_name(name: str) -> str:
+    """A writer-unique temp name (pid + thread: threads share a pid).
+
+    Uniqueness keeps concurrent writers of the same target from clobbering
+    each other's temp files; the ``.tmp`` infix is what stale-temp sweeps
+    (:func:`repro.runtime.shards.clean_stale_temps`) key on.
+    """
+    return f"{name}.tmp{os.getpid()}.{threading.get_ident()}"
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Crash-safe whole-file write: writer-unique temp + ``os.replace``.
+
+    The temp file lives in the target's directory so the final rename
+    stays on one filesystem (cross-device renames are not atomic), and is
+    removed again if the write itself fails.
+    """
+    path = Path(path)
+    tmp = path.parent / temp_name(path.name)
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def atomic_write_json(path: str | Path, payload: object, **dumps_kwargs) -> Path:
+    """Serialize ``payload`` as JSON and :func:`atomic_write_text` it."""
+    return atomic_write_text(path, json.dumps(payload, **dumps_kwargs))

@@ -53,7 +53,7 @@ import tempfile
 from dataclasses import dataclass, field, fields
 from functools import lru_cache
 from pathlib import Path
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -63,8 +63,8 @@ from ..data.generator import generate_frames, scenario_scenes
 from ..data.scenario import Scenario
 from ..models.detector import detect
 from ..models.zoo import ModelZoo, default_zoo
-from ..runtime.policy import Policy
-from ..runtime.records import FrameRecord
+from ..core.policy import Policy
+from ..core.records import FrameRecord
 from ..runtime.runner import run_policy
 from ..runtime.store import TraceStore
 from ..runtime.trace import ScenarioTrace
@@ -125,7 +125,7 @@ def check_render_equality(scenario: Scenario, trace: ScenarioTrace | None = None
 
         batched = render_scenario(scenario)
     count = 0
-    for scalar, fast in zip(generate_frames(scenario), batched):
+    for scalar, fast in zip(generate_frames(scenario), batched, strict=False):
         where = f"frame {scalar.index}"
         if not np.array_equal(scalar.image, fast.image):
             return _fail("render", f"{where}: pixels differ between scalar and batched renderer")
@@ -374,7 +374,7 @@ def check_fast_run_equivalence(
                 f"policy {label!r}: {fast.frame_count} fast frames vs "
                 f"{reference.frame_count} reference frames",
             )
-        for i, (ref_record, fast_record) in enumerate(zip(reference.records, fast.records)):
+        for i, (ref_record, fast_record) in enumerate(zip(reference.records, fast.records, strict=True)):
             if ref_record != fast_record:
                 differing = [
                     f.name
@@ -449,7 +449,7 @@ def check_service_equivalence(
                 for i in range(request_count)
             ]
             handles = service.serve(requests)
-            for request, handle in zip(requests, handles):
+            for request, handle in zip(requests, handles, strict=True):
                 rows = list(handle.results())
                 if len(rows) != len(request.policies):
                     return _fail(

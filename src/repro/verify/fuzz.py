@@ -19,7 +19,7 @@ import os
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from ..data.grammar import ScenarioMatrix, default_matrix
 from ..data.scenario import Scenario

@@ -14,7 +14,7 @@ where ``p`` and ``c`` are equally sized grayscale images.  The value lies in
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ detection set exactly as a real deployment would.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from .bbox import BoundingBox, iou
 

@@ -53,7 +53,7 @@ def _texture_field(style: BackgroundStyle, size: int) -> np.ndarray:
     # to background complexity.
     octaves = (4, 8, 16, 32)
     weights = (0.5, 0.25, 0.15 * style.complexity + 0.05, 0.25 * style.complexity)
-    for cells, weight in zip(octaves, weights):
+    for cells, weight in zip(octaves, weights, strict=True):
         coarse = rng.uniform(-1.0, 1.0, size=(cells, cells))
         reps = int(np.ceil(size / cells))
         tiled = np.kron(coarse, np.ones((reps, reps)))[:size, :size]

@@ -1,0 +1,39 @@
+"""Fixture helpers for the static-analysis tests.
+
+Checker tests run the real engine over tiny synthetic trees written into
+``tmp_path`` — each test states the bad snippet that must fire and the
+good twin that must stay quiet, so every rule is pinned from both sides.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, run_lint
+
+
+class LintTree:
+    """A throwaway source tree the engine can lint."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+
+    def write(self, rel: str, source: str) -> Path:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return path
+
+    def lint(self, **config_kwargs):
+        return run_lint(LintConfig(root=self.root, **config_kwargs))
+
+    def rules_fired(self, **config_kwargs) -> set[str]:
+        return {finding.rule for finding in self.lint(**config_kwargs).findings}
+
+
+@pytest.fixture
+def tree(tmp_path: Path) -> LintTree:
+    return LintTree(tmp_path)

@@ -1,0 +1,124 @@
+"""determinism/* rules: each fires on its bad snippet, stays quiet on the twin."""
+
+from __future__ import annotations
+
+
+class TestWallClock:
+    def test_fires_on_time_time_in_deterministic_tier(self, tree):
+        tree.write("sim/engine.py", """
+            import time
+
+            def step():
+                return time.time()
+        """)
+        assert "determinism/wall-clock" in tree.rules_fired()
+
+    def test_fires_on_aliased_datetime_now(self, tree):
+        tree.write("core/thing.py", """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+        """)
+        assert "determinism/wall-clock" in tree.rules_fired()
+
+    def test_quiet_outside_deterministic_tiers(self, tree):
+        # experiments/ is presentation-layer: timing a table render is fine.
+        tree.write("experiments/tables.py", """
+            import time
+
+            def elapsed():
+                return time.time()
+        """)
+        assert "determinism/wall-clock" not in tree.rules_fired()
+
+
+class TestUnseededRng:
+    def test_fires_on_default_rng_without_seed(self, tree):
+        tree.write("data/gen.py", """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+        """)
+        assert "determinism/unseeded-rng" in tree.rules_fired()
+
+    def test_fires_on_explicit_none_seed(self, tree):
+        tree.write("data/gen.py", """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng(None)
+        """)
+        assert "determinism/unseeded-rng" in tree.rules_fired()
+
+    def test_quiet_when_seeded(self, tree):
+        tree.write("data/gen.py", """
+            import numpy as np
+            import random
+
+            def make(seed: int):
+                return np.random.default_rng(seed), random.Random(seed)
+        """)
+        fired = tree.rules_fired()
+        assert "determinism/unseeded-rng" not in fired
+        assert "determinism/global-rng" not in fired
+
+
+class TestGlobalRng:
+    def test_fires_on_module_level_random(self, tree):
+        tree.write("sim/noise.py", """
+            import random
+
+            def jitter():
+                return random.random()
+        """)
+        assert "determinism/global-rng" in tree.rules_fired()
+
+    def test_fires_on_numpy_global_state(self, tree):
+        tree.write("sim/noise.py", """
+            import numpy as np
+
+            def jitter():
+                return np.random.uniform()
+        """)
+        assert "determinism/global-rng" in tree.rules_fired()
+
+    def test_quiet_on_instance_methods(self, tree):
+        tree.write("sim/noise.py", """
+            import random
+
+            def jitter(rng: random.Random):
+                return rng.uniform(0.0, 1.0)
+        """)
+        assert "determinism/global-rng" not in tree.rules_fired()
+
+
+class TestUnorderedIter:
+    def test_fires_on_set_iteration_in_fingerprint(self, tree):
+        tree.write("models/zoo.py", """
+            def fingerprint(names):
+                return "".join(name for name in set(names))
+        """)
+        assert "determinism/unordered-iter" in tree.rules_fired()
+
+    def test_fires_on_set_literal_in_serializer(self, tree):
+        tree.write("runtime/out.py", """
+            def thing_to_dict():
+                return [x for x in {1, 2, 3}]
+        """)
+        assert "determinism/unordered-iter" in tree.rules_fired()
+
+    def test_quiet_when_sorted(self, tree):
+        tree.write("models/zoo.py", """
+            def fingerprint(names):
+                return "".join(name for name in sorted(set(names)))
+        """)
+        assert "determinism/unordered-iter" not in tree.rules_fired()
+
+    def test_quiet_in_non_identity_functions(self, tree):
+        tree.write("models/zoo.py", """
+            def collect(names):
+                return [name for name in set(names)]
+        """)
+        assert "determinism/unordered-iter" not in tree.rules_fired()

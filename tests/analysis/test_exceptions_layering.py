@@ -1,0 +1,121 @@
+"""exceptions/* and layering/* rules."""
+
+from __future__ import annotations
+
+
+class TestBareExcept:
+    def test_fires_anywhere(self, tree):
+        tree.write("experiments/fig.py", """
+            def render():
+                try:
+                    return 1
+                except:
+                    return None
+        """)
+        assert "exceptions/bare" in tree.rules_fired()
+
+    def test_quiet_on_named_exception(self, tree):
+        tree.write("experiments/fig.py", """
+            def render():
+                try:
+                    return 1
+                except ValueError:
+                    return None
+        """)
+        assert "exceptions/bare" not in tree.rules_fired()
+
+
+class TestSwallow:
+    def test_fires_on_pass_body_in_runtime(self, tree):
+        tree.write("runtime/loop.py", """
+            def drain(jobs):
+                for job in jobs:
+                    try:
+                        job()
+                    except OSError:
+                        pass
+        """)
+        assert "exceptions/swallow" in tree.rules_fired()
+
+    def test_fires_on_continue_body(self, tree):
+        tree.write("service/loop.py", """
+            def drain(jobs):
+                for job in jobs:
+                    try:
+                        job()
+                    except ValueError:
+                        continue
+        """)
+        assert "exceptions/swallow" in tree.rules_fired()
+
+    def test_quiet_when_handled(self, tree):
+        tree.write("runtime/loop.py", """
+            def drain(jobs, failures):
+                for job in jobs:
+                    try:
+                        job()
+                    except OSError as error:
+                        failures.append(error)
+        """)
+        assert "exceptions/swallow" not in tree.rules_fired()
+
+    def test_quiet_outside_execution_tiers(self, tree):
+        tree.write("core/maths.py", """
+            def safe(fn):
+                try:
+                    return fn()
+                except ValueError:
+                    pass
+        """)
+        assert "exceptions/swallow" not in tree.rules_fired()
+
+
+class TestLayeringOrder:
+    def test_fires_on_upward_import(self, tree):
+        # core (layer 2) must not know the runtime tier (layer 3) exists.
+        tree.write("core/engine.py", """
+            from ..runtime.store import TraceStore
+        """)
+        assert "layering/order" in tree.rules_fired()
+
+    def test_fires_on_absolute_upward_import(self, tree):
+        tree.write("sim/soc.py", """
+            from repro.service.service import SweepService
+        """)
+        assert "layering/order" in tree.rules_fired()
+
+    def test_quiet_on_downward_import(self, tree):
+        tree.write("runtime/runner.py", """
+            from ..core.policy import Policy
+        """)
+        assert "layering/order" not in tree.rules_fired()
+
+    def test_type_checking_imports_are_exempt(self, tree):
+        tree.write("core/engine.py", """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from ..runtime.store import TraceStore
+        """)
+        assert "layering/order" not in tree.rules_fired()
+
+
+class TestLayeringCycle:
+    def test_fires_on_mutual_imports(self, tree):
+        tree.write("core/alpha.py", "from .beta import b\n\ndef a():\n    return b\n")
+        tree.write("core/beta.py", "from .alpha import a\n\ndef b():\n    return a\n")
+        result = tree.lint()
+        cycles = [f for f in result.findings if f.rule == "layering/cycle"]
+        assert len(cycles) == 1  # one report per cycle, not one per edge
+        assert "core.alpha" in cycles[0].message and "core.beta" in cycles[0].message
+
+    def test_lazy_imports_break_the_cycle(self, tree):
+        tree.write("core/alpha.py", "from .beta import b\n\ndef a():\n    return b\n")
+        tree.write("core/beta.py", "def b():\n    from .alpha import a\n    return a\n")
+        assert "layering/cycle" not in tree.rules_fired()
+
+    def test_submodule_importing_own_package_is_not_a_cycle(self, tree):
+        tree.write("runtime/__init__.py", "from .store import load\n")
+        tree.write("runtime/store.py", "from . import helpers\n\ndef load():\n    return helpers\n")
+        tree.write("runtime/helpers.py", "def nothing():\n    return None\n")
+        assert "layering/cycle" not in tree.rules_fired()

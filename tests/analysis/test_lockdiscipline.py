@@ -1,0 +1,124 @@
+"""locks/* rules: raw writes and unguarded state in the persistence tiers."""
+
+from __future__ import annotations
+
+
+class TestRawWrite:
+    def test_fires_on_raw_open_for_write(self, tree):
+        tree.write("runtime/dump.py", """
+            def save(path, text):
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+        """)
+        assert "locks/raw-write" in tree.rules_fired()
+
+    def test_fires_on_write_text(self, tree):
+        tree.write("service/dump.py", """
+            def save(path, text):
+                path.write_text(text)
+        """)
+        assert "locks/raw-write" in tree.rules_fired()
+
+    def test_fires_on_bare_os_replace(self, tree):
+        tree.write("runtime/dump.py", """
+            import os
+
+            def promote(src, dst):
+                os.replace(src, dst)
+        """)
+        assert "locks/raw-write" in tree.rules_fired()
+
+    def test_fires_on_json_dump(self, tree):
+        tree.write("characterization/dump.py", """
+            import json
+
+            def save(payload, handle):
+                json.dump(payload, handle)
+        """)
+        assert "locks/raw-write" in tree.rules_fired()
+
+    def test_quiet_on_reads_and_atomic_helper(self, tree):
+        tree.write("runtime/dump.py", """
+            import json
+
+            def load(path):
+                with open(path, encoding="utf-8") as handle:
+                    return json.load(handle)
+
+            def save(path, payload):
+                from ..util.atomicio import atomic_write_json
+                atomic_write_json(path, payload)
+        """)
+        assert "locks/raw-write" not in tree.rules_fired()
+
+    def test_quiet_outside_persistence_tiers(self, tree):
+        # experiments/ writes tables and figures; that output is not a store.
+        tree.write("experiments/tables.py", """
+            def save(path, text):
+                path.write_text(text)
+        """)
+        assert "locks/raw-write" not in tree.rules_fired()
+
+    def test_suppression_pragma_silences_it(self, tree):
+        tree.write("runtime/locks.py", """
+            def grab(lock_path):
+                return open(lock_path, "a+")  # repro: allow[locks/raw-write]
+        """)
+        assert "locks/raw-write" not in tree.rules_fired()
+
+
+GUARDED_CLASS = """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._lock = threading.Lock()  # repro: guards[_jobs, _closed]
+            self._jobs = {{}}
+            self._closed = False
+
+        def submit(self, key, value):
+            {body}
+
+        def _evict_locked(self):
+            self._jobs.clear()
+"""
+
+
+class TestGuardedAttr:
+    def test_fires_on_unlocked_access(self, tree):
+        tree.write("service/svc.py", GUARDED_CLASS.format(
+            body="self._jobs[key] = value"))
+        assert "locks/guarded-attr" in tree.rules_fired()
+
+    def test_quiet_under_the_lock(self, tree):
+        tree.write("service/svc.py", GUARDED_CLASS.format(
+            body="with self._lock:\n                self._jobs[key] = value"))
+        assert "locks/guarded-attr" not in tree.rules_fired()
+
+    def test_init_and_locked_suffix_are_exempt(self, tree):
+        # __init__ constructs the state; _evict_locked documents its contract.
+        tree.write("service/svc.py", GUARDED_CLASS.format(body="pass"))
+        assert "locks/guarded-attr" not in tree.rules_fired()
+
+    def test_undeclared_attrs_are_not_guarded(self, tree):
+        tree.write("service/svc.py", GUARDED_CLASS.format(
+            body="self.stats = 1"))
+        assert "locks/guarded-attr" not in tree.rules_fired()
+
+    def test_module_level_lock(self, tree):
+        tree.write("runtime/reg.py", """
+            import threading
+
+            _CACHE = {}
+            _GUARD = threading.Lock()  # repro: guards[_CACHE]
+
+            def get(key):
+                return _CACHE.get(key)
+
+            def get_safe(key):
+                with _GUARD:
+                    return _CACHE.get(key)
+        """)
+        findings = [f for f in tree.lint().findings if f.rule == "locks/guarded-attr"]
+        assert len(findings) == 1
+        assert "get" in findings[0].message

@@ -1,0 +1,113 @@
+"""schema/* rules: the committed manifest pins persisted formats."""
+
+from __future__ import annotations
+
+import json
+
+SERIALIZER = """
+    SCHEMA_VERSION = 2
+
+    def thing_to_dict(thing):
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": thing.name,
+            "value": thing.value,
+        }
+"""
+
+
+def write_manifest(tree, **overrides):
+    manifest = {
+        "schema_versions": {"runtime/ser.py": {"SCHEMA_VERSION": 2}},
+        "serializers": {
+            "runtime/ser.py::thing_to_dict": ["schema_version", "name", "value"],
+        },
+        "fingerprint_required": {},
+    }
+    manifest.update(overrides)
+    tree.write("analysis/__init__.py", "")
+    path = tree.root / "analysis/schema_manifest.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest), encoding="utf-8")
+
+
+class TestManifest:
+    def test_quiet_when_everything_matches(self, tree):
+        tree.write("runtime/ser.py", SERIALIZER)
+        write_manifest(tree)
+        assert "schema/manifest" not in tree.rules_fired()
+
+    def test_fires_on_field_drift(self, tree):
+        # A field added to the dict but not to the manifest: the exact
+        # accident this rule exists to make reviewable.
+        tree.write("runtime/ser.py", SERIALIZER.replace(
+            '"value": thing.value,', '"value": thing.value,\n            "extra": 1,'))
+        write_manifest(tree)
+        fired = [f for f in tree.lint().findings if f.rule == "schema/manifest"]
+        assert len(fired) == 1
+        assert "extra" in fired[0].message
+
+    def test_fires_on_version_drift(self, tree):
+        tree.write("runtime/ser.py", SERIALIZER.replace(
+            "SCHEMA_VERSION = 2", "SCHEMA_VERSION = 3"))
+        write_manifest(tree)
+        assert "schema/manifest" in tree.rules_fired()
+
+    def test_fires_on_unlisted_serializer(self, tree):
+        tree.write("runtime/ser.py", SERIALIZER + """
+    def other_to_dict(thing):
+        return {"name": thing.name}
+""")
+        write_manifest(tree)
+        fired = [f for f in tree.lint().findings if f.rule == "schema/manifest"]
+        assert any("other_to_dict" in f.message for f in fired)
+
+    def test_row_serializer_field_order_is_the_schema(self, tree):
+        tree.write("runtime/rows.py", """
+            def item_row(item):
+                return [item.first, item.second]
+        """)
+        write_manifest(tree, serializers={
+            "runtime/rows.py::item_row": ["second", "first"],  # wrong order
+        }, schema_versions={})
+        assert "schema/manifest" in tree.rules_fired()
+
+    def test_quiet_without_a_manifest(self, tree):
+        tree.write("runtime/ser.py", SERIALIZER)
+        assert "schema/manifest" not in tree.rules_fired()
+
+
+class TestFingerprint:
+    def test_fires_when_method_is_missing(self, tree):
+        tree.write("data/scenario.py", """
+            class Scenario:
+                name = "s"
+        """)
+        write_manifest(
+            tree,
+            schema_versions={}, serializers={},
+            fingerprint_required={"data/scenario.py": ["Scenario"]},
+        )
+        assert "schema/fingerprint" in tree.rules_fired()
+
+    def test_quiet_when_defined(self, tree):
+        tree.write("data/scenario.py", """
+            class Scenario:
+                def fingerprint(self):
+                    return "abc"
+        """)
+        write_manifest(
+            tree,
+            schema_versions={}, serializers={},
+            fingerprint_required={"data/scenario.py": ["Scenario"]},
+        )
+        assert "schema/fingerprint" not in tree.rules_fired()
+
+    def test_fires_when_class_vanishes(self, tree):
+        tree.write("data/scenario.py", "X = 1\n")
+        write_manifest(
+            tree,
+            schema_versions={}, serializers={},
+            fingerprint_required={"data/scenario.py": ["Scenario"]},
+        )
+        assert "schema/fingerprint" in tree.rules_fired()

@@ -22,14 +22,14 @@ class TestBuildValidationSet:
     def test_deterministic(self):
         a = build_validation_set(size=40, seed=9)
         b = build_validation_set(size=40, seed=9)
-        for sa, sb in zip(a, b):
+        for sa, sb in zip(a, b, strict=True):
             assert sa.scene == sb.scene
             assert sa.difficulty == sb.difficulty
 
     def test_seed_changes_samples(self):
         a = build_validation_set(size=40, seed=1)
         b = build_validation_set(size=40, seed=2)
-        assert any(sa.scene != sb.scene for sa, sb in zip(a, b))
+        assert any(sa.scene != sb.scene for sa, sb in zip(a, b, strict=True))
 
     def test_covers_all_validation_backgrounds(self):
         samples = build_validation_set(size=3 * len(VALIDATION_BACKGROUNDS))

@@ -40,7 +40,7 @@ class TestGenerateFrames:
     def test_deterministic(self):
         a = render_scenario(_mini_scenario())
         b = render_scenario(_mini_scenario())
-        for fa, fb in zip(a, b):
+        for fa, fb in zip(a, b, strict=True):
             assert np.array_equal(fa.image, fb.image)
             assert fa.ground_truth == fb.ground_truth
             assert fa.difficulty == fb.difficulty

@@ -80,7 +80,7 @@ class TestRecipe:
             regime_name="night", frame_budget=90,
         )
         segments = recipe.build().segments
-        for previous, current in zip(segments, segments[1:]):
+        for previous, current in zip(segments, segments[1:], strict=False):
             assert current.distance_start == pytest.approx(previous.distance_end, abs=1e-12)
 
     def test_backgrounds_come_from_the_regime_roster(self):
@@ -145,7 +145,7 @@ class TestRecipe:
             scenario = recipe.build()
             assert scenario.total_frames == recipe.frame_budget
             assert scenario.segments[0].distance_start == pytest.approx(recipe.start_distance)
-            for previous, current in zip(scenario.segments, scenario.segments[1:]):
+            for previous, current in zip(scenario.segments, scenario.segments[1:], strict=False):
                 assert current.distance_start == pytest.approx(previous.distance_end, abs=1e-12)
             for seg in scenario.segments:
                 assert 0.0 <= seg.distance_start <= 1.0

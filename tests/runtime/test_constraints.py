@@ -28,7 +28,7 @@ def _record(index, latency, energy):
 
 def _run(latencies, energies=None):
     energies = energies or [1.0] * len(latencies)
-    records = [_record(i, lat, e) for i, (lat, e) in enumerate(zip(latencies, energies))]
+    records = [_record(i, lat, e) for i, (lat, e) in enumerate(zip(latencies, energies, strict=True))]
     return RunResult("p", "s", records)
 
 

@@ -34,7 +34,7 @@ class TestTraceTier:
     def test_parallel_build_traces_matches_serial(self, zoo, scenarios):
         serial = ExperimentRunner(zoo).build_traces(scenarios)
         parallel = ExperimentRunner(zoo, max_workers=3).build_traces(scenarios)
-        for a, b in zip(serial, parallel):
+        for a, b in zip(serial, parallel, strict=True):
             assert a.outcomes == b.outcomes
 
     def test_store_backed_runner_skips_rebuilds_across_instances(self, zoo, scenarios, tmp_path):

@@ -72,7 +72,7 @@ class TestAcceptance:
             results = [handle.result() for handle in handles]
 
             # Field-for-field equality with the serial runner, per request.
-            for request, result in zip(requests, results):
+            for request, result in zip(requests, results, strict=True):
                 for policy_name, rows in result.items():
                     for metrics in rows:
                         assert metrics == serial_rows[(policy_name, metrics.scenario_name)]
@@ -117,7 +117,7 @@ class TestAcceptance:
         assert {(spec, name) for spec, name, _ in rows} == {
             (spec, s.name) for spec in request.policies for s in scenarios[:2]
         }
-        for spec, name, metrics in rows:
+        for _spec, name, metrics in rows:
             assert metrics.scenario_name == name
 
 
@@ -169,11 +169,13 @@ class TestValidationAndLifecycle:
             assert service.jobs_scheduled == 0
 
     def test_unknown_scenario_fails_at_submit(self, zoo):
-        with SweepService(zoo=zoo, workers=1) as service:
-            with pytest.raises(ServiceError, match="known scenarios"):
-                service.submit(
-                    SweepRequest(policies=("marlin-tiny",), scenarios=("s99_nope",))
-                )
+        with (
+            SweepService(zoo=zoo, workers=1) as service,
+            pytest.raises(ServiceError, match="known scenarios"),
+        ):
+            service.submit(
+                SweepRequest(policies=("marlin-tiny",), scenarios=("s99_nope",))
+            )
 
     def test_closed_service_rejects_requests(self, zoo, scenarios):
         service = SweepService(zoo=zoo, workers=1)

@@ -1,5 +1,7 @@
 """Tests for memory pools."""
 
+import contextlib
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -79,10 +81,8 @@ class TestMemoryPool:
     def test_used_never_exceeds_capacity(self, sizes):
         pool = MemoryPool("p", 100.0)
         for i, size in enumerate(sizes):
-            try:
+            with contextlib.suppress(OutOfMemoryError):
                 pool.allocate(f"m{i}", size)
-            except OutOfMemoryError:
-                pass
             assert pool.used_mb <= pool.capacity_mb + 1e-6
 
     @given(st.lists(st.floats(min_value=0.1, max_value=30.0), min_size=1, max_size=12))

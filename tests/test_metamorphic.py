@@ -80,7 +80,7 @@ class TestRenameInvariance:
         import numpy as np
 
         a, b = self._pair(families=("popup",), frame_budget=16, regime_name="indoor")
-        for fa, fb in zip(render_scenario(a), render_scenario(b)):
+        for fa, fb in zip(render_scenario(a), render_scenario(b), strict=True):
             assert np.array_equal(fa.image, fb.image)
             assert fa.ground_truth == fb.ground_truth
             assert fa.difficulty == fb.difficulty

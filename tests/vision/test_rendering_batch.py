@@ -19,7 +19,7 @@ def _scalar_stack(style, boxes, drifts, frame_size, noise_rng):
     return np.stack(
         [
             render_frame(style, box, frame_size=frame_size, drift=drift, noise_rng=noise_rng)
-            for box, drift in zip(boxes, drifts)
+            for box, drift in zip(boxes, drifts, strict=True)
         ]
     )
 
@@ -71,7 +71,7 @@ class TestRenderScenario:
         reference = list(generate_frames(small))
         batched = render_scenario(small)
         assert len(reference) == len(batched)
-        for ref, got in zip(reference, batched):
+        for ref, got in zip(reference, batched, strict=True):
             assert np.array_equal(ref.image, got.image)
             assert ref.scene == got.scene
             assert ref.ground_truth == got.ground_truth
