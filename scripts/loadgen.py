@@ -17,29 +17,54 @@ stores, and then *proves* the serve was sound:
 * **free warm re-serve** — a second service over the same stores answers
   the same mix with zero runs and zero trace builds, identically.
 
+``--chaos`` replays the same seeded mix through the crash-safe process
+path instead: the deduplicated unit jobs go into an on-disk
+:class:`~repro.service.JobQueue`, ``--procs`` real ``python -m repro
+work`` processes drain it, and a seeded kill schedule SIGKILLs
+``--kills`` of them mid-drain (each death is respawned).  The same
+soundness gates then run against the survivors' work — plus **zero lost
+jobs** (every enqueued job ends ``done``, none dead-lettered) and a warm
+in-process re-serve over the queue-written stores, proving the two
+execution tiers commit byte-identical, fingerprint-compatible entries.
+
 Exit code 0 when every property holds, 1 otherwise (CI's
-``service-smoke`` job runs this at small scale on every PR)::
+``service-smoke`` and ``chaos-smoke`` jobs run this at small scale on
+every PR)::
 
     PYTHONPATH=src python scripts/loadgen.py --requests 8 --workers 4
     PYTHONPATH=src python scripts/loadgen.py --requests 32 --scenario-count 12 \
         --budget 96 --trace-store /tmp/traces --run-store /tmp/runs
+    PYTHONPATH=src python scripts/loadgen.py --chaos --procs 2 --kills 3
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import random
+import signal
+import subprocess
 import sys
 import tempfile
 import time
 from pathlib import Path
 
+import repro
 from repro.data.grammar import ScenarioMatrix
 from repro.models.zoo import default_zoo
 from repro.runtime.experiment import ExperimentRunner
-from repro.runtime.runstore import RunStore
+from repro.runtime.runner import run_policy
+from repro.runtime.runstore import RunKey, RunStore
 from repro.runtime.store import TraceStore
-from repro.runtime.trace import TraceCache
-from repro.service import SweepService, overlapping_requests, policy_resolver
+from repro.runtime.trace import ScenarioTrace, TraceCache
+from repro.service import (
+    JobQueue,
+    SweepService,
+    decompose,
+    overlapping_requests,
+    policy_resolver,
+)
+from repro.sim.soc import xavier_nx_with_oakd
 
 DEFAULT_POLICIES = "single:yolov7-tiny@gpu,marlin-tiny,marlin"
 
@@ -80,6 +105,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="assert the stores are already fully populated: the first "
                              "serve must execute zero runs and build zero traces (the "
                              "cross-process warm-restart gate in CI)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="drain the mix through the on-disk job queue with real "
+                             "worker processes and a seeded kill schedule")
+    parser.add_argument("--procs", type=int, default=2,
+                        help="--chaos: worker processes to keep alive (default 2)")
+    parser.add_argument("--kills", type=int, default=3,
+                        help="--chaos: workers to SIGKILL mid-drain (default 3)")
+    parser.add_argument("--chaos-seed", type=int, default=0,
+                        help="--chaos: kill-schedule seed (default 0)")
+    parser.add_argument("--lease", type=float, default=3.0,
+                        help="--chaos: queue lease duration in seconds (default 3)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="--chaos: overall drain deadline in seconds (default 300)")
     return parser
 
 
@@ -187,14 +225,201 @@ def run_load(args: argparse.Namespace, trace_root: Path, run_root: Path) -> int:
     return 0
 
 
+ENGINE_SEED = 1234  # the SweepService / JobQueue default; both tiers must agree
+
+
+def run_chaos(args: argparse.Namespace, trace_root: Path, run_root: Path) -> int:
+    """The crash-safe path under fire: queue + worker processes + SIGKILLs.
+
+    Same seeded request mix as :func:`run_load`, but drained by real
+    ``python -m repro work`` subprocesses over an on-disk queue while a
+    seeded schedule kills ``--kills`` of them.  Every death is respawned;
+    lease expiry migrates the victim's job to a survivor.  The gates
+    prove nothing was lost, duplicated, corrupted, or computed
+    differently from the serial path — and a warm in-process re-serve
+    shows the two execution tiers share one store vocabulary.
+    """
+    policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    scenarios = _pool_matrix(args.budget).scenarios()[: args.scenario_count]
+    if not policies or not scenarios:
+        print("empty policy or scenario pool", file=sys.stderr)
+        return 1
+    requests = overlapping_requests(policies, scenarios, count=args.requests, seed=args.seed)
+    unique_jobs = {}
+    for request in requests:
+        for job in decompose(request):
+            unique_jobs.setdefault(job.key, job)
+    jobs = list(unique_jobs.values())
+
+    failures: list[str] = []
+
+    def check(condition: bool, label: str) -> None:
+        if not condition:
+            failures.append(label)
+
+    # Pre-build traces serially so worker wall-clock is dominated by the
+    # thing under test (queue recovery), not by duplicate trace builds.
+    zoo = default_zoo()
+    trace_store = TraceStore(trace_root)
+    t0 = time.perf_counter()
+    built = 0
+    for scenario in {job.scenario.name: job.scenario for job in jobs}.values():
+        if trace_store.load(scenario, zoo) is None:
+            trace_store.save(ScenarioTrace.build(scenario, zoo), zoo)
+            built += 1
+    print(f"traces: {built} built in {time.perf_counter() - t0:.2f}s")
+
+    queue_root = run_root / "_queue"
+    queue = JobQueue(queue_root, lease_duration=args.lease, max_attempts=5)
+    enqueued = queue.enqueue_all(jobs, engine_seed=ENGINE_SEED)
+    print(f"queue: {len(requests)} requests -> {len(jobs)} unique jobs, {enqueued} enqueued")
+
+    env = dict(os.environ)
+    package_root = Path(repro.__file__).resolve().parent.parent
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(package_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    spawned = 0
+
+    def spawn() -> subprocess.Popen:
+        nonlocal spawned
+        spawned += 1
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "work", str(queue_root),
+             "--run-store", str(run_root), "--trace-store", str(trace_root),
+             "--worker-id", f"chaos-w{spawned}", "--lease", str(args.lease),
+             "--poll", "0.05"],
+            env=env,
+        )
+
+    rng = random.Random(args.chaos_seed)
+    kills_left = max(0, args.kills)
+    killed = 0
+    # Armed from the start: the first kill fires as soon as any lease is
+    # observed (a worker is mid-job), later ones on a seeded cadence.
+    # Killing on lease activity rather than wall clock keeps the
+    # schedule effective however fast the jobs drain.
+    next_kill = 0.0
+    deadline = time.monotonic() + args.timeout
+    respawn_budget = args.procs * 4 + args.kills
+    timed_out = False
+    t0 = time.perf_counter()
+    procs = [spawn() for _ in range(args.procs)]
+    try:
+        while True:
+            queue.expire_overdue()
+            counts = queue.counts()
+            if counts["pending"] + counts["leased"] == 0:
+                break
+            now = time.monotonic()
+            if now > deadline:
+                timed_out = True
+                break
+            if kills_left and counts["leased"] and now >= next_kill:
+                live = [p for p in procs if p.poll() is None]
+                if live:
+                    victim = rng.choice(live)
+                    victim.send_signal(signal.SIGKILL)
+                    victim.wait()
+                    killed += 1
+                    kills_left -= 1
+                    next_kill = now + rng.uniform(0.1, 0.5)
+            alive = []
+            for proc in procs:
+                if proc.poll() is None:
+                    alive.append(proc)
+                elif respawn_budget > 0:
+                    respawn_budget -= 1
+                    alive.append(spawn())
+            procs = alive
+            if not procs:
+                break
+            time.sleep(0.05)
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.wait(timeout=10)
+    drain_s = time.perf_counter() - t0
+    print(f"chaos drain: {spawned} workers spawned, {killed} SIGKILLed, "
+          f"{drain_s:.2f}s" + (" (TIMED OUT)" if timed_out else ""))
+
+    check(not timed_out, f"queue not drained after {args.timeout:.0f}s")
+    check(killed == args.kills, f"kill schedule fired {killed}/{args.kills} kills")
+
+    # Zero lost jobs: every enqueued job ended done — none pending,
+    # leased, or dead-lettered.
+    counts = queue.counts()
+    check(counts["done"] == len(jobs) and counts["total"] == len(jobs),
+          f"lost jobs: {counts} != {len(jobs)} done")
+
+    # Zero duplicate committed effects: exactly one store entry per job.
+    store = RunStore(run_root)
+    check(len(store) == len(jobs),
+          f"run store holds {len(store)} entries for {len(jobs)} jobs")
+    check(store.corrupt_entries == 0, f"{store.corrupt_entries} corrupt run entries")
+
+    # Serial bit-equality: each committed run, frame for frame.
+    t0 = time.perf_counter()
+    resolve = policy_resolver()
+    soc_fp = xavier_nx_with_oakd().fingerprint()
+    zoo_fp = zoo.fingerprint()
+    for job in jobs:
+        policy = resolve(job.policy_spec)
+        key = RunKey(policy.name, policy.fingerprint(), job.key[1],
+                     zoo_fp, soc_fp, ENGINE_SEED)
+        stored = store.load(key)
+        label = f"{job.policy_spec}/{job.scenario.name}"
+        if stored is None:
+            check(False, f"{label}: no committed run")
+            continue
+        trace = trace_store.load(job.scenario, zoo)
+        serial = run_policy(resolve(job.policy_spec), trace, engine_seed=ENGINE_SEED,
+                            fast=True)
+        check(stored.records == serial.records,
+              f"{label}: frame records diverge from serial")
+    print(f"serial bit-equality: {len(jobs)} runs verified in {time.perf_counter() - t0:.2f}s")
+
+    for label, audited in (("trace store", trace_store), ("run store", store),
+                           ("queue", queue)):
+        _, problems = audited.audit()
+        check(not problems, f"{label} audit: {problems}")
+
+    # Warm in-process re-serve: the thread service over the queue-written
+    # stores must answer the whole mix without executing anything.
+    t0 = time.perf_counter()
+    with SweepService(
+        trace_store=TraceStore(trace_root),
+        run_store=RunStore(run_root),
+        workers=args.workers,
+    ) as warm:
+        for handle in warm.serve(requests):
+            handle.result()
+        check(warm.runs_executed == 0, f"warm re-serve executed {warm.runs_executed} runs")
+        check(warm.trace_builds == 0, f"warm re-serve built {warm.trace_builds} traces")
+        check(warm.corrupt_entries == 0, "warm re-serve hit corrupt entries")
+    print(f"warm re-serve: 0 runs, 0 trace builds in {time.perf_counter() - t0:.2f}s")
+
+    if failures:
+        print("\nCHAOS LOADGEN FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"chaos loadgen: all checks passed ({killed} workers killed, 0 lost jobs, "
+          "0 duplicate effects, 0 corrupt entries, serial bit-equality, "
+          "free warm re-serve)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    runner = run_chaos if args.chaos else run_load
     if args.trace_store is not None and args.run_store is not None:
-        return run_load(args, Path(args.trace_store), Path(args.run_store))
+        return runner(args, Path(args.trace_store), Path(args.run_store))
     with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
         trace_root = Path(args.trace_store) if args.trace_store else Path(tmp) / "traces"
         run_root = Path(args.run_store) if args.run_store else Path(tmp) / "runs"
-        return run_load(args, trace_root, run_root)
+        return runner(args, trace_root, run_root)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,14 @@ adds).  Two rules make the discipline structural:
   flagged, except in ``__init__`` (construction precedes sharing) and in
   methods/functions named ``*_locked`` (documented as
   called-under-lock).
+* ``locks/locked-call`` — the other half of the ``*_locked`` convention
+  (PR 7's job queue leans on it hard: the per-path shard mutex is *not*
+  reentrant, so multi-entry operations compose ``*_locked`` helpers
+  under one acquisition).  A call to any ``*_locked`` function must be
+  lexically inside a ``with`` on something lock-like — a ``shard_lock``
+  call, a guards-declared lock attribute, anything named ``*lock*`` —
+  or inside a function itself named ``*_locked``.  Calling one unheld
+  is either a data race or (re-entering) a deadlock.
 """
 
 from __future__ import annotations
@@ -45,6 +53,9 @@ class LockDisciplineChecker(Checker):
              "file writes in the persistence tiers must be atomic (temp + os.replace)"),
         Rule("locks/guarded-attr", "error",
              "state declared lock-guarded may only be touched while holding the lock"),
+        Rule("locks/locked-call", "error",
+             "*_locked functions assume a held lock; call them under `with <lock>:` "
+             "or from another *_locked function"),
     )
 
     def check_module(self, module: SourceModule, project: Project) -> Iterable[Finding]:
@@ -53,6 +64,7 @@ class LockDisciplineChecker(Checker):
             for node in ast.walk(module.tree):
                 if isinstance(node, ast.Call):
                     findings.extend(self._check_write(node, module))
+            findings.extend(self._check_locked_calls(module))
         if module.guards:
             findings.extend(self._check_guards(module))
         return findings
@@ -91,6 +103,24 @@ class LockDisciplineChecker(Checker):
                 f".{method}() is not crash-safe; use "
                 f"repro.util.atomicio.atomic_write_text",
             )
+
+    # ----------------------------------------------------------- locked calls
+
+    def _check_locked_calls(self, module: SourceModule) -> Iterator[Finding]:
+        attr_locks, global_locks = _declared_locks(module)
+        for func in _all_functions(module.tree):
+            if func.name.endswith("_locked"):
+                continue
+            walker = _LockedCallWalker(module, attr_locks, global_locks)
+            walker.walk(func)
+            for call, callee in walker.violations:
+                yield self.finding(
+                    "locks/locked-call", module, call,
+                    f"{callee}() assumes its lock is already held, but no enclosing "
+                    f"`with <lock>:` is visible in {func.name}; acquire the lock "
+                    f"around it (or rename the caller *_locked if its own callers "
+                    f"hold it)",
+                )
 
     # --------------------------------------------------------- guarded state
 
@@ -201,6 +231,94 @@ class _GuardWalker:
         if self.lock_is_attr:
             return _is_self_attribute(node) and node.attr in self.guarded
         return isinstance(node, ast.Name) and node.id in self.guarded
+
+
+class _LockedCallWalker:
+    """Finds ``*_locked(...)`` calls made without a visible lock context.
+
+    Lexical and per-function: a ``with`` on anything lock-like (a call or
+    name containing ``lock``, or a guards-declared lock attribute/global)
+    marks its body held.  Nested function bodies are *not* marked by an
+    enclosing ``with`` — they run later, at their call site — and are
+    walked separately on their own.
+    """
+
+    def __init__(self, module: SourceModule, attr_locks: frozenset[str],
+                 global_locks: frozenset[str]) -> None:
+        self.module = module
+        self.attr_locks = attr_locks
+        self.global_locks = global_locks
+        self.violations: list[tuple[ast.Call, str]] = []
+
+    def walk(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for stmt in func.body:
+            self._visit(stmt, held=False)
+
+    def _visit(self, node: ast.AST, held: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # gets its own walk; the lock is not held at *its* call time
+        if isinstance(node, ast.Lambda):
+            self._visit(node.body, False)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            takes = any(self._is_lockish(item.context_expr) for item in node.items)
+            for item in node.items:
+                self._visit(item.context_expr, held)
+            for child in node.body:
+                self._visit(child, held or takes)
+            return
+        if isinstance(node, ast.Call) and not held:
+            callee = self._locked_callee(node)
+            if callee is not None:
+                self.violations.append((node, callee))
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _locked_callee(self, node: ast.Call) -> str | None:
+        name = resolve_call_name(node, self.module.symbol_origins)
+        if name is not None and name.rsplit(".", 1)[-1].endswith("_locked"):
+            return name
+        if isinstance(node.func, ast.Attribute) and node.func.attr.endswith("_locked"):
+            return node.func.attr
+        return None
+
+    def _is_lockish(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Call):
+            name = resolve_call_name(expr, self.module.symbol_origins)
+            if name is not None and "lock" in name.lower():
+                return True
+            return (isinstance(expr.func, ast.Attribute)
+                    and "lock" in expr.func.attr.lower())
+        if _is_self_attribute(expr):
+            return "lock" in expr.attr.lower() or expr.attr in self.attr_locks
+        if isinstance(expr, ast.Attribute):
+            return "lock" in expr.attr.lower()
+        if isinstance(expr, ast.Name):
+            return "lock" in expr.id.lower() or expr.id in self.global_locks
+        return False
+
+
+def _declared_locks(module: SourceModule) -> tuple[frozenset[str], frozenset[str]]:
+    """Lock names declared via ``# repro: guards[...]``: (self-attrs, globals)."""
+    attr_locks: set[str] = set()
+    global_locks: set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        if not module.guards.get(node.lineno):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if _is_self_attribute(target):
+                attr_locks.add(target.attr)
+            elif isinstance(target, ast.Name):
+                global_locks.add(target.id)
+    return frozenset(attr_locks), frozenset(global_locks)
+
+
+def _all_functions(tree: ast.Module) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    return [node for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
 
 
 def _methods(cls: ast.ClassDef) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:

@@ -8,6 +8,9 @@ Usage (after ``pip install -e .``)::
     python -m repro run marlin s1_multi_background_varying_distance
     python -m repro --workers 4 sweep shift,marlin
     python -m repro serve jobs.json --service-workers 4   # many sweeps, one pool
+    python -m repro --run-store runs serve jobs.json --procs 2   # crash-safe processes
+    python -m repro work QUEUE --run-store runs  # one queue worker process
+    python -m repro queue QUEUE --list           # inspect / repair the job queue
     python -m repro sweep --jobs jobs.json       # same batch front-end
     python -m repro scenarios --generated        # flight library + grammar matrix
     python -m repro verify --count 25 --seed 7   # differential fuzz sweep
@@ -233,8 +236,213 @@ def _serve_requests(args: argparse.Namespace, jobs_path: str, workers: int) -> i
     return 0
 
 
+def _serve_procs(args: argparse.Namespace) -> int:
+    """Multi-process serve: persist unit jobs to an on-disk queue, drain
+    them with supervised ``repro work`` subprocesses, and assemble the
+    per-request tables from the shared run store.
+
+    Nothing is shared with the workers but the filesystem: the queue
+    carries the jobs (scenarios embedded), the run store carries the
+    results, and lease expiry covers any worker the OS kills.  Dead
+    workers are respawned until the queue drains or the respawn budget
+    runs out.
+    """
+    import os
+    import subprocess
+    import time
+    from pathlib import Path
+
+    from .runtime.runstore import RunKey, RunStore
+    from .service import JobQueue, SweepRequest, decompose, load_jobs_file
+
+    if args.run_store is None:
+        print("serve --procs needs --run-store DIR: workers commit results there "
+              "and the supervisor assembles the tables from it", file=sys.stderr)
+        return 2
+    ctx = _context(args)
+    try:
+        requests = load_jobs_file(args.jobs)
+        # Resolve every scenario name through the context so --scale
+        # applies, and so the queue can embed full scenario records —
+        # worker processes must not depend on the registry state here.
+        requests = [
+            SweepRequest(
+                policies=request.policies,
+                scenarios=tuple(
+                    ctx.scenario(s) if isinstance(s, str) else s
+                    for s in request.scenarios
+                ),
+                request_id=request.request_id,
+            )
+            for request in requests
+        ]
+        jobs = [job for request in requests for job in decompose(request)]
+    except (KeyError, ServiceError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    # "_queue" is not a two-hex shard name, so nesting the queue inside
+    # the run store keeps one --procs sweep under one directory without
+    # the two stores' shard indexes ever mixing.
+    queue_dir = Path(args.queue_dir) if args.queue_dir else Path(args.run_store) / "_queue"
+    queue = JobQueue(queue_dir, lease_duration=args.lease, max_attempts=args.max_attempts)
+    enqueued = queue.enqueue_all(jobs, engine_seed=ctx.engine_seed)
+
+    shift_args: list[str] = []
+    if any(spec == "shift" for request in requests for spec in request.policies):
+        # Workers rebuild the shift policy from a saved bundle; the JSON
+        # round-trip preserves fingerprints, so their run keys match the
+        # ones this process derives below.
+        bundle_path = queue_dir / "shift-bundle.json"
+        save_bundle(ctx.bundle, bundle_path)
+        shift_args = ["--shift-bundle", str(bundle_path), "--objective", args.objective]
+
+    env = dict(os.environ)
+    package_root = Path(__file__).resolve().parent.parent
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(package_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    spawned = 0
+
+    def spawn() -> subprocess.Popen:
+        nonlocal spawned
+        spawned += 1
+        command = [
+            sys.executable, "-m", "repro", "work", str(queue_dir),
+            "--run-store", args.run_store,
+            "--worker-id", f"serve-w{spawned}",
+            "--lease", str(args.lease),
+            "--max-attempts", str(args.max_attempts),
+        ]
+        if args.trace_store:
+            command += ["--trace-store", args.trace_store]
+        command += shift_args
+        return subprocess.Popen(command, env=env)
+
+    deadline = time.monotonic() + args.worker_timeout
+    respawn_budget = args.procs * 8
+    worker_deaths = 0
+    timed_out = False
+    procs = [spawn() for _ in range(args.procs)]
+    try:
+        while True:
+            queue.expire_overdue()
+            if queue.drained():
+                break
+            if time.monotonic() > deadline:
+                timed_out = True
+                break
+            alive = []
+            for proc in procs:
+                code = proc.poll()
+                if code is None:
+                    alive.append(proc)
+                    continue
+                if code != 0:
+                    worker_deaths += 1
+                if respawn_budget > 0:
+                    respawn_budget -= 1
+                    alive.append(spawn())
+            procs = alive
+            if not procs:
+                break
+            time.sleep(0.1)
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.wait(timeout=10)
+
+    counts = queue.counts()
+    if counts["dead"]:
+        for record in queue.records():
+            if record.get("state") == "dead":
+                print(f"dead-letter: {record['policy_spec']} x {record['scenario_name']}: "
+                      f"{record.get('error')}", file=sys.stderr)
+        print(f"serve --procs: {counts['dead']} jobs dead-lettered; inspect with "
+              f"'python -m repro queue {queue_dir}' and retry with --requeue-dead",
+              file=sys.stderr)
+        return 1
+    if timed_out or not queue.drained():
+        print(f"serve --procs: gave up after {args.worker_timeout:.0f}s with "
+              f"{counts['pending']} pending / {counts['leased']} leased jobs "
+              f"({spawned} workers spawned)", file=sys.stderr)
+        return 1
+
+    store = RunStore(args.run_store)
+    resolve = _policy_resolver(ctx, args.objective)
+    zoo_fp = ctx.zoo.fingerprint()
+    soc_fp = ctx.soc.fingerprint()
+    policies: dict[str, object] = {}
+    try:
+        for request in requests:
+            results: dict[str, list] = {}
+            for spec in request.policies:
+                if spec not in policies:
+                    policies[spec] = resolve(spec)
+                policy = policies[spec]
+                for scenario in request.scenarios:
+                    key = RunKey(policy.name, policy.fingerprint(), scenario.fingerprint(),
+                                 zoo_fp, soc_fp, ctx.engine_seed)
+                    metrics = store.load_metrics(key)
+                    if metrics is None:
+                        print(f"run store has no result for {spec} x {scenario.name} "
+                              f"although the queue drained: fingerprint drift between "
+                              f"supervisor and workers", file=sys.stderr)
+                        return 1
+                    results.setdefault(policy.name, []).append(metrics)
+            print(_sweep_table(
+                f"Request {request.request_id}: {len(request.policies)} policies "
+                f"x {len(request.scenarios)} scenarios",
+                results,
+            ))
+    except (KeyError, ServiceError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(
+        f"queue: {len(jobs)} unit jobs, {enqueued} enqueued "
+        f"({len(jobs) - enqueued} deduplicated), {counts['done']} done, "
+        f"{spawned} workers spawned, {worker_deaths} worker deaths"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.procs is not None:
+        return _serve_procs(args)
     return _serve_requests(args, args.jobs, args.service_workers)
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from .service.worker import run as run_worker
+
+    return run_worker(args)
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from .service import JOB_STATES, JobQueue
+
+    queue = JobQueue(args.queue_dir)
+    if args.requeue_dead:
+        print(f"requeued {queue.requeue_dead()} dead-lettered jobs")
+    expired = queue.expire_overdue()
+    if expired:
+        print(f"requeued {expired} expired leases")
+    counts = queue.counts()
+    print(f"{counts['total']} jobs: "
+          + ", ".join(f"{counts[state]} {state}" for state in JOB_STATES))
+    if args.list:
+        for record in sorted(queue.records(), key=lambda r: r.get("job_id", "")):
+            lease = record.get("lease") or {}
+            owner = f"  owner={lease['owner']}" if lease.get("owner") else ""
+            error = f"  error={record['error']}" if record.get("error") else ""
+            print(f"  {record['state']:8s} attempts={record['attempts']}"
+                  f"  {record['policy_spec']} x {record['scenario_name']}{owner}{error}")
+    checked, problems = queue.audit()
+    for problem in problems:
+        print(f"audit: {problem}", file=sys.stderr)
+    print(f"audit: {checked} shards checked, {len(problems)} problems")
+    return 1 if problems else 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -415,7 +623,36 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker threads scheduling unit jobs (default 4)")
     serve_cmd.add_argument("--objective", default="paper", choices=objective_names(),
                            help="knob preset for shift policies (default: paper)")
+    serve_cmd.add_argument("--procs", type=_positive_int, default=None, metavar="N",
+                           help="drain the batch with N supervised worker processes over "
+                                "an on-disk job queue instead of in-process threads "
+                                "(crash-safe; needs --run-store)")
+    serve_cmd.add_argument("--queue-dir", default=None, metavar="DIR",
+                           help="job queue directory for --procs "
+                                "(default: <run-store>/_queue)")
+    serve_cmd.add_argument("--lease", type=float, default=30.0,
+                           help="--procs lease duration in seconds (default 30)")
+    serve_cmd.add_argument("--max-attempts", type=_positive_int, default=5,
+                           help="--procs attempts before dead-lettering a job (default 5)")
+    serve_cmd.add_argument("--worker-timeout", type=float, default=600.0,
+                           help="--procs overall drain deadline in seconds (default 600)")
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    work_cmd = commands.add_parser(
+        "work", help="one queue worker process: claim, execute, commit until drained")
+    from .service.worker import configure_parser as _configure_work
+
+    _configure_work(work_cmd)
+    work_cmd.set_defaults(func=_cmd_work)
+
+    queue_cmd = commands.add_parser(
+        "queue", help="inspect or repair an on-disk job queue")
+    queue_cmd.add_argument("queue_dir", metavar="DIR", help="job queue directory")
+    queue_cmd.add_argument("--requeue-dead", action="store_true",
+                           help="move dead-lettered jobs back to pending with fresh attempts")
+    queue_cmd.add_argument("--list", action="store_true",
+                           help="list every job record with state and attempts")
+    queue_cmd.set_defaults(func=_cmd_queue)
 
     scen_cmd = commands.add_parser("scenarios", help="list the scenario library")
     scen_cmd.add_argument("--generated", action="store_true",

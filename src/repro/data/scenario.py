@@ -516,6 +516,68 @@ def scenario_by_name(name: str) -> Scenario:
     raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}")
 
 
+# --------------------------------------------------------------------------
+# Serialization.  Queue job records embed scenarios so worker processes can
+# execute jobs from generated matrices (fuzz / loadgen pools) that are never
+# registered in their interpreter.  Field sets are pinned in
+# analysis/schema_manifest.json; keep the returns literal.
+
+
+def segment_to_dict(segment: Segment) -> dict:
+    """JSON-serializable payload for one segment."""
+    return {
+        "name": segment.name,
+        "frames": segment.frames,
+        "background_name": segment.background_name,
+        "distance_start": segment.distance_start,
+        "distance_end": segment.distance_end,
+        "path": segment.path,
+        "pan": segment.pan,
+    }
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """JSON-serializable payload for a full scenario."""
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "indoor": scenario.indoor,
+        "seed": scenario.seed,
+        "frame_size": scenario.frame_size,
+        "segments": [segment_to_dict(segment) for segment in scenario.segments],
+    }
+
+
+def segment_from_dict(payload: dict) -> Segment:
+    """Inverse of :func:`segment_to_dict` (validates via ``__post_init__``)."""
+    return Segment(
+        name=str(payload["name"]),
+        frames=int(payload["frames"]),
+        background_name=str(payload["background_name"]),
+        distance_start=float(payload["distance_start"]),
+        distance_end=float(payload["distance_end"]),
+        path=str(payload["path"]),
+        pan=float(payload["pan"]),
+    )
+
+
+def scenario_from_dict(payload: dict) -> Scenario:
+    """Inverse of :func:`scenario_to_dict`.
+
+    Round-trips bit-exactly: the rebuilt scenario has the same
+    ``fingerprint()`` as the original because every hashed field is
+    restored verbatim.
+    """
+    return Scenario(
+        name=str(payload["name"]),
+        description=str(payload["description"]),
+        indoor=bool(payload["indoor"]),
+        seed=int(payload["seed"]),
+        frame_size=int(payload["frame_size"]),
+        segments=tuple(segment_from_dict(entry) for entry in payload["segments"]),
+    )
+
+
 def path_position(path: str, t: float) -> tuple[float, float]:
     """Normalized (x, y) target position for ``path`` at progress ``t``.
 

@@ -324,6 +324,21 @@ class RunStore:
             _index_meta(payload),
         )
 
+    def commit(self, result: RunResult, key: RunKey) -> tuple[Path, bool]:
+        """Idempotently persist a run: ``(path, True)`` only for the first commit.
+
+        The at-most-once-in-effect primitive for crash-safe execution: a
+        re-executed job (lease expired, worker killed after ``save`` but
+        before acknowledging) produces bit-identical content, so a second
+        commit observes the existing readable entry and writes nothing.
+        A torn entry left by a crashed writer is quarantined by the
+        ``load_metrics`` probe and then overwritten — corrupt bytes are
+        never served and never block a retry.
+        """
+        if self.load_metrics(key) is not None:
+            return self.path_for(key), False
+        return self.save(result, key), True
+
     def _payload(self, key: RunKey) -> dict | None:
         path = self.path_for(key)
         try:

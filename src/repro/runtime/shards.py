@@ -163,21 +163,65 @@ def write_entry(root: Path, digest: str, name: str, text: str, meta: dict) -> Pa
     """
     shard = shard_dir(root, digest)
     with shard_lock(shard):
-        path = _replace_atomically(shard, name, text)
-        entries = read_index(shard)
-        entries[name] = meta
-        _write_index(shard, entries)
+        return write_entry_locked(shard, name, text, meta)
+
+
+def write_entry_locked(shard: Path, name: str, text: str, meta: dict) -> Path:
+    """Entry write + index update for callers already holding the shard lock.
+
+    The job queue's claim sweep mutates several entries per shard under
+    one lock acquisition; re-entering :func:`shard_lock` per entry would
+    deadlock on the per-path thread mutex (it is not reentrant), so the
+    multi-entry paths compose this primitive instead.
+    """
+    path = _replace_atomically(shard, name, text)
+    entries = read_index(shard)
+    entries[name] = meta
+    _write_index(shard, entries)
     return path
+
+
+def update_entry(
+    root: Path, digest: str, name: str, mutate: "callable"
+) -> dict | None:
+    """Read-modify-write one entry atomically under the shard lock.
+
+    Loads the current payload (``None`` when the entry is missing or
+    unparseable), passes it to ``mutate(payload) -> dict | None``, and —
+    when ``mutate`` returns a dict — writes it back atomically and
+    refreshes the index record's existing metadata.  Returning ``None``
+    from ``mutate`` leaves the entry untouched (compare-and-swap failure).
+    Returns whatever ``mutate`` returned.  The whole cycle holds the shard
+    lock, so two concurrent updates serialize and neither loses a write.
+    """
+    shard = shard_dir(root, digest)
+    with shard_lock(shard):
+        path = shard / name
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(payload, dict):
+                payload = None
+        except (OSError, json.JSONDecodeError):
+            payload = None
+        updated = mutate(payload)
+        if updated is None:
+            return None
+        _replace_atomically(shard, name, json.dumps(updated, sort_keys=True))
+        entries = read_index(shard)
+        if name not in entries:
+            entries[name] = {}
+        _write_index(shard, entries)
+        return updated
 
 
 def remove_entry(root: Path, digest: str, name: str) -> bool:
     """Delete one entry (file + index record); True if the file existed."""
     shard = shard_dir(root, digest)
     with shard_lock(shard):
-        return _remove_locked(shard, name)
+        return remove_entry_locked(shard, name)
 
 
-def _remove_locked(shard: Path, name: str) -> bool:
+def remove_entry_locked(shard: Path, name: str) -> bool:
     path = shard / name
     existed = path.exists()
     if existed:
@@ -210,7 +254,7 @@ def quarantine_corrupt_entry(root: Path, digest: str, name: str) -> bool:
         # function exists to remove; fall through to the delete.
         except (OSError, json.JSONDecodeError):  # repro: allow[exceptions/swallow]
             pass
-        _remove_locked(shard, name)
+        remove_entry_locked(shard, name)
         return True
 
 

@@ -10,9 +10,19 @@ sweep (enforced by the ``service`` differential check and the CI
 ``service-smoke`` job).  The sharded Trace/Run stores
 (:mod:`repro.runtime.shards`) are the service's contended shared state.
 
-Front-ends: ``python -m repro serve JOBS.json``, ``python -m repro sweep
---jobs JOBS.json``, and the synthetic load generator
-``scripts/loadgen.py``.
+For crash safety across *processes*, the same unit jobs persist into an
+on-disk :class:`JobQueue` (lease/heartbeat semantics, bounded retries,
+dead-letter quarantine) drained by :class:`QueueWorker` fleets — a
+killed worker's jobs migrate to the survivors within one lease duration,
+and idempotent run-store commits keep every job at-most-once in effect
+(the ``faults`` differential check and the CI ``chaos-smoke`` job
+enforce this).
+
+Front-ends: ``python -m repro serve JOBS.json [--procs N]``, ``python -m
+repro work QUEUE_DIR`` (one worker process), ``python -m repro queue``
+(inspection/repair), ``python -m repro sweep --jobs JOBS.json``, and the
+synthetic load generator ``scripts/loadgen.py`` (``--chaos`` for the
+kill-schedule variant).
 """
 
 from .jobs import (
@@ -24,7 +34,9 @@ from .jobs import (
     policy_resolver,
     requests_from_payload,
 )
+from .queue import JOB_STATES, JobQueue, Lease, job_digest
 from .service import SweepHandle, SweepService, overlapping_requests
+from .worker import QueueWorker, WorkerHooks, WorkerKilled
 
 __all__ = [
     "ServiceError",
@@ -34,7 +46,14 @@ __all__ = [
     "load_jobs_file",
     "policy_resolver",
     "requests_from_payload",
+    "JOB_STATES",
+    "JobQueue",
+    "Lease",
+    "job_digest",
     "SweepHandle",
     "SweepService",
     "overlapping_requests",
+    "QueueWorker",
+    "WorkerHooks",
+    "WorkerKilled",
 ]

@@ -179,10 +179,22 @@ class SweepService:
     # ------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
-        """Finish in-flight jobs and stop accepting new requests."""
+        """Finish in-flight jobs and stop accepting new requests.
+
+        Closing and submitting serialize on ``_state`` (``submit``
+        registers *and* schedules its jobs under the lock), so every
+        future registered before the flag flipped has a pool task behind
+        it and ``shutdown(wait=True)`` resolves it.  Any future somehow
+        still unresolved afterwards is failed loudly rather than left to
+        hang a ``SweepHandle.result()`` forever.
+        """
         with self._state:
             self._closed = True
         self._pool.shutdown(wait=True)
+        with self._state:
+            stranded = [f for f in self._jobs.values() if not f.done()]
+        for future in stranded:
+            future.set_exception(ServiceError("service closed before the job ran"))
 
     def __enter__(self) -> "SweepService":
         return self
@@ -220,8 +232,13 @@ class SweepService:
                 futures[job.key] = future
                 to_schedule.append(job)
                 self.jobs_scheduled += 1
-        for job in to_schedule:
-            self._pool.submit(self._run_job, job, futures[job.key])
+            # Still under the lock: scheduling must be atomic with the
+            # closed-flag check, or a concurrent close() can shut the
+            # pool between them — RuntimeError here, and every future
+            # registered above stranded forever (a SweepHandle.result()
+            # that never returns).
+            for job in to_schedule:
+                self._pool.submit(self._run_job, job, futures[job.key])
         return SweepHandle(request, jobs, futures)
 
     def serve(self, requests: Iterable[SweepRequest]) -> list[SweepHandle]:

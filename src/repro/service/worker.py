@@ -1,0 +1,357 @@
+"""Queue workers: claim, heartbeat, execute, commit — survivable by design.
+
+A :class:`QueueWorker` drains a :class:`~repro.service.queue.JobQueue`:
+claim a lease, resolve the policy, execute the run (warm store hit or
+cold build), commit the result idempotently through
+:meth:`~repro.runtime.runstore.RunStore.commit`, mark the job done.  A
+background thread heartbeats the lease at a third of its duration while
+the job executes, so a *healthy* worker never times out mid-run and a
+killed one is detected within one lease duration.
+
+Crash semantics, in order of the failure points:
+
+* killed before commit — the lease expires, the job requeues, another
+  worker redoes the work from scratch;
+* killed mid-commit — the run store write is atomic (temp +
+  ``os.replace``), so the next worker sees either nothing (re-runs) or a
+  complete entry (warm-completes); a torn file from a *non-atomic* crash
+  injection is quarantined by the store probe and re-run;
+* killed after commit, before ``complete`` — the next worker's store
+  probe hits, and it completes the record without executing anything:
+  exactly the at-most-once-*in-effect* contract.
+
+Worker *processes* run through :func:`main` (``python -m repro work``).
+The in-process form (threads + :class:`WorkerKilled`) exists for the
+fault harness (:mod:`repro.verify.faults`), which simulates SIGKILL by
+raising through the drain loop with no cleanup, and for the ``faults``
+differential check to stay cheap enough for tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import threading
+import time
+from pathlib import Path
+from collections.abc import Callable
+
+from ..models.zoo import ModelZoo, default_zoo
+from ..core.policy import Policy
+from ..runtime.runner import run_policy
+from ..runtime.runstore import RunKey, RunStore
+from ..runtime.store import TraceStore
+from ..runtime.trace import ScenarioTrace
+from ..sim.soc import SoC, xavier_nx_with_oakd
+from .jobs import ServiceError
+from .jobs import policy_resolver as default_policy_resolver
+from .queue import JobQueue, Lease
+
+
+class WorkerKilled(BaseException):
+    """Simulated SIGKILL for in-process fault injection.
+
+    Deliberately a ``BaseException``: nothing in the worker may catch it,
+    so it propagates through the drain loop exactly like a real kill —
+    no ``fail()`` call, no lease release, no cleanup.  Recovery must come
+    entirely from lease expiry, which is the property under test.
+    """
+
+
+class WorkerHooks:
+    """Fault-injection points; the default implementation does nothing.
+
+    Every hook runs at a precise failure boundary so a fault plan can
+    kill, stall, or corrupt at exactly the moment that distinguishes the
+    crash-recovery paths (see the module docstring).
+    """
+
+    def claimed(self, worker: "QueueWorker", lease: Lease) -> None:
+        """After a lease is granted, before any execution."""
+
+    def heartbeat_ok(self, worker: "QueueWorker", lease: Lease) -> bool:
+        """False suppresses this heartbeat (simulates a stalled worker)."""
+        return True
+
+    def before_commit(self, worker: "QueueWorker", lease: Lease, run_path: Path | None) -> None:
+        """After execution, before the run store commit (torn-write window)."""
+
+    def before_complete(self, worker: "QueueWorker", lease: Lease) -> None:
+        """After the commit, before the queue record flips to done."""
+
+
+class QueueWorker:
+    """One drain loop over a shared :class:`JobQueue`.
+
+    ``run_store`` is mandatory — the queue's at-most-once guarantee *is*
+    the store's idempotent commit; without it a re-executed job would be
+    a duplicated effect.  ``soc`` is a zero-argument factory (or None for
+    the default platform), same contract as the sweep service.  The
+    worker's RunKey derivation (zoo/soc fingerprints, lease engine seed)
+    matches SweepService exactly, so a queue-drained store warm-serves
+    the in-process service and vice versa.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        run_store: RunStore | str | Path,
+        trace_store: TraceStore | str | Path | None = None,
+        zoo: ModelZoo | None = None,
+        soc: Callable[[], SoC] | None = None,
+        policy_resolver: Callable[[str], Policy] | None = None,
+        fast: bool = True,
+        poll_interval: float = 0.05,
+        worker_id: str | None = None,
+        hooks: WorkerHooks | None = None,
+        max_jobs: int | None = None,
+    ) -> None:
+        if run_store is None:
+            raise ServiceError(
+                "queue workers need a run store: idempotent commits are what make "
+                "crash-requeued jobs at-most-once in effect"
+            )
+        if soc is not None and not callable(soc):
+            raise ServiceError("soc must be a zero-argument factory, not an instance")
+        self.queue = queue
+        self.run_store = run_store if isinstance(run_store, RunStore) else RunStore(run_store)
+        self.trace_store = (
+            trace_store if isinstance(trace_store, TraceStore) or trace_store is None
+            else TraceStore(trace_store)
+        )
+        self.zoo = zoo if zoo is not None else default_zoo()
+        self._soc_factory = soc
+        self._resolver = (
+            policy_resolver if policy_resolver is not None else default_policy_resolver()
+        )
+        self.fast = fast
+        self.poll_interval = poll_interval
+        self.worker_id = worker_id if worker_id is not None else f"worker-{os.getpid()}"
+        self.hooks = hooks if hooks is not None else WorkerHooks()
+        self.max_jobs = max_jobs
+        self._soc_fp: str | None = None
+        # Counters are read by the harness after the drain loop exits (or
+        # the worker dies); the lock keeps the heartbeat thread's updates
+        # coherent with the main loop's.
+        self._state = threading.Lock()  # repro: guards[jobs_processed, warm_completes, runs_executed, trace_builds, trace_store_hits, heartbeats_sent, leases_lost]
+        self.jobs_processed = 0
+        self.warm_completes = 0
+        self.runs_executed = 0
+        self.trace_builds = 0
+        self.trace_store_hits = 0
+        self.heartbeats_sent = 0
+        self.leases_lost = 0
+
+    # ---------------------------------------------------------------- drain
+
+    def drain(self) -> int:
+        """Claim and execute jobs until the queue drains; jobs processed.
+
+        ``None`` claims are polled through: a job may be backing off or
+        leased by a worker that is about to die, so "nothing claimable
+        now" is not "nothing left".  Exits when the queue reports drained
+        (no pending, no leased) or after ``max_jobs`` completions.
+        """
+        processed = 0
+        while self.max_jobs is None or processed < self.max_jobs:
+            lease = self.queue.claim(self.worker_id)
+            if lease is None:
+                if self.queue.drained():
+                    break
+                time.sleep(self.poll_interval)
+                continue
+            self._process(lease)
+            processed += 1
+            with self._state:
+                self.jobs_processed += 1
+        return processed
+
+    def _process(self, lease: Lease) -> None:
+        self.hooks.claimed(self, lease)
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop, args=(lease, stop),
+            name=f"{self.worker_id}-heartbeat", daemon=True,
+        )
+        beat.start()
+        try:
+            self._execute(lease)
+        except WorkerKilled:
+            raise  # a "killed" worker does no cleanup — that's the point
+        except Exception as exc:  # noqa: BLE001 - any job failure must requeue, not kill the worker
+            self.queue.fail(lease, f"{type(exc).__name__}: {exc}")
+        finally:
+            stop.set()
+            beat.join(timeout=5.0)
+
+    def _heartbeat_loop(self, lease: Lease, stop: threading.Event) -> None:
+        interval = self.queue.lease_duration / 3.0
+        while not stop.wait(interval):
+            if not self.hooks.heartbeat_ok(self, lease):
+                continue  # stalled: deadline keeps approaching
+            extended = self.queue.heartbeat(lease)
+            with self._state:
+                if extended is None:
+                    self.leases_lost += 1
+                else:
+                    self.heartbeats_sent += 1
+
+    # -------------------------------------------------------------- execute
+
+    def _execute(self, lease: Lease) -> None:
+        policy = self._resolver(lease.policy_spec)  # fresh: policies are stateful
+        key = self._run_key(policy, lease)
+        if key is None:
+            # No fingerprint means no idempotent commit — the queue tier
+            # cannot run this policy at-most-once, so refuse loudly.
+            self.queue.fail(
+                lease,
+                f"policy {lease.policy_spec!r} has no fingerprint; queue execution "
+                f"requires run-store idempotence",
+            )
+            return
+        if self.run_store.load_metrics(key) is not None:
+            # Warm: a previous attempt (ours or a dead worker's) already
+            # committed this exact run; completing the record is all
+            # that's left.
+            with self._state:
+                self.warm_completes += 1
+            self.hooks.before_complete(self, lease)
+            self.queue.complete(lease)
+            return
+        trace = self._trace(lease.scenario)
+        soc = self._soc_factory() if self._soc_factory is not None else None
+        result = run_policy(
+            policy, trace, soc=soc, engine_seed=lease.engine_seed, fast=self.fast
+        )
+        with self._state:
+            self.runs_executed += 1
+        self.hooks.before_commit(self, lease, self.run_store.path_for(key))
+        self.run_store.commit(result, key)
+        self.hooks.before_complete(self, lease)
+        self.queue.complete(lease)
+
+    def _run_key(self, policy: Policy, lease: Lease) -> RunKey | None:
+        try:
+            fingerprint = policy.fingerprint()
+        except NotImplementedError:
+            return None
+        return RunKey(
+            policy_name=policy.name,
+            policy_fingerprint=fingerprint,
+            scenario_fingerprint=lease.scenario_fingerprint,
+            zoo_fingerprint=self.zoo.fingerprint(),
+            soc_fingerprint=self._soc_fingerprint(),
+            engine_seed=lease.engine_seed,
+        )
+
+    def _soc_fingerprint(self) -> str:
+        if self._soc_fp is None:
+            soc = self._soc_factory() if self._soc_factory is not None else xavier_nx_with_oakd()
+            self._soc_fp = soc.fingerprint()
+        return self._soc_fp
+
+    def _trace(self, scenario) -> ScenarioTrace:
+        if self.trace_store is not None:
+            loaded = self.trace_store.load(scenario, self.zoo)
+            if loaded is not None:
+                with self._state:
+                    self.trace_store_hits += 1
+                return loaded
+        trace = ScenarioTrace.build(scenario, self.zoo)
+        with self._state:
+            self.trace_builds += 1
+        if self.trace_store is not None:
+            self.trace_store.save(trace, self.zoo)
+        return trace
+
+
+# ------------------------------------------------------------ process entry
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Register the worker-process options (shared by ``repro work``)."""
+    parser.add_argument("queue_dir", help="shared on-disk job queue directory")
+    parser.add_argument("--run-store", required=True, metavar="DIR",
+                        help="run store DIR (mandatory: idempotent commits live here)")
+    parser.add_argument("--trace-store", default=None, metavar="DIR")
+    parser.add_argument("--worker-id", default=None,
+                        help="stable worker identity (default: worker-<pid>)")
+    parser.add_argument("--lease", type=float, default=30.0,
+                        help="lease duration in seconds (must match the supervisor)")
+    parser.add_argument("--max-attempts", type=int, default=5)
+    parser.add_argument("--backoff-base", type=float, default=0.25)
+    parser.add_argument("--backoff-cap", type=float, default=8.0)
+    parser.add_argument("--backoff-seed", type=int, default=0)
+    parser.add_argument("--poll", type=float, default=0.05,
+                        help="sleep between empty claims (seconds)")
+    parser.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after this many jobs even if the queue is not drained")
+    parser.add_argument("--shift-bundle", default=None, metavar="FILE",
+                        help="characterization bundle JSON enabling the 'shift' policy spec")
+    parser.add_argument("--objective", default="paper",
+                        help="knob preset for shift policies (default: paper)")
+    parser.add_argument("--fault-plan", default=None, metavar="FILE",
+                        help="JSON fault plan (repro.verify.faults); kills are real SIGKILL")
+
+
+def run(args: argparse.Namespace) -> int:
+    """Build one worker process from parsed args and drain the queue.
+
+    Fresh store handles, nothing shared with the supervisor but the
+    filesystem.  ``--fault-plan`` arms deterministic fault injection
+    (kills become real ``SIGKILL``); it is imported lazily so the
+    service tier has no static dependency on the verify tier.
+    ``--shift-bundle`` loads a saved characterization bundle and derives
+    the confidence graph from its observations — the same construction
+    the experiment context uses, so shift run keys match the
+    supervisor's.
+    """
+    queue = JobQueue(
+        args.queue_dir,
+        lease_duration=args.lease,
+        max_attempts=args.max_attempts,
+        backoff_base=args.backoff_base,
+        backoff_cap=args.backoff_cap,
+        backoff_seed=args.backoff_seed,
+    )
+    hooks: WorkerHooks | None = None
+    if args.fault_plan is not None:
+        from ..verify.faults import FaultPlan, ProcessFaultHooks
+
+        hooks = ProcessFaultHooks(FaultPlan.load(args.fault_plan))
+    resolver = None
+    if args.shift_bundle is not None:
+        from ..characterization import load_bundle
+        from ..core import ConfidenceGraph
+
+        bundle = load_bundle(args.shift_bundle)
+        resolver = default_policy_resolver(
+            bundle=bundle,
+            graph=ConfidenceGraph.build(bundle.observations),
+            objective=args.objective,
+        )
+    worker = QueueWorker(
+        queue,
+        run_store=args.run_store,
+        trace_store=args.trace_store,
+        worker_id=args.worker_id,
+        poll_interval=args.poll,
+        max_jobs=args.max_jobs,
+        hooks=hooks,
+        policy_resolver=resolver,
+    )
+    try:
+        worker.drain()
+    except ServiceError as exc:
+        print(exc.args[0])
+        return 2
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro work QUEUE_DIR``: one worker process, exit 0 on drain."""
+    parser = argparse.ArgumentParser(prog="repro work")
+    configure_parser(parser)
+    return run(parser.parse_args(argv))

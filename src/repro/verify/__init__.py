@@ -15,6 +15,7 @@ from .differential import (
     ScenarioReport,
     check_detect_equality,
     check_fast_run_equivalence,
+    check_fault_tolerance,
     check_render_equality,
     check_run_invariants,
     check_service_equivalence,
@@ -22,6 +23,16 @@ from .differential import (
     check_trace_invariants,
     default_fast_run_policy_factories,
     verify_scenario,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultHooks,
+    FaultOutcome,
+    FaultPlan,
+    ProcessFaultHooks,
+    fault_plan_for_check,
+    run_fault_sweep,
 )
 from .fuzz import (
     DEFAULT_SAMPLE,
@@ -44,8 +55,17 @@ __all__ = [
     "check_run_invariants",
     "check_fast_run_equivalence",
     "check_service_equivalence",
+    "check_fault_tolerance",
     "default_fast_run_policy_factories",
     "verify_scenario",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultHooks",
+    "FaultOutcome",
+    "FaultPlan",
+    "ProcessFaultHooks",
+    "fault_plan_for_check",
+    "run_fault_sweep",
     "DEFAULT_SAMPLE",
     "SCENARIOS_ENV",
     "FuzzReport",

@@ -39,6 +39,12 @@ cross-engine correctness witness:
     field-for-field identical to direct serial runs, execute each
     deduplicated (policy, scenario) job at most once, and corrupt no
     store entries.
+``faults``
+    crash safety of the on-disk queue tier — a seeded fault plan
+    (worker kills, heartbeat stalls, torn writes) replayed against a
+    fleet of queue workers must lose no job, duplicate no committed
+    effect, quarantine every corrupt entry, and leave a run store
+    bit-identical to serial execution (:mod:`repro.verify.faults`).
 
 Each check returns a :class:`CheckResult`; :func:`verify_scenario` runs a
 selection of them against one scenario, sharing the trace build.  The fuzz
@@ -70,7 +76,7 @@ from ..runtime.store import TraceStore
 from ..runtime.trace import ScenarioTrace
 
 # All check names, in the order verify_scenario runs them.
-CHECKS = ("render", "detect", "store", "trace", "run", "fastrun", "service")
+CHECKS = ("render", "detect", "store", "trace", "run", "fastrun", "service", "faults")
 
 # Tolerance for NCC leaving [-1, 1] through floating-point rounding.
 _NCC_SLACK = 1e-9
@@ -488,6 +494,42 @@ def check_service_equivalence(
     return _ok("service")
 
 
+def check_fault_tolerance(
+    trace: ScenarioTrace,
+    zoo: ModelZoo,
+    engine_seed: int = 1234,
+) -> CheckResult:
+    """The queue tier must survive its seeded fault plan unscathed.
+
+    Replays :func:`~repro.verify.faults.fault_plan_for_check` — two
+    initial workers killed mid-job (one leaving a torn run-store file),
+    every replacement stalling past its first lease — against an
+    on-disk queue holding this scenario's unit jobs, then asserts the
+    full contract: zero lost jobs, zero duplicate committed effects,
+    corrupt entries quarantined, and every committed run field-for-field
+    identical to serial execution.  Thread-mode workers keep the check
+    cheap enough to run per scenario; the process form (real SIGKILL) is
+    covered by the integration suite and the chaos load generator.
+    """
+    from .faults import run_fault_sweep
+
+    specs = _service_specs(trace.model_names())
+    if not specs:
+        return _fail("faults", "trace covers no models a queue policy could run")
+    with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
+        outcome = run_fault_sweep(
+            [trace.scenario],
+            specs,
+            Path(tmp),
+            engine_seed=engine_seed,
+            zoo=zoo,
+            prebuilt=[trace],
+        )
+    if not outcome.passed:
+        return _fail("faults", "; ".join(outcome.failures()))
+    return _ok("faults")
+
+
 def verify_scenario(
     scenario: Scenario,
     zoo: ModelZoo | None = None,
@@ -531,4 +573,6 @@ def verify_scenario(
             report.results.append(check_fast_run_equivalence(trace))
         elif check == "service":
             report.results.append(check_service_equivalence(trace, zoo))
+        elif check == "faults":
+            report.results.append(check_fault_tolerance(trace, zoo))
     return report

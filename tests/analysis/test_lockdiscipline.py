@@ -122,3 +122,101 @@ class TestGuardedAttr:
         findings = [f for f in tree.lint().findings if f.rule == "locks/guarded-attr"]
         assert len(findings) == 1
         assert "get" in findings[0].message
+
+
+class TestLockedCall:
+    def test_fires_on_unheld_locked_call(self, tree):
+        tree.write("service/queue.py", """
+            def read_record(shard, path):
+                return _read_record_locked(shard, path)
+
+            def _read_record_locked(shard, path):
+                return None
+        """)
+        assert "locks/locked-call" in tree.rules_fired()
+
+    def test_fires_on_unheld_locked_method_call(self, tree):
+        tree.write("runtime/store.py", """
+            class Store:
+                def load(self, shard, name):
+                    return self._load_locked(shard, name)
+
+                def _load_locked(self, shard, name):
+                    return None
+        """)
+        assert "locks/locked-call" in tree.rules_fired()
+
+    def test_quiet_under_a_lock_call_context(self, tree):
+        tree.write("service/queue.py", """
+            from ..runtime.shards import shard_lock, write_entry_locked
+
+            def write(shard, name, text, meta):
+                with shard_lock(shard):
+                    return write_entry_locked(shard, name, text, meta)
+        """)
+        assert "locks/locked-call" not in tree.rules_fired()
+
+    def test_quiet_under_a_guards_declared_lock(self, tree):
+        tree.write("service/service.py", """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._state = threading.Lock()  # repro: guards[_jobs]
+                    self._jobs = {}
+
+                def evict(self):
+                    with self._state:
+                        self._evict_locked()
+
+                def _evict_locked(self):
+                    self._jobs.clear()
+        """)
+        assert "locks/locked-call" not in tree.rules_fired()
+
+    def test_quiet_inside_another_locked_function(self, tree):
+        tree.write("service/queue.py", """
+            def _sweep_locked(shard):
+                for path in shard.glob("*.json"):
+                    _read_record_locked(shard, path)
+
+            def _read_record_locked(shard, path):
+                return None
+        """)
+        assert "locks/locked-call" not in tree.rules_fired()
+
+    def test_nested_function_does_not_inherit_the_lock(self, tree):
+        # The closure runs later, at its call site — the enclosing
+        # `with` proves nothing about lock state at that moment.
+        tree.write("service/queue.py", """
+            def update(lock, shard, path):
+                def mutate():
+                    return _read_record_locked(shard, path)
+                with lock:
+                    pass
+                return mutate
+
+            def _read_record_locked(shard, path):
+                return None
+        """)
+        assert "locks/locked-call" in tree.rules_fired()
+
+    def test_quiet_outside_persistence_tiers(self, tree):
+        tree.write("experiments/report.py", """
+            def render(table):
+                return _render_locked(table)
+
+            def _render_locked(table):
+                return str(table)
+        """)
+        assert "locks/locked-call" not in tree.rules_fired()
+
+    def test_suppression_pragma_silences_it(self, tree):
+        tree.write("service/queue.py", """
+            def probe(shard, path):
+                return _read_record_locked(shard, path)  # repro: allow[locks/locked-call]
+
+            def _read_record_locked(shard, path):
+                return None
+        """)
+        assert "locks/locked-call" not in tree.rules_fired()

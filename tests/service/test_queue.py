@@ -1,0 +1,256 @@
+"""Lease-semantics tests for the on-disk job queue.
+
+The crash-safety contract, pinned without any real sleeping: an
+injectable clock drives lease expiry, so every transition — claim,
+heartbeat extension, expiry-requeue with backoff, nonce fencing,
+max-attempts dead-lettering, dead-letter requeue — is exercised
+deterministically.  Real crash/kill behaviour is covered by
+``tests/service/test_worker.py`` and the ``faults`` differential check.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data import ScenarioMatrix
+from repro.runtime import shards
+from repro.service import JobQueue, ServiceError, SweepRequest, decompose, job_digest
+
+MATRIX = ScenarioMatrix(
+    name="q",
+    compositions=(("loiter",), ("crossing",)),
+    regimes=("day",),
+    seeds=(3,),
+    frame_budgets=(16,),
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return MATRIX.scenarios()
+
+
+@pytest.fixture(scope="module")
+def jobs(scenarios):
+    request = SweepRequest(
+        policies=("marlin-tiny", "single:yolov7-tiny@gpu"), scenarios=tuple(scenarios)
+    )
+    return decompose(request)
+
+
+def make_queue(tmp_path, clock, **kwargs):
+    kwargs.setdefault("lease_duration", 10.0)
+    kwargs.setdefault("max_attempts", 3)
+    return JobQueue(tmp_path / "queue", clock=clock, **kwargs)
+
+
+class TestEnqueue:
+    def test_enqueue_is_idempotent(self, tmp_path, jobs):
+        queue = make_queue(tmp_path, FakeClock())
+        assert queue.enqueue(jobs[0]) is True
+        assert queue.enqueue(jobs[0]) is False
+        assert queue.enqueue_all(jobs) == len(jobs) - 1
+        assert queue.counts()["pending"] == len(jobs)
+
+    def test_done_jobs_stay_done_across_reenqueue(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock)
+        queue.enqueue(jobs[0])
+        lease = queue.claim("w0")
+        assert queue.complete(lease)
+        assert queue.enqueue(jobs[0]) is False
+        assert queue.counts()["done"] == 1
+        assert queue.claim("w0") is None
+
+    def test_unreadable_record_is_replaced_on_enqueue(self, tmp_path, jobs):
+        queue = make_queue(tmp_path, FakeClock())
+        queue.enqueue(jobs[0])
+        [path] = list(shards.iter_entry_paths(queue.root, "job-*.json"))
+        path.write_text('{"torn', encoding="utf-8")
+        assert queue.enqueue(jobs[0]) is True
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["state"] == "pending"
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        with pytest.raises(ServiceError):
+            JobQueue(tmp_path / "q1", lease_duration=0)
+        with pytest.raises(ServiceError):
+            JobQueue(tmp_path / "q2", max_attempts=0)
+        with pytest.raises(ServiceError):
+            JobQueue(tmp_path / "q3", backoff_base=2.0, backoff_cap=1.0)
+
+
+class TestLeases:
+    def test_claim_grants_exclusive_lease(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock)
+        queue.enqueue(jobs[0])
+        lease = queue.claim("w0")
+        assert lease is not None
+        assert lease.owner == "w0"
+        assert lease.deadline == clock.now + queue.lease_duration
+        assert lease.attempt == 1
+        assert lease.job_id == job_digest(jobs[0].policy_spec, jobs[0].key[1])
+        # The scenario rides inside the lease, rebuilt from the record.
+        assert lease.scenario.fingerprint() == jobs[0].scenario.fingerprint()
+        assert queue.claim("w1") is None  # nothing else to claim
+
+    def test_heartbeat_extends_an_owned_lease(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock)
+        queue.enqueue(jobs[0])
+        lease = queue.claim("w0")
+        clock.advance(8.0)
+        new_deadline = queue.heartbeat(lease)
+        assert new_deadline == clock.now + queue.lease_duration
+        # Without the heartbeat the lease would now be expired:
+        clock.advance(4.0)
+        assert queue.claim("w1") is None
+        assert queue.complete(lease)
+
+    def test_expired_lease_requeues_with_backoff(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock)
+        queue.enqueue(jobs[0])
+        first = queue.claim("w0")
+        clock.advance(queue.lease_duration + 0.001)
+        # Not immediately reclaimable: the retry backs off first.
+        delay = queue.backoff_delay(first.job_id, first.attempt)
+        assert queue.claim("w1") is None
+        assert queue.leases_expired == 1
+        clock.advance(delay + 0.001)
+        second = queue.claim("w1")
+        assert second is not None
+        assert second.owner == "w1"
+        assert second.attempt == 2
+        assert second.nonce != first.nonce
+
+    def test_stale_owner_is_fenced_after_regrant(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock, backoff_base=0.0, backoff_cap=0.0)
+        queue.enqueue(jobs[0])
+        stale = queue.claim("w0")
+        clock.advance(queue.lease_duration + 0.001)
+        fresh = queue.claim("w1")
+        assert fresh is not None
+        # The zombie's writes must all bounce off the new nonce.
+        assert queue.heartbeat(stale) is None
+        assert queue.complete(stale) is False
+        assert queue.fail(stale, "zombie error") is False
+        assert queue.leases_lost == 3
+        assert queue.complete(fresh) is True
+        assert queue.counts()["done"] == 1
+
+    def test_fail_requeues_then_dead_letters_at_max_attempts(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock, backoff_base=0.0, backoff_cap=0.0)
+        queue.enqueue(jobs[0])
+        for attempt in range(1, queue.max_attempts + 1):
+            lease = queue.claim("w0")
+            assert lease is not None and lease.attempt == attempt
+            assert queue.fail(lease, f"boom {attempt}")
+        assert queue.counts()["dead"] == 1
+        assert queue.claim("w0") is None
+        [record] = [r for r in queue.records() if r["state"] == "dead"]
+        assert "boom" in record["error"]
+        assert [h["state"] for h in record["history"]].count("pending") >= 2
+
+    def test_requeue_dead_resets_attempts(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock, max_attempts=1)
+        queue.enqueue(jobs[0])
+        queue.fail(queue.claim("w0"), "boom")
+        assert queue.counts()["dead"] == 1
+        assert queue.requeue_dead() == 1
+        lease = queue.claim("w0")
+        assert lease is not None and lease.attempt == 1
+        assert queue.complete(lease)
+
+    def test_expire_overdue_sweeps_without_claiming(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock)
+        queue.enqueue_all(jobs)
+        queue.claim("w0")
+        queue.claim("w0")
+        clock.advance(queue.lease_duration + 0.001)
+        assert queue.expire_overdue() == 2
+        assert queue.counts()["leased"] == 0
+
+    def test_corrupt_record_is_quarantined_not_served(self, tmp_path, jobs):
+        queue = make_queue(tmp_path, FakeClock())
+        queue.enqueue(jobs[0])
+        [path] = list(shards.iter_entry_paths(queue.root, "job-*.json"))
+        path.write_text("not json at all", encoding="utf-8")
+        assert queue.claim("w0") is None
+        assert queue.corrupt_records == 1
+        assert not path.exists()  # moved aside, not served, not looping
+        _, problems = queue.audit()
+        assert problems == []
+
+
+class TestBackoff:
+    def test_backoff_is_deterministic_per_seed(self, tmp_path):
+        clock = FakeClock()
+        a = JobQueue(tmp_path / "a", clock=clock, backoff_seed=42)
+        b = JobQueue(tmp_path / "b", clock=clock, backoff_seed=42)
+        c = JobQueue(tmp_path / "c", clock=clock, backoff_seed=43)
+        delays_a = [a.backoff_delay("job", n) for n in range(1, 6)]
+        delays_b = [b.backoff_delay("job", n) for n in range(1, 6)]
+        delays_c = [c.backoff_delay("job", n) for n in range(1, 6)]
+        assert delays_a == delays_b
+        assert delays_a != delays_c
+
+    @given(attempt=st.integers(min_value=1, max_value=12),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_backoff_bounded_by_cap_and_grows_from_base(self, attempt, seed):
+        queue = JobQueue.__new__(JobQueue)  # no disk needed for the formula
+        queue.backoff_base = 0.25
+        queue.backoff_cap = 8.0
+        queue.backoff_seed = seed
+        delay = JobQueue.backoff_delay(queue, "some-job", attempt)
+        ceiling = min(8.0, 0.25 * 2 ** (attempt - 1))
+        assert 0.5 * ceiling <= delay <= ceiling
+
+
+class TestConcurrency:
+    def test_parallel_claims_never_double_grant(self, tmp_path, jobs):
+        import threading
+
+        queue = make_queue(tmp_path, FakeClock())
+        queue.enqueue_all(jobs)
+        grants: list = []
+        lock = threading.Lock()
+
+        def worker(name: str) -> None:
+            while True:
+                lease = queue.claim(name)
+                if lease is None:
+                    return
+                with lock:
+                    grants.append(lease.job_id)
+                queue.complete(lease)
+
+        threads = [threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(grants) == sorted(
+            job_digest(j.policy_spec, j.key[1]) for j in jobs
+        )
+        assert queue.drained()
+        assert queue.counts()["done"] == len(jobs)

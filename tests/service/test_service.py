@@ -290,3 +290,58 @@ class TestSharedStoreInterop:
             assert service.runs_executed == 0
             assert service.trace_builds == 0
         assert served == serial
+
+
+class TestCloseRace:
+    def test_close_racing_submit_never_strands_a_handle(self, zoo, scenarios, tmp_path):
+        """Regression: ``submit`` used to schedule pool tasks after
+        releasing the state lock, so a concurrent ``close`` could shut
+        the pool between registration and scheduling — RuntimeError out
+        of ``submit`` and a ``SweepHandle.result()`` that never returns.
+        Now submit either succeeds fully or raises ServiceError, and
+        every successfully returned handle resolves."""
+        import threading
+
+        request = SweepRequest(policies=("marlin-tiny",), scenarios=(scenarios[0],))
+        for round_index in range(6):
+            service = SweepService(
+                zoo=zoo, workers=2,
+                trace_store=tmp_path / "traces", run_store=tmp_path / "runs",
+            )
+            handles: list = []
+            errors: list = []
+            barrier = threading.Barrier(5)
+
+            def submit_one() -> None:
+                barrier.wait()
+                try:
+                    handles.append(service.submit(request))
+                except ServiceError:
+                    errors.append("closed")
+                except BaseException as exc:  # the old bug: RuntimeError
+                    errors.append(f"unexpected: {exc!r}")
+
+            threads = [threading.Thread(target=submit_one) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            service.close()
+            for thread in threads:
+                thread.join()
+            assert all(error == "closed" for error in errors), errors
+
+            outcomes: list = []
+
+            def resolve_all() -> None:
+                for handle in handles:
+                    try:
+                        handle.result()
+                        outcomes.append("done")
+                    except ServiceError:
+                        outcomes.append("failed-loudly")
+
+            waiter = threading.Thread(target=resolve_all)
+            waiter.start()
+            waiter.join(timeout=60)
+            assert not waiter.is_alive(), "a SweepHandle.result() hung after close()"
+            assert len(outcomes) == len(handles)

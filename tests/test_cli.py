@@ -264,3 +264,62 @@ class TestVerifyCommand:
         assert code == 0
         assert len(list(store.rglob("trace-*.json"))) == 1
         capsys.readouterr()
+
+
+class TestQueueCommands:
+    def _jobs_file(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_work_and_queue_parsers_register(self):
+        args = build_parser().parse_args(["work", "qdir", "--run-store", "rs"])
+        assert args.queue_dir == "qdir" and args.run_store == "rs"
+        args = build_parser().parse_args(["queue", "qdir", "--requeue-dead", "--list"])
+        assert args.queue_dir == "qdir" and args.requeue_dead and args.list
+
+    def test_serve_procs_requires_run_store(self, tmp_path, capsys):
+        jobs = self._jobs_file(tmp_path, [
+            {"policies": ["marlin-tiny"], "scenarios": ["s3_indoor_close_wall"]}
+        ])
+        assert main(FAST + ["serve", jobs, "--procs", "1"]) == 2
+        assert "--run-store" in capsys.readouterr().err
+
+    def test_serve_procs_drains_and_reports(self, tmp_path, capsys):
+        jobs = self._jobs_file(tmp_path, {"requests": [
+            {"id": "r1", "policies": ["marlin-tiny"],
+             "scenarios": ["s3_indoor_close_wall"]},
+            {"id": "r2", "policies": ["marlin-tiny", "single:yolov7-tiny@gpu"],
+             "scenarios": ["s3_indoor_close_wall"]},
+        ]})
+        code = main(FAST + ["--run-store", str(tmp_path / "runs"),
+                            "--trace-store", str(tmp_path / "traces"),
+                            "serve", jobs, "--procs", "1",
+                            "--worker-timeout", "240"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "Request r1" in out and "Request r2" in out
+        assert "2 enqueued (1 deduplicated)" in out
+        # And the queue command reads the same directory back:
+        assert main(["queue", str(tmp_path / "runs" / "_queue"), "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "2 done" in out and "0 problems" in out
+
+    def test_queue_requeue_dead(self, tmp_path, capsys):
+        from repro.data import scenario_by_name
+        from repro.service import JobQueue, SweepRequest, decompose
+
+        queue = JobQueue(tmp_path / "q", max_attempts=1)
+        [job] = decompose(SweepRequest(
+            policies=("marlin-tiny",),
+            scenarios=(scenario_by_name("s3_indoor_close_wall"),),
+        ))
+        queue.enqueue(job)
+        queue.fail(queue.claim("w0"), "induced")
+        assert main(["queue", str(tmp_path / "q")]) == 0
+        assert "1 dead" in capsys.readouterr().out
+        assert main(["queue", str(tmp_path / "q"), "--requeue-dead"]) == 0
+        out = capsys.readouterr().out
+        assert "requeued 1 dead-lettered jobs" in out and "1 pending" in out

@@ -1,0 +1,104 @@
+"""Fault-injection harness tests: plans, hooks, and the full sweep.
+
+The harness itself is load-bearing (CI trusts its verdicts), so its
+bookkeeping is pinned here: plan serialization, deterministic event
+lookup, outcome failure taxonomy, and one real seeded sweep whose
+coverage contract (kill + torn + stall all fired) must hold.
+"""
+
+import pytest
+
+from repro.data import ScenarioMatrix
+from repro.verify import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultOutcome,
+    FaultPlan,
+    fault_plan_for_check,
+    run_fault_sweep,
+)
+
+TINY = ScenarioMatrix(
+    name="ft",
+    compositions=(("loiter",),),
+    regimes=("day",),
+    seeds=(2,),
+    frame_budgets=(16,),
+)
+
+
+class TestPlans:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent("w0", 0, "meteor-strike")
+        with pytest.raises(ValueError):
+            FaultEvent("w0", -1, "kill")
+
+    def test_plan_roundtrips_through_json(self, tmp_path):
+        plan = FaultPlan(
+            events=(FaultEvent("w0", 0, "kill"), FaultEvent("w1", 2, "slow", 0.25)),
+            required=("kill",),
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = FaultPlan.load(path)
+        assert loaded == plan
+
+    def test_events_for_matches_worker_and_claim(self):
+        plan = FaultPlan(events=(FaultEvent("w0", 0, "kill"),
+                                 FaultEvent("w0", 1, "stall"),
+                                 FaultEvent("w1", 0, "torn")))
+        assert [e.kind for e in plan.events_for("w0", 0)] == ["kill"]
+        assert [e.kind for e in plan.events_for("w0", 1)] == ["stall"]
+        assert [e.kind for e in plan.events_for("w1", 0)] == ["torn"]
+        assert plan.events_for("w2", 0) == ()
+
+    def test_check_plan_covers_the_contracted_kinds(self):
+        plan = fault_plan_for_check()
+        scheduled = {event.kind for event in plan.events}
+        assert set(plan.required) <= scheduled
+        assert {"kill", "torn", "stall"} <= set(plan.required)
+        assert scheduled <= set(FAULT_KINDS)
+
+
+class TestOutcomeTaxonomy:
+    def base(self, **overrides) -> FaultOutcome:
+        fields = dict(job_count=3, run_entries=3, expected_entries=3,
+                      fired={"kill": 1, "torn": 1, "stall": 1},
+                      required_kinds=("kill", "torn", "stall"),
+                      corrupt_quarantined=1)
+        fields.update(overrides)
+        return FaultOutcome(**fields)
+
+    def test_clean_outcome_passes(self):
+        outcome = self.base()
+        assert outcome.failures() == []
+        assert outcome.passed
+
+    def test_each_defect_is_named(self):
+        assert "lost" in self.base(lost_jobs=["abc=pending"]).failures()[0]
+        assert "dead" in self.base(dead_jobs=["abc"]).failures()[0]
+        assert "entries" in self.base(run_entries=5).failures()[0]
+        assert "diverge" in self.base(serial_mismatches=["x"]).failures()[0]
+        assert "timed out" in self.base(timed_out=True).failures()[0].lower()
+        missing = self.base(fired={"kill": 1})
+        assert any("torn" in f for f in missing.failures())
+        torn_no_quarantine = self.base(corrupt_quarantined=0)
+        assert any("quarantine" in f for f in torn_no_quarantine.failures())
+        assert "audit" in self.base(audit_problems=["drift"]).failures()[0]
+
+
+class TestSweep:
+    def test_seeded_sweep_survives_its_plan(self, tmp_path):
+        [scenario] = TINY.scenarios()
+        outcome = run_fault_sweep(
+            [scenario], ["marlin-tiny", "single:yolov7-tiny@gpu"], tmp_path
+        )
+        assert outcome.passed, outcome.failures()
+        assert outcome.workers_killed >= 2
+        assert outcome.workers_spawned > outcome.workers_killed
+        assert outcome.corrupt_quarantined >= 1
+        assert {"kill", "torn", "stall"} <= {
+            kind for kind, count in outcome.fired.items() if count
+        }
+        assert outcome.run_entries == outcome.expected_entries == 2
