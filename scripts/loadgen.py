@@ -27,14 +27,23 @@ jobs** (every enqueued job ends ``done``, none dead-lettered) and a warm
 in-process re-serve over the queue-written stores, proving the two
 execution tiers commit byte-identical, fingerprint-compatible entries.
 
+``--http`` replays the mix through the network tier: a real
+:class:`~repro.service.SweepHTTPServer` on an ephemeral localhost port,
+``--clients`` concurrent stdlib HTTP clients submitting and streaming
+over actual sockets.  The same four gates run on the reconstructed wire
+rows — zero duplicates, zero corrupt entries, serial bit-equality,
+free warm re-serve across a *server restart* — plus a deterministic
+admission probe (a full server answers 429 + Retry-After, never hangs).
+
 Exit code 0 when every property holds, 1 otherwise (CI's
-``service-smoke`` and ``chaos-smoke`` jobs run this at small scale on
-every PR)::
+``service-smoke``, ``chaos-smoke``, and ``http-smoke`` jobs run this at
+small scale on every PR)::
 
     PYTHONPATH=src python scripts/loadgen.py --requests 8 --workers 4
     PYTHONPATH=src python scripts/loadgen.py --requests 32 --scenario-count 12 \
         --budget 96 --trace-store /tmp/traces --run-store /tmp/runs
     PYTHONPATH=src python scripts/loadgen.py --chaos --procs 2 --kills 3
+    PYTHONPATH=src python scripts/loadgen.py --http --clients 4
 """
 
 from __future__ import annotations
@@ -117,7 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lease", type=float, default=3.0,
                         help="--chaos: queue lease duration in seconds (default 3)")
     parser.add_argument("--timeout", type=float, default=300.0,
-                        help="--chaos: overall drain deadline in seconds (default 300)")
+                        help="--chaos/--http: overall deadline in seconds (default 300)")
+    parser.add_argument("--http", action="store_true",
+                        help="drive the mix through a real HTTP server on an ephemeral "
+                             "localhost port with concurrent socket clients")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="--http: concurrent client threads (default 4)")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="--http: server admission bound for the main mix (default 64)")
     return parser
 
 
@@ -336,10 +352,23 @@ def run_chaos(args: argparse.Namespace, trace_root: Path, run_root: Path) -> int
                 break
             time.sleep(0.05)
     finally:
+        # Two-pass reap: signal everyone first, then wait out one shared
+        # deadline, then SIGKILL stragglers.  A per-process wait(timeout=)
+        # here would raise TimeoutExpired on the first hung worker and
+        # leak every one after it (the serve --procs orphan bug).
         for proc in procs:
             proc.terminate()
+        reap_deadline = time.monotonic() + 10.0
+        stubborn = []
         for proc in procs:
-            proc.wait(timeout=10)
+            try:
+                proc.wait(timeout=max(0.0, reap_deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                stubborn.append(proc)
+        for proc in stubborn:
+            proc.kill()
+        for proc in stubborn:
+            proc.wait()
     drain_s = time.perf_counter() - t0
     print(f"chaos drain: {spawned} workers spawned, {killed} SIGKILLed, "
           f"{drain_s:.2f}s" + (" (TIMED OUT)" if timed_out else ""))
@@ -411,9 +440,231 @@ def run_chaos(args: argparse.Namespace, trace_root: Path, run_root: Path) -> int
     return 0
 
 
+def run_http(args: argparse.Namespace, trace_root: Path, run_root: Path) -> int:
+    """The network tier under concurrent client load: real sockets, same gates.
+
+    Same seeded request mix as :func:`run_load`, but submitted to a live
+    :class:`~repro.service.SweepHTTPServer` on an ephemeral localhost
+    port by ``--clients`` concurrent stdlib HTTP clients, with every
+    result row reconstructed from the ndjson wire format.  Gates: zero
+    duplicate executions, zero corrupt entries, serial bit-equality of
+    the wire rows, a free warm re-serve across a full *server restart*,
+    and a deterministic admission probe (full server -> immediate 429 +
+    Retry-After; freed capacity -> 202).
+    """
+    import json
+    import urllib.error
+    import urllib.request
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.data.scenario import register_scenario, scenario_by_name
+    from repro.runtime.export import metrics_to_dict
+    from repro.service import ServiceBackend, SweepFrontend, serve_in_thread
+
+    policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    scenarios = _pool_matrix(args.budget).scenarios()[: args.scenario_count]
+    if not policies or not scenarios:
+        print("empty policy or scenario pool", file=sys.stderr)
+        return 1
+    requests = overlapping_requests(policies, scenarios, count=args.requests, seed=args.seed)
+    # Over the wire a request carries scenario *names*; make the generated
+    # pool resolvable inside the (in-process) server's registry.
+    for scenario in scenarios:
+        try:
+            scenario_by_name(scenario.name)
+        except KeyError:
+            register_scenario(scenario)
+
+    failures: list[str] = []
+
+    def check(condition: bool, label: str) -> None:
+        if not condition:
+            failures.append(label)
+
+    def drive(base: str, request) -> tuple[str, list[dict], dict]:
+        """One client: POST the request, stream its rows, return them."""
+        body = json.dumps([{
+            "policies": list(request.policies),
+            "scenarios": [s.name for s in request.resolve_scenarios()],
+            "id": request.request_id,
+        }]).encode("utf-8")
+        with urllib.request.urlopen(
+            urllib.request.Request(f"{base}/v1/sweeps", data=body),
+            timeout=args.timeout,
+        ) as resp:
+            request_id = json.load(resp)["request_ids"][0]
+        rows: list[dict] = []
+        summary: dict = {}
+        with urllib.request.urlopen(
+            f"{base}/v1/sweeps/{request_id}/results", timeout=args.timeout
+        ) as resp:
+            for line in resp:
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                if record.get("done"):
+                    summary = record
+                else:
+                    rows.append(record)
+        rows.sort(key=lambda r: (r["policy_spec"], r["scenario"]))
+        return request.request_id, rows, summary
+
+    def serve_round(label: str) -> tuple[dict[str, list[dict]], dict]:
+        """One server lifetime: serve the whole mix over real sockets."""
+        t0 = time.perf_counter()
+        frontend = SweepFrontend(
+            ServiceBackend(SweepService(
+                trace_store=TraceStore(trace_root),
+                run_store=RunStore(run_root),
+                workers=args.workers,
+            )),
+            max_pending=args.max_pending,
+            default_deadline_s=args.timeout,
+        )
+        server = serve_in_thread(frontend)
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            with ThreadPoolExecutor(max_workers=max(1, args.clients)) as clients:
+                outputs = list(clients.map(lambda r: drive(base, r), requests))
+            stats = json.load(urllib.request.urlopen(
+                f"{base}/v1/stores/stats", timeout=args.timeout))
+        finally:
+            server.shutdown()
+            server.server_close()
+            frontend.close()
+        rows_by_request: dict[str, list[dict]] = {}
+        for request, (request_id, rows, summary) in zip(requests, outputs):
+            cells = len(request.policies) * len(request.scenarios)
+            check(len(rows) == cells,
+                  f"{label} {request_id}: {len(rows)} rows for {cells} cells")
+            check(summary.get("state") == "done" and not summary.get("error"),
+                  f"{label} {request_id}: stream ended {summary}")
+            rows_by_request[request_id] = rows
+        backend = stats["backend"]
+        check(stats["corrupt_entries"] == 0,
+              f"{label}: {stats['corrupt_entries']} corrupt store entries")
+        check(
+            backend["runs_executed"] + backend["run_store_hits"]
+            == backend["jobs_scheduled"],
+            f"{label} duplicate executions: {backend['runs_executed']} runs + "
+            f"{backend['run_store_hits']} hits != {backend['jobs_scheduled']} jobs",
+        )
+        print(f"{label}: {len(requests)} requests over {args.clients} socket clients -> "
+              f"{backend['jobs_scheduled']} jobs, {backend['runs_executed']} runs, "
+              f"{backend['run_store_hits']} run-store hits, "
+              f"{backend['trace_builds']} trace builds in {time.perf_counter() - t0:.2f}s")
+        return rows_by_request, backend
+
+    cold_rows, cold_backend = serve_round("http cold serve")
+    if args.expect_warm:
+        check(cold_backend["runs_executed"] == 0,
+              f"expected a warm serve but {cold_backend['runs_executed']} runs executed")
+        check(cold_backend["trace_builds"] == 0,
+              f"expected a warm serve but {cold_backend['trace_builds']} traces built")
+
+    # Warm re-serve across a full server restart: fresh service, fresh
+    # socket, same on-disk stores — every wire row must come back
+    # identical with zero executions and zero trace builds.
+    warm_rows, warm_backend = serve_round("http warm re-serve")
+    check(warm_backend["runs_executed"] == 0,
+          f"warm re-serve executed {warm_backend['runs_executed']} runs")
+    check(warm_backend["trace_builds"] == 0,
+          f"warm re-serve built {warm_backend['trace_builds']} traces")
+    check(warm_rows == cold_rows, "warm re-serve wire rows diverged from cold serve")
+
+    if not args.skip_serial_check:
+        from repro.runtime.metrics import aggregate
+
+        t0 = time.perf_counter()
+        resolve = policy_resolver()
+        runner = ExperimentRunner(cache=TraceCache(default_zoo()))
+        scenario_by = {s.name: s for s in scenarios}
+        serial: dict[tuple[str, str], dict] = {}
+        checked = 0
+        for request_id, rows in cold_rows.items():
+            for row in rows:
+                pair = (row["policy_spec"], row["scenario"])
+                if pair not in serial:
+                    serial[pair] = metrics_to_dict(aggregate(
+                        runner.run(resolve(pair[0]), scenario_by[pair[1]])))
+                check(row["metrics"] == serial[pair],
+                      f"{request_id}: {pair} wire metrics diverge from serial run")
+                checked += 1
+        print(f"serial bit-equality: {checked} wire rows against {len(serial)} "
+              f"serial pairs in {time.perf_counter() - t0:.2f}s")
+
+    for label, store in (("trace store", TraceStore(trace_root)),
+                         ("run store", RunStore(run_root))):
+        _, problems = store.audit()
+        check(not problems, f"{label} audit: {problems}")
+
+    # Deterministic admission probe: with max_pending=1 and one
+    # un-streamed request holding the slot, the next submit must fail
+    # fast with 429 + Retry-After; streaming the first frees the slot.
+    frontend = SweepFrontend(
+        ServiceBackend(SweepService(
+            trace_store=TraceStore(trace_root),
+            run_store=RunStore(run_root),
+            workers=args.workers,
+        )),
+        max_pending=1,
+        default_deadline_s=args.timeout,
+    )
+    server = serve_in_thread(frontend)
+    base = f"http://127.0.0.1:{server.port}"
+    probe = json.dumps([{
+        "policies": [policies[0]],
+        "scenarios": [scenarios[0].name],
+    }]).encode("utf-8")
+    try:
+        with urllib.request.urlopen(
+            urllib.request.Request(f"{base}/v1/sweeps", data=probe),
+            timeout=args.timeout,
+        ) as resp:
+            first_id = json.load(resp)["request_ids"][0]
+        t0 = time.perf_counter()
+        try:
+            urllib.request.urlopen(
+                urllib.request.Request(f"{base}/v1/sweeps", data=probe), timeout=30)
+            check(False, "admission probe: full server accepted a submit")
+        except urllib.error.HTTPError as exc:
+            rejected_in = time.perf_counter() - t0
+            check(exc.code == 429, f"admission probe: expected 429, got {exc.code}")
+            check(exc.headers.get("Retry-After") is not None,
+                  "admission probe: 429 without Retry-After")
+            check(rejected_in < 10.0,
+                  f"admission probe: 429 took {rejected_in:.1f}s (must not hang)")
+        with urllib.request.urlopen(
+            f"{base}/v1/sweeps/{first_id}/results", timeout=args.timeout
+        ) as resp:
+            for _line in resp:
+                pass
+        with urllib.request.urlopen(
+            urllib.request.Request(f"{base}/v1/sweeps", data=probe),
+            timeout=args.timeout,
+        ) as resp:
+            check(resp.status == 202, "admission probe: freed slot refused a submit")
+    finally:
+        server.shutdown()
+        server.server_close()
+        frontend.close()
+    print("admission probe: full server -> immediate 429 + Retry-After, "
+          "freed slot -> 202")
+
+    if failures:
+        print("\nHTTP LOADGEN FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("http loadgen: all checks passed (0 corrupt entries, 0 duplicate "
+          "executions, serial bit-equality of wire rows, free warm re-serve "
+          "across a server restart, deterministic 429 backpressure)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    runner = run_chaos if args.chaos else run_load
+    runner = run_chaos if args.chaos else (run_http if args.http else run_load)
     if args.trace_store is not None and args.run_store is not None:
         return runner(args, Path(args.trace_store), Path(args.run_store))
     with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:

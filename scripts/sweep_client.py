@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Stdlib client for the sweep HTTP front-end (``repro serve --http``).
+
+Zero dependencies beyond the standard library — ``urllib`` over the
+wire, so the client runs anywhere the server does.  Subcommands mirror
+the API one-to-one::
+
+    python scripts/sweep_client.py submit http://HOST:PORT jobs.json
+    python scripts/sweep_client.py status http://HOST:PORT req-000001
+    python scripts/sweep_client.py results http://HOST:PORT req-000001
+    python scripts/sweep_client.py stats  http://HOST:PORT
+    python scripts/sweep_client.py queue  http://HOST:PORT
+    python scripts/sweep_client.py health http://HOST:PORT
+
+``submit --wait`` submits, then streams every request's results and
+exits non-zero if any stream ends in an error.  A 429 rejection is
+retried automatically, honouring the server's ``Retry-After`` header, up
+to ``--retries`` times — the admission queue being full is backpressure,
+not failure.  Every other HTTP error prints the server's JSON error body
+and maps to exit code 1 (2 for usage errors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+class ClientError(RuntimeError):
+    """A request that failed for good (non-429, or retries exhausted)."""
+
+
+def _request(url: str, data: bytes | None = None, timeout: float = 600.0):
+    req = urllib.request.Request(url, data=data)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    return urllib.request.urlopen(req, timeout=timeout)
+
+
+def _error_body(exc: urllib.error.HTTPError) -> str:
+    try:
+        return json.load(exc).get("error", str(exc))
+    except (json.JSONDecodeError, AttributeError):
+        return str(exc)
+
+
+def get_json(url: str, timeout: float = 600.0) -> dict:
+    """GET one JSON document; HTTP errors become :class:`ClientError`."""
+    try:
+        with _request(url, timeout=timeout) as resp:
+            return json.load(resp)
+    except urllib.error.HTTPError as exc:
+        raise ClientError(f"{exc.code}: {_error_body(exc)}") from exc
+    except urllib.error.URLError as exc:
+        raise ClientError(f"cannot reach {url}: {exc.reason}") from exc
+
+
+def submit(base: str, payload: object, *, retries: int = 5,
+           timeout: float = 600.0) -> dict:
+    """POST one jobs payload; retry 429s per the server's Retry-After."""
+    body = json.dumps(payload).encode("utf-8")
+    attempt = 0
+    while True:
+        try:
+            with _request(f"{base}/v1/sweeps", data=body, timeout=timeout) as resp:
+                return json.load(resp)
+        except urllib.error.HTTPError as exc:
+            if exc.code != 429 or attempt >= retries:
+                raise ClientError(f"{exc.code}: {_error_body(exc)}") from exc
+            delay = float(exc.headers.get("Retry-After", "1") or "1")
+            attempt += 1
+            print(f"429 (admission full), retry {attempt}/{retries} "
+                  f"in {delay:.0f}s", file=sys.stderr)
+            time.sleep(delay)
+        except urllib.error.URLError as exc:
+            raise ClientError(f"cannot reach {base}: {exc.reason}") from exc
+
+
+def stream_results(base: str, request_id: str, *, timeout: float = 600.0):
+    """Yield each results-stream line (rows, then the terminal summary)."""
+    try:
+        with _request(f"{base}/v1/sweeps/{request_id}/results", timeout=timeout) as resp:
+            for line in resp:
+                if line.strip():
+                    yield json.loads(line)
+    except urllib.error.HTTPError as exc:
+        raise ClientError(f"{exc.code}: {_error_body(exc)}") from exc
+    except urllib.error.URLError as exc:
+        raise ClientError(f"cannot reach {base}: {exc.reason}") from exc
+
+
+def _print(payload: dict) -> None:
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    print()
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    payload = json.loads(open(args.jobs, encoding="utf-8").read())
+    resp = submit(args.server, payload, retries=args.retries, timeout=args.timeout)
+    _print(resp)
+    if not args.wait:
+        return 0
+    failures = 0
+    for request_id in resp["request_ids"]:
+        for line in stream_results(args.server, request_id, timeout=args.timeout):
+            _print(line)
+            if line.get("done") and line.get("error"):
+                failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    _print(get_json(f"{args.server}/v1/sweeps/{args.request_id}", timeout=args.timeout))
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    error = None
+    for line in stream_results(args.server, args.request_id, timeout=args.timeout):
+        _print(line)
+        if line.get("done"):
+            error = line.get("error")
+    return 1 if error else 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    _print(get_json(f"{args.server}/v1/stores/stats", timeout=args.timeout))
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    _print(get_json(f"{args.server}/v1/queue", timeout=args.timeout))
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    _print(get_json(f"{args.server}/healthz", timeout=args.timeout))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="socket timeout per request in seconds (default 600)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    submit_cmd = commands.add_parser("submit", help="POST a jobs file")
+    submit_cmd.add_argument("server", help="base URL, e.g. http://127.0.0.1:8080")
+    submit_cmd.add_argument("jobs", help="JSON jobs file (same shape as 'repro serve')")
+    submit_cmd.add_argument("--wait", action="store_true",
+                            help="stream every submitted request's results before exiting")
+    submit_cmd.add_argument("--retries", type=int, default=5,
+                            help="429 retries, honouring Retry-After (default 5)")
+    submit_cmd.set_defaults(func=_cmd_submit)
+
+    status_cmd = commands.add_parser("status", help="GET one request's status")
+    status_cmd.add_argument("server")
+    status_cmd.add_argument("request_id")
+    status_cmd.set_defaults(func=_cmd_status)
+
+    results_cmd = commands.add_parser("results", help="stream one request's result rows")
+    results_cmd.add_argument("server")
+    results_cmd.add_argument("request_id")
+    results_cmd.set_defaults(func=_cmd_results)
+
+    stats_cmd = commands.add_parser("stats", help="GET store/service counters")
+    stats_cmd.add_argument("server")
+    stats_cmd.set_defaults(func=_cmd_stats)
+
+    queue_cmd = commands.add_parser("queue", help="GET queue counts and dead letters")
+    queue_cmd.add_argument("server")
+    queue_cmd.set_defaults(func=_cmd_queue)
+
+    health_cmd = commands.add_parser("health", help="GET the liveness probe")
+    health_cmd.add_argument("server")
+    health_cmd.set_defaults(func=_cmd_health)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ClientError as exc:
+        print(f"sweep_client: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"sweep_client: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

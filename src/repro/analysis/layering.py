@@ -34,7 +34,11 @@ from .base import Checker, Project
 from .findings import Finding, Rule
 from .source import ImportRecord, SourceModule
 
-#: Package -> layer rank.  Root-level modules ("" package) sit on top.
+#: Dotted name -> layer rank, matched by longest prefix (see
+#: :func:`rank_for`).  Root-level modules ("" package) sit on top.
+#: Sub-module entries (e.g. ``service.http``) pin files whose rank is
+#: not obvious from their package alone — the network front-end rides
+#: with the service layer it fronts, not above it.
 LAYER_RANKS: dict[str, int] = {
     "util": 0,
     "vision": 0,
@@ -46,6 +50,7 @@ LAYER_RANKS: dict[str, int] = {
     "runtime": 3,
     "baselines": 3,
     "service": 4,
+    "service.http": 4,
     "experiments": 4,
     "verify": 4,
     "analysis": 4,
@@ -53,6 +58,23 @@ LAYER_RANKS: dict[str, int] = {
 }
 
 TOP_RANK = max(LAYER_RANKS.values())
+
+
+def rank_for(dotted: str) -> int:
+    """Layer rank of a package-relative dotted name, longest prefix first.
+
+    ``service.http`` finds its own entry; ``service.queue`` falls back
+    to ``service``; a name nobody ranked falls through to the root rank
+    (:data:`TOP_RANK`), so importing it from inside the tower fails loud
+    until someone assigns it a layer.
+    """
+    parts = dotted.split(".") if dotted else []
+    while parts:
+        candidate = ".".join(parts)
+        if candidate in LAYER_RANKS:
+            return LAYER_RANKS[candidate]
+        parts.pop()
+    return LAYER_RANKS[""]
 
 
 class LayeringChecker(Checker):
@@ -73,16 +95,12 @@ class LayeringChecker(Checker):
     # ------------------------------------------------------------------ order
 
     def _check_order(self, module: SourceModule) -> Iterator[Finding]:
-        source_rank = LAYER_RANKS.get(module.package, TOP_RANK)
+        source_rank = rank_for(module.module_name)
         for record in module.imports:
             target = _internal_target(record)
             if target is None or record.type_checking:
                 continue
-            first = target.split(".", 1)[0]
-            # Unranked targets (root modules like cli, or a package nobody
-            # ranked yet) sit at the top, so importing them from inside the
-            # tower fails loud until someone assigns a rank.
-            target_rank = LAYER_RANKS.get(first, TOP_RANK)
+            target_rank = rank_for(target)
             if target_rank > source_rank:
                 yield self.finding(
                     "layering/order", module, None,

@@ -236,6 +236,43 @@ def _serve_requests(args: argparse.Namespace, jobs_path: str, workers: int) -> i
     return 0
 
 
+def _worker_spawner(args: argparse.Namespace, queue_dir, *, extra_args=(), idle=False):
+    """A Popen factory for ``repro work`` subprocesses (feeds WorkerSupervisor).
+
+    ``idle=True`` passes ``--idle`` so workers poll an empty queue instead
+    of exiting on drain — what a long-lived ``serve --http --procs`` fleet
+    needs between requests.
+    """
+    import itertools
+    import os
+    import subprocess
+    from pathlib import Path
+
+    env = dict(os.environ)
+    package_root = Path(__file__).resolve().parent.parent
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(package_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    seq = itertools.count(1)
+
+    def spawn() -> subprocess.Popen:
+        command = [
+            sys.executable, "-m", "repro", "work", str(queue_dir),
+            "--run-store", args.run_store,
+            "--worker-id", f"serve-w{next(seq)}",
+            "--lease", str(args.lease),
+            "--max-attempts", str(args.max_attempts),
+        ]
+        if args.trace_store:
+            command += ["--trace-store", args.trace_store]
+        if idle:
+            command += ["--idle"]
+        command += list(extra_args)
+        return subprocess.Popen(command, env=env)
+
+    return spawn
+
+
 def _serve_procs(args: argparse.Namespace) -> int:
     """Multi-process serve: persist unit jobs to an on-disk queue, drain
     them with supervised ``repro work`` subprocesses, and assemble the
@@ -247,8 +284,6 @@ def _serve_procs(args: argparse.Namespace) -> int:
     workers are respawned until the queue drains or the respawn budget
     runs out.
     """
-    import os
-    import subprocess
     import time
     from pathlib import Path
 
@@ -297,34 +332,15 @@ def _serve_procs(args: argparse.Namespace) -> int:
         save_bundle(ctx.bundle, bundle_path)
         shift_args = ["--shift-bundle", str(bundle_path), "--objective", args.objective]
 
-    env = dict(os.environ)
-    package_root = Path(__file__).resolve().parent.parent
-    env["PYTHONPATH"] = os.pathsep.join(
-        [str(package_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
-    )
-    spawned = 0
+    from .service import WorkerSupervisor
 
-    def spawn() -> subprocess.Popen:
-        nonlocal spawned
-        spawned += 1
-        command = [
-            sys.executable, "-m", "repro", "work", str(queue_dir),
-            "--run-store", args.run_store,
-            "--worker-id", f"serve-w{spawned}",
-            "--lease", str(args.lease),
-            "--max-attempts", str(args.max_attempts),
-        ]
-        if args.trace_store:
-            command += ["--trace-store", args.trace_store]
-        command += shift_args
-        return subprocess.Popen(command, env=env)
-
+    spawn = _worker_spawner(args, queue_dir, extra_args=shift_args)
+    supervisor = WorkerSupervisor(spawn, args.procs, respawn_budget=args.procs * 8)
     deadline = time.monotonic() + args.worker_timeout
-    respawn_budget = args.procs * 8
-    worker_deaths = 0
     timed_out = False
-    procs = [spawn() for _ in range(args.procs)]
+    interrupted = False
     try:
+        supervisor.start()
         while True:
             queue.expire_overdue()
             if queue.drained():
@@ -332,26 +348,27 @@ def _serve_procs(args: argparse.Namespace) -> int:
             if time.monotonic() > deadline:
                 timed_out = True
                 break
-            alive = []
-            for proc in procs:
-                code = proc.poll()
-                if code is None:
-                    alive.append(proc)
-                    continue
-                if code != 0:
-                    worker_deaths += 1
-                if respawn_budget > 0:
-                    respawn_budget -= 1
-                    alive.append(spawn())
-            procs = alive
-            if not procs:
+            supervisor.tick()
+            if supervisor.alive == 0:
                 break
             time.sleep(0.1)
+    except KeyboardInterrupt:
+        # Ctrl-C mid-drain must still reach the reap below: workers
+        # release their current lease on SIGTERM, so an interrupted
+        # serve leaves the queue resumable with zero held leases.
+        interrupted = True
     finally:
-        for proc in procs:
-            proc.terminate()
-        for proc in procs:
-            proc.wait(timeout=10)
+        killed = supervisor.reap()
+        if killed:
+            print(f"serve --procs: SIGKILLed {killed} workers that ignored SIGTERM",
+                  file=sys.stderr)
+    if interrupted:
+        queue.expire_overdue()
+        counts = queue.counts()
+        print(f"serve --procs: interrupted with {counts['pending']} pending / "
+              f"{counts['leased']} leased jobs; re-run the same command to resume",
+              file=sys.stderr)
+        return 130
 
     counts = queue.counts()
     if counts["dead"]:
@@ -366,7 +383,7 @@ def _serve_procs(args: argparse.Namespace) -> int:
     if timed_out or not queue.drained():
         print(f"serve --procs: gave up after {args.worker_timeout:.0f}s with "
               f"{counts['pending']} pending / {counts['leased']} leased jobs "
-              f"({spawned} workers spawned)", file=sys.stderr)
+              f"({supervisor.spawned} workers spawned)", file=sys.stderr)
         return 1
 
     store = RunStore(args.run_store)
@@ -402,12 +419,132 @@ def _serve_procs(args: argparse.Namespace) -> int:
     print(
         f"queue: {len(jobs)} unit jobs, {enqueued} enqueued "
         f"({len(jobs) - enqueued} deduplicated), {counts['done']} done, "
-        f"{spawned} workers spawned, {worker_deaths} worker deaths"
+        f"{supervisor.spawned} workers spawned, {supervisor.worker_deaths} worker deaths"
     )
     return 0
 
 
+def _serve_http(args: argparse.Namespace) -> int:
+    """Long-lived network front-end: sweep requests over HTTP/JSON.
+
+    In-process by default (a :class:`SweepService` thread pool executes
+    unit jobs); with ``--procs N`` requests flow through the on-disk job
+    queue into a supervised fleet of ``repro work --idle`` subprocesses
+    and rows are assembled from the shared run store.  Either way the
+    wire results are bit-identical to a serial sweep (the ``http``
+    differential check proves it).
+    """
+    import json
+    import threading
+    from pathlib import Path
+
+    from .service import (
+        JobQueue,
+        QueueBackend,
+        ServiceBackend,
+        ServiceError,
+        SweepFrontend,
+        SweepHTTPServer,
+        SweepService,
+        WorkerSupervisor,
+        policy_resolver,
+    )
+
+    ctx = _context(args)
+    supervisor = None
+    queue = None
+    stop = threading.Event()
+    if args.procs is not None:
+        if args.run_store is None:
+            print("serve --http --procs needs --run-store DIR: workers commit "
+                  "results there and the front-end serves rows from it", file=sys.stderr)
+            return 2
+        queue_dir = Path(args.queue_dir) if args.queue_dir else Path(args.run_store) / "_queue"
+        queue = JobQueue(queue_dir, lease_duration=args.lease,
+                         max_attempts=args.max_attempts)
+        resolver = None
+        shift_args: list[str] = []
+        if args.shift_bundle:
+            from .characterization import load_bundle
+
+            bundle = load_bundle(args.shift_bundle)
+            resolver = policy_resolver(bundle=bundle, objective=args.objective)
+            shift_args = ["--shift-bundle", str(args.shift_bundle),
+                          "--objective", args.objective]
+        spawn = _worker_spawner(args, queue_dir, extra_args=shift_args, idle=True)
+        supervisor = WorkerSupervisor(spawn, args.procs)
+        backend = QueueBackend(queue, args.run_store, zoo=ctx.zoo,
+                               engine_seed=ctx.engine_seed, policy_resolver=resolver)
+    else:
+        backend = ServiceBackend(SweepService(
+            zoo=ctx.zoo,
+            trace_store=args.trace_store,
+            run_store=args.run_store,
+            workers=args.service_workers,
+            trace_workers=args.workers,
+            engine_seed=ctx.engine_seed,
+            policy_resolver=_policy_resolver(ctx, args.objective),
+        ))
+    frontend = SweepFrontend(backend, max_pending=args.max_pending,
+                             default_deadline_s=args.request_timeout)
+    try:
+        server = SweepHTTPServer((args.host, args.http), frontend)
+    except OSError as exc:
+        print(f"serve --http: cannot bind {args.host}:{args.http}: {exc}", file=sys.stderr)
+        frontend.close()
+        return 2
+
+    if supervisor is not None:
+        supervisor.start()
+
+        def supervise() -> None:
+            while not stop.wait(0.5):
+                queue.expire_overdue()
+                supervisor.tick()
+
+        threading.Thread(target=supervise, name="serve-supervise", daemon=True).start()
+
+    exit_code = 0
+    try:
+        if args.jobs:
+            try:
+                payload = json.loads(Path(args.jobs).read_text(encoding="utf-8"))
+                entries = frontend.submit_payload(payload)
+            except (OSError, json.JSONDecodeError, ServiceError) as exc:
+                print(f"serve --http: jobs file {args.jobs}: {exc}", file=sys.stderr)
+                return 2
+            print(f"submitted {len(entries)} requests from {args.jobs}: "
+                  + ", ".join(entry.request_id for entry in entries))
+        mode = (f"{args.procs} queue workers" if supervisor is not None
+                else f"{args.service_workers} service threads")
+        print(f"serving on http://{args.host}:{server.port} ({mode}); Ctrl-C to stop")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("serve --http: shutting down", file=sys.stderr)
+            exit_code = 130
+    finally:
+        # Order matters: stop accepting, then refuse new submits and
+        # drain, then reap the fleet (workers release leases on SIGTERM).
+        stop.set()
+        server.shutdown()
+        server.server_close()
+        frontend.close()
+        if supervisor is not None:
+            killed = supervisor.reap()
+            if killed:
+                print(f"serve --http: SIGKILLed {killed} workers that ignored "
+                      f"SIGTERM", file=sys.stderr)
+    return exit_code
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.http is not None:
+        return _serve_http(args)
+    if args.jobs is None:
+        print("serve needs a jobs file (or --http PORT for the network front-end)",
+              file=sys.stderr)
+        return 2
     if args.procs is not None:
         return _serve_procs(args)
     return _serve_requests(args, args.jobs, args.service_workers)
@@ -616,9 +753,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve_cmd = commands.add_parser(
         "serve", help="serve a batch of overlapping sweep requests from a jobs file")
-    serve_cmd.add_argument("jobs", metavar="FILE",
+    serve_cmd.add_argument("jobs", metavar="FILE", nargs="?", default=None,
                            help='JSON jobs file: [{"policies": [...], "scenarios": [...]}] '
-                                'or {"requests": [...]} with optional per-request "id"s')
+                                'or {"requests": [...]} with optional per-request "id"s '
+                                '(optional with --http: submitted at startup)')
+    serve_cmd.add_argument("--http", type=int, default=None, metavar="PORT",
+                           help="serve an HTTP/JSON front-end on PORT (0 = ephemeral) "
+                                "instead of draining one jobs file and exiting")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="--http bind address (default 127.0.0.1)")
+    serve_cmd.add_argument("--max-pending", type=_positive_int, default=16,
+                           help="--http admission bound: open requests before new "
+                                "submits get 429 + Retry-After (default 16)")
+    serve_cmd.add_argument("--request-timeout", type=float, default=300.0,
+                           help="--http per-request completion deadline in seconds "
+                                "(default 300)")
+    serve_cmd.add_argument("--shift-bundle", default=None, metavar="FILE",
+                           help="--http --procs: serve the 'shift' spec from this saved "
+                                "characterization bundle (workers load the same file)")
     serve_cmd.add_argument("--service-workers", type=_positive_int, default=4,
                            help="worker threads scheduling unit jobs (default 4)")
     serve_cmd.add_argument("--objective", default="paper", choices=objective_names(),

@@ -18,14 +18,35 @@ and idempotent run-store commits keep every job at-most-once in effect
 (the ``faults`` differential check and the CI ``chaos-smoke`` job
 enforce this).
 
+The network tier (:mod:`repro.service.http`) puts the same request
+vocabulary behind a socket: ``python -m repro serve --http PORT`` serves
+a stdlib HTTP/JSON API (submit, status, chunked ndjson result streams,
+store/queue introspection) with bounded admission — full gets a typed
+:class:`ServiceBusy` / HTTP 429 with ``Retry-After``, never a hang — and
+per-request deadlines (the ``http`` differential check and the CI
+``http-smoke`` job enforce wire/serial bit-equality and free warm
+re-serves).
+
 Front-ends: ``python -m repro serve JOBS.json [--procs N]``, ``python -m
-repro work QUEUE_DIR`` (one worker process), ``python -m repro queue``
-(inspection/repair), ``python -m repro sweep --jobs JOBS.json``, and the
-synthetic load generator ``scripts/loadgen.py`` (``--chaos`` for the
-kill-schedule variant).
+repro serve --http PORT [--procs N]``, ``python -m repro work QUEUE_DIR``
+(one worker process), ``python -m repro queue`` (inspection/repair),
+``python -m repro sweep --jobs JOBS.json``, the synthetic load generator
+``scripts/loadgen.py`` (``--chaos`` for the kill-schedule variant,
+``--http`` for the over-the-wire variant), and the stdlib client
+``scripts/sweep_client.py``.
 """
 
+from .http import (
+    HTTP_API_VERSION,
+    QueueBackend,
+    ServiceBackend,
+    SweepFrontend,
+    SweepHTTPServer,
+    metrics_from_wire,
+    serve_in_thread,
+)
 from .jobs import (
+    ServiceBusy,
     ServiceError,
     SweepRequest,
     UnitJob,
@@ -34,11 +55,20 @@ from .jobs import (
     policy_resolver,
     requests_from_payload,
 )
+from .procs import WorkerSupervisor
 from .queue import JOB_STATES, JobQueue, Lease, job_digest
 from .service import SweepHandle, SweepService, overlapping_requests
-from .worker import QueueWorker, WorkerHooks, WorkerKilled
+from .worker import QueueWorker, WorkerHooks, WorkerKilled, WorkerTerminated
 
 __all__ = [
+    "HTTP_API_VERSION",
+    "QueueBackend",
+    "ServiceBackend",
+    "SweepFrontend",
+    "SweepHTTPServer",
+    "metrics_from_wire",
+    "serve_in_thread",
+    "ServiceBusy",
     "ServiceError",
     "SweepRequest",
     "UnitJob",
@@ -46,6 +76,7 @@ __all__ = [
     "load_jobs_file",
     "policy_resolver",
     "requests_from_payload",
+    "WorkerSupervisor",
     "JOB_STATES",
     "JobQueue",
     "Lease",
@@ -56,4 +87,5 @@ __all__ = [
     "QueueWorker",
     "WorkerHooks",
     "WorkerKilled",
+    "WorkerTerminated",
 ]

@@ -30,6 +30,21 @@ class ServiceError(ValueError):
     """Raised for malformed requests, jobs files, or unresolvable specs."""
 
 
+class ServiceBusy(ServiceError):
+    """Loud, typed backpressure: the service cannot admit this request now.
+
+    Raised when the admission queue is full or the service is closed —
+    the two cases where the correct client behaviour is "back off and
+    retry (or give up)", never "wait on a handle that will not resolve".
+    ``retry_after`` (seconds, optional) is the server's backoff hint; the
+    HTTP front-end forwards it as a ``Retry-After`` header on 429.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 def policy_resolver(
     bundle=None,
     graph=None,

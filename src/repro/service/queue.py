@@ -149,7 +149,17 @@ class JobQueue:
     Counters (this instance's view, not global): ``claims_granted``,
     ``jobs_completed``, ``jobs_failed``, ``leases_expired``,
     ``jobs_requeued``, ``jobs_dead``, ``leases_lost``,
-    ``corrupt_records``.
+    ``jobs_released``, ``corrupt_records``, ``clock_skew_events``.
+
+    **Clock discipline.**  Lease deadlines are wall-clock (they must be
+    comparable across processes), but every reading this instance takes
+    goes through :meth:`_now`, which clamps backwards steps to zero
+    elapsed time — a clock stepped back (NTP correction, manual reset)
+    can therefore never *extend* a lease or push a backoff further out.
+    Suspicious steps — any backwards movement, or a forward jump larger
+    than ``lease_duration`` (which would mass-expire healthy leases) —
+    increment ``clock_skew_events`` so supervisors can see that lease
+    arithmetic ran on a misbehaving clock.
     """
 
     def __init__(
@@ -180,7 +190,7 @@ class JobQueue:
         self.backoff_seed = backoff_seed
         self._clock = clock if clock is not None else time.time
         # One mutex for the counter block; enforced by `repro lint`.
-        self._state = threading.Lock()  # repro: guards[claims_granted, jobs_completed, jobs_failed, leases_expired, jobs_requeued, jobs_dead, leases_lost, corrupt_records]
+        self._state = threading.Lock()  # repro: guards[claims_granted, jobs_completed, jobs_failed, leases_expired, jobs_requeued, jobs_dead, leases_lost, jobs_released, corrupt_records, clock_skew_events, _last_reading]
         self.claims_granted = 0
         self.jobs_completed = 0
         self.jobs_failed = 0
@@ -188,8 +198,40 @@ class JobQueue:
         self.jobs_requeued = 0
         self.jobs_dead = 0
         self.leases_lost = 0
+        self.jobs_released = 0
         self.corrupt_records = 0
+        self.clock_skew_events = 0
+        self._last_reading: float | None = None
         self.stale_temps_cleaned = shards.clean_stale_temps(self.root)
+
+    # ----------------------------------------------------------------- clock
+
+    def _now(self) -> float:
+        """One wall-clock reading, monotonized against backwards steps.
+
+        ``time.time()`` can step in either direction.  A backwards step
+        would silently extend every outstanding lease (expiry compares
+        ``deadline > now``) and stretch every backoff, so elapsed time is
+        clamped to zero: this instance's readings never decrease.  Both
+        anomalies — any backwards step, and a forward jump larger than
+        ``lease_duration`` (the step size that mass-expires healthy
+        leases) — bump ``clock_skew_events``.  Deadlines already written
+        by other processes are untouched; the clamp only disciplines what
+        *this* instance computes from the clock.
+        """
+        raw = self._clock()
+        with self._state:
+            last = self._last_reading
+            if last is None:
+                self._last_reading = raw
+                return raw
+            if raw < last:
+                self.clock_skew_events += 1
+                return last  # clamp: no time passed, rather than negative
+            if raw - last > self.lease_duration:
+                self.clock_skew_events += 1
+            self._last_reading = raw
+            return raw
 
     # -------------------------------------------------------------- enqueue
 
@@ -239,7 +281,7 @@ class JobQueue:
         means *right now*: jobs backing off or leased elsewhere may
         become claimable later, so workers poll until :meth:`drained`.
         """
-        now = self._clock()
+        now = self._now()
         shard_list = shards.shard_dirs(self.root)
         if not shard_list:
             return None
@@ -335,7 +377,7 @@ class JobQueue:
         own.  Execution can safely continue to the idempotent commit, but
         the queue-level completion must go through the nonce check.
         """
-        deadline = self._clock() + self.lease_duration
+        deadline = self._now() + self.lease_duration
 
         def mutate(record: dict | None) -> dict | None:
             if not self._owns_lease(record, lease):
@@ -360,7 +402,7 @@ class JobQueue:
         another owner (or a retry) will observe the warm entry and
         complete the record — no effect is duplicated either way.
         """
-        now = self._clock()
+        now = self._now()
 
         def mutate(record: dict | None) -> dict | None:
             if not self._owns_lease(record, lease):
@@ -387,7 +429,7 @@ class JobQueue:
         Requeues with backoff while attempts remain, dead-letters
         otherwise.  The attempt was already counted at claim time.
         """
-        now = self._clock()
+        now = self._now()
 
         def mutate(record: dict | None) -> dict | None:
             if not self._owns_lease(record, lease):
@@ -419,6 +461,73 @@ class JobQueue:
                     self.jobs_requeued += 1
         return updated is not None
 
+    def release(self, lease: Lease) -> bool:
+        """Voluntarily return a leased job to pending (graceful shutdown).
+
+        Unlike :meth:`fail`, releasing refunds the attempt consumed at
+        claim time and applies no backoff — a worker told to shut down is
+        not a failing worker, and its job must be immediately claimable
+        by the survivors.  False when the lease was already lost (the
+        job migrated on its own; nothing to do).
+        """
+        now = self._now()
+
+        def mutate(record: dict | None) -> dict | None:
+            if not self._owns_lease(record, lease):
+                return None
+            record["state"] = "pending"
+            record["lease"] = None
+            record["attempts"] = max(0, record["attempts"] - 1)
+            record["not_before"] = now
+            self._log_transition(record, "pending", f"released by {lease.owner}", now)
+            return record
+
+        updated = shards.update_entry(
+            self.root, lease.job_id, _job_file_name(lease.job_id), mutate
+        )
+        with self._state:
+            if updated is None:
+                self.leases_lost += 1
+            else:
+                self.jobs_released += 1
+        return updated is not None
+
+    def release_owned(self, owner: str) -> int:
+        """Release every lease held by ``owner``; leases released.
+
+        The shutdown companion to :meth:`release` for the window
+        :obj:`QueueWorker` cannot see: a termination signal that lands
+        *inside* :meth:`claim` — after the grant is durable on disk but
+        before the lease object reaches the drain loop — leaves a held
+        lease the worker has no handle for.  Sweeping by owner closes
+        the gap; without it that job sits invisible until lease expiry
+        burns an attempt.  Nonce fencing still applies record by record,
+        so a lease that migrated to a new owner is never touched.
+        """
+        released = 0
+        for record in self.records():
+            held = record.get("lease")
+            if (
+                record.get("state") != "leased"
+                or not isinstance(held, dict)
+                or held.get("owner") != owner
+            ):
+                continue
+            lease = Lease(
+                job_id=record["job_id"],
+                policy_spec=record["policy_spec"],
+                scenario=scenario_from_dict(record["scenario"]),
+                scenario_fingerprint=record["scenario_fingerprint"],
+                engine_seed=record["engine_seed"],
+                owner=owner,
+                nonce=held["nonce"],
+                deadline=held["deadline"],
+                attempt=record["attempts"],
+            )
+            if self.release(lease):
+                released += 1
+        return released
+
     @staticmethod
     def _owns_lease(record: dict | None, lease: Lease) -> bool:
         if record is None or record.get("state") != "leased":
@@ -436,7 +545,7 @@ class JobQueue:
         """Return every dead-lettered job to pending with a fresh attempt
         budget (the ``audit --repair`` analogue for the queue); count requeued."""
         requeued = 0
-        now = self._clock()
+        now = self._now()
         for shard in shards.shard_dirs(self.root):
             with shards.shard_lock(shard):
                 for path in sorted(shard.glob("job-*.json")):
@@ -460,7 +569,7 @@ class JobQueue:
         want requeue latency bounded by their own schedule rather than by
         the next claim.  Returns how many leases were expired.
         """
-        now = self._clock()
+        now = self._now()
         expired = 0
         for shard in shards.shard_dirs(self.root):
             with shards.shard_lock(shard):
@@ -511,7 +620,9 @@ class JobQueue:
                 jobs_requeued=self.jobs_requeued,
                 jobs_dead=self.jobs_dead,
                 leases_lost=self.leases_lost,
+                jobs_released=self.jobs_released,
                 corrupt_records=self.corrupt_records,
+                clock_skew_events=self.clock_skew_events,
             )
         return merged
 

@@ -47,7 +47,7 @@ from ..runtime.runstore import RunKey, RunStore
 from ..runtime.store import TraceStore
 from ..runtime.trace import ScenarioTrace
 from ..sim.soc import SoC, xavier_nx_with_oakd
-from .jobs import ServiceError, SweepRequest, UnitJob, decompose, validate_specs
+from .jobs import ServiceBusy, ServiceError, SweepRequest, UnitJob, decompose, validate_specs
 from .jobs import policy_resolver as default_policy_resolver
 
 JobKey = tuple[str, str]  # (policy spec, scenario fingerprint)
@@ -62,30 +62,40 @@ class SweepHandle:
         self._jobs = jobs
         self._futures = futures
 
-    def results(self) -> Iterator[tuple[str, str, RunMetrics]]:
+    def results(self, timeout: float | None = None) -> Iterator[tuple[str, str, RunMetrics]]:
         """Stream ``(policy_spec, scenario_name, metrics)`` rows as jobs finish.
 
         Rows arrive in *completion* order — the streaming view for a
         client that renders progressively.  A duplicated (spec, scenario)
-        cell in the request yields once per occurrence.
+        cell in the request yields once per occurrence.  ``timeout`` is a
+        deadline on the *whole* stream (seconds): when it elapses before
+        every job finishes, :class:`TimeoutError` is raised — the
+        per-request deadline the HTTP front-end surfaces as an expired
+        request instead of a hung connection.
         """
         slots: dict[JobKey, list[UnitJob]] = {}
         for job in self._jobs:
             slots.setdefault(job.key, []).append(job)
         unique: dict[Future, JobKey] = {self._futures[key]: key for key in slots}
-        for future in as_completed(unique):
+        for future in as_completed(unique, timeout=timeout):
             metrics = future.result()
             for job in slots[unique[future]]:
                 yield job.policy_spec, job.scenario.name, metrics
 
-    def result(self) -> dict[str, list[RunMetrics]]:
+    def result(self, timeout: float | None = None) -> dict[str, list[RunMetrics]]:
         """Block until every job finishes; the full sweep-shaped mapping.
 
         Identical in shape *and content* to
         ``ExperimentRunner.sweep(policies, scenarios)`` over the same
         request: keyed by policy display name, scenario-major rows per
         policy, name-sharing policies concatenating in request order.
+        ``timeout`` bounds the whole wait, as in :meth:`results`.
         """
+        # Wait through as_completed so `timeout` spans the request, not
+        # one future; rows still assemble in request order below.
+        for _ in as_completed({self._futures[job.key] for job in self._jobs},
+                              timeout=timeout):
+            pass
         rows: dict[str, list[RunMetrics]] = {}
         for job in self._jobs:
             metrics = self._futures[job.key].result()
@@ -95,6 +105,15 @@ class SweepHandle:
     def done(self) -> bool:
         """True once every job backing this request has finished."""
         return all(self._futures[job.key].done() for job in self._jobs)
+
+    def completed_rows(self) -> int:
+        """Rows already available without blocking (duplicates counted)."""
+        return sum(1 for job in self._jobs if self._futures[job.key].done())
+
+    @property
+    def total_rows(self) -> int:
+        """Rows this request will yield in total (one per requested cell)."""
+        return len(self._jobs)
 
 
 class SweepService:
@@ -209,7 +228,10 @@ class SweepService:
 
         Unknown policy specs and scenario names fail *here* (a loud
         :class:`ServiceError`), never inside a worker — a malformed
-        request can't poison the shared job table.
+        request can't poison the shared job table.  Submitting after
+        :meth:`close` raises :class:`ServiceBusy` — the same typed
+        rejection the HTTP front-end uses for a full admission queue, so
+        every "cannot take this now" path looks identical to clients.
         """
         validate_specs(request.policies, self._resolver)
         jobs = decompose(request)
@@ -217,7 +239,7 @@ class SweepService:
         to_schedule: list[UnitJob] = []
         with self._state:
             if self._closed:
-                raise ServiceError("service is closed")
+                raise ServiceBusy("service is closed")
             for job in jobs:
                 if job.key in futures:
                     self.jobs_coalesced += 1  # duplicate cell within the request

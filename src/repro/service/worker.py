@@ -58,6 +58,22 @@ class WorkerKilled(BaseException):
     """
 
 
+class WorkerTerminated(BaseException):
+    """Graceful shutdown request (SIGTERM/SIGINT) raised out of the loop.
+
+    A ``BaseException`` so the drain loop's job-failure handling cannot
+    mistake it for a job error: the job did not fail, the *worker* was
+    told to stop.  :func:`run` catches it, releases the current lease
+    back to pending (no attempt burned, no backoff), and exits with the
+    conventional ``128 + signum`` code.  Contrast :class:`WorkerKilled`,
+    which deliberately skips all of that.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"terminated by signal {signum}")
+        self.signum = signum
+
+
 class WorkerHooks:
     """Fault-injection points; the default implementation does nothing.
 
@@ -106,6 +122,7 @@ class QueueWorker:
         worker_id: str | None = None,
         hooks: WorkerHooks | None = None,
         max_jobs: int | None = None,
+        exit_when_drained: bool = True,
     ) -> None:
         if run_store is None:
             raise ServiceError(
@@ -130,11 +147,14 @@ class QueueWorker:
         self.worker_id = worker_id if worker_id is not None else f"worker-{os.getpid()}"
         self.hooks = hooks if hooks is not None else WorkerHooks()
         self.max_jobs = max_jobs
+        self.exit_when_drained = exit_when_drained
         self._soc_fp: str | None = None
         # Counters are read by the harness after the drain loop exits (or
         # the worker dies); the lock keeps the heartbeat thread's updates
         # coherent with the main loop's.
-        self._state = threading.Lock()  # repro: guards[jobs_processed, warm_completes, runs_executed, trace_builds, trace_store_hits, heartbeats_sent, leases_lost]
+        self._state = threading.Lock()  # repro: guards[jobs_processed, warm_completes, runs_executed, trace_builds, trace_store_hits, heartbeats_sent, leases_lost, _current_lease]
+        self._current_lease: Lease | None = None
+        self._stop = threading.Event()
         self.jobs_processed = 0
         self.warm_completes = 0
         self.runs_executed = 0
@@ -151,21 +171,64 @@ class QueueWorker:
         ``None`` claims are polled through: a job may be backing off or
         leased by a worker that is about to die, so "nothing claimable
         now" is not "nothing left".  Exits when the queue reports drained
-        (no pending, no leased) or after ``max_jobs`` completions.
+        (no pending, no leased) or after ``max_jobs`` completions — or
+        keeps idling through an empty queue when ``exit_when_drained`` is
+        False (long-lived fleets behind the HTTP front-end, where new
+        jobs arrive at any time), until :meth:`stop` is called.
         """
         processed = 0
         while self.max_jobs is None or processed < self.max_jobs:
+            if self._stop.is_set():
+                break
             lease = self.queue.claim(self.worker_id)
             if lease is None:
-                if self.queue.drained():
+                if self.exit_when_drained and self.queue.drained():
                     break
-                time.sleep(self.poll_interval)
+                if self._stop.wait(self.poll_interval):
+                    break
                 continue
+            with self._state:
+                self._current_lease = lease
             self._process(lease)
+            # Cleared only on the normal return path: a WorkerKilled or
+            # WorkerTerminated raising through _process leaves the lease
+            # visible so run()'s shutdown path can release it.
+            with self._state:
+                self._current_lease = None
             processed += 1
             with self._state:
                 self.jobs_processed += 1
         return processed
+
+    def stop(self) -> None:
+        """Ask the drain loop to exit after the in-flight job (if any)."""
+        self._stop.set()
+
+    def release_current(self) -> bool:
+        """Release the lease held right now, if any; True when one was freed.
+
+        The graceful-shutdown half of :class:`WorkerTerminated`: a worker
+        interrupted mid-job hands its claim straight back to the queue so
+        the job is immediately claimable — no waiting out the lease
+        deadline, no attempt burned.
+        """
+        with self._state:
+            lease = self._current_lease
+            self._current_lease = None
+        if lease is None:
+            return False
+        return self.queue.release(lease)
+
+    def release_owned(self) -> int:
+        """Sweep-release every on-disk lease still owned by this worker.
+
+        Covers the one window :meth:`release_current` cannot: a signal
+        that lands inside ``queue.claim()`` after the grant is durable
+        but before the drain loop receives the lease object.  Called on
+        the :class:`WorkerTerminated` exit path after
+        :meth:`release_current`; a clean shutdown releases nothing here.
+        """
+        return self.queue.release_owned(self.worker_id)
 
     def _process(self, lease: Lease) -> None:
         self.hooks.claimed(self, lease)
@@ -288,6 +351,9 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                         help="sleep between empty claims (seconds)")
     parser.add_argument("--max-jobs", type=int, default=None,
                         help="exit after this many jobs even if the queue is not drained")
+    parser.add_argument("--idle", action="store_true",
+                        help="keep polling an empty queue instead of exiting on drain "
+                             "(long-lived fleets behind 'repro serve --http')")
     parser.add_argument("--shift-bundle", default=None, metavar="FILE",
                         help="characterization bundle JSON enabling the 'shift' policy spec")
     parser.add_argument("--objective", default="paper",
@@ -307,7 +373,20 @@ def run(args: argparse.Namespace) -> int:
     the confidence graph from its observations — the same construction
     the experiment context uses, so shift run keys match the
     supervisor's.
+
+    SIGTERM and SIGINT are graceful: the handler raises
+    :class:`WorkerTerminated` out of whatever the loop is doing, the
+    current lease (if any) is *released* — back to pending, immediately
+    claimable, attempt refunded — and the process exits ``128 + signum``.
+    A supervisor that terminates its fleet therefore leaves zero held
+    leases behind; only a hard SIGKILL falls back to lease expiry.
     """
+    import signal as _signal
+
+    def _terminate(signum: int, _frame: object) -> None:
+        raise WorkerTerminated(signum)
+
+
     queue = JobQueue(
         args.queue_dir,
         lease_duration=args.lease,
@@ -341,12 +420,27 @@ def run(args: argparse.Namespace) -> int:
         max_jobs=args.max_jobs,
         hooks=hooks,
         policy_resolver=resolver,
+        exit_when_drained=not getattr(args, "idle", False),
     )
     try:
+        previous = [
+            (_signal.SIGTERM, _signal.signal(_signal.SIGTERM, _terminate)),
+            (_signal.SIGINT, _signal.signal(_signal.SIGINT, _terminate)),
+        ]
+    except ValueError:
+        previous = []  # not the main thread (in-process tests): no handlers
+    try:
         worker.drain()
+    except WorkerTerminated as exc:
+        worker.release_current()
+        worker.release_owned()  # claim-window stragglers (signal inside claim())
+        return 128 + exc.signum
     except ServiceError as exc:
         print(exc.args[0])
         return 2
+    finally:
+        for signum, handler in previous:
+            _signal.signal(signum, handler)
     return 0
 
 

@@ -45,6 +45,14 @@ cross-engine correctness witness:
     fleet of queue workers must lose no job, duplicate no committed
     effect, quarantine every corrupt entry, and leave a run store
     bit-identical to serial execution (:mod:`repro.verify.faults`).
+``http``
+    the network tier vs the serial run loop — a sweep submitted to a
+    live :class:`~repro.service.SweepHTTPServer` over real localhost
+    sockets must stream wire rows field-for-field identical to serial
+    runs, reject a submit beyond the admission bound with a prompt
+    429 + ``Retry-After`` (never a hang), and warm re-serve the same
+    rows across a full server restart with zero runs and zero trace
+    builds.
 
 Each check returns a :class:`CheckResult`; :func:`verify_scenario` runs a
 selection of them against one scenario, sharing the trace build.  The fuzz
@@ -76,7 +84,7 @@ from ..runtime.store import TraceStore
 from ..runtime.trace import ScenarioTrace
 
 # All check names, in the order verify_scenario runs them.
-CHECKS = ("render", "detect", "store", "trace", "run", "fastrun", "service", "faults")
+CHECKS = ("render", "detect", "store", "trace", "run", "fastrun", "service", "faults", "http")
 
 # Tolerance for NCC leaving [-1, 1] through floating-point rounding.
 _NCC_SLACK = 1e-9
@@ -530,6 +538,185 @@ def check_fault_tolerance(
     return _ok("faults")
 
 
+def check_http_equivalence(
+    trace: ScenarioTrace,
+    zoo: ModelZoo,
+    engine_seed: int = 1234,
+    workers: int = 2,
+) -> CheckResult:
+    """The network tier must equal serial runs field-for-field over real sockets.
+
+    Submits this scenario's spec pool to a live
+    :class:`~repro.service.SweepHTTPServer` on an ephemeral localhost
+    port (stores pre-seeded with the shared trace, like the ``service``
+    check), streams the ndjson rows back through ``urllib``, and
+    demands: every wire ``metrics`` dict equals
+    :func:`~repro.runtime.export.metrics_to_dict` of the serial run
+    exactly; a submit past the admission bound fails promptly with
+    429 + ``Retry-After`` (bounded by a socket timeout — a hang is a
+    failure, not a wait); and a second server over the same stores —
+    a full restart — re-serves identical rows with zero runs executed
+    and zero traces built.
+    """
+    import json
+    import urllib.error
+    import urllib.request
+
+    from ..data.scenario import register_scenario, scenario_by_name
+    from ..runtime.export import metrics_to_dict
+    from ..runtime.metrics import aggregate
+    from ..service import (
+        ServiceBackend,
+        SweepFrontend,
+        SweepService,
+        policy_resolver,
+        serve_in_thread,
+    )
+
+    specs = _service_specs(trace.model_names())
+    if not specs:
+        return _fail("http", "trace covers no models a service policy could run")
+    name = trace.scenario.name
+    # The wire carries scenario *names*; make this one resolvable in the
+    # (in-process) server.  Re-registering an identical scenario is a
+    # no-op; a name collision with different content is a real finding.
+    try:
+        existing = scenario_by_name(name)
+        if existing.fingerprint() != trace.scenario.fingerprint():
+            return _fail(
+                "http",
+                f"scenario name {name!r} already resolves to different content",
+            )
+    except KeyError:
+        register_scenario(trace.scenario)
+    resolve = policy_resolver()
+    serial = {
+        spec: metrics_to_dict(aggregate(
+            run_policy(resolve(spec), trace, engine_seed=engine_seed, fast=True)
+        ))
+        for spec in specs
+    }
+    payload = json.dumps({"requests": [
+        {"policies": list(specs), "scenarios": [name], "id": "wire-0"},
+        {"policies": list(specs[:1]), "scenarios": [name], "id": "wire-1"},
+    ]}).encode("utf-8")
+
+    def serve_round(tmp: Path) -> tuple[list[list[dict]], dict, str | None]:
+        """One server lifetime: submit, probe admission, stream, stat."""
+        frontend = SweepFrontend(
+            ServiceBackend(SweepService(
+                zoo=zoo,
+                trace_store=TraceStore(tmp / "traces"),
+                run_store=tmp / "runs",
+                workers=workers,
+                engine_seed=engine_seed,
+            )),
+            max_pending=2,
+            default_deadline_s=120.0,
+        )
+        server = serve_in_thread(frontend)
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            with urllib.request.urlopen(
+                urllib.request.Request(f"{base}/v1/sweeps", data=payload), timeout=60
+            ) as resp:
+                ids = json.load(resp)["request_ids"]
+            # Both requests hold the 2-slot admission table: the next
+            # submit must be a prompt, typed rejection.
+            try:
+                urllib.request.urlopen(
+                    urllib.request.Request(f"{base}/v1/sweeps", data=payload),
+                    timeout=30,
+                )
+                return [], {}, "full admission table accepted a submit"
+            except urllib.error.HTTPError as exc:
+                if exc.code != 429:
+                    return [], {}, f"expected 429 from a full server, got {exc.code}"
+                if exc.headers.get("Retry-After") is None:
+                    return [], {}, "429 rejection carried no Retry-After header"
+            rows_per_request = []
+            for request_id in ids:
+                rows = []
+                with urllib.request.urlopen(
+                    f"{base}/v1/sweeps/{request_id}/results", timeout=120
+                ) as resp:
+                    for line in resp:
+                        if line.strip():
+                            record = json.loads(line)
+                            if record.get("done"):
+                                if record.get("error"):
+                                    return [], {}, (
+                                        f"{request_id} stream failed: {record['error']}"
+                                    )
+                            else:
+                                rows.append(record)
+                # Rows stream in completion order (nondeterministic under
+                # concurrency); compare them as ordered sets of cells.
+                rows.sort(key=lambda r: (r["policy_spec"], r["scenario"]))
+                rows_per_request.append(rows)
+            with urllib.request.urlopen(f"{base}/v1/stores/stats", timeout=60) as resp:
+                stats = json.load(resp)
+            return rows_per_request, stats, None
+        finally:
+            server.shutdown()
+            server.server_close()
+            frontend.close()
+
+    with tempfile.TemporaryDirectory(prefix="repro-http-") as tmp_name:
+        tmp = Path(tmp_name)
+        store = TraceStore(tmp / "traces")
+        store.save(trace, zoo)
+        cold_rows, cold_stats, problem = serve_round(tmp)
+        if problem:
+            return _fail("http", f"cold serve: {problem}")
+        warm_rows, warm_stats, problem = serve_round(tmp)
+        if problem:
+            return _fail("http", f"warm restart: {problem}")
+
+    expected_counts = (len(specs), 1)
+    for index, (rows, expect) in enumerate(zip(cold_rows, expected_counts)):
+        if len(rows) != expect:
+            return _fail(
+                "http", f"request wire-{index}: {len(rows)} rows for {expect} cells"
+            )
+        for row in rows:
+            if row["scenario"] != name:
+                return _fail(
+                    "http",
+                    f"request wire-{index}: row for {row['scenario']!r} "
+                    f"instead of {name!r}",
+                )
+            if row["metrics"] != serial[row["policy_spec"]]:
+                differing = sorted(
+                    key for key in set(row["metrics"]) | set(serial[row["policy_spec"]])
+                    if row["metrics"].get(key) != serial[row["policy_spec"]].get(key)
+                )
+                return _fail(
+                    "http",
+                    f"policy {row['policy_spec']!r}: wire metrics diverge from the "
+                    f"serial run on {', '.join(differing)}",
+                )
+    backend = cold_stats["backend"]
+    if backend["runs_executed"] > len(specs):
+        return _fail(
+            "http",
+            f"{backend['runs_executed']} runs executed for {len(specs)} "
+            "deduplicated jobs (duplicate execution)",
+        )
+    if cold_stats["corrupt_entries"]:
+        return _fail("http", f"{cold_stats['corrupt_entries']} corrupt store entries")
+    warm_backend = warm_stats["backend"]
+    if warm_backend["runs_executed"] or warm_backend["trace_builds"]:
+        return _fail(
+            "http",
+            f"warm restart re-serve cost {warm_backend['runs_executed']} runs / "
+            f"{warm_backend['trace_builds']} trace builds (expected 0 / 0)",
+        )
+    if warm_rows != cold_rows:
+        return _fail("http", "warm restart wire rows diverged from the cold serve")
+    return _ok("http")
+
+
 def verify_scenario(
     scenario: Scenario,
     zoo: ModelZoo | None = None,
@@ -575,4 +762,6 @@ def verify_scenario(
             report.results.append(check_service_equivalence(trace, zoo))
         elif check == "faults":
             report.results.append(check_fault_tolerance(trace, zoo))
+        elif check == "http":
+            report.results.append(check_http_equivalence(trace, zoo))
     return report

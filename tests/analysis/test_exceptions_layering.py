@@ -119,3 +119,31 @@ class TestLayeringCycle:
         tree.write("runtime/store.py", "from . import helpers\n\ndef load():\n    return helpers\n")
         tree.write("runtime/helpers.py", "def nothing():\n    return None\n")
         assert "layering/cycle" not in tree.rules_fired()
+
+
+class TestRankFor:
+    """Longest-dotted-prefix layer lookup (sub-module pins)."""
+
+    def test_submodule_pin_and_package_fallback(self):
+        from repro.analysis.layering import LAYER_RANKS, rank_for
+
+        assert rank_for("service.http") == LAYER_RANKS["service.http"]
+        assert rank_for("service.queue") == LAYER_RANKS["service"]
+        assert rank_for("runtime.runstore") == LAYER_RANKS["runtime"]
+        # Root modules and unranked names both land on the top rank, so
+        # importing an unmapped module from inside the tower fails loud.
+        assert rank_for("cli") == LAYER_RANKS[""]
+        assert rank_for("") == LAYER_RANKS[""]
+        assert rank_for("brand_new_pkg.sub") == LAYER_RANKS[""]
+
+    def test_http_front_end_ranks_with_the_service_it_fronts(self, tree):
+        # service/http importing the runtime tier is a *downward* edge.
+        tree.write("service/http.py", """
+            from ..runtime.runstore import RunStore
+        """)
+        assert "layering/order" not in tree.rules_fired()
+        # ...and nothing below the service tier may import the front-end.
+        tree.write("runtime/runner.py", """
+            from ..service.http import SweepFrontend
+        """)
+        assert "layering/order" in tree.rules_fired()

@@ -1,0 +1,492 @@
+"""Network-tier tests: the HTTP/JSON front-end over service and queue.
+
+Three layers, cheapest first: :class:`SweepFrontend` admission/deadline
+semantics exercised directly (no sockets, injectable clock);
+end-to-end socket tests against a live :class:`SweepHTTPServer` on an
+ephemeral port (concurrent clients, dedup, serial bit-equality, warm
+re-serve across a server restart, the full error-code table); and the
+queue-backed deployment (``serve --http --procs`` shape) with a real
+:class:`QueueWorker` draining the on-disk queue behind the socket.
+"""
+
+import http.client
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.data import ScenarioMatrix
+from repro.data.scenario import register_scenario, scenario_by_name
+from repro.models import default_zoo
+from repro.runtime import ExperimentRunner, RunStore, TraceCache, TraceStore
+from repro.runtime.export import metrics_to_dict
+from repro.runtime.metrics import aggregate
+from repro.service import (
+    JobQueue,
+    QueueBackend,
+    QueueWorker,
+    ServiceBackend,
+    ServiceBusy,
+    ServiceError,
+    SweepFrontend,
+    SweepService,
+    metrics_from_wire,
+    policy_resolver,
+    serve_in_thread,
+)
+from repro.service.http import MAX_BODY_BYTES
+
+HTTP_MATRIX = ScenarioMatrix(
+    name="net",
+    compositions=(("loiter",), ("crossing",)),
+    regimes=("day",),
+    seeds=(9,),
+    frame_budgets=(16,),
+)
+
+POLICIES = ("single:yolov7-tiny@gpu", "marlin-tiny")
+ENGINE_SEED = 1234
+
+
+class FakeClock:
+    """A manually advanced clock for deadline/admission tests."""
+
+    def __init__(self, start: float = 5000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    flights = HTTP_MATRIX.scenarios()
+    # The wire carries scenario *names*; generated flights must be
+    # resolvable inside the server's registry.
+    for scenario in flights:
+        try:
+            scenario_by_name(scenario.name)
+        except KeyError:
+            register_scenario(scenario)
+    return flights
+
+
+@pytest.fixture(scope="module")
+def serial_rows(scenarios):
+    """Ground truth: serial runs of every (policy, scenario) wire cell."""
+    resolve = policy_resolver()
+    runner = ExperimentRunner(cache=TraceCache(default_zoo()))
+    return {
+        (spec, scenario.name): metrics_to_dict(
+            aggregate(runner.run(resolve(spec), scenario))
+        )
+        for spec in POLICIES
+        for scenario in scenarios
+    }
+
+
+def make_service(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    return SweepService(
+        trace_store=TraceStore(tmp_path / "traces"),
+        run_store=RunStore(tmp_path / "runs"),
+        **kwargs,
+    )
+
+
+def post(base, payload, timeout=60.0):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(f"{base}/v1/sweeps", data=body)
+    with urllib.request.urlopen(request, timeout=timeout) as resp:
+        return resp.status, json.load(resp)
+
+
+def stream(base, request_id, timeout=120.0):
+    rows, summary = [], None
+    with urllib.request.urlopen(
+        f"{base}/v1/sweeps/{request_id}/results", timeout=timeout
+    ) as resp:
+        for line in resp:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            if record.get("done"):
+                summary = record
+            else:
+                rows.append(record)
+    rows.sort(key=lambda r: (r["policy_spec"], r["scenario"]))
+    return rows, summary
+
+
+def get_json(base, path, timeout=60.0):
+    with urllib.request.urlopen(f"{base}{path}", timeout=timeout) as resp:
+        return json.load(resp)
+
+
+class TestFrontendAdmission:
+    """SweepFrontend semantics straight against the object — no sockets."""
+
+    def test_admission_bound_rejects_atomically(self, tmp_path, scenarios):
+        clock = FakeClock()
+        with SweepFrontend(
+            ServiceBackend(make_service(tmp_path)),
+            max_pending=2, default_deadline_s=60.0, clock=clock,
+        ) as frontend:
+            frontend.submit_payload([
+                {"policies": [POLICIES[0]], "scenarios": [scenarios[0].name]},
+            ])
+            # One slot left; a two-request payload must be all-or-nothing.
+            two = [
+                {"policies": [POLICIES[0]], "scenarios": [scenarios[0].name]},
+                {"policies": [POLICIES[1]], "scenarios": [scenarios[0].name]},
+            ]
+            with pytest.raises(ServiceBusy) as excinfo:
+                frontend.submit_payload(two)
+            assert excinfo.value.retry_after is not None
+            assert frontend.requests_submitted == 1
+            assert frontend.requests_rejected == 2
+            # The partial payload admitted nothing, so one slot is open.
+            frontend.submit_payload([
+                {"policies": [POLICIES[1]], "scenarios": [scenarios[0].name]},
+            ])
+
+    def test_expired_requests_stop_counting_against_admission(
+        self, tmp_path, scenarios
+    ):
+        clock = FakeClock()
+        with SweepFrontend(
+            ServiceBackend(make_service(tmp_path)),
+            max_pending=1, default_deadline_s=30.0, clock=clock,
+        ) as frontend:
+            payload = [{"policies": [POLICIES[0]], "scenarios": [scenarios[0].name]}]
+            frontend.submit_payload(payload)
+            with pytest.raises(ServiceBusy):
+                frontend.submit_payload(payload)
+            # The abandoned request's deadline passes: the slot frees
+            # itself without an operator or a results fetch.
+            clock.advance(31.0)
+            frontend.submit_payload(payload)
+
+    def test_submit_after_close_is_loud_and_typed(self, tmp_path, scenarios):
+        frontend = SweepFrontend(ServiceBackend(make_service(tmp_path)))
+        frontend.close()
+        with pytest.raises(ServiceBusy, match="shutting down") as excinfo:
+            frontend.submit_payload(
+                [{"policies": [POLICIES[0]], "scenarios": [scenarios[0].name]}]
+            )
+        assert excinfo.value.retry_after is None  # 503, not 429
+
+    def test_closed_backend_service_raises_service_busy(self, tmp_path, scenarios):
+        # The PR-7 close-race contract extended to the HTTP tier: a
+        # service closed underneath the frontend still fails the submit
+        # with the same typed error, never a hanging handle.
+        service = make_service(tmp_path)
+        frontend = SweepFrontend(ServiceBackend(service))
+        service.close()
+        with pytest.raises(ServiceBusy, match="closed"):
+            frontend.submit_payload(
+                [{"policies": [POLICIES[0]], "scenarios": [scenarios[0].name]}]
+            )
+
+    def test_malformed_payloads_raise_service_error(self, tmp_path):
+        with SweepFrontend(ServiceBackend(make_service(tmp_path))) as frontend:
+            for payload in ([], {"requests": "nope"}, {"deadline_s": -1}, 42):
+                with pytest.raises(ServiceError):
+                    frontend.submit_payload(payload)
+
+    def test_deadline_override_is_capped(self, tmp_path, scenarios):
+        with SweepFrontend(
+            ServiceBackend(make_service(tmp_path)),
+            default_deadline_s=30.0, max_deadline_s=60.0,
+        ) as frontend:
+            [entry] = frontend.submit_payload({
+                "deadline_s": 10_000,
+                "requests": [
+                    {"policies": [POLICIES[0]], "scenarios": [scenarios[0].name]},
+                ],
+            })
+            assert entry.deadline_s == 60.0
+
+    def test_stream_past_deadline_ends_with_error_line(self, tmp_path, scenarios):
+        clock = FakeClock()
+        with SweepFrontend(
+            ServiceBackend(make_service(tmp_path, workers=1)),
+            default_deadline_s=5.0, clock=clock,
+        ) as frontend:
+            [entry] = frontend.submit_payload(
+                [{"policies": [POLICIES[0]], "scenarios": [scenarios[0].name]}]
+            )
+
+            class _StalledHandle:
+                """A backend handle that never resolves (wedged executor)."""
+
+                total_rows = 1
+
+                def results(self, timeout=None):
+                    raise TimeoutError("still pending")
+                    yield  # pragma: no cover - makes this a generator
+
+                def done(self):
+                    return False
+
+                def completed_rows(self):
+                    return 0
+
+            entry.handle = _StalledHandle()
+            clock.advance(6.0)
+            lines = list(frontend.stream_results(entry))
+            assert lines[-1]["done"] is True
+            assert "deadline exceeded" in lines[-1]["error"]
+            assert entry.state(clock()) == "failed"
+
+
+class TestWire:
+    """End-to-end over real localhost sockets."""
+
+    def test_concurrent_clients_dedup_bit_equality_and_warm_restart(
+        self, tmp_path, scenarios, serial_rows
+    ):
+        payloads = [
+            [{
+                "policies": list(POLICIES[: 1 + (i % 2)]),
+                "scenarios": [scenarios[i % len(scenarios)].name],
+                "id": f"client-{i}",
+            }]
+            for i in range(4)
+        ]
+
+        def serve_round():
+            frontend = SweepFrontend(ServiceBackend(make_service(tmp_path)))
+            server = serve_in_thread(frontend)
+            base = f"http://127.0.0.1:{server.port}"
+            try:
+                def drive(payload):
+                    status, resp = post(base, payload)
+                    assert status == 202
+                    [request_id] = resp["request_ids"]
+                    rows, summary = stream(base, request_id)
+                    assert summary["state"] == "done" and summary["error"] is None
+                    return rows
+
+                with ThreadPoolExecutor(max_workers=4) as clients:
+                    all_rows = list(clients.map(drive, payloads))
+                stats = get_json(base, "/v1/stores/stats")
+            finally:
+                server.shutdown()
+                server.server_close()
+                frontend.close()
+            return all_rows, stats
+
+        cold_rows, cold_stats = serve_round()
+        for payload, rows in zip(payloads, cold_rows):
+            assert len(rows) == len(payload[0]["policies"])
+            for row in rows:
+                # Field-for-field equality with the serial path, via the
+                # wire dict AND the reconstructed RunMetrics object.
+                serial = serial_rows[(row["policy_spec"], row["scenario"])]
+                assert row["metrics"] == serial
+                assert metrics_to_dict(metrics_from_wire(row["metrics"])) == serial
+        backend = cold_stats["backend"]
+        # At-most-once: every scheduled job was a run or a store hit.
+        assert backend["runs_executed"] + backend["run_store_hits"] \
+            == backend["jobs_scheduled"]
+        unique_cells = {
+            (spec, payload[0]["scenarios"][0])
+            for payload in payloads for spec in payload[0]["policies"]
+        }
+        assert backend["runs_executed"] <= len(unique_cells)
+        assert cold_stats["corrupt_entries"] == 0
+
+        # Warm re-serve across a full server restart: same stores, fresh
+        # everything else — free, and bit-identical on the wire.
+        warm_rows, warm_stats = serve_round()
+        assert warm_rows == cold_rows
+        assert warm_stats["backend"]["runs_executed"] == 0
+        assert warm_stats["backend"]["trace_builds"] == 0
+
+    def test_backpressure_over_the_wire(self, tmp_path, scenarios):
+        frontend = SweepFrontend(
+            ServiceBackend(make_service(tmp_path)), max_pending=1,
+        )
+        server = serve_in_thread(frontend)
+        base = f"http://127.0.0.1:{server.port}"
+        payload = [{"policies": [POLICIES[0]], "scenarios": [scenarios[0].name]}]
+        try:
+            status, resp = post(base, payload)
+            assert status == 202
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(base, payload, timeout=30)
+            assert excinfo.value.code == 429
+            assert excinfo.value.headers.get("Retry-After") is not None
+            assert "admission queue full" in json.load(excinfo.value)["error"]
+            # Streaming the open request retires it and frees the slot.
+            stream(base, resp["request_ids"][0])
+            status, _ = post(base, payload)
+            assert status == 202
+        finally:
+            server.shutdown()
+            server.server_close()
+            frontend.close()
+
+    def test_closed_frontend_returns_503_not_a_hang(self, tmp_path, scenarios):
+        frontend = SweepFrontend(ServiceBackend(make_service(tmp_path)))
+        server = serve_in_thread(frontend)
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            frontend.close()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(base, [{"policies": [POLICIES[0]],
+                             "scenarios": [scenarios[0].name]}], timeout=30)
+            assert excinfo.value.code == 503
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_error_code_table(self, tmp_path, scenarios):
+        frontend = SweepFrontend(ServiceBackend(make_service(tmp_path)))
+        server = serve_in_thread(frontend)
+        base = f"http://127.0.0.1:{server.port}"
+
+        def expect(code, method, path, body=None):
+            request = urllib.request.Request(f"{base}{path}", data=body, method=method)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == code, path
+            payload = json.load(excinfo.value)
+            assert payload["api_version"] == 1 and payload["error"]
+
+        try:
+            expect(404, "GET", "/v1/sweeps/req-999999")
+            expect(404, "GET", "/v1/sweeps/req-999999/results")
+            expect(404, "GET", "/no/such/route")
+            expect(404, "POST", "/healthz", body=b"{}")
+            expect(400, "POST", "/v1/sweeps", body=b"not json")
+            expect(400, "POST", "/v1/sweeps", body=b"[]")
+            expect(400, "POST", "/v1/sweeps", body=json.dumps(
+                [{"policies": ["no-such-policy"],
+                  "scenarios": [scenarios[0].name]}]).encode())
+            expect(400, "POST", "/v1/sweeps", body=json.dumps(
+                [{"policies": [POLICIES[0]],
+                  "scenarios": ["no-such-scenario"]}]).encode())
+            # Oversized body: rejected from the Content-Length alone.
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+            try:
+                conn.putrequest("POST", "/v1/sweeps")
+                conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+                conn.endheaders()
+                assert conn.getresponse().status == 413
+            finally:
+                conn.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+            frontend.close()
+
+    def test_status_and_stats_endpoints(self, tmp_path, scenarios):
+        frontend = SweepFrontend(ServiceBackend(make_service(tmp_path)))
+        server = serve_in_thread(frontend)
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            assert get_json(base, "/healthz")["status"] == "ok"
+            # No queue configured in the in-process deployment.
+            assert get_json(base, "/v1/queue")["configured"] is False
+            status, resp = post(base, [{
+                "policies": list(POLICIES),
+                "scenarios": [scenarios[0].name],
+                "id": "mine",
+            }])
+            [request_id] = resp["request_ids"]
+            assert resp["requests"][0]["client_id"] == "mine"
+            rows, _ = stream(base, request_id)
+            status = get_json(base, f"/v1/sweeps/{request_id}")
+            assert status["state"] == "done"
+            assert status["rows_done"] == status["rows_total"] == len(rows) == 2
+            assert status["client_id"] == "mine"
+            stats = get_json(base, "/v1/stores/stats")
+            assert stats["frontend"]["rows_streamed"] == 2
+            assert stats["run_entries"] == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+            frontend.close()
+
+
+class TestQueueBackend:
+    """The ``serve --http --procs`` shape: queue + worker behind the socket."""
+
+    def _drain_in_thread(self, queue, tmp_path, **kwargs):
+        worker = QueueWorker(
+            queue,
+            run_store=tmp_path / "runs",
+            trace_store=tmp_path / "traces",
+            worker_id="http-w1",
+            poll_interval=0.02,
+            **kwargs,
+        )
+        thread = threading.Thread(target=worker.drain, daemon=True)
+        thread.start()
+        return worker, thread
+
+    def test_rows_assembled_from_worker_fleet_match_serial(
+        self, tmp_path, scenarios, serial_rows
+    ):
+        queue = JobQueue(tmp_path / "q", lease_duration=30.0)
+        backend = QueueBackend(queue, tmp_path / "runs", poll_interval=0.02)
+        frontend = SweepFrontend(backend, default_deadline_s=120.0)
+        server = serve_in_thread(frontend)
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            status, resp = post(base, [{
+                "policies": list(POLICIES),
+                "scenarios": [s.name for s in scenarios],
+            }])
+            assert status == 202
+            _, thread = self._drain_in_thread(queue, tmp_path)
+            rows, summary = stream(base, resp["request_ids"][0])
+            thread.join(timeout=60)
+            assert summary["state"] == "done" and summary["error"] is None
+            assert len(rows) == len(POLICIES) * len(scenarios)
+            for row in rows:
+                assert row["metrics"] == serial_rows[
+                    (row["policy_spec"], row["scenario"])
+                ]
+            view = get_json(base, "/v1/queue")
+            assert view["configured"] is True
+            assert view["counts"]["done"] == len(rows)
+            assert view["dead"] == []
+        finally:
+            server.shutdown()
+            server.server_close()
+            frontend.close()
+
+    def test_dead_lettered_job_surfaces_as_stream_error(self, tmp_path, scenarios):
+        queue = JobQueue(tmp_path / "q", lease_duration=30.0, max_attempts=1,
+                         backoff_base=0.0, backoff_cap=0.0)
+        backend = QueueBackend(queue, tmp_path / "runs", poll_interval=0.02)
+        frontend = SweepFrontend(backend, default_deadline_s=60.0)
+        server = serve_in_thread(frontend)
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            _, resp = post(base, [{
+                "policies": ["single:no-such-model"],
+                "scenarios": [scenarios[0].name],
+            }])
+            _, thread = self._drain_in_thread(queue, tmp_path)
+            rows, summary = stream(base, resp["request_ids"][0])
+            thread.join(timeout=60)
+            assert rows == []
+            assert summary["state"] == "failed"
+            assert "dead-lettered" in summary["error"]
+            view = get_json(base, "/v1/queue")
+            assert len(view["dead"]) == 1
+            assert view["dead"][0]["policy_spec"] == "single:no-such-model"
+        finally:
+            server.shutdown()
+            server.server_close()
+            frontend.close()

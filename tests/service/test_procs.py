@@ -1,0 +1,170 @@
+"""WorkerSupervisor tests: respawn budgets and orphan-proof teardown.
+
+The reap contract is the regression under test: the old inline loop in
+``serve --procs`` waited on workers one at a time, so the first process
+that ignored SIGTERM raised ``TimeoutExpired`` out of the ``finally``
+block and every worker behind it was orphaned with a live lease.  The
+supervisor's two-pass reap (terminate all, one shared deadline, SIGKILL
+the stragglers) must make that impossible.
+"""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import WorkerSupervisor
+
+
+def spawn_sleeper() -> subprocess.Popen:
+    return subprocess.Popen([sys.executable, "-c", "import time; time.sleep(60)"])
+
+
+def spawn_stubborn() -> subprocess.Popen:
+    """A worker that ignores SIGTERM — the orphan-maker."""
+    return subprocess.Popen(
+        [sys.executable, "-c",
+         "import signal, time; signal.signal(signal.SIGTERM, signal.SIG_IGN); "
+         "print('armed', flush=True); time.sleep(60)"],
+        stdout=subprocess.PIPE,
+    )
+
+
+class TestSupervisor:
+    def test_reap_terminates_the_whole_fleet(self):
+        supervisor = WorkerSupervisor(spawn_sleeper, 3)
+        supervisor.start()
+        assert supervisor.alive == 3
+        assert supervisor.spawned == 3
+        assert supervisor.reap(timeout=30.0) == 0  # no SIGKILL needed
+        assert supervisor.alive == 0
+
+    def test_sigterm_ignorer_cannot_shield_its_siblings(self):
+        procs: list[subprocess.Popen] = []
+
+        def spawn() -> subprocess.Popen:
+            # The ignorer comes FIRST: under the old per-process wait it
+            # was exactly the one whose TimeoutExpired skipped the rest.
+            proc = spawn_stubborn() if not procs else spawn_sleeper()
+            procs.append(proc)
+            return proc
+
+        supervisor = WorkerSupervisor(spawn, 3)
+        supervisor.start()
+        assert procs[0].stdout.readline().strip() == b"armed"
+        try:
+            killed = supervisor.reap(timeout=2.0)
+        finally:
+            procs[0].stdout.close()
+        assert killed == 1  # exactly the ignorer needed SIGKILL
+        # Nobody was shielded: the whole fleet is gone, no orphans.
+        assert all(proc.poll() is not None for proc in procs)
+        assert supervisor.alive == 0
+
+    def test_tick_respawns_within_budget_then_gives_up(self):
+        def spawn_crasher() -> subprocess.Popen:
+            return subprocess.Popen([sys.executable, "-c", "raise SystemExit(1)"])
+
+        supervisor = WorkerSupervisor(spawn_crasher, 2, respawn_budget=3)
+        supervisor.start()
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            supervisor.tick()
+            if supervisor.respawn_budget == 0 and supervisor.alive == 0:
+                supervisor.tick()  # collect the final exits
+                break
+            time.sleep(0.05)
+        # A crash loop terminates: budget spent, fleet dead, fully counted.
+        assert supervisor.respawn_budget == 0
+        assert supervisor.alive == 0
+        assert supervisor.spawned == 2 + 3
+        assert supervisor.worker_deaths == 5
+        assert supervisor.reap() == 0
+
+    def test_start_twice_raises(self):
+        supervisor = WorkerSupervisor(spawn_sleeper, 1)
+        supervisor.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                supervisor.start()
+        finally:
+            supervisor.reap()
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(ValueError):
+            WorkerSupervisor(spawn_sleeper, 0)
+
+
+class TestServeProcsInterrupt:
+    def test_sigint_mid_drain_leaves_no_orphans_and_no_leases(self, tmp_path):
+        """SIGINT a real ``serve --procs`` mid-drain: exit 130, every
+        worker reaped (no orphan processes), zero held leases — the
+        queue is immediately resumable."""
+        import json
+        import os
+        import signal
+        from pathlib import Path
+
+        import repro
+        from repro.service import JobQueue
+
+        env = dict(os.environ)
+        package_root = Path(repro.__file__).resolve().parent.parent
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(package_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        jobs_path = tmp_path / "jobs.json"
+        jobs_path.write_text(json.dumps([{
+            "id": "r1",
+            "policies": ["marlin-tiny", "single:yolov7-tiny@gpu"],
+            "scenarios": ["s3_indoor_close_wall", "s4_indoor_clutter"],
+        }]))
+        queue_dir = tmp_path / "runs" / "_queue"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro",
+             "--run-store", str(tmp_path / "runs"),
+             "--trace-store", str(tmp_path / "traces"),
+             "serve", str(jobs_path), "--procs", "2"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            # Wait until at least one worker holds a lease (we are in the
+            # drain loop, full-scale trace builds keep the fleet busy).
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    raise AssertionError(
+                        f"serve exited early: {proc.communicate()[1]}"
+                    )
+                if queue_dir.exists() and JobQueue(queue_dir).counts()["leased"] > 0:
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("no lease was ever claimed")
+            proc.send_signal(signal.SIGINT)
+            code = proc.wait(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        stderr = proc.stderr.read()
+        proc.stdout.close()
+        proc.stderr.close()
+        assert code == 130, stderr
+        assert "interrupted" in stderr
+        # Workers released their leases on SIGTERM: resumable, not stuck.
+        assert JobQueue(queue_dir).counts()["leased"] == 0
+        # And none of them outlived the supervisor.
+        marker = str(queue_dir)
+        orphans = []
+        for entry in Path("/proc").iterdir():
+            if not entry.name.isdigit():
+                continue
+            try:
+                cmdline = (entry / "cmdline").read_bytes().decode(errors="replace")
+            except OSError:
+                continue
+            if marker in cmdline:
+                orphans.append(cmdline.replace("\x00", " "))
+        assert orphans == []

@@ -254,3 +254,110 @@ class TestConcurrency:
         )
         assert queue.drained()
         assert queue.counts()["done"] == len(jobs)
+
+
+class TestClockDiscipline:
+    """Wall-clock skew must never falsely expire or silently extend leases."""
+
+    def test_backward_step_is_clamped_and_counted(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock)
+        queue.enqueue(jobs[0])
+        lease = queue.claim("w0")
+        clock.advance(5.0)
+        assert queue.heartbeat(lease) is not None
+        clock.advance(-60.0)  # NTP steps the wall clock backwards
+        # The queue's readings never decrease: the healthy lease is not
+        # reclaimable by a rival, and the anomaly is counted.
+        assert queue.claim("w1") is None
+        assert queue.clock_skew_events == 1
+        assert queue.stats()["clock_skew_events"] == 1
+        # Progress still works on the clamped clock.
+        assert queue.complete(lease) is True
+
+    def test_backward_step_does_not_stretch_expiry(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock, backoff_base=0.0, backoff_cap=0.0)
+        queue.enqueue(jobs[0])
+        first = queue.claim("w0")
+        clock.advance(-30.0)
+        assert queue.claim("w1") is None  # clamp: no time passed
+        skews = queue.clock_skew_events
+        # The clock recovers past the original deadline (in steps small
+        # enough not to look like fresh skew): the lease expires exactly
+        # as if the backward step never happened — clamping is not a
+        # lease extension.
+        clock.advance(30.0)
+        clock.advance(6.0)
+        assert queue.claim("w1") is None
+        clock.advance(6.0)
+        second = queue.claim("w1")
+        assert second is not None
+        assert second.attempt == first.attempt + 1
+        assert queue.clock_skew_events == skews
+
+    def test_forward_jump_is_counted_but_still_expires(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock, backoff_base=0.0, backoff_cap=0.0)
+        queue.enqueue(jobs[0])
+        queue.claim("w0")
+        clock.advance(3600.0)  # suspend/resume-sized jump
+        # A genuinely overdue lease must still migrate — the clamp only
+        # guards the backwards direction — but the jump is observable.
+        second = queue.claim("w1")
+        assert second is not None
+        assert queue.leases_expired == 1
+        assert queue.clock_skew_events == 1
+
+
+class TestRelease:
+    """Graceful shutdown returns jobs without burning retry budget."""
+
+    def test_release_refunds_attempt_and_repends_immediately(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock)
+        queue.enqueue(jobs[0])
+        lease = queue.claim("w0")
+        assert lease.attempt == 1
+        assert queue.release(lease) is True
+        assert queue.jobs_released == 1
+        # No backoff and a refunded attempt: a surviving worker claims it
+        # in the same clock instant, with the full retry budget intact.
+        again = queue.claim("w1")
+        assert again is not None
+        assert again.attempt == 1
+
+    def test_stale_release_is_fenced(self, tmp_path, jobs):
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock, backoff_base=0.0, backoff_cap=0.0)
+        queue.enqueue(jobs[0])
+        stale = queue.claim("w0")
+        clock.advance(queue.lease_duration + 0.001)
+        fresh = queue.claim("w1")
+        assert fresh is not None
+        # A zombie releasing a lease it already lost must not yank the
+        # job out from under the new owner.
+        assert queue.release(stale) is False
+        assert queue.leases_lost == 1
+        assert queue.complete(fresh) is True
+        assert queue.counts()["done"] == 1
+
+    def test_release_owned_sweeps_the_claim_window(self, tmp_path, jobs):
+        # A termination signal can land *inside* claim(): the grant is
+        # durable on disk but the caller never got the Lease object, so
+        # release(lease) is impossible.  release_owned(owner) is the
+        # shutdown sweep that closes the gap — fenced per record, so the
+        # other worker's healthy lease is untouched.
+        clock = FakeClock()
+        queue = make_queue(tmp_path, clock)
+        queue.enqueue_all(jobs)
+        assert queue.claim("w0") is not None  # lease object "lost"
+        assert queue.claim("w1") is not None
+        assert queue.release_owned("w0") == 1
+        assert queue.release_owned("w0") == 0  # idempotent
+        assert queue.jobs_released == 1
+        counts = queue.counts()
+        assert counts["leased"] == 1 and counts["pending"] == len(jobs) - 1
+        # The swept job kept its full retry budget.
+        again = queue.claim("w2")
+        assert again is not None and again.attempt == 1

@@ -203,3 +203,97 @@ class TestProcessIntegration:
         for audited in (queue, store, trace_store):
             _, problems = audited.audit()
             assert problems == []
+
+
+class TestGracefulShutdown:
+    """SIGTERM-shaped teardown: the lease goes back to pending, not limbo."""
+
+    def test_terminated_worker_releases_lease_for_the_survivors(
+        self, tmp_path, jobs
+    ):
+        import signal
+
+        from repro.service import WorkerHooks, WorkerTerminated
+
+        queue = JobQueue(tmp_path / "q", lease_duration=30.0)
+        queue.enqueue_all(jobs, engine_seed=ENGINE_SEED)
+
+        class Interrupt(WorkerHooks):
+            """SIGTERM arriving right after the claim, before any work."""
+
+            def claimed(self, worker, lease):
+                raise WorkerTerminated(signal.SIGTERM)
+
+        dying = QueueWorker(
+            queue, run_store=tmp_path / "runs", trace_store=tmp_path / "traces",
+            worker_id="dying", hooks=Interrupt(),
+        )
+        with pytest.raises(WorkerTerminated) as excinfo:
+            dying.drain()
+        assert excinfo.value.signum == signal.SIGTERM
+        # run()'s shutdown path: release, don't abandon.  The job is
+        # immediately claimable with its attempt refunded — the 30 s
+        # lease horizon never enters the picture.
+        assert dying.release_current() is True
+        assert dying.release_current() is False  # idempotent
+        assert queue.jobs_released == 1
+        assert queue.counts()["leased"] == 0
+        assert queue.counts()["pending"] == len(jobs)
+
+        survivor = QueueWorker(
+            queue, run_store=tmp_path / "runs", trace_store=tmp_path / "traces",
+            worker_id="survivor",
+        )
+        assert survivor.drain() == len(jobs)
+        assert queue.drained()
+        assert queue.counts()["done"] == len(jobs)
+
+    def test_stop_breaks_idle_polling(self, tmp_path):
+        import threading
+
+        queue = JobQueue(tmp_path / "q")
+        worker = QueueWorker(
+            queue, run_store=tmp_path / "runs",
+            exit_when_drained=False, poll_interval=0.05,
+        )
+        thread = threading.Thread(target=worker.drain)
+        thread.start()
+        time.sleep(0.3)
+        assert thread.is_alive()  # idling through an empty queue
+        worker.stop()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+    def test_sigterm_to_idle_worker_process_exits_143(self, tmp_path):
+        """A real ``repro work --idle`` process, terminated the way a
+        supervisor does it, exits ``128 + SIGTERM`` with nothing leased."""
+        import signal
+
+        env = dict(os.environ)
+        package_root = Path(repro.__file__).resolve().parent.parent
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(package_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        queue_dir = tmp_path / "q"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "work", str(queue_dir),
+             "--run-store", str(tmp_path / "runs"), "--poll", "0.01", "--idle"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            # The worker creates the queue directory just before it
+            # installs its signal handlers and starts polling.
+            deadline = time.monotonic() + 60.0
+            while not queue_dir.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert queue_dir.exists(), "worker never started"
+            time.sleep(0.5)  # cover the mkdir -> handler-install gap
+            proc.terminate()
+            code = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            proc.stdout.close()
+            proc.stderr.close()
+        assert code == 128 + signal.SIGTERM
