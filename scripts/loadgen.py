@@ -35,15 +35,29 @@ rows — zero duplicates, zero corrupt entries, serial bit-equality,
 free warm re-serve across a *server restart* — plus a deterministic
 admission probe (a full server answers 429 + Retry-After, never hangs).
 
+``--fs-chaos`` breaks the *disk* instead of the workers: each spawned
+``python -m repro work`` process is armed with its own seeded
+:class:`~repro.runtime.iolayer.FsFaultPlan` (ENOSPC bursts, EIO, torn
+partial writes and lost renames aimed at run commits) via
+``--fs-fault-plan``.  After the faulted drain, the parent runs the
+documented recovery playbook — scrub both stores and the queue, repair
+shard indexes, re-offer the job set idempotently, re-pend every job
+whose committed effect is torn or missing — and a healthy fleet drains
+the remainder.  Gates: zero lost jobs, zero dead-letters from pure disk
+pressure, exactly one committed entry per job, zero corrupt servable
+entries, serial bit-equality, and a free warm in-process re-serve
+(clean recovery).
+
 Exit code 0 when every property holds, 1 otherwise (CI's
-``service-smoke``, ``chaos-smoke``, and ``http-smoke`` jobs run this at
-small scale on every PR)::
+``service-smoke``, ``chaos-smoke``, ``http-smoke``, and
+``fs-chaos-smoke`` jobs run this at small scale on every PR)::
 
     PYTHONPATH=src python scripts/loadgen.py --requests 8 --workers 4
     PYTHONPATH=src python scripts/loadgen.py --requests 32 --scenario-count 12 \
         --budget 96 --trace-store /tmp/traces --run-store /tmp/runs
     PYTHONPATH=src python scripts/loadgen.py --chaos --procs 2 --kills 3
     PYTHONPATH=src python scripts/loadgen.py --http --clients 4
+    PYTHONPATH=src python scripts/loadgen.py --fs-chaos --procs 2
 """
 
 from __future__ import annotations
@@ -127,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="--chaos: queue lease duration in seconds (default 3)")
     parser.add_argument("--timeout", type=float, default=300.0,
                         help="--chaos/--http: overall deadline in seconds (default 300)")
+    parser.add_argument("--fs-chaos", action="store_true",
+                        help="drain the mix through worker processes whose store writes "
+                             "fail, tear, and vanish on a seeded per-worker schedule, "
+                             "then prove the recovery playbook heals everything")
+    parser.add_argument("--fs-chaos-seed", type=int, default=0,
+                        help="--fs-chaos: per-worker fault-plan seed (default 0)")
     parser.add_argument("--http", action="store_true",
                         help="drive the mix through a real HTTP server on an ephemeral "
                              "localhost port with concurrent socket clients")
@@ -440,6 +460,254 @@ def run_chaos(args: argparse.Namespace, trace_root: Path, run_root: Path) -> int
     return 0
 
 
+def run_fs_chaos(args: argparse.Namespace, trace_root: Path, run_root: Path) -> int:
+    """The degraded-mode contract under fire: real workers on a breaking disk.
+
+    Same seeded request mix as :func:`run_chaos`, but instead of killing
+    workers the disk itself misbehaves: every spawned ``python -m repro
+    work`` process arms its own seeded
+    :class:`~repro.runtime.iolayer.FsFaultPlan` (``--fs-fault-plan``),
+    so ENOSPC bursts, EIO, partial writes, and lost renames fire inside
+    the real commit paths.  The parent then runs the recovery playbook
+    exactly as an operator would — scrub / repair over both stores and
+    the queue, idempotent re-offer, re-pend of done-but-torn jobs — and
+    a healthy fleet finishes the drain.  The gates prove the contract:
+    nothing lost, nothing dead-lettered by pure disk pressure, nothing
+    duplicated, nothing torn left servable, and bit-equality with the
+    serial path once space returns.
+    """
+    from repro.runtime import shards
+    from repro.runtime.iolayer import FsFaultEvent, FsFaultPlan
+    from repro.service.queue import _job_file_name, job_digest
+
+    policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    scenarios = _pool_matrix(args.budget).scenarios()[: args.scenario_count]
+    if not policies or not scenarios:
+        print("empty policy or scenario pool", file=sys.stderr)
+        return 1
+    requests = overlapping_requests(policies, scenarios, count=args.requests, seed=args.seed)
+    unique_jobs = {}
+    for request in requests:
+        for job in decompose(request):
+            unique_jobs.setdefault(job.key, job)
+    jobs = list(unique_jobs.values())
+
+    failures: list[str] = []
+
+    def check(condition: bool, label: str) -> None:
+        if not condition:
+            failures.append(label)
+
+    # Pre-build traces on a healthy disk: the fault plans aim at the run
+    # commit and queue-record paths, not at trace construction.
+    zoo = default_zoo()
+    trace_store = TraceStore(trace_root)
+    t0 = time.perf_counter()
+    built = 0
+    for scenario in {job.scenario.name: job.scenario for job in jobs}.values():
+        if trace_store.load(scenario, zoo) is None:
+            trace_store.save(ScenarioTrace.build(scenario, zoo), zoo)
+            built += 1
+    print(f"traces: {built} built in {time.perf_counter() - t0:.2f}s")
+
+    queue_root = run_root / "_queue"
+    queue = JobQueue(queue_root, lease_duration=args.lease, max_attempts=8)
+    enqueued = queue.enqueue_all(jobs, engine_seed=ENGINE_SEED)
+    print(f"queue: {len(requests)} requests -> {len(jobs)} unique jobs, {enqueued} enqueued")
+
+    rng = random.Random(args.fs_chaos_seed)
+    plan_dir = run_root / "_fsplans"
+    plan_dir.mkdir(parents=True, exist_ok=True)
+
+    def worker_plan(index: int) -> Path:
+        """A seeded per-worker plan; destructive kinds target run commits."""
+        plan = FsFaultPlan(
+            label=f"fs-chaos-w{index}",
+            events=(
+                FsFaultEvent(op="write", index=rng.randrange(2, 6),
+                             kind="enospc", count=rng.randrange(4, 9)),
+                FsFaultEvent(op="write", index=rng.randrange(8, 14), kind="eio"),
+                FsFaultEvent(op="write", index=rng.randrange(0, 2),
+                             kind="partial_write",
+                             param=round(0.3 + 0.4 * rng.random(), 3),
+                             match="run-*"),
+                FsFaultEvent(op="replace", index=rng.randrange(0, 3),
+                             kind="lost_rename", match="run-*"),
+            ),
+        )
+        return plan.save(plan_dir / f"plan-w{index}.json")
+
+    env = dict(os.environ)
+    package_root = Path(repro.__file__).resolve().parent.parent
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(package_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    spawned = 0
+
+    def spawn(faulted: bool) -> subprocess.Popen:
+        nonlocal spawned
+        spawned += 1
+        command = [sys.executable, "-m", "repro", "work", str(queue_root),
+                   "--run-store", str(run_root), "--trace-store", str(trace_root),
+                   "--worker-id", f"fschaos-w{spawned}", "--lease", str(args.lease),
+                   "--poll", "0.05"]
+        if faulted:
+            command += ["--fs-fault-plan", str(worker_plan(spawned))]
+        return subprocess.Popen(command, env=env)
+
+    def reap(procs: list[subprocess.Popen]) -> None:
+        for proc in procs:
+            proc.terminate()
+        reap_deadline = time.monotonic() + 10.0
+        stubborn = []
+        for proc in procs:
+            try:
+                proc.wait(timeout=max(0.0, reap_deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                stubborn.append(proc)
+        for proc in stubborn:
+            proc.kill()
+        for proc in stubborn:
+            proc.wait()
+
+    def drain(faulted: bool, deadline: float, label: str) -> bool:
+        """Spawn a fleet, loop until the queue drains or ``deadline``."""
+        t0 = time.perf_counter()
+        timed_out = False
+        procs = [spawn(faulted) for _ in range(args.procs)]
+        respawn_budget = args.procs * 4
+        try:
+            while True:
+                queue.expire_overdue()
+                counts = queue.counts()
+                if counts["pending"] + counts["leased"] == 0:
+                    break
+                if time.monotonic() > deadline:
+                    timed_out = True
+                    break
+                alive = []
+                for proc in procs:
+                    if proc.poll() is None:
+                        alive.append(proc)
+                    elif respawn_budget > 0:
+                        respawn_budget -= 1
+                        alive.append(spawn(faulted))
+                procs = alive
+                if not procs:
+                    break
+                time.sleep(0.05)
+        finally:
+            reap(procs)
+        print(f"{label}: drained={not timed_out} in {time.perf_counter() - t0:.2f}s")
+        return timed_out
+
+    overall_deadline = time.monotonic() + args.timeout
+    # Phase 1 — faulted.  A torn commit can mark its job done, so the
+    # queue may "drain" with missing effects; a phase-1 timeout is not
+    # itself a failure as long as recovery heals everything in time.
+    drain(True, time.monotonic() + args.timeout * 0.6, "faulted drain")
+
+    # Phase 2 — the recovery playbook, exactly as an operator would run
+    # it (`repro store scrub|repair` over every root, then re-offer).
+    store = RunStore(run_root)
+    scrubbed = store.scrub().quarantined + trace_store.scrub().quarantined
+    scrub_queue = queue.scrub()
+    scrubbed += scrub_queue.quarantined
+    store.repair()
+    trace_store.repair()
+    queue.repair()
+    queue.enqueue_all(jobs, engine_seed=ENGINE_SEED)  # idempotent re-offer
+
+    resolve = policy_resolver()
+    soc_fp = xavier_nx_with_oakd().fingerprint()
+    zoo_fp = zoo.fingerprint()
+    keys: dict[str, RunKey] = {}
+    for job in jobs:
+        policy = resolve(job.policy_spec)
+        digest = job_digest(job.policy_spec, job.key[1])
+        keys[digest] = RunKey(policy.name, policy.fingerprint(), job.key[1],
+                              zoo_fp, soc_fp, ENGINE_SEED)
+    healed = 0
+    for digest, key in keys.items():
+        if store.load_metrics(key) is not None:
+            continue
+        healed += 1
+
+        def mutate(record: dict | None) -> dict | None:
+            if record is None or record.get("state") != "done":
+                return None
+            record["state"] = "pending"
+            record["lease"] = None
+            record["error"] = None
+            record["not_before"] = 0.0
+            return record
+
+        shards.update_entry(queue_root, digest, _job_file_name(digest), mutate)
+    print(f"recovery: {scrubbed} torn entries quarantined, {healed} jobs re-pended")
+
+    timed_out = drain(False, overall_deadline, "healthy drain")
+    check(not timed_out, f"queue not drained after {args.timeout:.0f}s")
+
+    counts = queue.counts()
+    check(counts["done"] == len(jobs) and counts["total"] == len(jobs),
+          f"lost jobs: {counts} != {len(jobs)} done")
+    check(counts.get("dead", 0) == 0,
+          f"{counts.get('dead', 0)} jobs dead-lettered by pure disk pressure")
+
+    check(len(store) == len(jobs),
+          f"run store holds {len(store)} entries for {len(jobs)} jobs")
+    final_scrub = store.scrub()
+    check(final_scrub.quarantined == 0 and not final_scrub.problems,
+          f"torn entries still servable after recovery: {final_scrub.problems}")
+
+    # Serial bit-equality: every committed run, frame for frame.
+    t0 = time.perf_counter()
+    for job in jobs:
+        digest = job_digest(job.policy_spec, job.key[1])
+        stored = store.load(keys[digest])
+        label = f"{job.policy_spec}/{job.scenario.name}"
+        if stored is None:
+            check(False, f"{label}: no committed run")
+            continue
+        trace = trace_store.load(job.scenario, zoo)
+        serial = run_policy(resolve(job.policy_spec), trace, engine_seed=ENGINE_SEED,
+                            fast=True)
+        check(stored.records == serial.records,
+              f"{label}: frame records diverge from serial")
+    print(f"serial bit-equality: {len(jobs)} runs verified in {time.perf_counter() - t0:.2f}s")
+
+    for label, audited in (("trace store", trace_store), ("run store", store),
+                           ("queue", queue)):
+        _, problems = audited.audit()
+        check(not problems, f"{label} audit: {problems}")
+
+    # Clean recovery: a warm in-process re-serve over the healed stores
+    # answers the whole mix without executing anything.
+    t0 = time.perf_counter()
+    with SweepService(
+        trace_store=TraceStore(trace_root),
+        run_store=RunStore(run_root),
+        workers=args.workers,
+    ) as warm:
+        for handle in warm.serve(requests):
+            handle.result()
+        check(warm.runs_executed == 0, f"warm re-serve executed {warm.runs_executed} runs")
+        check(warm.trace_builds == 0, f"warm re-serve built {warm.trace_builds} traces")
+        check(warm.corrupt_entries == 0, "warm re-serve hit corrupt entries")
+        check(not warm.degraded, "service still degraded after recovery")
+    print(f"warm re-serve: 0 runs, 0 trace builds in {time.perf_counter() - t0:.2f}s")
+
+    if failures:
+        print("\nFS-CHAOS LOADGEN FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"fs-chaos loadgen: all checks passed ({scrubbed} torn entries quarantined, "
+          f"{healed} jobs re-pended, 0 lost jobs, 0 dead-letters, 0 duplicate effects, "
+          "serial bit-equality, clean recovery)")
+    return 0
+
+
 def run_http(args: argparse.Namespace, trace_root: Path, run_root: Path) -> int:
     """The network tier under concurrent client load: real sockets, same gates.
 
@@ -664,7 +932,15 @@ def run_http(args: argparse.Namespace, trace_root: Path, run_root: Path) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    runner = run_chaos if args.chaos else (run_http if args.http else run_load)
+    if args.fs_chaos:
+        runner = run_fs_chaos
+    elif args.chaos:
+        runner = run_chaos
+    elif args.http:
+        runner = run_http
+    else:
+        runner = run_load
+
     if args.trace_store is not None and args.run_store is not None:
         return runner(args, Path(args.trace_store), Path(args.run_store))
     with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:

@@ -29,6 +29,14 @@ adds).  Two rules make the discipline structural:
   call, a guards-declared lock attribute, anything named ``*lock*`` —
   or inside a function itself named ``*_locked``.  Calling one unheld
   is either a data race or (re-entering) a deadlock.
+* ``locks/io-seam`` — PR 9 routes every store-tier write through the
+  injectable seam :mod:`repro.runtime.iolayer`, which is where the
+  deterministic fault plans, degraded (read-only) mode, and ``io_errors``
+  accounting all live.  In the seam-covered modules
+  (:data:`IO_SEAM_MODULES`) a raw write *or* a direct
+  ``atomic_write_text``/``atomic_write_json`` call is a write the fault
+  plan cannot see and degraded mode cannot refuse — flagged here (in
+  place of ``locks/raw-write``, so one bad call yields one finding).
 """
 
 from __future__ import annotations
@@ -46,6 +54,27 @@ WRITE_SCOPE_PACKAGES = frozenset({"runtime", "service", "characterization"})
 WRITE_METHODS = frozenset({"write_text", "write_bytes"})
 RENAME_CALLS = frozenset({"os.replace", "os.rename", "os.renames"})
 
+#: Modules whose writes must route through :mod:`repro.runtime.iolayer`.
+#: The seam is where fault plans fire, degraded mode flips, and
+#: ``io_errors`` are counted — a write that bypasses it is invisible to
+#: all three.  ``runtime.iolayer`` itself is deliberately absent: it is
+#: the seam's implementation, and its raw sites carry explicit
+#: ``# repro: allow[locks/raw-write]`` pragmas.
+IO_SEAM_MODULES = frozenset({
+    "runtime.shards",
+    "runtime.store",
+    "runtime.runstore",
+    "runtime.export",
+    "runtime.maintenance",
+    "service.queue",
+})
+
+#: Function tails that name the un-instrumented atomic writers.  Matched
+#: on the last dotted component so every import path is caught —
+#: ``util.atomicio.atomic_write_text``, the ``util`` package re-export,
+#: and the ``runtime.shards`` compatibility re-export alike.
+ATOMICIO_TAILS = frozenset({"atomic_write_text", "atomic_write_json"})
+
 
 class LockDisciplineChecker(Checker):
     rules = (
@@ -56,14 +85,18 @@ class LockDisciplineChecker(Checker):
         Rule("locks/locked-call", "error",
              "*_locked functions assume a held lock; call them under `with <lock>:` "
              "or from another *_locked function"),
+        Rule("locks/io-seam", "error",
+             "store-tier writes must route through repro.runtime.iolayer so "
+             "fault plans, degraded mode, and io_error accounting see them"),
     )
 
     def check_module(self, module: SourceModule, project: Project) -> Iterable[Finding]:
         findings: list[Finding] = []
         if module.package in WRITE_SCOPE_PACKAGES:
+            seam = module.module_name in IO_SEAM_MODULES
             for node in ast.walk(module.tree):
                 if isinstance(node, ast.Call):
-                    findings.extend(self._check_write(node, module))
+                    findings.extend(self._check_write(node, module, seam=seam))
             findings.extend(self._check_locked_calls(module))
         if module.guards:
             findings.extend(self._check_guards(module))
@@ -71,37 +104,58 @@ class LockDisciplineChecker(Checker):
 
     # ------------------------------------------------------------ raw writes
 
-    def _check_write(self, node: ast.Call, module: SourceModule) -> Iterator[Finding]:
+    def _check_write(
+        self, node: ast.Call, module: SourceModule, *, seam: bool = False
+    ) -> Iterator[Finding]:
+        # In a seam-covered module every raw form is reported as io-seam
+        # (not raw-write): the fix is the same single call either way, and
+        # one bad write should yield one finding, not two.
+        rule = "locks/io-seam" if seam else "locks/raw-write"
+        remedy = (
+            "repro.runtime.iolayer.write_text" if seam
+            else "repro.util.atomicio.atomic_write_text"
+        )
         name = resolve_call_name(node, module.symbol_origins)
+        if name is not None and name.startswith("runtime.iolayer."):
+            return  # a call INTO the seam is the discipline, not a breach
         if name == "open" or (name is None and _method_name(node) == "open"):
             mode = _open_mode(node)
             if mode is not None and any(flag in mode for flag in "wax+"):
                 yield self.finding(
-                    "locks/raw-write", module, node,
+                    rule, module, node,
                     f"raw open(..., {mode!r}): a crash mid-write leaves a torn file; "
-                    f"use repro.util.atomicio.atomic_write_text",
+                    f"use {remedy}",
                 )
             return
         if name in RENAME_CALLS:
             yield self.finding(
-                "locks/raw-write", module, node,
-                f"bare {name}(): renames belong inside the shards/atomicio helpers "
+                rule, module, node,
+                f"bare {name}(): renames belong inside the "
+                f"{'iolayer' if seam else 'shards/atomicio'} helpers "
                 f"so temp hygiene and shard indexes stay consistent",
             )
             return
         if name == "json.dump":
             yield self.finding(
-                "locks/raw-write", module, node,
-                "json.dump to an open handle is not crash-safe; serialize with "
-                "json.dumps and write via atomic_write_text (or atomic_write_json)",
+                rule, module, node,
+                f"json.dump to an open handle is not crash-safe; serialize with "
+                f"json.dumps and write via {remedy}",
+            )
+            return
+        if seam and name is not None and name.rsplit(".", 1)[-1] in ATOMICIO_TAILS:
+            yield self.finding(
+                "locks/io-seam", module, node,
+                f"{name}() bypasses the repro.runtime.iolayer seam: the write "
+                f"is atomic but invisible to fault plans, degraded mode, and "
+                f"io_error accounting; use iolayer.write_text / write_json / "
+                f"replace with root= set to the store root",
             )
             return
         method = _method_name(node)
         if method in WRITE_METHODS:
             yield self.finding(
-                "locks/raw-write", module, node,
-                f".{method}() is not crash-safe; use "
-                f"repro.util.atomicio.atomic_write_text",
+                rule, module, node,
+                f".{method}() is not crash-safe; use {remedy}",
             )
 
     # ----------------------------------------------------------- locked calls

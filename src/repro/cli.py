@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro --run-store runs serve jobs.json --procs 2   # crash-safe processes
     python -m repro work QUEUE --run-store runs  # one queue worker process
     python -m repro queue QUEUE --list           # inspect / repair the job queue
+    python -m repro --run-store runs store scrub          # re-verify every entry
+    python -m repro --run-store runs store gc --apply     # reclaim expired artifacts
     python -m repro sweep --jobs jobs.json       # same batch front-end
     python -m repro scenarios --generated        # flight library + grammar matrix
     python -m repro verify --count 25 --seed 7   # differential fuzz sweep
@@ -582,6 +584,59 @@ def _cmd_queue(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Self-healing store maintenance: scrub / gc / repair over any root.
+
+    Targets come from the global ``--trace-store`` / ``--run-store``
+    options plus ``--queue``; each named root is maintained in turn.
+    ``gc`` is dry-run by default — it *reports* what a real pass would
+    reclaim (quarantined entries, stale temps, dead job records past the
+    TTL) and deletes only under ``--apply``.  ``scrub`` exits non-zero
+    when it had to quarantine something, so a cron'd scrub doubles as an
+    integrity alarm; ``repair`` and ``gc`` exit zero on success.
+    """
+    from .runtime import iolayer
+    from .runtime.runstore import RunStore
+    from .runtime.store import TraceStore
+
+    targets: list[tuple[str, object]] = []
+    if args.trace_store:
+        targets.append(("traces", TraceStore(args.trace_store)))
+    if args.run_store:
+        targets.append(("runs", RunStore(args.run_store)))
+    if args.queue:
+        from .service import JobQueue
+
+        targets.append(("queue", JobQueue(args.queue)))
+    if not targets:
+        print("store maintenance needs at least one root: --trace-store DIR, "
+              "--run-store DIR (global options), or --queue DIR", file=sys.stderr)
+        return 2
+
+    quarantined = 0
+    for label, store in targets:
+        root = store.root
+        if args.action == "scrub":
+            report = store.scrub()
+            print(f"{label}: {report.summary()}")
+            for problem in report.problems:
+                print(f"  {problem}")
+            quarantined += report.quarantined
+        elif args.action == "gc":
+            report = store.gc(ttl_seconds=args.ttl, dry_run=not args.apply)
+            print(f"{label}: {report.summary()}")
+            if not args.apply and report.paths:
+                print(f"  (dry run; pass --apply to reclaim "
+                      f"{report.bytes_reclaimed} bytes)")
+        else:  # repair
+            report = store.repair()
+            print(f"{label}: {report.summary()}")
+        if iolayer.is_degraded(root):
+            print(f"{label}: root is DEGRADED (read-only): "
+                  f"{iolayer.degraded_reason(root)}", file=sys.stderr)
+    return 1 if (args.action == "scrub" and quarantined) else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         if args.policies is not None:
@@ -805,6 +860,24 @@ def build_parser() -> argparse.ArgumentParser:
     queue_cmd.add_argument("--list", action="store_true",
                            help="list every job record with state and attempts")
     queue_cmd.set_defaults(func=_cmd_queue)
+
+    store_cmd = commands.add_parser(
+        "store", help="self-healing store maintenance: scrub, gc (TTL), repair")
+    store_cmd.add_argument("action", choices=("scrub", "gc", "repair"),
+                           help="scrub: re-verify + quarantine; gc: reclaim expired "
+                                "artifacts (dry-run unless --apply); repair: heal "
+                                "index<->disk drift")
+    store_cmd.add_argument("--queue", default=None, metavar="DIR",
+                           help="also maintain this job queue directory")
+    from .runtime.maintenance import DEFAULT_TTL_SECONDS as _DEFAULT_TTL
+
+    store_cmd.add_argument("--ttl", type=float, default=_DEFAULT_TTL,
+                           help="gc: age in seconds before quarantined entries, stale "
+                                "temps, and dead job records are reclaimed "
+                                f"(default {_DEFAULT_TTL:.0f} = 7 days)")
+    store_cmd.add_argument("--apply", action="store_true",
+                           help="gc: actually delete (default is a dry-run report)")
+    store_cmd.set_defaults(func=_cmd_store)
 
     scen_cmd = commands.add_parser("scenarios", help="list the scenario library")
     scen_cmd.add_argument("--generated", action="store_true",

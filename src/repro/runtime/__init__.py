@@ -17,6 +17,8 @@ from .metrics import (
     efficiency_series,
 )
 from .experiment import ExperimentRunner
+from .iolayer import FsFaultEvent, FsFaultPlan, StoreDegraded, StoreError
+from .maintenance import GcReport, RepairReport, ScrubReport
 from .policy import Policy, RuntimeServices
 from .records import FrameRecord, RunResult
 from .runner import run_policy, run_policy_on_scenarios
@@ -39,6 +41,13 @@ __all__ = [
     "average_metrics",
     "efficiency_series",
     "SUCCESS_IOU_THRESHOLD",
+    "FsFaultEvent",
+    "FsFaultPlan",
+    "StoreError",
+    "StoreDegraded",
+    "ScrubReport",
+    "GcReport",
+    "RepairReport",
     "Policy",
     "RuntimeServices",
     "FrameRecord",

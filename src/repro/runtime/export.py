@@ -12,8 +12,8 @@ import json
 from pathlib import Path
 
 from ..core.records import FrameRecord, RunResult
+from . import iolayer
 from .metrics import RunMetrics
-from .shards import atomic_write_text
 
 
 def metrics_to_dict(metrics: RunMetrics) -> dict:
@@ -67,9 +67,15 @@ def result_to_dict(result: RunResult) -> dict:
 
 
 def save_metrics(metrics_list: list[RunMetrics], path: str | Path) -> None:
-    """Write a list of run metrics as JSON lines (one run per line)."""
+    """Write a list of run metrics as JSON lines (one run per line).
+
+    Routed through the I/O seam like every other durable write, so an
+    export target on a full disk degrades with a typed
+    :exc:`~repro.runtime.iolayer.StoreDegraded` instead of a bare
+    ``OSError`` mid-file.
+    """
     lines = [json.dumps(metrics_to_dict(m)) for m in metrics_list]
-    atomic_write_text(path, "\n".join(lines) + "\n")
+    iolayer.write_text(path, "\n".join(lines) + "\n")
 
 
 def load_metrics_dicts(path: str | Path) -> list[dict]:

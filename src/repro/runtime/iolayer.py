@@ -1,0 +1,518 @@
+"""The injectable I/O seam every store, queue, and export write routes through.
+
+PR 7/8 made the sweep tier survive killed workers and clock skew; this
+module makes it survive the *filesystem*.  Three ideas:
+
+**One seam.**  Every durable write in the persistence tier — store
+entries, shard indexes, queue records, exported metrics — goes through
+:func:`write_text` / :func:`write_json` / :func:`replace` here instead of
+calling :mod:`repro.util.atomicio` (or ``os.replace``) directly.  The
+``locks/io-seam`` lint rule makes that structural: store-tier modules may
+not open files for writing themselves.  Directory scans used by
+maintenance sweeps route through :func:`scan` for the same reason.
+
+**Deterministic filesystem faults.**  An :class:`FsFaultPlan` — a seeded,
+serializable schedule of ENOSPC / EIO / lost-rename / partial-write /
+slow-io events keyed by ``(operation, operation index)`` — can be armed
+process-wide (:func:`arm_fault_plan`, or the :func:`fault_plan` context
+manager).  Each hook point (``write``, ``fsync``, ``replace``, ``scan``)
+ticks a per-op counter and consults the plan, so a fault harness can
+replay the exact same disk failure schedule run after run.  The
+``fsfaults`` differential check and ``loadgen --fs-chaos`` build on this.
+
+**Graceful degradation.**  Transient capacity errors (ENOSPC, EDQUOT,
+EIO) are retried a bounded number of times with seeded backoff; on
+exhaustion the *root* (store / queue directory) is marked degraded and a
+typed :exc:`StoreDegraded` is raised instead of a bare ``OSError``.
+While degraded, writes make exactly one attempt each (a probe-on-write),
+so recovery is automatic the moment space returns — the first write that
+succeeds clears the flag.  :func:`probe` offers an explicit recovery
+attempt for callers (the job queue) that want to check *before* spending
+a lease.  Reads are never blocked: a degraded store keeps serving warm
+hits and reports misses as capacity failures instead of crashing.
+"""
+
+from __future__ import annotations
+
+import errno
+import fnmatch
+import json
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Iterator
+
+from ..util.atomicio import atomic_write_text, temp_name
+
+#: Schema of serialized fault plans; pinned in analysis/schema_manifest.json.
+FS_FAULT_PLAN_SCHEMA_VERSION = 1
+
+#: Hook points a fault event can target.
+FS_OPS = ("write", "fsync", "replace", "scan")
+
+#: Injectable failure kinds.
+FS_FAULT_KINDS = ("enospc", "eio", "lost_rename", "partial_write", "slow_io")
+
+#: errnos treated as transient capacity pressure: retried, then degraded.
+TRANSIENT_ERRNOS = frozenset({errno.ENOSPC, errno.EDQUOT, errno.EIO})
+
+#: Bounded-retry policy for transient errors (tests may shrink these).
+RETRY_ATTEMPTS = 3
+RETRY_BASE = 0.005
+RETRY_CAP = 0.05
+
+#: Temp-file name used by :func:`probe`; swept like any other ``*.tmp*``.
+PROBE_NAME = ".iolayer-probe"
+
+
+class StoreError(Exception):
+    """Base class for typed persistence-tier failures."""
+
+
+class StoreDegraded(StoreError):
+    """A root ran out of capacity: retries exhausted, now read-only.
+
+    Carries the degraded ``root`` and the ``op`` that failed so service
+    layers can map it to capacity responses (HTTP 507 / 503) instead of
+    treating it as an internal error.
+    """
+
+    def __init__(self, root: str | Path, op: str, cause: str) -> None:
+        self.root = str(root)
+        self.op = op
+        self.cause = cause
+        super().__init__(
+            f"store {self.root} degraded: {op} failed after bounded retries ({cause})"
+        )
+
+
+# --------------------------------------------------------------- fault plans
+
+
+@dataclass(frozen=True)
+class FsFaultEvent:
+    """One scheduled filesystem fault.
+
+    Fires for the ``count`` consecutive operations of kind ``op`` whose
+    zero-based per-op index (counted since the plan was armed) falls in
+    ``[index, index + count)``.  ``match``, when set, restricts the event
+    to files whose *name* matches the glob — and the index then counts
+    only matching operations, so a plan can say "tear the 3rd run-entry
+    write" regardless of how many index/queue writes interleave.
+    ``param`` is kind-specific: the kept fraction of the payload for
+    ``partial_write``, the sleep seconds for ``slow_io``; unused
+    otherwise.
+    """
+
+    op: str
+    index: int
+    kind: str
+    count: int = 1
+    param: float | None = None
+    match: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in FS_OPS:
+            raise ValueError(f"unknown fault op {self.op!r}")
+        if self.kind not in FS_FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "lost_rename" and self.op != "replace":
+            raise ValueError("lost_rename only applies to the replace op")
+        if self.kind == "partial_write" and self.op != "write":
+            raise ValueError("partial_write only applies to the write op")
+        if self.index < 0 or self.count < 1:
+            raise ValueError("event needs index >= 0 and count >= 1")
+
+    def covers(self, index: int) -> bool:
+        return self.index <= index < self.index + self.count
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "index": self.index,
+            "kind": self.kind,
+            "count": self.count,
+            "param": self.param,
+            "match": self.match,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "FsFaultEvent":
+        return FsFaultEvent(
+            op=payload["op"],
+            index=payload["index"],
+            kind=payload["kind"],
+            count=payload.get("count", 1),
+            param=payload.get("param"),
+            match=payload.get("match"),
+        )
+
+
+@dataclass(frozen=True)
+class FsFaultPlan:
+    """A deterministic, serializable schedule of filesystem faults."""
+
+    events: tuple[FsFaultEvent, ...]
+    label: str = ""
+
+    def events_for(self, op: str) -> tuple[FsFaultEvent, ...]:
+        return tuple(event for event in self.events if event.op == op)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": FS_FAULT_PLAN_SCHEMA_VERSION,
+            "label": self.label,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "FsFaultPlan":
+        if payload.get("schema_version") != FS_FAULT_PLAN_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported fault plan schema {payload.get('schema_version')!r}"
+            )
+        return FsFaultPlan(
+            events=tuple(FsFaultEvent.from_dict(e) for e in payload.get("events", [])),
+            label=payload.get("label", ""),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        # Plan files are harness inputs, not store data: the leaf atomic
+        # writer is the right tool (routing them through the seam would
+        # let an armed plan corrupt its own description).
+        return atomic_write_text(path, json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    @staticmethod
+    def load(path: str | Path) -> "FsFaultPlan":
+        return FsFaultPlan.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+class _ArmedPlan:
+    """An armed plan plus its per-``(op, match)`` operation counters."""
+
+    def __init__(self, plan: FsFaultPlan) -> None:
+        self.plan = plan
+        self.counters: dict[tuple[str, str], int] = {}
+        self.fired = 0
+
+
+# ------------------------------------------------------------- shared state
+
+# One guard for all module state; enforced by `repro lint`.
+_STATE_LOCK = threading.Lock()  # repro: guards[_DEGRADED, _IO_ERRORS, _ARMED]
+_DEGRADED: dict[str, str] = {}
+_IO_ERRORS: dict[str, int] = {}
+_ARMED: _ArmedPlan | None = None
+
+
+def _root_key(path: Path, root: str | Path | None) -> str:
+    return str(Path(root)) if root is not None else str(path.parent)
+
+
+def is_degraded(root: str | Path) -> bool:
+    """True while ``root`` is in degraded (read-only) mode."""
+    key = str(Path(root))
+    with _STATE_LOCK:
+        return key in _DEGRADED
+
+
+def degraded_reason(root: str | Path) -> str | None:
+    """Why ``root`` degraded, or None when healthy."""
+    key = str(Path(root))
+    with _STATE_LOCK:
+        return _DEGRADED.get(key)
+
+
+def mark_degraded(root: str | Path, reason: str) -> None:
+    """Flip ``root`` into degraded mode (first reason wins)."""
+    key = str(Path(root))
+    with _STATE_LOCK:
+        _DEGRADED.setdefault(key, reason)
+
+
+def clear_degraded(root: str | Path) -> None:
+    """Return ``root`` to normal writes (a write or probe succeeded)."""
+    key = str(Path(root))
+    with _STATE_LOCK:
+        _DEGRADED.pop(key, None)
+
+
+def record_io_error(root: str | Path, count: int = 1) -> None:
+    """Count ``count`` I/O errors observed under ``root``."""
+    key = str(Path(root))
+    with _STATE_LOCK:
+        _IO_ERRORS[key] = _IO_ERRORS.get(key, 0) + count
+
+
+def io_error_count(root: str | Path) -> int:
+    """I/O errors observed under ``root`` in this process."""
+    key = str(Path(root))
+    with _STATE_LOCK:
+        return _IO_ERRORS.get(key, 0)
+
+
+def reset_state(root: str | Path | None = None) -> None:
+    """Forget degraded flags and error counts (test isolation)."""
+    with _STATE_LOCK:
+        if root is None:
+            _DEGRADED.clear()
+            _IO_ERRORS.clear()
+        else:
+            key = str(Path(root))
+            _DEGRADED.pop(key, None)
+            _IO_ERRORS.pop(key, None)
+
+
+# ----------------------------------------------------------------- arming
+
+
+def arm_fault_plan(plan: FsFaultPlan) -> None:
+    """Arm ``plan`` process-wide (op counters start at zero)."""
+    global _ARMED
+    with _STATE_LOCK:
+        _ARMED = _ArmedPlan(plan)
+
+
+def disarm_fault_plan() -> int:
+    """Disarm any armed plan; how many events fired while armed."""
+    global _ARMED
+    with _STATE_LOCK:
+        fired = _ARMED.fired if _ARMED is not None else 0
+        _ARMED = None
+    return fired
+
+
+def fault_plan_armed() -> bool:
+    """True while a fault plan is armed in this process."""
+    with _STATE_LOCK:
+        return _ARMED is not None
+
+
+@contextmanager
+def fault_plan(plan: FsFaultPlan) -> Iterator[None]:
+    """Arm ``plan`` for the duration of the block."""
+    arm_fault_plan(plan)
+    try:
+        yield
+    finally:
+        disarm_fault_plan()
+
+
+def _consume_fault(op: str, path: Path) -> FsFaultEvent | None:
+    """Tick the matching ``op`` counters and return the covering event, if any.
+
+    Each distinct ``(op, match)`` key among the plan's events keeps its
+    own counter, ticked once per operation whose file name matches — an
+    unmatched glob never consumes an index, so targeted events fire on
+    exactly the Nth *relevant* operation.
+    """
+    with _STATE_LOCK:
+        armed = _ARMED
+        if armed is None:
+            return None
+        name = path.name
+        hit: FsFaultEvent | None = None
+        ticked: set[str] = set()
+        for event in armed.plan.events:
+            if event.op != op:
+                continue
+            match = event.match or "*"
+            if match not in ticked:
+                if event.match is not None and not fnmatch.fnmatch(name, event.match):
+                    continue
+                ticked.add(match)
+                key = (op, match)
+                armed.counters[key] = armed.counters.get(key, 0) + 1
+            index = armed.counters[(op, match)] - 1
+            if event.covers(index):
+                armed.fired += 1
+                hit = event
+                break
+        return hit
+
+
+def _maybe_fault(op: str, path: Path) -> FsFaultEvent | None:
+    """Fire any scheduled fault at this hook point.
+
+    Raises the injected ``OSError`` for ``enospc``/``eio``, sleeps for
+    ``slow_io``, and returns the event for kinds the caller must act out
+    itself (``lost_rename``, ``partial_write``).
+    """
+    event = _consume_fault(op, path)
+    if event is None:
+        return None
+    if event.kind == "slow_io":
+        time.sleep(event.param if event.param is not None else 0.02)
+        return None
+    if event.kind == "enospc":
+        raise OSError(errno.ENOSPC, f"injected ENOSPC ({op})", str(path))
+    if event.kind == "eio":
+        raise OSError(errno.EIO, f"injected EIO ({op})", str(path))
+    return event
+
+
+# ------------------------------------------------------------------ the seam
+
+
+def _is_transient(exc: OSError) -> bool:
+    return exc.errno in TRANSIENT_ERRNOS
+
+
+def _write_once(path: Path, text: str, key: str) -> Path:
+    """One crash-safe write attempt: temp + replace, with fault hooks."""
+    tmp = path.parent / temp_name(path.name)
+    try:
+        event = _maybe_fault("write", path)
+        payload = text
+        if event is not None and event.kind == "partial_write":
+            keep = event.param if event.param is not None else 0.5
+            payload = text[: int(len(text) * keep)]
+        # The raw open/replace pair lives HERE and nowhere else in the
+        # store tier; everything above routes through this seam.
+        with open(tmp, "w", encoding="utf-8") as handle:  # repro: allow[locks/raw-write]
+            handle.write(payload)
+            # Hook point only: the stores are rename-durable by design
+            # (a torn final file is impossible; a lost recent write is
+            # recomputable), so no real fsync is issued on the hot path.
+            _maybe_fault("fsync", path)
+        event = _maybe_fault("replace", path)
+        if event is not None and event.kind == "lost_rename":
+            tmp.unlink(missing_ok=True)
+            return path
+        os.replace(tmp, path)  # repro: allow[locks/raw-write]
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def write_text(path: str | Path, text: str, *, root: str | Path | None = None) -> Path:
+    """Crash-safe write through the seam; the one durable-write entry point.
+
+    ``root`` names the store/queue directory whose health this write
+    belongs to (defaults to the file's parent).  Transient capacity
+    errors are retried ``RETRY_ATTEMPTS`` times with seeded backoff; on
+    exhaustion the root degrades and :exc:`StoreDegraded` is raised.
+    While degraded, each write makes a single attempt — success clears
+    the flag (space returned), failure re-raises :exc:`StoreDegraded`
+    without burning retries.
+    """
+    path = Path(path)
+    key = _root_key(path, root)
+    if is_degraded(key):
+        try:
+            result = _write_once(path, text, key)
+        except OSError as exc:
+            if _is_transient(exc):
+                record_io_error(key)
+                raise StoreDegraded(key, "write", str(exc)) from exc
+            raise
+        clear_degraded(key)
+        return result
+    rng = random.Random(f"{key}|{path.name}")
+    for attempt in range(RETRY_ATTEMPTS):
+        try:
+            return _write_once(path, text, key)
+        except OSError as exc:
+            if not _is_transient(exc):
+                raise
+            record_io_error(key)
+            if attempt + 1 >= RETRY_ATTEMPTS:
+                mark_degraded(key, f"write {path.name}: {exc}")
+                raise StoreDegraded(key, "write", str(exc)) from exc
+            delay = min(RETRY_CAP, RETRY_BASE * (2**attempt))
+            time.sleep(delay * (0.5 + 0.5 * rng.random()))
+    raise AssertionError("unreachable: retry loop returns or raises")
+
+
+def write_json(
+    path: str | Path, payload: object, *, root: str | Path | None = None, **dumps_kwargs
+) -> Path:
+    """Serialize ``payload`` and :func:`write_text` it through the seam."""
+    return write_text(path, json.dumps(payload, **dumps_kwargs), root=root)
+
+
+def replace(src: str | Path, dst: str | Path, *, root: str | Path | None = None) -> None:
+    """Atomic same-filesystem rename through the seam (moves, migrations).
+
+    A rename allocates no data blocks, so this is the tool quarantine
+    moves use even under ENOSPC; the fault hooks still apply (a plan can
+    lose or fail the rename), with the same retry/degrade discipline.
+    """
+    src = Path(src)
+    dst = Path(dst)
+    key = _root_key(dst, root)
+    for attempt in range(RETRY_ATTEMPTS):
+        try:
+            event = _maybe_fault("replace", dst)
+            if event is not None and event.kind == "lost_rename":
+                src.unlink(missing_ok=True)
+                return
+            os.replace(src, dst)  # repro: allow[locks/raw-write]
+            return
+        except OSError as exc:
+            if not _is_transient(exc):
+                raise
+            record_io_error(key)
+            if attempt + 1 >= RETRY_ATTEMPTS:
+                mark_degraded(key, f"replace {dst.name}: {exc}")
+                raise StoreDegraded(key, "replace", str(exc)) from exc
+            time.sleep(min(RETRY_CAP, RETRY_BASE * (2**attempt)))
+    raise AssertionError("unreachable: retry loop returns or raises")
+
+
+def scan(directory: str | Path, pattern: str, *, root: str | Path | None = None) -> list[Path]:
+    """Sorted directory listing through the seam (fault-injectable reads).
+
+    Transient errors are retried; on exhaustion the ``OSError`` is
+    re-raised (scans are reads — they never degrade a root, callers skip
+    or surface the miss themselves) after counting it in ``io_errors``.
+    """
+    directory = Path(directory)
+    key = _root_key(directory, root)
+    last: OSError | None = None
+    for _ in range(RETRY_ATTEMPTS):
+        try:
+            _maybe_fault("scan", directory)
+            return sorted(directory.glob(pattern))
+        except OSError as exc:
+            if not _is_transient(exc):
+                raise
+            record_io_error(key)
+            last = exc
+    raise last  # type: ignore[misc]  # loop always sets it before falling through
+
+
+def open_lock_file(lock_path: str | Path):
+    """The raw handle ``fcntl`` latches onto.
+
+    Not a data write — the lock file carries no payload, only an inode —
+    so it bypasses the temp+replace discipline by design.
+    """
+    return open(lock_path, "a+", encoding="utf-8")  # noqa: SIM115  # repro: allow[locks/raw-write]
+
+
+def probe(root: str | Path) -> bool:
+    """One explicit recovery attempt for a degraded root.
+
+    Writes and removes a small probe file through the fault hooks.  True
+    when the root is healthy (or just recovered — success clears the
+    degraded flag); False when capacity is still exhausted.  The job
+    queue calls this before claiming so leases are never burned against
+    a store that cannot commit results.
+    """
+    root = Path(root)
+    if not is_degraded(root):
+        return True
+    tmp = root / PROBE_NAME
+    try:
+        _write_once(tmp, "probe", str(root))
+        tmp.unlink(missing_ok=True)
+    except OSError:
+        return False
+    clear_degraded(root)
+    return True

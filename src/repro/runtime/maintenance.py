@@ -1,0 +1,325 @@
+"""Self-healing store maintenance: scrub, GC, and index repair.
+
+Quarantined entries, dead-letter jobs, and stale temp files are all
+*evidence* the moment they appear — and garbage a week later.  This
+module is the generic maintenance engine the trace store, run store, and
+job queue all wire up (``repro store scrub|gc|repair`` on the CLI):
+
+``scrub`` — :func:`scrub_entries`
+    Re-verify every *indexed* entry under its shard lock: it must exist,
+    parse as a JSON object, live in the shard its digest names, and pass
+    the store's own identity validation (schema version, fingerprints
+    matching the file name, payload shape).  Anything that fails is
+    quarantined (moved to ``root/_quarantine``, index record dropped) —
+    exactly what the lazy load path would eventually do, done eagerly.
+
+``gc`` — :func:`gc_entries`
+    Apply TTLs (file mtime) to the artifacts that only accumulate:
+    quarantined files, abandoned ``*.tmp*`` files, and — via the caller's
+    ``collect`` predicate — terminal entries like dead-letter jobs.
+    Dry-run by default, with byte accounting either way, so operators see
+    what a real pass would reclaim before deleting anything.
+
+``repair`` — :func:`repair_entries`
+    Heal index↔disk drift in both directions: drop *ghosts* (indexed but
+    missing on disk — e.g. a lost rename that was still indexed) and
+    re-index *orphans* (on disk but not indexed — e.g. an entry whose
+    index write hit a full disk), quarantining orphans that do not parse.
+
+All three are metamorphic no-ops for servable data: a scrub+gc+repair
+pass leaves every entry a reader could successfully load bit-identical
+(the test suite proves this).  They only touch corrupt, expired, or
+drifted artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Callable
+
+from . import iolayer, shards
+
+#: Default age before quarantine/temp/dead-letter artifacts are collected.
+DEFAULT_TTL_SECONDS = 7 * 24 * 3600.0
+
+
+@dataclass
+class ScrubReport:
+    """What one scrub pass checked and quarantined."""
+
+    root: str
+    entries_checked: int = 0
+    quarantined: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"scrub {self.root}: {self.entries_checked} entries checked, "
+            f"{len(self.problems)} problems, {self.quarantined} quarantined"
+        )
+
+
+@dataclass
+class GcReport:
+    """What one GC pass reclaimed (or would reclaim, when ``dry_run``)."""
+
+    root: str
+    dry_run: bool = True
+    quarantine_removed: int = 0
+    temps_removed: int = 0
+    entries_removed: int = 0
+    skipped_young: int = 0
+    bytes_reclaimed: int = 0
+    paths: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        verb = "would reclaim" if self.dry_run else "reclaimed"
+        return (
+            f"gc {self.root}: {verb} {self.bytes_reclaimed} bytes "
+            f"({self.quarantine_removed} quarantined, {self.temps_removed} temps, "
+            f"{self.entries_removed} entries); {self.skipped_young} younger than TTL"
+        )
+
+
+@dataclass
+class RepairReport:
+    """What one repair pass healed."""
+
+    root: str
+    ghosts_dropped: int = 0
+    orphans_indexed: int = 0
+    quarantined: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"repair {self.root}: {self.ghosts_dropped} ghost index records dropped, "
+            f"{self.orphans_indexed} orphan entries re-indexed, "
+            f"{self.quarantined} unparseable orphans quarantined"
+        )
+
+
+def scrub_entries(
+    root: Path,
+    pattern: str,
+    validate: Callable[[str, dict], str | None],
+    *,
+    digest_for: Callable[[str], str | None] | None = None,
+) -> ScrubReport:
+    """Re-verify every indexed entry under its shard lock; quarantine failures.
+
+    ``validate(name, payload)`` returns a problem string (entry is
+    quarantined) or None (entry is sound); ``digest_for(name)`` — when
+    given — recovers the shard digest from the file name so misfiled
+    entries are caught too.  Missing-on-disk entries are reported and
+    their ghost index records dropped (the quarantine move is a no-op for
+    a file that is not there).
+    """
+    report = ScrubReport(root=str(root))
+    for shard in shards.shard_dirs(root):
+        with shards.shard_lock(shard):
+            for name in sorted(shards.read_index(shard)):
+                report.entries_checked += 1
+                problem = _entry_problem(shard, name, validate, digest_for)
+                if problem is None:
+                    continue
+                report.problems.append(f"{shard.name}/{name}: {problem}")
+                if shards.quarantine_entry_locked(root, shard, name):
+                    report.quarantined += 1
+    return report
+
+
+def _entry_problem(
+    shard: Path,
+    name: str,
+    validate: Callable[[str, dict], str | None],
+    digest_for: Callable[[str], str | None] | None,
+) -> str | None:
+    """Why one indexed entry is unsound, or None when it checks out."""
+    path = shard / name
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return "indexed but missing on disk"
+    except json.JSONDecodeError as exc:
+        return f"unparseable ({exc})"
+    except OSError as exc:
+        iolayer.record_io_error(shard.parent)
+        return f"unreadable ({exc})"
+    if not isinstance(payload, dict):
+        return "not a JSON object"
+    if digest_for is not None:
+        digest = digest_for(name)
+        if digest is None:
+            return "file name does not parse as an entry name"
+        if shards.shard_prefix(digest) != shard.name:
+            return f"entry filed in shard {shard.name} but digest names {digest[:2]}"
+    return validate(name, payload)
+
+
+def gc_entries(
+    root: Path,
+    *,
+    ttl_seconds: float = DEFAULT_TTL_SECONDS,
+    dry_run: bool = True,
+    now: float | None = None,
+    pattern: str | None = None,
+    collect: Callable[[dict], bool] | None = None,
+) -> GcReport:
+    """TTL sweep over quarantine, stale temps, and optional terminal entries.
+
+    Removes (or, by default, only reports — ``dry_run``) every file under
+    ``root/_quarantine`` and every ``*.tmp*`` file whose mtime is older
+    than ``ttl_seconds``.  When ``pattern`` and ``collect`` are given,
+    entries matching the pattern whose parsed payload satisfies
+    ``collect(payload)`` are removed too once past the TTL — how the job
+    queue expires dead-letter records.  Byte counts are accumulated in
+    either mode so a dry run prices the real one.
+    """
+    clock = time.time() if now is None else now
+    report = GcReport(root=str(root), dry_run=dry_run)
+    quarantine = root / shards.QUARANTINE_DIR
+    if quarantine.is_dir():
+        for path in _safe_scan(quarantine, "*", root):
+            if _collect_file(path, report, clock, ttl_seconds, dry_run, root):
+                report.quarantine_removed += 1
+    if root.is_dir():
+        for path in _safe_scan(root, "*.tmp*", root):
+            if _collect_file(path, report, clock, ttl_seconds, dry_run, root):
+                report.temps_removed += 1
+    for shard in shards.shard_dirs(root):
+        with shards.shard_lock(shard):
+            for path in _safe_scan(shard, "*.tmp*", root):
+                if _collect_file(path, report, clock, ttl_seconds, dry_run, root):
+                    report.temps_removed += 1
+            if pattern is None or collect is None:
+                continue
+            for path in _safe_scan(shard, pattern, root):
+                if ".tmp" in path.name:
+                    continue
+                if not _collect_entry_locked(
+                    root, shard, path, report, clock, ttl_seconds, dry_run, collect
+                ):
+                    continue
+                report.entries_removed += 1
+    return report
+
+
+def _safe_scan(directory: Path, pattern: str, root: Path) -> list[Path]:
+    try:
+        return iolayer.scan(directory, pattern, root=root)
+    except OSError:
+        # Counted by the seam; an unscannable directory yields nothing.
+        return []
+
+
+def _age_and_size(path: Path, root: Path) -> tuple[float, int] | None:
+    try:
+        stat = path.stat()
+    except OSError:
+        iolayer.record_io_error(root)
+        return None
+    return stat.st_mtime, stat.st_size
+
+
+def _collect_file(
+    path: Path, report: GcReport, now: float, ttl: float, dry_run: bool, root: Path
+) -> bool:
+    """Reclaim one quarantine/temp file past its TTL; True when counted."""
+    probed = _age_and_size(path, root)
+    if probed is None:
+        return False
+    mtime, size = probed
+    if now - mtime < ttl:
+        report.skipped_young += 1
+        return False
+    if not dry_run:
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            iolayer.record_io_error(root)
+            return False
+    report.bytes_reclaimed += size
+    report.paths.append(str(path.relative_to(root)))
+    return True
+
+
+def _collect_entry_locked(
+    root: Path,
+    shard: Path,
+    path: Path,
+    report: GcReport,
+    now: float,
+    ttl: float,
+    dry_run: bool,
+    collect: Callable[[dict], bool],
+) -> bool:
+    """Reclaim one terminal entry (payload satisfies ``collect``) past TTL."""
+    probed = _age_and_size(path, root)
+    if probed is None:
+        return False
+    mtime, size = probed
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return False  # scrub/repair territory, not GC's
+    if not isinstance(payload, dict) or not collect(payload):
+        return False
+    if now - mtime < ttl:
+        report.skipped_young += 1
+        return False
+    if not dry_run:
+        shards.remove_entry_locked(shard, path.name)
+    report.bytes_reclaimed += size
+    report.paths.append(str(path.relative_to(root)))
+    return True
+
+
+def repair_entries(
+    root: Path,
+    pattern: str,
+    meta_for: Callable[[str, dict], dict],
+) -> RepairReport:
+    """Heal index↔disk drift: drop ghosts, re-index orphans, quarantine junk.
+
+    ``meta_for(name, payload)`` supplies the index identity block for a
+    re-indexed orphan (each store's own ``_index_meta``).  Runs shard by
+    shard under the shard lock, rewriting each index at most once.
+    """
+    report = RepairReport(root=str(root))
+    for shard in shards.shard_dirs(root):
+        with shards.shard_lock(shard):
+            indexed = shards.read_index(shard)
+            on_disk = {
+                p.name for p in _safe_scan(shard, pattern, root) if ".tmp" not in p.name
+            }
+            changed = False
+            for name in sorted(set(indexed) - on_disk):
+                del indexed[name]
+                report.ghosts_dropped += 1
+                changed = True
+            for name in sorted(on_disk - set(indexed)):
+                payload = _read_object(shard / name, root)
+                if payload is None:
+                    shards.quarantine_entry_locked(root, shard, name)
+                    report.quarantined += 1
+                    continue
+                indexed[name] = meta_for(name, payload)
+                report.orphans_indexed += 1
+                changed = True
+            if changed:
+                shards.write_index_locked(shard, indexed)
+    return report
+
+
+def _read_object(path: Path, root: Path) -> dict | None:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        return None
+    except OSError:
+        iolayer.record_io_error(root)
+        return None
+    return payload if isinstance(payload, dict) else None

@@ -48,7 +48,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..vision.bbox import BoundingBox
-from . import shards
+from . import iolayer, maintenance, shards
 from .metrics import RunMetrics, aggregate
 from ..core.records import FrameRecord, RunResult
 
@@ -348,7 +348,16 @@ class RunStore:
         except (OSError, json.JSONDecodeError):
             payload = None
         if not isinstance(payload, dict):
-            if shards.quarantine_corrupt_entry(self.root, key.digest(), path.name):
+            try:
+                quarantined = shards.quarantine_corrupt_entry(
+                    self.root, key.digest(), path.name
+                )
+            except iolayer.StoreDegraded:
+                # Quarantine bookkeeping hit a full disk: the entry is
+                # still unservable, so this load is a miss either way.
+                self.corrupt_entries += 1
+                return None
+            if quarantined:
                 self.corrupt_entries += 1
                 return None
             # A concurrent writer replaced the entry mid-read; retry once
@@ -399,3 +408,90 @@ class RunStore:
     def audit(self) -> tuple[int, list[str]]:
         """Cross-check shard indexes against entry files; see :func:`shards.audit_entries`."""
         return shards.audit_entries(self.root, "run-*.json")
+
+    # ------------------------------------------------------------ health
+
+    @property
+    def degraded(self) -> bool:
+        """True while this store's root is in read-only (capacity) mode."""
+        return iolayer.is_degraded(self.root)
+
+    @property
+    def io_errors(self) -> int:
+        """I/O errors observed under this root (skipped paths included)."""
+        return iolayer.io_error_count(self.root)
+
+    # ------------------------------------------------------- maintenance
+
+    def scrub(self) -> maintenance.ScrubReport:
+        """Re-verify schema + recomputed run-key digest of every entry."""
+        return maintenance.scrub_entries(
+            self.root, "run-*.json", _scrub_problem, digest_for=_digest_from_name
+        )
+
+    def gc(
+        self,
+        *,
+        ttl_seconds: float = maintenance.DEFAULT_TTL_SECONDS,
+        dry_run: bool = True,
+        now: float | None = None,
+    ) -> maintenance.GcReport:
+        """TTL-collect quarantined files and stale temps (dry-run default)."""
+        return maintenance.gc_entries(
+            self.root, ttl_seconds=ttl_seconds, dry_run=dry_run, now=now
+        )
+
+    def repair(self) -> maintenance.RepairReport:
+        """Heal index↔disk drift (drop ghosts, re-index parseable orphans)."""
+        return maintenance.repair_entries(
+            self.root, "run-*.json", lambda name, payload: _index_meta(payload)
+        )
+
+
+def _digest_from_name(name: str) -> str | None:
+    """The shard digest encoded in a run entry file name, or None."""
+    parts = name[: -len(".json")].split("-") if name.endswith(".json") else []
+    return parts[2] if len(parts) == 3 and len(parts[2]) == 32 else None
+
+
+def _scrub_problem(name: str, payload: dict) -> str | None:
+    """Why a parsed run entry is unsound, or None when it checks out.
+
+    The strongest check a scrub can make without replaying the run:
+    rebuild the :class:`RunKey` from the payload's identity block and
+    require its digest to reproduce the file name — a payload whose
+    fingerprints were tampered with (or torn into another entry's slot)
+    cannot pass.
+    """
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        return f"schema_version {payload.get('schema_version')!r} != {SCHEMA_VERSION}"
+    if payload.get("algorithm_version") != RUN_ALGORITHM_VERSION:
+        return (
+            f"algorithm_version {payload.get('algorithm_version')!r} "
+            f"!= {RUN_ALGORITHM_VERSION}"
+        )
+    try:
+        key = RunKey(
+            policy_name=payload["policy_name"],
+            policy_fingerprint=payload["policy_fingerprint"],
+            scenario_fingerprint=payload["scenario_fingerprint"],
+            zoo_fingerprint=payload["zoo_fingerprint"],
+            soc_fingerprint=payload["soc_fingerprint"],
+            engine_seed=payload["engine_seed"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        return f"identity block incomplete ({exc})"
+    digest = _digest_from_name(name)
+    if digest is not None and not key.digest().startswith(digest):
+        return "recomputed run-key digest does not match file name"
+    records = payload.get("records")
+    if not isinstance(records, list):
+        return "records block is not a list"
+    if payload.get("frame_count") != len(records):
+        return (
+            f"frame_count {payload.get('frame_count')!r} does not match "
+            f"{len(records)} records"
+        )
+    if not isinstance(payload.get("metrics"), dict):
+        return "metrics block is not an object"
+    return None

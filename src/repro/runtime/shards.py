@@ -32,20 +32,32 @@ store open.  Temp files can never be served as hits (lookups only probe
 the final name), and because cleanup holds the same lock writers hold, a
 *live* writer's temp file is never swept — anything visible under the
 lock is by definition abandoned.
+
+**Fault discipline.**  Every durable write and rename here routes through
+:mod:`repro.runtime.iolayer` (the ``locks/io-seam`` lint rule enforces
+it), which retries transient capacity errors, raises a typed
+:exc:`~repro.runtime.iolayer.StoreDegraded` once a root is out of space,
+and hosts the deterministic fault plan the ``fsfaults`` check arms.
+Corrupt entries are moved into ``root/_quarantine/`` (a rename needs no
+data blocks, so quarantine works even on a full disk) rather than
+deleted, so torn bytes stay inspectable; skipped paths and read errors
+are counted per root in ``iolayer.io_error_count`` instead of being
+silently dropped.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import threading
 from contextlib import contextmanager
 from pathlib import Path
 from collections.abc import Iterator
 
-# Re-exported here as the runtime-tier entry point: store code imports the
-# crash-safe write discipline from shards, the leaf implementation lives in
-# util.atomicio so lower layers (characterization) can share it.
+from . import iolayer
+
+# Re-exported here for lower-tier sharing (characterization); store-tier
+# code routes writes through `iolayer` instead (the io-seam rule flags
+# direct calls in this package).
 from ..util.atomicio import atomic_write_json as atomic_write_json
 from ..util.atomicio import atomic_write_text as atomic_write_text
 
@@ -59,6 +71,10 @@ SHARD_PREFIX_CHARS = 2
 
 INDEX_NAME = "index.json"
 INDEX_SCHEMA_VERSION = 1
+
+#: Corrupt entries are moved here (under the store root), never deleted:
+#: torn bytes are evidence, and a rename works even on a full disk.
+QUARANTINE_DIR = "_quarantine"
 
 # One process-local mutex per lock file: fcntl locks are held per process
 # (re-acquiring in another thread of the same process would succeed), so
@@ -111,9 +127,7 @@ def shard_lock(shard: Path) -> Iterator[None]:
     shard.mkdir(parents=True, exist_ok=True)
     lock_path = shard / ".lock"
     with _thread_lock_for(lock_path):
-        # Not a data write: the lock file carries no payload, only an inode
-        # for fcntl to latch onto.
-        handle = open(lock_path, "a+", encoding="utf-8")  # noqa: SIM115  # repro: allow[locks/raw-write]
+        handle = iolayer.open_lock_file(lock_path)
         try:
             if fcntl is not None:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
@@ -125,7 +139,9 @@ def shard_lock(shard: Path) -> Iterator[None]:
 
 
 def _replace_atomically(shard: Path, name: str, text: str) -> Path:
-    return atomic_write_text(shard / name, text)
+    # `shard.parent` IS the store root: shards are its direct children,
+    # so degraded-mode accounting lands on the store, not the shard.
+    return iolayer.write_text(shard / name, text, root=shard.parent)
 
 
 def read_index(shard: Path) -> dict[str, dict]:
@@ -151,6 +167,15 @@ def _write_index(shard: Path, entries: dict[str, dict]) -> None:
         sort_keys=True,
     )
     _replace_atomically(shard, INDEX_NAME, text)
+
+
+def write_index_locked(shard: Path, entries: dict[str, dict]) -> None:
+    """Rewrite a shard's index wholesale (callers hold the shard lock).
+
+    The maintenance tier's primitive: repair passes rebuild the entry map
+    and commit it in one atomic write.
+    """
+    _write_index(shard, entries)
 
 
 def write_entry(root: Path, digest: str, name: str, text: str, meta: dict) -> Path:
@@ -234,28 +259,61 @@ def remove_entry_locked(shard: Path, name: str) -> bool:
 
 
 def quarantine_corrupt_entry(root: Path, digest: str, name: str) -> bool:
-    """Drop an entry that failed to parse — unless a writer already fixed it.
+    """Quarantine an entry that failed to parse — unless a writer fixed it.
 
-    Returns True when the entry was (still) corrupt and has been removed,
-    False when a concurrent writer replaced it with a parseable payload in
-    the meantime (the caller should then retry its load).  Runs under the
-    shard lock so the check-and-delete cannot race a live writer.
+    Returns True when the entry was (still) corrupt and has been moved to
+    ``root/_quarantine`` (its torn bytes preserved for inspection, never
+    again servable), False when a concurrent writer replaced it with a
+    parseable payload in the meantime (the caller should then retry its
+    load).  Runs under the shard lock so the check-and-move cannot race a
+    live writer.
     """
     shard = shard_dir(root, digest)
     with shard_lock(shard):
         path = shard / name
+        corrupt = False
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-            if isinstance(payload, dict):
-                return False  # repaired behind our back — not corrupt anymore
+            corrupt = not isinstance(payload, dict)
         except FileNotFoundError:
             return False  # already gone: someone else cleaned it
-        # Unreadable-or-unparseable is exactly the corrupt state this
-        # function exists to remove; fall through to the delete.
-        except (OSError, json.JSONDecodeError):  # repro: allow[exceptions/swallow]
-            pass
-        remove_entry_locked(shard, name)
+        except json.JSONDecodeError:
+            corrupt = True  # unparseable is exactly the state to remove
+        except OSError:
+            # Unreadable is corrupt too, but also an I/O signal worth
+            # surfacing: count it instead of dropping it on the floor.
+            iolayer.record_io_error(root)
+            corrupt = True
+        if not corrupt:
+            return False  # repaired behind our back — not corrupt anymore
+        quarantine_entry_locked(root, shard, name)
         return True
+
+
+def quarantine_entry_locked(root: Path, shard: Path, name: str) -> bool:
+    """Move one entry into ``root/_quarantine`` and drop its index record.
+
+    For callers already holding the shard lock.  The move is a same-
+    filesystem rename (allocates no data blocks, so it works under
+    ENOSPC); if even that fails the file is unlinked instead — serving
+    corrupt bytes is the one unacceptable outcome.  True when the entry
+    file existed.
+    """
+    path = shard / name
+    existed = path.exists()
+    if existed:
+        target_dir = root / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            iolayer.replace(path, target_dir / f"{shard.name}-{name}", root=root)
+        except (OSError, iolayer.StoreError):
+            iolayer.record_io_error(root)
+            path.unlink(missing_ok=True)
+    entries = read_index(shard)
+    if name in entries:
+        del entries[name]
+        _write_index(shard, entries)
+    return existed
 
 
 def clean_stale_temps(root: Path) -> int:
@@ -264,20 +322,41 @@ def clean_stale_temps(root: Path) -> int:
     Sweeps the root (legacy flat layout) and every shard, taking each
     shard's lock first: a temp file observed *while holding the lock*
     cannot belong to a live writer, so everything swept is a crash
-    leftover.  Returns how many files were removed.
+    leftover.  Returns how many files were removed.  Paths that cannot
+    be scanned or unlinked are *not* silently dropped: each failure is
+    counted in ``iolayer.io_error_count(root)`` and the sweep moves on —
+    a stale temp is cosmetic, an uncounted I/O error is not.
     """
     removed = 0
     if not root.is_dir():
         return 0
-    for stale in root.glob("*.tmp*"):
-        stale.unlink(missing_ok=True)
-        removed += 1
+    for stale in _scan_or_count(root, "*.tmp*", root):
+        removed += _unlink_or_count(stale, root)
     for shard in shard_dirs(root):
         with shard_lock(shard):
-            for stale in shard.glob("*.tmp*"):
-                stale.unlink(missing_ok=True)
-                removed += 1
+            for stale in _scan_or_count(shard, "*.tmp*", root):
+                removed += _unlink_or_count(stale, root)
     return removed
+
+
+def _scan_or_count(directory: Path, pattern: str, root: Path) -> list[Path]:
+    """A seam scan that degrades to an empty listing, counting the error."""
+    try:
+        return iolayer.scan(directory, pattern, root=root)
+    except OSError:
+        # Already counted by the seam's retry loop; an unscannable
+        # directory just contributes nothing to this sweep.
+        return []
+
+
+def _unlink_or_count(stale: Path, root: Path) -> int:
+    """Unlink one stale temp; 1 when removed, 0 (counted) when skipped."""
+    try:
+        stale.unlink(missing_ok=True)
+    except OSError:
+        iolayer.record_io_error(root)
+        return 0
+    return 1
 
 
 def migrate_flat_entries(
@@ -311,9 +390,9 @@ def migrate_flat_entries(
                 path.unlink()
                 continue
             target = shard / path.name
-            # This IS the atomic-rename layer: the legacy file is already
-            # fully written, so moving it into its shard needs no temp.
-            os.replace(path, target)  # repro: allow[locks/raw-write]
+            # The legacy file is already fully written, so moving it into
+            # its shard needs no temp — the seam's rename is enough.
+            iolayer.replace(path, target, root=root)
             entries = read_index(shard)
             entries[path.name] = meta
             _write_index(shard, entries)

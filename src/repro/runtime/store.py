@@ -46,7 +46,7 @@ from ..data.scenario import Scenario
 from ..models.detector import DetectionOutcome
 from ..models.zoo import ModelZoo
 from ..vision.bbox import BoundingBox
-from . import shards
+from . import iolayer, maintenance, shards
 from .trace import ScenarioTrace
 
 SCHEMA_VERSION = 1
@@ -240,7 +240,16 @@ class TraceStore:
         except (OSError, json.JSONDecodeError):
             payload = None
         if not isinstance(payload, dict):
-            if shards.quarantine_corrupt_entry(self.root, scenario.fingerprint(), path.name):
+            try:
+                quarantined = shards.quarantine_corrupt_entry(
+                    self.root, scenario.fingerprint(), path.name
+                )
+            except iolayer.StoreDegraded:
+                # Quarantine bookkeeping hit a full disk: the entry is
+                # still unservable, so this load is a miss either way.
+                self.corrupt_entries += 1
+                return None
+            if quarantined:
                 self.corrupt_entries += 1
                 return None
             # A concurrent writer replaced the entry while we looked at it;
@@ -284,6 +293,83 @@ class TraceStore:
     def audit(self) -> tuple[int, list[str]]:
         """Cross-check shard indexes against entry files; see :func:`shards.audit_entries`."""
         return shards.audit_entries(self.root, "trace-*.json")
+
+    # ------------------------------------------------------------ health
+
+    @property
+    def degraded(self) -> bool:
+        """True while this store's root is in read-only (capacity) mode."""
+        return iolayer.is_degraded(self.root)
+
+    @property
+    def io_errors(self) -> int:
+        """I/O errors observed under this root (skipped paths included)."""
+        return iolayer.io_error_count(self.root)
+
+    # ------------------------------------------------------- maintenance
+
+    def scrub(self) -> maintenance.ScrubReport:
+        """Re-verify schema + fingerprints of every indexed trace entry."""
+        return maintenance.scrub_entries(
+            self.root, "trace-*.json", _scrub_problem, digest_for=_digest_from_name
+        )
+
+    def gc(
+        self,
+        *,
+        ttl_seconds: float = maintenance.DEFAULT_TTL_SECONDS,
+        dry_run: bool = True,
+        now: float | None = None,
+    ) -> maintenance.GcReport:
+        """TTL-collect quarantined files and stale temps (dry-run default)."""
+        return maintenance.gc_entries(
+            self.root, ttl_seconds=ttl_seconds, dry_run=dry_run, now=now
+        )
+
+    def repair(self) -> maintenance.RepairReport:
+        """Heal index↔disk drift (drop ghosts, re-index parseable orphans)."""
+        return maintenance.repair_entries(
+            self.root, "trace-*.json", lambda name, payload: _index_meta(payload)
+        )
+
+
+def _digest_from_name(name: str) -> str | None:
+    """The shard digest encoded in a trace entry file name, or None."""
+    parts = name[: -len(".json")].split("-") if name.endswith(".json") else []
+    return parts[2] if len(parts) == 4 and len(parts[2]) == 16 else None
+
+
+def _scrub_problem(name: str, payload: dict) -> str | None:
+    """Why a parsed trace entry is unsound, or None when it checks out.
+
+    Scrub has no live scenario/zoo to compare against, so it verifies the
+    *internal* identity discipline: schema and algorithm versions, the
+    fingerprint prefixes baked into the file name, and the outcome shape.
+    """
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        return f"schema_version {payload.get('schema_version')!r} != {SCHEMA_VERSION}"
+    parts = name[: -len(".json")].split("-")
+    if parts[1] != f"v{payload.get('algorithm_version')}":
+        return (
+            f"algorithm_version {payload.get('algorithm_version')!r} "
+            f"does not match file name {parts[1]}"
+        )
+    fingerprint = payload.get("scenario_fingerprint")
+    if not isinstance(fingerprint, str) or not fingerprint.startswith(parts[2]):
+        return "scenario fingerprint does not match file name"
+    zoo_fingerprint = payload.get("zoo_fingerprint")
+    if not isinstance(zoo_fingerprint, str) or not zoo_fingerprint.startswith(parts[3]):
+        return "zoo fingerprint does not match file name"
+    outcomes = payload.get("outcomes")
+    if not isinstance(outcomes, dict):
+        return "outcomes block is not an object"
+    frames = payload.get("frame_count")
+    if not isinstance(frames, int):
+        return "frame_count is not an integer"
+    for model, rows in outcomes.items():
+        if not isinstance(rows, list) or len(rows) != frames:
+            return f"outcomes[{model}] does not carry {frames} rows"
+    return None
 
 
 def _index_meta(payload: dict) -> dict:

@@ -46,6 +46,15 @@ silently full server.
 ``404`` unknown request id or route, ``405`` wrong method, ``413``
 oversized body, ``429`` admission queue full (with ``Retry-After``),
 ``503`` shutting down.
+
+**Degraded mode.**  When a backing store exhausts its bounded write
+retries (disk full, I/O errors) it flips read-only and the front-end
+reports it instead of failing opaquely: a submit that hits the capacity
+wall gets ``507 Insufficient Storage`` with a ``Retry-After`` hint,
+``/healthz`` answers ``503`` with ``"degraded": true`` (so fleet
+health checks stop routing new work here), and ``/v1/stores/stats``
+carries ``degraded`` + ``io_errors``.  Warm hits keep streaming
+throughout — read-only means *read*-only.
 """
 
 from __future__ import annotations
@@ -62,6 +71,7 @@ from collections.abc import Callable, Iterator
 from ..models.zoo import ModelZoo, default_zoo
 from ..core.policy import Policy
 from ..runtime.export import metrics_to_dict
+from ..runtime.iolayer import StoreDegraded
 from ..runtime.metrics import RunMetrics
 from ..runtime.runstore import RunKey, RunStore
 from ..sim.soc import SoC, xavier_nx_with_oakd
@@ -80,6 +90,9 @@ HTTP_API_VERSION = 1
 
 #: Largest request body the server will read (a jobs file, not a dataset).
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Retry-After hint (seconds) on capacity responses (507 / degraded 503).
+DEGRADED_RETRY_AFTER = 5.0
 
 
 # --------------------------------------------------------------------- wire
@@ -191,6 +204,14 @@ class ServiceBackend:
     @property
     def run_store(self):
         return self.service.run_store
+
+    @property
+    def degraded(self) -> bool:
+        return self.service.degraded
+
+    @property
+    def io_errors(self) -> int:
+        return self.service.io_errors
 
     def close(self) -> None:
         self.service.close()
@@ -348,6 +369,14 @@ class QueueBackend:
     @property
     def trace_store(self):
         return None
+
+    @property
+    def degraded(self) -> bool:
+        return self.queue.degraded or self.run_store.degraded
+
+    @property
+    def io_errors(self) -> int:
+        return self.queue.io_errors + self.run_store.io_errors
 
     def _soc_fingerprint(self) -> str:
         if self._soc_fp is None:
@@ -551,6 +580,11 @@ class SweepFrontend:
             entry.retired = True
         except (TimeoutError, _FuturesTimeout):
             error = f"deadline exceeded after {entry.deadline_s:.0f}s"
+        except StoreDegraded as exc:
+            # A cold miss against a read-only store: the rows streamed so
+            # far are good, the terminal line says why the rest cannot
+            # come until capacity returns.
+            error = exc.args[0]
         except ServiceError as exc:
             error = exc.args[0]
         if error is not None:
@@ -585,6 +619,8 @@ class SweepFrontend:
             "trace_entries": len(trace_store) if trace_store is not None else None,
             "run_entries": len(run_store) if run_store is not None else None,
             "corrupt_entries": corrupt,
+            "degraded": bool(getattr(self.backend, "degraded", False)),
+            "io_errors": int(getattr(self.backend, "io_errors", 0)),
             "frontend": frontend,
             "backend": self.backend.counters(),
         }
@@ -671,7 +707,18 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
-            self._send_json(200, {"api_version": HTTP_API_VERSION, "status": "ok"})
+            if getattr(self.frontend.backend, "degraded", False):
+                # Still alive — but load balancers should stop routing
+                # new work here until the disk recovers.
+                self._send_json(
+                    503,
+                    {"api_version": HTTP_API_VERSION, "status": "degraded",
+                     "degraded": True},
+                    {"Retry-After": f"{DEGRADED_RETRY_AFTER:.0f}"},
+                )
+                return
+            self._send_json(200, {"api_version": HTTP_API_VERSION, "status": "ok",
+                                  "degraded": False})
             return
         if path == "/v1/stores/stats":
             self._send_json(200, self.frontend.stores_stats())
@@ -720,6 +767,13 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             entries = self.frontend.submit_payload(payload)
+        except StoreDegraded as exc:
+            # The submit itself hit the capacity wall (queue backends
+            # write job records at admission time).  507 is the storage
+            # sibling of 429: try again once space returns.
+            self._send_error(507, exc.args[0],
+                             {"Retry-After": f"{DEGRADED_RETRY_AFTER:.0f}"})
+            return
         except ServiceBusy as exc:
             if exc.retry_after is not None:
                 self._send_error(429, exc.args[0],

@@ -52,7 +52,8 @@ from pathlib import Path
 from collections.abc import Callable, Iterator
 
 from ..data.scenario import Scenario, scenario_from_dict, scenario_to_dict
-from ..runtime import shards
+from ..runtime import iolayer, maintenance, shards
+from ..runtime.iolayer import StoreDegraded
 from .jobs import ServiceError, UnitJob
 
 QUEUE_SCHEMA_VERSION = 1
@@ -190,7 +191,7 @@ class JobQueue:
         self.backoff_seed = backoff_seed
         self._clock = clock if clock is not None else time.time
         # One mutex for the counter block; enforced by `repro lint`.
-        self._state = threading.Lock()  # repro: guards[claims_granted, jobs_completed, jobs_failed, leases_expired, jobs_requeued, jobs_dead, leases_lost, jobs_released, corrupt_records, clock_skew_events, _last_reading]
+        self._state = threading.Lock()  # repro: guards[claims_granted, jobs_completed, jobs_failed, leases_expired, jobs_requeued, jobs_dead, leases_lost, jobs_released, corrupt_records, clock_skew_events, degraded_refusals, _last_reading]
         self.claims_granted = 0
         self.jobs_completed = 0
         self.jobs_failed = 0
@@ -201,6 +202,7 @@ class JobQueue:
         self.jobs_released = 0
         self.corrupt_records = 0
         self.clock_skew_events = 0
+        self.degraded_refusals = 0
         self._last_reading: float | None = None
         self.stale_temps_cleaned = shards.clean_stale_temps(self.root)
 
@@ -280,15 +282,33 @@ class JobQueue:
         effect of normal claiming, no reaper process needed.  ``None``
         means *right now*: jobs backing off or leased elsewhere may
         become claimable later, so workers poll until :meth:`drained`.
+
+        While the queue root is degraded (disk capacity exhausted) no
+        claim is granted at all: a lease against a store that cannot
+        commit its own record would only burn an attempt.  Each refused
+        claim first probes for recovery, so the queue un-wedges itself
+        the moment space returns.
         """
+        if iolayer.is_degraded(self.root) and not iolayer.probe(self.root):
+            with self._state:
+                self.degraded_refusals += 1
+            return None
         now = self._now()
         shard_list = shards.shard_dirs(self.root)
         if not shard_list:
             return None
         offset = int(hashlib.sha256(owner.encode("utf-8")).hexdigest()[:8], 16) % len(shard_list)
         for shard in shard_list[offset:] + shard_list[:offset]:
-            with shards.shard_lock(shard):
-                lease = self._claim_in_shard_locked(shard, owner, now)
+            try:
+                with shards.shard_lock(shard):
+                    lease = self._claim_in_shard_locked(shard, owner, now)
+            except StoreDegraded:
+                # The grant write itself hit a full disk: the record on
+                # disk is unchanged (atomic replace never landed), so no
+                # lease exists and no attempt was burned.
+                with self._state:
+                    self.degraded_refusals += 1
+                return None
             if lease is not None:
                 return lease
         return None
@@ -623,7 +643,9 @@ class JobQueue:
                 jobs_released=self.jobs_released,
                 corrupt_records=self.corrupt_records,
                 clock_skew_events=self.clock_skew_events,
+                degraded_refusals=self.degraded_refusals,
             )
+        merged["io_errors"] = iolayer.io_error_count(self.root)
         return merged
 
     def outstanding(self) -> int:
@@ -638,6 +660,54 @@ class JobQueue:
     def audit(self) -> tuple[int, list[str]]:
         """Cross-check shard indexes against job files; see :func:`shards.audit_entries`."""
         return shards.audit_entries(self.root, "job-*.json")
+
+    # -------------------------------------------------------------- health
+
+    @property
+    def degraded(self) -> bool:
+        """True while the queue root is in read-only (capacity) mode."""
+        return iolayer.is_degraded(self.root)
+
+    @property
+    def io_errors(self) -> int:
+        """I/O errors observed under the queue root (skipped paths included)."""
+        return iolayer.io_error_count(self.root)
+
+    # --------------------------------------------------------- maintenance
+
+    def scrub(self) -> maintenance.ScrubReport:
+        """Re-verify schema + recomputed job digest of every record."""
+        return maintenance.scrub_entries(
+            self.root, "job-*.json", _scrub_problem, digest_for=_digest_from_name
+        )
+
+    def gc(
+        self,
+        *,
+        ttl_seconds: float = maintenance.DEFAULT_TTL_SECONDS,
+        dry_run: bool = True,
+        now: float | None = None,
+    ) -> maintenance.GcReport:
+        """TTL-collect quarantine/temps and dead-letter records (dry-run default).
+
+        Dead-lettered jobs are terminal evidence: old enough, they are
+        reclaimed like quarantined files.  ``done`` records are *never*
+        collected — they are what makes re-submitting a warm sweep free.
+        """
+        return maintenance.gc_entries(
+            self.root,
+            ttl_seconds=ttl_seconds,
+            dry_run=dry_run,
+            now=now,
+            pattern="job-*.json",
+            collect=lambda record: record.get("state") == "dead",
+        )
+
+    def repair(self) -> maintenance.RepairReport:
+        """Heal index↔disk drift (drop ghosts, re-index parseable orphans)."""
+        return maintenance.repair_entries(
+            self.root, "job-*.json", lambda name, record: job_index_meta(record)
+        )
 
     # ------------------------------------------------------------- plumbing
 
@@ -666,3 +736,34 @@ class JobQueue:
         history = record.setdefault("history", [])
         history.append({"state": state, "detail": detail, "at": now, "attempt": record["attempts"]})
         del history[:-HISTORY_LIMIT]
+
+
+def _digest_from_name(name: str) -> str | None:
+    """The shard digest encoded in a job record file name, or None."""
+    parts = name[: -len(".json")].split("-") if name.endswith(".json") else []
+    return parts[2] if len(parts) == 3 and len(parts[2]) == 32 else None
+
+
+def _scrub_problem(name: str, record: dict) -> str | None:
+    """Why a parsed job record is unsound, or None when it checks out.
+
+    Recomputes the job digest from the identity block — a record whose
+    spec/fingerprint was torn into another record's slot cannot pass —
+    and requires a known state plus an executable scenario block.
+    """
+    if record.get("schema_version") != QUEUE_SCHEMA_VERSION:
+        return f"schema_version {record.get('schema_version')!r} != {QUEUE_SCHEMA_VERSION}"
+    if record.get("state") not in JOB_STATES:
+        return f"unknown state {record.get('state')!r}"
+    spec = record.get("policy_spec")
+    fingerprint = record.get("scenario_fingerprint")
+    if not isinstance(spec, str) or not isinstance(fingerprint, str):
+        return "identity block incomplete"
+    digest = job_digest(spec, fingerprint)
+    if record.get("job_id") != digest:
+        return "job_id does not match recomputed digest"
+    if _job_file_name(digest) != name:
+        return "file name does not match recomputed digest"
+    if not isinstance(record.get("scenario"), dict):
+        return "scenario block missing (record is not executable)"
+    return None

@@ -42,6 +42,7 @@ from ..data.scenario import Scenario
 from ..models.zoo import ModelZoo, default_zoo
 from ..runtime.metrics import RunMetrics, aggregate
 from ..core.policy import Policy
+from ..runtime.iolayer import StoreDegraded
 from ..runtime.runner import run_policy
 from ..runtime.runstore import RunKey, RunStore
 from ..runtime.store import TraceStore
@@ -280,6 +281,24 @@ class SweepService:
                 total += store.corrupt_entries
         return total
 
+    @property
+    def degraded(self) -> bool:
+        """True while either backing store is in read-only degraded mode."""
+        return any(
+            store.degraded
+            for store in (self.trace_store, self.run_store)
+            if store is not None
+        )
+
+    @property
+    def io_errors(self) -> int:
+        """Non-fatal I/O errors recorded against both backing stores."""
+        return sum(
+            store.io_errors
+            for store in (self.trace_store, self.run_store)
+            if store is not None
+        )
+
     # ----------------------------------------------------------------- jobs
 
     def _run_job(self, job: UnitJob, future: Future) -> None:
@@ -306,6 +325,15 @@ class SweepService:
                 with self._state:
                     self.run_store_hits += 1
                 return cached
+            if self.run_store.degraded:
+                # Read-only mode: warm hits were served above; a miss
+                # would execute a run whose commit cannot land.  Refuse
+                # before burning compute — the front-end maps this to a
+                # capacity response (507), not an internal error.
+                raise StoreDegraded(
+                    self.run_store.root, "save",
+                    "store is read-only while degraded; cold misses refused",
+                )
         trace = self._trace(job.scenario)
         soc = self._soc_factory() if self._soc_factory is not None else None
         result = run_policy(

@@ -30,6 +30,7 @@ differential check to stay cheap enough for tier-1.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import threading
 import time
@@ -38,6 +39,7 @@ from collections.abc import Callable
 
 from ..models.zoo import ModelZoo, default_zoo
 from ..core.policy import Policy
+from ..runtime.iolayer import StoreDegraded
 from ..runtime.runner import run_policy
 from ..runtime.runstore import RunKey, RunStore
 from ..runtime.store import TraceStore
@@ -242,6 +244,14 @@ class QueueWorker:
             self._execute(lease)
         except WorkerKilled:
             raise  # a "killed" worker does no cleanup — that's the point
+        except StoreDegraded:
+            # Disk pressure is not the job's fault: release the lease so
+            # the attempt is refunded and no dead-letter accrues from pure
+            # ENOSPC.  The release write can hit the same full disk; a
+            # failed release just lets the lease expire, which is the same
+            # outcome one deadline later.
+            with contextlib.suppress(StoreDegraded):
+                self.queue.release(lease)
         except Exception as exc:  # noqa: BLE001 - any job failure must requeue, not kill the worker
             self.queue.fail(lease, f"{type(exc).__name__}: {exc}")
         finally:
@@ -360,6 +370,9 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                         help="knob preset for shift policies (default: paper)")
     parser.add_argument("--fault-plan", default=None, metavar="FILE",
                         help="JSON fault plan (repro.verify.faults); kills are real SIGKILL")
+    parser.add_argument("--fs-fault-plan", default=None, metavar="FILE",
+                        help="JSON filesystem fault plan (repro.runtime.iolayer); injects "
+                             "ENOSPC/EIO/lost-rename/partial-write into this process's store writes")
 
 
 def run(args: argparse.Namespace) -> int:
@@ -400,6 +413,11 @@ def run(args: argparse.Namespace) -> int:
         from ..verify.faults import FaultPlan, ProcessFaultHooks
 
         hooks = ProcessFaultHooks(FaultPlan.load(args.fault_plan))
+    if getattr(args, "fs_fault_plan", None) is not None:
+        from ..runtime.iolayer import FsFaultPlan, arm_fault_plan
+
+        # Process-wide: every seam write in this worker sees the plan.
+        arm_fault_plan(FsFaultPlan.load(args.fs_fault_plan))
     resolver = None
     if args.shift_bundle is not None:
         from ..characterization import load_bundle

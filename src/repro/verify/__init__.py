@@ -16,6 +16,7 @@ from .differential import (
     check_detect_equality,
     check_fast_run_equivalence,
     check_fault_tolerance,
+    check_fs_fault_tolerance,
     check_render_equality,
     check_run_invariants,
     check_service_equivalence,
@@ -33,6 +34,11 @@ from .faults import (
     ProcessFaultHooks,
     fault_plan_for_check,
     run_fault_sweep,
+)
+from .fsfaults import (
+    FsFaultOutcome,
+    fs_fault_plan_for_check,
+    run_fsfault_sweep,
 )
 from .fuzz import (
     DEFAULT_SAMPLE,
@@ -56,6 +62,7 @@ __all__ = [
     "check_fast_run_equivalence",
     "check_service_equivalence",
     "check_fault_tolerance",
+    "check_fs_fault_tolerance",
     "default_fast_run_policy_factories",
     "verify_scenario",
     "FAULT_KINDS",
@@ -66,6 +73,9 @@ __all__ = [
     "ProcessFaultHooks",
     "fault_plan_for_check",
     "run_fault_sweep",
+    "FsFaultOutcome",
+    "fs_fault_plan_for_check",
+    "run_fsfault_sweep",
     "DEFAULT_SAMPLE",
     "SCENARIOS_ENV",
     "FuzzReport",

@@ -84,7 +84,10 @@ from ..runtime.store import TraceStore
 from ..runtime.trace import ScenarioTrace
 
 # All check names, in the order verify_scenario runs them.
-CHECKS = ("render", "detect", "store", "trace", "run", "fastrun", "service", "faults", "http")
+CHECKS = (
+    "render", "detect", "store", "trace", "run", "fastrun", "service",
+    "faults", "http", "fsfaults",
+)
 
 # Tolerance for NCC leaving [-1, 1] through floating-point rounding.
 _NCC_SLACK = 1e-9
@@ -538,6 +541,43 @@ def check_fault_tolerance(
     return _ok("faults")
 
 
+def check_fs_fault_tolerance(
+    trace: ScenarioTrace,
+    zoo: ModelZoo,
+    engine_seed: int = 1234,
+) -> CheckResult:
+    """The persistence tier must survive its seeded *disk* fault plan.
+
+    Replays :func:`~repro.verify.fsfaults.fs_fault_plan_for_check` — an
+    ENOSPC burst deep enough to degrade a root, an EIO, a partial write
+    and a lost rename aimed at run entries, and one slow write — against
+    a worker fleet draining this scenario's unit jobs, then asserts the
+    degraded-mode contract: zero lost jobs, zero dead-letters from pure
+    disk pressure, torn writes quarantined and never served, no root
+    still degraded after recovery, and serial bit-equality once space
+    returns.  The recovery pass between drains is the documented
+    maintenance playbook (probe, scrub, repair, re-offer) exercised end
+    to end.
+    """
+    from .fsfaults import run_fsfault_sweep
+
+    specs = _service_specs(trace.model_names())
+    if not specs:
+        return _fail("fsfaults", "trace covers no models a queue policy could run")
+    with tempfile.TemporaryDirectory(prefix="repro-fsfaults-") as tmp:
+        outcome = run_fsfault_sweep(
+            [trace.scenario],
+            specs,
+            Path(tmp),
+            engine_seed=engine_seed,
+            zoo=zoo,
+            prebuilt=[trace],
+        )
+    if not outcome.passed:
+        return _fail("fsfaults", "; ".join(outcome.failures()))
+    return _ok("fsfaults")
+
+
 def check_http_equivalence(
     trace: ScenarioTrace,
     zoo: ModelZoo,
@@ -764,4 +804,6 @@ def verify_scenario(
             report.results.append(check_fault_tolerance(trace, zoo))
         elif check == "http":
             report.results.append(check_http_equivalence(trace, zoo))
+        elif check == "fsfaults":
+            report.results.append(check_fs_fault_tolerance(trace, zoo))
     return report

@@ -220,3 +220,74 @@ class TestLockedCall:
                 return None
         """)
         assert "locks/locked-call" not in tree.rules_fired()
+
+
+class TestIoSeam:
+    """Store-tier writes must route through the repro.runtime.iolayer seam."""
+
+    def test_atomic_helper_in_a_seam_module_fires_io_seam(self, tree):
+        # Atomic is necessary but not sufficient in the store tier: a
+        # direct atomicio call is invisible to fault plans and degraded
+        # mode, so the finding upgrades from raw-write to io-seam.
+        tree.write("runtime/shards.py", """
+            def save(path, text):
+                from ..util.atomicio import atomic_write_text
+                atomic_write_text(path, text)
+        """)
+        fired = tree.rules_fired()
+        assert "locks/io-seam" in fired
+        assert "locks/raw-write" not in fired
+
+    def test_raw_write_in_a_seam_module_reports_as_io_seam(self, tree):
+        tree.write("service/queue.py", """
+            def save(path, text):
+                path.write_text(text)
+        """)
+        fired = tree.rules_fired()
+        assert "locks/io-seam" in fired
+        assert "locks/raw-write" not in fired
+
+    def test_one_finding_per_bad_call(self, tree):
+        tree.write("runtime/store.py", """
+            def save(path, text):
+                from ..util.atomicio import atomic_write_text
+                atomic_write_text(path, text)
+        """)
+        findings = [f for f in tree.lint().findings if f.rule.startswith("locks/")]
+        assert len(findings) == 1
+
+    def test_calls_into_the_seam_are_the_discipline(self, tree):
+        tree.write("runtime/export.py", """
+            from . import iolayer
+
+            def save(path, text, root):
+                iolayer.write_text(path, text, root=root)
+                iolayer.replace(path, path.with_suffix(".new"), root=root)
+        """)
+        fired = tree.rules_fired()
+        assert "locks/io-seam" not in fired
+        assert "locks/raw-write" not in fired
+
+    def test_non_seam_modules_keep_the_raw_write_rule(self, tree):
+        # Outside the store tier the old contract stands: atomicity is
+        # the requirement, the seam is not.
+        tree.write("runtime/metrics.py", """
+            def save(path, text):
+                path.write_text(text)
+        """)
+        fired = tree.rules_fired()
+        assert "locks/raw-write" in fired
+        assert "locks/io-seam" not in fired
+
+    def test_suppression_pragma_silences_it(self, tree):
+        tree.write("runtime/shards.py", """
+            def save(path, text):
+                path.write_text(text)  # repro: allow[locks/io-seam]
+        """)
+        assert "locks/io-seam" not in tree.rules_fired()
+
+    def test_iolayer_itself_ranks_with_the_runtime_layer(self):
+        from repro.analysis.layering import LAYER_RANKS, rank_for
+
+        assert rank_for("runtime.iolayer") == LAYER_RANKS["runtime.iolayer"]
+        assert LAYER_RANKS["runtime.iolayer"] == LAYER_RANKS["runtime"]

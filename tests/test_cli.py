@@ -323,3 +323,62 @@ class TestQueueCommands:
         assert main(["queue", str(tmp_path / "q"), "--requeue-dead"]) == 0
         out = capsys.readouterr().out
         assert "requeued 1 dead-lettered jobs" in out and "1 pending" in out
+
+
+class TestStoreMaintenance:
+    """``repro store scrub|gc|repair``: exit codes and dry-run discipline."""
+
+    def _torn_store(self, tmp_path):
+        from repro.runtime import shards
+
+        runs = tmp_path / "runs"
+        shard = runs / "ab"
+        shard.mkdir(parents=True)
+        with shards.shard_lock(shard):
+            shards.write_entry_locked(
+                shard, "run-v1-" + "ab" * 16 + ".json", '{"torn', {}
+            )
+        return runs
+
+    def test_store_requires_a_target(self, capsys):
+        assert main(["store", "scrub"]) == 2
+        assert "needs at least one root" in capsys.readouterr().err
+
+    def test_scrub_exit_code_is_the_integrity_alarm(self, tmp_path, capsys):
+        runs = self._torn_store(tmp_path)
+        assert main(["--run-store", str(runs), "store", "scrub"]) == 1
+        out = capsys.readouterr().out
+        assert "runs:" in out
+        assert (runs / "_quarantine").exists()
+        # The alarm is edge-triggered: a second scrub of the healed tree
+        # is clean, so a cron'd scrub only pages when something tore.
+        assert main(["--run-store", str(runs), "store", "scrub"]) == 0
+
+    def test_gc_is_dry_run_unless_applied(self, tmp_path, capsys):
+        import time
+
+        runs = self._torn_store(tmp_path)
+        main(["--run-store", str(runs), "store", "scrub"])
+        quarantined = list((runs / "_quarantine").iterdir())
+        assert quarantined
+        capsys.readouterr()
+        time.sleep(0.05)
+        base = ["--run-store", str(runs), "store", "gc", "--ttl", "0.01"]
+        assert main(base) == 0
+        assert "dry run" in capsys.readouterr().out
+        assert all(path.exists() for path in quarantined)  # reported, not touched
+        assert main(base + ["--apply"]) == 0
+        assert not any(path.exists() for path in quarantined)
+
+    def test_repair_covers_every_named_root(self, tmp_path, capsys):
+        from repro.service import JobQueue
+
+        JobQueue(tmp_path / "q")  # lay out a real queue directory
+        code = main([
+            "--run-store", str(tmp_path / "runs"),
+            "--trace-store", str(tmp_path / "traces"),
+            "store", "repair", "--queue", str(tmp_path / "q"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runs:" in out and "traces:" in out and "queue:" in out
