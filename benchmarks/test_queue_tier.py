@@ -17,11 +17,16 @@ machine two ways:
     orchestration overhead a single-process caller pays for crash
     safety.
 
-No committed floor yet: queue overhead is dominated by fsync-free JSON
-I/O and should stay a small multiple of the bare sweep, but the margin
-is machine-dependent — ``benchmarks/out/BENCH_queue.json`` tracks the
-trajectory across PRs instead.
+With ``REPRO_BENCH_ENFORCE_FLOOR=1`` (the CI perf-smoke job) the drain
+overhead is additionally checked against the committed
+``benchmarks/baseline.json`` ceiling: crash safety is allowed to cost a
+small multiple of the bare sweep, not an unbounded one.
+``benchmarks/out/BENCH_queue.json`` still tracks the full trajectory.
 """
+
+import json
+import os
+import pathlib
 
 from repro.data.grammar import ScenarioMatrix
 from repro.models import default_zoo
@@ -40,6 +45,7 @@ _MATRIX = ScenarioMatrix(
 # drain set sticks to two cheap real policies.
 _MECH_SPECS = ("marlin", "marlin-tiny", "single:yolov7-tiny@gpu", "single:ssd-mobilenet-v2@gpu")
 _DRAIN_SPECS = ("marlin-tiny", "single:yolov7-tiny@gpu")
+_BASELINE = pathlib.Path(__file__).parent / "baseline.json"
 
 
 def test_queue_benchmark(report, best_of, tmp_path_factory):
@@ -126,3 +132,11 @@ def test_queue_benchmark(report, best_of, tmp_path_factory):
             "drain_overhead": round(overhead, 3),
         },
     )
+
+    if os.environ.get("REPRO_BENCH_ENFORCE_FLOOR"):
+        baseline = json.loads(_BASELINE.read_text(encoding="utf-8"))
+        ceiling = baseline["queue"]["drain_overhead_max"]
+        assert overhead <= ceiling, (
+            f"queue drain overhead {overhead:.2f}x bare exceeded the committed ceiling "
+            f"({ceiling}x): lease bookkeeping got more expensive than crash safety is worth"
+        )

@@ -48,6 +48,7 @@ LAYER_RANKS: dict[str, int] = {
     "characterization": 1,
     "core": 2,
     "runtime": 3,
+    "runtime.colfmt": 3,
     "runtime.iolayer": 3,
     "baselines": 3,
     "service": 4,

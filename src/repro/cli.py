@@ -599,11 +599,15 @@ def _cmd_store(args: argparse.Namespace) -> int:
     from .runtime.runstore import RunStore
     from .runtime.store import TraceStore
 
+    # `migrate` opens the stores with an explicit write format, which is
+    # what triggers the on-open re-encode; the other actions use the
+    # session default (REPRO_STORE_FORMAT or binary).
+    write_format = args.format if args.action == "migrate" else None
     targets: list[tuple[str, object]] = []
     if args.trace_store:
-        targets.append(("traces", TraceStore(args.trace_store)))
+        targets.append(("traces", TraceStore(args.trace_store, write_format=write_format)))
     if args.run_store:
-        targets.append(("runs", RunStore(args.run_store)))
+        targets.append(("runs", RunStore(args.run_store, write_format=write_format)))
     if args.queue:
         from .service import JobQueue
 
@@ -622,6 +626,14 @@ def _cmd_store(args: argparse.Namespace) -> int:
             for problem in report.problems:
                 print(f"  {problem}")
             quarantined += report.quarantined
+        elif args.action == "migrate":
+            migrated = getattr(store, "format_migrated", None)
+            if migrated is None:
+                print(f"{label}: job queues have a single format; nothing to migrate")
+            else:
+                print(f"{label}: {migrated} entries re-encoded as "
+                      f"{store.write_format} on open "
+                      f"({len(store)} entries total)")
         elif args.action == "gc":
             report = store.gc(ttl_seconds=args.ttl, dry_run=not args.apply)
             print(f"{label}: {report.summary()}")
@@ -863,10 +875,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     store_cmd = commands.add_parser(
         "store", help="self-healing store maintenance: scrub, gc (TTL), repair")
-    store_cmd.add_argument("action", choices=("scrub", "gc", "repair"),
+    store_cmd.add_argument("action", choices=("scrub", "gc", "repair", "migrate"),
                            help="scrub: re-verify + quarantine; gc: reclaim expired "
                                 "artifacts (dry-run unless --apply); repair: heal "
-                                "index<->disk drift")
+                                "index<->disk drift; migrate: re-encode entries in "
+                                "the --format on-disk format")
+    store_cmd.add_argument("--format", choices=("binary", "json"), default="binary",
+                           help="migrate: target write format (binary re-encodes JSON "
+                                "entries on open; json only switches future writes — "
+                                "binary entries stay readable either way)")
     store_cmd.add_argument("--queue", default=None, metavar="DIR",
                            help="also maintain this job queue directory")
     from .runtime.maintenance import DEFAULT_TTL_SECONDS as _DEFAULT_TTL

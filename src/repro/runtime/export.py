@@ -12,8 +12,23 @@ import json
 from pathlib import Path
 
 from ..core.records import FrameRecord, RunResult
+from ..util import jsonsafe
 from . import iolayer
 from .metrics import RunMetrics
+
+
+class MetricsReadResult(list):
+    """The rows of a metrics file, plus whether the read was partial.
+
+    ``partial`` is True when the file's final line was torn (no trailing
+    newline and unparseable — the signature of a writer killed mid-line):
+    the complete rows are still returned, the torn tail is dropped, and
+    the caller can decide whether partial data is acceptable.
+    """
+
+    def __init__(self, rows: list[dict], partial: bool = False) -> None:
+        super().__init__(rows)
+        self.partial = partial
 
 
 def metrics_to_dict(metrics: RunMetrics) -> dict:
@@ -74,14 +89,34 @@ def save_metrics(metrics_list: list[RunMetrics], path: str | Path) -> None:
     :exc:`~repro.runtime.iolayer.StoreDegraded` instead of a bare
     ``OSError`` mid-file.
     """
-    lines = [json.dumps(metrics_to_dict(m)) for m in metrics_list]
+    lines = [jsonsafe.dumps(metrics_to_dict(m)) for m in metrics_list]
     iolayer.write_text(path, "\n".join(lines) + "\n")
 
 
-def load_metrics_dicts(path: str | Path) -> list[dict]:
-    """Read back the dict rows written by :func:`save_metrics`."""
+def load_metrics_dicts(path: str | Path) -> MetricsReadResult:
+    """Read back the dict rows written by :func:`save_metrics`.
+
+    Reads through the I/O seam (bounded retries on transient errors,
+    ``io_errors`` accounting).  A torn *final* line — no trailing newline,
+    the file ends mid-JSON because the writer was killed — is dropped and
+    reported via :attr:`MetricsReadResult.partial` instead of raising; a
+    malformed line anywhere *else* still raises
+    :class:`json.JSONDecodeError`, because that is corruption, not a torn
+    tail.
+    """
+    text = iolayer.read_text(Path(path))
+    lines = text.splitlines()
+    complete = text.endswith("\n")
     rows = []
-    for line in Path(path).read_text(encoding="utf-8").splitlines():
-        if line.strip():
-            rows.append(json.loads(line))
-    return rows
+    partial = False
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            rows.append(jsonsafe.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1 and not complete:
+                partial = True  # torn tail from a killed writer: report, don't raise
+                break
+            raise
+    return MetricsReadResult(rows, partial)

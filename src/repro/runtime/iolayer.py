@@ -5,19 +5,26 @@ module makes it survive the *filesystem*.  Three ideas:
 
 **One seam.**  Every durable write in the persistence tier — store
 entries, shard indexes, queue records, exported metrics — goes through
-:func:`write_text` / :func:`write_json` / :func:`replace` here instead of
-calling :mod:`repro.util.atomicio` (or ``os.replace``) directly.  The
-``locks/io-seam`` lint rule makes that structural: store-tier modules may
-not open files for writing themselves.  Directory scans used by
-maintenance sweeps route through :func:`scan` for the same reason.
+:func:`write_text` / :func:`write_bytes` / :func:`write_json` /
+:func:`replace` here instead of calling :mod:`repro.util.atomicio` (or
+``os.replace``) directly.  The ``locks/io-seam`` lint rule makes that
+structural: store-tier modules may not open files for writing themselves.
+Directory scans used by maintenance sweeps route through :func:`scan`,
+and — since PR 10 — entry *reads* route through :func:`read_text` /
+:func:`read_bytes` for the same reason: a transient ``EIO`` on read used
+to be indistinguishable from corruption, so a recoverable fault could
+quarantine (destroy) a perfectly valid entry.  Behind the seam, reads
+retry transient errnos with seeded backoff and re-raise the ``OSError``
+on exhaustion; callers treat that as *unavailable* (a miss), never as
+*corrupt* (a quarantine).
 
 **Deterministic filesystem faults.**  An :class:`FsFaultPlan` — a seeded,
 serializable schedule of ENOSPC / EIO / lost-rename / partial-write /
 slow-io events keyed by ``(operation, operation index)`` — can be armed
 process-wide (:func:`arm_fault_plan`, or the :func:`fault_plan` context
-manager).  Each hook point (``write``, ``fsync``, ``replace``, ``scan``)
-ticks a per-op counter and consults the plan, so a fault harness can
-replay the exact same disk failure schedule run after run.  The
+manager).  Each hook point (``write``, ``fsync``, ``replace``, ``scan``,
+``read``) ticks a per-op counter and consults the plan, so a fault
+harness can replay the exact same disk failure schedule run after run.  The
 ``fsfaults`` differential check and ``loadgen --fs-chaos`` build on this.
 
 **Graceful degradation.**  Transient capacity errors (ENOSPC, EDQUOT,
@@ -37,6 +44,7 @@ from __future__ import annotations
 import errno
 import fnmatch
 import json
+import mmap
 import os
 import random
 import threading
@@ -46,13 +54,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from collections.abc import Iterator
 
+from ..util import jsonsafe
 from ..util.atomicio import atomic_write_text, temp_name
 
 #: Schema of serialized fault plans; pinned in analysis/schema_manifest.json.
 FS_FAULT_PLAN_SCHEMA_VERSION = 1
 
 #: Hook points a fault event can target.
-FS_OPS = ("write", "fsync", "replace", "scan")
+FS_OPS = ("write", "fsync", "replace", "scan", "read")
 
 #: Injectable failure kinds.
 FS_FAULT_KINDS = ("enospc", "eio", "lost_rename", "partial_write", "slow_io")
@@ -184,7 +193,9 @@ class FsFaultPlan:
         # Plan files are harness inputs, not store data: the leaf atomic
         # writer is the right tool (routing them through the seam would
         # let an armed plan corrupt its own description).
-        return atomic_write_text(path, json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True, allow_nan=False)
+        )
 
     @staticmethod
     def load(path: str | Path) -> "FsFaultPlan":
@@ -362,18 +373,24 @@ def _is_transient(exc: OSError) -> bool:
     return exc.errno in TRANSIENT_ERRNOS
 
 
-def _write_once(path: Path, text: str, key: str) -> Path:
-    """One crash-safe write attempt: temp + replace, with fault hooks."""
+def _write_once(path: Path, data: str | bytes, key: str) -> Path:
+    """One crash-safe write attempt: temp + replace, with fault hooks.
+
+    ``data`` may be text (JSON entries) or bytes (binary column entries);
+    both share the same temp+replace discipline and fault hooks.
+    """
     tmp = path.parent / temp_name(path.name)
+    binary = isinstance(data, (bytes, bytearray, memoryview))
     try:
         event = _maybe_fault("write", path)
-        payload = text
+        payload = data
         if event is not None and event.kind == "partial_write":
             keep = event.param if event.param is not None else 0.5
-            payload = text[: int(len(text) * keep)]
+            payload = data[: int(len(data) * keep)]
         # The raw open/replace pair lives HERE and nowhere else in the
         # store tier; everything above routes through this seam.
-        with open(tmp, "w", encoding="utf-8") as handle:  # repro: allow[locks/raw-write]
+        mode, encoding = ("wb", None) if binary else ("w", "utf-8")
+        with open(tmp, mode, encoding=encoding) as handle:  # repro: allow[locks/raw-write]
             handle.write(payload)
             # Hook point only: the stores are rename-durable by design
             # (a torn final file is impossible; a lost recent write is
@@ -390,22 +407,12 @@ def _write_once(path: Path, text: str, key: str) -> Path:
     return path
 
 
-def write_text(path: str | Path, text: str, *, root: str | Path | None = None) -> Path:
-    """Crash-safe write through the seam; the one durable-write entry point.
-
-    ``root`` names the store/queue directory whose health this write
-    belongs to (defaults to the file's parent).  Transient capacity
-    errors are retried ``RETRY_ATTEMPTS`` times with seeded backoff; on
-    exhaustion the root degrades and :exc:`StoreDegraded` is raised.
-    While degraded, each write makes a single attempt — success clears
-    the flag (space returned), failure re-raises :exc:`StoreDegraded`
-    without burning retries.
-    """
-    path = Path(path)
+def _write_with_retry(path: Path, data: str | bytes, root: str | Path | None) -> Path:
+    """The shared retry/degrade discipline behind every durable write."""
     key = _root_key(path, root)
     if is_degraded(key):
         try:
-            result = _write_once(path, text, key)
+            result = _write_once(path, data, key)
         except OSError as exc:
             if _is_transient(exc):
                 record_io_error(key)
@@ -416,7 +423,7 @@ def write_text(path: str | Path, text: str, *, root: str | Path | None = None) -
     rng = random.Random(f"{key}|{path.name}")
     for attempt in range(RETRY_ATTEMPTS):
         try:
-            return _write_once(path, text, key)
+            return _write_once(path, data, key)
         except OSError as exc:
             if not _is_transient(exc):
                 raise
@@ -429,11 +436,126 @@ def write_text(path: str | Path, text: str, *, root: str | Path | None = None) -
     raise AssertionError("unreachable: retry loop returns or raises")
 
 
+def write_text(path: str | Path, text: str, *, root: str | Path | None = None) -> Path:
+    """Crash-safe text write through the seam; the durable-write entry point.
+
+    ``root`` names the store/queue directory whose health this write
+    belongs to (defaults to the file's parent).  Transient capacity
+    errors are retried ``RETRY_ATTEMPTS`` times with seeded backoff; on
+    exhaustion the root degrades and :exc:`StoreDegraded` is raised.
+    While degraded, each write makes a single attempt — success clears
+    the flag (space returned), failure re-raises :exc:`StoreDegraded`
+    without burning retries.
+    """
+    return _write_with_retry(Path(path), text, root)
+
+
+def write_bytes(path: str | Path, data: bytes, *, root: str | Path | None = None) -> Path:
+    """Crash-safe binary write through the seam (column-format entries).
+
+    Same retry/degrade/fault discipline as :func:`write_text`; the
+    ``partial_write`` fault kind truncates the byte payload the same way
+    it truncates text, so torn binary entries are injectable too.
+    """
+    return _write_with_retry(Path(path), data, root)
+
+
 def write_json(
     path: str | Path, payload: object, *, root: str | Path | None = None, **dumps_kwargs
 ) -> Path:
-    """Serialize ``payload`` and :func:`write_text` it through the seam."""
-    return write_text(path, json.dumps(payload, **dumps_kwargs), root=root)
+    """Serialize ``payload`` and :func:`write_text` it through the seam.
+
+    Serialization goes through :mod:`repro.util.jsonsafe`, so non-finite
+    floats become explicit sentinels instead of spec-invalid ``NaN`` /
+    ``Infinity`` tokens.
+    """
+    return write_text(path, jsonsafe.dumps(payload, **dumps_kwargs), root=root)
+
+
+def _read_once(path: Path, *, binary: bool, count: int | None, use_mmap: bool):
+    """One read attempt with the ``read`` fault hook applied."""
+    _maybe_fault("read", path)
+    if not binary:
+        return path.read_text(encoding="utf-8")
+    with open(path, "rb") as handle:
+        if use_mmap:
+            try:
+                size = os.fstat(handle.fileno()).st_size
+                if size == 0:
+                    return b""
+                return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):
+                # mmap unavailable (odd filesystem): fall back to a copy.
+                handle.seek(0)
+                return handle.read()
+        return handle.read() if count is None else handle.read(count)
+
+
+def _read_with_retry(
+    path: Path, root: str | Path | None, *, binary: bool, count: int | None = None,
+    use_mmap: bool = False,
+):
+    """Bounded-retry read discipline shared by :func:`read_text` / :func:`read_bytes`.
+
+    Reads never degrade a root and a degraded root keeps serving reads
+    (single attempt — no point burning the retry budget while capacity is
+    known-bad).  A ``FileNotFoundError`` passes straight through (it is
+    the caller's miss signal, not an I/O fault); transient errnos are
+    retried with seeded backoff, counted in ``io_errors``, and the last
+    ``OSError`` is re-raised on exhaustion so callers can treat the entry
+    as *unavailable* — never as corrupt.
+    """
+    key = _root_key(path, root)
+    if is_degraded(key):
+        try:
+            return _read_once(path, binary=binary, count=count, use_mmap=use_mmap)
+        except OSError as exc:
+            if _is_transient(exc):
+                record_io_error(key)
+            raise
+    rng = random.Random(f"read|{key}|{path.name}")
+    last: OSError | None = None
+    for attempt in range(RETRY_ATTEMPTS):
+        try:
+            return _read_once(path, binary=binary, count=count, use_mmap=use_mmap)
+        except OSError as exc:
+            if not _is_transient(exc):
+                raise
+            record_io_error(key)
+            last = exc
+            if attempt + 1 < RETRY_ATTEMPTS:
+                delay = min(RETRY_CAP, RETRY_BASE * (2**attempt))
+                time.sleep(delay * (0.5 + 0.5 * rng.random()))
+    raise last  # type: ignore[misc]  # loop always sets it before falling through
+
+
+def read_text(path: str | Path, *, root: str | Path | None = None) -> str:
+    """Entry read through the seam: bounded retries, ``io_errors`` accounting.
+
+    The read-side twin of :func:`write_text`.  Store load paths call this
+    instead of ``Path.read_text`` so a transient ``EIO``/``EDQUOT`` on
+    read surfaces as an ``OSError`` (a miss) after retries — it can never
+    masquerade as a parse failure and quarantine a valid entry.
+    """
+    return _read_with_retry(Path(path), root, binary=False)
+
+
+def read_bytes(
+    path: str | Path,
+    *,
+    root: str | Path | None = None,
+    count: int | None = None,
+    map: bool = False,
+):
+    """Binary entry read through the seam.
+
+    ``count`` reads only the first N bytes (how :func:`repro.runtime.colfmt`
+    probes a column file's JSON header without touching its payload);
+    ``map=True`` returns a read-only ``mmap`` of the whole file so column
+    ndarrays can be built zero-copy (falling back to a plain ``bytes``
+    read where mapping is unsupported).
+    """
+    return _read_with_retry(Path(path), root, binary=True, count=count, use_mmap=map)
 
 
 def replace(src: str | Path, dst: str | Path, *, root: str | Path | None = None) -> None:

@@ -34,13 +34,12 @@ drifted artifacts.
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Callable
 
-from . import iolayer, shards
+from . import colfmt, iolayer, shards
 
 #: Default age before quarantine/temp/dead-letter artifacts are collected.
 DEFAULT_TTL_SECONDS = 7 * 24 * 3600.0
@@ -103,7 +102,7 @@ class RepairReport:
 
 def scrub_entries(
     root: Path,
-    pattern: str,
+    pattern: str | tuple[str, ...],
     validate: Callable[[str, dict], str | None],
     *,
     digest_for: Callable[[str], str | None] | None = None,
@@ -115,18 +114,20 @@ def scrub_entries(
     given — recovers the shard digest from the file name so misfiled
     entries are caught too.  Missing-on-disk entries are reported and
     their ghost index records dropped (the quarantine move is a no-op for
-    a file that is not there).
+    a file that is not there).  Entries whose bytes cannot be *read*
+    (transient I/O failure, after the seam's retries) are reported but
+    **not** quarantined — unavailability is not evidence of corruption.
     """
     report = ScrubReport(root=str(root))
     for shard in shards.shard_dirs(root):
         with shards.shard_lock(shard):
             for name in sorted(shards.read_index(shard)):
                 report.entries_checked += 1
-                problem = _entry_problem(shard, name, validate, digest_for)
+                problem, quarantinable = _entry_problem(shard, name, validate, digest_for)
                 if problem is None:
                     continue
                 report.problems.append(f"{shard.name}/{name}: {problem}")
-                if shards.quarantine_entry_locked(root, shard, name):
+                if quarantinable and shards.quarantine_entry_locked(root, shard, name):
                     report.quarantined += 1
     return report
 
@@ -136,27 +137,33 @@ def _entry_problem(
     name: str,
     validate: Callable[[str, dict], str | None],
     digest_for: Callable[[str], str | None] | None,
-) -> str | None:
-    """Why one indexed entry is unsound, or None when it checks out."""
+) -> tuple[str | None, bool]:
+    """``(problem, quarantinable)`` for one indexed entry.
+
+    ``problem`` is None when the entry checks out.  ``quarantinable`` is
+    False exactly for read-I/O failures: the entry may be perfectly valid
+    on a disk that is briefly unhappy, so scrub reports it and leaves it
+    for a later pass to vindicate or convict.  Both entry formats parse
+    via :func:`repro.runtime.colfmt.load_entry_payload`.
+    """
     path = shard / name
     try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload = colfmt.load_entry_payload(path, root=shard.parent)
     except FileNotFoundError:
-        return "indexed but missing on disk"
-    except json.JSONDecodeError as exc:
-        return f"unparseable ({exc})"
+        return "indexed but missing on disk", True
+    except colfmt.PARSE_ERRORS as exc:
+        return f"unparseable ({exc})", True
     except OSError as exc:
-        iolayer.record_io_error(shard.parent)
-        return f"unreadable ({exc})"
+        return f"unreadable ({exc}) — left in place", False
     if not isinstance(payload, dict):
-        return "not a JSON object"
+        return "not a JSON object", True
     if digest_for is not None:
         digest = digest_for(name)
         if digest is None:
-            return "file name does not parse as an entry name"
+            return "file name does not parse as an entry name", True
         if shards.shard_prefix(digest) != shard.name:
-            return f"entry filed in shard {shard.name} but digest names {digest[:2]}"
-    return validate(name, payload)
+            return f"entry filed in shard {shard.name} but digest names {digest[:2]}", True
+    return validate(name, payload), True
 
 
 def gc_entries(
@@ -165,7 +172,7 @@ def gc_entries(
     ttl_seconds: float = DEFAULT_TTL_SECONDS,
     dry_run: bool = True,
     now: float | None = None,
-    pattern: str | None = None,
+    pattern: str | tuple[str, ...] | None = None,
     collect: Callable[[dict], bool] | None = None,
 ) -> GcReport:
     """TTL sweep over quarantine, stale temps, and optional terminal entries.
@@ -207,12 +214,15 @@ def gc_entries(
     return report
 
 
-def _safe_scan(directory: Path, pattern: str, root: Path) -> list[Path]:
-    try:
-        return iolayer.scan(directory, pattern, root=root)
-    except OSError:
-        # Counted by the seam; an unscannable directory yields nothing.
-        return []
+def _safe_scan(directory: Path, pattern: str | tuple[str, ...], root: Path) -> list[Path]:
+    patterns = (pattern,) if isinstance(pattern, str) else pattern
+    found: list[Path] = []
+    for glob in patterns:
+        try:
+            found.extend(iolayer.scan(directory, glob, root=root))
+        except OSError:  # repro: allow[exceptions/swallow] counted by the seam; unscannable dir yields nothing
+            continue
+    return sorted(set(found)) if len(patterns) > 1 else found
 
 
 def _age_and_size(path: Path, root: Path) -> tuple[float, int] | None:
@@ -262,8 +272,8 @@ def _collect_entry_locked(
         return False
     mtime, size = probed
     try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
+        payload = colfmt.load_entry_payload(path, root=root)
+    except (OSError, *colfmt.PARSE_ERRORS):
         return False  # scrub/repair territory, not GC's
     if not isinstance(payload, dict) or not collect(payload):
         return False
@@ -279,7 +289,7 @@ def _collect_entry_locked(
 
 def repair_entries(
     root: Path,
-    pattern: str,
+    pattern: str | tuple[str, ...],
     meta_for: Callable[[str, dict], dict],
 ) -> RepairReport:
     """Heal index↔disk drift: drop ghosts, re-index orphans, quarantine junk.
@@ -287,6 +297,9 @@ def repair_entries(
     ``meta_for(name, payload)`` supplies the index identity block for a
     re-indexed orphan (each store's own ``_index_meta``).  Runs shard by
     shard under the shard lock, rewriting each index at most once.
+    Orphans that fail to *parse* are quarantined; orphans that fail to
+    *read* (transient I/O) are skipped for a later pass — repair must not
+    destroy an entry on the evidence of a flaky disk.
     """
     report = RepairReport(root=str(root))
     for shard in shards.shard_dirs(root):
@@ -301,8 +314,13 @@ def repair_entries(
                 report.ghosts_dropped += 1
                 changed = True
             for name in sorted(on_disk - set(indexed)):
-                payload = _read_object(shard / name, root)
-                if payload is None:
+                try:
+                    payload = colfmt.load_entry_payload(shard / name, root=root)
+                except colfmt.PARSE_ERRORS:
+                    payload = None
+                except OSError:  # repro: allow[exceptions/swallow] unavailable is not provably corrupt: skip for a later pass
+                    continue
+                if not isinstance(payload, dict):
                     shards.quarantine_entry_locked(root, shard, name)
                     report.quarantined += 1
                     continue
@@ -312,14 +330,3 @@ def repair_entries(
             if changed:
                 shards.write_index_locked(shard, indexed)
     return report
-
-
-def _read_object(path: Path, root: Path) -> dict | None:
-    try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
-    except json.JSONDecodeError:
-        return None
-    except OSError:
-        iolayer.record_io_error(root)
-        return None
-    return payload if isinstance(payload, dict) else None

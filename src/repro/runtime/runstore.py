@@ -5,7 +5,9 @@ the suite's dominant cost became the run tier itself — every table,
 figure, sensitivity point, and fuzz sweep replays ``run_policy`` from
 scratch, and nothing remembers a finished run across processes.  This
 module is the run tier's analogue of :class:`~repro.runtime.store.TraceStore`:
-schema-validated JSON, content-addressed, atomic writes.
+schema-validated entries (binary columnar by default, JSON as the fully
+supported fallback format — see :mod:`repro.runtime.colfmt`),
+content-addressed, atomic writes.
 
 **Cache key.**  A run's frame records are a pure function of four inputs,
 so a persisted run is keyed by the tuple of their content fingerprints
@@ -47,9 +49,11 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..util import jsonsafe
 from ..vision.bbox import BoundingBox
-from . import iolayer, maintenance, shards
+from . import colfmt, iolayer, maintenance, shards
 from .metrics import RunMetrics, aggregate
+from .store import STORE_FORMATS, resolve_write_format
 from ..core.records import FrameRecord, RunResult
 
 SCHEMA_VERSION = 1
@@ -239,13 +243,14 @@ def metrics_from_dict(payload: dict, key: RunKey) -> RunMetrics:
         raise RunSchemaError(f"malformed run metrics: {exc}") from exc
 
 
-def _run_file_name(digest: str) -> str:
-    """The entry file name for one run-key digest.
+def _run_file_name(digest: str, fmt: str = "binary") -> str:
+    """The entry file name for one run-key digest in the given format.
 
     The algorithm version is part of the name, so bumping it orphans
     stale files (treated as misses) rather than erroring on them.
     """
-    return f"run-v{RUN_ALGORITHM_VERSION}-{digest[:32]}.json"
+    suffix = colfmt.COL_SUFFIX if fmt == "binary" else ".json"
+    return f"run-v{RUN_ALGORITHM_VERSION}-{digest[:32]}{suffix}"
 
 
 def _index_meta(payload: dict) -> dict:
@@ -276,16 +281,25 @@ class RunStore:
     wrong run.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    #: Globs matching this store's entry files, both formats.
+    ENTRY_PATTERNS = ("run-*.json", "run-*.col")
+
+    def __init__(self, root: str | Path, *, write_format: str | None = None) -> None:
         self.root = Path(root)
         if self.root.exists() and not self.root.is_dir():
             raise NotADirectoryError(f"run store path {self.root} exists and is not a directory")
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Format new saves are written in ("binary" | "json"); both
+        #: formats are always *read*.
+        self.write_format = resolve_write_format(write_format)
         #: Unreadable entries encountered (and removed) by this instance.
         self.corrupt_entries = 0
         #: Abandoned temp files swept at open (crashed writers' leftovers).
         self.stale_temps_cleaned = shards.clean_stale_temps(self.root)
         self._migrate_legacy_entries()
+        #: JSON entries re-encoded to the binary format by this open.
+        self.format_migrated = 0
+        self._migrate_format_entries()
 
     def _migrate_legacy_entries(self) -> None:
         """Move flat-layout entries (pre-sharding stores) into their shards."""
@@ -296,7 +310,7 @@ class RunStore:
 
         def meta_for(path: Path) -> dict | None:
             try:
-                payload = json.loads(path.read_text(encoding="utf-8"))
+                payload = jsonsafe.loads(iolayer.read_text(path, root=self.root))
             except (OSError, json.JSONDecodeError):
                 self.corrupt_entries += 1
                 return None
@@ -307,21 +321,76 @@ class RunStore:
 
         shards.migrate_flat_entries(self.root, "run-*.json", digest_for, meta_for)
 
+    def _migrate_format_entries(self) -> None:
+        """Re-encode existing JSON entries as binary columns (binary writer only).
+
+        Same discipline as :meth:`TraceStore._migrate_format_entries`:
+        per-entry shard locking, the ``.json`` twin superseded in the same
+        critical section, unreadable/unencodable entries skipped, and a
+        degraded disk aborts the sweep rather than failing the open.
+        """
+        if self.write_format != "binary":
+            return
+        for path in list(shards.iter_entry_paths(self.root, "run-*.json")):
+            if path.parent == self.root:
+                continue  # legacy flat leftovers: not this migration's job
+            shard = path.parent
+            try:
+                with shards.shard_lock(shard):
+                    if not path.exists():  # another opener migrated it first
+                        continue
+                    try:
+                        payload = jsonsafe.loads(iolayer.read_text(path, root=self.root))
+                    except (OSError, json.JSONDecodeError):  # repro: allow[exceptions/swallow] unreadable/corrupt entries stay JSON; scrub handles them
+                        continue
+                    if not isinstance(payload, dict):
+                        continue
+                    try:
+                        data = colfmt.encode_run(payload)
+                    except (KeyError, TypeError, ValueError, IndexError):  # repro: allow[exceptions/swallow] unencodable payloads stay JSON (still servable)
+                        continue
+                    name = colfmt.entry_stem(path.name) + colfmt.COL_SUFFIX
+                    shards.write_entry_locked(
+                        shard, name, data, _index_meta(payload), supersedes=(path.name,)
+                    )
+                    self.format_migrated += 1
+            except iolayer.StoreDegraded:
+                break
+
     def path_for(self, key: RunKey) -> Path:
-        """The (sharded) file a run persists to."""
+        """The (sharded) file a run persists to.
+
+        Prefers whichever format actually exists on disk (binary probed
+        first); for a not-yet-saved key, the write-format name.
+        """
         digest = key.digest()
-        return shards.shard_dir(self.root, digest) / _run_file_name(digest)
+        shard = shards.shard_dir(self.root, digest)
+        for fmt in STORE_FORMATS:
+            path = shard / _run_file_name(digest, fmt)
+            if path.exists():
+                return path
+        return shard / _run_file_name(digest, self.write_format)
 
     def save(self, result: RunResult, key: RunKey) -> Path:
-        """Persist a finished run; returns the file written."""
+        """Persist a finished run; returns the file written.
+
+        The sibling-format twin (if any) is superseded under the same
+        shard lock, so at most one format serves a logical entry.
+        """
         digest = key.digest()
         payload = run_to_dict(result, key)
+        if self.write_format == "binary":
+            data: str | bytes = colfmt.encode_run(payload)
+        else:
+            data = jsonsafe.dumps(payload)
+        other = "json" if self.write_format == "binary" else "binary"
         return shards.write_entry(
             self.root,
             digest,
-            _run_file_name(digest),
-            json.dumps(payload),
+            _run_file_name(digest, self.write_format),
+            data,
             _index_meta(payload),
+            supersedes=(_run_file_name(digest, other),),
         )
 
     def commit(self, result: RunResult, key: RunKey) -> tuple[Path, bool]:
@@ -339,31 +408,73 @@ class RunStore:
             return self.path_for(key), False
         return self.save(result, key), True
 
-    def _payload(self, key: RunKey) -> dict | None:
-        path = self.path_for(key)
+    def _payload(
+        self, key: RunKey, *, header_only: bool = False, _retry: bool = True
+    ) -> dict | None:
+        """The decoded payload for ``key`` from either format, or None.
+
+        ``header_only`` skips the record columns of a binary entry — the
+        identity block and pre-aggregated metrics live in its JSON header,
+        so :meth:`load_metrics` (the warm-sweep hot path) reads a few KiB
+        regardless of run length.  JSON entries always parse fully.
+
+        A read ``OSError`` (post-retry, through the seam) is a plain miss:
+        the entry is *unavailable*, not corrupt, and must never be
+        quarantined for it.  Only a genuine parse failure quarantines.
+        """
+        digest = key.digest()
+        shard = shards.shard_dir(self.root, digest)
+        binary_path = shard / _run_file_name(digest, "binary")
+        payload: dict | None
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            if header_only:
+                payload = colfmt.read_run_header(binary_path, root=self.root)
+            else:
+                buffer = iolayer.read_bytes(binary_path, root=self.root, map=True)
+                payload = colfmt.decode_run(buffer)
+        except FileNotFoundError:
+            payload = None  # fall through to the JSON twin
+        except OSError:
+            return None  # unavailable, not corrupt: a miss, already counted
+        except colfmt.ColumnFormatError:
+            # Corrupt binary: quarantine, then retry once — serving the
+            # JSON twin (same content address) or a repaired entry.
+            self._quarantine(digest, binary_path.name)
+            if _retry:
+                return self._payload(key, header_only=header_only, _retry=False)
+            return None
+        if payload is not None:
+            return payload
+
+        json_path = shard / _run_file_name(digest, "json")
+        try:
+            payload = jsonsafe.loads(iolayer.read_text(json_path, root=self.root))
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return None  # unavailable, not corrupt
+        except json.JSONDecodeError:
             payload = None
         if not isinstance(payload, dict):
-            try:
-                quarantined = shards.quarantine_corrupt_entry(
-                    self.root, key.digest(), path.name
-                )
-            except iolayer.StoreDegraded:
-                # Quarantine bookkeeping hit a full disk: the entry is
-                # still unservable, so this load is a miss either way.
-                self.corrupt_entries += 1
-                return None
-            if quarantined:
-                self.corrupt_entries += 1
-                return None
-            # A concurrent writer replaced the entry mid-read; retry once
-            # against the now-complete file.
-            return self._payload(key)
+            if not self._quarantine(digest, json_path.name) and _retry:
+                # A concurrent writer replaced the entry mid-read; retry
+                # once against the now-complete file.
+                return self._payload(key, header_only=header_only, _retry=False)
+            return None
         return payload
+
+    def _quarantine(self, digest: str, name: str) -> bool:
+        """Quarantine one corrupt entry; True when it was moved (counted)."""
+        try:
+            quarantined = shards.quarantine_corrupt_entry(self.root, digest, name)
+        except iolayer.StoreDegraded:
+            # Quarantine bookkeeping hit a full disk: the entry is still
+            # unservable, so this load is a miss either way.
+            self.corrupt_entries += 1
+            return True
+        if quarantined:
+            self.corrupt_entries += 1
+        return quarantined
 
     def load(self, key: RunKey) -> RunResult | None:
         """Load the persisted run for ``key``, or None if absent.
@@ -379,10 +490,11 @@ class RunStore:
     def load_metrics(self, key: RunKey) -> RunMetrics | None:
         """Load only the pre-aggregated metrics of a persisted run.
 
-        The warm-sweep fast path: skips rebuilding per-frame records, so
-        a store hit costs one JSON parse + one dataclass construction.
+        The warm-sweep fast path: a binary entry serves this from its
+        few-KiB column header (record columns never read); a JSON entry
+        costs one parse + one dataclass construction.
         """
-        payload = self._payload(key)
+        payload = self._payload(key, header_only=True)
         if payload is None:
             return None
         return metrics_from_dict(payload, key)
@@ -391,12 +503,12 @@ class RunStore:
         return self.path_for(key).exists()
 
     def __len__(self) -> int:
-        return sum(1 for _ in shards.iter_entry_paths(self.root, "run-*.json"))
+        return sum(1 for _ in shards.iter_entry_paths(self.root, self.ENTRY_PATTERNS))
 
     def clear(self) -> int:
-        """Delete every persisted run; returns how many were removed."""
+        """Delete every persisted run (both formats); returns how many were removed."""
         removed = 0
-        for path in list(shards.iter_entry_paths(self.root, "run-*.json")):
+        for path in list(shards.iter_entry_paths(self.root, self.ENTRY_PATTERNS)):
             if path.parent == self.root:  # legacy flat file written after open
                 path.unlink(missing_ok=True)
                 removed += 1
@@ -407,7 +519,7 @@ class RunStore:
 
     def audit(self) -> tuple[int, list[str]]:
         """Cross-check shard indexes against entry files; see :func:`shards.audit_entries`."""
-        return shards.audit_entries(self.root, "run-*.json")
+        return shards.audit_entries(self.root, self.ENTRY_PATTERNS)
 
     # ------------------------------------------------------------ health
 
@@ -426,7 +538,7 @@ class RunStore:
     def scrub(self) -> maintenance.ScrubReport:
         """Re-verify schema + recomputed run-key digest of every entry."""
         return maintenance.scrub_entries(
-            self.root, "run-*.json", _scrub_problem, digest_for=_digest_from_name
+            self.root, self.ENTRY_PATTERNS, _scrub_problem, digest_for=_digest_from_name
         )
 
     def gc(
@@ -444,13 +556,14 @@ class RunStore:
     def repair(self) -> maintenance.RepairReport:
         """Heal index↔disk drift (drop ghosts, re-index parseable orphans)."""
         return maintenance.repair_entries(
-            self.root, "run-*.json", lambda name, payload: _index_meta(payload)
+            self.root, self.ENTRY_PATTERNS, lambda name, payload: _index_meta(payload)
         )
 
 
 def _digest_from_name(name: str) -> str | None:
-    """The shard digest encoded in a run entry file name, or None."""
-    parts = name[: -len(".json")].split("-") if name.endswith(".json") else []
+    """The shard digest encoded in a run entry file name (either format)."""
+    stem = colfmt.entry_stem(name)
+    parts = stem.split("-") if stem != name else []
     return parts[2] if len(parts) == 3 and len(parts[2]) == 32 else None
 
 

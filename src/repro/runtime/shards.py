@@ -53,7 +53,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from collections.abc import Iterator
 
-from . import iolayer
+from ..util import jsonsafe
+from . import colfmt, iolayer
 
 # Re-exported here for lower-tier sharing (characterization); store-tier
 # code routes writes through `iolayer` instead (the io-seam rule flags
@@ -138,10 +139,17 @@ def shard_lock(shard: Path) -> Iterator[None]:
             handle.close()
 
 
-def _replace_atomically(shard: Path, name: str, text: str) -> Path:
+def _replace_atomically(shard: Path, name: str, data: str | bytes) -> Path:
     # `shard.parent` IS the store root: shards are its direct children,
     # so degraded-mode accounting lands on the store, not the shard.
-    return iolayer.write_text(shard / name, text, root=shard.parent)
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return iolayer.write_bytes(shard / name, bytes(data), root=shard.parent)
+    return iolayer.write_text(shard / name, data, root=shard.parent)
+
+
+def _patterns(pattern: str | tuple[str, ...]) -> tuple[str, ...]:
+    """Normalize the single-glob / glob-tuple pattern argument."""
+    return (pattern,) if isinstance(pattern, str) else tuple(pattern)
 
 
 def read_index(shard: Path) -> dict[str, dict]:
@@ -152,7 +160,7 @@ def read_index(shard: Path) -> dict[str, dict]:
     """
     path = shard / INDEX_NAME
     try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload = json.loads(iolayer.read_text(path, root=shard.parent))
     except (OSError, json.JSONDecodeError):
         return {}
     if not isinstance(payload, dict) or payload.get("schema_version") != INDEX_SCHEMA_VERSION:
@@ -162,7 +170,7 @@ def read_index(shard: Path) -> dict[str, dict]:
 
 
 def _write_index(shard: Path, entries: dict[str, dict]) -> None:
-    text = json.dumps(
+    text = jsonsafe.dumps(
         {"schema_version": INDEX_SCHEMA_VERSION, "entries": entries},
         sort_keys=True,
     )
@@ -178,20 +186,38 @@ def write_index_locked(shard: Path, entries: dict[str, dict]) -> None:
     _write_index(shard, entries)
 
 
-def write_entry(root: Path, digest: str, name: str, text: str, meta: dict) -> Path:
+def write_entry(
+    root: Path,
+    digest: str,
+    name: str,
+    data: str | bytes,
+    meta: dict,
+    *,
+    supersedes: tuple[str, ...] = (),
+) -> Path:
     """Atomically persist one entry and record it in the shard index.
 
     Runs entirely under the shard lock: the entry write is temp +
     ``os.replace`` (readers never see a torn file even without the lock),
     and the index read-modify-write is protected against concurrent
-    writers of *other* entries in the same shard.
+    writers of *other* entries in the same shard.  ``supersedes`` names
+    sibling files this write replaces — the same logical entry under its
+    other format's name — removed under the same lock acquisition so a
+    store can never serve a stale twin.
     """
     shard = shard_dir(root, digest)
     with shard_lock(shard):
-        return write_entry_locked(shard, name, text, meta)
+        return write_entry_locked(shard, name, data, meta, supersedes=supersedes)
 
 
-def write_entry_locked(shard: Path, name: str, text: str, meta: dict) -> Path:
+def write_entry_locked(
+    shard: Path,
+    name: str,
+    data: str | bytes,
+    meta: dict,
+    *,
+    supersedes: tuple[str, ...] = (),
+) -> Path:
     """Entry write + index update for callers already holding the shard lock.
 
     The job queue's claim sweep mutates several entries per shard under
@@ -199,9 +225,19 @@ def write_entry_locked(shard: Path, name: str, text: str, meta: dict) -> Path:
     deadlock on the per-path thread mutex (it is not reentrant), so the
     multi-entry paths compose this primitive instead.
     """
-    path = _replace_atomically(shard, name, text)
+    path = _replace_atomically(shard, name, data)
     entries = read_index(shard)
     entries[name] = meta
+    for stale in supersedes:
+        if stale == name:
+            continue
+        try:
+            (shard / stale).unlink(missing_ok=True)
+        except OSError:
+            # The new entry is durable regardless; the surviving twin is
+            # de-indexed below so repair can reclaim it as an orphan.
+            iolayer.record_io_error(shard.parent)
+        entries.pop(stale, None)
     _write_index(shard, entries)
     return path
 
@@ -223,7 +259,7 @@ def update_entry(
     with shard_lock(shard):
         path = shard / name
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            payload = json.loads(iolayer.read_text(path, root=root))
             if not isinstance(payload, dict):
                 payload = None
         except (OSError, json.JSONDecodeError):
@@ -231,7 +267,7 @@ def update_entry(
         updated = mutate(payload)
         if updated is None:
             return None
-        _replace_atomically(shard, name, json.dumps(updated, sort_keys=True))
+        _replace_atomically(shard, name, jsonsafe.dumps(updated, sort_keys=True))
         entries = read_index(shard)
         if name not in entries:
             entries[name] = {}
@@ -267,23 +303,28 @@ def quarantine_corrupt_entry(root: Path, digest: str, name: str) -> bool:
     parseable payload in the meantime (the caller should then retry its
     load).  Runs under the shard lock so the check-and-move cannot race a
     live writer.
+
+    Only genuine *parse* failures (of either format) quarantine.  An
+    ``OSError`` out of the re-read means the entry is *unavailable*, not
+    provably corrupt — quarantining on that evidence is how a transient
+    ``EIO`` used to destroy valid entries — so it is counted and reported
+    as False (the caller already treated its own read error as a miss).
     """
     shard = shard_dir(root, digest)
     with shard_lock(shard):
         path = shard / name
         corrupt = False
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            payload = colfmt.load_entry_payload(path, root=root)
             corrupt = not isinstance(payload, dict)
         except FileNotFoundError:
             return False  # already gone: someone else cleaned it
-        except json.JSONDecodeError:
+        except colfmt.PARSE_ERRORS:
             corrupt = True  # unparseable is exactly the state to remove
         except OSError:
-            # Unreadable is corrupt too, but also an I/O signal worth
-            # surfacing: count it instead of dropping it on the floor.
-            iolayer.record_io_error(root)
-            corrupt = True
+            # Unreadable ≠ corrupt: the seam already counted the retries;
+            # leave the entry for a later read to vindicate or convict.
+            return False
         if not corrupt:
             return False  # repaired behind our back — not corrupt anymore
         quarantine_entry_locked(root, shard, name)
@@ -400,27 +441,42 @@ def migrate_flat_entries(
     return migrated
 
 
-def iter_entry_paths(root: Path, pattern: str) -> Iterator[Path]:
-    """Every entry file matching ``pattern`` (shards first, then legacy root)."""
+def iter_entry_paths(root: Path, pattern: str | tuple[str, ...]) -> Iterator[Path]:
+    """Every entry file matching ``pattern`` (shards first, then legacy root).
+
+    ``pattern`` may be a tuple of globs — entries come in two formats
+    (``.json`` / ``.col``) and a bare ``prefix-*`` glob would also match
+    in-flight ``*.tmp*`` files.
+    """
+    patterns = _patterns(pattern)
     for shard in shard_dirs(root):
-        yield from sorted(shard.glob(pattern))
+        yield from sorted({p for glob in patterns for p in shard.glob(glob)})
     if root.is_dir():
-        yield from sorted(p for p in root.glob(pattern) if p.is_file())
+        yield from sorted(
+            {p for glob in patterns for p in root.glob(glob) if p.is_file()}
+        )
 
 
-def audit_entries(root: Path, pattern: str) -> tuple[int, list[str]]:
-    """Audit a store: every indexed entry must exist and parse as a JSON object.
+def audit_entries(root: Path, pattern: str | tuple[str, ...]) -> tuple[int, list[str]]:
+    """Audit a store: every indexed entry must exist and parse in its format.
 
     Returns ``(entries_checked, problems)`` where ``problems`` is a list of
     human-readable findings: indexed-but-missing files, unparseable
     payloads, and files present on disk but absent from their shard index.
-    A clean store returns ``(n, [])``.
+    A clean store returns ``(n, [])``.  Both entry formats are parsed via
+    :func:`repro.runtime.colfmt.load_entry_payload`.
     """
+    patterns = _patterns(pattern)
     problems: list[str] = []
     checked = 0
     for shard in shard_dirs(root):
         indexed = read_index(shard)
-        on_disk = {p.name for p in shard.glob(pattern) if ".tmp" not in p.name}
+        on_disk = {
+            p.name
+            for glob in patterns
+            for p in shard.glob(glob)
+            if ".tmp" not in p.name
+        }
         for name in sorted(indexed):
             checked += 1
             path = shard / name
@@ -428,8 +484,8 @@ def audit_entries(root: Path, pattern: str) -> tuple[int, list[str]]:
                 problems.append(f"{shard.name}/{name}: indexed but missing on disk")
                 continue
             try:
-                payload = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError) as exc:
+                payload = colfmt.load_entry_payload(path, root=root)
+            except (OSError, *colfmt.PARSE_ERRORS) as exc:
                 problems.append(f"{shard.name}/{name}: unreadable ({exc})")
                 continue
             if not isinstance(payload, dict):

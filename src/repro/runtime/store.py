@@ -7,12 +7,19 @@ This module mirrors the characterization bundle serialization
 (:mod:`repro.characterization.serialization`): plain JSON with a schema
 version that fails loudly on mismatch.
 
-Format — one JSON object per (scenario, zoo) pair, in a file named
-``trace-v<algo>-<scenario_fp16>-<zoo_fp12>.json`` under the store root.
+Format — one entry per (scenario, zoo) pair, named
+``trace-v<algo>-<scenario_fp16>-<zoo_fp12>.col`` (binary columnar, the
+default writer — see :mod:`repro.runtime.colfmt`) or ``....json`` (the
+fully supported fallback format; force it with ``write_format="json"`` or
+``REPRO_STORE_FORMAT=json``).  Loads probe the binary name first and fall
+back to JSON, so mixed-format stores are fully served; opening a store
+with the binary writer re-encodes existing JSON entries in place (the
+same open-time migration discipline PR 5 used for flat→sharded layouts).
 Entries are sharded by scenario-fingerprint prefix (``root/<2-hex>/``) with
 a per-shard index and advisory-lock–guarded writes — see
 :mod:`repro.runtime.shards`; stores written by the old flat layout are
-migrated into shards on open.  Fields:
+migrated into shards on open.  The logical payload is identical across
+formats (the differential checks assert bit-equality).  Fields:
 
 ``schema_version``
     Integer; readers reject anything but their own version.
@@ -40,16 +47,32 @@ fresh build.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from ..data.scenario import Scenario
 from ..models.detector import DetectionOutcome
 from ..models.zoo import ModelZoo
+from ..util import jsonsafe
 from ..vision.bbox import BoundingBox
-from . import iolayer, maintenance, shards
+from . import colfmt, iolayer, maintenance, shards
 from .trace import ScenarioTrace
 
 SCHEMA_VERSION = 1
+
+#: Entry formats a store can write; both are always readable.
+STORE_FORMATS = ("binary", "json")
+
+#: Environment override for the default writer format.
+FORMAT_ENV = "REPRO_STORE_FORMAT"
+
+
+def resolve_write_format(write_format: str | None) -> str:
+    """The entry format new saves use: argument, env override, or binary."""
+    resolved = write_format or os.environ.get(FORMAT_ENV) or "binary"
+    if resolved not in STORE_FORMATS:
+        raise ValueError(f"unknown store format {resolved!r}; expected one of {STORE_FORMATS}")
+    return resolved
 
 # Version of the *outcome-producing algorithm* (detector, scene difficulty,
 # noise streams).  Fingerprints pin what a trace was built FROM; this pins
@@ -89,12 +112,12 @@ def trace_to_dict(trace: ScenarioTrace, zoo: ModelZoo) -> dict:
     }
 
 
-def trace_from_dict(payload: dict, scenario: Scenario, zoo: ModelZoo) -> ScenarioTrace:
-    """Rebuild a trace from its dict form against the live scenario and zoo.
+def _validate_trace_payload(payload: dict, scenario: Scenario, zoo: ModelZoo) -> None:
+    """Identity checks shared by both entry formats (raises :class:`TraceSchemaError`).
 
-    Validates the schema version and both fingerprints and reattaches the
-    persisted outcomes; frames stay lazy (rendered deterministically on
-    first access), so outcome-only consumers never pay for pixels.
+    Everything verified here lives in the binary header's ``meta`` block,
+    so the columnar load path can validate without decoding any outcome
+    columns.
     """
     version = payload.get("schema_version")
     if version != SCHEMA_VERSION:
@@ -119,9 +142,13 @@ def trace_from_dict(payload: dict, scenario: Scenario, zoo: ModelZoo) -> Scenari
             f"trace covers {payload.get('frame_count')!r} frames but scenario "
             f"{scenario.name!r} has {scenario.total_frames}"
         )
+
+
+def _outcomes_from_rows(rows_by_model: dict) -> dict[str, list[DetectionOutcome]]:
+    """Rebuild per-model :class:`DetectionOutcome` lists from compact rows."""
     try:
         outcomes: dict[str, list[DetectionOutcome]] = {}
-        for model, rows in payload["outcomes"].items():
+        for model, rows in rows_by_model.items():
             outcomes[model] = [
                 DetectionOutcome(
                     model_name=model,
@@ -136,19 +163,38 @@ def trace_from_dict(payload: dict, scenario: Scenario, zoo: ModelZoo) -> Scenari
             ]
     except (KeyError, TypeError, ValueError, IndexError) as exc:
         raise TraceSchemaError(f"malformed trace payload: {exc}") from exc
+    return outcomes
+
+
+def trace_from_dict(payload: dict, scenario: Scenario, zoo: ModelZoo) -> ScenarioTrace:
+    """Rebuild a trace from its dict form against the live scenario and zoo.
+
+    Validates the schema version and both fingerprints and reattaches the
+    persisted outcomes; frames stay lazy (rendered deterministically on
+    first access), so outcome-only consumers never pay for pixels.
+    """
+    _validate_trace_payload(payload, scenario, zoo)
+    try:
+        rows_by_model = payload["outcomes"]
+    except KeyError as exc:
+        raise TraceSchemaError("trace payload has no outcomes block") from exc
+    outcomes = _outcomes_from_rows(rows_by_model)
     return ScenarioTrace(scenario=scenario, frames=None, outcomes=outcomes)
 
 
-def _trace_file_name(scenario_fingerprint: str, zoo_fingerprint: str) -> str:
-    """The entry file name for a (scenario, zoo) pair.
+def _trace_file_name(
+    scenario_fingerprint: str, zoo_fingerprint: str, fmt: str = "binary"
+) -> str:
+    """The entry file name for a (scenario, zoo) pair in the given format.
 
     The algorithm version is part of the name, so bumping it simply
     orphans stale files (treated as misses and rebuilt) rather than
     erroring on them.
     """
+    suffix = colfmt.COL_SUFFIX if fmt == "binary" else ".json"
     return (
         f"trace-v{ALGORITHM_VERSION}-{scenario_fingerprint[:16]}"
-        f"-{zoo_fingerprint[:12]}.json"
+        f"-{zoo_fingerprint[:12]}{suffix}"
     )
 
 
@@ -166,11 +212,17 @@ class TraceStore:
     silently wrong trace.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    #: Globs matching this store's entry files, both formats.
+    ENTRY_PATTERNS = ("trace-*.json", "trace-*.col")
+
+    def __init__(self, root: str | Path, *, write_format: str | None = None) -> None:
         self.root = Path(root)
         if self.root.exists() and not self.root.is_dir():
             raise NotADirectoryError(f"trace store path {self.root} exists and is not a directory")
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Format new saves are written in ("binary" | "json"); both
+        #: formats are always *read*.
+        self.write_format = resolve_write_format(write_format)
         #: Unreadable entries encountered (and removed) by this instance —
         #: a non-zero value after a sweep means a writer died mid-life or
         #: the disk corrupted an entry; the entry was re-treated as a miss.
@@ -178,6 +230,9 @@ class TraceStore:
         #: Abandoned temp files swept at open (crashed writers' leftovers).
         self.stale_temps_cleaned = shards.clean_stale_temps(self.root)
         self._migrate_legacy_entries()
+        #: JSON entries re-encoded to the binary format by this open.
+        self.format_migrated = 0
+        self._migrate_format_entries()
 
     def _migrate_legacy_entries(self) -> None:
         """Move flat-layout entries (pre-sharding stores) into their shards."""
@@ -188,7 +243,7 @@ class TraceStore:
 
         def meta_for(path: Path) -> dict | None:
             try:
-                payload = json.loads(path.read_text(encoding="utf-8"))
+                payload = jsonsafe.loads(iolayer.read_text(path, root=self.root))
             except (OSError, json.JSONDecodeError):
                 self.corrupt_entries += 1
                 return None
@@ -199,12 +254,58 @@ class TraceStore:
 
         shards.migrate_flat_entries(self.root, "trace-*.json", digest_for, meta_for)
 
+    def _migrate_format_entries(self) -> None:
+        """Re-encode existing JSON entries as binary columns (binary writer only).
+
+        Runs under each entry's shard lock; the ``.json`` file is removed
+        in the same critical section (``supersedes``), so no logical entry
+        ever has two live twins.  Entries that cannot be read or encoded
+        are skipped, and a degraded (full) disk aborts the sweep — opening
+        a store must never fail because migration could not proceed; the
+        JSON reader serves the leftovers either way.
+        """
+        if self.write_format != "binary":
+            return
+        for path in list(shards.iter_entry_paths(self.root, "trace-*.json")):
+            if path.parent == self.root:
+                continue  # legacy flat leftovers: not this migration's job
+            shard = path.parent
+            try:
+                with shards.shard_lock(shard):
+                    if not path.exists():  # another opener migrated it first
+                        continue
+                    try:
+                        payload = jsonsafe.loads(iolayer.read_text(path, root=self.root))
+                    except (OSError, json.JSONDecodeError):  # repro: allow[exceptions/swallow] unreadable/corrupt entries stay JSON; scrub handles them
+                        continue
+                    if not isinstance(payload, dict):
+                        continue
+                    try:
+                        data = colfmt.encode_trace(payload)
+                    except (KeyError, TypeError, ValueError, IndexError):  # repro: allow[exceptions/swallow] unencodable payloads stay JSON (still servable)
+                        continue
+                    name = colfmt.entry_stem(path.name) + colfmt.COL_SUFFIX
+                    shards.write_entry_locked(
+                        shard, name, data, _index_meta(payload), supersedes=(path.name,)
+                    )
+                    self.format_migrated += 1
+            except iolayer.StoreDegraded:
+                break
+
     def path_for(self, scenario: Scenario, zoo: ModelZoo) -> Path:
-        """The (sharded) file a (scenario, zoo) trace persists to."""
+        """The (sharded) file a (scenario, zoo) trace persists to.
+
+        Prefers whichever format actually exists on disk (binary probed
+        first); for a not-yet-saved pair, the write-format name.
+        """
         fingerprint = scenario.fingerprint()
-        return shards.shard_dir(self.root, fingerprint) / _trace_file_name(
-            fingerprint, zoo.fingerprint()
-        )
+        shard = shards.shard_dir(self.root, fingerprint)
+        zoo_fingerprint = zoo.fingerprint()
+        for fmt in STORE_FORMATS:
+            path = shard / _trace_file_name(fingerprint, zoo_fingerprint, fmt)
+            if path.exists():
+                return path
+        return shard / _trace_file_name(fingerprint, zoo_fingerprint, self.write_format)
 
     def save(self, trace: ScenarioTrace, zoo: ModelZoo) -> Path:
         """Persist a built trace; returns the file written.
@@ -212,50 +313,105 @@ class TraceStore:
         The write is atomic (temp file + rename) and the shard index is
         updated under the shard's advisory lock, so concurrent readers
         never observe a half-written trace and concurrent writers never
-        lose each other's index records.
+        lose each other's index records.  The sibling-format twin (if any)
+        is superseded under the same lock, so at most one format serves a
+        logical entry.
         """
         payload = trace_to_dict(trace, zoo)
         fingerprint = payload["scenario_fingerprint"]
+        zoo_fingerprint = payload["zoo_fingerprint"]
+        if self.write_format == "binary":
+            data: str | bytes = colfmt.encode_trace(payload)
+        else:
+            data = jsonsafe.dumps(payload)
+        other = "json" if self.write_format == "binary" else "binary"
         return shards.write_entry(
             self.root,
             fingerprint,
-            _trace_file_name(fingerprint, payload["zoo_fingerprint"]),
-            json.dumps(payload),
+            _trace_file_name(fingerprint, zoo_fingerprint, self.write_format),
+            data,
             _index_meta(payload),
+            supersedes=(_trace_file_name(fingerprint, zoo_fingerprint, other),),
         )
 
-    def load(self, scenario: Scenario, zoo: ModelZoo) -> ScenarioTrace | None:
+    def load(
+        self, scenario: Scenario, zoo: ModelZoo, *, _retry: bool = True
+    ) -> ScenarioTrace | None:
         """Load the persisted trace for (scenario, zoo), or None if absent.
 
-        A missing entry and an unreadable one are the same thing to the
-        caller — a miss; the unreadable file is additionally counted in
-        :attr:`corrupt_entries` and removed so it can never shadow a
-        future rebuild.
+        Probes the binary entry first (header-only read: identity checks
+        live in the column header, outcome columns decode lazily on first
+        ``.outcomes`` access), then the JSON fallback.  A missing entry is
+        a miss.  An entry whose *bytes cannot be read* (transient ``EIO``,
+        after the seam's bounded retries) is also just a miss — counted in
+        ``io_errors``, never quarantined: unavailability is not evidence
+        of corruption, and quarantining on it used to destroy valid
+        entries.  Only an entry that *parses wrong* is treated as corrupt:
+        counted in :attr:`corrupt_entries` and quarantined so it can never
+        shadow a future rebuild.
         """
-        path = self.path_for(scenario, zoo)
+        fingerprint = scenario.fingerprint()
+        zoo_fingerprint = zoo.fingerprint()
+        shard = shards.shard_dir(self.root, fingerprint)
+
+        binary_path = shard / _trace_file_name(fingerprint, zoo_fingerprint, "binary")
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            header = colfmt.read_header(binary_path, root=self.root)
+        except FileNotFoundError:
+            header = None  # fall through to the JSON twin
+        except OSError:
+            return None  # unavailable, not corrupt: a miss, already counted
+        except colfmt.ColumnFormatError:
+            # Corrupt binary: quarantine it, then retry once — the retry
+            # serves the JSON twin if one exists (entries are content-
+            # addressed, so any parseable twin is the correct data), or
+            # re-reads a concurrently repaired entry.
+            self._quarantine(fingerprint, binary_path.name)
+            if _retry:
+                return self.load(scenario, zoo, _retry=False)
+            return None
+        if header is not None:
+            meta = header.get("meta") if isinstance(header.get("meta"), dict) else {}
+            _validate_trace_payload(meta, scenario, zoo)
+            root = self.root
+
+            def load_outcomes() -> dict[str, list[DetectionOutcome]]:
+                buffer = iolayer.read_bytes(binary_path, root=root, map=True)
+                return _outcomes_from_rows(colfmt.decode_trace_outcomes(buffer))
+
+            return ScenarioTrace(
+                scenario=scenario, frames=None, outcomes_loader=load_outcomes
+            )
+
+        json_path = shard / _trace_file_name(fingerprint, zoo_fingerprint, "json")
+        try:
+            payload = jsonsafe.loads(iolayer.read_text(json_path, root=self.root))
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return None  # unavailable, not corrupt
+        except json.JSONDecodeError:
             payload = None
         if not isinstance(payload, dict):
-            try:
-                quarantined = shards.quarantine_corrupt_entry(
-                    self.root, scenario.fingerprint(), path.name
-                )
-            except iolayer.StoreDegraded:
-                # Quarantine bookkeeping hit a full disk: the entry is
-                # still unservable, so this load is a miss either way.
-                self.corrupt_entries += 1
-                return None
-            if quarantined:
-                self.corrupt_entries += 1
-                return None
-            # A concurrent writer replaced the entry while we looked at it;
-            # one retry reads the now-complete file (or misses cleanly).
-            return self.load(scenario, zoo)
+            if not self._quarantine(fingerprint, json_path.name) and _retry:
+                # A concurrent writer replaced the entry while we looked at
+                # it; one retry reads the now-complete file (or misses).
+                return self.load(scenario, zoo, _retry=False)
+            return None
         return trace_from_dict(payload, scenario, zoo)
+
+    def _quarantine(self, digest: str, name: str) -> bool:
+        """Quarantine one corrupt entry; True when it was moved (counted)."""
+        try:
+            quarantined = shards.quarantine_corrupt_entry(self.root, digest, name)
+        except iolayer.StoreDegraded:
+            # Quarantine bookkeeping hit a full disk: the entry is still
+            # unservable, so this load is a miss either way.
+            self.corrupt_entries += 1
+            return True
+        if quarantined:
+            self.corrupt_entries += 1
+        return quarantined
 
     def get(
         self,
@@ -275,12 +431,12 @@ class TraceStore:
         return self.path_for(scenario, zoo).exists()
 
     def __len__(self) -> int:
-        return sum(1 for _ in shards.iter_entry_paths(self.root, "trace-*.json"))
+        return sum(1 for _ in shards.iter_entry_paths(self.root, self.ENTRY_PATTERNS))
 
     def clear(self) -> int:
-        """Delete every persisted trace; returns how many were removed."""
+        """Delete every persisted trace (both formats); returns how many were removed."""
         removed = 0
-        for path in list(shards.iter_entry_paths(self.root, "trace-*.json")):
+        for path in list(shards.iter_entry_paths(self.root, self.ENTRY_PATTERNS)):
             if path.parent == self.root:  # legacy flat file written after open
                 path.unlink(missing_ok=True)
                 removed += 1
@@ -292,7 +448,7 @@ class TraceStore:
 
     def audit(self) -> tuple[int, list[str]]:
         """Cross-check shard indexes against entry files; see :func:`shards.audit_entries`."""
-        return shards.audit_entries(self.root, "trace-*.json")
+        return shards.audit_entries(self.root, self.ENTRY_PATTERNS)
 
     # ------------------------------------------------------------ health
 
@@ -311,7 +467,7 @@ class TraceStore:
     def scrub(self) -> maintenance.ScrubReport:
         """Re-verify schema + fingerprints of every indexed trace entry."""
         return maintenance.scrub_entries(
-            self.root, "trace-*.json", _scrub_problem, digest_for=_digest_from_name
+            self.root, self.ENTRY_PATTERNS, _scrub_problem, digest_for=_digest_from_name
         )
 
     def gc(
@@ -329,13 +485,14 @@ class TraceStore:
     def repair(self) -> maintenance.RepairReport:
         """Heal index↔disk drift (drop ghosts, re-index parseable orphans)."""
         return maintenance.repair_entries(
-            self.root, "trace-*.json", lambda name, payload: _index_meta(payload)
+            self.root, self.ENTRY_PATTERNS, lambda name, payload: _index_meta(payload)
         )
 
 
 def _digest_from_name(name: str) -> str | None:
-    """The shard digest encoded in a trace entry file name, or None."""
-    parts = name[: -len(".json")].split("-") if name.endswith(".json") else []
+    """The shard digest encoded in a trace entry file name (either format)."""
+    stem = colfmt.entry_stem(name)
+    parts = stem.split("-") if stem != name else []
     return parts[2] if len(parts) == 4 and len(parts[2]) == 16 else None
 
 
@@ -345,10 +502,13 @@ def _scrub_problem(name: str, payload: dict) -> str | None:
     Scrub has no live scenario/zoo to compare against, so it verifies the
     *internal* identity discipline: schema and algorithm versions, the
     fingerprint prefixes baked into the file name, and the outcome shape.
+    Payloads of both formats arrive here fully decoded
+    (:func:`repro.runtime.colfmt.load_entry_payload`), so the same checks
+    cover JSON and binary entries.
     """
     if payload.get("schema_version") != SCHEMA_VERSION:
         return f"schema_version {payload.get('schema_version')!r} != {SCHEMA_VERSION}"
-    parts = name[: -len(".json")].split("-")
+    parts = colfmt.entry_stem(name).split("-")
     if parts[1] != f"v{payload.get('algorithm_version')}":
         return (
             f"algorithm_version {payload.get('algorithm_version')!r} "

@@ -121,6 +121,14 @@ class ScenarioTrace:
     ``frames`` may be ``None``: outcome-only consumers (metrics, tables,
     oracle baselines reading persisted traces) then never pay for
     rendering; the first ``.frames`` access renders lazily and caches.
+
+    ``outcomes`` may likewise be deferred: pass ``outcomes_loader`` (a
+    zero-argument callable) instead and the per-model outcome lists are
+    materialized on first ``.outcomes`` access.  That is what makes the
+    binary column store fast to open — loading a trace parses a few-KiB
+    header for identity checks; the column payload is only decoded into
+    :class:`~repro.models.detector.DetectionOutcome` rows if something
+    actually consumes them.
     """
 
     def __init__(
@@ -128,21 +136,39 @@ class ScenarioTrace:
         scenario: Scenario,
         frames: list[Frame] | None = None,
         outcomes: dict[str, list[DetectionOutcome]] | None = None,
+        outcomes_loader: "callable | None" = None,
     ) -> None:
-        if outcomes is None:
-            raise ValueError("a trace needs per-model outcomes")
+        if outcomes is None and outcomes_loader is None:
+            raise ValueError("a trace needs per-model outcomes (or a loader for them)")
         self.scenario = scenario
-        self.outcomes = outcomes
+        self._outcomes = outcomes
+        self._outcomes_loader = outcomes_loader
         self._frames = frames
         self._frame_ncc: np.ndarray | None = None
         self._box_ncc: dict[tuple[str, int], float] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         rendered = "rendered" if self._frames is not None else "lazy"
+        if self._outcomes is None:
+            models = "outcomes lazy"
+        else:
+            models = f"{len(self._outcomes)} models"
         return (
             f"ScenarioTrace({self.scenario.name!r}, {self.frame_count} frames "
-            f"[{rendered}], {len(self.outcomes)} models)"
+            f"[{rendered}], {models})"
         )
+
+    @property
+    def outcomes(self) -> dict[str, list[DetectionOutcome]]:
+        """Per-model outcome lists, materialized on first access."""
+        if self._outcomes is None:
+            self._outcomes = self._outcomes_loader()
+        return self._outcomes
+
+    @property
+    def outcomes_materialized(self) -> bool:
+        """True once outcomes have been decoded (or were supplied at build)."""
+        return self._outcomes is not None
 
     @classmethod
     def build(

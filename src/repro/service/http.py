@@ -69,6 +69,7 @@ from pathlib import Path
 from collections.abc import Callable, Iterator
 
 from ..models.zoo import ModelZoo, default_zoo
+from ..util import jsonsafe
 from ..core.policy import Policy
 from ..runtime.export import metrics_to_dict
 from ..runtime.iolayer import StoreDegraded
@@ -672,7 +673,7 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------- plumbing
 
     def _send_json(self, code: int, payload: dict, headers: dict[str, str] | None = None) -> None:
-        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        body = (jsonsafe.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -692,7 +693,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         try:
             for line in lines:
-                chunk = (json.dumps(line, sort_keys=True) + "\n").encode("utf-8")
+                chunk = (jsonsafe.dumps(line, sort_keys=True) + "\n").encode("utf-8")
                 self.wfile.write(f"{len(chunk):x}\r\n".encode("ascii"))
                 self.wfile.write(chunk + b"\r\n")
                 self.wfile.flush()

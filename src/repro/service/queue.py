@@ -52,6 +52,7 @@ from pathlib import Path
 from collections.abc import Callable, Iterator
 
 from ..data.scenario import Scenario, scenario_from_dict, scenario_to_dict
+from ..util import jsonsafe
 from ..runtime import iolayer, maintenance, shards
 from ..runtime.iolayer import StoreDegraded
 from .jobs import ServiceError, UnitJob
@@ -608,7 +609,7 @@ class JobQueue:
         """Every readable job record (no lock: entry writes are atomic)."""
         for path in shards.iter_entry_paths(self.root, "job-*.json"):
             try:
-                payload = json.loads(path.read_text(encoding="utf-8"))
+                payload = json.loads(iolayer.read_text(path, root=self.root))
             # Lock-free read: a concurrent writer mid-replace is expected,
             # not an error; the entry shows up complete on the next pass.
             except (OSError, json.JSONDecodeError):  # repro: allow[exceptions/swallow]
@@ -714,10 +715,14 @@ class JobQueue:
     def _read_record_locked(self, shard: Path, path: Path) -> dict | None:
         """Load one record under the held shard lock; quarantine torn files."""
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            payload = json.loads(iolayer.read_text(path, root=self.root))
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            # Unreadable is not torn: leave the record for a later pass
+            # rather than destroying a lease on a flaky disk's evidence.
+            return None
+        except json.JSONDecodeError:
             payload = None
         if not isinstance(payload, dict) or payload.get("schema_version") != QUEUE_SCHEMA_VERSION:
             shards.remove_entry_locked(shard, path.name)
@@ -728,7 +733,7 @@ class JobQueue:
 
     def _write_record_locked(self, shard: Path, name: str, record: dict) -> None:
         shards.write_entry_locked(
-            shard, name, json.dumps(record, sort_keys=True), job_index_meta(record)
+            shard, name, jsonsafe.dumps(record, sort_keys=True), job_index_meta(record)
         )
 
     @staticmethod

@@ -54,5 +54,13 @@ def atomic_write_text(path: str | Path, text: str) -> Path:
 
 
 def atomic_write_json(path: str | Path, payload: object, **dumps_kwargs) -> Path:
-    """Serialize ``payload`` as JSON and :func:`atomic_write_text` it."""
+    """Serialize ``payload`` as JSON and :func:`atomic_write_text` it.
+
+    ``allow_nan`` defaults to False: ``NaN``/``Infinity`` are not JSON,
+    and a file that only Python can read back is not an interchange
+    format.  Callers with non-finite floats must map them to sentinels
+    first (:mod:`repro.util.jsonsafe`) or pass ``allow_nan=True``
+    explicitly.
+    """
+    dumps_kwargs.setdefault("allow_nan", False)
     return atomic_write_text(path, json.dumps(payload, **dumps_kwargs))

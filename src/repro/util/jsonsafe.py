@@ -1,0 +1,75 @@
+"""Strict JSON with explicit non-finite sentinels.
+
+``json.dumps`` defaults to ``allow_nan=True`` and will happily emit
+``NaN`` / ``Infinity`` tokens — spec-invalid JSON that the binary column
+header parser, ``jq``, and every non-Python client reject.  A NaN can
+reach a serializer legitimately (NCC of a zero-variance frame, a metric
+over zero samples), so banning it outright is not enough: every
+store/export/wire ``dumps`` site routes through :func:`dumps` here, which
+serializes with ``allow_nan=False`` and maps non-finite floats to the
+explicit string sentinels below; :func:`loads` restores them.  Finite
+payloads — the overwhelmingly common case — serialize on a zero-overhead
+fast path (no tree rewrite).
+
+The sentinels live in a ``__...__`` namespace so an accidental collision
+with real data requires writing those exact strings; payloads that need
+them as literal text should escape at the application layer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+#: String stand-ins for the three non-finite doubles.
+NAN = "__nan__"
+POS_INF = "__inf__"
+NEG_INF = "__-inf__"
+
+_SENTINELS = {NAN: math.nan, POS_INF: math.inf, NEG_INF: -math.inf}
+
+
+def sanitize(payload: object) -> object:
+    """A copy of ``payload`` with every non-finite float replaced by its sentinel."""
+    if isinstance(payload, float):
+        if math.isfinite(payload):
+            return payload
+        if math.isnan(payload):
+            return NAN
+        return POS_INF if payload > 0 else NEG_INF
+    if isinstance(payload, dict):
+        return {key: sanitize(value) for key, value in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [sanitize(value) for value in payload]
+    return payload
+
+
+def restore(payload: object) -> object:
+    """The inverse of :func:`sanitize`: sentinels back to non-finite floats."""
+    if isinstance(payload, str):
+        return _SENTINELS.get(payload, payload)
+    if isinstance(payload, dict):
+        return {key: restore(value) for key, value in payload.items()}
+    if isinstance(payload, list):
+        return [restore(value) for value in payload]
+    return payload
+
+
+def dumps(payload: object, **dumps_kwargs) -> str:
+    """Spec-valid ``json.dumps``: non-finite floats become sentinels.
+
+    The finite case pays nothing extra — only when strict serialization
+    trips over a non-finite value is the payload rewritten and retried.
+    """
+    try:
+        return json.dumps(payload, allow_nan=False, **dumps_kwargs)
+    except ValueError:
+        return json.dumps(sanitize(payload), allow_nan=False, **dumps_kwargs)
+
+
+def loads(text: str, **loads_kwargs) -> object:
+    """``json.loads`` that restores sentinels written by :func:`dumps`."""
+    payload = json.loads(text, **loads_kwargs)
+    if NAN in text or POS_INF in text or NEG_INF in text:
+        return restore(payload)
+    return payload

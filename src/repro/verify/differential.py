@@ -79,6 +79,7 @@ from ..models.detector import detect
 from ..models.zoo import ModelZoo, default_zoo
 from ..core.policy import Policy
 from ..core.records import FrameRecord
+from ..runtime import shards
 from ..runtime.runner import run_policy
 from ..runtime.store import TraceStore
 from ..runtime.trace import ScenarioTrace
@@ -188,30 +189,81 @@ def check_detect_equality(
 def check_store_roundtrip(
     trace: ScenarioTrace, zoo: ModelZoo, store_root: str | Path | None = None
 ) -> CheckResult:
-    """A saved trace must reload bit-identically and re-validate its identity."""
+    """Both store formats must reload bit-identically — in either direction.
+
+    Exercises the full dual-format matrix on one root: a JSON entry read
+    through the binary-preferring store (fallback path), a binary entry
+    superseding its JSON twin and read through a JSON-writer store, index
+    records identical across formats, and migrate-on-open re-encoding a
+    JSON entry in place.
+    """
     scenario = trace.scenario
 
-    def roundtrip(root: Path) -> CheckResult:
-        store = TraceStore(root)
-        path = store.save(trace, zoo)
-        if not path.exists():
-            return _fail("store", f"save produced no file at {path}")
-        loaded = store.load(scenario, zoo)
+    def compare(loaded: ScenarioTrace | None, via: str) -> CheckResult | None:
         if loaded is None:
-            return _fail("store", "saved trace did not load back")
+            return _fail("store", f"{via}: saved trace did not load back")
         if loaded.frame_count != trace.frame_count:
             return _fail(
                 "store",
-                f"frame count changed through the store: {trace.frame_count} -> "
-                f"{loaded.frame_count}",
+                f"{via}: frame count changed through the store: "
+                f"{trace.frame_count} -> {loaded.frame_count}",
             )
         if loaded.frames_materialized:
-            return _fail("store", "loaded trace rendered eagerly (must stay lazy)")
+            return _fail("store", f"{via}: loaded trace rendered eagerly (must stay lazy)")
         if list(loaded.outcomes) != list(trace.outcomes):
-            return _fail("store", "model set or order changed through the store")
+            return _fail("store", f"{via}: model set or order changed through the store")
         for model, rows in trace.outcomes.items():
             if loaded.outcomes[model] != rows:
-                return _fail("store", f"model {model!r}: outcomes changed through the store")
+                return _fail(
+                    "store", f"{via}: model {model!r}: outcomes changed through the store"
+                )
+        return None
+
+    def index_meta(path: Path) -> dict | None:
+        return shards.read_index(path.parent).get(path.name)
+
+    def roundtrip(root: Path) -> CheckResult:
+        # Open the binary store before any JSON entry exists, so
+        # migrate-on-open stays out of steps 1-3.
+        binary_store = TraceStore(root, write_format="binary")
+        json_store = TraceStore(root, write_format="json")
+
+        # 1. JSON write -> binary-preferring read (the fallback path).
+        json_path = json_store.save(trace, zoo)
+        if json_path.suffix != ".json" or not json_path.exists():
+            return _fail("store", f"JSON save produced no .json file at {json_path}")
+        json_meta = index_meta(json_path)
+        if failure := compare(binary_store.load(scenario, zoo), "json->binary-store"):
+            return failure
+
+        # 2. Binary write supersedes the twin; JSON-writer store reads it.
+        col_path = binary_store.save(trace, zoo)
+        if col_path.suffix != ".col" or not col_path.exists():
+            return _fail("store", f"binary save produced no .col file at {col_path}")
+        if json_path.exists():
+            return _fail("store", "binary save left its superseded JSON twin behind")
+        loaded = json_store.load(scenario, zoo)
+        if loaded is not None and loaded.outcomes_materialized:
+            return _fail("store", "binary load decoded outcomes eagerly (must stay lazy)")
+        if failure := compare(loaded, "binary->json-store"):
+            return failure
+
+        # 3. Identical index records regardless of the bytes on disk.
+        if json_meta != index_meta(col_path):
+            return _fail("store", "index records differ between the two formats")
+
+        # 4. Migrate-on-open: a JSON entry is re-encoded binary in place.
+        json_store.save(trace, zoo)
+        migrated = TraceStore(root, write_format="binary")
+        if migrated.format_migrated != 1:
+            return _fail(
+                "store",
+                f"expected 1 entry migrated on open, got {migrated.format_migrated}",
+            )
+        if json_path.exists() or not col_path.exists():
+            return _fail("store", "migration did not replace the JSON entry with binary")
+        if failure := compare(migrated.load(scenario, zoo), "migrated"):
+            return failure
         return _ok("store")
 
     if store_root is not None:

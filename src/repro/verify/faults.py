@@ -138,7 +138,10 @@ class FaultPlan:
 
     def save(self, path: str | Path) -> Path:
         path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), sort_keys=True), encoding="utf-8")
+        path.write_text(
+            json.dumps(self.to_dict(), sort_keys=True, allow_nan=False),
+            encoding="utf-8",
+        )
         return path
 
     @classmethod

@@ -1,0 +1,277 @@
+"""Tests for the binary columnar entry format and the read-path bugfixes.
+
+Three contracts share this file because they share one failure surface:
+
+* the ``colfmt`` container and codecs must round-trip payloads
+  *bit-identically* — the binary format is an encoding of the JSON
+  payload, never a reinterpretation of it;
+* the stores must treat the two formats as one store — either format
+  written, either reader, same bytes out, same index records, corrupt
+  entries of either format quarantined the same way;
+* transient read errors must never destroy data — an EIO on a valid
+  entry is a miss, not a quarantine (the bug this PR fixes), while
+  non-finite floats must never produce invalid JSON on disk.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.data import scenario_by_name
+from repro.models import default_zoo
+from repro.runtime import (
+    RunKey,
+    RunStore,
+    ScenarioTrace,
+    TraceStore,
+    run_policy,
+    run_to_dict,
+    trace_to_dict,
+)
+from repro.runtime import colfmt, iolayer, shards
+from repro.runtime.export import load_metrics_dicts, save_metrics
+from repro.runtime.iolayer import RETRY_ATTEMPTS, FsFaultEvent, FsFaultPlan
+from repro.runtime.metrics import aggregate
+from repro.baselines import SingleModelPolicy
+from repro.sim import xavier_nx_with_oakd
+from repro.util import jsonsafe
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return scenario_by_name("s3_indoor_close_wall").scaled(0.05)
+
+
+@pytest.fixture(scope="module")
+def trace(scenario, zoo):
+    return ScenarioTrace.build(scenario, zoo)
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return SingleModelPolicy("yolov7-tiny", "gpu")
+
+
+@pytest.fixture(scope="module")
+def result(policy, trace):
+    return run_policy(policy, trace)
+
+
+@pytest.fixture(scope="module")
+def key(policy, scenario, zoo):
+    return RunKey(
+        policy_name=policy.name,
+        policy_fingerprint=policy.fingerprint(),
+        scenario_fingerprint=scenario.fingerprint(),
+        zoo_fingerprint=zoo.fingerprint(),
+        soc_fingerprint=xavier_nx_with_oakd().fingerprint(),
+        engine_seed=1234,
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_seam():
+    iolayer.disarm_fault_plan()
+    yield
+    iolayer.disarm_fault_plan()
+
+
+class TestContainer:
+    def test_trace_payload_round_trips_bit_identically(self, trace, zoo):
+        payload = trace_to_dict(trace, zoo)
+        assert colfmt.decode_trace(colfmt.encode_trace(payload)) == payload
+
+    def test_run_payload_round_trips_bit_identically(self, result, key):
+        payload = run_to_dict(result, key)
+        assert colfmt.decode_run(colfmt.encode_run(payload)) == payload
+
+    def test_model_order_is_preserved(self, trace, zoo):
+        payload = trace_to_dict(trace, zoo)
+        decoded = colfmt.decode_trace(colfmt.encode_trace(payload))
+        assert list(decoded["outcomes"]) == list(payload["outcomes"])
+
+    def test_corrupt_magic_raises(self, trace, zoo):
+        data = bytearray(colfmt.encode_trace(trace_to_dict(trace, zoo)))
+        data[:4] = b"JUNK"
+        with pytest.raises(colfmt.ColumnFormatError, match="magic"):
+            colfmt.decode_trace(bytes(data))
+
+    def test_truncation_raises(self, result, key):
+        data = colfmt.encode_run(run_to_dict(result, key))
+        with pytest.raises(colfmt.ColumnFormatError):
+            colfmt.decode_run(data[: len(data) // 2])
+
+    def test_header_carries_no_bulk_data(self, result, key, tmp_path):
+        payload = run_to_dict(result, key)
+        path = tmp_path / ("run-x" + colfmt.COL_SUFFIX)
+        path.write_bytes(colfmt.encode_run(payload))
+        header = colfmt.read_run_header(path)
+        assert "records" not in header
+        assert header["metrics"] == payload["metrics"]
+
+
+class TestCrossFormat:
+    def test_trace_equal_through_both_formats(self, trace, scenario, zoo, tmp_path):
+        json_store = TraceStore(tmp_path, write_format="json")
+        json_path = json_store.save(trace, zoo)
+        json_meta = shards.read_index(json_path.parent)[json_path.name]
+
+        binary_store = TraceStore(tmp_path, write_format="binary")
+        assert binary_store.format_migrated == 1, "open must re-encode the JSON entry"
+        assert not json_path.exists()
+        col_path = binary_store.path_for(scenario, zoo)
+        assert col_path.suffix == colfmt.COL_SUFFIX and col_path.exists()
+        # Index records are format-independent: bit-identical either way.
+        assert shards.read_index(col_path.parent)[col_path.name] == json_meta
+
+        via_binary = binary_store.load(scenario, zoo)
+        via_json_reader = TraceStore(tmp_path, write_format="json").load(scenario, zoo)
+        assert via_binary.outcomes == trace.outcomes
+        assert via_json_reader.outcomes == trace.outcomes
+
+    def test_run_equal_through_both_formats(self, result, key, tmp_path):
+        json_store = RunStore(tmp_path, write_format="json")
+        json_store.save(result, key)
+        via_json = json_store.load(key)
+
+        binary_store = RunStore(tmp_path, write_format="binary")
+        assert binary_store.format_migrated == 1
+        via_binary = binary_store.load(key)
+        assert via_binary.records == result.records == via_json.records
+        assert binary_store.load_metrics(key) == json_store.load_metrics(key)
+
+    def test_binary_save_supersedes_json_twin(self, result, key, tmp_path):
+        json_path = RunStore(tmp_path, write_format="json").save(result, key)
+        # Fresh binary-writer store: saving replaces the twin atomically
+        # under the same shard lock (no double-indexed entry).
+        store = RunStore(tmp_path)
+        col_path = store.save(result, key)
+        assert col_path.suffix == colfmt.COL_SUFFIX
+        assert not json_path.exists()
+        assert len(store) == 1
+
+    def test_lazy_outcomes_until_first_access(self, trace, scenario, zoo, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save(trace, zoo)
+        loaded = store.load(scenario, zoo)
+        assert not loaded.outcomes_materialized, "binary load must defer column decode"
+        assert loaded.outcomes == trace.outcomes
+        assert loaded.outcomes_materialized
+
+    def test_corrupt_binary_quarantines_like_corrupt_json(self, result, key, tmp_path):
+        store = RunStore(tmp_path)
+        path = store.save(result, key)
+        path.write_bytes(b"RPROCOL1" + b"\xff" * 32)  # right magic, garbage header
+        assert store.load(key) is None
+        assert store.corrupt_entries == 1
+        assert not path.exists(), "corrupt entry must be quarantined"
+        quarantined = list((tmp_path / "_quarantine").iterdir())
+        assert len(quarantined) == 1
+
+
+class TestTransientReadErrors:
+    """The PR's headline bugfix: an EIO must never destroy a valid entry."""
+
+    def _read_eio_plan(self, match):
+        return FsFaultPlan(events=(
+            FsFaultEvent(op="read", index=0, kind="eio",
+                         count=RETRY_ATTEMPTS * 4, match=match),
+        ))
+
+    def test_eio_on_run_read_is_a_miss_not_a_quarantine(self, result, key, tmp_path):
+        store = RunStore(tmp_path)
+        path = store.save(result, key)
+        with iolayer.fault_plan(self._read_eio_plan("run-*")):
+            assert store.load(key) is None, "unreadable entry must be a miss"
+        assert store.corrupt_entries == 0, "an I/O error is not corruption"
+        assert path.exists(), "the entry must survive the flaky disk"
+        assert iolayer.io_error_count(tmp_path) > 0, "retries must be accounted"
+        assert not iolayer.is_degraded(tmp_path), "reads never degrade a root"
+        # Disk recovered: the same entry serves again, bit-identical.
+        assert store.load(key).records == result.records
+
+    def test_eio_on_trace_read_is_a_miss_not_a_quarantine(
+        self, trace, scenario, zoo, tmp_path
+    ):
+        store = TraceStore(tmp_path)
+        path = store.save(trace, zoo)
+        with iolayer.fault_plan(self._read_eio_plan("trace-*")):
+            assert store.load(scenario, zoo) is None
+        assert store.corrupt_entries == 0
+        assert path.exists()
+        assert store.load(scenario, zoo).outcomes == trace.outcomes
+
+    def test_scrub_reports_unreadable_entries_without_quarantining(
+        self, result, key, tmp_path
+    ):
+        store = RunStore(tmp_path)
+        path = store.save(result, key)
+        with iolayer.fault_plan(self._read_eio_plan("run-*")):
+            report = store.scrub()
+        assert report.quarantined == 0
+        assert any("left in place" in problem for problem in report.problems)
+        assert path.exists()
+
+
+class TestNonFiniteJson:
+    def test_jsonsafe_round_trips_non_finite(self):
+        payload = {"a": float("nan"), "b": float("inf"), "c": -float("inf"), "d": 1.5}
+        text = jsonsafe.dumps(payload)
+        json.loads(text, parse_constant=pytest.fail)  # spec-valid: no NaN/Infinity
+        restored = jsonsafe.loads(text)
+        assert math.isnan(restored["a"])
+        assert restored["b"] == float("inf") and restored["c"] == -float("inf")
+        assert restored["d"] == 1.5
+
+    def test_metrics_with_nan_export_as_valid_json(self, result, tmp_path):
+        metrics = aggregate(result)
+        import dataclasses
+
+        broken = dataclasses.replace(metrics, mean_iou=float("nan"))
+        path = tmp_path / "metrics.jsonl"
+        save_metrics([broken, metrics], path)
+        for line in path.read_text().splitlines():
+            json.loads(line, parse_constant=pytest.fail)
+        rows = load_metrics_dicts(path)
+        assert math.isnan(rows[0]["mean_iou"])
+        assert rows[1]["mean_iou"] == metrics.mean_iou
+
+    def test_nan_metric_survives_binary_round_trip(self, result, key, tmp_path):
+        payload = run_to_dict(result, key)
+        payload["metrics"]["mean_iou"] = float("nan")
+        decoded = colfmt.decode_run(colfmt.encode_run(payload))
+        assert math.isnan(decoded["metrics"]["mean_iou"])
+
+
+class TestTornMetricsTail:
+    def _rows(self, result):
+        return [aggregate(result)]
+
+    def test_torn_final_line_is_partial_not_fatal(self, result, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        save_metrics(self._rows(result) * 3, path)
+        text = path.read_text()
+        path.write_text(text.rstrip("\n")[:-20])  # kill the writer mid-line
+        rows = load_metrics_dicts(path)
+        assert rows.partial, "a torn tail must be reported"
+        assert len(rows) == 2, "complete rows before the tear still serve"
+
+    def test_torn_middle_line_still_raises(self, result, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        lines = [jsonsafe.dumps({"ok": i}) for i in range(3)]
+        lines[1] = '{"torn'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            load_metrics_dicts(path)
+
+    def test_clean_file_is_not_partial(self, result, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        save_metrics(self._rows(result), path)
+        rows = load_metrics_dicts(path)
+        assert not rows.partial and len(rows) == 1

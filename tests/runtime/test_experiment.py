@@ -43,7 +43,9 @@ class TestTraceTier:
         first.build_traces(scenarios)
         assert first.cache.builds == len(scenarios)
 
-        files = sorted(tmp_path.rglob("trace-*.json"))
+        files = sorted(
+            p for p in tmp_path.rglob("trace-*") if p.suffix in (".json", ".col")
+        )
         assert len(files) == len(scenarios), "every built trace must persist"
         mtimes = [f.stat().st_mtime_ns for f in files]
 

@@ -61,8 +61,8 @@ def populate(run_root, trace_root, zoo, scenarios, policies):
 def tree_bytes(root):
     """Every data file under ``root`` -> its bytes (locks/indexes excluded)."""
     snapshot = {}
-    for path in sorted(root.rglob("*.json")):
-        if ".tmp" in path.name:
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in (".json", ".col") or ".tmp" in path.name:
             continue
         snapshot[path.relative_to(root)] = path.read_bytes()
     return snapshot
@@ -104,7 +104,7 @@ class TestScrub:
         run_store, _, keys = populate(
             tmp_path / "runs", tmp_path / "traces", zoo, scenarios, policies
         )
-        victim = entry_paths(tmp_path / "runs", "run-*.json")[0]
+        victim = entry_paths(tmp_path / "runs", "run-*.col")[0]
         victim.write_text('{"torn', encoding="utf-8")
 
         report = run_store.scrub()
@@ -121,15 +121,13 @@ class TestScrub:
         run_store, _, _ = populate(
             tmp_path / "runs", tmp_path / "traces", zoo, scenarios, policies
         )
-        source = entry_paths(tmp_path / "runs", "run-*.json")[0]
+        source = entry_paths(tmp_path / "runs", "run-*.col")[0]
         # Refile the entry (and an index record) under a shard its digest
         # does not name: scrub must spot the drift by recomputation.
         wrong = tmp_path / "runs" / ("00" if source.parent.name != "00" else "ff")
         wrong.mkdir(exist_ok=True)
         with shards.shard_lock(wrong):
-            shards.write_entry_locked(
-                wrong, source.name, source.read_text(encoding="utf-8"), {}
-            )
+            shards.write_entry_locked(wrong, source.name, source.read_bytes(), {})
         report = run_store.scrub()
         assert report.quarantined == 1
         assert any("filed in shard" in problem for problem in report.problems)
@@ -142,7 +140,7 @@ class TestGc:
         run_store, _, _ = populate(
             tmp_path / "runs", tmp_path / "traces", zoo, scenarios, policies
         )
-        victim = entry_paths(tmp_path / "runs", "run-*.json")[0]
+        victim = entry_paths(tmp_path / "runs", "run-*.col")[0]
         size = victim.stat().st_size
         victim.write_text('{"torn', encoding="utf-8")
         run_store.scrub()  # -> _quarantine
@@ -182,7 +180,7 @@ class TestRepair:
         run_store, _, keys = populate(
             tmp_path / "runs", tmp_path / "traces", zoo, scenarios, policies
         )
-        paths = entry_paths(tmp_path / "runs", "run-*.json")
+        paths = entry_paths(tmp_path / "runs", "run-*.col")
         ghost, orphan = paths[0], paths[1]
         # Ghost: entry vanished (lost rename) but the index still lists it.
         payload = ghost.read_bytes()
@@ -212,7 +210,7 @@ class TestRepair:
         run_store, _, _ = populate(
             tmp_path / "runs", tmp_path / "traces", zoo, scenarios, policies
         )
-        shard = entry_paths(tmp_path / "runs", "run-*.json")[0].parent
+        shard = entry_paths(tmp_path / "runs", "run-*.col")[0].parent
         junk = shard / "run-v1-deadbeefdeadbeefdeadbeefdeadbeef.json"
         junk.write_text('{"torn', encoding="utf-8")
         report = run_store.repair()

@@ -108,7 +108,9 @@ class TestRoundTrip:
 
 class TestSchemaRejection:
     def _saved(self, tmp_path, result, key):
-        store = RunStore(tmp_path)
+        # Pinned to the JSON writer: these tests corrupt the payload by
+        # editing the file's text, which only the JSON format supports.
+        store = RunStore(tmp_path, write_format="json")
         path = store.save(result, key)
         return store, path
 
@@ -211,7 +213,7 @@ class TestInvalidation:
     def test_tampered_identity_block_is_rejected(self, tmp_path, result, key):
         # A file whose *name* matches but whose identity block does not
         # (hand-edited, or a digest collision) fails loudly.
-        store = RunStore(tmp_path)
+        store = RunStore(tmp_path, write_format="json")
         path = store.save(result, key)
         payload = json.loads(path.read_text(encoding="utf-8"))
         payload["engine_seed"] = 4321

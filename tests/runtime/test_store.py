@@ -74,7 +74,8 @@ class TestRoundTrip:
 
 class TestValidation:
     def test_wrong_schema_version_fails_loudly(self, trace, scenario, zoo, tmp_path):
-        store = TraceStore(tmp_path)
+        # JSON writer: the test tampers with the payload via a text edit.
+        store = TraceStore(tmp_path, write_format="json")
         path = store.save(trace, zoo)
         payload = json.loads(path.read_text())
         payload["schema_version"] = 99

@@ -117,7 +117,11 @@ class TestCommands:
         store = tmp_path / "traces"
         args = FAST + ["--trace-store", str(store), "run", "marlin-tiny", "s3_indoor_close_wall"]
         assert main(args) == 0
-        files = [p for p in store.rglob("trace-*.json") if ".tmp" not in p.name]
+        files = [
+            p
+            for p in store.rglob("trace-*")
+            if p.suffix in (".json", ".col") and ".tmp" not in p.name
+        ]
         assert len(files) == 1
         first_mtime = files[0].stat().st_mtime_ns
         assert main(args) == 0
@@ -147,7 +151,8 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "g_dm_s001_crx_day_96f" in out and "g_dm_s002_loi-pop_fog_96f" in out
         assert "average" in out
-        assert len(list(store.rglob("trace-*.json"))) == 2, "generated traces must persist"
+        persisted = [p for p in store.rglob("trace-*") if p.suffix in (".json", ".col")]
+        assert len(persisted) == 2, "generated traces must persist"
 
 
 class TestServeCommand:
@@ -262,7 +267,8 @@ class TestVerifyCommand:
         code = main(["verify", "--scenarios", "g_dm_s001_crx_day_96f",
                      "--checks", "store", "--store", str(store)])
         assert code == 0
-        assert len(list(store.rglob("trace-*.json"))) == 1
+        persisted = [p for p in store.rglob("trace-*") if p.suffix in (".json", ".col")]
+        assert len(persisted) == 1
         capsys.readouterr()
 
 

@@ -139,7 +139,8 @@ class TestHarnessDetectsViolations:
         # store's own validation, not as a silently wrong trace.
         from repro.runtime import TraceSchemaError
 
-        store = TraceStore(tmp_path)
+        # JSON writer: the test tampers with the payload via a text edit.
+        store = TraceStore(tmp_path, write_format="json")
         path = store.save(trace, zoo)
         payload = json.loads(path.read_text(encoding="utf-8"))
         payload["scenario_fingerprint"] = "0" * 64
